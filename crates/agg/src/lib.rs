@@ -1,0 +1,44 @@
+//! # scorpion-agg
+//!
+//! The aggregate-property framework of the Scorpion paper (§5): aggregate
+//! operators annotated with the three properties that unlock efficient
+//! influence search —
+//!
+//! * **incrementally removable** (§5.1): [`IncrementalAggregate`]'s
+//!   `state` / `update` / `remove` / `recover` decomposition lets the
+//!   Scorer evaluate a predicate's influence by reading only the deleted
+//!   tuples;
+//! * **independent** (§5.2): declared via
+//!   [`AggProperties::independent`], enables the DT partitioner;
+//! * **anti-monotonic Δ** (§5.3): declared via the data-dependent
+//!   [`Aggregate::anti_monotonic_check`], enables MC's pruning.
+//!
+//! Shipped operators: [`Sum`], [`Count`], [`Avg`], [`StdDev`],
+//! [`Variance`] (incrementally removable + independent) and [`Min`],
+//! [`Max`], [`Median`] (black-box).
+//!
+//! ```
+//! use scorpion_agg::{Avg, Aggregate, IncrementalAggregate};
+//!
+//! let avg = Avg;
+//! let m = avg.state_of(&[35.0, 35.0, 100.0]);
+//! // Remove the 100° reading without re-reading the kept tuples:
+//! let m2 = avg.remove(&m, &avg.state_one(100.0));
+//! assert_eq!(avg.recover(&m2), 35.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod arithmetic;
+mod order;
+mod registry;
+mod spread;
+mod state;
+mod traits;
+
+pub use arithmetic::{Avg, Count, Sum};
+pub use order::{Max, Median, Min};
+pub use registry::{aggregate_by_name, registered_names};
+pub use spread::{StdDev, Variance};
+pub use state::{AggState, MAX_STATE};
+pub use traits::{AggProperties, Aggregate, IncrementalAggregate};

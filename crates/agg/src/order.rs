@@ -1,0 +1,116 @@
+//! MIN, MAX, and MEDIAN — aggregates that are **not** incrementally
+//! removable (§5.1: "it is not in general possible to re-compute MAX after
+//! removing an arbitrary subset of inputs without knowledge of the full
+//! dataset"). They exercise Scorpion's black-box code paths.
+
+use crate::traits::{AggProperties, Aggregate};
+
+/// `MAX(x)`. Black-box; anti-monotonic (`MAX.check(D) = True`, §5.3):
+/// removing tuples can never increase the maximum, so Δ of a contained
+/// predicate never exceeds Δ of its container. Empty bag → `0.0`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Max;
+
+impl Aggregate for Max {
+    fn name(&self) -> &'static str {
+        "max"
+    }
+
+    fn compute(&self, vals: &[f64]) -> f64 {
+        vals.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(
+            if vals.is_empty() { 0.0 } else { f64::NEG_INFINITY },
+        )
+    }
+
+    fn anti_monotonic_check(&self, _vals: &[f64]) -> bool {
+        true
+    }
+
+    fn properties(&self) -> AggProperties {
+        AggProperties { independent: false }
+    }
+}
+
+/// `MIN(x)`. Black-box. Empty bag → `0.0`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Min;
+
+impl Aggregate for Min {
+    fn name(&self) -> &'static str {
+        "min"
+    }
+
+    fn compute(&self, vals: &[f64]) -> f64 {
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+}
+
+/// `MEDIAN(x)` (lower median for even cardinalities). Black-box; the
+/// classic example of a non-incrementally-removable, non-independent
+/// aggregate. Empty bag → `0.0`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Median;
+
+impl Aggregate for Median {
+    fn name(&self) -> &'static str {
+        "median"
+    }
+
+    fn compute(&self, vals: &[f64]) -> f64 {
+        if vals.is_empty() {
+            return 0.0;
+        }
+        let mut v = vals.to_vec();
+        let mid = (v.len() - 1) / 2;
+        let (_, m, _) = v.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
+        *m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_and_min() {
+        assert_eq!(Max.compute(&[1.0, 9.0, -4.0]), 9.0);
+        assert_eq!(Min.compute(&[1.0, 9.0, -4.0]), -4.0);
+        assert_eq!(Max.compute(&[]), 0.0);
+        assert_eq!(Min.compute(&[]), 0.0);
+        assert_eq!(Max.compute(&[-7.0]), -7.0);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(Median.compute(&[5.0, 1.0, 3.0]), 3.0);
+        // Lower median of 4 elements.
+        assert_eq!(Median.compute(&[4.0, 1.0, 3.0, 2.0]), 2.0);
+        assert_eq!(Median.compute(&[]), 0.0);
+        assert_eq!(Median.compute(&[8.0]), 8.0);
+    }
+
+    #[test]
+    fn none_are_incrementally_removable() {
+        assert!(Max.incremental().is_none());
+        assert!(Min.incremental().is_none());
+        assert!(Median.incremental().is_none());
+    }
+
+    #[test]
+    fn max_is_anti_monotonic_min_median_are_not() {
+        assert!(Max.anti_monotonic_check(&[-1.0, 2.0]));
+        assert!(!Min.anti_monotonic_check(&[1.0]));
+        assert!(!Median.anti_monotonic_check(&[1.0]));
+    }
+
+    #[test]
+    fn none_are_independent() {
+        assert!(!Max.properties().independent);
+        assert!(!Min.properties().independent);
+        assert!(!Median.properties().independent);
+    }
+}

@@ -1,0 +1,76 @@
+//! Name-based aggregate lookup, mirroring how a query layer would resolve
+//! `SELECT stddev(temp) ...` to an operator implementation.
+
+use crate::arithmetic::{Avg, Count, Sum};
+use crate::order::{Max, Median, Min};
+use crate::spread::{StdDev, Variance};
+use crate::traits::Aggregate;
+use std::sync::Arc;
+
+/// Resolves an aggregate operator by (case-insensitive) name.
+///
+/// Recognized names: `sum`, `count`, `avg` (alias `mean`), `stddev`
+/// (alias `std`), `variance` (alias `var`), `min`, `max`, `median`.
+pub fn aggregate_by_name(name: &str) -> Option<Arc<dyn Aggregate>> {
+    let a: Arc<dyn Aggregate> = match name.to_ascii_lowercase().as_str() {
+        "sum" => Arc::new(Sum),
+        "count" => Arc::new(Count),
+        "avg" | "mean" => Arc::new(Avg),
+        "stddev" | "std" => Arc::new(StdDev),
+        "variance" | "var" => Arc::new(Variance),
+        "min" => Arc::new(Min),
+        "max" => Arc::new(Max),
+        "median" => Arc::new(Median),
+        _ => return None,
+    };
+    Some(a)
+}
+
+/// All registered aggregate names (canonical spellings).
+pub fn registered_names() -> &'static [&'static str] {
+    &["sum", "count", "avg", "stddev", "variance", "min", "max", "median"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_known_names() {
+        for name in registered_names() {
+            let agg = aggregate_by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(&agg.name(), name);
+        }
+    }
+
+    #[test]
+    fn aliases_and_case() {
+        assert_eq!(aggregate_by_name("AVG").unwrap().name(), "avg");
+        assert_eq!(aggregate_by_name("mean").unwrap().name(), "avg");
+        assert_eq!(aggregate_by_name("std").unwrap().name(), "stddev");
+        assert_eq!(aggregate_by_name("var").unwrap().name(), "variance");
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(aggregate_by_name("geomean").is_none());
+    }
+
+    #[test]
+    fn incremental_support_matches_paper_table() {
+        // §5.1: COUNT- and SUM-based arithmetic expressions are
+        // incrementally removable; MAX/MIN/MEDIAN are not.
+        for name in ["sum", "count", "avg", "stddev", "variance"] {
+            assert!(
+                aggregate_by_name(name).unwrap().incremental().is_some(),
+                "{name} should be incrementally removable"
+            );
+        }
+        for name in ["min", "max", "median"] {
+            assert!(
+                aggregate_by_name(name).unwrap().incremental().is_none(),
+                "{name} should not be incrementally removable"
+            );
+        }
+    }
+}

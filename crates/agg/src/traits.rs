@@ -1,0 +1,168 @@
+//! The aggregate-property framework (§5 of the paper).
+//!
+//! Scorpion works with arbitrary user-defined aggregates, but three
+//! declared properties unlock its efficient algorithms:
+//!
+//! 1. **Incrementally removable** (§5.1) — the aggregate decomposes into
+//!    `state` / `update` / `remove` / `recover`, so the result of deleting
+//!    a subset can be computed reading only the deleted tuples. Modeled by
+//!    [`IncrementalAggregate`].
+//! 2. **Independent** (§5.2) — input tuples influence the result
+//!    independently of one another, enabling the DT partitioner's
+//!    per-tuple-influence regression trees. Declared via
+//!    [`AggProperties::independent`].
+//! 3. **Anti-monotonic Δ** (§5.3) — a predicate's Δ bounds the Δ of every
+//!    contained predicate, enabling MC's pruning. Because the property may
+//!    be data-dependent (SUM requires non-negative inputs), it is declared
+//!    by the `check` function [`Aggregate::anti_monotonic_check`], exactly
+//!    as the paper prescribes.
+
+use crate::state::AggState;
+
+/// Statically declared properties of an aggregate operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub struct AggProperties {
+    /// §5.2: tuples influence the result independently. Set for
+    /// COUNT/SUM-based arithmetic aggregates (SUM, COUNT, AVG, STDDEV,
+    /// VARIANCE).
+    pub independent: bool,
+}
+
+
+/// A (possibly black-box) aggregate function over a bag of `f64` values.
+///
+/// `compute(&[])` must return the aggregate's *empty value*: `0` for
+/// SUM/COUNT-style aggregates and `NaN`-free neutral values elsewhere (we
+/// standardize on `0.0`, documented per implementation). The Scorer relies
+/// on this totalization when a predicate deletes an entire input group.
+pub trait Aggregate: Send + Sync {
+    /// Operator name (lower case, e.g. `"avg"`).
+    fn name(&self) -> &'static str;
+
+    /// Evaluates the aggregate over `vals`.
+    fn compute(&self, vals: &[f64]) -> f64;
+
+    /// Declared properties.
+    fn properties(&self) -> AggProperties {
+        AggProperties::default()
+    }
+
+    /// §5.3 `check(D)`: returns `true` when Δ is anti-monotonic over this
+    /// data (e.g. SUM over non-negative values). The default declares the
+    /// property absent.
+    fn anti_monotonic_check(&self, _vals: &[f64]) -> bool {
+        false
+    }
+
+    /// The incrementally removable decomposition, when the operator has
+    /// one. `None` forces black-box evaluation.
+    fn incremental(&self) -> Option<&dyn IncrementalAggregate> {
+        None
+    }
+}
+
+/// §5.1: the `state`/`update`/`remove`/`recover` decomposition.
+///
+/// All aggregates shipped with this crate have *additive* state algebras,
+/// so `update`, `remove`, and the `scale` extension have canonical
+/// componentwise default implementations; implementors only provide
+/// [`IncrementalAggregate::state_one`], the state arity, and
+/// [`IncrementalAggregate::recover`].
+pub trait IncrementalAggregate: Aggregate {
+    /// Number of components in this operator's state tuple.
+    fn state_len(&self) -> usize;
+
+    /// `state({v})`: the state of a single tuple.
+    fn state_one(&self, v: f64) -> AggState;
+
+    /// `state(D)`: the state summarizing `vals`.
+    fn state_of(&self, vals: &[f64]) -> AggState {
+        let mut acc = AggState::zero(self.state_len());
+        for &v in vals {
+            acc.accumulate(&self.state_one(v));
+        }
+        acc
+    }
+
+    /// `update(m₁, ..., mₙ)`: combines disjoint sub-states.
+    fn update(&self, states: &[AggState]) -> AggState {
+        let mut acc = AggState::zero(self.state_len());
+        for s in states {
+            acc.accumulate(s);
+        }
+        acc
+    }
+
+    /// `remove(m_D, m_S)`: the state of `D − S`.
+    fn remove(&self, d: &AggState, s: &AggState) -> AggState {
+        d.sub(s)
+    }
+
+    /// The state of `n` copies of the tuples `m` summarizes. Semantically
+    /// `update(m, ..., m)` with `n` operands (used by the Merger's
+    /// cached-tuple approximation, §6.3); `n` may be fractional because the
+    /// approximation estimates partial overlap contributions.
+    fn scale(&self, m: &AggState, n: f64) -> AggState {
+        m.scale(n)
+    }
+
+    /// `recover(m)`: the aggregate value summarized by `m`.
+    fn recover(&self, m: &AggState) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately black-box aggregate for exercising defaults.
+    struct Opaque;
+    impl Aggregate for Opaque {
+        fn name(&self) -> &'static str {
+            "opaque"
+        }
+        fn compute(&self, vals: &[f64]) -> f64 {
+            vals.iter().copied().fold(0.0, f64::max)
+        }
+    }
+
+    #[test]
+    fn default_properties_are_conservative() {
+        let a = Opaque;
+        assert!(!a.properties().independent);
+        assert!(!a.anti_monotonic_check(&[1.0]));
+        assert!(a.incremental().is_none());
+    }
+
+    #[test]
+    fn default_state_of_accumulates_state_one() {
+        struct Summish;
+        impl Aggregate for Summish {
+            fn name(&self) -> &'static str {
+                "summish"
+            }
+            fn compute(&self, vals: &[f64]) -> f64 {
+                vals.iter().sum()
+            }
+        }
+        impl IncrementalAggregate for Summish {
+            fn state_len(&self) -> usize {
+                1
+            }
+            fn state_one(&self, v: f64) -> AggState {
+                AggState::new(&[v])
+            }
+            fn recover(&self, m: &AggState) -> f64 {
+                m[0]
+            }
+        }
+        let s = Summish;
+        let st = s.state_of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.recover(&st), 6.0);
+        let merged = s.update(&[s.state_of(&[1.0]), s.state_of(&[2.0, 3.0])]);
+        assert_eq!(merged, st);
+        let removed = s.remove(&st, &s.state_of(&[2.0]));
+        assert_eq!(s.recover(&removed), 4.0);
+        assert_eq!(s.recover(&s.scale(&s.state_one(2.0), 3.0)), 6.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the aggregate state algebra (§5.1 laws).
+
+use proptest::prelude::*;
+use scorpion_agg::{aggregate_by_name, Aggregate, Sum};
+
+const INCREMENTAL: &[&str] = &["sum", "count", "avg", "stddev", "variance"];
+
+/// Absolute tolerance for comparing two evaluations of `name` over data
+/// whose magnitude is bounded by `scale`. STDDEV needs a wider band: the
+/// square root amplifies cancellation error without bound as the true
+/// deviation approaches zero (err_std ≈ sqrt(err_var)).
+fn tol(name: &str, scale: f64) -> f64 {
+    let scale = scale.max(1.0);
+    match name {
+        "stddev" => 1e-4 * scale,
+        _ => 1e-7 * scale,
+    }
+}
+
+proptest! {
+    /// `recover(remove(state(D), state(S))) == compute(D − S)` for every
+    /// incrementally removable aggregate and every subset S.
+    #[test]
+    fn incremental_remove_equals_blackbox(
+        data in prop::collection::vec(-1e6f64..1e6, 1..200),
+        mask in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let removed: Vec<f64> = data
+            .iter()
+            .zip(mask.iter().cycle())
+            .filter(|(_, &m)| m)
+            .map(|(&v, _)| v)
+            .collect();
+        let kept: Vec<f64> = data
+            .iter()
+            .zip(mask.iter().cycle())
+            .filter(|(_, &m)| !m)
+            .map(|(&v, _)| v)
+            .collect();
+        for name in INCREMENTAL {
+            let agg = aggregate_by_name(name).unwrap();
+            let inc = agg.incremental().unwrap();
+            let got = inc.recover(&inc.remove(&inc.state_of(&data), &inc.state_of(&removed)));
+            let want = agg.compute(&kept);
+            let scale = want.abs().max(data.iter().fold(0.0f64, |a, &b| a.max(b.abs())));
+            prop_assert!(
+                (got - want).abs() <= tol(name, scale),
+                "{name}: {got} != {want}"
+            );
+        }
+    }
+
+    /// `update` over any partition of D equals `state(D)` up to recover.
+    #[test]
+    fn update_is_partition_invariant(
+        data in prop::collection::vec(-1e3f64..1e3, 1..100),
+        split in 0usize..100,
+    ) {
+        let cut = split % data.len();
+        let (a, b) = data.split_at(cut);
+        for name in INCREMENTAL {
+            let agg = aggregate_by_name(name).unwrap();
+            let inc = agg.incremental().unwrap();
+            let merged = inc.update(&[inc.state_of(a), inc.state_of(b)]);
+            let direct = inc.state_of(&data);
+            let (got, want) = (inc.recover(&merged), inc.recover(&direct));
+            prop_assert!((got - want).abs() <= tol(name, 1e3), "{name}");
+        }
+    }
+
+    /// `scale(state_one(v), n)` recovers the same value as a bag of n
+    /// copies of v.
+    #[test]
+    fn scale_equals_replication(v in -1e3f64..1e3, n in 1usize..50) {
+        for name in INCREMENTAL {
+            let agg = aggregate_by_name(name).unwrap();
+            let inc = agg.incremental().unwrap();
+            let scaled = inc.scale(&inc.state_one(v), n as f64);
+            let copies = vec![v; n];
+            let got = inc.recover(&scaled);
+            let want = agg.compute(&copies);
+            prop_assert!((got - want).abs() <= tol(name, v.abs()), "{name}");
+        }
+    }
+
+    /// Δ-anti-monotonicity for SUM over non-negative data: removing a
+    /// *larger* subset produces a Δ at least as large (§5.3).
+    #[test]
+    fn sum_delta_anti_monotone_on_nonnegative(
+        data in prop::collection::vec(0.0f64..1e4, 1..100),
+        k in 0usize..100,
+    ) {
+        let k = k % data.len();
+        let total = Sum.compute(&data);
+        // Nested subsets: first k+1 elements contain first k elements.
+        let small: f64 = data[..k].iter().sum();
+        let large: f64 = data[..k + 1].iter().sum();
+        let delta_small = total - (total - small);
+        let delta_large = total - (total - large);
+        prop_assert!(delta_large + 1e-9 >= delta_small);
+    }
+
+    /// Black-box aggregates stay total on arbitrary inputs.
+    #[test]
+    fn order_aggregates_total(data in prop::collection::vec(-1e6f64..1e6, 0..50)) {
+        for name in ["min", "max", "median"] {
+            let agg = aggregate_by_name(name).unwrap();
+            let v = agg.compute(&data);
+            prop_assert!(v.is_finite());
+        }
+    }
+
+    /// Median is always an element of a non-empty input bag.
+    #[test]
+    fn median_is_witness(data in prop::collection::vec(-1e3f64..1e3, 1..50)) {
+        let agg = aggregate_by_name("median").unwrap();
+        let m = agg.compute(&data);
+        prop_assert!(data.contains(&m));
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 16 bench: DT cost per `c` with and without the §8.3.3 caches.
+//! The cached variant reuses the partitioning and warm-starts the Merger
+//! from a higher-`c` run; the uncached variant rebuilds everything.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scorpion_bench::{BenchSynth, BENCH_TUPLES_PER_GROUP};
+use scorpion_core::session::ScorpionSession;
+use scorpion_core::DtConfig;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16_caching");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
+    let fx = BenchSynth::easy(3, BENCH_TUPLES_PER_GROUP);
+    for c_param in [0.4f64, 0.2, 0.0] {
+        // Warm session: partitioning cached, Merger warm-started from a
+        // higher-c run.
+        let session =
+            ScorpionSession::new(fx.query(), 0.5, DtConfig::default(), None).expect("session");
+        session.run_with_c(0.5).expect("warm-up run");
+        g.bench_with_input(
+            BenchmarkId::new("cached", c_param),
+            &c_param,
+            |b, &cp| {
+                b.iter(|| session.run_with_c(cp).expect("cached run"));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("uncached", c_param),
+            &c_param,
+            |b, &cp| {
+                b.iter(|| {
+                    let cold = ScorpionSession::new(fx.query(), 0.5, DtConfig::default(), None)
+                        .expect("session");
+                    cold.run_with_c(cp).expect("uncached run")
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation: the §5.1 incrementally removable fast path vs black-box
+//! re-aggregation in the Scorer. The expected shape: the incremental
+//! path wins by a widening margin as predicates match fewer tuples (it
+//! reads only deleted tuples; the black-box path re-reads everything).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scorpion_bench::{BenchSynth, BENCH_TUPLES_PER_GROUP};
+use scorpion_table::{Clause, Predicate};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scorer_ablation");
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+    let fx = BenchSynth::easy(2, BENCH_TUPLES_PER_GROUP);
+    // Three selectivities: wide (half the domain), medium, narrow.
+    let preds: Vec<(&str, Predicate)> = vec![
+        ("wide", Predicate::conjunction([Clause::range(2, 0.0, 50.0)]).unwrap()),
+        ("medium", Predicate::conjunction([Clause::range(2, 40.0, 60.0)]).unwrap()),
+        (
+            "narrow",
+            Predicate::conjunction([
+                Clause::range(2, 48.0, 52.0),
+                Clause::range(3, 48.0, 52.0),
+            ])
+            .unwrap(),
+        ),
+    ];
+    for force_blackbox in [false, true] {
+        let scorer = fx.scorer(0.5, force_blackbox);
+        let label = if force_blackbox { "blackbox" } else { "incremental" };
+        for (sel, pred) in &preds {
+            g.bench_with_input(BenchmarkId::new(label, sel), pred, |b, p| {
+                b.iter(|| scorer.influence(p).expect("influence"));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,312 @@
+//! One-call entry point: label results, pick an algorithm, explain.
+
+use crate::config::{Algorithm, DtConfig, McConfig, NaiveConfig, ScorpionConfig};
+use crate::dt::DtPartitioner;
+use crate::error::{Result, ScorpionError};
+use crate::mc::mc_search;
+use crate::naive::naive_search;
+use crate::result::{Diagnostics, Explanation};
+use crate::scorer::{GroupSpec, Scorer};
+use scorpion_agg::Aggregate;
+use scorpion_table::{domains_of, Grouping, Table};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// A group-by aggregate query with user labels — the full input of the
+/// Influential Predicates problem (§3.3): the query (table + grouping +
+/// aggregate), the outlier set `O` with error vectors `V`, and the
+/// hold-out set `H`.
+pub struct LabeledQuery<'a> {
+    /// The input relation `D`.
+    pub table: &'a Table,
+    /// The query's grouping (which doubles as provenance, §4.1).
+    pub grouping: &'a Grouping,
+    /// The aggregate operator.
+    pub agg: &'a dyn Aggregate,
+    /// The aggregated attribute (`A_agg`).
+    pub agg_attr: usize,
+    /// Outlier results: `(result index, error-vector component)`.
+    pub outliers: Vec<(usize, f64)>,
+    /// Hold-out result indices.
+    pub holdouts: Vec<usize>,
+}
+
+impl<'a> LabeledQuery<'a> {
+    /// Validates the labels against the grouping.
+    pub fn validate(&self) -> Result<()> {
+        if self.outliers.is_empty() {
+            return Err(ScorpionError::NoOutliers);
+        }
+        let len = self.grouping.len();
+        let mut seen = HashSet::new();
+        for &(i, _) in &self.outliers {
+            if i >= len {
+                return Err(ScorpionError::BadLabel { index: i, len });
+            }
+            seen.insert(i);
+        }
+        for &i in &self.holdouts {
+            if i >= len {
+                return Err(ScorpionError::BadLabel { index: i, len });
+            }
+            if seen.contains(&i) {
+                return Err(ScorpionError::OverlappingLabels { index: i });
+            }
+        }
+        Ok(())
+    }
+
+    /// The explanation attributes `A_rest = A − A_gb − A_agg` (§3.1).
+    pub fn default_explain_attrs(&self) -> Vec<usize> {
+        (0..self.table.schema().len())
+            .filter(|a| *a != self.agg_attr && !self.grouping.group_attrs().contains(a))
+            .collect()
+    }
+
+    /// Builds a Scorer for these labels.
+    pub fn scorer(
+        &self,
+        params: crate::config::InfluenceParams,
+        force_blackbox: bool,
+    ) -> Result<Scorer<'a>> {
+        self.validate()?;
+        let outliers = self
+            .outliers
+            .iter()
+            .map(|&(i, e)| GroupSpec { rows: self.grouping.rows(i).to_vec(), error: e })
+            .collect();
+        let holdouts = self
+            .holdouts
+            .iter()
+            .map(|&i| GroupSpec { rows: self.grouping.rows(i).to_vec(), error: 1.0 })
+            .collect();
+        Scorer::new(self.table, self.agg, self.agg_attr, outliers, holdouts, params, force_blackbox)
+    }
+
+    /// Values of the aggregate attribute across all labeled groups,
+    /// used for the §5.3 `check(D)` anti-monotonicity test.
+    fn labeled_values(&self) -> Result<Vec<f64>> {
+        let vals = self.table.num(self.agg_attr)?;
+        let mut out = Vec::new();
+        for &(i, _) in &self.outliers {
+            out.extend(self.grouping.rows(i).iter().map(|&r| vals[r as usize]));
+        }
+        for &i in &self.holdouts {
+            out.extend(self.grouping.rows(i).iter().map(|&r| vals[r as usize]));
+        }
+        Ok(out)
+    }
+}
+
+/// Resolves `Algorithm::Auto` from the aggregate's §5 properties:
+/// independent + anti-monotonic (per `check(D)` on the labeled data) → MC;
+/// independent → DT; otherwise NAIVE.
+pub fn resolve_algorithm(q: &LabeledQuery<'_>, algo: &Algorithm) -> Result<Algorithm> {
+    match algo {
+        Algorithm::Auto => {
+            let independent = q.agg.properties().independent;
+            let anti = q.agg.anti_monotonic_check(&q.labeled_values()?);
+            Ok(if independent && anti {
+                Algorithm::BottomUp(McConfig::default())
+            } else if independent {
+                Algorithm::DecisionTree(DtConfig::default())
+            } else {
+                Algorithm::Naive(NaiveConfig::default())
+            })
+        }
+        other => Ok(other.clone()),
+    }
+}
+
+/// Solves the Influential Predicates problem for a labeled query.
+///
+/// Returns the ranked predicates (most influential first) and run
+/// diagnostics.
+pub fn explain(q: &LabeledQuery<'_>, cfg: &ScorpionConfig) -> Result<Explanation> {
+    q.validate()?;
+    let start = Instant::now();
+    let scorer = q.scorer(cfg.params, cfg.force_blackbox)?;
+    let mut attrs = match &cfg.explain_attrs {
+        Some(a) => a.clone(),
+        None => q.default_explain_attrs(),
+    };
+    if attrs.is_empty() {
+        return Err(ScorpionError::NoExplainAttributes);
+    }
+    if let Some(k) = cfg.max_explain_attrs {
+        if k < attrs.len() {
+            attrs = crate::features::select_attributes(&scorer, &attrs, k)?;
+        }
+    }
+    let domains = domains_of(q.table)?;
+    let algo = resolve_algorithm(q, &cfg.algorithm)?;
+
+    let mut diagnostics = Diagnostics::default();
+    let predicates = match &algo {
+        Algorithm::Naive(ncfg) => {
+            diagnostics.algorithm = "naive";
+            let out = naive_search(&scorer, &attrs, &domains, ncfg)?;
+            diagnostics.candidates = out.evaluated;
+            diagnostics.budget_exhausted = !out.completed;
+            vec![out.best]
+        }
+        Algorithm::DecisionTree(dcfg) => {
+            diagnostics.algorithm = "dt";
+            let dt = DtPartitioner::new(&scorer, attrs, domains, dcfg.clone());
+            let (merged, ddiag, _) = dt.run()?;
+            diagnostics.partitions = ddiag.partitions;
+            diagnostics.candidates = ddiag.partitions as u64;
+            merged
+        }
+        Algorithm::BottomUp(mcfg) => {
+            diagnostics.algorithm = "mc";
+            let (results, mdiag) = mc_search(&scorer, &attrs, &domains, mcfg)?;
+            diagnostics.partitions = mdiag.initial_units;
+            diagnostics.candidates = mdiag.scored;
+            results
+        }
+        Algorithm::Auto => unreachable!("resolved above"),
+    };
+    diagnostics.runtime = start.elapsed();
+    diagnostics.scorer_calls = scorer.scorer_calls();
+
+    let predicates = if predicates.is_empty() {
+        vec![crate::result::ScoredPredicate::new(scorpion_table::Predicate::all(), 0.0)]
+    } else {
+        predicates
+    };
+    Ok(Explanation { predicates, diagnostics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InfluenceParams;
+    use scorpion_agg::{Avg, Median, Sum};
+    use scorpion_table::{group_by, Field, Schema, TableBuilder, Value};
+
+    fn planted() -> (Table, Grouping) {
+        let schema = Schema::new(vec![
+            Field::disc("g"),
+            Field::cont("x"),
+            Field::cont("v"),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        for i in 0..200 {
+            let x = (i as f64 * 7.3) % 100.0;
+            let v = if (20.0..60.0).contains(&x) { 80.0 } else { 10.0 };
+            b.push_row(vec!["o".into(), Value::from(x), v.into()]).unwrap();
+            b.push_row(vec!["h".into(), Value::from(x), Value::from(10.0)]).unwrap();
+        }
+        let t = b.build();
+        let g = group_by(&t, &[0]).unwrap();
+        (t, g)
+    }
+
+    fn planted_query<'a>(
+        t: &'a Table,
+        g: &'a Grouping,
+        agg: &'a dyn Aggregate,
+    ) -> LabeledQuery<'a> {
+        LabeledQuery {
+            table: t,
+            grouping: g,
+            agg,
+            agg_attr: 2,
+            outliers: vec![(0, 1.0)],
+            holdouts: vec![1],
+        }
+    }
+
+    #[test]
+    fn auto_selects_mc_for_sum_on_nonnegative() {
+        let (t, g) = planted();
+        let q = planted_query(&t, &g, &Sum);
+        let algo = resolve_algorithm(&q, &Algorithm::Auto).unwrap();
+        assert!(matches!(algo, Algorithm::BottomUp(_)));
+    }
+
+    #[test]
+    fn auto_selects_dt_for_avg() {
+        let (t, g) = planted();
+        let q = planted_query(&t, &g, &Avg);
+        let algo = resolve_algorithm(&q, &Algorithm::Auto).unwrap();
+        assert!(matches!(algo, Algorithm::DecisionTree(_)));
+    }
+
+    #[test]
+    fn auto_selects_naive_for_median() {
+        let (t, g) = planted();
+        let q = planted_query(&t, &g, &Median);
+        let algo = resolve_algorithm(&q, &Algorithm::Auto).unwrap();
+        assert!(matches!(algo, Algorithm::Naive(_)));
+    }
+
+    #[test]
+    fn sum_with_negatives_falls_back_to_dt() {
+        let schema = Schema::new(vec![Field::disc("g"), Field::cont("v")]).unwrap();
+        let mut b = TableBuilder::new(schema);
+        b.push_row(vec!["a".into(), Value::from(-1.0)]).unwrap();
+        b.push_row(vec!["b".into(), Value::from(2.0)]).unwrap();
+        let t = b.build();
+        let g = group_by(&t, &[0]).unwrap();
+        let q = LabeledQuery {
+            table: &t,
+            grouping: &g,
+            agg: &Sum,
+            agg_attr: 1,
+            outliers: vec![(0, 1.0)],
+            holdouts: vec![1],
+        };
+        let algo = resolve_algorithm(&q, &Algorithm::Auto).unwrap();
+        assert!(matches!(algo, Algorithm::DecisionTree(_)));
+    }
+
+    #[test]
+    fn end_to_end_explain_finds_planted_range() {
+        let (t, g) = planted();
+        let q = planted_query(&t, &g, &Avg);
+        let cfg = ScorpionConfig {
+            params: InfluenceParams { lambda: 0.5, c: 0.2 },
+            ..ScorpionConfig::default()
+        };
+        let ex = explain(&q, &cfg).unwrap();
+        assert_eq!(ex.diagnostics.algorithm, "dt");
+        assert!(ex.diagnostics.scorer_calls > 0);
+        let clause = ex.best().predicate.clause(1).expect("x clause");
+        assert!(clause.matches_num(40.0));
+        assert!(!clause.matches_num(90.0));
+    }
+
+    #[test]
+    fn label_validation() {
+        let (t, g) = planted();
+        let mut q = planted_query(&t, &g, &Avg);
+        q.outliers = vec![(7, 1.0)];
+        assert!(matches!(
+            explain(&q, &ScorpionConfig::default()),
+            Err(ScorpionError::BadLabel { index: 7, .. })
+        ));
+        q.outliers = vec![(0, 1.0)];
+        q.holdouts = vec![0];
+        assert!(matches!(
+            explain(&q, &ScorpionConfig::default()),
+            Err(ScorpionError::OverlappingLabels { index: 0 })
+        ));
+        q.holdouts = vec![];
+        q.outliers = vec![];
+        assert!(matches!(
+            explain(&q, &ScorpionConfig::default()),
+            Err(ScorpionError::NoOutliers)
+        ));
+    }
+
+    #[test]
+    fn default_explain_attrs_exclude_roles() {
+        let (t, g) = planted();
+        let q = planted_query(&t, &g, &Avg);
+        // Attr 0 = group-by, attr 2 = aggregate → only attr 1 remains.
+        assert_eq!(q.default_explain_attrs(), vec![1]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Configuration for the Scorpion engine and its algorithms.
+
+use std::time::Duration;
+
+/// The influence knobs shared by every algorithm.
+///
+/// * `lambda` (§3.2): weight of outlier influence vs. hold-out penalty in
+///   `inf(O,H,p,V) = λ·avg_o inf(o,p,v_o) − (1−λ)·max_h |inf(h,p)|`.
+/// * `c` (§7): the denominator exponent in `inf = Δ/|p(g_o)|^c`. `c = 0`
+///   maximizes raw Δ regardless of how many tuples are deleted; larger `c`
+///   demands more selective predicates. The paper's basic definition is
+///   `c = 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InfluenceParams {
+    /// Hold-out importance trade-off, in `[0, 1]`.
+    pub lambda: f64,
+    /// Selectivity exponent, `>= 0`.
+    pub c: f64,
+}
+
+impl Default for InfluenceParams {
+    fn default() -> Self {
+        InfluenceParams { lambda: 0.5, c: 0.5 }
+    }
+}
+
+impl InfluenceParams {
+    /// Convenience constructor.
+    pub fn new(lambda: f64, c: f64) -> Self {
+        InfluenceParams { lambda, c }
+    }
+
+    /// Replaces `c`, keeping `lambda`.
+    #[must_use]
+    pub fn with_c(self, c: f64) -> Self {
+        InfluenceParams { c, ..self }
+    }
+}
+
+/// Configuration of the NAIVE exhaustive partitioner (§4.2, §8.2).
+#[derive(Debug, Clone)]
+pub struct NaiveConfig {
+    /// Number of equi-width bins per continuous attribute (paper: 15).
+    pub n_bins: usize,
+    /// Maximum number of clauses per predicate (defaults to all attributes
+    /// when 0).
+    pub max_clauses: usize,
+    /// Maximum cardinality of a discrete clause's value set.
+    pub max_discrete_subset: usize,
+    /// Cap on the distinct values considered per discrete attribute
+    /// (values are drawn from the outlier input groups).
+    pub max_discrete_values: usize,
+    /// Anytime budget: the search stops after this much wall-clock time
+    /// and returns the best predicate so far (the paper ran NAIVE for up
+    /// to 40 minutes).
+    pub time_budget: Option<Duration>,
+    /// Record the best-so-far trace (Figure 11) at every improvement.
+    pub keep_trace: bool,
+}
+
+impl Default for NaiveConfig {
+    fn default() -> Self {
+        NaiveConfig {
+            n_bins: 15,
+            max_clauses: 0,
+            max_discrete_subset: 3,
+            max_discrete_values: 64,
+            time_budget: Some(Duration::from_secs(60)),
+            keep_trace: false,
+        }
+    }
+}
+
+/// Configuration of the influence-weighted sampling inside DT (§6.1.2).
+#[derive(Debug, Clone, Copy)]
+pub struct SamplingConfig {
+    /// `ε`: the assumed fraction of the dataset occupied by an influential
+    /// cluster; drives the initial uniform sampling rate
+    /// `min{ sr | 1 − (1−ε)^(sr·|D|) ≥ 0.95 }`.
+    pub epsilon: f64,
+    /// Groups smaller than this are never sampled.
+    pub min_rows_to_sample: usize,
+    /// Sampling-rate floor applied after stratified reweighting.
+    pub min_rate: f64,
+    /// RNG seed (sampling is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig { epsilon: 0.01, min_rows_to_sample: 4000, min_rate: 0.05, seed: 0x5C09 }
+    }
+}
+
+/// Configuration of the DT (decision-tree) partitioner (§6.1).
+#[derive(Debug, Clone)]
+pub struct DtConfig {
+    /// Minimum multiplicative error threshold `τ_min` (§6.1.1).
+    pub tau_min: f64,
+    /// Maximum multiplicative error threshold `τ_max` (§6.1.1).
+    pub tau_max: f64,
+    /// Inflection point `p` of the threshold curve (paper: 0.5).
+    pub inflection: f64,
+    /// Do not split partitions with fewer sampled tuples than this.
+    pub min_partition_size: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Number of candidate split points per continuous attribute
+    /// (quantiles of the partition's sample).
+    pub n_split_candidates: usize,
+    /// Maximum number of prefix splits tried on a discrete attribute.
+    pub max_discrete_splits: usize,
+    /// §6.1.2 sampling; `None` disables it.
+    pub sampling: Option<SamplingConfig>,
+    /// Guard on the number of pieces one outlier partition may be carved
+    /// into when combining with hold-out partitions (§6.1.4).
+    pub max_carve_pieces: usize,
+    /// Budget on leaves per tree side. Noisy (Hard) data keeps per-tuple
+    /// influence variance above the stopping threshold, which would grow
+    /// trees to the depth limit (§8.3.2 observes exactly this); once the
+    /// budget is reached, remaining nodes become leaves as-is.
+    pub max_leaves: usize,
+    /// Overall cap on combined partitions handed to the Merger (its
+    /// expansion scan is quadratic in the input size).
+    pub max_partitions: usize,
+    /// Merger settings for the DT pipeline.
+    pub merger: MergerConfig,
+}
+
+impl Default for DtConfig {
+    fn default() -> Self {
+        DtConfig {
+            tau_min: 0.025,
+            tau_max: 0.2,
+            inflection: 0.5,
+            min_partition_size: 16,
+            max_depth: 12,
+            n_split_candidates: 16,
+            max_discrete_splits: 16,
+            sampling: Some(SamplingConfig::default()),
+            max_carve_pieces: 64,
+            max_leaves: 512,
+            max_partitions: 1024,
+            merger: MergerConfig { use_cached_tuples: true, ..MergerConfig::default() },
+        }
+    }
+}
+
+/// Configuration of the MC (bottom-up) partitioner (§6.2).
+#[derive(Debug, Clone)]
+pub struct McConfig {
+    /// Number of equi-width bins per continuous attribute (paper: 15).
+    pub n_bins: usize,
+    /// Cap on the distinct values considered per discrete attribute
+    /// (values are drawn from the outlier input groups; values absent from
+    /// every outlier group have non-positive influence and are pruned
+    /// immediately by any positive `best`).
+    pub max_discrete_values: usize,
+    /// Cap on candidates carried between levels (kept by outlier-only
+    /// influence); prevents worst-case blowup on hard data.
+    pub max_candidates_per_level: usize,
+    /// Maximum predicate dimensionality (defaults to all attributes
+    /// when 0).
+    pub max_dims: usize,
+    /// Disable the §6.2 pruning rules (ablation only).
+    pub disable_pruning: bool,
+    /// Merger settings for the MC pipeline (exact scoring; the
+    /// cached-tuple approximation is a DT-specific optimization).
+    pub merger: MergerConfig,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            n_bins: 15,
+            max_discrete_values: 256,
+            max_candidates_per_level: 4096,
+            max_dims: 0,
+            disable_pruning: false,
+            merger: MergerConfig {
+                use_cached_tuples: false,
+                require_same_attrs: true,
+                ..MergerConfig::default()
+            },
+        }
+    }
+}
+
+/// Configuration of the Merger (§4.3, §6.3).
+#[derive(Debug, Clone)]
+pub struct MergerConfig {
+    /// §6.3 optimization 1: only expand seeds whose influence is in the
+    /// top quartile of the input ranking.
+    pub top_quartile_only: bool,
+    /// §6.3 optimization 2: estimate merged influence from cached
+    /// partition statistics instead of calling the Scorer (requires an
+    /// incrementally removable aggregate and partition stats).
+    pub use_cached_tuples: bool,
+    /// Adjacency tolerance as a fraction of each attribute's domain span.
+    pub adjacency_eps: f64,
+    /// Only merge predicates constraining the same attribute set. MC sets
+    /// this: in the subspace-clustering frame (§6.2), adjacent units live
+    /// in the same subspace, and cross-subspace hulls would degenerate to
+    /// unconstrained predicates; dimensionality grows only by
+    /// intersection.
+    pub require_same_attrs: bool,
+    /// Maximum number of merge steps per seed.
+    pub max_expansions: usize,
+    /// Number of top results re-scored exactly and returned.
+    pub max_results: usize,
+}
+
+impl Default for MergerConfig {
+    fn default() -> Self {
+        MergerConfig {
+            top_quartile_only: true,
+            use_cached_tuples: false,
+            adjacency_eps: 1e-6,
+            require_same_attrs: false,
+            max_expansions: 64,
+            max_results: 16,
+        }
+    }
+}
+
+/// Which partitioning algorithm to run.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub enum Algorithm {
+    /// Choose automatically from the aggregate's declared properties
+    /// (§5): independent + anti-monotonic → MC; independent → DT;
+    /// otherwise NAIVE.
+    #[default]
+    Auto,
+    /// Exhaustive anytime search (§4.2).
+    Naive(NaiveConfig),
+    /// Top-down regression-tree partitioning (§6.1).
+    DecisionTree(DtConfig),
+    /// Bottom-up subspace search (§6.2).
+    BottomUp(McConfig),
+}
+
+
+/// Top-level engine configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ScorpionConfig {
+    /// Influence knobs (λ and c).
+    pub params: InfluenceParams,
+    /// Algorithm selection.
+    pub algorithm: Algorithm,
+    /// Attributes over which explanations are built (`A_rest`). `None`
+    /// selects every attribute not used by the group-by or the aggregate.
+    pub explain_attrs: Option<Vec<usize>>,
+    /// Force black-box aggregate evaluation even when an incremental
+    /// decomposition exists (ablation).
+    pub force_blackbox: bool,
+    /// §6.4 dimensionality reduction: keep only the `k` attributes most
+    /// associated with the influence signal before searching. `None`
+    /// keeps all explanation attributes.
+    pub max_explain_attrs: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_papers() {
+        let n = NaiveConfig::default();
+        assert_eq!(n.n_bins, 15);
+        let m = McConfig::default();
+        assert_eq!(m.n_bins, 15);
+        let d = DtConfig::default();
+        assert!(d.tau_min < d.tau_max);
+        assert_eq!(d.inflection, 0.5);
+        let p = InfluenceParams::default();
+        assert_eq!(p.lambda, 0.5);
+    }
+
+    #[test]
+    fn with_c_preserves_lambda() {
+        let p = InfluenceParams::new(0.7, 0.3).with_c(0.9);
+        assert_eq!(p.lambda, 0.7);
+        assert_eq!(p.c, 0.9);
+    }
+
+    #[test]
+    fn merger_defaults_differ_by_pipeline() {
+        assert!(DtConfig::default().merger.use_cached_tuples);
+        assert!(!McConfig::default().merger.use_cached_tuples);
+    }
+}

@@ -1,0 +1,138 @@
+//! The DT stopping-threshold curve (§6.1.1, Figure 4).
+//!
+//! A partition stops splitting when the spread of its tuples' influences
+//! falls below a threshold that *depends on how influential the partition
+//! is*: partitions containing influential tuples must be accurate (low
+//! threshold τ_min·range), while non-influential partitions may stay
+//! coarse (high threshold τ_max·range).
+//!
+//! The formula printed in the paper produces a negative threshold for
+//! non-influential partitions, contradicting both its surrounding text
+//! ("the error metric threshold can be **relaxed** for partitions that
+//! don't contain any influential tuples") and Figure 4's plotted curve.
+//! We implement the curve of Figure 4: flat at `τ_max` until the
+//! inflection point `p`, then decreasing linearly to `τ_min` as
+//! `inf_max → inf_u`. See DESIGN.md ("Paper-typo interpretations").
+
+/// The threshold curve `ω(inf_max)`, bound to the influence bounds of one
+/// dataset side.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdCurve {
+    /// Minimum multiplicative threshold `τ_min`.
+    pub tau_min: f64,
+    /// Maximum multiplicative threshold `τ_max`.
+    pub tau_max: f64,
+    /// Inflection point `p ∈ (0, 1)` (paper: 0.5).
+    pub inflection: f64,
+    /// Lower bound of influence values in the dataset (`inf_l`).
+    pub inf_l: f64,
+    /// Upper bound of influence values in the dataset (`inf_u`).
+    pub inf_u: f64,
+}
+
+impl ThresholdCurve {
+    /// Builds the curve from per-side influence bounds.
+    pub fn new(tau_min: f64, tau_max: f64, inflection: f64, inf_l: f64, inf_u: f64) -> Self {
+        ThresholdCurve { tau_min, tau_max, inflection, inf_l, inf_u }
+    }
+
+    /// The multiplicative error `ω(inf_max)`, clamped to
+    /// `[τ_min, τ_max]`.
+    pub fn omega(&self, inf_max: f64) -> f64 {
+        let range = self.inf_u - self.inf_l;
+        if range <= 0.0 {
+            // Degenerate side: a single influence level — any partition is
+            // already perfectly homogeneous.
+            return self.tau_max;
+        }
+        // Slope of the decreasing segment: covers τ_max → τ_min over the
+        // top (1 − p) fraction of the influence range.
+        let s = (self.tau_max - self.tau_min) / ((1.0 - self.inflection) * range);
+        (self.tau_min + s * (self.inf_u - inf_max)).clamp(self.tau_min, self.tau_max)
+    }
+
+    /// The absolute stopping threshold
+    /// `threshold = ω(inf_max) · (inf_u − inf_l)`: a partition whose
+    /// influence spread (standard deviation) is below this value becomes a
+    /// leaf.
+    pub fn threshold(&self, inf_max: f64) -> f64 {
+        self.omega(inf_max) * (self.inf_u - self.inf_l)
+    }
+
+    /// Samples the curve at `n` evenly spaced `inf_max` values — used by
+    /// the Figure 4 regeneration harness.
+    pub fn sample(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2);
+        (0..n)
+            .map(|i| {
+                let x = self.inf_l
+                    + (self.inf_u - self.inf_l) * (i as f64 / (n - 1) as f64);
+                (x, self.omega(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> ThresholdCurve {
+        ThresholdCurve::new(0.05, 0.25, 0.5, 0.0, 100.0)
+    }
+
+    #[test]
+    fn endpoints_match_figure4() {
+        let c = curve();
+        // At the top of the influence range the threshold is tightest.
+        assert!((c.omega(100.0) - 0.05).abs() < 1e-12);
+        // Below the inflection point it saturates at τ_max.
+        assert!((c.omega(0.0) - 0.25).abs() < 1e-12);
+        assert!((c.omega(50.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotonically_nonincreasing_in_inf_max() {
+        let c = curve();
+        let samples = c.sample(101);
+        for w in samples.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-12, "{w:?}");
+        }
+        assert_eq!(samples.len(), 101);
+        assert_eq!(samples[0].0, 0.0);
+        assert_eq!(samples[100].0, 100.0);
+    }
+
+    #[test]
+    fn inflection_point_location() {
+        let c = curve();
+        // Just above the inflection (inf_max = 50), ω starts decreasing.
+        assert!(c.omega(51.0) < c.tau_max);
+        assert!(c.omega(49.0) >= c.tau_max - 1e-12);
+        // Midway through the decreasing segment: ω = (τ_min + τ_max)/2.
+        assert!((c.omega(75.0) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_scales_with_range() {
+        let c = curve();
+        assert!((c.threshold(100.0) - 0.05 * 100.0).abs() < 1e-9);
+        assert!((c.threshold(0.0) - 0.25 * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_range_is_total() {
+        let c = ThresholdCurve::new(0.05, 0.25, 0.5, 3.0, 3.0);
+        assert_eq!(c.omega(3.0), 0.25);
+        assert_eq!(c.threshold(3.0), 0.0);
+    }
+
+    #[test]
+    fn negative_influence_bounds() {
+        // Hold-out sides can have all-negative influence values.
+        let c = ThresholdCurve::new(0.05, 0.25, 0.5, -10.0, -2.0);
+        assert!((c.omega(-2.0) - 0.05).abs() < 1e-12);
+        assert!((c.omega(-10.0) - 0.25).abs() < 1e-12);
+        assert!(c.threshold(-2.0) > 0.0);
+    }
+}

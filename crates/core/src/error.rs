@@ -1,0 +1,92 @@
+//! Error type for the Scorpion engine.
+
+use std::fmt;
+
+/// Errors produced by the Scorpion engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScorpionError {
+    /// Propagated from the relational substrate.
+    Table(scorpion_table::TableError),
+    /// The request labeled no outlier results.
+    NoOutliers,
+    /// An outlier/hold-out label referenced a result index that the
+    /// grouping does not contain.
+    BadLabel {
+        /// Offending result index.
+        index: usize,
+        /// Number of results in the grouping.
+        len: usize,
+    },
+    /// The same result was labeled both outlier and hold-out
+    /// (`H ∩ O = ∅` in the problem statement).
+    OverlappingLabels {
+        /// The doubly-labeled result index.
+        index: usize,
+    },
+    /// A configuration value is out of range.
+    BadConfig(&'static str),
+    /// The chosen algorithm's prerequisites (§5 properties) are not met.
+    UnsupportedAggregate {
+        /// Algorithm that was requested.
+        algorithm: &'static str,
+        /// What is missing.
+        requires: &'static str,
+    },
+    /// No explanation attributes remain after removing group-by and
+    /// aggregate attributes.
+    NoExplainAttributes,
+}
+
+impl fmt::Display for ScorpionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScorpionError::Table(e) => write!(f, "table error: {e}"),
+            ScorpionError::NoOutliers => write!(f, "at least one outlier result must be labeled"),
+            ScorpionError::BadLabel { index, len } => {
+                write!(f, "label references result {index}, but the query produced {len} results")
+            }
+            ScorpionError::OverlappingLabels { index } => {
+                write!(f, "result {index} labeled both outlier and hold-out")
+            }
+            ScorpionError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            ScorpionError::UnsupportedAggregate { algorithm, requires } => {
+                write!(f, "{algorithm} requires {requires}")
+            }
+            ScorpionError::NoExplainAttributes => {
+                write!(f, "no attributes available to build explanations over")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScorpionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScorpionError::Table(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<scorpion_table::TableError> for ScorpionError {
+    fn from(e: scorpion_table::TableError) -> Self {
+        ScorpionError::Table(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ScorpionError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ScorpionError::BadLabel { index: 9, len: 3 };
+        assert!(e.to_string().contains('9'));
+        let t: ScorpionError = scorpion_table::TableError::Empty("table").into();
+        assert!(std::error::Error::source(&t).is_some());
+        assert!(std::error::Error::source(&ScorpionError::NoOutliers).is_none());
+    }
+}

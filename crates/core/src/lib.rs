@@ -1,0 +1,44 @@
+//! # scorpion-core
+//!
+//! The Scorpion engine (Wu & Madden, VLDB 2013): given a group-by
+//! aggregate query, user-labeled outlier and hold-out results, and error
+//! vectors, find the predicate over the non-aggregate attributes with
+//! maximum *influence* — the predicate whose deletion best "explains away"
+//! the outliers (§3).
+//!
+//! Components, mirroring the paper's architecture (Figure 2):
+//!
+//! * [`Scorer`] — influence evaluation, with the §5.1 incremental fast
+//!   path.
+//! * Partitioners — [`naive::naive_search`] (§4.2),
+//!   [`dt::DtPartitioner`] (§6.1), [`mc::mc_search`] (§6.2).
+//! * [`merger::Merger`] — greedy bounding-box merging with the §6.3
+//!   optimizations.
+//! * [`session::ScorpionSession`] — cross-`c` caching (§8.3.3).
+//! * [`explain`] — the one-call entry point with automatic algorithm
+//!   selection from the aggregate's §5 properties.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod config;
+pub mod dt;
+mod error;
+pub mod features;
+pub mod mc;
+pub mod merger;
+pub mod naive;
+pub mod prepared;
+mod result;
+mod scorer;
+pub mod session;
+
+pub use api::{explain, LabeledQuery};
+pub use config::{
+    Algorithm, DtConfig, InfluenceParams, McConfig, MergerConfig, NaiveConfig, SamplingConfig,
+    ScorpionConfig,
+};
+pub use error::{Result, ScorpionError};
+pub use prepared::PreparedQuery;
+pub use result::{Diagnostics, Explanation, GroupStat, PartitionStats, ScoredPredicate};
+pub use scorer::{GroupSpec, Scorer};

@@ -1,0 +1,704 @@
+//! The Scorer (§4.1): evaluates the influence of candidate predicates.
+//!
+//! The Scorer is the shared cost center of every partitioning algorithm.
+//! For black-box aggregates it re-runs the aggregate over the tuples that
+//! survive the predicate; for incrementally removable aggregates (§5.1) it
+//! caches each input group's full state once and evaluates `Δ` by reading
+//! only the *deleted* tuples:
+//!
+//! `Δ(p) = recover(m_D) − recover(remove(m_D, state(p(g))))`.
+
+use crate::config::InfluenceParams;
+use crate::error::{Result, ScorpionError};
+use scorpion_agg::{AggState, Aggregate, IncrementalAggregate};
+use scorpion_table::{Predicate, PredicateMatcher, Table};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// One labeled result: the rows of its input group and, for outliers, the
+/// user's error-vector component `v_o` (+1 = "too high", −1 = "too low";
+/// any magnitude is accepted and treated as a weight).
+#[derive(Debug, Clone)]
+pub struct GroupSpec {
+    /// Row ids of the input group `g_o` (provenance of the result).
+    pub rows: Vec<u32>,
+    /// Error-vector component. Ignored for hold-out groups.
+    pub error: f64,
+}
+
+/// A labeled group prepared for scoring.
+pub(crate) struct GroupCtx {
+    /// Row ids of the input group.
+    pub rows: Vec<u32>,
+    /// Aggregate-attribute values aligned with `rows`.
+    pub values: Vec<f64>,
+    /// Error-vector component (`1.0` for hold-outs).
+    pub error: f64,
+    /// `agg(g)` over the full group.
+    pub full_value: f64,
+    /// `state(g)` when the aggregate is incrementally removable.
+    pub full_state: Option<AggState>,
+    /// Lazily computed per-tuple deltas `Δ(t) = agg(g) − agg(g − {t})`,
+    /// aligned with `rows`.
+    tuple_deltas: OnceLock<Vec<f64>>,
+}
+
+/// Influence evaluator bound to one labeled query.
+pub struct Scorer<'a> {
+    table: &'a Table,
+    agg: &'a dyn Aggregate,
+    inc: Option<&'a dyn IncrementalAggregate>,
+    agg_attr: usize,
+    outliers: Vec<GroupCtx>,
+    holdouts: Vec<GroupCtx>,
+    params: InfluenceParams,
+    calls: AtomicU64,
+}
+
+impl<'a> Scorer<'a> {
+    /// Builds a Scorer.
+    ///
+    /// `force_blackbox` disables the incremental fast path even when the
+    /// aggregate supports it (used by the Scorer ablation benchmarks).
+    pub fn new(
+        table: &'a Table,
+        agg: &'a dyn Aggregate,
+        agg_attr: usize,
+        outliers: Vec<GroupSpec>,
+        holdouts: Vec<GroupSpec>,
+        params: InfluenceParams,
+        force_blackbox: bool,
+    ) -> Result<Self> {
+        if outliers.is_empty() {
+            return Err(ScorpionError::NoOutliers);
+        }
+        if !(0.0..=1.0).contains(&params.lambda) {
+            return Err(ScorpionError::BadConfig("lambda must be in [0, 1]"));
+        }
+        if params.c < 0.0 {
+            return Err(ScorpionError::BadConfig("c must be non-negative"));
+        }
+        let inc = if force_blackbox { None } else { agg.incremental() };
+        let vals = table.num(agg_attr)?;
+        let build = |spec: GroupSpec, default_error: Option<f64>| -> GroupCtx {
+            let values: Vec<f64> = spec.rows.iter().map(|&r| vals[r as usize]).collect();
+            let full_state = inc.map(|i| i.state_of(&values));
+            let full_value = match (&full_state, inc) {
+                (Some(s), Some(i)) => i.recover(s),
+                _ => agg.compute(&values),
+            };
+            GroupCtx {
+                rows: spec.rows,
+                values,
+                error: default_error.unwrap_or(spec.error),
+                full_value,
+                full_state,
+                tuple_deltas: OnceLock::new(),
+            }
+        };
+        Ok(Scorer {
+            table,
+            agg,
+            inc,
+            agg_attr,
+            outliers: outliers.into_iter().map(|s| build(s, None)).collect(),
+            holdouts: holdouts.into_iter().map(|s| build(s, Some(1.0))).collect(),
+            params,
+            calls: AtomicU64::new(0),
+        })
+    }
+
+    /// The table this Scorer evaluates against.
+    pub fn table(&self) -> &'a Table {
+        self.table
+    }
+
+    /// The aggregate attribute index.
+    pub fn agg_attr(&self) -> usize {
+        self.agg_attr
+    }
+
+    /// The influence parameters in force.
+    pub fn params(&self) -> InfluenceParams {
+        self.params
+    }
+
+    /// Returns a Scorer identical to this one but with different
+    /// influence parameters. Cached group states are rebuilt cheaply.
+    pub fn with_params(&self, params: InfluenceParams) -> Result<Scorer<'a>> {
+        Scorer::new(
+            self.table,
+            self.agg,
+            self.agg_attr,
+            self.outliers.iter().map(|g| GroupSpec { rows: g.rows.clone(), error: g.error }).collect(),
+            self.holdouts.iter().map(|g| GroupSpec { rows: g.rows.clone(), error: g.error }).collect(),
+            params,
+            self.inc.is_none() && self.agg.incremental().is_some(),
+        )
+    }
+
+    /// True when the incremental (§5.1) fast path is active.
+    pub fn is_incremental(&self) -> bool {
+        self.inc.is_some()
+    }
+
+    /// Number of outlier groups.
+    pub fn n_outliers(&self) -> usize {
+        self.outliers.len()
+    }
+
+    /// Number of hold-out groups.
+    pub fn n_holdouts(&self) -> usize {
+        self.holdouts.len()
+    }
+
+    /// Row ids of outlier group `g`.
+    pub fn outlier_rows(&self, g: usize) -> &[u32] {
+        &self.outliers[g].rows
+    }
+
+    /// Row ids of hold-out group `g`.
+    pub fn holdout_rows(&self, g: usize) -> &[u32] {
+        &self.holdouts[g].rows
+    }
+
+    /// Aggregate-attribute values of outlier group `g` (aligned with
+    /// [`Scorer::outlier_rows`]).
+    pub fn outlier_values(&self, g: usize) -> &[f64] {
+        &self.outliers[g].values
+    }
+
+    /// Aggregate-attribute values of hold-out group `g`.
+    pub fn holdout_values(&self, g: usize) -> &[f64] {
+        &self.holdouts[g].values
+    }
+
+    /// The error-vector component of outlier group `g`.
+    pub fn outlier_error(&self, g: usize) -> f64 {
+        self.outliers[g].error
+    }
+
+    /// Number of influence evaluations performed so far.
+    pub fn scorer_calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// `Δ` and match count of `p` over one group.
+    fn delta_ctx(&self, ctx: &GroupCtx, m: &PredicateMatcher) -> (f64, usize) {
+        match (self.inc, &ctx.full_state) {
+            (Some(inc), Some(full)) => {
+                let mut sub = AggState::zero(inc.state_len());
+                let mut n = 0usize;
+                for (i, &row) in ctx.rows.iter().enumerate() {
+                    if m.matches(row) {
+                        sub.accumulate(&inc.state_one(ctx.values[i]));
+                        n += 1;
+                    }
+                }
+                if n == 0 {
+                    return (0.0, 0);
+                }
+                (ctx.full_value - inc.recover(&inc.remove(full, &sub)), n)
+            }
+            _ => {
+                let mut kept = Vec::with_capacity(ctx.rows.len());
+                for (i, &row) in ctx.rows.iter().enumerate() {
+                    if !m.matches(row) {
+                        kept.push(ctx.values[i]);
+                    }
+                }
+                let n = ctx.rows.len() - kept.len();
+                if n == 0 {
+                    return (0.0, 0);
+                }
+                (ctx.full_value - self.agg.compute(&kept), n)
+            }
+        }
+    }
+
+    /// `inf = v · Δ / n^c`, with the empty selection defined as zero.
+    #[inline]
+    fn inf_from_delta(&self, delta: f64, n: usize, error: f64) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            error * delta / (n as f64).powf(self.params.c)
+        }
+    }
+
+    /// Full influence `inf(O, H, p, V)` (§3.2):
+    /// `λ·(1/|O|)·Σ_o inf(o,p,v_o) − (1−λ)·max_h |inf(h,p)|`.
+    pub fn influence(&self, p: &Predicate) -> Result<f64> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        let m = p.matcher(self.table)?;
+        Ok(self.influence_with(&m))
+    }
+
+    fn influence_with(&self, m: &PredicateMatcher) -> f64 {
+        let out = self.outlier_term(m);
+        let hold = self.holdout_term(m);
+        self.params.lambda * out - (1.0 - self.params.lambda) * hold
+    }
+
+    fn outlier_term(&self, m: &PredicateMatcher) -> f64 {
+        let mut sum = 0.0;
+        for ctx in &self.outliers {
+            let (d, n) = self.delta_ctx(ctx, m);
+            sum += self.inf_from_delta(d, n, ctx.error);
+        }
+        sum / self.outliers.len() as f64
+    }
+
+    fn holdout_term(&self, m: &PredicateMatcher) -> f64 {
+        let mut max = 0.0f64;
+        for ctx in &self.holdouts {
+            let (d, n) = self.delta_ctx(ctx, m);
+            max = max.max(self.inf_from_delta(d, n, 1.0).abs());
+        }
+        max
+    }
+
+    /// Hold-out-free influence `inf(O, ∅, p, V)` — MC's conservative
+    /// pruning estimate (§6.2, Figure 6a).
+    pub fn influence_outliers_only(&self, p: &Predicate) -> Result<f64> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        let m = p.matcher(self.table)?;
+        Ok(self.params.lambda * self.outlier_term(&m))
+    }
+
+    /// Per-tuple deltas of outlier group `g`, aligned with its rows.
+    pub fn outlier_tuple_deltas(&self, g: usize) -> &[f64] {
+        self.tuple_deltas_of(&self.outliers[g])
+    }
+
+    /// Per-tuple deltas of hold-out group `g`, aligned with its rows.
+    pub fn holdout_tuple_deltas(&self, g: usize) -> &[f64] {
+        self.tuple_deltas_of(&self.holdouts[g])
+    }
+
+    /// Per-tuple *influences* of outlier group `g`: `v_o · Δ(t)`
+    /// (`|p({t})| = 1`, so the `c` exponent is irrelevant — single-tuple
+    /// influence is `c`-agnostic, which is what makes DT partitioning
+    /// cacheable across `c`, §8.3.3).
+    pub fn outlier_tuple_influences(&self, g: usize) -> Vec<f64> {
+        let e = self.outliers[g].error;
+        self.outlier_tuple_deltas(g).iter().map(|d| d * e).collect()
+    }
+
+    /// Per-tuple influence magnitudes of hold-out group `g`: `|Δ(t)|`.
+    pub fn holdout_tuple_influences(&self, g: usize) -> Vec<f64> {
+        self.holdout_tuple_deltas(g).iter().map(|d| d.abs()).collect()
+    }
+
+    fn tuple_deltas_of<'s>(&'s self, ctx: &'s GroupCtx) -> &'s [f64] {
+        ctx.tuple_deltas.get_or_init(|| match (self.inc, &ctx.full_state) {
+            (Some(inc), Some(full)) => ctx
+                .values
+                .iter()
+                .map(|&v| ctx.full_value - inc.recover(&inc.remove(full, &inc.state_one(v))))
+                .collect(),
+            _ => {
+                // Black-box: leave-one-out recomputation, O(n²).
+                let mut kept = Vec::with_capacity(ctx.values.len().saturating_sub(1));
+                ctx.values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| {
+                        kept.clear();
+                        kept.extend(
+                            ctx.values.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &v)| v),
+                        );
+                        ctx.full_value - self.agg.compute(&kept)
+                    })
+                    .collect()
+            }
+        })
+    }
+
+    /// The maximum single-tuple influence among the outlier tuples matched
+    /// by `p` — MC's anti-monotonicity escape hatch (§6.2): with `c = 1`,
+    /// `inf(s) = mean_{t∈s} v·Δ(t)`, so no sub-predicate of `p` can exceed
+    /// `max_{t∈p(g_O)} inf(t)`.
+    pub fn max_tuple_influence(&self, p: &Predicate) -> Result<f64> {
+        let m = p.matcher(self.table)?;
+        let mut best = f64::NEG_INFINITY;
+        for (g, ctx) in self.outliers.iter().enumerate() {
+            let deltas = self.outlier_tuple_deltas(g);
+            for (i, &row) in ctx.rows.iter().enumerate() {
+                if m.matches(row) {
+                    let inf = ctx.error * deltas[i];
+                    if inf > best {
+                        best = inf;
+                    }
+                }
+            }
+        }
+        Ok(best)
+    }
+
+    /// Influence estimated from pre-aggregated "removed" states — the
+    /// Merger's cached-tuple approximation entry point (§6.3). For each
+    /// group the caller supplies the estimated number of matched tuples
+    /// and the estimated state of the removed subset.
+    ///
+    /// Errors with [`ScorpionError::UnsupportedAggregate`] when the
+    /// aggregate is not incrementally removable.
+    pub fn influence_from_states(
+        &self,
+        outlier_removed: &[(f64, AggState)],
+        holdout_removed: &[(f64, AggState)],
+    ) -> Result<f64> {
+        let inc = self.inc.ok_or(ScorpionError::UnsupportedAggregate {
+            algorithm: "cached-tuple approximation",
+            requires: "an incrementally removable aggregate",
+        })?;
+        debug_assert_eq!(outlier_removed.len(), self.outliers.len());
+        debug_assert_eq!(holdout_removed.len(), self.holdouts.len());
+        let term = |ctx: &GroupCtx, n: f64, sub: &AggState, error: f64| -> f64 {
+            if n <= 0.0 {
+                return 0.0;
+            }
+            let full = ctx.full_state.as_ref().expect("incremental scorer has states");
+            let delta = ctx.full_value - inc.recover(&inc.remove(full, sub));
+            error * delta / n.powf(self.params.c)
+        };
+        let mut out = 0.0;
+        for (ctx, (n, sub)) in self.outliers.iter().zip(outlier_removed) {
+            out += term(ctx, *n, sub, ctx.error);
+        }
+        out /= self.outliers.len() as f64;
+        let mut hold = 0.0f64;
+        for (ctx, (n, sub)) in self.holdouts.iter().zip(holdout_removed) {
+            hold = hold.max(term(ctx, *n, sub, 1.0).abs());
+        }
+        Ok(self.params.lambda * out - (1.0 - self.params.lambda) * hold)
+    }
+
+    /// The incremental decomposition, if active.
+    pub fn incremental_agg(&self) -> Option<&'a dyn IncrementalAggregate> {
+        self.inc
+    }
+
+    /// Scores a batch of predicates, optionally in parallel.
+    ///
+    /// §8.3.2 leaves parallelism to future work; this is that extension.
+    /// The batch is chunked across `threads` scoped workers (crossbeam),
+    /// each evaluating the same shared group state read-only. With
+    /// `threads <= 1` the batch is scored sequentially. Results are in
+    /// input order; scoring errors surface per predicate.
+    pub fn influence_batch(
+        &self,
+        preds: &[Predicate],
+        threads: usize,
+    ) -> Vec<Result<f64>> {
+        if threads <= 1 || preds.len() < 2 {
+            return preds.iter().map(|p| self.influence(p)).collect();
+        }
+        let threads = threads.min(preds.len());
+        let chunk = preds.len().div_ceil(threads);
+        let mut out: Vec<Result<f64>> = Vec::with_capacity(preds.len());
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = preds
+                .chunks(chunk)
+                .map(|chunk| {
+                    s.spawn(move |_| {
+                        chunk.iter().map(|p| self.influence(p)).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("scoring worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scorpion_agg::{Avg, Sum};
+    use scorpion_table::{group_by, Clause, Field, Schema, TableBuilder};
+
+    /// Builds the paper's running example (Tables 1 & 2).
+    fn sensors() -> Table {
+        let schema = Schema::new(vec![
+            Field::disc("time"),
+            Field::disc("sensorid"),
+            Field::cont("voltage"),
+            Field::cont("temp"),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        let rows: [(&str, &str, f64, f64); 9] = [
+            ("11AM", "1", 2.64, 34.0),
+            ("11AM", "2", 2.65, 35.0),
+            ("11AM", "3", 2.63, 35.0),
+            ("12PM", "1", 2.7, 35.0),
+            ("12PM", "2", 2.7, 35.0),
+            ("12PM", "3", 2.3, 100.0),
+            ("1PM", "1", 2.7, 35.0),
+            ("1PM", "2", 2.7, 35.0),
+            ("1PM", "3", 2.3, 80.0),
+        ];
+        for (t, s, v, temp) in rows {
+            b.push_row(vec![t.into(), s.into(), v.into(), temp.into()]).unwrap();
+        }
+        b.build()
+    }
+
+    fn paper_scorer(table: &Table, _c: f64) -> Scorer<'_> {
+        let g = group_by(table, &[0]).unwrap();
+        // α2 (12PM) and α3 (1PM) are outliers ("too high" → v = +1);
+        // α1 (11AM) is the hold-out.
+        Scorer::new(
+            table,
+            &Avg,
+            3,
+            vec![
+                GroupSpec { rows: g.rows(1).to_vec(), error: 1.0 },
+                GroupSpec { rows: g.rows(2).to_vec(), error: 1.0 },
+            ],
+            vec![GroupSpec { rows: g.rows(0).to_vec(), error: 1.0 }],
+            InfluenceParams { lambda: 0.5, c: 1.0 },
+            false,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_single_tuple_influences() {
+        // §3.2: in g_α2 = {35, 35, 100}, removing T4 (35) changes AVG from
+        // 56.6 to 67.5 → inf = −10.8; removing T6 (100) → +21.6.
+        let t = sensors();
+        let s = paper_scorer(&t, 1.0);
+        let deltas = s.outlier_tuple_deltas(0);
+        assert!((deltas[0] - (56.0 + 2.0 / 3.0 - 67.5)).abs() < 1e-9);
+        assert!((deltas[0] + 10.8333).abs() < 1e-3);
+        assert!((deltas[2] - 21.6666).abs() < 1e-3);
+        let infs = s.outlier_tuple_influences(0);
+        assert!(infs[2] > infs[0]);
+    }
+
+    #[test]
+    fn error_vector_flips_preference() {
+        // §3.2: with v = <−1>, T4 becomes more influential than T6.
+        let t = sensors();
+        let g = group_by(&t, &[0]).unwrap();
+        let s = Scorer::new(
+            &t,
+            &Avg,
+            3,
+            vec![GroupSpec { rows: g.rows(1).to_vec(), error: -1.0 }],
+            vec![],
+            InfluenceParams { lambda: 1.0, c: 1.0 },
+            false,
+        )
+        .unwrap();
+        let infs = s.outlier_tuple_influences(0);
+        assert!(infs[0] > 0.0); // T4: −(−10.8)
+        assert!(infs[2] < 0.0); // T6: −21.6
+        assert!(infs[0] > infs[2]);
+    }
+
+    #[test]
+    fn predicate_influence_prefers_voltage_explanation() {
+        // voltage < 2.4 selects exactly T6 and T9 — the planted anomaly.
+        let t = sensors();
+        let s = paper_scorer(&t, 1.0);
+        let bad_voltage =
+            Predicate::conjunction([Clause::range(2, 0.0, 2.4)]).unwrap();
+        let normal_voltage =
+            Predicate::conjunction([Clause::range(2, 2.6, 3.0)]).unwrap();
+        let inf_bad = s.influence(&bad_voltage).unwrap();
+        let inf_norm = s.influence(&normal_voltage).unwrap();
+        assert!(
+            inf_bad > inf_norm,
+            "low-voltage predicate should dominate: {inf_bad} vs {inf_norm}"
+        );
+        // The bad-voltage predicate does not touch the hold-out group, so
+        // its influence is exactly λ·mean(Δ/n) = 0.5·mean(21.67, 15).
+        let expect = 0.5 * (21.666_666 + 15.0) / 2.0;
+        assert!((inf_bad - expect).abs() < 1e-3, "{inf_bad} vs {expect}");
+    }
+
+    #[test]
+    fn holdout_penalty_applies() {
+        let t = sensors();
+        let s = paper_scorer(&t, 1.0);
+        // Matches every sensor-3 row, including the hold-out group's.
+        let sensor3 = Predicate::conjunction([Clause::in_set(
+            1,
+            [t.cat(1).unwrap().code_of("3").unwrap()],
+        )])
+        .unwrap();
+        let inf = s.influence(&sensor3).unwrap();
+        // Outlier part identical to the voltage predicate, but the
+        // hold-out group loses its 35° reading: avg 34.67 → 34.5,
+        // penalty |Δ|/n = 0.1667.
+        let expect = 0.5 * (21.666_666 + 15.0) / 2.0 - 0.5 * (34.666_666 - 34.5);
+        assert!((inf - expect).abs() < 1e-3, "{inf} vs {expect}");
+    }
+
+    #[test]
+    fn c_zero_ignores_cardinality() {
+        let t = sensors();
+        let g = group_by(&t, &[0]).unwrap();
+        for c in [0.0, 0.5, 1.0] {
+            let s = Scorer::new(
+                &t,
+                &Sum,
+                3,
+                vec![GroupSpec { rows: g.rows(1).to_vec(), error: 1.0 }],
+                vec![],
+                InfluenceParams { lambda: 1.0, c },
+                false,
+            )
+            .unwrap();
+            let two_rows = Predicate::conjunction([Clause::range(3, 34.9, 35.1)]).unwrap();
+            let inf = s.influence(&two_rows).unwrap();
+            // Δ = 70 (two 35° readings), n = 2.
+            let expect = 70.0 / 2f64.powf(c);
+            assert!((inf - expect).abs() < 1e-9, "c={c}");
+        }
+    }
+
+    #[test]
+    fn empty_selection_has_zero_influence() {
+        let t = sensors();
+        let s = paper_scorer(&t, 0.0);
+        let nothing = Predicate::conjunction([Clause::range(3, 1000.0, 2000.0)]).unwrap();
+        assert_eq!(s.influence(&nothing).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn blackbox_matches_incremental() {
+        let t = sensors();
+        let g = group_by(&t, &[0]).unwrap();
+        let mk = |blackbox: bool| {
+            Scorer::new(
+                &t,
+                &Avg,
+                3,
+                vec![
+                    GroupSpec { rows: g.rows(1).to_vec(), error: 1.0 },
+                    GroupSpec { rows: g.rows(2).to_vec(), error: 1.0 },
+                ],
+                vec![GroupSpec { rows: g.rows(0).to_vec(), error: 1.0 }],
+                InfluenceParams { lambda: 0.5, c: 0.7 },
+                blackbox,
+            )
+            .unwrap()
+        };
+        let fast = mk(false);
+        let slow = mk(true);
+        assert!(fast.is_incremental());
+        assert!(!slow.is_incremental());
+        for p in [
+            Predicate::conjunction([Clause::range(2, 0.0, 2.4)]).unwrap(),
+            Predicate::conjunction([Clause::range(3, 30.0, 90.0)]).unwrap(),
+            Predicate::all(),
+        ] {
+            let a = fast.influence(&p).unwrap();
+            let b = slow.influence(&p).unwrap();
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        assert_eq!(fast.scorer_calls(), 3);
+    }
+
+    #[test]
+    fn removing_entire_group_is_total() {
+        let t = sensors();
+        let s = paper_scorer(&t, 1.0);
+        let everything = Predicate::all();
+        let inf = s.influence(&everything).unwrap();
+        assert!(inf.is_finite());
+    }
+
+    #[test]
+    fn max_tuple_influence_finds_t6() {
+        let t = sensors();
+        let s = paper_scorer(&t, 1.0);
+        let all = Predicate::all();
+        let m = s.max_tuple_influence(&all).unwrap();
+        assert!((m - 21.6666).abs() < 1e-3);
+        // Restricted to normal temperatures the max drops.
+        let normals = Predicate::conjunction([Clause::range(3, 0.0, 50.0)]).unwrap();
+        assert!(s.max_tuple_influence(&normals).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn influence_from_states_matches_exact_for_uniform_partition() {
+        let t = sensors();
+        let s = paper_scorer(&t, 1.0);
+        let inc = s.incremental_agg().unwrap();
+        // Partition = exactly the 100° tuple in group 0, nothing in group
+        // 1; nothing in the hold-out.
+        let est = s
+            .influence_from_states(
+                &[(1.0, inc.state_one(100.0)), (0.0, AggState::zero(2))],
+                &[(0.0, AggState::zero(2))],
+            )
+            .unwrap();
+        let exact = s
+            .influence(&Predicate::conjunction([Clause::range(3, 99.0, 101.0)]).unwrap())
+            .unwrap();
+        assert!((est - exact).abs() < 1e-9, "{est} vs {exact}");
+    }
+
+    #[test]
+    fn influence_batch_matches_sequential() {
+        let t = sensors();
+        let s = paper_scorer(&t, 1.0);
+        let preds: Vec<Predicate> = (0..20)
+            .map(|i| {
+                let lo = 2.0 + i as f64 * 0.05;
+                Predicate::conjunction([Clause::range(2, lo, lo + 0.3)]).unwrap()
+            })
+            .collect();
+        let serial: Vec<f64> =
+            s.influence_batch(&preds, 1).into_iter().map(|r| r.unwrap()).collect();
+        let parallel: Vec<f64> =
+            s.influence_batch(&preds, 4).into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let t = sensors();
+        let g = group_by(&t, &[0]).unwrap();
+        assert!(matches!(
+            Scorer::new(&t, &Avg, 3, vec![], vec![], InfluenceParams::default(), false),
+            Err(ScorpionError::NoOutliers)
+        ));
+        let spec = vec![GroupSpec { rows: g.rows(0).to_vec(), error: 1.0 }];
+        assert!(matches!(
+            Scorer::new(
+                &t,
+                &Avg,
+                3,
+                spec.clone(),
+                vec![],
+                InfluenceParams { lambda: 2.0, c: 1.0 },
+                false
+            ),
+            Err(ScorpionError::BadConfig(_))
+        ));
+        assert!(matches!(
+            Scorer::new(
+                &t,
+                &Avg,
+                3,
+                spec,
+                vec![],
+                InfluenceParams { lambda: 0.5, c: -1.0 },
+                false
+            ),
+            Err(ScorpionError::BadConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,257 @@
+//! Cross-`c` caching (§8.3.3).
+//!
+//! The result predicates are sensitive to `c`, so a user (or a UI slider)
+//! will re-run the same Scorpion query at several `c` values. Two
+//! observations make this cheap:
+//!
+//! 1. The DT partitioner is `c`-agnostic: single-tuple influence
+//!    `v·Δ(t)/1^c` does not depend on `c`, so the partitioning (and the
+//!    per-partition statistics) can be computed once and only *re-scored*
+//!    for each new `c`.
+//! 2. The Merger is deterministic and monotone in `c`: decreasing `c`
+//!    only merges further, so a previous run at a *higher* `c` is a valid
+//!    warm start for the merge frontier.
+//!
+//! [`ScorpionSession`] implements both: partitions are cached after the
+//! first run, and each merge starts from the cached merged output of the
+//! nearest cached `c' ≥ c`.
+
+use crate::config::{DtConfig, InfluenceParams};
+use crate::dt::DtPartitioner;
+use crate::error::Result;
+use crate::merger::Merger;
+use crate::result::{Explanation, Diagnostics, ScoredPredicate};
+use crate::api::LabeledQuery;
+use parking_lot::Mutex;
+use scorpion_table::{domains_of, AttrDomain, OrdF64};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+struct SessionCache {
+    /// Unscored partitions (predicate + stats); influence fields hold the
+    /// score at partition-build time and are recomputed per `c`.
+    partitions: Option<Vec<ScoredPredicate>>,
+    /// Merged outputs keyed by `c`.
+    merged_by_c: BTreeMap<OrdF64, Vec<ScoredPredicate>>,
+}
+
+/// A reusable Scorpion session for DT queries, caching partitioning work
+/// across changes of the `c` knob.
+pub struct ScorpionSession<'a> {
+    query: LabeledQuery<'a>,
+    lambda: f64,
+    dt_cfg: DtConfig,
+    explain_attrs: Vec<usize>,
+    domains: Vec<AttrDomain>,
+    cache: Mutex<SessionCache>,
+}
+
+impl<'a> ScorpionSession<'a> {
+    /// Creates a session. `explain_attrs = None` selects `A_rest`.
+    pub fn new(
+        query: LabeledQuery<'a>,
+        lambda: f64,
+        dt_cfg: DtConfig,
+        explain_attrs: Option<Vec<usize>>,
+    ) -> Result<Self> {
+        query.validate()?;
+        let explain_attrs = explain_attrs.unwrap_or_else(|| query.default_explain_attrs());
+        let domains = domains_of(query.table)?;
+        Ok(ScorpionSession {
+            query,
+            lambda,
+            dt_cfg,
+            explain_attrs,
+            domains,
+            cache: Mutex::new(SessionCache { partitions: None, merged_by_c: BTreeMap::new() }),
+        })
+    }
+
+    /// Runs (or re-runs) the query at the given `c`, reusing cached work.
+    pub fn run_with_c(&self, c: f64) -> Result<Explanation> {
+        let start = Instant::now();
+        let params = InfluenceParams { lambda: self.lambda, c };
+        let scorer = self.query.scorer(params, false)?;
+
+        // 1. Partitions: build once, re-score per c.
+        let partitions: Vec<ScoredPredicate> = {
+            let cached = self.cache.lock().partitions.clone();
+            match cached {
+                Some(parts) => {
+                    let mut rescored = parts;
+                    for p in &mut rescored {
+                        p.influence = scorer.influence(&p.predicate)?;
+                    }
+                    rescored.sort_by(|a, b| b.influence.total_cmp(&a.influence));
+                    rescored
+                }
+                None => {
+                    let dt = DtPartitioner::new(
+                        &scorer,
+                        self.explain_attrs.clone(),
+                        self.domains.clone(),
+                        self.dt_cfg.clone(),
+                    );
+                    let (parts, _) = dt.partition()?;
+                    self.cache.lock().partitions = Some(parts.clone());
+                    parts
+                }
+            }
+        };
+        let n_partitions = partitions.len();
+
+        // 2. Merge with warm start from the nearest cached c' ≥ c.
+        let warm: Vec<ScoredPredicate> = {
+            let cache = self.cache.lock();
+            cache
+                .merged_by_c
+                .range(OrdF64(c)..)
+                .next()
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default()
+        };
+        let mut input = partitions;
+        for mut sp in warm {
+            // Warm-start predicates carry stale influences; re-score.
+            sp.influence = scorer.influence(&sp.predicate)?;
+            input.push(sp);
+        }
+        let merger = Merger::new(&scorer, &self.domains, self.dt_cfg.merger.clone());
+        let (merged, _) = merger.merge(input)?;
+        self.cache.lock().merged_by_c.insert(OrdF64(c), merged.clone());
+
+        Ok(Explanation {
+            predicates: merged,
+            diagnostics: Diagnostics {
+                algorithm: "dt",
+                runtime: start.elapsed(),
+                scorer_calls: scorer.scorer_calls(),
+                candidates: n_partitions as u64,
+                partitions: n_partitions,
+                budget_exhausted: false,
+            },
+        })
+    }
+
+    /// True when the partitioning cache has been populated.
+    pub fn is_warm(&self) -> bool {
+        self.cache.lock().partitions.is_some()
+    }
+
+    /// Drops all cached state (used by the caching ablation).
+    pub fn clear_cache(&self) {
+        let mut c = self.cache.lock();
+        c.partitions = None;
+        c.merged_by_c.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scorpion_agg::Avg;
+    use scorpion_table::{group_by, Field, Grouping, Schema, Table, TableBuilder, Value};
+
+    fn planted() -> (Table, Grouping) {
+        let schema =
+            Schema::new(vec![Field::disc("g"), Field::cont("x"), Field::cont("v")]).unwrap();
+        let mut b = TableBuilder::new(schema);
+        for i in 0..400 {
+            let x = (i as f64 * 7.3) % 100.0;
+            let v = if (20.0..60.0).contains(&x) { 80.0 } else { 10.0 };
+            b.push_row(vec!["o".into(), Value::from(x), v.into()]).unwrap();
+            b.push_row(vec!["h".into(), Value::from(x), Value::from(10.0)]).unwrap();
+        }
+        let t = b.build();
+        let g = group_by(&t, &[0]).unwrap();
+        (t, g)
+    }
+
+    #[test]
+    fn cached_rerun_matches_cold_run() {
+        let (t, g) = planted();
+        let q = LabeledQuery {
+            table: &t,
+            grouping: &g,
+            agg: &Avg,
+            agg_attr: 2,
+            outliers: vec![(0, 1.0)],
+            holdouts: vec![1],
+        };
+        let dt_cfg = DtConfig { sampling: None, ..DtConfig::default() };
+        let session = ScorpionSession::new(q, 0.5, dt_cfg.clone(), None).unwrap();
+        assert!(!session.is_warm());
+        // Warm the cache at high c, then run at a lower c.
+        let _ = session.run_with_c(0.5).unwrap();
+        assert!(session.is_warm());
+        let warm = session.run_with_c(0.1).unwrap();
+
+        // Cold session straight at c = 0.1.
+        let q2 = LabeledQuery {
+            table: &t,
+            grouping: &g,
+            agg: &Avg,
+            agg_attr: 2,
+            outliers: vec![(0, 1.0)],
+            holdouts: vec![1],
+        };
+        let cold_session = ScorpionSession::new(q2, 0.5, dt_cfg, None).unwrap();
+        let cold = cold_session.run_with_c(0.1).unwrap();
+
+        // The warm-started merge must be at least as good as the cold one
+        // (it sees a superset of the cold run's inputs).
+        assert!(warm.best().influence >= cold.best().influence - 1e-9);
+    }
+
+    #[test]
+    fn rescoring_partition_cache_changes_with_c() {
+        let (t, g) = planted();
+        let q = LabeledQuery {
+            table: &t,
+            grouping: &g,
+            agg: &Avg,
+            agg_attr: 2,
+            outliers: vec![(0, 1.0)],
+            holdouts: vec![1],
+        };
+        let session = ScorpionSession::new(
+            q,
+            0.5,
+            DtConfig { sampling: None, ..DtConfig::default() },
+            None,
+        )
+        .unwrap();
+        let hi = session.run_with_c(1.0).unwrap();
+        let lo = session.run_with_c(0.0).unwrap();
+        // c = 0 rewards raw Δ: the chosen predicate should select at
+        // least as many tuples as the c = 1 predicate.
+        let rows: Vec<u32> = (0..t.len() as u32).collect();
+        let n_hi = hi.best().predicate.count(&t, &rows).unwrap();
+        let n_lo = lo.best().predicate.count(&t, &rows).unwrap();
+        assert!(n_lo >= n_hi, "c=0 picked {n_lo} rows, c=1 picked {n_hi}");
+    }
+
+    #[test]
+    fn clear_cache_resets() {
+        let (t, g) = planted();
+        let q = LabeledQuery {
+            table: &t,
+            grouping: &g,
+            agg: &Avg,
+            agg_attr: 2,
+            outliers: vec![(0, 1.0)],
+            holdouts: vec![1],
+        };
+        let session = ScorpionSession::new(
+            q,
+            0.5,
+            DtConfig { sampling: None, ..DtConfig::default() },
+            None,
+        )
+        .unwrap();
+        let _ = session.run_with_c(0.3).unwrap();
+        assert!(session.is_warm());
+        session.clear_cache();
+        assert!(!session.is_warm());
+    }
+}

@@ -1,0 +1,325 @@
+//! EXPENSE: a simulator of the 2012 US presidential campaign-expense
+//! dataset (§8.1, §8.4).
+//!
+//! The real FEC dump (116,448 rows, 14 attributes, cardinalities from 2 up
+//! to ~18,000 recipient names) is not bundled; this simulator preserves
+//! the schema shape, the cardinality profile (one huge-cardinality
+//! attribute, two around 100, one around 2,000, several small), and the
+//! planted explanation: on 7 spike days the Obama campaign's per-day
+//! `SUM(disb_amt)` jumps above $10M, driven by `GMMB INC.` / `DC` /
+//! `MEDIA BUY` media purchases filed mostly under `file_num 800316`
+//! (average ≈ $2.7M) with a second report (`800317`) slightly lower, so
+//! the `file_num` clause matters at high `c` and drops below `c ≈ 0.1` —
+//! matching the paper's observed behavior.
+//!
+//! The query is `SELECT sum(disb_amt) ... GROUP BY date` (the
+//! `candidate = 'Obama'` filter is materialized: the table contains only
+//! Obama rows, as §3.1 models selections). Ground truth for F-scores is
+//! "all tuples with an expense greater than $1.5M", as in §8.4.
+
+use crate::rng::Rng;
+use scorpion_table::{Field, Schema, Table, TableBuilder, Value};
+
+/// EXPENSE simulator parameters.
+#[derive(Debug, Clone)]
+pub struct ExpenseConfig {
+    /// Number of days (groups). The paper's data spans ~547 days.
+    pub days: usize,
+    /// Baseline expense rows per day.
+    pub rows_per_day: usize,
+    /// Number of spike days (paper: 7 days over $10M).
+    pub spike_days: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ExpenseConfig {
+    fn default() -> Self {
+        ExpenseConfig { days: 180, rows_per_day: 120, spike_days: 7, seed: 0xFEC }
+    }
+}
+
+/// A generated EXPENSE dataset with labels and ground truth.
+pub struct ExpenseDataset {
+    /// Schema: `date` (group-by), `disb_amt` (aggregate), and ten
+    /// discrete explanation attributes.
+    pub table: Table,
+    /// Generator parameters.
+    pub config: ExpenseConfig,
+    /// Group indices (days) labeled as outliers, error vector `<1>`.
+    pub outlier_days: Vec<usize>,
+    /// Group indices labeled as hold-outs (paper: 27 typical days).
+    pub holdout_days: Vec<usize>,
+    /// Ground truth: rows with `disb_amt > 1.5M`.
+    pub big_expense_rows: Vec<u32>,
+}
+
+impl ExpenseDataset {
+    /// All discrete explanation attributes (everything but `date` and
+    /// `disb_amt`).
+    pub fn explain_attrs(&self) -> Vec<usize> {
+        (2..self.table.schema().len()).collect()
+    }
+
+    /// The aggregate attribute (`disb_amt`).
+    pub fn agg_attr(&self) -> usize {
+        1
+    }
+
+    /// The group-by attribute (`date`).
+    pub fn group_attr(&self) -> usize {
+        0
+    }
+}
+
+const STATES: [&str; 20] = [
+    "DC", "NY", "CA", "TX", "IL", "VA", "MA", "FL", "OH", "PA", "WA", "MI", "NC", "GA", "CO",
+    "MN", "MO", "WI", "AZ", "OR",
+];
+
+const DESCS: [&str; 12] = [
+    "PAYROLL",
+    "TRAVEL",
+    "CONSULTING",
+    "POLLING",
+    "RENT",
+    "PRINTING",
+    "CATERING",
+    "PHONES",
+    "ONLINE ADVERTISING",
+    "POSTAGE",
+    "SITE RENTAL",
+    "OFFICE SUPPLIES",
+];
+
+const ORG_TYPES: [&str; 6] = ["CORP", "LLC", "INDIVIDUAL", "PARTNERSHIP", "NONPROFIT", "GOV"];
+
+const ELECTION_TYPES: [&str; 3] = ["P2012", "G2012", "O2012"];
+
+const PAYEE_TYPES: [&str; 5] = ["VENDOR", "STAFF", "MEDIA", "CONSULTANT", "OTHER"];
+
+/// Generates an EXPENSE dataset.
+pub fn generate(config: ExpenseConfig) -> ExpenseDataset {
+    assert!(config.spike_days < config.days, "spike days must fit in the span");
+    let mut rng = Rng::seeded(config.seed);
+    let schema = Schema::new(vec![
+        Field::disc("date"),
+        Field::cont("disb_amt"),
+        Field::disc("recipient_nm"),
+        Field::disc("recipient_st"),
+        Field::disc("recipient_city"),
+        Field::disc("recipient_zip"),
+        Field::disc("organization_tp"),
+        Field::disc("disb_desc"),
+        Field::disc("file_num"),
+        Field::disc("election_tp"),
+        Field::disc("memo_ind"),
+        Field::disc("payee_tp"),
+    ])
+    .expect("unique field names");
+    let mut b = TableBuilder::new(schema);
+    b.reserve(config.days * config.rows_per_day);
+
+    // Vendor pool with a heavy tail of names (the paper's recipient_nm
+    // has ~18k distinct values; we scale with the row count).
+    let n_vendors = (config.days * config.rows_per_day / 12).clamp(200, 18_000);
+    let vendors: Vec<String> = (0..n_vendors).map(|i| format!("VENDOR {i:05}")).collect();
+    let cities: Vec<String> = (0..300).map(|i| format!("CITY{i:03}")).collect();
+    let zips: Vec<String> = (0..2000).map(|i| format!("Z{i:05}")).collect();
+    let files: Vec<String> = (0..18).map(|i| format!("{}", 800300 + i)).collect();
+
+    // Spike days cluster late in the span ("in June").
+    let spike_start = config.days - config.days / 6 - config.spike_days;
+    let spike_days: Vec<usize> = (0..config.spike_days).map(|i| spike_start + i).collect();
+
+    let mut big_rows = Vec::new();
+    let mut row: u32 = 0;
+    for day in 0..config.days {
+        let date = format!("d{day:04}");
+        for _ in 0..config.rows_per_day {
+            // Baseline expense: log-uniform-ish $10 .. $20k.
+            let amt = 10.0 * (10.0f64).powf(rng.uniform(0.0, 3.3));
+            push_expense(
+                &mut b,
+                &date,
+                amt,
+                &vendors[rng.index(vendors.len())],
+                STATES[rng.index(STATES.len())],
+                &cities[rng.index(cities.len())],
+                &zips[rng.index(zips.len())],
+                ORG_TYPES[rng.index(ORG_TYPES.len())],
+                DESCS[rng.index(DESCS.len())],
+                &files[rng.index(files.len())],
+                ELECTION_TYPES[rng.index(ELECTION_TYPES.len())],
+                if rng.chance(0.1) { "Y" } else { "N" },
+                PAYEE_TYPES[rng.index(PAYEE_TYPES.len())],
+            );
+            if amt > 1_500_000.0 {
+                big_rows.push(row);
+            }
+            row += 1;
+        }
+        if spike_days.contains(&day) {
+            // The GMMB INC. media buys: report 800316 averages ~$2.7M,
+            // report 800317 a bit lower.
+            for i in 0..5 {
+                let (file, amt) = if i < 3 {
+                    ("800316", rng.uniform(1_900_000.0, 3_500_000.0))
+                } else {
+                    ("800317", rng.uniform(1_600_000.0, 2_600_000.0))
+                };
+                push_expense(
+                    &mut b, &date, amt, "GMMB INC.", "DC", "CITY000", "Z00001", "CORP",
+                    "MEDIA BUY", file, "G2012", "N", "MEDIA",
+                );
+                if amt > 1_500_000.0 {
+                    big_rows.push(row);
+                }
+                row += 1;
+            }
+            // A few non-GMMB media purchases below the ground-truth bar.
+            for _ in 0..3 {
+                let amt = rng.uniform(150_000.0, 900_000.0);
+                push_expense(
+                    &mut b,
+                    &date,
+                    amt,
+                    &vendors[rng.index(vendors.len())],
+                    "NY",
+                    &cities[rng.index(cities.len())],
+                    &zips[rng.index(zips.len())],
+                    "CORP",
+                    "MEDIA BUY",
+                    &files[rng.index(files.len())],
+                    "G2012",
+                    "N",
+                    "MEDIA",
+                );
+                row += 1;
+            }
+        }
+    }
+
+    // Hold-outs: 27 typical days spread over the pre-spike span.
+    let n_holdouts = 27.min(spike_start);
+    let holdout_days: Vec<usize> =
+        (0..n_holdouts).map(|i| i * spike_start / n_holdouts.max(1)).collect();
+
+    ExpenseDataset {
+        table: b.build(),
+        config,
+        outlier_days: spike_days,
+        holdout_days,
+        big_expense_rows: big_rows,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_expense(
+    b: &mut TableBuilder,
+    date: &str,
+    amt: f64,
+    vendor: &str,
+    st: &str,
+    city: &str,
+    zip: &str,
+    org: &str,
+    desc: &str,
+    file: &str,
+    election: &str,
+    memo: &str,
+    payee: &str,
+) {
+    b.push_row(vec![
+        Value::Str(date.to_owned()),
+        Value::Num(amt),
+        Value::Str(vendor.to_owned()),
+        Value::Str(st.to_owned()),
+        Value::Str(city.to_owned()),
+        Value::Str(zip.to_owned()),
+        Value::Str(org.to_owned()),
+        Value::Str(desc.to_owned()),
+        Value::Str(file.to_owned()),
+        Value::Str(election.to_owned()),
+        Value::Str(memo.to_owned()),
+        Value::Str(payee.to_owned()),
+    ])
+    .expect("schema match");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scorpion_table::{aggregate_groups, group_by};
+
+    #[test]
+    fn spike_days_exceed_10m_typical_days_do_not() {
+        let ds = generate(ExpenseConfig::default());
+        let g = group_by(&ds.table, &[0]).unwrap();
+        let sums = aggregate_groups(&ds.table, &g, 1, |v| v.iter().sum()).unwrap();
+        for &d in &ds.outlier_days {
+            assert!(sums[d] > 10_000_000.0, "day {d} sum {}", sums[d]);
+        }
+        for &d in &ds.holdout_days {
+            assert!(sums[d] < 1_500_000.0, "day {d} sum {}", sums[d]);
+        }
+    }
+
+    #[test]
+    fn ground_truth_is_gmmb_only() {
+        let ds = generate(ExpenseConfig::default());
+        assert!(!ds.big_expense_rows.is_empty());
+        let nm = ds.table.cat(2).unwrap();
+        let gmmb = nm.code_of("GMMB INC.").unwrap();
+        let mut gmmb_count = 0;
+        for &r in &ds.big_expense_rows {
+            // Baseline expenses cap at ~$20k, so >$1.5M rows are GMMB.
+            assert_eq!(nm.codes()[r as usize], gmmb);
+            gmmb_count += 1;
+        }
+        assert_eq!(gmmb_count, ds.outlier_days.len() * 5);
+    }
+
+    #[test]
+    fn cardinality_profile_matches_paper_shape() {
+        let ds = generate(ExpenseConfig::default());
+        let card = |a: usize| ds.table.cat(a).unwrap().cardinality();
+        assert!(card(2) >= 200, "recipient_nm cardinality {}", card(2));
+        assert!(card(3) <= 30); // states
+        assert!((50..=2000).contains(&card(5)), "zip {}", card(5));
+        assert!(card(7) <= 20); // disb_desc
+        assert_eq!(card(10), 2); // memo Y/N
+    }
+
+    #[test]
+    fn labels_are_disjoint_and_in_range() {
+        let ds = generate(ExpenseConfig::default());
+        let g = group_by(&ds.table, &[0]).unwrap();
+        for &d in ds.outlier_days.iter().chain(&ds.holdout_days) {
+            assert!(d < g.len());
+        }
+        for d in &ds.holdout_days {
+            assert!(!ds.outlier_days.contains(d));
+        }
+        assert_eq!(ds.outlier_days.len(), 7);
+    }
+
+    #[test]
+    fn file_800316_averages_higher_than_800317() {
+        let ds = generate(ExpenseConfig::default());
+        let amt = ds.table.num(1).unwrap();
+        let file = ds.table.cat(8).unwrap();
+        let f316 = file.code_of("800316").unwrap();
+        let f317 = file.code_of("800317").unwrap();
+        let nm = ds.table.cat(2).unwrap();
+        let gmmb = nm.code_of("GMMB INC.").unwrap();
+        let mean_of = |code: u32| {
+            let rows: Vec<usize> = (0..ds.table.len())
+                .filter(|&r| file.codes()[r] == code && nm.codes()[r] == gmmb)
+                .collect();
+            rows.iter().map(|&r| amt[r]).sum::<f64>() / rows.len() as f64
+        };
+        assert!(mean_of(f316) > mean_of(f317));
+        assert!(mean_of(f316) > 2_000_000.0);
+    }
+}

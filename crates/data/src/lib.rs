@@ -1,0 +1,29 @@
+//! # scorpion-data
+//!
+//! Workload generators for the Scorpion evaluation (§8.1):
+//!
+//! * [`synth`] — the SYNTH ground-truth workload: `SUM(Av) GROUP BY Ad`
+//!   with nested random hyper-cubes of medium- and high-valued outliers
+//!   (Easy µ=80 / Hard µ=30, 2–4 dimensions).
+//! * [`intel`] — a simulator of the Intel Lab sensor deployment with the
+//!   two documented failure modes (dying sensor 15, battery-drained
+//!   sensor 18). The real 2.3M-row trace is not redistributable; the
+//!   simulator plants the same failure signatures (see DESIGN.md,
+//!   "Substitutions").
+//! * [`expense`] — a simulator of the 2012 campaign-expense dataset with
+//!   the paper's cardinality profile and the GMMB INC. media-buy spikes.
+//!
+//! All generators are deterministic given their seed and return labeled
+//! groups plus ground-truth row sets for precision/recall scoring.
+
+#![warn(missing_docs)]
+
+pub mod expense;
+pub mod intel;
+pub mod rng;
+pub mod synth;
+
+pub use expense::{ExpenseConfig, ExpenseDataset};
+pub use intel::{FailureMode, IntelConfig, IntelDataset};
+pub use rng::Rng;
+pub use synth::{SynthConfig, SynthDataset};

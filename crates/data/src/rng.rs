@@ -1,0 +1,139 @@
+//! Seeded random sampling helpers.
+//!
+//! The approved offline dependency set includes `rand` but not
+//! `rand_distr`, so gaussian sampling (needed by the SYNTH generator's
+//! `N(µ, 10)` value distributions) is implemented here via the Box–Muller
+//! transform. All generators in this crate are deterministic given their
+//! seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+
+/// A seeded random source with uniform and gaussian sampling.
+pub struct Rng {
+    inner: StdRng,
+    spare: Option<f64>,
+}
+
+impl Rng {
+    /// Creates a deterministic source from a seed.
+    pub fn seeded(seed: u64) -> Self {
+        Rng { inner: StdRng::seed_from_u64(seed), spare: None }
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if lo == hi {
+            return lo;
+        }
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Uniform integer in `[0, n)`. Panics when `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.inner.random_range(0..n)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.random_range(0.0..1.0) < p
+    }
+
+    /// Standard-normal sample via Box–Muller (with spare caching).
+    pub fn std_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Avoid ln(0) by sampling u1 from (0, 1].
+        let u1: f64 = 1.0 - self.inner.random_range(0.0..1.0);
+        let u2: f64 = self.inner.random_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Gaussian sample `N(mean, std)`. `std = 0` returns `mean` exactly
+    /// (used by the §8.3.2 zero-variance re-run).
+    pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
+        if std == 0.0 {
+            return mean;
+        }
+        mean + std * self.std_normal()
+    }
+
+    /// Picks a uniformly random element.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.index(xs.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Rng::seeded(7);
+        let mut b = Rng::seeded(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+            assert_eq!(a.normal(5.0, 2.0), b.normal(5.0, 2.0));
+            assert_eq!(a.index(10), b.index(10));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seeded(1);
+        let mut b = Rng::seeded(2);
+        let xa: Vec<f64> = (0..10).map(|_| a.uniform(0.0, 1.0)).collect();
+        let xb: Vec<f64> = (0..10).map(|_| b.uniform(0.0, 1.0)).collect();
+        assert_ne!(xa, xb);
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut r = Rng::seeded(3);
+        for _ in 0..1000 {
+            let v = r.uniform(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&v));
+        }
+        assert_eq!(r.uniform(4.0, 4.0), 4.0);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut r = Rng::seeded(11);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(10.0, 3.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_std_is_exact() {
+        let mut r = Rng::seeded(5);
+        assert_eq!(r.normal(42.0, 0.0), 42.0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::seeded(9);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn pick_covers_all_elements_eventually() {
+        let mut r = Rng::seeded(13);
+        let xs = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[(*r.pick(&xs) - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,334 @@
+//! SYNTH: the paper's ground-truth synthetic workload (§8.1).
+//!
+//! `SELECT SUM(Av) FROM synthetic GROUP BY Ad` over 10 groups of tuples
+//! uniformly distributed in `n` dimension attributes `A1..An ∈ [0, 100]`.
+//! Half the groups are hold-outs drawing `Av` exclusively from the normal
+//! distribution `N(10, 10)`; the other half are outlier groups containing
+//! two nested random hyper-cubes: tuples inside the outer cube draw
+//! medium-valued outliers `N((µ+10)/2, 10)`, tuples inside the inner cube
+//! draw high-valued outliers `N(µ, 10)`. `µ = 80` is the Easy setting,
+//! `µ = 30` the Hard one. The cube memberships are the ground truth the
+//! accuracy figures (9–13) compare against.
+
+use crate::rng::Rng;
+use scorpion_table::{Clause, Field, Predicate, Schema, Table, TableBuilder, Value};
+
+/// Per-dimension `(lo, hi)` cube ranges.
+pub type CubeRanges = Vec<(f64, f64)>;
+
+/// SYNTH generator parameters.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Number of dimension attributes `n` (paper: 2–4).
+    pub dims: usize,
+    /// Number of groups (paper: 10; half outliers, half hold-outs).
+    pub groups: usize,
+    /// Tuples per group (paper: 2,000; Figure 15 sweeps 500–10,000).
+    pub tuples_per_group: usize,
+    /// Mean of the high-valued outlier distribution (80 = Easy,
+    /// 30 = Hard).
+    pub mu: f64,
+    /// Standard deviation of the normal tuple distribution (paper: 10;
+    /// §8.3.2 re-runs with 0).
+    pub normal_std: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Fixed cube ranges `(outer, inner)` per dimension; `None` places
+    /// random nested cubes with ~25% / ~25% expected tuple fractions.
+    pub cubes: Option<(CubeRanges, CubeRanges)>,
+}
+
+impl SynthConfig {
+    /// The Easy setting (`µ = 80`).
+    pub fn easy(dims: usize) -> Self {
+        SynthConfig {
+            dims,
+            groups: 10,
+            tuples_per_group: 2000,
+            mu: 80.0,
+            normal_std: 10.0,
+            seed: 0xE5,
+            cubes: None,
+        }
+    }
+
+    /// The Hard setting (`µ = 30`).
+    pub fn hard(dims: usize) -> Self {
+        SynthConfig { mu: 30.0, seed: 0x4A, ..SynthConfig::easy(dims) }
+    }
+
+    /// Overrides tuples per group (Figure 15's scale sweep).
+    #[must_use]
+    pub fn with_tuples_per_group(mut self, n: usize) -> Self {
+        self.tuples_per_group = n;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A generated SYNTH dataset with its ground truth.
+pub struct SynthDataset {
+    /// The relation: `Ad` (discrete group key), `Av` (aggregate value),
+    /// `A1..An` (dimension attributes).
+    pub table: Table,
+    /// Generator parameters.
+    pub config: SynthConfig,
+    /// Group indices labeled as outliers (in `group_by(table, [0])`
+    /// order), with error vector `<1>` ("too high").
+    pub outlier_groups: Vec<usize>,
+    /// Group indices labeled as hold-outs.
+    pub holdout_groups: Vec<usize>,
+    /// Outer cube ranges per dimension attribute.
+    pub outer_cube: Vec<(f64, f64)>,
+    /// Inner cube ranges per dimension attribute.
+    pub inner_cube: Vec<(f64, f64)>,
+    /// Ground-truth rows: outlier-group tuples inside the outer cube.
+    pub outer_rows: Vec<u32>,
+    /// Ground-truth rows: outlier-group tuples inside the inner cube.
+    pub inner_rows: Vec<u32>,
+}
+
+/// Domain of every dimension attribute.
+pub const DIM_LO: f64 = 0.0;
+/// Upper end of the dimension domain.
+pub const DIM_HI: f64 = 100.0;
+
+/// Generates a SYNTH dataset.
+pub fn generate(config: SynthConfig) -> SynthDataset {
+    assert!(config.dims >= 1, "at least one dimension");
+    assert!(config.groups >= 2, "need outlier and hold-out groups");
+    let mut rng = Rng::seeded(config.seed);
+
+    // Cube geometry: side fractions 0.25^(1/n) give ~25% of uniformly
+    // placed tuples in the outer cube and ~25% of those in the inner one.
+    let (outer, inner) = match &config.cubes {
+        Some((o, i)) => {
+            assert_eq!(o.len(), config.dims);
+            assert_eq!(i.len(), config.dims);
+            (o.clone(), i.clone())
+        }
+        None => {
+            let frac = 0.25f64.powf(1.0 / config.dims as f64);
+            let outer_side = (DIM_HI - DIM_LO) * frac;
+            let inner_side = outer_side * frac;
+            let mut outer = Vec::with_capacity(config.dims);
+            let mut inner = Vec::with_capacity(config.dims);
+            for _ in 0..config.dims {
+                let o_lo = rng.uniform(DIM_LO, DIM_HI - outer_side);
+                let i_lo = rng.uniform(o_lo, o_lo + outer_side - inner_side);
+                outer.push((o_lo, o_lo + outer_side));
+                inner.push((i_lo, i_lo + inner_side));
+            }
+            (outer, inner)
+        }
+    };
+
+    let mut fields = vec![Field::disc("Ad"), Field::cont("Av")];
+    for d in 0..config.dims {
+        fields.push(Field::cont(format!("A{}", d + 1)));
+    }
+    let schema = Schema::new(fields).expect("unique field names");
+    let mut b = TableBuilder::new(schema);
+    b.reserve(config.groups * config.tuples_per_group);
+
+    let n_outlier_groups = config.groups / 2;
+    let mut outer_rows = Vec::new();
+    let mut inner_rows = Vec::new();
+    let mut row: u32 = 0;
+    for g in 0..config.groups {
+        let is_outlier_group = g < n_outlier_groups;
+        let key = format!("g{g}");
+        for _ in 0..config.tuples_per_group {
+            let xs: Vec<f64> =
+                (0..config.dims).map(|_| rng.uniform(DIM_LO, DIM_HI)).collect();
+            let in_outer = xs
+                .iter()
+                .zip(&outer)
+                .all(|(x, (lo, hi))| lo <= x && x < hi);
+            let in_inner = in_outer
+                && xs.iter().zip(&inner).all(|(x, (lo, hi))| lo <= x && x < hi);
+            let av = if is_outlier_group && in_inner {
+                rng.normal(config.mu, 10.0)
+            } else if is_outlier_group && in_outer {
+                rng.normal((config.mu + 10.0) / 2.0, 10.0)
+            } else {
+                rng.normal(10.0, config.normal_std)
+            };
+            if is_outlier_group && in_outer {
+                outer_rows.push(row);
+                if in_inner {
+                    inner_rows.push(row);
+                }
+            }
+            let mut vals: Vec<Value> = Vec::with_capacity(2 + config.dims);
+            vals.push(Value::Str(key.clone()));
+            vals.push(Value::Num(av));
+            vals.extend(xs.into_iter().map(Value::Num));
+            b.push_row(vals).expect("schema match");
+            row += 1;
+        }
+    }
+
+    SynthDataset {
+        table: b.build(),
+        outlier_groups: (0..n_outlier_groups).collect(),
+        holdout_groups: (n_outlier_groups..config.groups).collect(),
+        outer_cube: outer,
+        inner_cube: inner,
+        outer_rows,
+        inner_rows,
+        config,
+    }
+}
+
+impl SynthDataset {
+    /// The dimension attribute indices (`A1..An`) — the explanation
+    /// attributes of the SYNTH workload.
+    pub fn dim_attrs(&self) -> Vec<usize> {
+        (2..2 + self.config.dims).collect()
+    }
+
+    /// The aggregate attribute index (`Av`).
+    pub fn agg_attr(&self) -> usize {
+        1
+    }
+
+    /// The group-by attribute index (`Ad`).
+    pub fn group_attr(&self) -> usize {
+        0
+    }
+
+    /// The ground-truth predicate for the outer (or inner) cube.
+    pub fn truth_predicate(&self, inner: bool) -> Predicate {
+        let cube = if inner { &self.inner_cube } else { &self.outer_cube };
+        let clauses = cube
+            .iter()
+            .enumerate()
+            .map(|(d, (lo, hi))| Clause::range(2 + d, *lo, *hi));
+        Predicate::conjunction(clauses).expect("cube ranges are non-empty")
+    }
+
+    /// The ground-truth row set (outer or inner cube) as a slice.
+    pub fn truth_rows(&self, inner: bool) -> &[u32] {
+        if inner {
+            &self.inner_rows
+        } else {
+            &self.outer_rows
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scorpion_table::group_by;
+
+    #[test]
+    fn shape_matches_paper() {
+        let ds = generate(SynthConfig::easy(2));
+        assert_eq!(ds.table.len(), 20_000);
+        assert_eq!(ds.table.schema().len(), 4); // Ad, Av, A1, A2
+        let g = group_by(&ds.table, &[0]).unwrap();
+        assert_eq!(g.len(), 10);
+        for i in 0..10 {
+            assert_eq!(g.rows(i).len(), 2000);
+        }
+        assert_eq!(ds.outlier_groups, vec![0, 1, 2, 3, 4]);
+        assert_eq!(ds.holdout_groups, vec![5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn cube_nesting_invariant() {
+        for dims in 2..=4 {
+            let ds = generate(SynthConfig::hard(dims));
+            assert_eq!(ds.outer_cube.len(), dims);
+            for ((ol, oh), (il, ih)) in ds.outer_cube.iter().zip(&ds.inner_cube) {
+                assert!(ol <= il && ih <= oh, "inner cube must nest");
+                assert!(DIM_LO <= *ol && *oh <= DIM_HI);
+            }
+        }
+    }
+
+    #[test]
+    fn tuple_fractions_are_approximately_25_percent() {
+        let ds = generate(SynthConfig::easy(2).with_seed(99));
+        let per_group = ds.config.tuples_per_group as f64;
+        let n_outlier_tuples = ds.outlier_groups.len() as f64 * per_group;
+        let outer_frac = ds.outer_rows.len() as f64 / n_outlier_tuples;
+        assert!((outer_frac - 0.25).abs() < 0.05, "outer fraction {outer_frac}");
+        let inner_frac = ds.inner_rows.len() as f64 / ds.outer_rows.len() as f64;
+        assert!((inner_frac - 0.25).abs() < 0.08, "inner fraction {inner_frac}");
+    }
+
+    #[test]
+    fn truth_rows_live_in_outlier_groups_only() {
+        let ds = generate(SynthConfig::easy(3));
+        let g = group_by(&ds.table, &[0]).unwrap();
+        let outlier_row_max = (ds.outlier_groups.len() * ds.config.tuples_per_group) as u32;
+        for &r in &ds.outer_rows {
+            assert!(r < outlier_row_max);
+        }
+        // inner ⊆ outer
+        let outer: std::collections::HashSet<u32> = ds.outer_rows.iter().copied().collect();
+        for &r in &ds.inner_rows {
+            assert!(outer.contains(&r));
+        }
+        assert_eq!(g.rows(0).len(), 2000);
+    }
+
+    #[test]
+    fn truth_predicate_selects_exactly_truth_rows() {
+        let ds = generate(SynthConfig::easy(2));
+        let all: Vec<u32> = (0..ds.table.len() as u32).collect();
+        let p = ds.truth_predicate(false);
+        let selected = p.select(&ds.table, &all).unwrap();
+        // Restricted to outlier groups, the predicate matches exactly the
+        // ground-truth rows.
+        let outlier_max = (ds.outlier_groups.len() * ds.config.tuples_per_group) as u32;
+        let sel_outliers: Vec<u32> =
+            selected.into_iter().filter(|&r| r < outlier_max).collect();
+        assert_eq!(sel_outliers, ds.outer_rows);
+    }
+
+    #[test]
+    fn outlier_values_follow_mu() {
+        let ds = generate(SynthConfig::easy(2));
+        let av = ds.table.num(1).unwrap();
+        let mean_inner: f64 =
+            ds.inner_rows.iter().map(|&r| av[r as usize]).sum::<f64>()
+                / ds.inner_rows.len() as f64;
+        assert!((mean_inner - 80.0).abs() < 3.0, "inner mean {mean_inner}");
+        // Hold-out groups are pure normal.
+        let holdout_rows: Vec<u32> =
+            (5 * 2000..6 * 2000).map(|r| r as u32).collect();
+        let mean_hold: f64 = holdout_rows.iter().map(|&r| av[r as usize]).sum::<f64>()
+            / holdout_rows.len() as f64;
+        assert!((mean_hold - 10.0).abs() < 1.5, "hold-out mean {mean_hold}");
+    }
+
+    #[test]
+    fn fixed_cubes_are_respected() {
+        let cubes = (
+            vec![(20.0, 80.0), (20.0, 80.0)],
+            vec![(40.0, 60.0), (40.0, 60.0)],
+        );
+        let cfg = SynthConfig { cubes: Some(cubes.clone()), ..SynthConfig::easy(2) };
+        let ds = generate(cfg);
+        assert_eq!(ds.outer_cube, cubes.0);
+        assert_eq!(ds.inner_cube, cubes.1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(SynthConfig::easy(2).with_seed(5));
+        let b = generate(SynthConfig::easy(2).with_seed(5));
+        assert_eq!(a.table.num(1).unwrap(), b.table.num(1).unwrap());
+        assert_eq!(a.outer_rows, b.outer_rows);
+    }
+}

@@ -1,0 +1,52 @@
+//! `figures` — regenerates the rows/series of every figure in the
+//! Scorpion evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! figures [--quick] [--csv] [EXPERIMENT ...]
+//! figures all              # every figure at paper scale
+//! figures fig12 fig14      # a subset
+//! ```
+
+use scorpion_eval::{run_experiment, Scale, EXPERIMENTS};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let mut names: Vec<String> = args
+        .into_iter()
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    if names.is_empty() || names.iter().any(|n| n == "all") {
+        names = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+
+    for name in &names {
+        let start = Instant::now();
+        match run_experiment(name, &scale) {
+            Some(reports) => {
+                for r in reports {
+                    if csv {
+                        println!("# {}", r.title);
+                        print!("{}", r.to_csv());
+                    } else {
+                        print!("{}", r.render());
+                    }
+                    println!();
+                }
+                eprintln!("[{name}] done in {:.1}s", start.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!(
+                    "unknown experiment `{name}`; available: {}",
+                    EXPERIMENTS.join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 1: mean and standard deviation of temperature readings per
+//! hour over the (simulated) Intel sensor dataset — the visualization
+//! whose outlier regions motivate the paper.
+
+use crate::experiments::Scale;
+use crate::harness::IntelRun;
+use crate::report::{f, Report};
+use scorpion_data::intel::IntelConfig;
+use scorpion_table::aggregate_groups;
+
+/// Regenerates the two series of Figure 1.
+pub fn run(scale: &Scale) -> Vec<Report> {
+    let run = IntelRun::new(IntelConfig {
+        hours: scale.intel_hours,
+        ..IntelConfig::workload1()
+    });
+    let t = &run.ds.table;
+    let g = &run.grouping;
+    let means = aggregate_groups(t, g, run.ds.agg_attr(), |v| {
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    })
+    .expect("avg");
+    let sds = aggregate_groups(t, g, run.ds.agg_attr(), |v| {
+        let n = v.len().max(1) as f64;
+        let m = v.iter().sum::<f64>() / n;
+        (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n).sqrt()
+    })
+    .expect("stddev");
+
+    let mut r = Report::new(
+        "Figure 1 — AVG(temp) and STDDEV(temp) per hour (INTEL sim); the \
+         failure window is the paper's outlier region",
+        &["hour", "avg_temp", "stddev_temp", "label"],
+    );
+    for i in 0..g.len() {
+        let label = if run.ds.outlier_hours.contains(&i) {
+            "outlier"
+        } else if run.ds.holdout_hours.contains(&i) {
+            "hold-out"
+        } else {
+            ""
+        };
+        r.push(vec![g.display_key(t, i), f(means[i], 2), f(sds[i], 2), label.into()]);
+    }
+    vec![r]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outlier_hours_show_elevated_stddev() {
+        let reports = run(&Scale::quick());
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        let sd = |row: &Vec<String>| row[2].parse::<f64>().unwrap();
+        let outlier_sd: Vec<f64> =
+            r.rows.iter().filter(|row| row[3] == "outlier").map(sd).collect();
+        let normal_sd: Vec<f64> =
+            r.rows.iter().filter(|row| row[3] == "hold-out").map(sd).collect();
+        assert!(!outlier_sd.is_empty() && !normal_sd.is_empty());
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(avg(&outlier_sd) > 3.0 * avg(&normal_sd));
+    }
+}

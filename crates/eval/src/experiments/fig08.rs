@@ -1,0 +1,93 @@
+//! Figure 8: the 2-D synthetic dataset visualization — per-group
+//! aggregates the user would see, and the composition of an outlier
+//! versus a hold-out input group (normal / medium / high tuples).
+
+use crate::experiments::Scale;
+use crate::harness::SynthRun;
+use crate::report::{f, Report};
+use scorpion_data::synth::SynthConfig;
+use scorpion_table::aggregate_groups;
+
+/// Regenerates Figure 8's panels for the paper's example geometry
+/// (µ = 90, outer cube \[20,80\]², inner cube \[40,60\]²).
+pub fn run(scale: &Scale) -> Vec<Report> {
+    let cfg = SynthConfig {
+        mu: 90.0,
+        tuples_per_group: scale.tuples_per_group,
+        cubes: Some((
+            vec![(20.0, 80.0), (20.0, 80.0)],
+            vec![(40.0, 60.0), (40.0, 60.0)],
+        )),
+        ..SynthConfig::easy(2)
+    };
+    let run = SynthRun::new(cfg);
+    let sums = aggregate_groups(&run.ds.table, &run.grouping, run.ds.agg_attr(), |v| {
+        v.iter().sum()
+    })
+    .expect("sum");
+
+    let mut top = Report::new(
+        "Figure 8 (top) — SUM(Av) per group; outlier groups dominate",
+        &["group", "sum_av", "label"],
+    );
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..run.grouping.len() {
+        let label =
+            if run.ds.outlier_groups.contains(&i) { "outlier" } else { "hold-out" };
+        top.push(vec![
+            run.grouping.display_key(&run.ds.table, i),
+            f(sums[i], 0),
+            label.into(),
+        ]);
+    }
+
+    let mut bottom = Report::new(
+        "Figure 8 (bottom) — tuple composition of one outlier and one \
+         hold-out input group",
+        &["group", "normal", "medium (outer cube)", "high (inner cube)"],
+    );
+    let inner: std::collections::HashSet<u32> =
+        run.ds.inner_rows.iter().copied().collect();
+    let outer: std::collections::HashSet<u32> =
+        run.ds.outer_rows.iter().copied().collect();
+    for &g in [run.ds.outlier_groups[0], run.ds.holdout_groups[0]].iter() {
+        let rows = run.grouping.rows(g);
+        let hi = rows.iter().filter(|r| inner.contains(r)).count();
+        let med = rows.iter().filter(|r| outer.contains(r)).count() - hi;
+        let norm = rows.len() - med - hi;
+        bottom.push(vec![
+            run.grouping.display_key(&run.ds.table, g),
+            norm.to_string(),
+            med.to_string(),
+            hi.to_string(),
+        ]);
+    }
+    vec![top, bottom]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outlier_groups_have_larger_sums_and_cube_tuples() {
+        let reports = run(&Scale::quick());
+        let top = &reports[0];
+        let sum = |label: &str| -> f64 {
+            top.rows
+                .iter()
+                .filter(|r| r[2] == label)
+                .map(|r| r[1].parse::<f64>().unwrap())
+                .sum::<f64>()
+        };
+        assert!(sum("outlier") > 2.0 * sum("hold-out"));
+        let bottom = &reports[1];
+        assert_eq!(bottom.rows.len(), 2);
+        // Outlier group row has non-zero medium and high counts.
+        assert!(bottom.rows[0][2].parse::<usize>().unwrap() > 0);
+        assert!(bottom.rows[0][3].parse::<usize>().unwrap() > 0);
+        // Hold-out group has none.
+        assert_eq!(bottom.rows[1][2], "0");
+        assert_eq!(bottom.rows[1][3], "0");
+    }
+}

@@ -1,0 +1,74 @@
+//! Figure 9: the optimal NAIVE predicate on SYNTH-2D-Hard for each `c` —
+//! from the whole outer cube at `c = 0` to slivers of the inner cube at
+//! `c = 0.5`.
+
+use crate::experiments::{Scale, C_FIG9};
+use crate::harness::{naive_with_budget, SynthRun};
+use crate::report::{f, Report};
+use scorpion_data::synth::SynthConfig;
+use std::time::Duration;
+
+/// Runs NAIVE to completion on SYNTH-2D-Hard per `c` and reports the
+/// winning predicate boxes.
+pub fn run(scale: &Scale) -> Vec<Report> {
+    let run = SynthRun::new(
+        SynthConfig::hard(2).with_tuples_per_group(scale.tuples_per_group),
+    );
+    let mut r = Report::new(
+        format!(
+            "Figure 9 — optimal NAIVE predicates, SYNTH-2D-Hard (outer cube \
+             A1 in [{:.0},{:.0}) A2 in [{:.0},{:.0}); inner cube A1 in \
+             [{:.0},{:.0}) A2 in [{:.0},{:.0}))",
+            run.ds.outer_cube[0].0,
+            run.ds.outer_cube[0].1,
+            run.ds.outer_cube[1].0,
+            run.ds.outer_cube[1].1,
+            run.ds.inner_cube[0].0,
+            run.ds.inner_cube[0].1,
+            run.ds.inner_cube[1].0,
+            run.ds.inner_cube[1].1,
+        ),
+        &["c", "predicate", "selected", "P_outer", "R_outer", "P_inner", "R_inner"],
+    );
+    for &c in &C_FIG9 {
+        // 2-D enumeration completes quickly; give it a generous budget.
+        let budget = scale.naive_budget.max(Duration::from_secs(30));
+        let ex = run.run(naive_with_budget(budget, false), c);
+        let best = &ex.best().predicate;
+        let outer = run.accuracy(best, false);
+        let inner = run.accuracy(best, true);
+        let n = best.select(&run.ds.table, run.outlier_rows()).unwrap().len();
+        r.push(vec![
+            f(c, 2),
+            best.display(&run.ds.table),
+            n.to_string(),
+            f(outer.precision, 2),
+            f(outer.recall, 2),
+            f(inner.precision, 2),
+            f(inner.recall, 2),
+        ]);
+    }
+    vec![r]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectivity_shrinks_as_c_grows() {
+        let reports = run(&Scale::quick());
+        let r = &reports[0];
+        assert_eq!(r.rows.len(), C_FIG9.len());
+        let selected: Vec<usize> =
+            r.rows.iter().map(|row| row[2].parse().unwrap()).collect();
+        // c = 0 selects the most tuples; c = 0.5 the fewest.
+        assert!(
+            selected[0] >= *selected.last().unwrap(),
+            "selected counts {selected:?}"
+        );
+        // c = 0 recalls most of the outer cube.
+        let recall0: f64 = r.rows[0][4].parse().unwrap();
+        assert!(recall0 > 0.5, "outer recall at c=0 is {recall0}");
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 10: NAIVE's accuracy statistics as `c` varies, against both
+//! the inner- and outer-cube ground truths, on SYNTH-2D-Easy and
+//! SYNTH-2D-Hard.
+
+use crate::experiments::{Scale, C_GRID};
+use crate::harness::{naive_with_budget, SynthRun};
+use crate::report::{f, Report};
+use scorpion_data::synth::SynthConfig;
+use std::time::Duration;
+
+/// Regenerates Figure 10's six panels as one table.
+pub fn run(scale: &Scale) -> Vec<Report> {
+    let mut r = Report::new(
+        "Figure 10 — NAIVE accuracy vs c (2-D, Easy & Hard, inner & outer \
+         ground truth)",
+        &["dataset", "c", "truth", "precision", "recall", "f_score"],
+    );
+    for (name, cfg) in [
+        ("SYNTH-2D-Easy", SynthConfig::easy(2)),
+        ("SYNTH-2D-Hard", SynthConfig::hard(2)),
+    ] {
+        let run = SynthRun::new(cfg.with_tuples_per_group(scale.tuples_per_group));
+        for &c in &C_GRID {
+            let budget = scale.naive_budget.max(Duration::from_secs(30));
+            let ex = run.run(naive_with_budget(budget, false), c);
+            let best = &ex.best().predicate;
+            for (truth, inner) in [("outer", false), ("inner", true)] {
+                let acc = run.accuracy(best, inner);
+                r.push(vec![
+                    name.into(),
+                    f(c, 2),
+                    truth.into(),
+                    f(acc.precision, 3),
+                    f(acc.recall, 3),
+                    f(acc.f_score, 3),
+                ]);
+            }
+        }
+    }
+    vec![r]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outer_precision_rises_with_c() {
+        let r = &run(&Scale::quick())[0];
+        // For each dataset, outer precision at the top c is at least the
+        // precision at c = 0 (higher c is more selective).
+        for name in ["SYNTH-2D-Easy", "SYNTH-2D-Hard"] {
+            let ps: Vec<f64> = r
+                .rows
+                .iter()
+                .filter(|row| row[0] == name && row[2] == "outer")
+                .map(|row| row[3].parse().unwrap())
+                .collect();
+            assert_eq!(ps.len(), C_GRID.len());
+            assert!(
+                ps.last().unwrap() + 1e-9 >= ps[0],
+                "{name}: precision series {ps:?}"
+            );
+        }
+    }
+}

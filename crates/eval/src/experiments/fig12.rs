@@ -1,0 +1,75 @@
+//! Figure 12: accuracy of DT, MC, and NAIVE as `c` varies, on
+//! SYNTH-2D-Easy and SYNTH-2D-Hard (outer-cube ground truth).
+
+use crate::experiments::{Scale, C_GRID};
+use crate::harness::{dt, mc, naive_with_budget, SynthRun};
+use crate::report::{f, Report};
+use scorpion_core::Algorithm;
+use scorpion_data::synth::SynthConfig;
+use std::time::Duration;
+
+/// Regenerates Figure 12.
+pub fn run(scale: &Scale) -> Vec<Report> {
+    let mut r = Report::new(
+        "Figure 12 — accuracy vs c for DT / MC / NAIVE (2-D, outer truth)",
+        &["dataset", "algorithm", "c", "precision", "recall", "f_score"],
+    );
+    for (name, cfg) in [
+        ("SYNTH-2D-Easy", SynthConfig::easy(2)),
+        ("SYNTH-2D-Hard", SynthConfig::hard(2)),
+    ] {
+        let run = SynthRun::new(cfg.with_tuples_per_group(scale.tuples_per_group));
+        for &c in &C_GRID {
+            let algos: [(&str, Algorithm); 3] = [
+                ("dt", dt()),
+                ("mc", mc()),
+                (
+                    "naive",
+                    naive_with_budget(
+                        scale.naive_budget.max(Duration::from_secs(20)),
+                        false,
+                    ),
+                ),
+            ];
+            for (aname, algo) in algos {
+                let ex = run.run(algo, c);
+                let acc = run.accuracy(&ex.best().predicate, false);
+                r.push(vec![
+                    name.into(),
+                    aname.into(),
+                    f(c, 2),
+                    f(acc.precision, 3),
+                    f(acc.recall, 3),
+                    f(acc.f_score, 3),
+                ]);
+            }
+        }
+    }
+    vec![r]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dt_and_mc_are_competitive_with_naive_at_best_c() {
+        let r = &run(&Scale::quick())[0];
+        // Compare each algorithm's best F-score over the c grid (the
+        // paper's takeaway: maximum F-scores are similar).
+        {
+            let name = "SYNTH-2D-Easy";
+            let best_f = |alg: &str| -> f64 {
+                r.rows
+                    .iter()
+                    .filter(|row| row[0] == name && row[1] == alg)
+                    .map(|row| row[5].parse::<f64>().unwrap())
+                    .fold(0.0, f64::max)
+            };
+            let (fd, fm, fn_) = (best_f("dt"), best_f("mc"), best_f("naive"));
+            assert!(fd > 0.3, "dt best-F {fd}");
+            assert!(fm > 0.3, "mc best-F {fm}");
+            assert!(fn_ > 0.3, "naive best-F {fn_}");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 13: F-score of DT / MC / NAIVE as the dataset dimensionality
+//! grows from 2 to 4, on Easy and Hard.
+
+use crate::experiments::{Scale, C_GRID};
+use crate::harness::{dt, mc, naive_with_budget, SynthRun};
+use crate::report::{f, Report};
+use scorpion_core::Algorithm;
+use scorpion_data::synth::SynthConfig;
+
+/// Regenerates Figure 13.
+pub fn run(scale: &Scale) -> Vec<Report> {
+    let mut r = Report::new(
+        "Figure 13 — F-score vs c as dimensionality grows (outer truth; \
+         NAIVE is budgeted beyond 2-D, as in the paper's 40-min cap)",
+        &["dims", "difficulty", "algorithm", "c", "f_score"],
+    );
+    for dims in 2..=scale.max_dims {
+        for (diff, base) in
+            [("Easy", SynthConfig::easy(dims)), ("Hard", SynthConfig::hard(dims))]
+        {
+            let run = SynthRun::new(base.with_tuples_per_group(scale.tuples_per_group));
+            for &c in &C_GRID {
+                let algos: [(&str, Algorithm); 3] = [
+                    ("dt", dt()),
+                    ("mc", mc()),
+                    ("naive", naive_with_budget(scale.naive_budget, false)),
+                ];
+                for (aname, algo) in algos {
+                    let ex = run.run(algo, c);
+                    let acc = run.accuracy(&ex.best().predicate, false);
+                    r.push(vec![
+                        dims.to_string(),
+                        diff.into(),
+                        aname.into(),
+                        f(c, 2),
+                        f(acc.f_score, 3),
+                    ]);
+                }
+            }
+        }
+    }
+    vec![r]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_dims_and_algorithms() {
+        let scale = Scale { max_dims: 2, ..Scale::quick() };
+        let r = &run(&scale)[0];
+        assert_eq!(r.rows.len(), 2 /* diff */ * C_GRID.len() * 3);
+        let fs: Vec<f64> = r.rows.iter().map(|row| row[4].parse().unwrap()).collect();
+        assert!(fs.iter().all(|v| (0.0..=1.0).contains(v)));
+        // At least one configuration achieves a reasonable F-score.
+        assert!(fs.iter().cloned().fold(0.0, f64::max) > 0.3);
+    }
+}

@@ -1,0 +1,47 @@
+//! Figure 15: runtime as the dataset grows from 500 to 10,000 tuples per
+//! group (Easy, c = 0.1, 2–4 dimensions).
+
+use crate::experiments::Scale;
+use crate::harness::{dt, mc, naive_with_budget, SynthRun};
+use crate::report::{f, Report};
+use scorpion_data::synth::SynthConfig;
+
+/// Regenerates Figure 15.
+pub fn run(scale: &Scale) -> Vec<Report> {
+    let c = 0.1;
+    let mut r = Report::new(
+        "Figure 15 — runtime (s) vs tuples per group (Easy, c = 0.1)",
+        &["dims", "tuples_per_group", "algorithm", "seconds"],
+    );
+    for dims in 2..=scale.max_dims {
+        for &n in scale.scale_sweep {
+            let run = SynthRun::new(SynthConfig::easy(dims).with_tuples_per_group(n));
+            for (aname, algo) in [
+                ("dt", dt()),
+                ("mc", mc()),
+                ("naive", naive_with_budget(scale.naive_budget, false)),
+            ] {
+                let ex = run.run(algo, c);
+                r.push(vec![
+                    dims.to_string(),
+                    n.to_string(),
+                    aname.into(),
+                    f(ex.diagnostics.runtime.as_secs_f64(), 3),
+                ]);
+            }
+        }
+    }
+    vec![r]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_rows_per_size() {
+        let scale = Scale { max_dims: 2, ..Scale::quick() };
+        let r = &run(&scale)[0];
+        assert_eq!(r.rows.len(), scale.scale_sweep.len() * 3);
+    }
+}

@@ -1,0 +1,74 @@
+//! Figure 16: DT runtime with and without cross-`c` caching (§8.3.3).
+//!
+//! The session executes with decreasing `c` (0.5 → 0); the cached variant
+//! reuses the partitioning and warm-starts the Merger from the previous
+//! (higher-`c`) run.
+
+use crate::experiments::Scale;
+use crate::harness::SynthRun;
+use crate::report::{f, Report};
+use scorpion_core::session::ScorpionSession;
+use scorpion_core::DtConfig;
+use scorpion_data::synth::SynthConfig;
+
+const C_DESC: [f64; 6] = [0.5, 0.4, 0.3, 0.2, 0.1, 0.0];
+
+/// Regenerates Figure 16.
+pub fn run(scale: &Scale) -> Vec<Report> {
+    let mut r = Report::new(
+        "Figure 16 — DT cost (s) per c, cached vs uncached (c run in \
+         decreasing order)",
+        &["dims", "difficulty", "c", "cached_s", "uncached_s"],
+    );
+    for dims in 3..=scale.max_dims.max(3) {
+        for (diff, base) in
+            [("Easy", SynthConfig::easy(dims)), ("Hard", SynthConfig::hard(dims))]
+        {
+            let run = SynthRun::new(base.with_tuples_per_group(scale.tuples_per_group));
+            let cached =
+                ScorpionSession::new(run.query(), 0.5, DtConfig::default(), None)
+                    .expect("session");
+            for &c in &C_DESC {
+                let warm = cached.run_with_c(c).expect("cached run");
+                // Uncached: a fresh session per c (partitioning redone).
+                let cold_session =
+                    ScorpionSession::new(run.query(), 0.5, DtConfig::default(), None)
+                        .expect("session");
+                let cold = cold_session.run_with_c(c).expect("uncached run");
+                r.push(vec![
+                    dims.to_string(),
+                    diff.into(),
+                    f(c, 1),
+                    f(warm.diagnostics.runtime.as_secs_f64(), 3),
+                    f(cold.diagnostics.runtime.as_secs_f64(), 3),
+                ]);
+            }
+        }
+    }
+    vec![r]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caching_wins_after_the_first_c() {
+        let r = &run(&Scale::quick())[0];
+        // Skip each dataset's first (cache-cold) row; afterwards the
+        // cached runtime should beat the uncached one on average.
+        let mut cached_total = 0.0;
+        let mut uncached_total = 0.0;
+        for (i, row) in r.rows.iter().enumerate() {
+            if i % C_DESC.len() == 0 {
+                continue;
+            }
+            cached_total += row[3].parse::<f64>().unwrap();
+            uncached_total += row[4].parse::<f64>().unwrap();
+        }
+        assert!(
+            cached_total < uncached_total,
+            "cached {cached_total} vs uncached {uncached_total}"
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! §8.4 INTEL workloads: the real-world sensor-failure explanations.
+//!
+//! Workload 1 (dying sensor): Scorpion should return `sensorid = 15`,
+//! refining with light/voltage clauses as `c → 1`. Workload 2 (battery
+//! drain): `light ∈ [283, 354] ∧ sensorid = 18` at `c = 1`,
+//! `sensorid = 18` at lower `c`.
+
+use crate::experiments::Scale;
+use crate::harness::IntelRun;
+use crate::report::{f, Report};
+use scorpion_data::intel::IntelConfig;
+
+const C_VALUES: [f64; 3] = [1.0, 0.5, 0.1];
+
+/// Runs both INTEL workloads across `c`.
+pub fn run(scale: &Scale) -> Vec<Report> {
+    let mut r = Report::new(
+        "§8.4 INTEL — DT explanations per workload and c (ground truth: \
+         the failing sensor's anomalous readings)",
+        &["workload", "c", "predicate", "precision", "recall", "f_score"],
+    );
+    for (name, cfg) in [
+        ("1: dying sensor", IntelConfig { hours: scale.intel_hours, ..IntelConfig::workload1() }),
+        ("2: battery drain", IntelConfig { hours: scale.intel_hours, ..IntelConfig::workload2() }),
+    ] {
+        let run = IntelRun::new(cfg);
+        for &c in &C_VALUES {
+            let ex = run.run_dt(c);
+            let best = &ex.best().predicate;
+            let acc = run.accuracy(best);
+            r.push(vec![
+                name.into(),
+                f(c, 1),
+                best.display(&run.ds.table),
+                f(acc.precision, 3),
+                f(acc.recall, 3),
+                f(acc.f_score, 3),
+            ]);
+        }
+    }
+    vec![r]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scorpion_data::intel::failing_sensor;
+
+    #[test]
+    fn identifies_the_failing_sensor() {
+        let r = &run(&Scale::quick())[0];
+        assert_eq!(r.rows.len(), 2 * C_VALUES.len());
+        // Every returned predicate should implicate the failing sensor
+        // (sensorid clause containing s15 / s18) with good accuracy at
+        // some c.
+        for (wl, mode) in [
+            ("1: dying sensor", scorpion_data::intel::FailureMode::DyingSensor),
+            ("2: battery drain", scorpion_data::intel::FailureMode::BatteryDrain),
+        ] {
+            let sid = format!("s{:02}", failing_sensor(mode));
+            let rows: Vec<_> = r.rows.iter().filter(|row| row[0] == wl).collect();
+            let best_f = rows
+                .iter()
+                .map(|row| row[5].parse::<f64>().unwrap())
+                .fold(0.0, f64::max);
+            assert!(best_f > 0.5, "workload {wl}: best F {best_f}");
+            assert!(
+                rows.iter().any(|row| row[2].contains(&sid)),
+                "workload {wl}: no predicate names {sid}: {:?}",
+                rows.iter().map(|row| row[2].clone()).collect::<Vec<_>>()
+            );
+        }
+    }
+}

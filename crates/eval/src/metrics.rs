@@ -1,0 +1,113 @@
+//! Accuracy metrics (§8.2): precision, recall, and F-score of a
+//! predicate's selected tuples against a ground-truth row set.
+
+use scorpion_table::{Predicate, Table};
+use std::collections::HashSet;
+
+/// Precision / recall / F-score triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accuracy {
+    /// |selected ∩ truth| / |selected| (1.0 when nothing is selected and
+    /// the truth is empty, else 0.0 for empty selections).
+    pub precision: f64,
+    /// |selected ∩ truth| / |truth|.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub f_score: f64,
+}
+
+/// Computes accuracy of a selected row set against a truth row set.
+pub fn accuracy(selected: &[u32], truth: &[u32]) -> Accuracy {
+    let truth_set: HashSet<u32> = truth.iter().copied().collect();
+    let hit = selected.iter().filter(|r| truth_set.contains(r)).count() as f64;
+    let precision = if selected.is_empty() {
+        if truth.is_empty() {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        hit / selected.len() as f64
+    };
+    let recall = if truth.is_empty() { 1.0 } else { hit / truth.len() as f64 };
+    let f_score = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    Accuracy { precision, recall, f_score }
+}
+
+/// §8.2: compares `p(g_O)` — the predicate applied to the union of the
+/// outlier input groups — against the ground-truth rows.
+pub fn predicate_accuracy(
+    table: &Table,
+    predicate: &Predicate,
+    outlier_rows: &[u32],
+    truth: &[u32],
+) -> Accuracy {
+    let selected = predicate.select(table, outlier_rows).expect("predicate binds to table");
+    accuracy(&selected, truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scorpion_table::{Clause, Field, Schema, TableBuilder, Value};
+
+    #[test]
+    fn perfect_match() {
+        let a = accuracy(&[1, 2, 3], &[1, 2, 3]);
+        assert_eq!(a.precision, 1.0);
+        assert_eq!(a.recall, 1.0);
+        assert_eq!(a.f_score, 1.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // selected = {1,2,3,4}, truth = {3,4,5,6}: hit 2.
+        let a = accuracy(&[1, 2, 3, 4], &[3, 4, 5, 6]);
+        assert_eq!(a.precision, 0.5);
+        assert_eq!(a.recall, 0.5);
+        assert_eq!(a.f_score, 0.5);
+    }
+
+    #[test]
+    fn asymmetric_precision_recall() {
+        // Narrow, pure selection: precision 1, recall 1/4 → F = 0.4.
+        let a = accuracy(&[7], &[7, 8, 9, 10]);
+        assert_eq!(a.precision, 1.0);
+        assert_eq!(a.recall, 0.25);
+        assert!((a.f_score - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let a = accuracy(&[], &[1]);
+        assert_eq!(a.precision, 0.0);
+        assert_eq!(a.recall, 0.0);
+        assert_eq!(a.f_score, 0.0);
+        let b = accuracy(&[], &[]);
+        assert_eq!(b.precision, 1.0);
+        assert_eq!(b.recall, 1.0);
+        let c = accuracy(&[1], &[]);
+        assert_eq!(c.recall, 1.0);
+        assert_eq!(c.precision, 0.0);
+    }
+
+    #[test]
+    fn predicate_accuracy_respects_outlier_scope() {
+        let schema = Schema::new(vec![Field::cont("x")]).unwrap();
+        let mut b = TableBuilder::new(schema);
+        for i in 0..10 {
+            b.push_row(vec![Value::from(i as f64)]).unwrap();
+        }
+        let t = b.build();
+        let p = Predicate::conjunction([Clause::range(0, 2.0, 6.0)]).unwrap();
+        // Outlier scope = rows 0..5; predicate selects {2,3,4,5}∩scope =
+        // {2,3,4}; truth {3,4}.
+        let a = predicate_accuracy(&t, &p, &[0, 1, 2, 3, 4], &[3, 4]);
+        assert!((a.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(a.recall, 1.0);
+    }
+}

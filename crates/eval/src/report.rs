@@ -1,0 +1,123 @@
+//! Plain-text report tables: the rows/series each figure regenerates.
+
+use std::fmt::Write as _;
+
+/// A titled table of string cells with aligned rendering and CSV export.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Report {
+    /// Figure/table identifier plus a one-line description.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row-major cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Report {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; pads or truncates to the header arity.
+    pub fn push(&mut self, cells: Vec<String>) {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(s, "{:<width$}  ", c, width = widths[i]);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Renders as CSV (comma-separated, quotes on demand).
+    pub fn to_csv(&self) -> String {
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ =
+                writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+/// Formats a float with fixed precision (report cells).
+pub fn f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_aligned() {
+        let mut r = Report::new("Fig X — demo", &["c", "F-score"]);
+        r.push(vec!["0.1".into(), "0.75".into()]);
+        r.push(vec!["0.50".into(), "1".into()]);
+        let s = r.render();
+        assert!(s.contains("## Fig X — demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header + separator + 2 rows + title.
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("c"));
+    }
+
+    #[test]
+    fn push_pads_rows() {
+        let mut r = Report::new("t", &["a", "b", "c"]);
+        r.push(vec!["1".into()]);
+        assert_eq!(r.rows[0].len(), 3);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut r = Report::new("t", &["name", "v"]);
+        r.push(vec!["GMMB, INC.".into(), "1".into()]);
+        let csv = r.to_csv();
+        assert!(csv.contains("\"GMMB, INC.\""));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.123456, 3), "0.123");
+        assert_eq!(f(2.0, 1), "2.0");
+    }
+}

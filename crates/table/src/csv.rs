@@ -1,0 +1,220 @@
+//! CSV ingestion: load external datasets into a [`Table`].
+//!
+//! A pragmatic, dependency-free reader for the kind of data Scorpion's
+//! use cases start from (sensor dumps, expense ledgers): header row,
+//! comma separator, optional quoting with `""` escapes. Attribute types
+//! can be given explicitly or inferred from the first data row (a cell
+//! that parses as a number ⇒ continuous).
+
+use crate::error::{Result, TableError};
+use crate::schema::{AttrType, Field, Schema};
+use crate::table::{Table, TableBuilder};
+use crate::value::Value;
+
+/// Splits one CSV record, honoring double-quoted fields with `""`
+/// escapes. Returns an error only for unterminated quotes.
+fn split_record(line: &str) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => cur.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                }
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TableError::UnknownAttribute("CSV: unterminated quote".into()));
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Parses CSV text into a table with an explicit schema. The header row
+/// must match the schema's attribute names (in order).
+pub fn parse_csv_with_schema(text: &str, schema: Schema) -> Result<Table> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or(TableError::Empty("CSV input"))?;
+    let names = split_record(header)?;
+    if names.len() != schema.len() {
+        return Err(TableError::ArityMismatch { expected: schema.len(), got: names.len() });
+    }
+    for (i, name) in names.iter().enumerate() {
+        if schema.field(i)?.name() != name.trim() {
+            return Err(TableError::UnknownAttribute(format!(
+                "CSV header `{}` does not match schema attribute `{}`",
+                name.trim(),
+                schema.field(i)?.name()
+            )));
+        }
+    }
+    let types: Vec<AttrType> = (0..schema.len())
+        .map(|i| schema.field(i).map(|f| f.ty()))
+        .collect::<Result<_>>()?;
+    let mut b = TableBuilder::new(schema);
+    for line in lines {
+        let cells = split_record(line)?;
+        if cells.len() != names.len() {
+            return Err(TableError::ArityMismatch { expected: names.len(), got: cells.len() });
+        }
+        let mut row: Vec<Value> = Vec::with_capacity(cells.len());
+        for (i, cell) in cells.iter().enumerate() {
+            let cell = cell.trim();
+            row.push(match types[i] {
+                AttrType::Continuous => {
+                    let v: f64 = cell.parse().map_err(|_| TableError::TypeMismatch {
+                        attr: names[i].trim().to_owned(),
+                        expected: "continuous",
+                    })?;
+                    Value::Num(v)
+                }
+                AttrType::Discrete => Value::Str(cell.to_owned()),
+            });
+        }
+        b.push_row(row)?;
+    }
+    Ok(b.build())
+}
+
+/// Parses CSV text, inferring each attribute's type from the first data
+/// row (numeric cell ⇒ continuous, else discrete).
+pub fn parse_csv(text: &str) -> Result<Table> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or(TableError::Empty("CSV input"))?;
+    let names = split_record(header)?;
+    let first = lines.next().ok_or(TableError::Empty("CSV data rows"))?;
+    let first_cells = split_record(first)?;
+    if first_cells.len() != names.len() {
+        return Err(TableError::ArityMismatch {
+            expected: names.len(),
+            got: first_cells.len(),
+        });
+    }
+    let fields: Vec<Field> = names
+        .iter()
+        .zip(&first_cells)
+        .map(|(n, c)| {
+            if c.trim().parse::<f64>().is_ok() {
+                Field::cont(n.trim())
+            } else {
+                Field::disc(n.trim())
+            }
+        })
+        .collect();
+    let schema = Schema::new(fields)?;
+    // Re-run with the inferred schema over the full text.
+    parse_csv_with_schema(text, schema)
+}
+
+/// Loads a CSV file from disk with inferred types.
+pub fn load_csv(path: &std::path::Path) -> Result<Table> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| TableError::UnknownAttribute(format!("CSV read {path:?}: {e}")))?;
+    parse_csv(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+time,sensorid,temp
+11AM,1,34.0
+11AM,2,35.0
+12PM,3,100.0
+";
+
+    #[test]
+    fn infers_types_from_first_row() {
+        let t = parse_csv(SAMPLE).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.schema().field(0).unwrap().ty(), AttrType::Discrete);
+        // `sensorid` is numeric in the file → inferred continuous.
+        assert_eq!(t.schema().field(1).unwrap().ty(), AttrType::Continuous);
+        assert_eq!(t.num(2).unwrap(), &[34.0, 35.0, 100.0]);
+    }
+
+    #[test]
+    fn explicit_schema_overrides_inference() {
+        let schema = Schema::new(vec![
+            Field::disc("time"),
+            Field::disc("sensorid"), // keep ids discrete
+            Field::cont("temp"),
+        ])
+        .unwrap();
+        let t = parse_csv_with_schema(SAMPLE, schema).unwrap();
+        assert_eq!(t.cat(1).unwrap().cardinality(), 3);
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let text = "name,amt\n\"GMMB, INC.\",5\n\"say \"\"hi\"\"\",6\n";
+        let t = parse_csv(text).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.value(0, 0).unwrap().as_str(), Some("GMMB, INC."));
+        assert_eq!(t.value(1, 0).unwrap().as_str(), Some("say \"hi\""));
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let schema = Schema::new(vec![Field::disc("wrong"), Field::cont("temp")]).unwrap();
+        let text = "time,temp\nx,1\n";
+        assert!(parse_csv_with_schema(text, schema).is_err());
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let text = "a,b\n1,2\n3\n";
+        assert!(parse_csv(text).is_err());
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let schema = Schema::new(vec![Field::cont("x")]).unwrap();
+        let text = "x\nnot_a_number\n";
+        assert!(matches!(
+            parse_csv_with_schema(text, schema),
+            Err(TableError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert!(parse_csv("").is_err());
+        assert!(parse_csv("a,b\n").is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(parse_csv("a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn round_trip_through_file() {
+        let dir = std::env::temp_dir().join("scorpion_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.csv");
+        std::fs::write(&path, SAMPLE).unwrap();
+        let t = load_csv(&path).unwrap();
+        assert_eq!(t.len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,150 @@
+//! Attribute domains: the observed extent of each attribute.
+//!
+//! Domains anchor three operations: binning continuous attributes into the
+//! fixed-width units NAIVE and MC enumerate (§4.2, §6.2), computing the
+//! volume fractions the Merger's cached-tuple approximation needs (§6.3),
+//! and expanding "unconstrained" predicate dimensions when boxes are
+//! subtracted from one another (§6.1.4).
+
+use crate::error::Result;
+use crate::table::Table;
+
+/// The observed domain of one attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrDomain {
+    /// Continuous attribute extent, as a closed interval `[lo, hi]`.
+    Continuous {
+        /// Smallest observed value.
+        lo: f64,
+        /// Largest observed value.
+        hi: f64,
+    },
+    /// Discrete attribute: the number of distinct values.
+    Discrete {
+        /// Dictionary cardinality.
+        cardinality: usize,
+    },
+}
+
+impl AttrDomain {
+    /// The width of a continuous domain (0 for discrete).
+    pub fn span(&self) -> f64 {
+        match self {
+            AttrDomain::Continuous { lo, hi } => hi - lo,
+            AttrDomain::Discrete { .. } => 0.0,
+        }
+    }
+}
+
+/// Computes the per-attribute domains of a table.
+///
+/// An empty continuous column yields the degenerate domain `[0, 0]`.
+pub fn domains_of(table: &Table) -> Result<Vec<AttrDomain>> {
+    let mut out = Vec::with_capacity(table.schema().len());
+    for i in 0..table.schema().len() {
+        let d = match table.column(i)? {
+            crate::column::Column::Num(v) => {
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for &x in v {
+                    if x < lo {
+                        lo = x;
+                    }
+                    if x > hi {
+                        hi = x;
+                    }
+                }
+                if v.is_empty() {
+                    AttrDomain::Continuous { lo: 0.0, hi: 0.0 }
+                } else {
+                    AttrDomain::Continuous { lo, hi }
+                }
+            }
+            crate::column::Column::Cat(c) => AttrDomain::Discrete { cardinality: c.cardinality() },
+        };
+        out.push(d);
+    }
+    Ok(out)
+}
+
+/// Splits `[lo, hi]` into `k` equal-width bins, returning the `k + 1` edges.
+///
+/// Bins are interpreted half-open `[e_i, e_{i+1})`, so the final edge is
+/// nudged up by a relative epsilon to make the top bin include the maximum
+/// observed value. Degenerate domains (`lo == hi`) still produce a usable
+/// single-point cover.
+pub fn bin_edges(lo: f64, hi: f64, k: usize) -> Vec<f64> {
+    assert!(k >= 1, "at least one bin required");
+    let span = hi - lo;
+    let pad = if span == 0.0 { 1e-9_f64.max(lo.abs() * 1e-12) } else { span * 1e-9 };
+    let hi = hi + pad;
+    let width = (hi - lo) / k as f64;
+    let mut edges = Vec::with_capacity(k + 1);
+    for i in 0..=k {
+        edges.push(lo + width * i as f64);
+    }
+    // Guard against floating-point accumulation leaving the final edge
+    // fractionally below the padded maximum.
+    *edges.last_mut().expect("non-empty") = hi;
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::table::TableBuilder;
+    use crate::value::Value;
+
+    #[test]
+    fn domains_cover_observed_values() {
+        let schema =
+            Schema::new(vec![Field::cont("x"), Field::disc("s")]).unwrap();
+        let mut b = TableBuilder::new(schema);
+        for (x, s) in [(3.0, "a"), (-1.0, "b"), (7.5, "a")] {
+            b.push_row(vec![Value::from(x), Value::from(s)]).unwrap();
+        }
+        let t = b.build();
+        let d = domains_of(&t).unwrap();
+        assert_eq!(d[0], AttrDomain::Continuous { lo: -1.0, hi: 7.5 });
+        assert_eq!(d[1], AttrDomain::Discrete { cardinality: 2 });
+        assert!((d[0].span() - 8.5).abs() < 1e-12);
+        assert_eq!(d[1].span(), 0.0);
+    }
+
+    #[test]
+    fn empty_table_domains_are_degenerate() {
+        let schema = Schema::new(vec![Field::cont("x")]).unwrap();
+        let t = TableBuilder::new(schema).build();
+        let d = domains_of(&t).unwrap();
+        assert_eq!(d[0], AttrDomain::Continuous { lo: 0.0, hi: 0.0 });
+    }
+
+    #[test]
+    fn bin_edges_have_correct_count_and_cover_max() {
+        let e = bin_edges(0.0, 100.0, 15);
+        assert_eq!(e.len(), 16);
+        assert_eq!(e[0], 0.0);
+        // Half-open bins must still cover the maximum.
+        assert!(*e.last().unwrap() > 100.0);
+        // Widths are (near) equal.
+        for w in e.windows(2) {
+            assert!((w[1] - w[0] - (e[15] - e[0]) / 15.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bin_edges_monotone() {
+        let e = bin_edges(-5.0, 5.0, 7);
+        for w in e.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn bin_edges_degenerate_domain() {
+        let e = bin_edges(2.0, 2.0, 3);
+        assert_eq!(e.len(), 4);
+        assert!(*e.last().unwrap() > 2.0);
+        assert_eq!(e[0], 2.0);
+    }
+}

@@ -1,0 +1,574 @@
+//! Conjunctive predicates: the paper's explanation language.
+
+use crate::column::Column;
+use crate::domain::AttrDomain;
+use crate::error::Result;
+use crate::predicate::clause::Clause;
+use crate::table::Table;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// A conjunction of per-attribute clauses; each attribute appears in at
+/// most one clause. The empty conjunction matches every tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Predicate {
+    clauses: BTreeMap<usize, Clause>,
+}
+
+impl Predicate {
+    /// The always-true predicate (no clauses).
+    pub fn all() -> Self {
+        Predicate::default()
+    }
+
+    /// Builds a predicate from clauses; later clauses on the same attribute
+    /// are intersected with earlier ones (conjunction semantics). Returns
+    /// `None` when the conjunction is unsatisfiable.
+    pub fn conjunction(clauses: impl IntoIterator<Item = Clause>) -> Option<Self> {
+        let mut p = Predicate::all();
+        for c in clauses {
+            p = p.and_clause(c)?;
+        }
+        Some(p)
+    }
+
+    /// Adds one clause conjunctively; `None` when unsatisfiable.
+    #[must_use]
+    pub fn and_clause(&self, clause: Clause) -> Option<Self> {
+        if clause.is_empty() {
+            return None;
+        }
+        let mut out = self.clone();
+        match out.clauses.get(&clause.attr()) {
+            Some(existing) => {
+                let merged = existing.intersect(&clause)?;
+                out.clauses.insert(clause.attr(), merged);
+            }
+            None => {
+                out.clauses.insert(clause.attr(), clause);
+            }
+        }
+        Some(out)
+    }
+
+    /// Replaces (or inserts) the clause on `clause.attr()` unconditionally.
+    #[must_use]
+    pub fn with_clause(&self, clause: Clause) -> Self {
+        let mut out = self.clone();
+        out.clauses.insert(clause.attr(), clause);
+        out
+    }
+
+    /// Removes the clause on `attr`, widening the predicate.
+    #[must_use]
+    pub fn without_attr(&self, attr: usize) -> Self {
+        let mut out = self.clone();
+        out.clauses.remove(&attr);
+        out
+    }
+
+    /// The clause on `attr`, if any.
+    pub fn clause(&self, attr: usize) -> Option<&Clause> {
+        self.clauses.get(&attr)
+    }
+
+    /// Iterates clauses in attribute order.
+    pub fn clauses(&self) -> impl Iterator<Item = &Clause> {
+        self.clauses.values()
+    }
+
+    /// The set of constrained attributes.
+    pub fn attrs(&self) -> impl Iterator<Item = usize> + '_ {
+        self.clauses.keys().copied()
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// True for the always-true predicate.
+    pub fn is_all(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Compiles the predicate against a table for fast row matching.
+    pub fn matcher<'t>(&self, table: &'t Table) -> Result<PredicateMatcher<'t>> {
+        let mut bound = Vec::with_capacity(self.clauses.len());
+        for clause in self.clauses.values() {
+            let attr = clause.attr();
+            let col = table.column(attr)?;
+            let b = match (clause, col) {
+                (Clause::Range { lo, hi, .. }, Column::Num(v)) => {
+                    BoundClause::Range { data: v, lo: *lo, hi: *hi }
+                }
+                (Clause::In { codes, .. }, Column::Cat(c)) => {
+                    BoundClause::In { codes: c.codes(), set: codes.clone() }
+                }
+                _ => {
+                    let name = table.schema().field(attr)?.name().to_owned();
+                    return Err(crate::error::TableError::TypeMismatch {
+                        attr: name,
+                        expected: match clause {
+                            Clause::Range { .. } => "continuous",
+                            Clause::In { .. } => "discrete",
+                        },
+                    });
+                }
+            };
+            bound.push(b);
+        }
+        Ok(PredicateMatcher { bound })
+    }
+
+    /// Selects, from `rows`, the ids whose tuples satisfy the predicate.
+    pub fn select(&self, table: &Table, rows: &[u32]) -> Result<Vec<u32>> {
+        let m = self.matcher(table)?;
+        Ok(rows.iter().copied().filter(|&r| m.matches(r)).collect())
+    }
+
+    /// Counts the rows of `rows` satisfying the predicate.
+    pub fn count(&self, table: &Table, rows: &[u32]) -> Result<usize> {
+        let m = self.matcher(table)?;
+        Ok(rows.iter().filter(|&&r| m.matches(r)).count())
+    }
+
+    /// Syntactic containment: every tuple matching `self` also matches
+    /// `other` (`self ≺ other` in the paper's notation, modulo strictness).
+    pub fn implies(&self, other: &Predicate) -> bool {
+        other.clauses.iter().all(|(attr, oc)| match self.clauses.get(attr) {
+            Some(sc) => oc.contains(sc),
+            // `other` constrains an attribute `self` leaves free.
+            None => false,
+        })
+    }
+
+    /// Conjunction of two predicates; `None` when unsatisfiable.
+    pub fn intersect(&self, other: &Predicate) -> Option<Predicate> {
+        let mut out = self.clone();
+        for c in other.clauses.values() {
+            out = out.and_clause(c.clone())?;
+        }
+        Some(out)
+    }
+
+    /// Minimum-bounding-box union (§4.3): per-attribute hulls where both
+    /// predicates have clauses; attributes constrained by only one side
+    /// become unconstrained (the box must contain both operands).
+    pub fn hull(&self, other: &Predicate) -> Predicate {
+        let mut clauses = BTreeMap::new();
+        for (attr, sc) in &self.clauses {
+            if let Some(oc) = other.clauses.get(attr) {
+                clauses.insert(*attr, sc.hull(oc));
+            }
+        }
+        Predicate { clauses }
+    }
+
+    /// The fraction of the full attribute-space volume this predicate's
+    /// bounding box occupies (product of per-clause fractions).
+    pub fn volume_fraction(&self, domains: &[AttrDomain]) -> f64 {
+        self.clauses
+            .values()
+            .map(|c| c.fraction(&domains[c.attr()]))
+            .product()
+    }
+
+    /// Whether two boxes touch or overlap in every constrained dimension,
+    /// so their hull introduces no gap. `eps_frac` is the allowed gap as a
+    /// fraction of each attribute's domain span.
+    pub fn is_adjacent(&self, other: &Predicate, domains: &[AttrDomain], eps_frac: f64) -> bool {
+        for (attr, sc) in &self.clauses {
+            if let Some(oc) = other.clauses.get(attr) {
+                let eps = domains[*attr].span() * eps_frac;
+                if !sc.touches(oc, eps) {
+                    return false;
+                }
+            }
+            // Unconstrained on the other side: overlaps trivially.
+        }
+        true
+    }
+
+    /// The effective clause on `attr`: the stored clause, or the full-domain
+    /// clause when unconstrained.
+    fn effective_clause(&self, attr: usize, domains: &[AttrDomain]) -> Clause {
+        if let Some(c) = self.clauses.get(&attr) {
+            return c.clone();
+        }
+        match &domains[attr] {
+            AttrDomain::Continuous { lo, hi } => {
+                // Padded so the half-open range covers the observed maximum.
+                let span = hi - lo;
+                let pad = if span == 0.0 { 1e-9 } else { span * 1e-9 };
+                Clause::range(attr, *lo, hi + pad)
+            }
+            AttrDomain::Discrete { cardinality } => {
+                Clause::in_set(attr, 0..*cardinality as u32)
+            }
+        }
+    }
+
+    /// Carves `self` along `other`'s boundaries (§6.1.4): returns the
+    /// intersection box (if non-empty) and a set of disjoint remainder
+    /// boxes that together cover `self − other`.
+    pub fn carve(
+        &self,
+        other: &Predicate,
+        domains: &[AttrDomain],
+    ) -> (Option<Predicate>, Vec<Predicate>) {
+        let mut remainders = Vec::new();
+        let mut current = self.clone();
+        for (attr, oc) in &other.clauses {
+            let sc = current.effective_clause(*attr, domains);
+            match (&sc, oc) {
+                (Clause::Range { lo: sl, hi: sh, .. }, Clause::Range { lo: ol, hi: oh, .. }) => {
+                    // Left remainder: [sl, min(sh, ol))
+                    let left_hi = sh.min(*ol);
+                    if *sl < left_hi {
+                        remainders.push(current.with_clause(Clause::range(*attr, *sl, left_hi)));
+                    }
+                    // Right remainder: [max(sl, oh), sh)
+                    let right_lo = sl.max(*oh);
+                    if right_lo < *sh {
+                        remainders.push(current.with_clause(Clause::range(*attr, right_lo, *sh)));
+                    }
+                    // Middle: overlap.
+                    let (ml, mh) = (sl.max(*ol), sh.min(*oh));
+                    if ml < mh {
+                        current = current.with_clause(Clause::range(*attr, ml, mh));
+                    } else {
+                        return (None, remainders);
+                    }
+                }
+                (Clause::In { codes: scod, .. }, Clause::In { codes: ocod, .. }) => {
+                    let outside: BTreeSet<u32> = scod.difference(ocod).copied().collect();
+                    if !outside.is_empty() {
+                        remainders.push(current.with_clause(Clause::in_set(*attr, outside)));
+                    }
+                    let inside: BTreeSet<u32> = scod.intersection(ocod).copied().collect();
+                    if inside.is_empty() {
+                        return (None, remainders);
+                    }
+                    current = current.with_clause(Clause::in_set(*attr, inside));
+                }
+                // Mixed kinds cannot arise on a well-typed schema.
+                _ => return (None, remainders),
+            }
+        }
+        (Some(current), remainders)
+    }
+
+    /// Drops clauses that admit an attribute's entire observed domain
+    /// (range covering `[lo, hi]`, or a value set containing every code),
+    /// which arise when tree partitions or merges span a full dimension.
+    /// The simplified predicate selects exactly the same rows.
+    #[must_use]
+    pub fn simplify(&self, domains: &[AttrDomain]) -> Predicate {
+        let mut out = BTreeMap::new();
+        for (attr, c) in &self.clauses {
+            let full = match (c, &domains[*attr]) {
+                (Clause::Range { lo, hi, .. }, AttrDomain::Continuous { lo: dl, hi: dh }) => {
+                    *lo <= *dl && *dh < *hi
+                }
+                (Clause::In { codes, .. }, AttrDomain::Discrete { cardinality }) => {
+                    codes.len() >= *cardinality
+                }
+                _ => false,
+            };
+            if !full {
+                out.insert(*attr, c.clone());
+            }
+        }
+        Predicate { clauses: out }
+    }
+
+    /// Renders the predicate as a SQL-like string, resolving dictionary
+    /// codes against `table`.
+    pub fn display(&self, table: &Table) -> String {
+        if self.is_all() {
+            return "TRUE".to_owned();
+        }
+        let mut parts = Vec::with_capacity(self.clauses.len());
+        for clause in self.clauses.values() {
+            let attr = clause.attr();
+            let name = table
+                .schema()
+                .field(attr)
+                .map(|f| f.name().to_owned())
+                .unwrap_or_else(|_| format!("attr{attr}"));
+            let mut s = String::new();
+            match clause {
+                Clause::Range { lo, hi, .. } => {
+                    // Use more digits when rounding would collapse the
+                    // bounds (epsilon-padded ranges).
+                    let (a, b) = (format!("{lo:.4}"), format!("{hi:.4}"));
+                    if a == b {
+                        let _ = write!(s, "{name} in [{lo}, {hi})");
+                    } else {
+                        let _ = write!(s, "{name} in [{a}, {b})");
+                    }
+                }
+                Clause::In { codes, .. } => {
+                    let vals: Vec<String> = match table.cat(attr) {
+                        Ok(cat) => codes
+                            .iter()
+                            .map(|&c| format!("'{}'", cat.value_of(c)))
+                            .collect(),
+                        Err(_) => codes.iter().map(|c| c.to_string()).collect(),
+                    };
+                    let _ = write!(s, "{name} in ({})", vals.join(", "));
+                }
+            }
+            parts.push(s);
+        }
+        parts.join(" AND ")
+    }
+}
+
+/// A single clause bound to its column for fast evaluation.
+enum BoundClause<'t> {
+    Range { data: &'t [f64], lo: f64, hi: f64 },
+    In { codes: &'t [u32], set: BTreeSet<u32> },
+}
+
+/// A predicate compiled against a specific table.
+pub struct PredicateMatcher<'t> {
+    bound: Vec<BoundClause<'t>>,
+}
+
+impl PredicateMatcher<'_> {
+    /// Does row `r` satisfy every clause?
+    #[inline]
+    pub fn matches(&self, r: u32) -> bool {
+        let r = r as usize;
+        self.bound.iter().all(|b| match b {
+            BoundClause::Range { data, lo, hi } => {
+                let v = data[r];
+                *lo <= v && v < *hi
+            }
+            BoundClause::In { codes, set } => set.contains(&codes[r]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::table::TableBuilder;
+    use crate::value::Value;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::cont("x"),
+            Field::cont("y"),
+            Field::disc("s"),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        let rows = [
+            (1.0, 10.0, "a"),
+            (5.0, 20.0, "b"),
+            (9.0, 30.0, "a"),
+            (5.0, 35.0, "c"),
+        ];
+        for (x, y, s) in rows {
+            b.push_row(vec![Value::from(x), Value::from(y), Value::from(s)]).unwrap();
+        }
+        b.build()
+    }
+
+    fn domains(t: &Table) -> Vec<AttrDomain> {
+        crate::domain::domains_of(t).unwrap()
+    }
+
+    #[test]
+    fn all_matches_everything() {
+        let t = table();
+        let p = Predicate::all();
+        assert!(p.is_all());
+        assert_eq!(p.select(&t, &[0, 1, 2, 3]).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(p.display(&t), "TRUE");
+    }
+
+    #[test]
+    fn conjunction_selects_rows() {
+        let t = table();
+        let p = Predicate::conjunction([
+            Clause::range(0, 2.0, 10.0),
+            Clause::in_set(2, [t.cat(2).unwrap().code_of("b").unwrap()]),
+        ])
+        .unwrap();
+        assert_eq!(p.select(&t, &[0, 1, 2, 3]).unwrap(), vec![1]);
+        assert_eq!(p.count(&t, &[0, 1, 2, 3]).unwrap(), 1);
+    }
+
+    #[test]
+    fn and_clause_intersects_same_attr() {
+        let p = Predicate::all()
+            .and_clause(Clause::range(0, 0.0, 10.0))
+            .unwrap()
+            .and_clause(Clause::range(0, 5.0, 20.0))
+            .unwrap();
+        assert_eq!(p.clause(0), Some(&Clause::range(0, 5.0, 10.0)));
+        assert!(Predicate::all()
+            .and_clause(Clause::range(0, 0.0, 1.0))
+            .unwrap()
+            .and_clause(Clause::range(0, 2.0, 3.0))
+            .is_none());
+    }
+
+    #[test]
+    fn implication() {
+        let narrow = Predicate::conjunction([
+            Clause::range(0, 4.0, 6.0),
+            Clause::range(1, 15.0, 25.0),
+        ])
+        .unwrap();
+        let wide = Predicate::conjunction([Clause::range(0, 0.0, 10.0)]).unwrap();
+        assert!(narrow.implies(&wide));
+        assert!(!wide.implies(&narrow));
+        assert!(narrow.implies(&Predicate::all()));
+        assert!(!Predicate::all().implies(&wide));
+    }
+
+    #[test]
+    fn hull_drops_one_sided_attrs() {
+        let a = Predicate::conjunction([
+            Clause::range(0, 0.0, 2.0),
+            Clause::range(1, 10.0, 20.0),
+        ])
+        .unwrap();
+        let b = Predicate::conjunction([Clause::range(0, 5.0, 9.0)]).unwrap();
+        let h = a.hull(&b);
+        assert_eq!(h.clause(0), Some(&Clause::range(0, 0.0, 9.0)));
+        // y constrained only by `a`, so the hull must free it.
+        assert_eq!(h.clause(1), None);
+        assert!(a.implies(&h) && b.implies(&h));
+    }
+
+    #[test]
+    fn volume_fraction_multiplies() {
+        let t = table();
+        let d = domains(&t); // x: [1,9], y: [10,35], s card 3
+        let p = Predicate::conjunction([
+            Clause::range(0, 1.0, 5.0),  // 4/8
+            Clause::range(1, 10.0, 20.0), // 10/25
+        ])
+        .unwrap();
+        assert!((p.volume_fraction(&d) - 0.5 * 0.4).abs() < 1e-12);
+        assert_eq!(Predicate::all().volume_fraction(&d), 1.0);
+    }
+
+    #[test]
+    fn adjacency() {
+        let t = table();
+        let d = domains(&t);
+        let a = Predicate::conjunction([Clause::range(0, 1.0, 5.0)]).unwrap();
+        let b = Predicate::conjunction([Clause::range(0, 5.0, 9.0)]).unwrap();
+        let c = Predicate::conjunction([Clause::range(0, 7.0, 9.0)]).unwrap();
+        assert!(a.is_adjacent(&b, &d, 0.0));
+        assert!(!a.is_adjacent(&c, &d, 0.01));
+        // Everything is adjacent to the unconstrained predicate.
+        assert!(a.is_adjacent(&Predicate::all(), &d, 0.0));
+    }
+
+    #[test]
+    fn carve_range() {
+        let t = table();
+        let d = domains(&t);
+        let outer = Predicate::conjunction([Clause::range(0, 1.0, 9.0)]).unwrap();
+        let inner = Predicate::conjunction([Clause::range(0, 3.0, 5.0)]).unwrap();
+        let (mid, rem) = outer.carve(&inner, &d);
+        assert_eq!(mid.unwrap().clause(0), Some(&Clause::range(0, 3.0, 5.0)));
+        assert_eq!(rem.len(), 2);
+        assert_eq!(rem[0].clause(0), Some(&Clause::range(0, 1.0, 3.0)));
+        assert_eq!(rem[1].clause(0), Some(&Clause::range(0, 5.0, 9.0)));
+    }
+
+    #[test]
+    fn carve_disjoint_returns_no_intersection() {
+        let t = table();
+        let d = domains(&t);
+        let a = Predicate::conjunction([Clause::range(0, 1.0, 3.0)]).unwrap();
+        let b = Predicate::conjunction([Clause::range(0, 5.0, 7.0)]).unwrap();
+        let (mid, rem) = a.carve(&b, &d);
+        assert!(mid.is_none());
+        assert_eq!(rem.len(), 1);
+        assert_eq!(rem[0], a);
+    }
+
+    #[test]
+    fn carve_discrete_and_unconstrained_dims() {
+        let t = table();
+        let d = domains(&t);
+        // `self` unconstrained on s; carve by a discrete clause.
+        let outer = Predicate::conjunction([Clause::range(0, 1.0, 9.0)]).unwrap();
+        let code_a = t.cat(2).unwrap().code_of("a").unwrap();
+        let by = Predicate::conjunction([Clause::in_set(2, [code_a])]).unwrap();
+        let (mid, rem) = outer.carve(&by, &d);
+        let mid = mid.unwrap();
+        assert_eq!(mid.clause(2), Some(&Clause::in_set(2, [code_a])));
+        assert_eq!(rem.len(), 1);
+        // Remainder admits the other codes.
+        let rem_clause = rem[0].clause(2).unwrap();
+        assert!(!rem_clause.matches_code(code_a));
+        // Together mid+remainder cover exactly outer's rows.
+        let all_rows: Vec<u32> = (0..t.len() as u32).collect();
+        let mut covered: Vec<u32> = mid.select(&t, &all_rows).unwrap();
+        covered.extend(rem[0].select(&t, &all_rows).unwrap());
+        covered.sort_unstable();
+        assert_eq!(covered, outer.select(&t, &all_rows).unwrap());
+    }
+
+    #[test]
+    fn display_renders_names_and_values() {
+        let t = table();
+        let code_a = t.cat(2).unwrap().code_of("a").unwrap();
+        let p = Predicate::conjunction([
+            Clause::range(0, 1.0, 5.0),
+            Clause::in_set(2, [code_a]),
+        ])
+        .unwrap();
+        let s = p.display(&t);
+        assert!(s.contains("x in [1.0000, 5.0000)"), "{s}");
+        assert!(s.contains("s in ('a')"), "{s}");
+        assert!(s.contains(" AND "), "{s}");
+    }
+
+    #[test]
+    fn simplify_drops_full_domain_clauses() {
+        let t = table();
+        let d = domains(&t); // x: [1,9], s card 3
+        let p = Predicate::conjunction([
+            Clause::range(0, 0.0, 100.0),  // covers all of x
+            Clause::range(1, 15.0, 25.0),  // partial on y
+            Clause::in_set(2, [0, 1, 2]),  // all codes
+        ])
+        .unwrap();
+        let s = p.simplify(&d);
+        assert!(s.clause(0).is_none());
+        assert!(s.clause(1).is_some());
+        assert!(s.clause(2).is_none());
+        // Same selection.
+        let rows: Vec<u32> = (0..t.len() as u32).collect();
+        assert_eq!(p.select(&t, &rows).unwrap(), s.select(&t, &rows).unwrap());
+        // Partial clauses survive.
+        let q = Predicate::conjunction([Clause::range(0, 1.0, 5.0)]).unwrap();
+        assert_eq!(q.simplify(&d), q);
+    }
+
+    #[test]
+    fn without_attr_widens() {
+        let p = Predicate::conjunction([
+            Clause::range(0, 1.0, 2.0),
+            Clause::range(1, 3.0, 4.0),
+        ])
+        .unwrap();
+        let q = p.without_attr(0);
+        assert!(q.clause(0).is_none());
+        assert!(p.implies(&q));
+    }
+}

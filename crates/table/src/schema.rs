@@ -1,0 +1,178 @@
+//! Schemas: named, typed attribute lists.
+
+use crate::error::{Result, TableError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The two attribute kinds Scorpion's predicate language distinguishes
+/// (§3.1): range clauses constrain continuous attributes, set-containment
+/// clauses constrain discrete attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// Real-valued; stored as `f64`, constrained by `[lo, hi)` ranges.
+    Continuous,
+    /// Categorical; dictionary-encoded, constrained by value sets.
+    Discrete,
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrType::Continuous => write!(f, "continuous"),
+            AttrType::Discrete => write!(f, "discrete"),
+        }
+    }
+}
+
+/// A single named, typed attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    name: String,
+    ty: AttrType,
+}
+
+impl Field {
+    /// Creates a field with an explicit type.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
+        Field { name: name.into(), ty }
+    }
+
+    /// Shorthand for a continuous field.
+    pub fn cont(name: impl Into<String>) -> Self {
+        Field::new(name, AttrType::Continuous)
+    }
+
+    /// Shorthand for a discrete field.
+    pub fn disc(name: impl Into<String>) -> Self {
+        Field::new(name, AttrType::Discrete)
+    }
+
+    /// The attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute type.
+    pub fn ty(&self) -> AttrType {
+        self.ty
+    }
+}
+
+/// An ordered list of uniquely named fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate attribute names.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        let mut by_name = HashMap::with_capacity(fields.len());
+        for (i, f) in fields.iter().enumerate() {
+            if by_name.insert(f.name.clone(), i).is_some() {
+                return Err(TableError::DuplicateAttribute(f.name.clone()));
+            }
+        }
+        Ok(Schema { fields, by_name })
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The field at position `i`.
+    pub fn field(&self, i: usize) -> Result<&Field> {
+        self.fields
+            .get(i)
+            .ok_or(TableError::AttributeOutOfBounds { index: i, len: self.fields.len() })
+    }
+
+    /// The index of the attribute named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| TableError::UnknownAttribute(name.to_owned()))
+    }
+
+    /// Iterates over the fields in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Field> {
+        self.fields.iter()
+    }
+
+    /// Returns the indices of all attributes of the given type.
+    pub fn indices_of_type(&self, ty: AttrType) -> Vec<usize> {
+        self.fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.ty == ty)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sensors_schema() -> Schema {
+        Schema::new(vec![
+            Field::disc("time"),
+            Field::disc("sensorid"),
+            Field::cont("voltage"),
+            Field::cont("humidity"),
+            Field::cont("temp"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let s = sensors_schema();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.index_of("voltage").unwrap(), 2);
+        assert_eq!(s.field(4).unwrap().name(), "temp");
+        assert_eq!(s.field(4).unwrap().ty(), AttrType::Continuous);
+        assert!(matches!(
+            s.index_of("nope"),
+            Err(TableError::UnknownAttribute(_))
+        ));
+        assert!(matches!(
+            s.field(9),
+            Err(TableError::AttributeOutOfBounds { index: 9, len: 5 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = Schema::new(vec![Field::cont("a"), Field::disc("a")]);
+        assert!(matches!(r, Err(TableError::DuplicateAttribute(_))));
+    }
+
+    #[test]
+    fn indices_of_type_filters() {
+        let s = sensors_schema();
+        assert_eq!(s.indices_of_type(AttrType::Discrete), vec![0, 1]);
+        assert_eq!(s.indices_of_type(AttrType::Continuous), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new(vec![]).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn attr_type_display() {
+        assert_eq!(AttrType::Continuous.to_string(), "continuous");
+        assert_eq!(AttrType::Discrete.to_string(), "discrete");
+    }
+}

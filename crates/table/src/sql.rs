@@ -1,0 +1,454 @@
+//! A minimal SQL front-end for the paper's query class (§3.1):
+//! select-project-group-by queries with a single aggregate —
+//!
+//! ```sql
+//! SELECT avg(temp), time FROM sensors GROUP BY time
+//! SELECT stddev(temp) FROM readings WHERE 10 <= time GROUP BY hour
+//! SELECT sum(disb_amt) FROM expenses WHERE candidate = 'Obama' GROUP BY date
+//! ```
+//!
+//! The WHERE clause supports conjunctions of simple comparisons
+//! (`attr = 'str'`, `attr (<|<=|>|>=) number`, `attr IN ('a', 'b')`).
+//! Selections are *materialized* before explanation, exactly as §3.1
+//! models them ("We model join queries by materializing the join result
+//! and assigning it as D"). The parser is hand-rolled recursive descent —
+//! no dependencies.
+
+use crate::error::{Result, TableError};
+use std::fmt;
+
+/// One WHERE comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// `attr = 'value'` (discrete equality).
+    EqStr(String, String),
+    /// `attr IN ('a', 'b', ...)`.
+    InStr(String, Vec<String>),
+    /// `attr < x`.
+    Lt(String, f64),
+    /// `attr <= x`.
+    Le(String, f64),
+    /// `attr > x`.
+    Gt(String, f64),
+    /// `attr >= x`.
+    Ge(String, f64),
+}
+
+/// A parsed select-project-group-by query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedQuery {
+    /// Aggregate function name (lower case).
+    pub agg_name: String,
+    /// The aggregated attribute (`A_agg`).
+    pub agg_attr: String,
+    /// Source relation name (informational; execution binds to a table).
+    pub from: String,
+    /// WHERE conjunction (possibly empty).
+    pub selection: Vec<Condition>,
+    /// GROUP BY attributes (`A_gb`).
+    pub group_by: Vec<String>,
+}
+
+impl fmt::Display for ParsedQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT {}({}) FROM {}", self.agg_name, self.agg_attr, self.from)?;
+        if !self.selection.is_empty() {
+            write!(f, " WHERE ...")?;
+        }
+        write!(f, " GROUP BY {}", self.group_by.join(", "))
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Num(f64),
+    LParen,
+    RParen,
+    Comma,
+    Op(&'static str),
+}
+
+fn lex(sql: &str) -> Result<Vec<Tok>> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    let err = |msg: String| TableError::UnknownAttribute(format!("SQL syntax: {msg}"));
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                while i < chars.len() && chars[i] != '\'' {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    return Err(err("unterminated string literal".into()));
+                }
+                i += 1; // closing quote
+                toks.push(Tok::Str(s));
+            }
+            '<' | '>' | '=' => {
+                if c == '<' && chars.get(i + 1) == Some(&'=') {
+                    toks.push(Tok::Op("<="));
+                    i += 2;
+                } else if c == '>' && chars.get(i + 1) == Some(&'=') {
+                    toks.push(Tok::Op(">="));
+                    i += 2;
+                } else {
+                    toks.push(Tok::Op(match c {
+                        '<' => "<",
+                        '>' => ">",
+                        _ => "=",
+                    }));
+                    i += 1;
+                }
+            }
+            _ if c.is_ascii_digit() || c == '-' || c == '.' => {
+                let start = i;
+                i += 1;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == 'e'
+                        || chars[i] == 'E' || chars[i] == '-' || chars[i] == '+')
+                {
+                    // Only allow sign right after an exponent marker.
+                    if (chars[i] == '-' || chars[i] == '+')
+                        && !matches!(chars[i - 1], 'e' | 'E')
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let v: f64 =
+                    text.parse().map_err(|_| err(format!("bad number `{text}`")))?;
+                toks.push(Tok::Num(v));
+            }
+            _ if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok::Ident(chars[start..i].iter().collect()));
+            }
+            _ => return Err(err(format!("unexpected character `{c}`"))),
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: impl Into<String>) -> TableError {
+        TableError::UnknownAttribute(format!("SQL syntax: {}", msg.into()))
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        match self.next() {
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(self.err(format!("expected `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn kw_is(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn parse(&mut self) -> Result<ParsedQuery> {
+        self.expect_kw("SELECT")?;
+        // agg(attr) [, extra projections up to FROM are tolerated]
+        let agg_name = self.ident()?.to_ascii_lowercase();
+        if self.next() != Some(Tok::LParen) {
+            return Err(self.err("expected `(` after aggregate name"));
+        }
+        let agg_attr = self.ident()?;
+        if self.next() != Some(Tok::RParen) {
+            return Err(self.err("expected `)` after aggregate attribute"));
+        }
+        // Skip optional extra projection list (`, time`), which the
+        // GROUP BY restates.
+        while self.peek() == Some(&Tok::Comma) {
+            self.next();
+            self.ident()?;
+        }
+        self.expect_kw("FROM")?;
+        let from = self.ident()?;
+
+        let mut selection = Vec::new();
+        if self.kw_is("WHERE") {
+            self.next();
+            loop {
+                selection.push(self.condition()?);
+                if self.kw_is("AND") {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        self.expect_kw("GROUP")?;
+        self.expect_kw("BY")?;
+        let mut group_by = vec![self.ident()?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.next();
+            group_by.push(self.ident()?);
+        }
+        if self.pos != self.toks.len() {
+            return Err(self.err("trailing tokens after GROUP BY"));
+        }
+        Ok(ParsedQuery { agg_name, agg_attr, from, selection, group_by })
+    }
+
+    fn condition(&mut self) -> Result<Condition> {
+        let attr = self.ident()?;
+        if self.kw_is("IN") {
+            self.next();
+            if self.next() != Some(Tok::LParen) {
+                return Err(self.err("expected `(` after IN"));
+            }
+            let mut vals = Vec::new();
+            loop {
+                match self.next() {
+                    Some(Tok::Str(s)) => vals.push(s),
+                    other => return Err(self.err(format!("expected string, found {other:?}"))),
+                }
+                match self.next() {
+                    Some(Tok::Comma) => continue,
+                    Some(Tok::RParen) => break,
+                    other => return Err(self.err(format!("expected `,` or `)`, found {other:?}"))),
+                }
+            }
+            return Ok(Condition::InStr(attr, vals));
+        }
+        let op = match self.next() {
+            Some(Tok::Op(op)) => op,
+            other => return Err(self.err(format!("expected comparison, found {other:?}"))),
+        };
+        match (op, self.next()) {
+            ("=", Some(Tok::Str(s))) => Ok(Condition::EqStr(attr, s)),
+            ("<", Some(Tok::Num(v))) => Ok(Condition::Lt(attr, v)),
+            ("<=", Some(Tok::Num(v))) => Ok(Condition::Le(attr, v)),
+            (">", Some(Tok::Num(v))) => Ok(Condition::Gt(attr, v)),
+            (">=", Some(Tok::Num(v))) => Ok(Condition::Ge(attr, v)),
+            (op, other) => Err(self.err(format!("unsupported comparison `{op}` {other:?}"))),
+        }
+    }
+}
+
+/// Parses a select-project-group-by query.
+pub fn parse_query(sql: &str) -> Result<ParsedQuery> {
+    let toks = lex(sql)?;
+    Parser { toks, pos: 0 }.parse()
+}
+
+/// Evaluates a WHERE conjunction against a table, returning matching rows.
+pub fn apply_selection(
+    table: &crate::table::Table,
+    conditions: &[Condition],
+) -> Result<Vec<u32>> {
+    let mut keep: Vec<bool> = vec![true; table.len()];
+    for cond in conditions {
+        match cond {
+            Condition::EqStr(attr, val) => {
+                let cat = table.cat(table.attr(attr)?)?;
+                let code = cat.code_of(val);
+                for (r, k) in keep.iter_mut().enumerate() {
+                    *k = *k && Some(cat.codes()[r]) == code;
+                }
+            }
+            Condition::InStr(attr, vals) => {
+                let cat = table.cat(table.attr(attr)?)?;
+                let codes: Vec<Option<u32>> = vals.iter().map(|v| cat.code_of(v)).collect();
+                for (r, k) in keep.iter_mut().enumerate() {
+                    *k = *k && codes.contains(&Some(cat.codes()[r]));
+                }
+            }
+            Condition::Lt(attr, x) | Condition::Le(attr, x) | Condition::Gt(attr, x)
+            | Condition::Ge(attr, x) => {
+                let col = table.num(table.attr(attr)?)?;
+                for (r, k) in keep.iter_mut().enumerate() {
+                    let v = col[r];
+                    *k = *k
+                        && match cond {
+                            Condition::Lt(..) => v < *x,
+                            Condition::Le(..) => v <= *x,
+                            Condition::Gt(..) => v > *x,
+                            Condition::Ge(..) => v >= *x,
+                            _ => unreachable!(),
+                        };
+                }
+            }
+        }
+    }
+    Ok((0..table.len() as u32).filter(|&r| keep[r as usize]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::table::TableBuilder;
+    use crate::value::Value;
+
+    #[test]
+    fn parses_paper_q1() {
+        let q = parse_query("SELECT avg(temp), time FROM sensors GROUP BY time").unwrap();
+        assert_eq!(q.agg_name, "avg");
+        assert_eq!(q.agg_attr, "temp");
+        assert_eq!(q.from, "sensors");
+        assert!(q.selection.is_empty());
+        assert_eq!(q.group_by, vec!["time"]);
+    }
+
+    #[test]
+    fn parses_where_equality_and_ranges() {
+        let q = parse_query(
+            "SELECT sum(disb_amt) FROM expenses WHERE candidate = 'Obama' GROUP BY date",
+        )
+        .unwrap();
+        assert_eq!(q.selection, vec![Condition::EqStr("candidate".into(), "Obama".into())]);
+
+        let q = parse_query(
+            "SELECT stddev(temp) FROM readings WHERE time >= 10 AND time < 20 GROUP BY hour",
+        )
+        .unwrap();
+        assert_eq!(
+            q.selection,
+            vec![Condition::Ge("time".into(), 10.0), Condition::Lt("time".into(), 20.0)]
+        );
+    }
+
+    #[test]
+    fn parses_in_list_and_multi_group_by() {
+        let q = parse_query(
+            "SELECT count(x) FROM t WHERE st IN ('DC', 'NY') GROUP BY a, b",
+        )
+        .unwrap();
+        assert_eq!(
+            q.selection,
+            vec![Condition::InStr("st".into(), vec!["DC".into(), "NY".into()])]
+        );
+        assert_eq!(q.group_by, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let q = parse_query("select AVG(temp) from s group by time").unwrap();
+        assert_eq!(q.agg_name, "avg");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_query("SELECT avg temp FROM s GROUP BY t").is_err());
+        assert!(parse_query("SELECT avg(temp) FROM s").is_err());
+        assert!(parse_query("avg(temp) FROM s GROUP BY t").is_err());
+        assert!(parse_query("SELECT avg(temp) FROM s GROUP BY t extra").is_err());
+        assert!(parse_query("SELECT avg(temp) FROM s WHERE x ~ 3 GROUP BY t").is_err());
+        assert!(parse_query("SELECT avg(temp) FROM s WHERE x = 'unterminated GROUP BY t")
+            .is_err());
+    }
+
+    fn sample() -> crate::table::Table {
+        let schema = Schema::new(vec![
+            Field::disc("candidate"),
+            Field::cont("amt"),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        for (c, a) in [("Obama", 10.0), ("Romney", 20.0), ("Obama", 30.0)] {
+            b.push_row(vec![Value::from(c), Value::from(a)]).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn selection_equality() {
+        let t = sample();
+        let rows =
+            apply_selection(&t, &[Condition::EqStr("candidate".into(), "Obama".into())])
+                .unwrap();
+        assert_eq!(rows, vec![0, 2]);
+    }
+
+    #[test]
+    fn selection_numeric_and_conjunction() {
+        let t = sample();
+        let rows = apply_selection(
+            &t,
+            &[
+                Condition::Ge("amt".into(), 10.0),
+                Condition::Lt("amt".into(), 30.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(rows, vec![0, 1]);
+    }
+
+    #[test]
+    fn selection_unknown_value_matches_nothing() {
+        let t = sample();
+        let rows =
+            apply_selection(&t, &[Condition::EqStr("candidate".into(), "Nobody".into())])
+                .unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn selection_in_list() {
+        let t = sample();
+        let rows = apply_selection(
+            &t,
+            &[Condition::InStr("candidate".into(), vec!["Romney".into(), "Nobody".into()])],
+        )
+        .unwrap();
+        assert_eq!(rows, vec![1]);
+    }
+
+    #[test]
+    fn display_round_trip_info() {
+        let q = parse_query("SELECT avg(temp) FROM s GROUP BY time").unwrap();
+        let s = q.to_string();
+        assert!(s.contains("avg(temp)"));
+        assert!(s.contains("GROUP BY time"));
+    }
+}

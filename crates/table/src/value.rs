@@ -1,0 +1,180 @@
+//! Scalar values and a totally-ordered `f64` wrapper.
+//!
+//! Scorpion distinguishes two attribute kinds (§3.1 of the paper):
+//! *continuous* attributes, which predicates constrain with range clauses,
+//! and *discrete* attributes, constrained with set-containment clauses.
+//! [`Value`] is the dynamically-typed scalar used at the table-builder
+//! boundary; the columnar storage keeps values unboxed.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A dynamically typed scalar cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A continuous (floating point) value.
+    Num(f64),
+    /// A discrete (categorical) value.
+    Str(String),
+}
+
+impl Value {
+    /// Returns the numeric payload, if this is a [`Value::Num`].
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(v) => Some(*v),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Num(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Num(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Num(v as f64)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Num(v as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Num(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// An `f64` wrapper with total order, equality, and hashing based on the
+/// IEEE-754 bit pattern (after canonicalizing NaN and `-0.0`).
+///
+/// Used as a group-by key component and as a map key for caching per-`c`
+/// results. NaN compares greater than every other value (matching
+/// [`f64::total_cmp`]).
+#[derive(Debug, Clone, Copy)]
+pub struct OrdF64(pub f64);
+
+impl OrdF64 {
+    fn canonical_bits(self) -> u64 {
+        if self.0.is_nan() {
+            f64::NAN.to_bits()
+        } else if self.0 == 0.0 {
+            0.0f64.to_bits()
+        } else {
+            self.0.to_bits()
+        }
+    }
+}
+
+impl PartialEq for OrdF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.canonical_bits() == other.canonical_bits()
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Hash for OrdF64 {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.canonical_bits().hash(state);
+    }
+}
+
+impl fmt::Display for OrdF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(1.5).as_num(), Some(1.5));
+        assert_eq!(Value::from(3i64).as_num(), Some(3.0));
+        assert_eq!(Value::from("abc").as_str(), Some("abc"));
+        assert_eq!(Value::from("abc".to_string()).as_str(), Some("abc"));
+        assert_eq!(Value::Num(1.0).as_str(), None);
+        assert_eq!(Value::Str("x".into()).as_num(), None);
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::Num(2.5).to_string(), "2.5");
+        assert_eq!(Value::Str("DC".into()).to_string(), "DC");
+    }
+
+    #[test]
+    fn ordf64_total_order() {
+        let mut v = [OrdF64(3.0), OrdF64(-1.0), OrdF64(f64::NAN), OrdF64(0.0)];
+        v.sort();
+        assert_eq!(v[0], OrdF64(-1.0));
+        assert_eq!(v[1], OrdF64(0.0));
+        assert_eq!(v[2], OrdF64(3.0));
+        assert!(v[3].0.is_nan());
+    }
+
+    #[test]
+    fn ordf64_negative_zero_equals_zero() {
+        assert_eq!(OrdF64(0.0), OrdF64(-0.0));
+        let mut m = HashMap::new();
+        m.insert(OrdF64(-0.0), 1);
+        assert_eq!(m.get(&OrdF64(0.0)), Some(&1));
+    }
+
+    #[test]
+    fn ordf64_nan_hash_consistent() {
+        let a = OrdF64(f64::NAN);
+        let b = OrdF64(-f64::NAN);
+        assert_eq!(a, b);
+        let mut m = HashMap::new();
+        m.insert(a, 7);
+        assert_eq!(m.get(&b), Some(&7));
+    }
+}

@@ -1,0 +1,99 @@
+//! Quickstart: the paper's running example (§2, Tables 1 & 2).
+//!
+//! Builds the 9-row sensor table, runs `SELECT avg(temp) GROUP BY time`,
+//! labels the 12PM and 1PM averages as "too high" with 11AM as the
+//! hold-out, and asks Scorpion why.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use scorpion::prelude::*;
+
+fn main() {
+    // Table 1 of the paper.
+    let schema = Schema::new(vec![
+        Field::disc("time"),
+        Field::disc("sensorid"),
+        Field::cont("voltage"),
+        Field::cont("humidity"),
+        Field::cont("temp"),
+    ])
+    .expect("schema");
+    let rows: [(&str, &str, f64, f64, f64); 9] = [
+        ("11AM", "1", 2.64, 0.4, 34.0),
+        ("11AM", "2", 2.65, 0.5, 35.0),
+        ("11AM", "3", 2.63, 0.4, 35.0),
+        ("12PM", "1", 2.70, 0.3, 35.0),
+        ("12PM", "2", 2.70, 0.5, 35.0),
+        ("12PM", "3", 2.30, 0.4, 100.0),
+        ("1PM", "1", 2.70, 0.3, 35.0),
+        ("1PM", "2", 2.70, 0.5, 35.0),
+        ("1PM", "3", 2.30, 0.5, 80.0),
+    ];
+    let mut b = TableBuilder::new(schema);
+    for (t, s, v, h, temp) in rows {
+        b.push_row(vec![t.into(), s.into(), v.into(), h.into(), temp.into()])
+            .expect("row");
+    }
+    let table = b.build();
+
+    // Q1: SELECT avg(temp), time FROM sensors GROUP BY time.
+    let grouping = group_by(&table, &[0]).expect("group by time");
+    let avgs = aggregate_groups(&table, &grouping, 4, |v| {
+        v.iter().sum::<f64>() / v.len() as f64
+    })
+    .expect("avg");
+    println!("Query results (Table 2):");
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..grouping.len() {
+        println!("  α{} {}  AVG(temp) = {:.1}", i + 1, grouping.display_key(&table, i), avgs[i]);
+    }
+
+    // The analyst flags α2 (12PM) and α3 (1PM) as too high, α1 as normal.
+    let query = LabeledQuery {
+        table: &table,
+        grouping: &grouping,
+        agg: &Avg,
+        agg_attr: 4,
+        outliers: vec![(1, 1.0), (2, 1.0)],
+        holdouts: vec![0],
+    };
+
+    println!("\nScorpion explanations by c (λ = 0.5):");
+    for c in [1.0, 0.5, 0.0] {
+        let cfg = ScorpionConfig {
+            params: InfluenceParams { lambda: 0.5, c },
+            ..ScorpionConfig::default()
+        };
+        let ex = explain(&query, &cfg).expect("explain");
+        let best = ex.best();
+        println!(
+            "  c = {c:<4}  [{}]  inf = {:+.3}  {}",
+            ex.diagnostics.algorithm,
+            best.influence,
+            best.predicate.display(&table)
+        );
+
+        // Show the updated output with the explanation's tuples removed.
+        let all_rows: Vec<u32> = (0..table.len() as u32).collect();
+        let removed = best.predicate.select(&table, &all_rows).expect("select");
+        let temps = table.num(4).expect("temp");
+        print!("            after deletion:");
+        for g in 0..grouping.len() {
+            let kept: Vec<f64> = grouping
+                .rows(g)
+                .iter()
+                .filter(|r| !removed.contains(r))
+                .map(|&r| temps[r as usize])
+                .collect();
+            let avg = if kept.is_empty() {
+                f64::NAN
+            } else {
+                kept.iter().sum::<f64>() / kept.len() as f64
+            };
+            print!("  {} → {avg:.1}", grouping.display_key(&table, g));
+        }
+        println!();
+    }
+}

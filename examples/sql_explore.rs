@@ -1,0 +1,68 @@
+//! SQL-driven exploration: the full front-to-back flow of the paper's
+//! system (Figure 2) — load a CSV, run a SQL aggregate query, label
+//! outliers, explain, and preview the repaired series.
+//!
+//! ```text
+//! cargo run --release --example sql_explore
+//! ```
+
+use scorpion::core::PreparedQuery;
+use scorpion::prelude::*;
+use scorpion::table::csv::parse_csv_with_schema;
+
+fn main() {
+    // A small CSV export of the paper's sensors table (in practice:
+    // scorpion::table::csv::load_csv(path)).
+    let csv = "\
+time,sensorid,voltage,temp
+11AM,1,2.64,34.0
+11AM,2,2.65,35.0
+11AM,3,2.63,35.0
+12PM,1,2.70,35.0
+12PM,2,2.70,35.0
+12PM,3,2.30,100.0
+1PM,1,2.70,35.0
+1PM,2,2.70,35.0
+1PM,3,2.30,80.0
+";
+    let schema = Schema::new(vec![
+        Field::disc("time"),
+        Field::disc("sensorid"),
+        Field::cont("voltage"),
+        Field::cont("temp"),
+    ])
+    .expect("schema");
+    let table = parse_csv_with_schema(csv, schema).expect("csv");
+
+    // The analyst's query, verbatim SQL.
+    let sql = "SELECT avg(temp), time FROM sensors GROUP BY time";
+    let q = PreparedQuery::new(&table, sql).expect("query");
+    println!("{sql}");
+    for (i, v) in q.results.iter().enumerate() {
+        println!("  {}  ->  {v:.1}", q.grouping.display_key(&q.table, i));
+    }
+
+    // Auto-label the most deviant result(s); a UI would take clicks.
+    let (outliers, holdouts) = q.label_extremes(2);
+    println!("\nauto-labeled outliers: {outliers:?}, hold-outs: {holdouts:?}");
+
+    let labeled = q.labeled(outliers, holdouts);
+    let ex = explain(&labeled, &ScorpionConfig::default()).expect("explain");
+    println!(
+        "\nbest explanation [{}]: {}",
+        ex.diagnostics.algorithm,
+        ex.best().predicate.display(&q.table)
+    );
+
+    // §4.1: plot the updated output with the explanation removed.
+    let preview = ex
+        .preview(&q.table, &q.grouping, q.agg.as_ref(), q.agg_attr)
+        .expect("preview");
+    println!("\nupdated series after deletion:");
+    for (i, (before, after)) in preview.iter().enumerate() {
+        println!(
+            "  {}  {before:.1} -> {after:.1}",
+            q.grouping.display_key(&q.table, i)
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Synthetic playground: the SYNTH ground-truth workload (§8.1) with all
+//! three algorithms and the `c` knob (§7).
+//!
+//! Generates SYNTH-2D-Hard, runs NAIVE / DT / MC over a grid of `c`
+//! values, and prints each algorithm's predicate with precision / recall
+//! / F-score against the planted outer cube — a miniature of Figures
+//! 9–12.
+//!
+//! ```text
+//! cargo run --release --example synthetic_playground
+//! ```
+
+use scorpion::data::synth::{self, SynthConfig};
+use scorpion::eval::predicate_accuracy;
+use scorpion::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    let ds = synth::generate(SynthConfig::hard(2));
+    let grouping = group_by(&ds.table, &[ds.group_attr()]).expect("group by Ad");
+    println!(
+        "SYNTH-2D-Hard: outer cube {}, inner cube {}",
+        ds.truth_predicate(false).display(&ds.table),
+        ds.truth_predicate(true).display(&ds.table),
+    );
+
+    let query = LabeledQuery {
+        table: &ds.table,
+        grouping: &grouping,
+        agg: &Sum,
+        agg_attr: ds.agg_attr(),
+        outliers: ds.outlier_groups.iter().map(|&g| (g, 1.0)).collect(),
+        holdouts: ds.holdout_groups.clone(),
+    };
+    let outlier_rows: Vec<u32> = ds
+        .outlier_groups
+        .iter()
+        .flat_map(|&g| grouping.rows(g).iter().copied())
+        .collect();
+
+    let algos: [(&str, Algorithm); 3] = [
+        ("DT", Algorithm::DecisionTree(DtConfig::default())),
+        ("MC", Algorithm::BottomUp(McConfig::default())),
+        (
+            "NAIVE",
+            Algorithm::Naive(NaiveConfig {
+                time_budget: Some(Duration::from_secs(10)),
+                ..NaiveConfig::default()
+            }),
+        ),
+    ];
+
+    println!(
+        "\n{:<6} {:<5} {:>6} {:>6} {:>6} {:>8}  predicate",
+        "algo", "c", "P", "R", "F", "time(s)"
+    );
+    for (name, algo) in &algos {
+        for c in [0.0, 0.1, 0.3, 0.5] {
+            let cfg = ScorpionConfig {
+                params: InfluenceParams { lambda: 0.5, c },
+                algorithm: algo.clone(),
+                explain_attrs: Some(ds.dim_attrs()),
+                force_blackbox: false,
+                max_explain_attrs: None,
+            };
+            let ex = explain(&query, &cfg).expect("explain");
+            let best = ex.best();
+            let acc = predicate_accuracy(
+                &ds.table,
+                &best.predicate,
+                &outlier_rows,
+                ds.truth_rows(false),
+            );
+            println!(
+                "{:<6} {:<5} {:>6.2} {:>6.2} {:>6.2} {:>8.2}  {}",
+                name,
+                c,
+                acc.precision,
+                acc.recall,
+                acc.f_score,
+                ex.diagnostics.runtime.as_secs_f64(),
+                best.predicate.display(&ds.table)
+            );
+        }
+    }
+}

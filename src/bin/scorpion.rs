@@ -1,0 +1,190 @@
+//! `scorpion` — command-line outlier explanation over CSV data.
+//!
+//! The paper's motivation (§2) is putting analyst capabilities in
+//! end-user hands; this binary is that flow without writing code:
+//!
+//! ```text
+//! scorpion --csv readings.csv \
+//!          --sql "SELECT stddev(temp) FROM readings GROUP BY hour" \
+//!          --outliers h040,h041 --holdouts h000,h001 \
+//!          --direction high --c 0.5 [--top 5]
+//! ```
+//!
+//! Without `--outliers`, the most deviant results are auto-labeled.
+
+use scorpion::core::PreparedQuery;
+use scorpion::prelude::*;
+use std::process::exit;
+
+struct Args {
+    csv: String,
+    sql: String,
+    outliers: Vec<String>,
+    holdouts: Vec<String>,
+    direction: f64,
+    c: f64,
+    lambda: f64,
+    top: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scorpion --csv FILE --sql QUERY [--outliers k1,k2,...] \
+         [--holdouts k1,k2,...] [--direction high|low] [--c F] [--lambda F] [--top N]\n\
+         \n\
+         QUERY is a select-project-group-by query with one aggregate, e.g.\n\
+         \"SELECT avg(temp) FROM readings WHERE sensor = 's3' GROUP BY hour\".\n\
+         Group keys (k1, k2, ...) use the values printed in the result listing;\n\
+         composite keys join parts with '|'. Without --outliers, the most\n\
+         deviant results are labeled automatically."
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        csv: String::new(),
+        sql: String::new(),
+        outliers: Vec::new(),
+        holdouts: Vec::new(),
+        direction: 1.0,
+        c: 0.5,
+        lambda: 0.5,
+        top: 3,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--csv" => args.csv = val("--csv"),
+            "--sql" => args.sql = val("--sql"),
+            "--outliers" => {
+                args.outliers = val("--outliers").split(',').map(str::to_owned).collect()
+            }
+            "--holdouts" => {
+                args.holdouts = val("--holdouts").split(',').map(str::to_owned).collect()
+            }
+            "--direction" => {
+                args.direction = match val("--direction").as_str() {
+                    "high" => 1.0,
+                    "low" => -1.0,
+                    other => {
+                        eprintln!("--direction must be `high` or `low`, got `{other}`");
+                        usage()
+                    }
+                }
+            }
+            "--c" => args.c = val("--c").parse().unwrap_or_else(|_| usage()),
+            "--lambda" => args.lambda = val("--lambda").parse().unwrap_or_else(|_| usage()),
+            "--top" => args.top = val("--top").parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+    if args.csv.is_empty() || args.sql.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn key_index(q: &PreparedQuery, key: &str) -> Option<usize> {
+    (0..q.grouping.len()).find(|&i| q.grouping.display_key(&q.table, i) == key)
+}
+
+fn main() {
+    let args = parse_args();
+    let table = match scorpion::table::csv::load_csv(std::path::Path::new(&args.csv)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to load {}: {e}", args.csv);
+            exit(1)
+        }
+    };
+    let q = match PreparedQuery::new(&table, &args.sql) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("query failed: {e}");
+            exit(1)
+        }
+    };
+
+    println!("{}", args.sql.trim());
+    for (i, v) in q.results.iter().enumerate() {
+        println!("  {:<16} {v:.3}", q.grouping.display_key(&q.table, i));
+    }
+
+    let (outliers, holdouts) = if args.outliers.is_empty() {
+        let (o, h) = q.label_extremes(2);
+        println!(
+            "\nauto-labeled outliers: {}",
+            o.iter()
+                .map(|&(i, _)| q.grouping.display_key(&q.table, i))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        (o, h)
+    } else {
+        let mut o = Vec::new();
+        for k in &args.outliers {
+            match key_index(&q, k) {
+                Some(i) => o.push((i, args.direction)),
+                None => {
+                    eprintln!("unknown result key `{k}`");
+                    exit(1)
+                }
+            }
+        }
+        let mut h = Vec::new();
+        for k in &args.holdouts {
+            match key_index(&q, k) {
+                Some(i) => h.push(i),
+                None => {
+                    eprintln!("unknown result key `{k}`");
+                    exit(1)
+                }
+            }
+        }
+        (o, h)
+    };
+
+    let labeled = q.labeled(outliers, holdouts);
+    let cfg = ScorpionConfig {
+        params: InfluenceParams { lambda: args.lambda, c: args.c },
+        ..ScorpionConfig::default()
+    };
+    let ex = match explain(&labeled, &cfg) {
+        Ok(ex) => ex,
+        Err(e) => {
+            eprintln!("explanation failed: {e}");
+            exit(1)
+        }
+    };
+
+    println!(
+        "\nexplanations [{}; {} scorer calls; {:.2}s]:",
+        ex.diagnostics.algorithm,
+        ex.diagnostics.scorer_calls,
+        ex.diagnostics.runtime.as_secs_f64()
+    );
+    print!("{}", ex.render(&q.table, args.top));
+
+    let preview = ex
+        .preview(&q.table, &q.grouping, q.agg.as_ref(), q.agg_attr)
+        .expect("preview");
+    println!("\nresult series with the top explanation deleted:");
+    for (i, (before, after)) in preview.iter().enumerate() {
+        let marker = if (before - after).abs() > 1e-9 { "  *" } else { "" };
+        println!(
+            "  {:<16} {before:.3} -> {after:.3}{marker}",
+            q.grouping.display_key(&q.table, i)
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! # Scorpion
+//!
+//! A from-scratch Rust reproduction of **Scorpion: Explaining Away
+//! Outliers in Aggregate Queries** (Eugene Wu & Samuel Madden, PVLDB
+//! 6(8), VLDB 2013).
+//!
+//! Given a group-by aggregate query, a set of user-flagged *outlier*
+//! results, *hold-out* results that look normal, and error vectors
+//! describing how the outliers look wrong, Scorpion searches for the
+//! predicate over the input attributes whose deletion best "explains
+//! away" the outliers — maximizing the paper's *influence* metric.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use scorpion::prelude::*;
+//!
+//! // Table 1 of the paper: sensor readings.
+//! let schema = Schema::new(vec![
+//!     Field::disc("time"), Field::disc("sensorid"),
+//!     Field::cont("voltage"), Field::cont("temp"),
+//! ]).unwrap();
+//! let mut b = TableBuilder::new(schema);
+//! for (t, s, v, temp) in [
+//!     ("11AM", "1", 2.64, 34.0), ("11AM", "2", 2.65, 35.0), ("11AM", "3", 2.63, 35.0),
+//!     ("12PM", "1", 2.70, 35.0), ("12PM", "2", 2.70, 35.0), ("12PM", "3", 2.30, 100.0),
+//!     ("1PM",  "1", 2.70, 35.0), ("1PM",  "2", 2.70, 35.0), ("1PM",  "3", 2.30, 80.0),
+//! ] {
+//!     b.push_row(vec![t.into(), s.into(), v.into(), temp.into()]).unwrap();
+//! }
+//! let table = b.build();
+//!
+//! // Q1: SELECT avg(temp) FROM sensors GROUP BY time.
+//! let grouping = group_by(&table, &[0]).unwrap();
+//!
+//! // The 12PM and 1PM averages look too high; 11AM is normal.
+//! let query = LabeledQuery {
+//!     table: &table, grouping: &grouping,
+//!     agg: &Avg, agg_attr: 3,
+//!     outliers: vec![(1, 1.0), (2, 1.0)],
+//!     holdouts: vec![0],
+//! };
+//! let explanation = explain(&query, &ScorpionConfig::default()).unwrap();
+//! let best = explanation.best();
+//! // The planted cause: the low-voltage sensor.
+//! let rows: Vec<u32> = (0..table.len() as u32).collect();
+//! let selected = best.predicate.select(&table, &rows).unwrap();
+//! assert!(selected.contains(&5) && selected.contains(&8));
+//! ```
+//!
+//! ## Crates
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`table`] | Columnar relational substrate, predicates, group-by + provenance |
+//! | [`agg`] | Aggregate-property framework (§5) |
+//! | [`core`] | Scorer, NAIVE/DT/MC partitioners, Merger, caching (§3–§7) |
+//! | [`data`] | SYNTH / INTEL / EXPENSE workload generators (§8.1) |
+//! | [`eval`] | Accuracy metrics + per-figure experiment runners (§8) |
+
+#![warn(missing_docs)]
+
+pub use scorpion_agg as agg;
+pub use scorpion_core as core;
+pub use scorpion_data as data;
+pub use scorpion_eval as eval;
+pub use scorpion_table as table;
+
+/// The most common imports, re-exported flat.
+pub mod prelude {
+    pub use scorpion_agg::{
+        aggregate_by_name, AggState, Aggregate, Avg, Count, IncrementalAggregate, Max, Median,
+        Min, StdDev, Sum, Variance,
+    };
+    pub use scorpion_core::features::{rank_attributes, select_attributes};
+    pub use scorpion_core::session::ScorpionSession;
+    pub use scorpion_core::{
+        explain, Algorithm, Diagnostics, DtConfig, Explanation, GroupSpec, InfluenceParams,
+        LabeledQuery, McConfig, MergerConfig, NaiveConfig, PreparedQuery, ScoredPredicate,
+        Scorer, ScorpionConfig, ScorpionError,
+    };
+    pub use scorpion_table::{
+        aggregate_groups, bin_edges, domains_of, group_by, AttrDomain, AttrType, Clause, Field,
+        Grouping, Predicate, Schema, Table, TableBuilder, Value,
+    };
+}

@@ -1,0 +1,232 @@
+//! Robustness and failure-injection tests: degenerate tables, extreme
+//! parameters, adversarial values. Scorpion must degrade gracefully —
+//! errors where the input is invalid, finite results everywhere else.
+
+use scorpion::prelude::*;
+
+fn two_group_table(rows: &[(&str, f64, f64)]) -> Table {
+    let schema =
+        Schema::new(vec![Field::disc("g"), Field::cont("x"), Field::cont("v")]).unwrap();
+    let mut b = TableBuilder::new(schema);
+    for &(g, x, v) in rows {
+        b.push_row(vec![g.into(), x.into(), v.into()]).unwrap();
+    }
+    b.build()
+}
+
+fn explain_with(t: &Table, g: &Grouping, algo: Algorithm, c: f64) -> Explanation {
+    let q = LabeledQuery {
+        table: t,
+        grouping: g,
+        agg: &Avg,
+        agg_attr: 2,
+        outliers: vec![(0, 1.0)],
+        holdouts: if g.len() > 1 { vec![1] } else { vec![] },
+    };
+    let cfg = ScorpionConfig {
+        params: InfluenceParams { lambda: 0.5, c },
+        algorithm: algo,
+        ..ScorpionConfig::default()
+    };
+    explain(&q, &cfg).unwrap()
+}
+
+#[test]
+fn single_tuple_groups() {
+    let t = two_group_table(&[("o", 1.0, 100.0), ("h", 1.0, 10.0)]);
+    let g = group_by(&t, &[0]).unwrap();
+    for algo in [
+        Algorithm::DecisionTree(DtConfig::default()),
+        Algorithm::Naive(NaiveConfig::default()),
+    ] {
+        let ex = explain_with(&t, &g, algo, 0.5);
+        assert!(ex.best().influence.is_finite());
+    }
+}
+
+#[test]
+fn constant_attribute_values() {
+    // Every tuple identical: no split can exist; result must be total.
+    let rows: Vec<(&str, f64, f64)> =
+        (0..40).map(|i| (if i % 2 == 0 { "o" } else { "h" }, 5.0, 7.0)).collect();
+    let t = two_group_table(&rows);
+    let g = group_by(&t, &[0]).unwrap();
+    for algo in [
+        Algorithm::DecisionTree(DtConfig::default()),
+        Algorithm::BottomUp(McConfig::default()),
+        Algorithm::Naive(NaiveConfig::default()),
+    ] {
+        let ex = explain_with(&t, &g, algo, 0.5);
+        assert!(ex.best().influence.is_finite());
+    }
+}
+
+#[test]
+fn extreme_magnitudes_stay_finite() {
+    let rows: Vec<(&str, f64, f64)> = (0..60)
+        .map(|i| {
+            let x = i as f64;
+            let v = if i % 10 == 0 { 1e12 } else { 1e-12 };
+            (if i % 2 == 0 { "o" } else { "h" }, x, v)
+        })
+        .collect();
+    let t = two_group_table(&rows);
+    let g = group_by(&t, &[0]).unwrap();
+    let ex = explain_with(&t, &g, Algorithm::DecisionTree(DtConfig::default()), 1.0);
+    assert!(ex.best().influence.is_finite());
+}
+
+#[test]
+fn negative_values_route_away_from_mc() {
+    let rows: Vec<(&str, f64, f64)> = (0..30)
+        .map(|i| (if i % 2 == 0 { "o" } else { "h" }, i as f64, -5.0 + i as f64))
+        .collect();
+    let t = two_group_table(&rows);
+    let g = group_by(&t, &[0]).unwrap();
+    let q = LabeledQuery {
+        table: &t,
+        grouping: &g,
+        agg: &Sum,
+        agg_attr: 2,
+        outliers: vec![(0, 1.0)],
+        holdouts: vec![1],
+    };
+    let ex = explain(&q, &ScorpionConfig::default()).unwrap();
+    // Sum over negative data is not anti-monotonic → Auto must avoid MC.
+    assert_eq!(ex.diagnostics.algorithm, "dt");
+}
+
+#[test]
+fn c_extremes_zero_and_two() {
+    let rows: Vec<(&str, f64, f64)> = (0..80)
+        .map(|i| {
+            let x = (i / 2) as f64;
+            let hot = (10.0..20.0).contains(&x);
+            let v = if hot && i % 2 == 0 { 50.0 } else { 1.0 };
+            (if i % 2 == 0 { "o" } else { "h" }, x, v)
+        })
+        .collect();
+    let t = two_group_table(&rows);
+    let g = group_by(&t, &[0]).unwrap();
+    for c in [0.0, 2.0] {
+        let ex = explain_with(&t, &g, Algorithm::DecisionTree(DtConfig::default()), c);
+        assert!(ex.best().influence.is_finite(), "c = {c}");
+    }
+}
+
+#[test]
+fn lambda_extremes() {
+    let rows: Vec<(&str, f64, f64)> = (0..60)
+        .map(|i| {
+            let x = (i / 2) as f64;
+            let v = if (10.0..20.0).contains(&x) && i % 2 == 0 { 50.0 } else { 1.0 };
+            (if i % 2 == 0 { "o" } else { "h" }, x, v)
+        })
+        .collect();
+    let t = two_group_table(&rows);
+    let g = group_by(&t, &[0]).unwrap();
+    for lambda in [0.0, 1.0] {
+        let q = LabeledQuery {
+            table: &t,
+            grouping: &g,
+            agg: &Avg,
+            agg_attr: 2,
+            outliers: vec![(0, 1.0)],
+            holdouts: vec![1],
+        };
+        let cfg = ScorpionConfig {
+            params: InfluenceParams { lambda, c: 0.5 },
+            ..ScorpionConfig::default()
+        };
+        let ex = explain(&q, &cfg).unwrap();
+        assert!(ex.best().influence.is_finite(), "lambda = {lambda}");
+    }
+    // λ = 1 ignores hold-outs entirely: influence never negative for the
+    // best predicate (the empty-effect predicate scores 0).
+}
+
+#[test]
+fn many_groups_few_rows() {
+    let schema =
+        Schema::new(vec![Field::disc("g"), Field::cont("x"), Field::cont("v")]).unwrap();
+    let mut b = TableBuilder::new(schema);
+    for g in 0..50 {
+        for i in 0..3 {
+            let v = if g == 0 && i == 0 { 100.0 } else { 1.0 };
+            b.push_row(vec![
+                Value::from(format!("g{g}")),
+                Value::from(i as f64),
+                Value::from(v),
+            ])
+            .unwrap();
+        }
+    }
+    let t = b.build();
+    let g = group_by(&t, &[0]).unwrap();
+    let q = LabeledQuery {
+        table: &t,
+        grouping: &g,
+        agg: &Avg,
+        agg_attr: 2,
+        outliers: vec![(0, 1.0)],
+        holdouts: (1..30).collect(),
+    };
+    let ex = explain(&q, &ScorpionConfig::default()).unwrap();
+    assert!(ex.best().influence.is_finite());
+}
+
+#[test]
+fn max_explain_attrs_drops_noise_without_losing_answer() {
+    // x drives the anomaly; y, z are noise — feature selection down to a
+    // single attribute must keep x.
+    let schema = Schema::new(vec![
+        Field::disc("g"),
+        Field::cont("x"),
+        Field::cont("y"),
+        Field::cont("z"),
+        Field::cont("v"),
+    ])
+    .unwrap();
+    let mut b = TableBuilder::new(schema);
+    for i in 0..300 {
+        let x = (i as f64 * 7.3) % 100.0;
+        let y = (i as f64 * 11.7) % 100.0;
+        let z = (i as f64 * 3.1) % 100.0;
+        let v = if (30.0..60.0).contains(&x) { 80.0 } else { 5.0 };
+        b.push_row(vec![
+            Value::from("o"),
+            Value::from(x),
+            Value::from(y),
+            Value::from(z),
+            Value::from(v),
+        ])
+        .unwrap();
+        b.push_row(vec![
+            Value::from("h"),
+            Value::from(x),
+            Value::from(y),
+            Value::from(z),
+            Value::from(5.0),
+        ])
+        .unwrap();
+    }
+    let t = b.build();
+    let g = group_by(&t, &[0]).unwrap();
+    let q = LabeledQuery {
+        table: &t,
+        grouping: &g,
+        agg: &Avg,
+        agg_attr: 4,
+        outliers: vec![(0, 1.0)],
+        holdouts: vec![1],
+    };
+    let cfg = ScorpionConfig {
+        params: InfluenceParams { lambda: 0.5, c: 0.3 },
+        max_explain_attrs: Some(1),
+        ..ScorpionConfig::default()
+    };
+    let ex = explain(&q, &cfg).unwrap();
+    let best = &ex.best().predicate;
+    assert!(best.clause(1).is_some(), "x clause expected: {}", best.display(&t));
+    assert!(best.clause(2).is_none() && best.clause(3).is_none());
+}
