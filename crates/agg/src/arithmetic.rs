@@ -29,6 +29,10 @@ impl Aggregate for Sum {
     fn incremental(&self) -> Option<&dyn IncrementalAggregate> {
         Some(self)
     }
+
+    fn mergeable(&self) -> Option<&dyn crate::MergeableAggregate> {
+        Some(self)
+    }
 }
 
 impl IncrementalAggregate for Sum {
@@ -66,6 +70,10 @@ impl Aggregate for Count {
     }
 
     fn incremental(&self) -> Option<&dyn IncrementalAggregate> {
+        Some(self)
+    }
+
+    fn mergeable(&self) -> Option<&dyn crate::MergeableAggregate> {
         Some(self)
     }
 }
@@ -106,6 +114,10 @@ impl Aggregate for Avg {
     }
 
     fn incremental(&self) -> Option<&dyn IncrementalAggregate> {
+        Some(self)
+    }
+
+    fn mergeable(&self) -> Option<&dyn crate::MergeableAggregate> {
         Some(self)
     }
 }

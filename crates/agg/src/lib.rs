@@ -13,6 +13,13 @@
 //! * **anti-monotonic Δ** (§5.3): declared via the data-dependent
 //!   [`Aggregate::anti_monotonic_check`], enables MC's pruning.
 //!
+//! A fourth capability extends the framework to continuous ingestion:
+//! **mergeable partials** ([`MergeableAggregate`], via
+//! [`Aggregate::mergeable`]) — the TimescaleDB-toolkit-style two-phase
+//! decomposition that lets `scorpion-stream` combine per-chunk partial
+//! states instead of re-reading rows. SUM/COUNT/AVG/STDDEV/VARIANCE are
+//! retractable-mergeable; MIN/MAX are mergeable only; MEDIAN is neither.
+//!
 //! Shipped operators: [`Sum`], [`Count`], [`Avg`], [`StdDev`],
 //! [`Variance`] (incrementally removable + independent) and [`Min`],
 //! [`Max`], [`Median`] (black-box).
@@ -30,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod arithmetic;
+mod merge;
 mod order;
 mod registry;
 mod spread;
@@ -37,6 +45,7 @@ mod state;
 mod traits;
 
 pub use arithmetic::{Avg, Count, Sum};
+pub use merge::MergeableAggregate;
 pub use order::{Max, Median, Min};
 pub use registry::{aggregate_by_name, registered_names};
 pub use spread::{StdDev, Variance};

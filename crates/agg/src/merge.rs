@@ -1,0 +1,263 @@
+//! Mergeable partial aggregates — the two-phase (partial, combine,
+//! finalize) decomposition that extends §5.1's `state`/`update`/`remove`
+//! from one-shot deletion to continuous ingestion.
+//!
+//! TimescaleDB-toolkit-style partial states let a streaming system
+//! summarize each *chunk* of arriving rows once, then answer any window
+//! query by merging the per-chunk partials — no chunk is ever re-read.
+//! The trait splits from [`IncrementalAggregate`] because mergeability
+//! and removability are different capabilities:
+//!
+//! * SUM/COUNT/AVG/STDDEV/VARIANCE have *additive* partials: `merge` is
+//!   componentwise `+`, and [`MergeableAggregate::unmerge`] (the exact
+//!   inverse) makes window retraction O(1) per expired chunk.
+//! * MIN/MAX are **not** incrementally removable, but they *are*
+//!   mergeable (`min`/`max` is associative and commutative), so a
+//!   sliding window can still be maintained by re-merging the surviving
+//!   chunks' constant-size partials instead of re-reading rows.
+//! * MEDIAN is neither: no constant-size mergeable summary exists, so it
+//!   stays a black-box aggregate and a streaming window must recompute.
+
+use crate::state::AggState;
+use crate::traits::Aggregate;
+
+/// The two-phase (mergeable partial) decomposition of an aggregate.
+///
+/// Laws (verified by the property tests in `tests/prop.rs`):
+///
+/// 1. `finalize(partial_of(D)) == compute(D)`;
+/// 2. `merge` is associative and commutative with identity
+///    [`MergeableAggregate::empty_partial`];
+/// 3. `finalize(merge(partial_of(A), partial_of(B))) == compute(A ∪ B)`
+///    for disjoint bags `A`, `B`;
+/// 4. when [`MergeableAggregate::retractable`] is true,
+///    `unmerge(merge(a, b), b) == a` up to float round-off.
+pub trait MergeableAggregate: Aggregate {
+    /// Number of components in this operator's partial state.
+    fn partial_len(&self) -> usize;
+
+    /// The identity partial: the summary of the empty bag.
+    fn empty_partial(&self) -> AggState;
+
+    /// The partial summarizing a single value.
+    fn partial_one(&self, v: f64) -> AggState;
+
+    /// The partial summarizing a bag of values.
+    fn partial_of(&self, vals: &[f64]) -> AggState {
+        let mut acc = self.empty_partial();
+        for &v in vals {
+            self.merge(&mut acc, &self.partial_one(v));
+        }
+        acc
+    }
+
+    /// Combines another partial into `into` (timescale `combine`).
+    fn merge(&self, into: &mut AggState, other: &AggState);
+
+    /// Recovers the aggregate value from a partial (timescale `final`).
+    fn finalize(&self, m: &AggState) -> f64;
+
+    /// True when [`MergeableAggregate::unmerge`] is an exact inverse of
+    /// `merge` — i.e. the partial algebra is a group, not just a monoid.
+    /// Additive partials (SUM/COUNT/AVG/STDDEV/VARIANCE) are retractable;
+    /// MIN/MAX are not (removing the extremum needs the runner-up).
+    fn retractable(&self) -> bool {
+        false
+    }
+
+    /// Removes a previously merged partial from `into`. Returns `false`
+    /// (leaving `into` untouched) when the operator is not retractable.
+    fn unmerge(&self, _into: &mut AggState, _other: &AggState) -> bool {
+        false
+    }
+}
+
+/// Blanket plumbing for the additive operators: partial == §5.1 state,
+/// merge == `update`, unmerge == `remove`.
+macro_rules! additive_mergeable {
+    ($($t:ty),*) => {$(
+        impl MergeableAggregate for $t {
+            fn partial_len(&self) -> usize {
+                crate::traits::IncrementalAggregate::state_len(self)
+            }
+            fn empty_partial(&self) -> AggState {
+                AggState::zero(self.partial_len())
+            }
+            fn partial_one(&self, v: f64) -> AggState {
+                crate::traits::IncrementalAggregate::state_one(self, v)
+            }
+            fn partial_of(&self, vals: &[f64]) -> AggState {
+                crate::traits::IncrementalAggregate::state_of(self, vals)
+            }
+            fn merge(&self, into: &mut AggState, other: &AggState) {
+                into.accumulate(other);
+            }
+            fn finalize(&self, m: &AggState) -> f64 {
+                crate::traits::IncrementalAggregate::recover(self, m)
+            }
+            fn retractable(&self) -> bool {
+                true
+            }
+            fn unmerge(&self, into: &mut AggState, other: &AggState) -> bool {
+                *into = into.sub(other);
+                true
+            }
+        }
+    )*};
+}
+
+additive_mergeable!(
+    crate::arithmetic::Sum,
+    crate::arithmetic::Count,
+    crate::arithmetic::Avg,
+    crate::spread::StdDev,
+    crate::spread::Variance
+);
+
+/// Order-statistic partials: `[extremum, n]`. The count component
+/// distinguishes the empty partial (which must finalize to the operator's
+/// documented empty value `0.0`) from a genuine extremum of `±∞`-free
+/// data.
+macro_rules! order_mergeable {
+    ($t:ty, $empty:expr, $pick:expr) => {
+        impl MergeableAggregate for $t {
+            fn partial_len(&self) -> usize {
+                2
+            }
+            fn empty_partial(&self) -> AggState {
+                AggState::new(&[$empty, 0.0])
+            }
+            fn partial_one(&self, v: f64) -> AggState {
+                AggState::new(&[v, 1.0])
+            }
+            fn merge(&self, into: &mut AggState, other: &AggState) {
+                if other[1] > 0.0 {
+                    let pick: fn(f64, f64) -> f64 = $pick;
+                    into[0] = if into[1] > 0.0 { pick(into[0], other[0]) } else { other[0] };
+                    into[1] += other[1];
+                }
+            }
+            fn finalize(&self, m: &AggState) -> f64 {
+                if m[1] < 0.5 {
+                    0.0
+                } else {
+                    m[0]
+                }
+            }
+        }
+    };
+}
+
+order_mergeable!(crate::order::Min, f64::INFINITY, f64::min);
+order_mergeable!(crate::order::Max, f64::NEG_INFINITY, f64::max);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{aggregate_by_name, Avg, Max, Min, Sum};
+
+    /// Every mergeable operator by canonical name.
+    pub const MERGEABLE: &[&str] = &["sum", "count", "avg", "stddev", "variance", "min", "max"];
+
+    #[test]
+    fn registry_exposes_mergeable_capability() {
+        for name in MERGEABLE {
+            let agg = aggregate_by_name(name).unwrap();
+            assert!(agg.mergeable().is_some(), "{name} should be mergeable");
+        }
+        assert!(aggregate_by_name("median").unwrap().mergeable().is_none());
+    }
+
+    #[test]
+    fn merge_of_disjoint_chunks_matches_blackbox() {
+        let a = [3.0, -1.0, 8.0];
+        let b = [2.5, 2.5];
+        let all = [3.0, -1.0, 8.0, 2.5, 2.5];
+        for name in MERGEABLE {
+            let agg = aggregate_by_name(name).unwrap();
+            let m = agg.mergeable().unwrap();
+            let mut acc = m.partial_of(&a);
+            m.merge(&mut acc, &m.partial_of(&b));
+            let got = m.finalize(&acc);
+            let want = agg.compute(&all);
+            assert!((got - want).abs() < 1e-9, "{name}: {got} != {want}");
+        }
+    }
+
+    #[test]
+    fn empty_partial_is_identity_and_finalizes_to_empty_value() {
+        for name in MERGEABLE {
+            let agg = aggregate_by_name(name).unwrap();
+            let m = agg.mergeable().unwrap();
+            assert_eq!(m.finalize(&m.empty_partial()), agg.compute(&[]), "{name}");
+            let mut acc = m.partial_of(&[4.0, 7.0]);
+            let before = m.finalize(&acc);
+            m.merge(&mut acc, &m.empty_partial());
+            assert_eq!(m.finalize(&acc), before, "{name}: identity law");
+        }
+    }
+
+    #[test]
+    fn retractability_split() {
+        for name in ["sum", "count", "avg", "stddev", "variance"] {
+            let agg = aggregate_by_name(name).unwrap();
+            assert!(agg.mergeable().unwrap().retractable(), "{name}");
+        }
+        for name in ["min", "max"] {
+            let agg = aggregate_by_name(name).unwrap();
+            let m = agg.mergeable().unwrap();
+            assert!(!m.retractable(), "{name}");
+            let mut acc = m.partial_of(&[1.0, 2.0]);
+            let copy = acc;
+            assert!(!m.unmerge(&mut acc, &m.partial_one(2.0)));
+            assert_eq!(acc, copy, "failed unmerge must not corrupt the partial");
+        }
+    }
+
+    #[test]
+    fn unmerge_inverts_merge_for_additive_partials() {
+        let m = Sum.mergeable().unwrap();
+        let mut acc = m.partial_of(&[5.0, 6.0]);
+        let b = m.partial_of(&[7.0]);
+        m.merge(&mut acc, &b);
+        assert!(m.unmerge(&mut acc, &b));
+        assert_eq!(m.finalize(&acc), 11.0);
+
+        let m = Avg.mergeable().unwrap();
+        let mut acc = m.partial_of(&[1.0, 3.0]);
+        let b = m.partial_of(&[100.0]);
+        m.merge(&mut acc, &b);
+        assert!(m.unmerge(&mut acc, &b));
+        assert_eq!(m.finalize(&acc), 2.0);
+    }
+
+    #[test]
+    fn min_max_track_extrema_across_merge_order() {
+        let chunks: [&[f64]; 3] = [&[5.0, 9.0], &[-2.0], &[7.0, 7.0]];
+        for (agg, want) in [(&Min as &dyn Aggregate, -2.0), (&Max, 9.0)] {
+            let m = agg.mergeable().unwrap();
+            // Forward order.
+            let mut fwd = m.empty_partial();
+            for c in chunks {
+                m.merge(&mut fwd, &m.partial_of(c));
+            }
+            // Reverse order.
+            let mut rev = m.empty_partial();
+            for c in chunks.iter().rev() {
+                m.merge(&mut rev, &m.partial_of(c));
+            }
+            assert_eq!(m.finalize(&fwd), want, "{}", agg.name());
+            assert_eq!(m.finalize(&fwd), m.finalize(&rev), "{}", agg.name());
+        }
+    }
+
+    #[test]
+    fn min_max_empty_chunks_do_not_poison() {
+        let m = Max.mergeable().unwrap();
+        let mut acc = m.empty_partial();
+        m.merge(&mut acc, &m.empty_partial());
+        m.merge(&mut acc, &m.partial_of(&[-3.0]));
+        m.merge(&mut acc, &m.empty_partial());
+        assert_eq!(m.finalize(&acc), -3.0);
+    }
+}

@@ -17,9 +17,11 @@ impl Aggregate for Max {
     }
 
     fn compute(&self, vals: &[f64]) -> f64 {
-        vals.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(
-            if vals.is_empty() { 0.0 } else { f64::NEG_INFINITY },
-        )
+        vals.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(if vals.is_empty() {
+            0.0
+        } else {
+            f64::NEG_INFINITY
+        })
     }
 
     fn anti_monotonic_check(&self, _vals: &[f64]) -> bool {
@@ -28,6 +30,10 @@ impl Aggregate for Max {
 
     fn properties(&self) -> AggProperties {
         AggProperties { independent: false }
+    }
+
+    fn mergeable(&self) -> Option<&dyn crate::MergeableAggregate> {
+        Some(self)
     }
 }
 
@@ -46,6 +52,10 @@ impl Aggregate for Min {
         } else {
             vals.iter().copied().fold(f64::INFINITY, f64::min)
         }
+    }
+
+    fn mergeable(&self) -> Option<&dyn crate::MergeableAggregate> {
+        Some(self)
     }
 }
 

@@ -45,6 +45,10 @@ impl Aggregate for StdDev {
     fn incremental(&self) -> Option<&dyn IncrementalAggregate> {
         Some(self)
     }
+
+    fn mergeable(&self) -> Option<&dyn crate::MergeableAggregate> {
+        Some(self)
+    }
 }
 
 impl IncrementalAggregate for StdDev {
@@ -78,6 +82,10 @@ impl Aggregate for Variance {
     }
 
     fn incremental(&self) -> Option<&dyn IncrementalAggregate> {
+        Some(self)
+    }
+
+    fn mergeable(&self) -> Option<&dyn crate::MergeableAggregate> {
         Some(self)
     }
 }
@@ -133,10 +141,7 @@ mod tests {
     #[test]
     fn remove_everything_is_zero() {
         let d = StdDev.state_of(&[3.0, 4.0]);
-        assert_eq!(
-            <StdDev as IncrementalAggregate>::recover(&StdDev, &StdDev.remove(&d, &d)),
-            0.0
-        );
+        assert_eq!(<StdDev as IncrementalAggregate>::recover(&StdDev, &StdDev.remove(&d, &d)), 0.0);
     }
 
     #[test]

@@ -24,10 +24,7 @@ impl AggState {
     /// Builds a state from components. Panics if more than
     /// [`MAX_STATE`] components are supplied.
     pub fn new(components: &[f64]) -> Self {
-        assert!(
-            components.len() <= MAX_STATE,
-            "aggregate state limited to {MAX_STATE} components"
-        );
+        assert!(components.len() <= MAX_STATE, "aggregate state limited to {MAX_STATE} components");
         let mut vals = [0.0; MAX_STATE];
         vals[..components.len()].copy_from_slice(components);
         AggState { vals, len: components.len() as u8 }

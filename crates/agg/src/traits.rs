@@ -20,15 +20,13 @@
 use crate::state::AggState;
 
 /// Statically declared properties of an aggregate operator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AggProperties {
     /// §5.2: tuples influence the result independently. Set for
     /// COUNT/SUM-based arithmetic aggregates (SUM, COUNT, AVG, STDDEV,
     /// VARIANCE).
     pub independent: bool,
 }
-
 
 /// A (possibly black-box) aggregate function over a bag of `f64` values.
 ///
@@ -58,6 +56,15 @@ pub trait Aggregate: Send + Sync {
     /// The incrementally removable decomposition, when the operator has
     /// one. `None` forces black-box evaluation.
     fn incremental(&self) -> Option<&dyn IncrementalAggregate> {
+        None
+    }
+
+    /// The two-phase mergeable-partial decomposition, when the operator
+    /// has one (see [`crate::MergeableAggregate`]). Distinct from
+    /// [`Aggregate::incremental`]: MIN/MAX are mergeable but not
+    /// removable; MEDIAN is neither. `None` forces a streaming window to
+    /// recompute from raw rows.
+    fn mergeable(&self) -> Option<&dyn crate::MergeableAggregate> {
         None
     }
 }

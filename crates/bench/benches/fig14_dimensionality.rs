@@ -20,48 +20,32 @@ fn bench(c: &mut Criterion) {
         let fx = BenchSynth::easy(dims, BENCH_TUPLES_PER_GROUP);
         for c_param in [0.1f64, 0.4] {
             let scorer = fx.scorer(c_param, false);
-            g.bench_with_input(
-                BenchmarkId::new(format!("dt/c={c_param}"), dims),
-                &dims,
-                |b, _| {
-                    b.iter(|| {
-                        let dt = DtPartitioner::new(
-                            &scorer,
-                            fx.ds.dim_attrs(),
-                            fx.domains.clone(),
-                            DtConfig::default(),
-                        );
-                        dt.run().expect("dt")
-                    });
-                },
-            );
-            g.bench_with_input(
-                BenchmarkId::new(format!("mc/c={c_param}"), dims),
-                &dims,
-                |b, _| {
-                    b.iter(|| {
-                        mc_search(&scorer, &fx.ds.dim_attrs(), &fx.domains, &McConfig::default())
-                            .expect("mc")
-                    });
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(format!("dt/c={c_param}"), dims), &dims, |b, _| {
+                b.iter(|| {
+                    let dt = DtPartitioner::new(
+                        &scorer,
+                        fx.ds.dim_attrs(),
+                        fx.domains.clone(),
+                        DtConfig::default(),
+                    );
+                    dt.run().expect("dt")
+                });
+            });
+            g.bench_with_input(BenchmarkId::new(format!("mc/c={c_param}"), dims), &dims, |b, _| {
+                b.iter(|| {
+                    mc_search(&scorer, &fx.ds.dim_attrs(), &fx.domains, &McConfig::default())
+                        .expect("mc")
+                });
+            });
         }
         // NAIVE with a short anytime budget (its full cost is the point of
         // the figure; we cap it so the bench terminates).
         let scorer = fx.scorer(0.1, false);
-        let cfg = NaiveConfig {
-            time_budget: Some(Duration::from_millis(250)),
-            ..NaiveConfig::default()
-        };
-        g.bench_with_input(
-            BenchmarkId::new("naive/budget=250ms/c=0.1", dims),
-            &dims,
-            |b, _| {
-                b.iter(|| {
-                    naive_search(&scorer, &fx.ds.dim_attrs(), &fx.domains, &cfg).expect("naive")
-                });
-            },
-        );
+        let cfg =
+            NaiveConfig { time_budget: Some(Duration::from_millis(250)), ..NaiveConfig::default() };
+        g.bench_with_input(BenchmarkId::new("naive/budget=250ms/c=0.1", dims), &dims, |b, _| {
+            b.iter(|| naive_search(&scorer, &fx.ds.dim_attrs(), &fx.domains, &cfg).expect("naive"));
+        });
     }
     g.finish();
 }

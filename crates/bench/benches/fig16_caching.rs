@@ -20,24 +20,16 @@ fn bench(c: &mut Criterion) {
         let session =
             ScorpionSession::new(fx.query(), 0.5, DtConfig::default(), None).expect("session");
         session.run_with_c(0.5).expect("warm-up run");
-        g.bench_with_input(
-            BenchmarkId::new("cached", c_param),
-            &c_param,
-            |b, &cp| {
-                b.iter(|| session.run_with_c(cp).expect("cached run"));
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("uncached", c_param),
-            &c_param,
-            |b, &cp| {
-                b.iter(|| {
-                    let cold = ScorpionSession::new(fx.query(), 0.5, DtConfig::default(), None)
-                        .expect("session");
-                    cold.run_with_c(cp).expect("uncached run")
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("cached", c_param), &c_param, |b, &cp| {
+            b.iter(|| session.run_with_c(cp).expect("cached run"));
+        });
+        g.bench_with_input(BenchmarkId::new("uncached", c_param), &c_param, |b, &cp| {
+            b.iter(|| {
+                let cold = ScorpionSession::new(fx.query(), 0.5, DtConfig::default(), None)
+                    .expect("session");
+                cold.run_with_c(cp).expect("uncached run")
+            });
+        });
     }
     g.finish();
 }

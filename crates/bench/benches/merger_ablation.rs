@@ -17,12 +17,8 @@ fn bench(c: &mut Criterion) {
     let fx = BenchSynth::easy(2, BENCH_TUPLES_PER_GROUP);
     let scorer = fx.scorer(0.3, false);
     // Produce the partitions once; every merger variant consumes clones.
-    let dt = DtPartitioner::new(
-        &scorer,
-        fx.ds.dim_attrs(),
-        fx.domains.clone(),
-        DtConfig::default(),
-    );
+    let dt =
+        DtPartitioner::new(&scorer, fx.ds.dim_attrs(), fx.domains.clone(), DtConfig::default());
     let (partitions, _) = dt.partition().expect("partitions");
     let variants: [(&str, MergerConfig); 4] = [
         (

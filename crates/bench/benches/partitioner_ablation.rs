@@ -24,12 +24,8 @@ fn bench(c: &mut Criterion) {
         let cfg = DtConfig { sampling, ..DtConfig::default() };
         g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
             b.iter(|| {
-                let dt = DtPartitioner::new(
-                    &scorer,
-                    fx.ds.dim_attrs(),
-                    fx.domains.clone(),
-                    cfg.clone(),
-                );
+                let dt =
+                    DtPartitioner::new(&scorer, fx.ds.dim_attrs(), fx.domains.clone(), cfg.clone());
                 dt.run().expect("dt")
             });
         });
@@ -41,9 +37,7 @@ fn bench(c: &mut Criterion) {
     for (name, disable_pruning) in [("mc/pruned", false), ("mc/unpruned", true)] {
         let cfg = McConfig { disable_pruning, ..McConfig::default() };
         g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| {
-                mc_search(&scorer3, &fx3.ds.dim_attrs(), &fx3.domains, cfg).expect("mc")
-            });
+            b.iter(|| mc_search(&scorer3, &fx3.ds.dim_attrs(), &fx3.domains, cfg).expect("mc"));
         });
     }
     g.finish();

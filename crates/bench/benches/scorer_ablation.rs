@@ -20,11 +20,8 @@ fn bench(c: &mut Criterion) {
         ("medium", Predicate::conjunction([Clause::range(2, 40.0, 60.0)]).unwrap()),
         (
             "narrow",
-            Predicate::conjunction([
-                Clause::range(2, 48.0, 52.0),
-                Clause::range(3, 48.0, 52.0),
-            ])
-            .unwrap(),
+            Predicate::conjunction([Clause::range(2, 48.0, 52.0), Clause::range(3, 48.0, 52.0)])
+                .unwrap(),
         ),
     ];
     for force_blackbox in [false, true] {

@@ -1,0 +1,113 @@
+//! Streaming benchmarks: (1) ingest throughput of the sliding window's
+//! partial-state maintenance across aggregate classes, and (2) warm vs
+//! cold re-explanation after a window slide — the cached DT partitions
+//! (chunk-signature reuse) against a from-scratch rebuild.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use scorpion_agg::aggregate_by_name;
+use scorpion_data::stream::{feed_schema, FeedConfig, SensorFeed, FEED_AGG_ATTR, FEED_GROUP_ATTR};
+use scorpion_stream::{
+    ContinuousConfig, ContinuousSession, DetectorConfig, SlidingWindow, StreamConfig,
+};
+use scorpion_table::Value;
+use std::time::Duration;
+
+const WINDOW_CHUNKS: usize = 24;
+
+fn pregenerate(n_chunks: usize) -> Vec<Vec<Vec<Value>>> {
+    let mut feed = SensorFeed::new(FeedConfig::demo());
+    (0..n_chunks).map(|_| feed.next_chunk().rows).collect()
+}
+
+/// Rows/second through `push_chunk` + a final `series()` read, per
+/// aggregate class: retractable (avg/stddev), merge-only (max), and the
+/// black-box fallback (median).
+fn ingest(c: &mut Criterion) {
+    let chunks = pregenerate(48);
+    let total_rows: u64 = chunks.iter().map(|c| c.len() as u64).sum();
+    let mut g = c.benchmark_group("stream_ingest");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300))
+        .throughput(Throughput::Elements(total_rows));
+    for agg in ["avg", "stddev", "max", "median"] {
+        g.bench_with_input(BenchmarkId::new("push", agg), &agg, |b, &agg| {
+            // Chunk clones happen in the untimed setup phase, so the
+            // sample measures partial-state maintenance, not allocation.
+            b.iter_batched(
+                || chunks.clone(),
+                |owned| {
+                    let cfg = StreamConfig::new(
+                        feed_schema(),
+                        FEED_GROUP_ATTR,
+                        FEED_AGG_ATTR,
+                        WINDOW_CHUNKS,
+                    )
+                    .expect("config");
+                    let mut w = SlidingWindow::new(cfg, aggregate_by_name(agg).unwrap());
+                    for chunk in owned {
+                        w.push_chunk(chunk).expect("ingest");
+                    }
+                    w.series()
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn monitor_config() -> ContinuousConfig {
+    ContinuousConfig {
+        detector: DetectorConfig { min_groups: 12, min_scale: 0.05, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// Builds the window state after `ticks` feed ticks.
+fn window_after(ticks: usize) -> SlidingWindow {
+    let mut feed = SensorFeed::new(FeedConfig::demo());
+    let cfg = StreamConfig::new(feed_schema(), FEED_GROUP_ATTR, FEED_AGG_ATTR, WINDOW_CHUNKS)
+        .expect("config");
+    let mut w = SlidingWindow::new(cfg, aggregate_by_name("stddev").unwrap());
+    for _ in 0..ticks {
+        w.push_chunk(feed.next_chunk().rows).expect("ingest");
+    }
+    w
+}
+
+/// Warm vs cold re-explanation of the post-slide window state: the demo
+/// episode (ticks 30–35) is fully inside the window, and tick 36 slid a
+/// quiet chunk in — so the outlier groups' chunks are untouched and a
+/// primed session reuses its DT partitions.
+fn re_explain(c: &mut Criterion) {
+    let pre_slide = window_after(36);
+    let post_slide = window_after(37);
+
+    let warm_session = ContinuousSession::new(monitor_config());
+    warm_session.explain(&pre_slide).expect("explain").expect("episode must be flagged");
+    assert!(warm_session.is_warm());
+
+    let mut g = c.benchmark_group("stream_re_explain");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
+    g.bench_with_input(BenchmarkId::new("warm", "slide"), &(), |b, _| {
+        b.iter(|| {
+            let ex =
+                warm_session.explain(&post_slide).expect("explain").expect("episode still flagged");
+            assert!(ex.warm, "primed session must reuse partitions");
+            ex
+        });
+    });
+    g.bench_with_input(BenchmarkId::new("cold", "slide"), &(), |b, _| {
+        b.iter(|| {
+            let cold = ContinuousSession::new(monitor_config());
+            cold.explain(&post_slide).expect("explain").expect("episode still flagged")
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, ingest, re_explain);
+criterion_main!(benches);

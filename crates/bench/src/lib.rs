@@ -56,9 +56,7 @@ impl BenchSynth {
     /// A scorer at the given `c` (λ = 0.5). `force_blackbox` disables the
     /// §5.1 fast path for the Scorer ablation.
     pub fn scorer(&self, c: f64, force_blackbox: bool) -> Scorer<'_> {
-        self.query()
-            .scorer(InfluenceParams { lambda: 0.5, c }, force_blackbox)
-            .expect("scorer")
+        self.query().scorer(InfluenceParams { lambda: 0.5, c }, force_blackbox).expect("scorer")
     }
 
     /// Level-of-detail hint: total rows.

@@ -186,12 +186,8 @@ mod tests {
     use scorpion_table::{group_by, Field, Schema, TableBuilder, Value};
 
     fn planted() -> (Table, Grouping) {
-        let schema = Schema::new(vec![
-            Field::disc("g"),
-            Field::cont("x"),
-            Field::cont("v"),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Field::disc("g"), Field::cont("x"), Field::cont("v")]).unwrap();
         let mut b = TableBuilder::new(schema);
         for i in 0..200 {
             let x = (i as f64 * 7.3) % 100.0;
@@ -296,10 +292,7 @@ mod tests {
         ));
         q.holdouts = vec![];
         q.outliers = vec![];
-        assert!(matches!(
-            explain(&q, &ScorpionConfig::default()),
-            Err(ScorpionError::NoOutliers)
-        ));
+        assert!(matches!(explain(&q, &ScorpionConfig::default()), Err(ScorpionError::NoOutliers)));
     }
 
     #[test]

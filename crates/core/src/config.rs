@@ -224,8 +224,7 @@ impl Default for MergerConfig {
 }
 
 /// Which partitioning algorithm to run.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub enum Algorithm {
     /// Choose automatically from the aggregate's declared properties
     /// (§5): independent + anti-monotonic → MC; independent → DT;
@@ -239,7 +238,6 @@ pub enum Algorithm {
     /// Bottom-up subspace search (§6.2).
     BottomUp(McConfig),
 }
-
 
 /// Top-level engine configuration.
 #[derive(Debug, Clone, Default)]

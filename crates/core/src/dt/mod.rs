@@ -112,9 +112,7 @@ impl<'s, 'a> DtPartitioner<'s, 'a> {
     pub fn partition(&self) -> Result<(Vec<ScoredPredicate>, DtDiag)> {
         let mut diag = DtDiag::default();
         let cols = self.borrow_cols()?;
-        let mut rng = StdRng::seed_from_u64(
-            self.cfg.sampling.map(|s| s.seed).unwrap_or(0),
-        );
+        let mut rng = StdRng::seed_from_u64(self.cfg.sampling.map(|s| s.seed).unwrap_or(0));
 
         // Outlier side.
         let out_side = self.build_side(true)?;
@@ -176,15 +174,9 @@ impl<'s, 'a> DtPartitioner<'s, 'a> {
         let (mut inf_l, mut inf_u) = (f64::INFINITY, f64::NEG_INFINITY);
         for g in 0..n {
             let (rows, infs) = if outlier {
-                (
-                    self.scorer.outlier_rows(g).to_vec(),
-                    self.scorer.outlier_tuple_influences(g),
-                )
+                (self.scorer.outlier_rows(g).to_vec(), self.scorer.outlier_tuple_influences(g))
             } else {
-                (
-                    self.scorer.holdout_rows(g).to_vec(),
-                    self.scorer.holdout_tuple_influences(g),
-                )
+                (self.scorer.holdout_rows(g).to_vec(), self.scorer.holdout_tuple_influences(g))
             };
             for &v in &infs {
                 inf_l = inf_l.min(v);
@@ -308,12 +300,7 @@ impl<'s, 'a> DtPartitioner<'s, 'a> {
 
     /// Finds the best split, combining per-group error metrics with `max`
     /// (§6.1.3). Returns `None` when no split improves on the parent.
-    fn best_split(
-        &self,
-        side: &SideData,
-        cols: &[(usize, Col<'_>)],
-        node: &Node,
-    ) -> Option<Split> {
+    fn best_split(&self, side: &SideData, cols: &[(usize, Col<'_>)], node: &Node) -> Option<Split> {
         let parent = combined_metric(side, node, |_, _| true).1;
         let mut best: Option<(f64, Split)> = None;
         for (attr, col) in cols {
@@ -345,10 +332,7 @@ impl<'s, 'a> DtPartitioner<'s, 'a> {
                         let (ok, metric) = combined_metric(side, node, |g, p| {
                             vals[side.groups[g].rows[p as usize] as usize] < x
                         });
-                        if ok
-                            && metric < parent
-                            && best.as_ref().is_none_or(|(m, _)| metric < *m)
-                        {
+                        if ok && metric < parent && best.as_ref().is_none_or(|(m, _)| metric < *m) {
                             best = Some((metric, Split::Cont { attr: *attr, x }));
                         }
                     }
@@ -371,11 +355,7 @@ impl<'s, 'a> DtPartitioner<'s, 'a> {
                                     e.1 += side.groups[g].infs[p as usize];
                                     e.2 += 1.0;
                                 }
-                                None => acc.push((
-                                    code,
-                                    side.groups[g].infs[p as usize],
-                                    1.0,
-                                )),
+                                None => acc.push((code, side.groups[g].infs[p as usize], 1.0)),
                             }
                         }
                     }
@@ -390,14 +370,8 @@ impl<'s, 'a> DtPartitioner<'s, 'a> {
                         let (ok, metric) = combined_metric(side, node, |g, p| {
                             left.contains(&codes[side.groups[g].rows[p as usize] as usize])
                         });
-                        if ok
-                            && metric < parent
-                            && best.as_ref().is_none_or(|(m, _)| metric < *m)
-                        {
-                            best = Some((
-                                metric,
-                                Split::Disc { attr: *attr, left: left.clone() },
-                            ));
+                        if ok && metric < parent && best.as_ref().is_none_or(|(m, _)| metric < *m) {
+                            best = Some((metric, Split::Disc { attr: *attr, left: left.clone() }));
                         }
                     }
                 }
@@ -510,9 +484,7 @@ impl<'s, 'a> DtPartitioner<'s, 'a> {
                 let all: BTreeSet<u32> = match pred.clause(*attr) {
                     Some(Clause::In { codes, .. }) => codes.clone(),
                     _ => match &self.domains[*attr] {
-                        AttrDomain::Discrete { cardinality } => {
-                            (0..*cardinality as u32).collect()
-                        }
+                        AttrDomain::Discrete { cardinality } => (0..*cardinality as u32).collect(),
                         AttrDomain::Continuous { .. } => BTreeSet::new(),
                     },
                 };
@@ -531,8 +503,7 @@ impl<'s, 'a> DtPartitioner<'s, 'a> {
         let influential: Vec<&Predicate> = if hold.is_empty() {
             Vec::new()
         } else {
-            let global_mean =
-                hold.iter().map(|(_, m)| m).sum::<f64>() / hold.len() as f64;
+            let global_mean = hold.iter().map(|(_, m)| m).sum::<f64>() / hold.len() as f64;
             hold.iter().filter(|(_, m)| *m >= global_mean).map(|(p, _)| p).collect()
         };
         let mut out = Vec::new();
@@ -584,9 +555,7 @@ impl<'s, 'a> DtPartitioner<'s, 'a> {
                 let rep = idx
                     .iter()
                     .copied()
-                    .min_by(|&a, &b| {
-                        (infs[a] - mean).abs().total_cmp(&(infs[b] - mean).abs())
-                    })
+                    .min_by(|&a, &b| (infs[a] - mean).abs().total_cmp(&(infs[b] - mean).abs()))
                     .expect("non-empty");
                 GroupStat { n: idx.len() as f64, rep_value: values[rep] }
             };
@@ -771,10 +740,10 @@ mod tests {
         let rows = s.outlier_rows(0);
         let (mut hot_in, mut hot_tot, mut cold_in, mut cold_tot) = (0, 0, 0, 0);
         for &r in rows {
-            let hot = (25.0..55.0).contains(&x[r as usize])
-                && (25.0..55.0).contains(&y[r as usize]);
-            let cold = !((15.0..65.0).contains(&x[r as usize])
-                && (15.0..65.0).contains(&y[r as usize]));
+            let hot =
+                (25.0..55.0).contains(&x[r as usize]) && (25.0..55.0).contains(&y[r as usize]);
+            let cold =
+                !((15.0..65.0).contains(&x[r as usize]) && (15.0..65.0).contains(&y[r as usize]));
             if hot {
                 hot_tot += 1;
                 if m.matches(r) {

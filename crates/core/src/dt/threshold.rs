@@ -65,8 +65,7 @@ impl ThresholdCurve {
         assert!(n >= 2);
         (0..n)
             .map(|i| {
-                let x = self.inf_l
-                    + (self.inf_u - self.inf_l) * (i as f64 / (n - 1) as f64);
+                let x = self.inf_l + (self.inf_u - self.inf_l) * (i as f64 / (n - 1) as f64);
                 (x, self.omega(x))
             })
             .collect()

@@ -49,8 +49,7 @@ pub fn rank_attributes(scorer: &Scorer<'_>, attrs: &[usize]) -> Result<Vec<AttrS
                 pearson(&xs, &infs).abs()
             }
             Column::Cat(cat) => {
-                let codes: Vec<u32> =
-                    rows.iter().map(|&r| cat.codes()[r as usize]).collect();
+                let codes: Vec<u32> = rows.iter().map(|&r| cat.codes()[r as usize]).collect();
                 correlation_ratio(&codes, &infs)
             }
         };

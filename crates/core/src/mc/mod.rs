@@ -97,10 +97,7 @@ pub fn mc_search(
             break;
         }
         results.extend(improved.iter().cloned());
-        best = improved
-            .iter()
-            .max_by(|a, b| a.influence.total_cmp(&b.influence))
-            .cloned();
+        best = improved.iter().max_by(|a, b| a.influence.total_cmp(&b.influence)).cloned();
 
         if level >= max_dims {
             break;
@@ -123,9 +120,8 @@ pub fn mc_search(
             let mut keyed: Vec<(f64, ScoredPredicate)> = next_scored
                 .into_iter()
                 .map(|sp| {
-                    let k = scorer
-                        .influence_outliers_only(&sp.predicate)
-                        .unwrap_or(f64::NEG_INFINITY);
+                    let k =
+                        scorer.influence_outliers_only(&sp.predicate).unwrap_or(f64::NEG_INFINITY);
                     (k, sp)
                 })
                 .collect();
@@ -232,11 +228,8 @@ fn prune(
 /// `level − 1` attributes with identical clauses, producing
 /// `(level + 1)`-dimensional candidates (the CLIQUE join).
 fn intersect_level(preds: &[ScoredPredicate], level: usize) -> Vec<Predicate> {
-    let units: Vec<&Predicate> = preds
-        .iter()
-        .map(|sp| &sp.predicate)
-        .filter(|p| p.num_clauses() == level)
-        .collect();
+    let units: Vec<&Predicate> =
+        preds.iter().map(|sp| &sp.predicate).filter(|p| p.num_clauses() == level).collect();
     let mut out = Vec::new();
     let mut seen = HashSet::new();
     for i in 0..units.len() {
@@ -244,18 +237,15 @@ fn intersect_level(preds: &[ScoredPredicate], level: usize) -> Vec<Predicate> {
             let (a, b) = (units[i], units[j]);
             let attrs_a: Vec<usize> = a.attrs().collect();
             let attrs_b: Vec<usize> = b.attrs().collect();
-            let union: HashSet<usize> =
-                attrs_a.iter().chain(attrs_b.iter()).copied().collect();
+            let union: HashSet<usize> = attrs_a.iter().chain(attrs_b.iter()).copied().collect();
             if union.len() != level + 1 {
                 continue;
             }
             // Shared attributes must carry identical clauses (grid
             // alignment), otherwise the intersection is a fragment that a
             // different pair already generates.
-            let shared_ok = attrs_a
-                .iter()
-                .filter(|x| attrs_b.contains(x))
-                .all(|&x| a.clause(x) == b.clause(x));
+            let shared_ok =
+                attrs_a.iter().filter(|x| attrs_b.contains(x)).all(|&x| a.clause(x) == b.clause(x));
             if !shared_ok {
                 continue;
             }
@@ -335,14 +325,12 @@ mod tests {
         // Some dimension is constrained to the hot band: admits the core
         // [27, 53) and rejects the fringes.
         let constrained = best.predicate.clauses().any(|cl| {
-            cl.matches_num(27.0) && cl.matches_num(52.9) && !cl.matches_num(10.0)
+            cl.matches_num(27.0)
+                && cl.matches_num(52.9)
+                && !cl.matches_num(10.0)
                 && !cl.matches_num(75.0)
         });
-        assert!(
-            constrained,
-            "expected a hot-band clause, got {}",
-            best.predicate.display(&t)
-        );
+        assert!(constrained, "expected a hot-band clause, got {}", best.predicate.display(&t));
         assert!(best.influence > 0.0);
     }
 

@@ -71,11 +71,8 @@ impl<'s, 'a> Merger<'s, 'a> {
             && self.scorer.is_incremental()
             && items.iter().all(|i| i.stats.is_some());
 
-        let n_seeds = if self.cfg.top_quartile_only {
-            (items.len().div_ceil(4)).max(1)
-        } else {
-            items.len()
-        };
+        let n_seeds =
+            if self.cfg.top_quartile_only { (items.len().div_ceil(4)).max(1) } else { items.len() };
 
         let mut consumed = vec![false; items.len()];
         let mut results: Vec<ScoredPredicate> = Vec::new();
@@ -175,10 +172,8 @@ impl<'s, 'a> Merger<'s, 'a> {
         let inc = self.scorer.incremental_agg().expect("approx requires incremental");
         let n_out = self.scorer.n_outliers();
         let n_hold = self.scorer.n_holdouts();
-        let mut out: Vec<(f64, AggState)> =
-            vec![(0.0, AggState::zero(inc.state_len())); n_out];
-        let mut hold: Vec<(f64, AggState)> =
-            vec![(0.0, AggState::zero(inc.state_len())); n_hold];
+        let mut out: Vec<(f64, AggState)> = vec![(0.0, AggState::zero(inc.state_len())); n_out];
+        let mut hold: Vec<(f64, AggState)> = vec![(0.0, AggState::zero(inc.state_len())); n_hold];
         // Accumulators for the merged partition's own stats (weighted mean
         // of representative values).
         let mut rep_out = vec![0.0f64; n_out];
@@ -248,9 +243,7 @@ mod tests {
     use crate::config::InfluenceParams;
     use crate::scorer::GroupSpec;
     use scorpion_agg::Avg;
-    use scorpion_table::{
-        domains_of, group_by, Clause, Field, Schema, Table, TableBuilder, Value,
-    };
+    use scorpion_table::{domains_of, group_by, Clause, Field, Schema, Table, TableBuilder, Value};
 
     /// One outlier group, one hold-out group over x ∈ [0, 10). In the
     /// outlier group, tuples with x ∈ [2, 6) have value 100 (split across
@@ -290,17 +283,10 @@ mod tests {
         let x = t.num(1).unwrap();
         let v = t.num(2).unwrap();
         let stat_of = |rows: &[u32]| {
-            let matched: Vec<u32> = rows
-                .iter()
-                .copied()
-                .filter(|&r| (lo..hi).contains(&x[r as usize]))
-                .collect();
+            let matched: Vec<u32> =
+                rows.iter().copied().filter(|&r| (lo..hi).contains(&x[r as usize])).collect();
             let n = matched.len() as f64;
-            let rep = if matched.is_empty() {
-                0.0
-            } else {
-                v[matched[matched.len() / 2] as usize]
-            };
+            let rep = if matched.is_empty() { 0.0 } else { v[matched[matched.len() / 2] as usize] };
             GroupStat { n, rep_value: rep }
         };
         let g = group_by(t, &[0]).unwrap();
@@ -395,8 +381,7 @@ mod tests {
         let t = table();
         let s = scorer(&t);
         let d = domains_of(&t).unwrap();
-        let (out, diag) =
-            Merger::new(&s, &d, MergerConfig::default()).merge(Vec::new()).unwrap();
+        let (out, diag) = Merger::new(&s, &d, MergerConfig::default()).merge(Vec::new()).unwrap();
         assert!(out.is_empty());
         assert_eq!(diag, MergeDiag::default());
     }

@@ -87,11 +87,8 @@ pub fn naive_search(
         }
     }
 
-    let max_clauses = if cfg.max_clauses == 0 {
-        attrs.len()
-    } else {
-        cfg.max_clauses.min(attrs.len())
-    };
+    let max_clauses =
+        if cfg.max_clauses == 0 { attrs.len() } else { cfg.max_clauses.min(attrs.len()) };
     let max_subset = if has_discrete { cfg.max_discrete_subset.max(1) } else { 1 };
 
     let mut st = SearchState {
@@ -120,9 +117,7 @@ pub fn naive_search(
         }
     }
 
-    let best = st
-        .best
-        .unwrap_or_else(|| ScoredPredicate::new(Predicate::all(), f64::NEG_INFINITY));
+    let best = st.best.unwrap_or_else(|| ScoredPredicate::new(Predicate::all(), f64::NEG_INFINITY));
     Ok(NaiveOutcome {
         best,
         trace: st.trace,
@@ -250,8 +245,7 @@ fn enumerate_combos(
                 loop {
                     let subset: Vec<u32> = idx.iter().map(|&i| codes[i]).collect();
                     chosen.push(Clause::in_set(*attr, subset));
-                    let flow =
-                        enumerate_combos(candidates, from + 1, k - 1, s, exact, chosen, st);
+                    let flow = enumerate_combos(candidates, from + 1, k - 1, s, exact, chosen, st);
                     chosen.pop();
                     flow?;
                     if !next_combination(&mut idx, codes.len()) {
@@ -276,12 +270,8 @@ mod tests {
     /// 1 elsewhere; group "h" is uniformly 1. The planted explanation is
     /// x ∈ [4,6).
     fn planted() -> Table {
-        let schema = Schema::new(vec![
-            Field::disc("g"),
-            Field::cont("x"),
-            Field::cont("v"),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Field::disc("g"), Field::cont("x"), Field::cont("v")]).unwrap();
         let mut b = TableBuilder::new(schema);
         for i in 0..50 {
             let x = i as f64 * 0.2; // 0.0 .. 9.8
@@ -374,12 +364,8 @@ mod tests {
 
     #[test]
     fn finds_planted_discrete_pair() {
-        let schema = Schema::new(vec![
-            Field::disc("g"),
-            Field::disc("color"),
-            Field::cont("v"),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Field::disc("g"), Field::disc("color"), Field::cont("v")]).unwrap();
         let mut b = TableBuilder::new(schema);
         for i in 0..30 {
             let color = ["red", "blue", "green"][i % 3];

@@ -32,12 +32,11 @@ impl PreparedQuery {
     /// §3.1 models selections.
     pub fn new(source: &Table, sql: &str) -> Result<Self> {
         let parsed = parse_query(sql)?;
-        let agg = aggregate_by_name(&parsed.agg_name).ok_or(
-            ScorpionError::UnsupportedAggregate {
+        let agg =
+            aggregate_by_name(&parsed.agg_name).ok_or(ScorpionError::UnsupportedAggregate {
                 algorithm: "query preparation",
                 requires: "a registered aggregate (sum/count/avg/stddev/variance/min/max/median)",
-            },
-        )?;
+            })?;
         let table = if parsed.selection.is_empty() {
             source.clone()
         } else {
@@ -55,8 +54,7 @@ impl PreparedQuery {
         let agg_attr = table.attr(&parsed.agg_attr)?;
         let grouping = group_by(&table, &gb_attrs)?;
         let agg_ref = agg.clone();
-        let results =
-            aggregate_groups(&table, &grouping, agg_attr, move |v| agg_ref.compute(v))?;
+        let results = aggregate_groups(&table, &grouping, agg_attr, move |v| agg_ref.compute(v))?;
         Ok(PreparedQuery { table, grouping, agg, agg_attr, results })
     }
 
@@ -84,18 +82,13 @@ impl PreparedQuery {
             v.sort_by(f64::total_cmp);
             v.get(mid).copied().unwrap_or(0.0)
         };
-        let mut by_dev: Vec<(usize, f64)> = self
-            .results
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (i, v - median))
-            .collect();
+        let mut by_dev: Vec<(usize, f64)> =
+            self.results.iter().enumerate().map(|(i, &v)| (i, v - median)).collect();
         by_dev.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
         let k = k.min(by_dev.len() / 2).max(1.min(by_dev.len()));
         let outliers: Vec<(usize, f64)> =
             by_dev.iter().take(k).map(|&(i, d)| (i, d.signum())).collect();
-        let holdouts: Vec<usize> =
-            by_dev.iter().rev().take(k).map(|&(i, _)| i).collect();
+        let holdouts: Vec<usize> = by_dev.iter().rev().take(k).map(|&(i, _)| i).collect();
         (outliers, holdouts)
     }
 }
@@ -135,8 +128,8 @@ mod tests {
     #[test]
     fn prepare_and_explain_q1() {
         let t = sensors();
-        let q = PreparedQuery::new(&t, "SELECT avg(temp), time FROM sensors GROUP BY time")
-            .unwrap();
+        let q =
+            PreparedQuery::new(&t, "SELECT avg(temp), time FROM sensors GROUP BY time").unwrap();
         assert_eq!(q.results.len(), 3);
         assert!((q.results[1] - 56.6667).abs() < 1e-3);
         let labeled = q.labeled(vec![(1, 1.0), (2, 1.0)], vec![0]);

@@ -113,9 +113,8 @@ impl Explanation {
             scratch.extend(rows.iter().map(|&r| vals[r as usize]));
             let before = agg.compute(&scratch);
             scratch.clear();
-            scratch.extend(
-                rows.iter().filter(|&&r| !matcher.matches(r)).map(|&r| vals[r as usize]),
-            );
+            scratch
+                .extend(rows.iter().filter(|&&r| !matcher.matches(r)).map(|&r| vals[r as usize]));
             let after = agg.compute(&scratch);
             out.push((before, after));
         }
@@ -137,10 +136,7 @@ mod tests {
         let p1 = Predicate::conjunction([Clause::range(0, 0.0, 1.0)]).unwrap();
         let p2 = Predicate::all();
         let e = Explanation {
-            predicates: vec![
-                ScoredPredicate::new(p1.clone(), 2.0),
-                ScoredPredicate::new(p2, 1.0),
-            ],
+            predicates: vec![ScoredPredicate::new(p1.clone(), 2.0), ScoredPredicate::new(p2, 1.0)],
             diagnostics: Diagnostics { algorithm: "dt", ..Default::default() },
         };
         assert_eq!(e.best().influence, 2.0);
@@ -159,8 +155,7 @@ mod tests {
     #[test]
     fn preview_shows_before_and_after() {
         use scorpion_agg::Avg;
-        let schema =
-            Schema::new(vec![Field::disc("g"), Field::cont("v")]).unwrap();
+        let schema = Schema::new(vec![Field::disc("g"), Field::cont("v")]).unwrap();
         let mut b = TableBuilder::new(schema);
         for (g, v) in [("a", 10.0), ("a", 90.0), ("b", 10.0)] {
             b.push_row(vec![Value::from(g), Value::from(v)]).unwrap();

@@ -130,8 +130,14 @@ impl<'a> Scorer<'a> {
             self.table,
             self.agg,
             self.agg_attr,
-            self.outliers.iter().map(|g| GroupSpec { rows: g.rows.clone(), error: g.error }).collect(),
-            self.holdouts.iter().map(|g| GroupSpec { rows: g.rows.clone(), error: g.error }).collect(),
+            self.outliers
+                .iter()
+                .map(|g| GroupSpec { rows: g.rows.clone(), error: g.error })
+                .collect(),
+            self.holdouts
+                .iter()
+                .map(|g| GroupSpec { rows: g.rows.clone(), error: g.error })
+                .collect(),
             params,
             self.inc.is_none() && self.agg.incremental().is_some(),
         )
@@ -382,35 +388,28 @@ impl<'a> Scorer<'a> {
     /// Scores a batch of predicates, optionally in parallel.
     ///
     /// §8.3.2 leaves parallelism to future work; this is that extension.
-    /// The batch is chunked across `threads` scoped workers (crossbeam),
-    /// each evaluating the same shared group state read-only. With
+    /// The batch is chunked across `threads` scoped workers, each
+    /// evaluating the same shared group state read-only. With
     /// `threads <= 1` the batch is scored sequentially. Results are in
     /// input order; scoring errors surface per predicate.
-    pub fn influence_batch(
-        &self,
-        preds: &[Predicate],
-        threads: usize,
-    ) -> Vec<Result<f64>> {
+    pub fn influence_batch(&self, preds: &[Predicate], threads: usize) -> Vec<Result<f64>> {
         if threads <= 1 || preds.len() < 2 {
             return preds.iter().map(|p| self.influence(p)).collect();
         }
         let threads = threads.min(preds.len());
         let chunk = preds.len().div_ceil(threads);
         let mut out: Vec<Result<f64>> = Vec::with_capacity(preds.len());
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let handles: Vec<_> = preds
                 .chunks(chunk)
                 .map(|chunk| {
-                    s.spawn(move |_| {
-                        chunk.iter().map(|p| self.influence(p)).collect::<Vec<_>>()
-                    })
+                    s.spawn(move || chunk.iter().map(|p| self.influence(p)).collect::<Vec<_>>())
                 })
                 .collect();
             for h in handles {
                 out.extend(h.join().expect("scoring worker panicked"));
             }
-        })
-        .expect("crossbeam scope");
+        });
         out
     }
 }
@@ -507,10 +506,8 @@ mod tests {
         // voltage < 2.4 selects exactly T6 and T9 — the planted anomaly.
         let t = sensors();
         let s = paper_scorer(&t, 1.0);
-        let bad_voltage =
-            Predicate::conjunction([Clause::range(2, 0.0, 2.4)]).unwrap();
-        let normal_voltage =
-            Predicate::conjunction([Clause::range(2, 2.6, 3.0)]).unwrap();
+        let bad_voltage = Predicate::conjunction([Clause::range(2, 0.0, 2.4)]).unwrap();
+        let normal_voltage = Predicate::conjunction([Clause::range(2, 2.6, 3.0)]).unwrap();
         let inf_bad = s.influence(&bad_voltage).unwrap();
         let inf_norm = s.influence(&normal_voltage).unwrap();
         assert!(
@@ -528,11 +525,9 @@ mod tests {
         let t = sensors();
         let s = paper_scorer(&t, 1.0);
         // Matches every sensor-3 row, including the hold-out group's.
-        let sensor3 = Predicate::conjunction([Clause::in_set(
-            1,
-            [t.cat(1).unwrap().code_of("3").unwrap()],
-        )])
-        .unwrap();
+        let sensor3 =
+            Predicate::conjunction([Clause::in_set(1, [t.cat(1).unwrap().code_of("3").unwrap()])])
+                .unwrap();
         let inf = s.influence(&sensor3).unwrap();
         // Outlier part identical to the voltage predicate, but the
         // hold-out group loses its 35° reading: avg 34.67 → 34.5,
@@ -641,9 +636,8 @@ mod tests {
                 &[(0.0, AggState::zero(2))],
             )
             .unwrap();
-        let exact = s
-            .influence(&Predicate::conjunction([Clause::range(3, 99.0, 101.0)]).unwrap())
-            .unwrap();
+        let exact =
+            s.influence(&Predicate::conjunction([Clause::range(3, 99.0, 101.0)]).unwrap()).unwrap();
         assert!((est - exact).abs() < 1e-9, "{est} vs {exact}");
     }
 
@@ -689,15 +683,7 @@ mod tests {
             Err(ScorpionError::BadConfig(_))
         ));
         assert!(matches!(
-            Scorer::new(
-                &t,
-                &Avg,
-                3,
-                spec,
-                vec![],
-                InfluenceParams { lambda: 0.5, c: -1.0 },
-                false
-            ),
+            Scorer::new(&t, &Avg, 3, spec, vec![], InfluenceParams { lambda: 0.5, c: -1.0 }, false),
             Err(ScorpionError::BadConfig(_))
         ));
     }

@@ -16,12 +16,12 @@
 //! first run, and each merge starts from the cached merged output of the
 //! nearest cached `c' ≥ c`.
 
+use crate::api::LabeledQuery;
 use crate::config::{DtConfig, InfluenceParams};
 use crate::dt::DtPartitioner;
 use crate::error::Result;
 use crate::merger::Merger;
-use crate::result::{Explanation, Diagnostics, ScoredPredicate};
-use crate::api::LabeledQuery;
+use crate::result::{Diagnostics, Explanation, ScoredPredicate};
 use parking_lot::Mutex;
 use scorpion_table::{domains_of, AttrDomain, OrdF64};
 use std::collections::BTreeMap;
@@ -103,12 +103,7 @@ impl<'a> ScorpionSession<'a> {
         // 2. Merge with warm start from the nearest cached c' ≥ c.
         let warm: Vec<ScoredPredicate> = {
             let cache = self.cache.lock();
-            cache
-                .merged_by_c
-                .range(OrdF64(c)..)
-                .next()
-                .map(|(_, v)| v.clone())
-                .unwrap_or_default()
+            cache.merged_by_c.range(OrdF64(c)..).next().map(|(_, v)| v.clone()).unwrap_or_default()
         };
         let mut input = partitions;
         for mut sp in warm {
@@ -214,13 +209,9 @@ mod tests {
             outliers: vec![(0, 1.0)],
             holdouts: vec![1],
         };
-        let session = ScorpionSession::new(
-            q,
-            0.5,
-            DtConfig { sampling: None, ..DtConfig::default() },
-            None,
-        )
-        .unwrap();
+        let session =
+            ScorpionSession::new(q, 0.5, DtConfig { sampling: None, ..DtConfig::default() }, None)
+                .unwrap();
         let hi = session.run_with_c(1.0).unwrap();
         let lo = session.run_with_c(0.0).unwrap();
         // c = 0 rewards raw Δ: the chosen predicate should select at
@@ -242,13 +233,9 @@ mod tests {
             outliers: vec![(0, 1.0)],
             holdouts: vec![1],
         };
-        let session = ScorpionSession::new(
-            q,
-            0.5,
-            DtConfig { sampling: None, ..DtConfig::default() },
-            None,
-        )
-        .unwrap();
+        let session =
+            ScorpionSession::new(q, 0.5, DtConfig { sampling: None, ..DtConfig::default() }, None)
+                .unwrap();
         let _ = session.run_with_c(0.3).unwrap();
         assert!(session.is_warm());
         session.clear_cache();

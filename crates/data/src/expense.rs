@@ -73,8 +73,8 @@ impl ExpenseDataset {
 }
 
 const STATES: [&str; 20] = [
-    "DC", "NY", "CA", "TX", "IL", "VA", "MA", "FL", "OH", "PA", "WA", "MI", "NC", "GA", "CO",
-    "MN", "MO", "WI", "AZ", "OR",
+    "DC", "NY", "CA", "TX", "IL", "VA", "MA", "FL", "OH", "PA", "WA", "MI", "NC", "GA", "CO", "MN",
+    "MO", "WI", "AZ", "OR",
 ];
 
 const DESCS: [&str; 12] = [
@@ -169,8 +169,19 @@ pub fn generate(config: ExpenseConfig) -> ExpenseDataset {
                     ("800317", rng.uniform(1_600_000.0, 2_600_000.0))
                 };
                 push_expense(
-                    &mut b, &date, amt, "GMMB INC.", "DC", "CITY000", "Z00001", "CORP",
-                    "MEDIA BUY", file, "G2012", "N", "MEDIA",
+                    &mut b,
+                    &date,
+                    amt,
+                    "GMMB INC.",
+                    "DC",
+                    "CITY000",
+                    "Z00001",
+                    "CORP",
+                    "MEDIA BUY",
+                    file,
+                    "G2012",
+                    "N",
+                    "MEDIA",
                 );
                 if amt > 1_500_000.0 {
                     big_rows.push(row);

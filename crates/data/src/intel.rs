@@ -134,10 +134,7 @@ pub fn generate(config: IntelConfig) -> IntelDataset {
     let mut b = TableBuilder::new(schema);
     b.reserve(config.hours * config.n_sensors * config.readings_per_hour);
 
-    assert!(
-        config.failure_start < config.hours,
-        "failure must start within the simulated span"
-    );
+    assert!(config.failure_start < config.hours, "failure must start within the simulated span");
     let bad_sensor = failing_sensor(config.failure);
     // Clip the failure window to the simulated span.
     let failure_end = (config.failure_start + config.failure_hours).min(config.hours);
@@ -152,9 +149,8 @@ pub fn generate(config: IntelConfig) -> IntelDataset {
         let day = (6.0..19.0).contains(&tod);
         for sensor in 0..config.n_sensors {
             let sid = format!("s{sensor:02}");
-            let failing = sensor == bad_sensor
-                && hour >= config.failure_start
-                && hour < failure_end;
+            let failing =
+                sensor == bad_sensor && hour >= config.failure_start && hour < failure_end;
             for _ in 0..config.readings_per_hour {
                 let (voltage, humidity, light, temp);
                 if failing {
@@ -205,10 +201,7 @@ pub fn generate(config: IntelConfig) -> IntelDataset {
     // pre-failure normal hours (the paper labels 13–21 hold-outs).
     let outlier_hours: Vec<usize> = (config.failure_start..failure_end).collect();
     let n_holdouts = 13.min(config.failure_start);
-    let holdout_hours: Vec<usize> = (0..config.failure_start)
-        .rev()
-        .take(n_holdouts)
-        .collect();
+    let holdout_hours: Vec<usize> = (0..config.failure_start).rev().take(n_holdouts).collect();
 
     IntelDataset { table: b.build(), config, outlier_hours, holdout_hours, failing_rows }
 }
@@ -240,10 +233,7 @@ mod tests {
         };
         let outlier_sd = stddev(g.rows(ds.outlier_hours[0]));
         let normal_sd = stddev(g.rows(ds.holdout_hours[0]));
-        assert!(
-            outlier_sd > 4.0 * normal_sd,
-            "outlier sd {outlier_sd} vs normal {normal_sd}"
-        );
+        assert!(outlier_sd > 4.0 * normal_sd, "outlier sd {outlier_sd} vs normal {normal_sd}");
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   "Substitutions").
 //! * [`expense`] — a simulator of the 2012 campaign-expense dataset with
 //!   the paper's cardinality profile and the GMMB INC. media-buy spikes.
+//! * [`stream`] — an infinite chunked sensor feed with injectable
+//!   dropout/drift anomaly episodes, feeding the `scorpion-stream`
+//!   continuous engine.
 //!
 //! All generators are deterministic given their seed and return labeled
 //! groups plus ground-truth row sets for precision/recall scoring.
@@ -21,9 +24,11 @@
 pub mod expense;
 pub mod intel;
 pub mod rng;
+pub mod stream;
 pub mod synth;
 
 pub use expense::{ExpenseConfig, ExpenseDataset};
 pub use intel::{FailureMode, IntelConfig, IntelDataset};
 pub use rng::Rng;
+pub use stream::{Episode, EpisodeKind, FeedChunk, FeedConfig, SensorFeed};
 pub use synth::{SynthConfig, SynthDataset};

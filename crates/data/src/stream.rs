@@ -1,0 +1,313 @@
+//! Streaming sensor feed: an infinite, deterministic source of Intel-style
+//! sensor readings delivered one chunk (hour) at a time, with injectable
+//! anomaly *episodes* for exercising the continuous engine.
+//!
+//! Two episode kinds mirror the paper's §8.4 failure signatures:
+//!
+//! * [`EpisodeKind::Dropout`] — the sensor "dies": hot garbage readings
+//!   (100–130°C) with the low-voltage / low-light signature of INTEL
+//!   workload 1;
+//! * [`EpisodeKind::Drift`] — battery drain: voltage sags and readings
+//!   climb gradually over the episode, peaking near its end (the slow
+//!   version of INTEL workload 2).
+//!
+//! Each produced [`FeedChunk`] carries ground truth (which row offsets
+//! are anomalous), so monitors and tests can score their explanations.
+
+use crate::rng::Rng;
+use scorpion_table::{Field, Schema, Value};
+
+/// The kind of an injected anomaly episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpisodeKind {
+    /// Sudden failure: hot garbage readings with a low-voltage signature.
+    Dropout,
+    /// Gradual battery drain: readings climb as voltage sags.
+    Drift,
+}
+
+/// One injected anomaly: a sensor misbehaving for a span of ticks.
+#[derive(Debug, Clone)]
+pub struct Episode {
+    /// Index of the misbehaving sensor.
+    pub sensor: usize,
+    /// First tick (hour) of the episode.
+    pub start: usize,
+    /// Number of ticks it lasts.
+    pub duration: usize,
+    /// Failure signature.
+    pub kind: EpisodeKind,
+}
+
+impl Episode {
+    /// True when the episode is active at `tick`.
+    pub fn active_at(&self, tick: usize) -> bool {
+        tick >= self.start && tick < self.start + self.duration
+    }
+
+    /// Progress through the episode at `tick`, in `[0, 1]`.
+    pub fn progress(&self, tick: usize) -> f64 {
+        if self.duration <= 1 {
+            return 1.0;
+        }
+        ((tick - self.start) as f64 / (self.duration - 1) as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// Feed parameters.
+#[derive(Debug, Clone)]
+pub struct FeedConfig {
+    /// Number of simulated sensors.
+    pub n_sensors: usize,
+    /// Readings per sensor per tick.
+    pub readings_per_tick: usize,
+    /// Injected anomaly episodes.
+    pub episodes: Vec<Episode>,
+    /// RNG seed; the feed is fully deterministic given it.
+    pub seed: u64,
+}
+
+impl FeedConfig {
+    /// A demo feed: 20 sensors, a dropout episode on sensor 7 at ticks
+    /// 30–35.
+    pub fn demo() -> Self {
+        FeedConfig {
+            n_sensors: 20,
+            readings_per_tick: 6,
+            episodes: vec![Episode {
+                sensor: 7,
+                start: 30,
+                duration: 6,
+                kind: EpisodeKind::Dropout,
+            }],
+            seed: 0x5EED_F00D,
+        }
+    }
+}
+
+/// One tick's worth of readings plus ground truth.
+#[derive(Debug, Clone)]
+pub struct FeedChunk {
+    /// The tick (hour) this chunk covers.
+    pub tick: usize,
+    /// Rows conforming to [`feed_schema`].
+    pub rows: Vec<Vec<Value>>,
+    /// Offsets into `rows` of the anomalous readings.
+    pub anomalous: Vec<usize>,
+    /// Episodes active during this tick, as `(sensor, kind)`.
+    pub active: Vec<(usize, EpisodeKind)>,
+}
+
+/// The feed's row schema: `hour` (discrete), `sensorid` (discrete),
+/// `voltage`, `light`, `temp` (continuous).
+pub fn feed_schema() -> Schema {
+    Schema::new(vec![
+        Field::disc("hour"),
+        Field::disc("sensorid"),
+        Field::cont("voltage"),
+        Field::cont("light"),
+        Field::cont("temp"),
+    ])
+    .expect("unique field names")
+}
+
+/// Attribute index of the group-by key (`hour`).
+pub const FEED_GROUP_ATTR: usize = 0;
+/// Attribute index of the aggregated reading (`temp`).
+pub const FEED_AGG_ATTR: usize = 4;
+
+/// The key a given tick's chunk groups under.
+pub fn tick_key(tick: usize) -> String {
+    format!("h{tick:04}")
+}
+
+/// The sensor id string of sensor `i`.
+pub fn sensor_id(i: usize) -> String {
+    format!("s{i:02}")
+}
+
+/// A deterministic, infinite stream of sensor-reading chunks.
+pub struct SensorFeed {
+    cfg: FeedConfig,
+    rng: Rng,
+    tick: usize,
+}
+
+impl SensorFeed {
+    /// Creates a feed at tick 0.
+    pub fn new(cfg: FeedConfig) -> Self {
+        let rng = Rng::seeded(cfg.seed);
+        SensorFeed { cfg, rng, tick: 0 }
+    }
+
+    /// The feed parameters.
+    pub fn config(&self) -> &FeedConfig {
+        &self.cfg
+    }
+
+    /// The next tick to be produced.
+    pub fn tick(&self) -> usize {
+        self.tick
+    }
+
+    /// Produces the next chunk and advances the clock.
+    pub fn next_chunk(&mut self) -> FeedChunk {
+        let tick = self.tick;
+        self.tick += 1;
+        let key = tick_key(tick);
+        let tod = (tick % 24) as f64;
+        let base_temp = 18.0 + 6.0 * ((tod - 14.0) / 24.0 * std::f64::consts::TAU).cos();
+        let day = (6.0..19.0).contains(&tod);
+
+        let mut rows = Vec::with_capacity(self.cfg.n_sensors * self.cfg.readings_per_tick);
+        let mut anomalous = Vec::new();
+        let mut active = Vec::new();
+        for e in &self.cfg.episodes {
+            if e.active_at(tick) {
+                active.push((e.sensor, e.kind));
+            }
+        }
+        for sensor in 0..self.cfg.n_sensors {
+            let sid = sensor_id(sensor);
+            let episode =
+                self.cfg.episodes.iter().find(|e| e.sensor == sensor && e.active_at(tick));
+            for _ in 0..self.cfg.readings_per_tick {
+                let (voltage, light, temp) = match episode {
+                    Some(e) => match e.kind {
+                        EpisodeKind::Dropout => (
+                            self.rng.uniform(2.30, 2.33),
+                            self.rng.uniform(0.0, 150.0),
+                            self.rng.uniform(100.0, 130.0),
+                        ),
+                        EpisodeKind::Drift => {
+                            let p = e.progress(tick);
+                            (
+                                2.65 - 0.35 * p + self.rng.normal(0.0, 0.01),
+                                if day {
+                                    self.rng.uniform(200.0, 600.0)
+                                } else {
+                                    self.rng.uniform(0.0, 50.0)
+                                },
+                                base_temp + 15.0 + 45.0 * p + self.rng.normal(0.0, 1.0),
+                            )
+                        }
+                    },
+                    None => (
+                        self.rng.normal(2.68, 0.02).clamp(2.5, 2.8),
+                        if day {
+                            self.rng.uniform(200.0, 600.0)
+                        } else {
+                            self.rng.uniform(0.0, 50.0)
+                        },
+                        base_temp + sensor as f64 * 0.03 + self.rng.normal(0.0, 0.6),
+                    ),
+                };
+                if episode.is_some() {
+                    anomalous.push(rows.len());
+                }
+                rows.push(vec![
+                    Value::Str(key.clone()),
+                    Value::Str(sid.clone()),
+                    Value::Num(voltage),
+                    Value::Num(light),
+                    Value::Num(temp),
+                ]);
+            }
+        }
+        FeedChunk { tick, rows, anomalous, active }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SensorFeed::new(FeedConfig::demo());
+        let mut b = SensorFeed::new(FeedConfig::demo());
+        for _ in 0..5 {
+            let (ca, cb) = (a.next_chunk(), b.next_chunk());
+            assert_eq!(ca.rows, cb.rows);
+            assert_eq!(ca.anomalous, cb.anomalous);
+        }
+    }
+
+    #[test]
+    fn chunk_shape_and_keys() {
+        let cfg = FeedConfig::demo();
+        let (sensors, per) = (cfg.n_sensors, cfg.readings_per_tick);
+        let mut feed = SensorFeed::new(cfg);
+        let c = feed.next_chunk();
+        assert_eq!(c.tick, 0);
+        assert_eq!(c.rows.len(), sensors * per);
+        assert!(c.anomalous.is_empty());
+        for row in &c.rows {
+            assert_eq!(row.len(), feed_schema().len());
+            assert_eq!(row[FEED_GROUP_ATTR], Value::Str(tick_key(0)));
+            assert!(row[FEED_AGG_ATTR].as_num().is_some());
+        }
+        assert_eq!(feed.next_chunk().tick, 1);
+    }
+
+    #[test]
+    fn dropout_rows_are_hot_and_attributed() {
+        let mut feed = SensorFeed::new(FeedConfig::demo());
+        let mut saw_episode = false;
+        for _ in 0..40 {
+            let c = feed.next_chunk();
+            if c.active.is_empty() {
+                assert!(c.anomalous.is_empty());
+                continue;
+            }
+            saw_episode = true;
+            assert!(!c.anomalous.is_empty());
+            for &i in &c.anomalous {
+                let row = &c.rows[i];
+                assert_eq!(row[1], Value::Str(sensor_id(7)));
+                let temp = row[FEED_AGG_ATTR].as_num().unwrap();
+                assert!(temp >= 100.0, "dropout temp {temp}");
+                let v = row[2].as_num().unwrap();
+                assert!((2.30..2.33).contains(&v));
+            }
+        }
+        assert!(saw_episode);
+    }
+
+    #[test]
+    fn drift_episode_ramps() {
+        let cfg = FeedConfig {
+            episodes: vec![Episode { sensor: 2, start: 5, duration: 10, kind: EpisodeKind::Drift }],
+            ..FeedConfig::demo()
+        };
+        let mut feed = SensorFeed::new(cfg);
+        let mut first_mean = None;
+        let mut last_mean = None;
+        for _ in 0..20 {
+            let c = feed.next_chunk();
+            if c.anomalous.is_empty() {
+                continue;
+            }
+            let temps: Vec<f64> =
+                c.anomalous.iter().map(|&i| c.rows[i][FEED_AGG_ATTR].as_num().unwrap()).collect();
+            let mean = temps.iter().sum::<f64>() / temps.len() as f64;
+            if first_mean.is_none() {
+                first_mean = Some(mean);
+            }
+            last_mean = Some(mean);
+        }
+        let (first, last) = (first_mean.unwrap(), last_mean.unwrap());
+        assert!(last > first + 20.0, "drift should ramp: {first} → {last}");
+    }
+
+    #[test]
+    fn episode_progress_is_clamped() {
+        let e = Episode { sensor: 0, start: 10, duration: 5, kind: EpisodeKind::Drift };
+        assert!(e.active_at(10) && e.active_at(14));
+        assert!(!e.active_at(9) && !e.active_at(15));
+        assert_eq!(e.progress(10), 0.0);
+        assert_eq!(e.progress(14), 1.0);
+        let one = Episode { sensor: 0, start: 3, duration: 1, kind: EpisodeKind::Dropout };
+        assert_eq!(one.progress(3), 1.0);
+    }
+}

@@ -145,14 +145,9 @@ pub fn generate(config: SynthConfig) -> SynthDataset {
         let is_outlier_group = g < n_outlier_groups;
         let key = format!("g{g}");
         for _ in 0..config.tuples_per_group {
-            let xs: Vec<f64> =
-                (0..config.dims).map(|_| rng.uniform(DIM_LO, DIM_HI)).collect();
-            let in_outer = xs
-                .iter()
-                .zip(&outer)
-                .all(|(x, (lo, hi))| lo <= x && x < hi);
-            let in_inner = in_outer
-                && xs.iter().zip(&inner).all(|(x, (lo, hi))| lo <= x && x < hi);
+            let xs: Vec<f64> = (0..config.dims).map(|_| rng.uniform(DIM_LO, DIM_HI)).collect();
+            let in_outer = xs.iter().zip(&outer).all(|(x, (lo, hi))| lo <= x && x < hi);
+            let in_inner = in_outer && xs.iter().zip(&inner).all(|(x, (lo, hi))| lo <= x && x < hi);
             let av = if is_outlier_group && in_inner {
                 rng.normal(config.mu, 10.0)
             } else if is_outlier_group && in_outer {
@@ -207,10 +202,7 @@ impl SynthDataset {
     /// The ground-truth predicate for the outer (or inner) cube.
     pub fn truth_predicate(&self, inner: bool) -> Predicate {
         let cube = if inner { &self.inner_cube } else { &self.outer_cube };
-        let clauses = cube
-            .iter()
-            .enumerate()
-            .map(|(d, (lo, hi))| Clause::range(2 + d, *lo, *hi));
+        let clauses = cube.iter().enumerate().map(|(d, (lo, hi))| Clause::range(2 + d, *lo, *hi));
         Predicate::conjunction(clauses).expect("cube ranges are non-empty")
     }
 
@@ -291,8 +283,7 @@ mod tests {
         // Restricted to outlier groups, the predicate matches exactly the
         // ground-truth rows.
         let outlier_max = (ds.outlier_groups.len() * ds.config.tuples_per_group) as u32;
-        let sel_outliers: Vec<u32> =
-            selected.into_iter().filter(|&r| r < outlier_max).collect();
+        let sel_outliers: Vec<u32> = selected.into_iter().filter(|&r| r < outlier_max).collect();
         assert_eq!(sel_outliers, ds.outer_rows);
     }
 
@@ -301,23 +292,18 @@ mod tests {
         let ds = generate(SynthConfig::easy(2));
         let av = ds.table.num(1).unwrap();
         let mean_inner: f64 =
-            ds.inner_rows.iter().map(|&r| av[r as usize]).sum::<f64>()
-                / ds.inner_rows.len() as f64;
+            ds.inner_rows.iter().map(|&r| av[r as usize]).sum::<f64>() / ds.inner_rows.len() as f64;
         assert!((mean_inner - 80.0).abs() < 3.0, "inner mean {mean_inner}");
         // Hold-out groups are pure normal.
-        let holdout_rows: Vec<u32> =
-            (5 * 2000..6 * 2000).map(|r| r as u32).collect();
-        let mean_hold: f64 = holdout_rows.iter().map(|&r| av[r as usize]).sum::<f64>()
-            / holdout_rows.len() as f64;
+        let holdout_rows: Vec<u32> = (5 * 2000..6 * 2000).map(|r| r as u32).collect();
+        let mean_hold: f64 =
+            holdout_rows.iter().map(|&r| av[r as usize]).sum::<f64>() / holdout_rows.len() as f64;
         assert!((mean_hold - 10.0).abs() < 1.5, "hold-out mean {mean_hold}");
     }
 
     #[test]
     fn fixed_cubes_are_respected() {
-        let cubes = (
-            vec![(20.0, 80.0), (20.0, 80.0)],
-            vec![(40.0, 60.0), (40.0, 60.0)],
-        );
+        let cubes = (vec![(20.0, 80.0), (20.0, 80.0)], vec![(40.0, 60.0), (40.0, 60.0)]);
         let cfg = SynthConfig { cubes: Some(cubes.clone()), ..SynthConfig::easy(2) };
         let ds = generate(cfg);
         assert_eq!(ds.outer_cube, cubes.0);

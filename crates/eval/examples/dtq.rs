@@ -1,9 +1,13 @@
-use scorpion_eval::harness::SynthRun;
-use scorpion_data::synth::SynthConfig;
 use scorpion_core::{Algorithm, DtConfig};
+use scorpion_data::synth::SynthConfig;
+use scorpion_eval::harness::SynthRun;
 use std::time::Instant;
 fn main() {
-    for (dname, dcfg) in [("Easy2D", SynthConfig::easy(2)), ("Hard2D", SynthConfig::hard(2)), ("Easy3D", SynthConfig::easy(3))] {
+    for (dname, dcfg) in [
+        ("Easy2D", SynthConfig::easy(2)),
+        ("Hard2D", SynthConfig::hard(2)),
+        ("Easy3D", SynthConfig::easy(3)),
+    ] {
         let run = SynthRun::new(dcfg);
         for nsc in [16usize, 24, 32] {
             for c in [0.1, 0.35] {
@@ -11,7 +15,11 @@ fn main() {
                 let t0 = Instant::now();
                 let ex = run.run(Algorithm::DecisionTree(cfg), c);
                 let acc = run.accuracy(&ex.best().predicate, false);
-                println!("{dname} nsc={nsc} c={c}: F={:.3} t={:.2}s", acc.f_score, t0.elapsed().as_secs_f64());
+                println!(
+                    "{dname} nsc={nsc} c={c}: F={:.3} t={:.2}s",
+                    acc.f_score,
+                    t0.elapsed().as_secs_f64()
+                );
             }
         }
     }

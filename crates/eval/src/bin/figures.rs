@@ -16,10 +16,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
-    let mut names: Vec<String> = args
-        .into_iter()
-        .filter(|a| !a.starts_with("--"))
-        .collect();
+    let mut names: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
     if names.is_empty() || names.iter().any(|n| n == "all") {
         names = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
@@ -41,10 +38,7 @@ fn main() {
                 eprintln!("[{name}] done in {:.1}s", start.elapsed().as_secs_f64());
             }
             None => {
-                eprintln!(
-                    "unknown experiment `{name}`; available: {}",
-                    EXPERIMENTS.join(", ")
-                );
+                eprintln!("unknown experiment `{name}`; available: {}", EXPERIMENTS.join(", "));
                 std::process::exit(2);
             }
         }

@@ -15,10 +15,8 @@ const C_VALUES: [f64; 6] = [1.0, 0.5, 0.2, 0.1, 0.05, 0.0];
 
 /// Runs the EXPENSE workload across `c`.
 pub fn run(scale: &Scale) -> Vec<Report> {
-    let run = ExpenseRun::new(ExpenseConfig {
-        days: scale.expense_days,
-        ..ExpenseConfig::default()
-    });
+    let run =
+        ExpenseRun::new(ExpenseConfig { days: scale.expense_days, ..ExpenseConfig::default() });
     let mut r = Report::new(
         "§8.4 EXPENSE — MC explanations per c (ground truth: expenses \
          > $1.5M)",
@@ -33,8 +31,7 @@ pub fn run(scale: &Scale) -> Vec<Report> {
         let avg = if selected.is_empty() {
             0.0
         } else {
-            selected.iter().map(|&x| amounts[x as usize]).sum::<f64>()
-                / selected.len() as f64
+            selected.iter().map(|&x| amounts[x as usize]).sum::<f64>() / selected.len() as f64
         };
         r.push(vec![
             f(c, 2),
@@ -63,17 +60,9 @@ mod tests {
         let r = &run(&Scale::quick())[0];
         assert_eq!(r.rows.len(), C_VALUES.len());
         // At some c, the predicate should name GMMB and score well.
-        let hits = r
-            .rows
-            .iter()
-            .filter(|row| row[1].contains("GMMB"))
-            .count();
+        let hits = r.rows.iter().filter(|row| row[1].contains("GMMB")).count();
         assert!(hits > 0, "no GMMB predicate found: {:?}", r.rows);
-        let best_f = r
-            .rows
-            .iter()
-            .map(|row| row[6].parse::<f64>().unwrap())
-            .fold(0.0, f64::max);
+        let best_f = r.rows.iter().map(|row| row[6].parse::<f64>().unwrap()).fold(0.0, f64::max);
         assert!(best_f > 0.5, "best F {best_f}");
     }
 }

@@ -10,10 +10,7 @@ use scorpion_table::aggregate_groups;
 
 /// Regenerates the two series of Figure 1.
 pub fn run(scale: &Scale) -> Vec<Report> {
-    let run = IntelRun::new(IntelConfig {
-        hours: scale.intel_hours,
-        ..IntelConfig::workload1()
-    });
+    let run = IntelRun::new(IntelConfig { hours: scale.intel_hours, ..IntelConfig::workload1() });
     let t = &run.ds.table;
     let g = &run.grouping;
     let means = aggregate_groups(t, g, run.ds.agg_attr(), |v| {

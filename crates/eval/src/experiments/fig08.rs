@@ -14,17 +14,13 @@ pub fn run(scale: &Scale) -> Vec<Report> {
     let cfg = SynthConfig {
         mu: 90.0,
         tuples_per_group: scale.tuples_per_group,
-        cubes: Some((
-            vec![(20.0, 80.0), (20.0, 80.0)],
-            vec![(40.0, 60.0), (40.0, 60.0)],
-        )),
+        cubes: Some((vec![(20.0, 80.0), (20.0, 80.0)], vec![(40.0, 60.0), (40.0, 60.0)])),
         ..SynthConfig::easy(2)
     };
     let run = SynthRun::new(cfg);
-    let sums = aggregate_groups(&run.ds.table, &run.grouping, run.ds.agg_attr(), |v| {
-        v.iter().sum()
-    })
-    .expect("sum");
+    let sums =
+        aggregate_groups(&run.ds.table, &run.grouping, run.ds.agg_attr(), |v| v.iter().sum())
+            .expect("sum");
 
     let mut top = Report::new(
         "Figure 8 (top) — SUM(Av) per group; outlier groups dominate",
@@ -32,13 +28,8 @@ pub fn run(scale: &Scale) -> Vec<Report> {
     );
     #[allow(clippy::needless_range_loop)]
     for i in 0..run.grouping.len() {
-        let label =
-            if run.ds.outlier_groups.contains(&i) { "outlier" } else { "hold-out" };
-        top.push(vec![
-            run.grouping.display_key(&run.ds.table, i),
-            f(sums[i], 0),
-            label.into(),
-        ]);
+        let label = if run.ds.outlier_groups.contains(&i) { "outlier" } else { "hold-out" };
+        top.push(vec![run.grouping.display_key(&run.ds.table, i), f(sums[i], 0), label.into()]);
     }
 
     let mut bottom = Report::new(
@@ -46,10 +37,8 @@ pub fn run(scale: &Scale) -> Vec<Report> {
          hold-out input group",
         &["group", "normal", "medium (outer cube)", "high (inner cube)"],
     );
-    let inner: std::collections::HashSet<u32> =
-        run.ds.inner_rows.iter().copied().collect();
-    let outer: std::collections::HashSet<u32> =
-        run.ds.outer_rows.iter().copied().collect();
+    let inner: std::collections::HashSet<u32> = run.ds.inner_rows.iter().copied().collect();
+    let outer: std::collections::HashSet<u32> = run.ds.outer_rows.iter().copied().collect();
     for &g in [run.ds.outlier_groups[0], run.ds.holdout_groups[0]].iter() {
         let rows = run.grouping.rows(g);
         let hi = rows.iter().filter(|r| inner.contains(r)).count();

@@ -11,9 +11,7 @@ use std::time::Duration;
 /// Runs NAIVE to completion on SYNTH-2D-Hard per `c` and reports the
 /// winning predicate boxes.
 pub fn run(scale: &Scale) -> Vec<Report> {
-    let run = SynthRun::new(
-        SynthConfig::hard(2).with_tuples_per_group(scale.tuples_per_group),
-    );
+    let run = SynthRun::new(SynthConfig::hard(2).with_tuples_per_group(scale.tuples_per_group));
     let mut r = Report::new(
         format!(
             "Figure 9 — optimal NAIVE predicates, SYNTH-2D-Hard (outer cube \
@@ -60,13 +58,9 @@ mod tests {
         let reports = run(&Scale::quick());
         let r = &reports[0];
         assert_eq!(r.rows.len(), C_FIG9.len());
-        let selected: Vec<usize> =
-            r.rows.iter().map(|row| row[2].parse().unwrap()).collect();
+        let selected: Vec<usize> = r.rows.iter().map(|row| row[2].parse().unwrap()).collect();
         // c = 0 selects the most tuples; c = 0.5 the fewest.
-        assert!(
-            selected[0] >= *selected.last().unwrap(),
-            "selected counts {selected:?}"
-        );
+        assert!(selected[0] >= *selected.last().unwrap(), "selected counts {selected:?}");
         // c = 0 recalls most of the outer cube.
         let recall0: f64 = r.rows[0][4].parse().unwrap();
         assert!(recall0 > 0.5, "outer recall at c=0 is {recall0}");

@@ -15,10 +15,9 @@ pub fn run(scale: &Scale) -> Vec<Report> {
          ground truth)",
         &["dataset", "c", "truth", "precision", "recall", "f_score"],
     );
-    for (name, cfg) in [
-        ("SYNTH-2D-Easy", SynthConfig::easy(2)),
-        ("SYNTH-2D-Hard", SynthConfig::hard(2)),
-    ] {
+    for (name, cfg) in
+        [("SYNTH-2D-Easy", SynthConfig::easy(2)), ("SYNTH-2D-Hard", SynthConfig::hard(2))]
+    {
         let run = SynthRun::new(cfg.with_tuples_per_group(scale.tuples_per_group));
         for &c in &C_GRID {
             let budget = scale.naive_budget.max(Duration::from_secs(30));
@@ -57,10 +56,7 @@ mod tests {
                 .map(|row| row[3].parse().unwrap())
                 .collect();
             assert_eq!(ps.len(), C_GRID.len());
-            assert!(
-                ps.last().unwrap() + 1e-9 >= ps[0],
-                "{name}: precision series {ps:?}"
-            );
+            assert!(ps.last().unwrap() + 1e-9 >= ps[0], "{name}: precision series {ps:?}");
         }
     }
 }

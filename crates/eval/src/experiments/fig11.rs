@@ -12,9 +12,7 @@ use std::time::Duration;
 
 /// Regenerates Figure 11: one trace row per best-so-far improvement.
 pub fn run(scale: &Scale) -> Vec<Report> {
-    let run = SynthRun::new(
-        SynthConfig::hard(2).with_tuples_per_group(scale.tuples_per_group),
-    );
+    let run = SynthRun::new(SynthConfig::hard(2).with_tuples_per_group(scale.tuples_per_group));
     let domains = domains_of(&run.ds.table).expect("domains");
     let mut r = Report::new(
         "Figure 11 — NAIVE best-so-far accuracy vs wall-clock time, \
@@ -22,17 +20,13 @@ pub fn run(scale: &Scale) -> Vec<Report> {
         &["c", "elapsed_s", "influence", "F_inner", "F_outer"],
     );
     for &c in &[0.0, 0.1, 0.5] {
-        let scorer = run
-            .query()
-            .scorer(InfluenceParams { lambda: 0.5, c }, false)
-            .expect("scorer");
+        let scorer = run.query().scorer(InfluenceParams { lambda: 0.5, c }, false).expect("scorer");
         let cfg = NaiveConfig {
             keep_trace: true,
             time_budget: Some(scale.naive_budget.max(Duration::from_secs(30))),
             ..NaiveConfig::default()
         };
-        let out =
-            naive_search(&scorer, &run.ds.dim_attrs(), &domains, &cfg).expect("naive");
+        let out = naive_search(&scorer, &run.ds.dim_attrs(), &domains, &cfg).expect("naive");
         for tp in &out.trace {
             let inner = run.accuracy(&tp.predicate, true);
             let outer = run.accuracy(&tp.predicate, false);

@@ -14,10 +14,9 @@ pub fn run(scale: &Scale) -> Vec<Report> {
         "Figure 12 — accuracy vs c for DT / MC / NAIVE (2-D, outer truth)",
         &["dataset", "algorithm", "c", "precision", "recall", "f_score"],
     );
-    for (name, cfg) in [
-        ("SYNTH-2D-Easy", SynthConfig::easy(2)),
-        ("SYNTH-2D-Hard", SynthConfig::hard(2)),
-    ] {
+    for (name, cfg) in
+        [("SYNTH-2D-Easy", SynthConfig::easy(2)), ("SYNTH-2D-Hard", SynthConfig::hard(2))]
+    {
         let run = SynthRun::new(cfg.with_tuples_per_group(scale.tuples_per_group));
         for &c in &C_GRID {
             let algos: [(&str, Algorithm); 3] = [
@@ -25,10 +24,7 @@ pub fn run(scale: &Scale) -> Vec<Report> {
                 ("mc", mc()),
                 (
                     "naive",
-                    naive_with_budget(
-                        scale.naive_budget.max(Duration::from_secs(20)),
-                        false,
-                    ),
+                    naive_with_budget(scale.naive_budget.max(Duration::from_secs(20)), false),
                 ),
             ];
             for (aname, algo) in algos {

@@ -15,9 +15,7 @@ pub fn run(scale: &Scale) -> Vec<Report> {
         &["dims", "difficulty", "algorithm", "c", "f_score"],
     );
     for dims in 2..=scale.max_dims {
-        for (diff, base) in
-            [("Easy", SynthConfig::easy(dims)), ("Hard", SynthConfig::hard(dims))]
-        {
+        for (diff, base) in [("Easy", SynthConfig::easy(dims)), ("Hard", SynthConfig::hard(dims))] {
             let run = SynthRun::new(base.with_tuples_per_group(scale.tuples_per_group));
             for &c in &C_GRID {
                 let algos: [(&str, Algorithm); 3] = [

@@ -33,16 +33,13 @@ pub fn run(scale: &Scale) -> Vec<Report> {
                 ]);
             }
             // NAIVE convergence time under the anytime budget.
-            let scorer = run
-                .query()
-                .scorer(InfluenceParams { lambda: 0.5, c }, false)
-                .expect("scorer");
+            let scorer =
+                run.query().scorer(InfluenceParams { lambda: 0.5, c }, false).expect("scorer");
             let ncfg = match naive_with_budget(scale.naive_budget, false) {
                 scorpion_core::Algorithm::Naive(n) => n,
                 _ => unreachable!(),
             };
-            let out = naive_search(&scorer, &run.ds.dim_attrs(), &domains, &ncfg)
-                .expect("naive");
+            let out = naive_search(&scorer, &run.ds.dim_attrs(), &domains, &ncfg).expect("naive");
             let note = if out.completed { "completed" } else { "budget hit" };
             r.push(vec![
                 dims.to_string(),
@@ -65,11 +62,7 @@ mod tests {
         let scale = Scale { max_dims: 2, ..Scale::quick() };
         let r = &run(&scale)[0];
         let secs = |alg: &str| -> Vec<f64> {
-            r.rows
-                .iter()
-                .filter(|row| row[1] == alg)
-                .map(|row| row[3].parse().unwrap())
-                .collect()
+            r.rows.iter().filter(|row| row[1] == alg).map(|row| row[3].parse().unwrap()).collect()
         };
         assert_eq!(secs("dt").len(), C_GRID.len());
         assert_eq!(secs("mc").len(), C_GRID.len());

@@ -21,13 +21,10 @@ pub fn run(scale: &Scale) -> Vec<Report> {
         &["dims", "difficulty", "c", "cached_s", "uncached_s"],
     );
     for dims in 3..=scale.max_dims.max(3) {
-        for (diff, base) in
-            [("Easy", SynthConfig::easy(dims)), ("Hard", SynthConfig::hard(dims))]
-        {
+        for (diff, base) in [("Easy", SynthConfig::easy(dims)), ("Hard", SynthConfig::hard(dims))] {
             let run = SynthRun::new(base.with_tuples_per_group(scale.tuples_per_group));
             let cached =
-                ScorpionSession::new(run.query(), 0.5, DtConfig::default(), None)
-                    .expect("session");
+                ScorpionSession::new(run.query(), 0.5, DtConfig::default(), None).expect("session");
             for &c in &C_DESC {
                 let warm = cached.run_with_c(c).expect("cached run");
                 // Uncached: a fresh session per c (partitioning redone).

@@ -59,10 +59,7 @@ mod tests {
         ] {
             let sid = format!("s{:02}", failing_sensor(mode));
             let rows: Vec<_> = r.rows.iter().filter(|row| row[0] == wl).collect();
-            let best_f = rows
-                .iter()
-                .map(|row| row[5].parse::<f64>().unwrap())
-                .fold(0.0, f64::max);
+            let best_f = rows.iter().map(|row| row[5].parse::<f64>().unwrap()).fold(0.0, f64::max);
             assert!(best_f > 0.5, "workload {wl}: best F {best_f}");
             assert!(
                 rows.iter().any(|row| row[2].contains(&sid)),

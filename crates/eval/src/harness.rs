@@ -195,12 +195,7 @@ impl ExpenseRun {
 
     /// Scores a predicate against the >$1.5M ground truth.
     pub fn accuracy(&self, pred: &Predicate) -> Accuracy {
-        predicate_accuracy(
-            &self.ds.table,
-            pred,
-            &self.outlier_union,
-            &self.ds.big_expense_rows,
-        )
+        predicate_accuracy(&self.ds.table, pred, &self.outlier_union, &self.ds.big_expense_rows)
     }
 
     /// Runs MC (the paper's choice: SUM over positive amounts) at `c`.

@@ -24,8 +24,8 @@ pub use report::Report;
 
 /// All experiment names, in presentation order.
 pub const EXPERIMENTS: [&str; 13] = [
-    "fig01", "fig04", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
-    "fig15", "fig16", "intel", "expense",
+    "fig01", "fig04", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "fig16", "intel", "expense",
 ];
 
 /// Runs one experiment by name.

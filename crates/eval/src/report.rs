@@ -3,7 +3,9 @@
 use std::fmt::Write as _;
 
 /// A titled table of string cells with aligned rendering and CSV export.
-#[derive(Debug, Clone, serde::Serialize)]
+/// (Serialization beyond [`Report::to_csv`] is deliberately absent: the
+/// offline build has no serde.)
+#[derive(Debug, Clone)]
 pub struct Report {
     /// Figure/table identifier plus a one-line description.
     pub title: String,
@@ -65,14 +67,10 @@ impl Report {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
-        );
+        let _ =
+            writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
-            let _ =
-                writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }
         out
     }

@@ -1,0 +1,216 @@
+//! Automatic outlier labeling over the live result series.
+//!
+//! The offline API (§3.3) expects a human to mark outlier results, give
+//! error directions, and pick hold-outs. A monitoring service has no
+//! human in the loop, so this module derives all three from the series
+//! itself with a robust location/scale estimate: the median and the MAD
+//! (median absolute deviation, scaled by 1.4826 to be consistent with σ
+//! under normality). Groups whose modified z-score exceeds the threshold
+//! become outliers with error direction `sign(z)`; the non-flagged
+//! groups closest to the median become the hold-out set.
+
+use crate::window::GroupAggregate;
+
+/// Detector knobs.
+#[derive(Debug, Clone)]
+pub struct DetectorConfig {
+    /// Modified z-score magnitude above which a group is an outlier
+    /// (3.5 is the classic Iglewicz–Hoaglin recommendation).
+    pub threshold: f64,
+    /// Maximum hold-out groups handed to the engine (most-normal first).
+    pub max_holdouts: usize,
+    /// Minimum series length; shorter series yield no detection (robust
+    /// statistics are meaningless over a handful of groups).
+    pub min_groups: usize,
+    /// Floor on the robust scale. A series whose MAD-based scale falls
+    /// below this is clamped up to it, so near-identical groups are not
+    /// flagged over measurement noise. `0.0` disables the floor.
+    pub min_scale: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig { threshold: 3.5, max_holdouts: 8, min_groups: 6, min_scale: 0.0 }
+    }
+}
+
+/// The derived labels for one window state.
+#[derive(Debug, Clone)]
+pub struct Detection {
+    /// Flagged groups: `(key, error direction)` with `+1` = too high,
+    /// `−1` = too low — the error-vector component `v_o` of §3.2.
+    pub outliers: Vec<(String, f64)>,
+    /// Hold-out group keys, most normal first.
+    pub holdouts: Vec<String>,
+    /// Robust center (median) of the series.
+    pub center: f64,
+    /// Robust scale (1.4826·MAD) of the series.
+    pub scale: f64,
+}
+
+/// Median/MAD outlier detector over a group-by result series.
+#[derive(Debug, Clone, Default)]
+pub struct OutlierDetector {
+    cfg: DetectorConfig,
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+impl OutlierDetector {
+    /// Creates a detector with the given knobs.
+    pub fn new(cfg: DetectorConfig) -> Self {
+        OutlierDetector { cfg }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    /// Scans a series; returns `None` when nothing is flagged (or the
+    /// series is too short to judge).
+    pub fn detect(&self, series: &[GroupAggregate]) -> Option<Detection> {
+        if series.len() < self.cfg.min_groups.max(2) {
+            return None;
+        }
+        let mut values: Vec<f64> = series.iter().map(|g| g.value).collect();
+        values.sort_by(f64::total_cmp);
+        let center = median(&values);
+        let mut deviations: Vec<f64> = values.iter().map(|v| (v - center).abs()).collect();
+        deviations.sort_by(f64::total_cmp);
+        let mad = median(&deviations);
+        let mut scale = 1.4826 * mad;
+        if scale <= f64::EPSILON {
+            // Degenerate series (≥ half the groups identical): fall back
+            // to the mean absolute deviation, consistent under normality
+            // with factor 1.2533.
+            let mean_ad = deviations.iter().sum::<f64>() / deviations.len() as f64;
+            scale = 1.2533 * mean_ad;
+        }
+        scale = scale.max(self.cfg.min_scale);
+        if scale <= f64::EPSILON {
+            // Perfectly flat series: nothing can be an outlier.
+            return None;
+        }
+
+        let mut outliers = Vec::new();
+        let mut normals: Vec<(f64, &GroupAggregate)> = Vec::new();
+        for g in series {
+            let z = (g.value - center) / scale;
+            if z.abs() >= self.cfg.threshold {
+                outliers.push((g.key.clone(), z.signum()));
+            } else {
+                normals.push((z.abs(), g));
+            }
+        }
+        if outliers.is_empty() {
+            return None;
+        }
+        normals.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.key.cmp(&b.1.key)));
+        let holdouts =
+            normals.iter().take(self.cfg.max_holdouts).map(|(_, g)| g.key.clone()).collect();
+        Some(Detection { outliers, holdouts, center, scale })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(vals: &[f64]) -> Vec<GroupAggregate> {
+        vals.iter()
+            .enumerate()
+            .map(|(i, &v)| GroupAggregate { key: format!("g{i:02}"), value: v, rows: 10 })
+            .collect()
+    }
+
+    #[test]
+    fn flags_a_planted_spike() {
+        let mut vals = vec![10.0, 10.2, 9.8, 10.1, 9.9, 10.0, 10.3, 9.7];
+        vals.push(42.0);
+        let d = OutlierDetector::default().detect(&series(&vals)).expect("detection");
+        assert_eq!(d.outliers, vec![("g08".to_string(), 1.0)]);
+        assert!(!d.holdouts.contains(&"g08".to_string()));
+        assert!((d.center - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn flags_low_outliers_with_negative_direction() {
+        let mut vals = vec![50.0; 9];
+        // Perturb slightly so the MAD is not degenerate.
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v += (i as f64 - 4.0) * 0.1;
+        }
+        vals.push(1.0);
+        let d = OutlierDetector::default().detect(&series(&vals)).expect("detection");
+        assert_eq!(d.outliers.len(), 1);
+        assert_eq!(d.outliers[0].1, -1.0);
+    }
+
+    #[test]
+    fn quiet_series_yields_none() {
+        let vals = vec![10.0, 10.1, 9.9, 10.05, 9.95, 10.02, 10.0, 9.98];
+        assert!(OutlierDetector::default().detect(&series(&vals)).is_none());
+    }
+
+    #[test]
+    fn flat_series_yields_none() {
+        let vals = vec![7.0; 12];
+        assert!(OutlierDetector::default().detect(&series(&vals)).is_none());
+    }
+
+    #[test]
+    fn degenerate_mad_falls_back_to_mean_deviation() {
+        // More than half identical → MAD = 0, but the spike must still
+        // be caught through the mean-absolute-deviation fallback.
+        let mut vals = vec![5.0; 8];
+        vals.push(500.0);
+        let d = OutlierDetector::default().detect(&series(&vals)).expect("detection");
+        assert_eq!(d.outliers.len(), 1);
+    }
+
+    #[test]
+    fn min_scale_floor_suppresses_noise_flags() {
+        // Tight series with a barely-above-noise point: flagged without
+        // the floor, suppressed with it.
+        let mut vals = vec![10.0, 10.01, 9.99, 10.02, 9.98, 10.0, 10.01];
+        vals.push(10.2);
+        let loose = OutlierDetector::default();
+        assert!(loose.detect(&series(&vals)).is_some());
+        let floored = OutlierDetector::new(DetectorConfig { min_scale: 0.5, ..Default::default() });
+        assert!(floored.detect(&series(&vals)).is_none());
+    }
+
+    #[test]
+    fn short_series_yields_none() {
+        let vals = vec![1.0, 100.0];
+        assert!(OutlierDetector::default().detect(&series(&vals)).is_none());
+    }
+
+    #[test]
+    fn holdouts_are_most_normal_and_bounded() {
+        let mut vals: Vec<f64> = (0..20).map(|i| 10.0 + (i as f64) * 0.05).collect();
+        vals.push(99.0);
+        let det = OutlierDetector::new(DetectorConfig { max_holdouts: 4, ..Default::default() });
+        let d = det.detect(&series(&vals)).expect("detection");
+        assert_eq!(d.holdouts.len(), 4);
+        // Hold-outs must be nearer the center than any non-chosen normal.
+        let chosen: Vec<f64> = d
+            .holdouts
+            .iter()
+            .map(|k| {
+                let idx: usize = k[1..].parse().unwrap();
+                (vals[idx] - d.center).abs()
+            })
+            .collect();
+        let worst_chosen = chosen.iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!(worst_chosen <= (vals[19] - d.center).abs());
+    }
+}

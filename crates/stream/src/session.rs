@@ -1,0 +1,523 @@
+//! Warm-started continuous explanation.
+//!
+//! The offline engine caches DT partitions across the `c` knob
+//! (§8.3.3) because single-tuple influence is `c`-agnostic. The same
+//! partitions are *time*-agnostic too, as long as the window slide does
+//! not touch the rows they were grown from: the DT trees are built from
+//! the outlier groups' tuples (plus hold-out carving), so a slide that
+//! only adds/drops chunks of *other* groups leaves the partition
+//! geometry valid. [`ContinuousSession`] exploits this by keying the
+//! partition cache on a **chunk signature** — the set of live chunk ids
+//! contributing rows to each flagged outlier group. While the signature
+//! is stable, re-explanation skips tree growth entirely: cached
+//! partitions are re-scored against the current window (hold-out
+//! penalties included, so scores stay exact) and re-merged. When the
+//! signature changes — the anomaly grew, shrank, or slid out — the cache
+//! is invalidated for a cold rebuild, which is itself warm-started by
+//! seeding the Merger with the previous window's merged predicates.
+//!
+//! The signature also covers the discrete explain attributes'
+//! *dictionaries*: set clauses store dictionary codes, and codes are
+//! assigned by first appearance per materialization, so a slide that
+//! drops or reorders values silently renumbers them — any dictionary
+//! drift forces a cold rebuild and discards merge seeds.
+//!
+//! One approximation is inherited deliberately: a stale *hold-out* set
+//! changes which boundaries §6.1.4 would carve, so warm partitions can
+//! be coarser around new hold-out structure than a cold rebuild's.
+//! Influence scores are always exact; only candidate geometry ages.
+//! Warm merges always run exact (cached per-partition stats are
+//! dropped): the §6.3 cached-tuple approximation is steered by
+//! statistics frozen at build time, and on re-explanation workloads it
+//! proved both slower and less precise than exact re-scoring — it
+//! remains active only inside cold builds.
+
+use crate::detector::{Detection, DetectorConfig, OutlierDetector};
+use crate::error::{Result, StreamError};
+use crate::window::SlidingWindow;
+use parking_lot::Mutex;
+use scorpion_core::dt::DtPartitioner;
+use scorpion_core::merger::Merger;
+use scorpion_core::{
+    Diagnostics, DtConfig, Explanation, InfluenceParams, LabeledQuery, ScoredPredicate,
+};
+use scorpion_table::{domains_of, Grouping, Predicate, Table};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
+
+/// Knobs of the continuous explanation pipeline.
+#[derive(Debug, Clone)]
+pub struct ContinuousConfig {
+    /// Hold-out importance trade-off λ (§3.2).
+    pub lambda: f64,
+    /// Selectivity exponent `c` (§7).
+    pub c: f64,
+    /// DT partitioner + merger settings.
+    pub dt: DtConfig,
+    /// Outlier auto-labeling settings.
+    pub detector: DetectorConfig,
+    /// Attributes explanations are built over; `None` selects `A_rest`
+    /// (everything but the group-by and aggregate attributes).
+    pub explain_attrs: Option<Vec<usize>>,
+}
+
+impl Default for ContinuousConfig {
+    fn default() -> Self {
+        ContinuousConfig {
+            lambda: 0.5,
+            c: 0.5,
+            dt: DtConfig::default(),
+            detector: DetectorConfig::default(),
+            explain_attrs: None,
+        }
+    }
+}
+
+/// A self-contained explanation of one flagged window state.
+pub struct StreamExplanation {
+    /// The materialized window relation.
+    pub table: Table,
+    /// Its group-by provenance.
+    pub grouping: Grouping,
+    /// What the detector flagged.
+    pub detection: Detection,
+    /// Outlier result indices into [`StreamExplanation::grouping`].
+    pub outliers: Vec<usize>,
+    /// Hold-out result indices.
+    pub holdouts: Vec<usize>,
+    /// The ranked predicates plus diagnostics.
+    pub explanation: Explanation,
+    /// True when the partition cache was reused (no tree growth).
+    pub warm: bool,
+}
+
+impl StreamExplanation {
+    /// Renders the top-`k` predicates against the window relation.
+    pub fn render(&self, k: usize) -> String {
+        self.explanation.render(&self.table, k)
+    }
+}
+
+/// Cache hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Explanations served from cached partitions.
+    pub warm_runs: u64,
+    /// Explanations that grew trees from scratch.
+    pub cold_runs: u64,
+}
+
+struct SessionCache {
+    /// Chunk signature of the outlier groups the partitions were grown
+    /// from.
+    outlier_sig: Option<u64>,
+    /// Signature of the explain attributes' dictionaries at cache time.
+    /// Discrete clauses store dictionary *codes*, and codes are assigned
+    /// by first appearance in each materialization — a slide that drops
+    /// a value (or reorders first appearances) renumbers them, silently
+    /// changing what a cached predicate means. Any mismatch forces a
+    /// cold rebuild and discards merge seeds.
+    dict_sig: Option<u64>,
+    partitions: Vec<ScoredPredicate>,
+    /// Previous merged output; seeds the next merge (monotone warm
+    /// start, as in the offline session's cross-`c` cache).
+    last_merged: Vec<Predicate>,
+    stats: SessionStats,
+}
+
+/// A long-lived explanation session over a stream of window states.
+pub struct ContinuousSession {
+    cfg: ContinuousConfig,
+    detector: OutlierDetector,
+    cache: Mutex<SessionCache>,
+}
+
+impl ContinuousSession {
+    /// Creates a session.
+    pub fn new(cfg: ContinuousConfig) -> Self {
+        let detector = OutlierDetector::new(cfg.detector.clone());
+        ContinuousSession {
+            cfg,
+            detector,
+            cache: Mutex::new(SessionCache {
+                outlier_sig: None,
+                dict_sig: None,
+                partitions: Vec::new(),
+                last_merged: Vec::new(),
+                stats: SessionStats::default(),
+            }),
+        }
+    }
+
+    /// True when a subsequent [`ContinuousSession::explain`] against an
+    /// unchanged outlier signature would reuse cached partitions.
+    pub fn is_warm(&self) -> bool {
+        self.cache.lock().outlier_sig.is_some()
+    }
+
+    /// Cache hit/miss counters so far.
+    pub fn stats(&self) -> SessionStats {
+        self.cache.lock().stats
+    }
+
+    /// Drops all cached state.
+    pub fn invalidate(&self) {
+        let mut c = self.cache.lock();
+        c.outlier_sig = None;
+        c.dict_sig = None;
+        c.partitions.clear();
+        c.last_merged.clear();
+    }
+
+    /// Detects outliers in the window's live series and, when something
+    /// is flagged, explains them. Returns `Ok(None)` on a quiet window.
+    pub fn explain(&self, window: &SlidingWindow) -> Result<Option<StreamExplanation>> {
+        let series = window.series();
+        let Some(detection) = self.detector.detect(&series) else {
+            return Ok(None);
+        };
+        let start = Instant::now();
+        let (table, grouping) = window.materialize()?;
+
+        // Map detected keys to result indices of the materialized
+        // grouping.
+        let index_of: HashMap<String, usize> =
+            (0..grouping.len()).map(|i| (grouping.display_key(&table, i), i)).collect();
+        let mut outliers: Vec<(usize, f64)> = Vec::new();
+        for (key, dir) in &detection.outliers {
+            let &i = index_of
+                .get(key)
+                .ok_or_else(|| StreamError::BadRow(format!("flagged group {key} vanished")))?;
+            outliers.push((i, *dir));
+        }
+        let mut holdouts: Vec<usize> = Vec::new();
+        for key in &detection.holdouts {
+            if let Some(&i) = index_of.get(key) {
+                holdouts.push(i);
+            }
+        }
+
+        let agg = window.aggregate().clone();
+        let query = LabeledQuery {
+            table: &table,
+            grouping: &grouping,
+            agg: agg.as_ref(),
+            agg_attr: window.config().agg_attr,
+            outliers: outliers.clone(),
+            holdouts: holdouts.clone(),
+        };
+        let attrs = match &self.cfg.explain_attrs {
+            Some(a) => a.clone(),
+            None => query.default_explain_attrs(),
+        };
+        if attrs.is_empty() {
+            return Err(StreamError::Engine(scorpion_core::ScorpionError::NoExplainAttributes));
+        }
+
+        let outlier_sig = self.outlier_signature(window, &detection, &attrs);
+        let dict_sig = dictionary_signature(&table, &attrs);
+
+        let (explanation, warm) = {
+            let scorer =
+                query.scorer(InfluenceParams { lambda: self.cfg.lambda, c: self.cfg.c }, false)?;
+            let domains = domains_of(&table)?;
+
+            // Partitions: reuse while the outlier groups' chunks (and
+            // the discrete dictionaries cached predicates are encoded
+            // against) are untouched; otherwise grow cold.
+            let (mut input, warm, seeds) = {
+                let cache = self.cache.lock();
+                let dict_ok = cache.dict_sig == Some(dict_sig);
+                let warm = dict_ok
+                    && cache.outlier_sig == Some(outlier_sig)
+                    && !cache.partitions.is_empty();
+                let input = if warm { cache.partitions.clone() } else { Vec::new() };
+                // Seed the merge with the previous window's merged
+                // output (re-scored exactly below) — but never across a
+                // dictionary change, where the cached codes would mean
+                // different values.
+                let seeds: Vec<Predicate> =
+                    if dict_ok { cache.last_merged.clone() } else { Vec::new() };
+                (input, warm, seeds)
+            };
+            if warm {
+                for sp in &mut input {
+                    sp.influence = scorer.influence(&sp.predicate)?;
+                    // Warm merges run exact: the cached per-partition
+                    // stats describe the window the partitions were
+                    // built from, and the §6.3 cached-tuple
+                    // approximation steered by aging stats proved both
+                    // slower and less precise than exact re-scoring on
+                    // re-explanation workloads (see stream_throughput).
+                    sp.stats = None;
+                }
+                input.sort_by(|a, b| b.influence.total_cmp(&a.influence));
+            } else {
+                let dt = DtPartitioner::new(
+                    &scorer,
+                    attrs.clone(),
+                    domains.clone(),
+                    self.cfg.dt.clone(),
+                );
+                let (parts, _) = dt.partition()?;
+                let mut cache = self.cache.lock();
+                cache.partitions = parts.clone();
+                cache.outlier_sig = Some(outlier_sig);
+                cache.dict_sig = Some(dict_sig);
+                input = parts;
+            }
+            let n_partitions = input.len();
+
+            for pred in seeds {
+                let influence = scorer.influence(&pred)?;
+                input.push(ScoredPredicate::new(pred, influence));
+            }
+
+            let merger = Merger::new(&scorer, &domains, self.cfg.dt.merger.clone());
+            let (mut merged, _) = merger.merge(input)?;
+            if merged.is_empty() {
+                merged.push(ScoredPredicate::new(Predicate::all(), 0.0));
+            }
+            {
+                let mut cache = self.cache.lock();
+                cache.last_merged = merged.iter().take(8).map(|sp| sp.predicate.clone()).collect();
+                if warm {
+                    cache.stats.warm_runs += 1;
+                } else {
+                    cache.stats.cold_runs += 1;
+                }
+            }
+
+            let explanation = Explanation {
+                predicates: merged,
+                diagnostics: Diagnostics {
+                    algorithm: "dt-stream",
+                    runtime: start.elapsed(),
+                    scorer_calls: scorer.scorer_calls(),
+                    candidates: n_partitions as u64,
+                    partitions: n_partitions,
+                    budget_exhausted: false,
+                },
+            };
+            (explanation, warm)
+        };
+
+        Ok(Some(StreamExplanation {
+            table,
+            grouping,
+            detection,
+            outliers: outliers.into_iter().map(|(i, _)| i).collect(),
+            holdouts,
+            explanation,
+            warm,
+        }))
+    }
+
+    /// Hash of everything the cached partition geometry depends on
+    /// (apart from discrete dictionaries, tracked by
+    /// [`dictionary_signature`]): the
+    /// flagged groups, the live chunks backing each of them, the
+    /// explanation attributes, the aggregate, and λ. Deliberately
+    /// excludes `c` (single-tuple influence is `c`-agnostic, §8.3.3) and
+    /// the hold-out set (a stale hold-out set only ages candidate
+    /// geometry; scores stay exact).
+    fn outlier_signature(
+        &self,
+        window: &SlidingWindow,
+        detection: &Detection,
+        attrs: &[usize],
+    ) -> u64 {
+        let mut h = DefaultHasher::new();
+        window.aggregate().name().hash(&mut h);
+        attrs.hash(&mut h);
+        self.cfg.lambda.to_bits().hash(&mut h);
+        let mut keys: Vec<&String> = detection.outliers.iter().map(|(k, _)| k).collect();
+        keys.sort();
+        for key in keys {
+            key.hash(&mut h);
+            window.chunks_of(key).hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+/// Hash of the discrete explain attributes' dictionaries (values in code
+/// order). Cached predicates encode set clauses as dictionary *codes*,
+/// and each materialization assigns codes by first appearance — so two
+/// windows agree on what a cached clause means iff this hash matches.
+fn dictionary_signature(table: &Table, attrs: &[usize]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for &a in attrs {
+        if let Ok(cat) = table.cat(a) {
+            a.hash(&mut h);
+            let n = cat.cardinality();
+            n.hash(&mut h);
+            for code in 0..n as u32 {
+                cat.value_of(code).hash(&mut h);
+            }
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::{SlidingWindow, StreamConfig};
+    use scorpion_agg::aggregate_by_name;
+    use scorpion_table::{Field, Schema, Value};
+
+    /// Schema: hour (group), sensor (explain), temp (agg).
+    fn feed_schema() -> Schema {
+        Schema::new(vec![Field::disc("hour"), Field::disc("sensor"), Field::cont("temp")]).unwrap()
+    }
+
+    /// One chunk = one hour of readings; sensor "bad" goes hot during
+    /// `hot_hours`.
+    fn build_window(hours: usize, hot_hours: std::ops::Range<usize>) -> SlidingWindow {
+        let cfg = StreamConfig::new(feed_schema(), 0, 2, hours.max(1)).unwrap();
+        let mut w = SlidingWindow::new(cfg, aggregate_by_name("avg").unwrap());
+        for hour in 0..hours {
+            w.push_chunk(hour_chunk(hour, hot_hours.contains(&hour))).unwrap();
+        }
+        w
+    }
+
+    fn hour_chunk(hour: usize, hot: bool) -> Vec<Vec<Value>> {
+        let key = format!("h{hour:03}");
+        let mut rows = Vec::new();
+        for s in 0..6 {
+            let sid = format!("s{s}");
+            // Deterministic small jitter keeps the MAD non-degenerate.
+            let jitter = ((hour * 7 + s * 13) % 10) as f64 * 0.05;
+            let temp = if hot && s == 3 { 120.0 + jitter } else { 20.0 + jitter };
+            for _ in 0..3 {
+                rows.push(vec![Value::Str(key.clone()), Value::Str(sid.clone()), Value::Num(temp)]);
+            }
+        }
+        rows
+    }
+
+    fn session() -> ContinuousSession {
+        ContinuousSession::new(ContinuousConfig {
+            detector: DetectorConfig { min_groups: 6, ..Default::default() },
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn quiet_window_yields_none() {
+        let w = build_window(10, 0..0);
+        let s = session();
+        assert!(s.explain(&w).unwrap().is_none());
+        assert!(!s.is_warm());
+    }
+
+    #[test]
+    fn flags_and_explains_the_planted_sensor() {
+        let w = build_window(12, 8..10);
+        let s = session();
+        let ex = s.explain(&w).unwrap().expect("detection");
+        assert!(!ex.warm);
+        assert_eq!(ex.outliers.len(), 2);
+        // The flagged hours are the hot ones.
+        for &o in &ex.outliers {
+            let key = ex.grouping.display_key(&ex.table, o);
+            assert!(key == "h008" || key == "h009", "{key}");
+        }
+        // The predicate must single out sensor s3.
+        let best = ex.explanation.best();
+        let rendered = best.predicate.display(&ex.table);
+        assert!(rendered.contains("s3"), "predicate was: {rendered}");
+    }
+
+    #[test]
+    fn unchanged_signature_reuses_partitions() {
+        let mut w = build_window(12, 8..10);
+        let s = session();
+        let first = s.explain(&w).unwrap().expect("detection");
+        assert!(!first.warm);
+        assert!(s.is_warm());
+        // Slide: a fresh quiet hour arrives, the oldest quiet hour
+        // leaves. The hot groups' chunks are untouched.
+        w.push_chunk(hour_chunk(12, false)).unwrap();
+        let second = s.explain(&w).unwrap().expect("detection");
+        assert!(second.warm, "outlier chunks unchanged → warm re-explanation");
+        let rendered = second.explanation.best().predicate.display(&second.table);
+        assert!(rendered.contains("s3"), "predicate was: {rendered}");
+        assert_eq!(s.stats(), SessionStats { warm_runs: 1, cold_runs: 1 });
+    }
+
+    #[test]
+    fn outlier_chunk_change_invalidates() {
+        let mut w = build_window(12, 8..10);
+        let s = session();
+        let _ = s.explain(&w).unwrap().expect("detection");
+        // A new hot hour arrives: the outlier set changes → cold rebuild.
+        w.push_chunk(hour_chunk(12, true)).unwrap();
+        // Make hour 12 hot by pushing its chunk with the hot sensor; the
+        // detector should now flag three hours.
+        let ex = s.explain(&w).unwrap().expect("detection");
+        assert!(!ex.warm, "outlier set changed → cold rebuild");
+        assert_eq!(ex.outliers.len(), 3);
+        assert_eq!(s.stats().cold_runs, 2);
+    }
+
+    #[test]
+    fn dictionary_drift_forces_cold_rebuild() {
+        // Hour 0 carries a sensor ("zz") that appears first in the
+        // window and nowhere else. Evicting it renumbers every other
+        // sensor's dictionary code in the next materialization, so
+        // cached partitions (which store codes) must not be reused even
+        // though the outlier hours' chunks are untouched.
+        let cfg = StreamConfig::new(feed_schema(), 0, 2, 12).unwrap();
+        let mut w = SlidingWindow::new(cfg, aggregate_by_name("avg").unwrap());
+        for hour in 0..12 {
+            let mut rows = hour_chunk(hour, (8..10).contains(&hour));
+            if hour == 0 {
+                rows.insert(
+                    0,
+                    vec![
+                        Value::Str("h000".to_string()),
+                        Value::Str("zz".to_string()),
+                        Value::Num(20.0),
+                    ],
+                );
+            }
+            w.push_chunk(rows).unwrap();
+        }
+        let s = session();
+        let first = s.explain(&w).unwrap().expect("detection");
+        assert!(!first.warm);
+        // Slide: quiet hour 12 in, hour 0 (and "zz") out.
+        w.push_chunk(hour_chunk(12, false)).unwrap();
+        let second = s.explain(&w).unwrap().expect("detection");
+        assert!(!second.warm, "dictionary changed → cached codes are stale → cold");
+        assert_eq!(s.stats(), SessionStats { warm_runs: 0, cold_runs: 2 });
+        // And the rebuilt explanation still names the right sensor.
+        let rendered = second.explanation.best().predicate.display(&second.table);
+        assert!(rendered.contains("s3"), "predicate was: {rendered}");
+    }
+
+    #[test]
+    fn invalidate_clears_cache() {
+        let w = build_window(12, 8..10);
+        let s = session();
+        let _ = s.explain(&w).unwrap().expect("detection");
+        assert!(s.is_warm());
+        s.invalidate();
+        assert!(!s.is_warm());
+        let again = s.explain(&w).unwrap().expect("detection");
+        assert!(!again.warm);
+    }
+
+    #[test]
+    fn render_shows_ranked_predicates() {
+        let w = build_window(12, 8..10);
+        let ex = session().explain(&w).unwrap().expect("detection");
+        let text = ex.render(3);
+        assert!(text.contains("inf="), "{text}");
+    }
+}

@@ -1,0 +1,503 @@
+//! Chunked sliding window over a row stream, maintained with mergeable
+//! partial aggregates.
+//!
+//! Each ingested batch becomes an immutable *chunk*. On arrival the
+//! chunk's rows are summarized once into per-group partial states
+//! ([`scorpion_agg::MergeableAggregate::partial_of`]); the window's
+//! group-by series is
+//! maintained by merging those partials into running totals. When a
+//! chunk expires:
+//!
+//! * retractable aggregates (SUM/COUNT/AVG/STDDEV/VARIANCE) subtract the
+//!   chunk's partials in O(groups-in-chunk) — §5.1 `remove` applied to
+//!   the time dimension;
+//! * mergeable-only aggregates (MIN/MAX) re-merge the surviving chunks'
+//!   constant-size partials for the touched groups — still never
+//!   re-reading rows;
+//! * black-box aggregates (MEDIAN) fall back to recomputing from the
+//!   buffered rows at read time.
+//!
+//! Raw rows are buffered for the window's lifetime regardless, because
+//! explanation needs the full relation: [`SlidingWindow::materialize`]
+//! rebuilds a [`Table`] + provenance [`Grouping`] for the engine.
+
+use crate::error::{Result, StreamError};
+use scorpion_agg::{AggState, Aggregate};
+use scorpion_table::{group_by, AttrType, Grouping, Schema, Table, TableBuilder, Value};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// Static description of the stream relation and the continuous query.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Schema every ingested row must conform to.
+    pub schema: Schema,
+    /// The group-by attribute (must be discrete).
+    pub group_attr: usize,
+    /// The aggregated attribute (must be continuous).
+    pub agg_attr: usize,
+    /// Window capacity in chunks; pushing beyond it evicts the oldest.
+    pub window_chunks: usize,
+}
+
+impl StreamConfig {
+    /// Validates and builds a stream configuration.
+    pub fn new(
+        schema: Schema,
+        group_attr: usize,
+        agg_attr: usize,
+        window_chunks: usize,
+    ) -> Result<Self> {
+        if window_chunks == 0 {
+            return Err(StreamError::BadConfig("window must hold at least one chunk"));
+        }
+        if group_attr == agg_attr {
+            return Err(StreamError::BadConfig("group and aggregate attributes must differ"));
+        }
+        let g = schema.field(group_attr).map_err(StreamError::Table)?;
+        if g.ty() != AttrType::Discrete {
+            return Err(StreamError::BadConfig("group-by attribute must be discrete"));
+        }
+        let a = schema.field(agg_attr).map_err(StreamError::Table)?;
+        if a.ty() != AttrType::Continuous {
+            return Err(StreamError::BadConfig("aggregate attribute must be continuous"));
+        }
+        Ok(StreamConfig { schema, group_attr, agg_attr, window_chunks })
+    }
+}
+
+/// One ingested batch: buffered rows plus the per-group partial states
+/// summarizing its aggregate-attribute values.
+struct Chunk {
+    id: u64,
+    rows: Vec<Vec<Value>>,
+    /// Per group key: (partial state, row count). The state is unused
+    /// (empty) when the aggregate is not mergeable.
+    groups: BTreeMap<String, (AggState, usize)>,
+    /// Per group key: the aggregate-attribute values, kept only for
+    /// black-box aggregates so [`SlidingWindow::series`] recomputes in
+    /// O(rows-of-group) instead of rescanning every buffered row.
+    values: BTreeMap<String, Vec<f64>>,
+}
+
+/// Running per-group totals over the live window.
+struct GroupTotal {
+    partial: AggState,
+    rows: usize,
+}
+
+/// True when subtracting `removed` may have destroyed the precision of
+/// `remaining`: some component of the removed partial is ≥ 2²⁰ (~10⁶)
+/// times the magnitude of what is left, i.e. at least 20 of the
+/// result's 53 mantissa bits were cancelled away. False positives only
+/// cost a cheap re-merge.
+fn cancellation_suspect(removed: &AggState, remaining: &AggState) -> bool {
+    const RATIO: f64 = (1u64 << 20) as f64;
+    removed
+        .as_slice()
+        .iter()
+        .zip(remaining.as_slice())
+        .any(|(r, keep)| r.abs() > RATIO * keep.abs().max(f64::MIN_POSITIVE))
+}
+
+/// Receipt returned by [`SlidingWindow::push_chunk`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkReceipt {
+    /// Id assigned to the ingested chunk (monotonically increasing).
+    pub chunk_id: u64,
+    /// Rows ingested.
+    pub rows: usize,
+    /// Id of the chunk evicted by this push, if the window was full.
+    pub evicted: Option<u64>,
+}
+
+/// One point of the live result series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupAggregate {
+    /// Group key (the discrete group attribute's value).
+    pub key: String,
+    /// Current windowed aggregate value.
+    pub value: f64,
+    /// Rows of this group live in the window.
+    pub rows: usize,
+}
+
+/// A chunked sliding window maintaining a group-by aggregate series.
+pub struct SlidingWindow {
+    cfg: StreamConfig,
+    agg: Arc<dyn Aggregate>,
+    chunks: VecDeque<Chunk>,
+    totals: BTreeMap<String, GroupTotal>,
+    next_chunk_id: u64,
+    rows_ingested: u64,
+}
+
+impl SlidingWindow {
+    /// Creates an empty window for the given continuous query.
+    pub fn new(cfg: StreamConfig, agg: Arc<dyn Aggregate>) -> Self {
+        SlidingWindow {
+            cfg,
+            agg,
+            chunks: VecDeque::new(),
+            totals: BTreeMap::new(),
+            next_chunk_id: 0,
+            rows_ingested: 0,
+        }
+    }
+
+    /// The window configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// The aggregate operator.
+    pub fn aggregate(&self) -> &Arc<dyn Aggregate> {
+        &self.agg
+    }
+
+    /// Number of live chunks.
+    pub fn n_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Number of live rows.
+    pub fn n_rows(&self) -> usize {
+        self.chunks.iter().map(|c| c.rows.len()).sum()
+    }
+
+    /// Total rows ever ingested (including evicted ones).
+    pub fn rows_ingested(&self) -> u64 {
+        self.rows_ingested
+    }
+
+    /// Ids of the live chunks containing rows of `key`, oldest first.
+    pub fn chunks_of(&self, key: &str) -> Vec<u64> {
+        self.chunks.iter().filter(|c| c.groups.contains_key(key)).map(|c| c.id).collect()
+    }
+
+    /// Ingests one batch as a new chunk, evicting the oldest chunk when
+    /// the window is at capacity.
+    pub fn push_chunk(&mut self, rows: Vec<Vec<Value>>) -> Result<ChunkReceipt> {
+        let mergeable = self.agg.mergeable();
+        let mut groups: BTreeMap<String, (AggState, usize)> = BTreeMap::new();
+        let mut values: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != self.cfg.schema.len() {
+                return Err(StreamError::BadRow(format!(
+                    "row {i} has {} values, schema has {}",
+                    row.len(),
+                    self.cfg.schema.len()
+                )));
+            }
+            let key = match &row[self.cfg.group_attr] {
+                Value::Str(s) => s.clone(),
+                other => {
+                    return Err(StreamError::BadRow(format!(
+                        "row {i}: group attribute must be a string, got {other:?}"
+                    )))
+                }
+            };
+            let v = row[self.cfg.agg_attr].as_num().ok_or_else(|| {
+                StreamError::BadRow(format!("row {i}: aggregate attribute must be numeric"))
+            })?;
+            values.entry(key).or_default().push(v);
+        }
+        for (key, vals) in &values {
+            let (state, n) = match mergeable {
+                Some(m) => (m.partial_of(vals), vals.len()),
+                None => (AggState::zero(0), vals.len()),
+            };
+            groups.insert(key.clone(), (state, n));
+        }
+        // Black-box aggregates need the raw values at read time; for
+        // mergeable operators the partials subsume them.
+        let values = if mergeable.is_none() { values } else { BTreeMap::new() };
+
+        // Merge the new chunk's partials into the running totals.
+        if let Some(m) = mergeable {
+            for (key, (state, n)) in &groups {
+                let total = self
+                    .totals
+                    .entry(key.clone())
+                    .or_insert_with(|| GroupTotal { partial: m.empty_partial(), rows: 0 });
+                m.merge(&mut total.partial, state);
+                total.rows += n;
+            }
+        } else {
+            for (key, (_, n)) in &groups {
+                let total = self
+                    .totals
+                    .entry(key.clone())
+                    .or_insert_with(|| GroupTotal { partial: AggState::zero(0), rows: 0 });
+                total.rows += n;
+            }
+        }
+
+        let chunk_id = self.next_chunk_id;
+        self.next_chunk_id += 1;
+        self.rows_ingested += rows.len() as u64;
+        let n_rows = rows.len();
+        self.chunks.push_back(Chunk { id: chunk_id, rows, groups, values });
+
+        let evicted = if self.chunks.len() > self.cfg.window_chunks {
+            let old = self.chunks.pop_front().expect("non-empty window");
+            self.retract(&old);
+            Some(old.id)
+        } else {
+            None
+        };
+        Ok(ChunkReceipt { chunk_id, rows: n_rows, evicted })
+    }
+
+    /// Removes an evicted chunk's contribution from the running totals.
+    fn retract(&mut self, old: &Chunk) {
+        let mergeable = self.agg.mergeable();
+        for (key, (state, n)) in &old.groups {
+            let Some(total) = self.totals.get_mut(key) else { continue };
+            total.rows -= (*n).min(total.rows);
+            if total.rows == 0 {
+                self.totals.remove(key);
+                continue;
+            }
+            match mergeable {
+                Some(m) if m.retractable() => {
+                    // O(1) retraction (§5.1 `remove` on the time axis) —
+                    // but floating-point subtraction is lossy when the
+                    // evicted partial dwarfs what remains (absorption:
+                    // 1e16 + 1 − 1e16 == 0), and the error would persist
+                    // for the group's lifetime. Guard the conditioning
+                    // and fall back to re-merging the surviving chunks'
+                    // partials, which is still row-free and only
+                    // O(window chunks).
+                    m.unmerge(&mut total.partial, state);
+                    if cancellation_suspect(state, &total.partial) {
+                        total.partial = Self::remerge(&self.chunks, m, key);
+                    }
+                }
+                Some(m) => {
+                    // MIN/MAX: the extremum may have left with the
+                    // chunk; recover the runner-up from the surviving
+                    // chunks' partials.
+                    total.partial = Self::remerge(&self.chunks, m, key);
+                }
+                None => {}
+            }
+        }
+    }
+
+    /// Rebuilds one group's partial by merging the surviving chunks'
+    /// per-chunk partials (no row re-reads).
+    fn remerge(
+        chunks: &VecDeque<Chunk>,
+        m: &dyn scorpion_agg::MergeableAggregate,
+        key: &str,
+    ) -> AggState {
+        let mut acc = m.empty_partial();
+        for c in chunks {
+            if let Some((s, _)) = c.groups.get(key) {
+                m.merge(&mut acc, s);
+            }
+        }
+        acc
+    }
+
+    /// The current windowed aggregate value of `key`, if the group is
+    /// live.
+    pub fn value_of(&self, key: &str) -> Option<f64> {
+        let total = self.totals.get(key)?;
+        match self.agg.mergeable() {
+            Some(m) => Some(m.finalize(&total.partial)),
+            None => Some(self.agg.compute(&self.raw_values(key))),
+        }
+    }
+
+    /// The live group-by result series, sorted by group key.
+    pub fn series(&self) -> Vec<GroupAggregate> {
+        self.totals
+            .iter()
+            .map(|(key, total)| {
+                let value = match self.agg.mergeable() {
+                    Some(m) => m.finalize(&total.partial),
+                    None => self.agg.compute(&self.raw_values(key)),
+                };
+                GroupAggregate { key: key.clone(), value, rows: total.rows }
+            })
+            .collect()
+    }
+
+    /// Collects `key`'s aggregate-attribute values from the live chunks'
+    /// per-group buffers (black-box fallback path).
+    fn raw_values(&self, key: &str) -> Vec<f64> {
+        let mut out = Vec::new();
+        for c in &self.chunks {
+            if let Some(vs) = c.values.get(key) {
+                out.extend_from_slice(vs);
+            }
+        }
+        out
+    }
+
+    /// Materializes the live window as a relation plus provenance — the
+    /// substrate the explanation engine runs on. Rows appear in chunk
+    /// arrival order, so the result is deterministic.
+    pub fn materialize(&self) -> Result<(Table, Grouping)> {
+        let mut b = TableBuilder::new(self.cfg.schema.clone());
+        b.reserve(self.n_rows());
+        for c in &self.chunks {
+            for row in &c.rows {
+                b.push_row(row.iter().cloned()).map_err(StreamError::Table)?;
+            }
+        }
+        let table = b.build();
+        let grouping = group_by(&table, &[self.cfg.group_attr]).map_err(StreamError::Table)?;
+        Ok((table, grouping))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scorpion_agg::aggregate_by_name;
+    use scorpion_table::Field;
+
+    fn two_col_schema() -> Schema {
+        Schema::new(vec![Field::disc("g"), Field::cont("v")]).unwrap()
+    }
+
+    fn window(agg: &str, capacity: usize) -> SlidingWindow {
+        let cfg = StreamConfig::new(two_col_schema(), 0, 1, capacity).unwrap();
+        SlidingWindow::new(cfg, aggregate_by_name(agg).unwrap())
+    }
+
+    fn chunk(rows: &[(&str, f64)]) -> Vec<Vec<Value>> {
+        rows.iter().map(|&(g, v)| vec![Value::from(g), Value::from(v)]).collect()
+    }
+
+    #[test]
+    fn config_validation() {
+        let s = two_col_schema;
+        assert!(matches!(StreamConfig::new(s(), 0, 1, 0), Err(StreamError::BadConfig(_))));
+        assert!(matches!(StreamConfig::new(s(), 1, 1, 2), Err(StreamError::BadConfig(_))));
+        assert!(matches!(StreamConfig::new(s(), 1, 0, 2), Err(StreamError::BadConfig(_))));
+        assert!(StreamConfig::new(s(), 0, 1, 2).is_ok());
+    }
+
+    #[test]
+    fn push_and_evict_maintains_sum() {
+        let mut w = window("sum", 2);
+        let r1 = w.push_chunk(chunk(&[("a", 1.0), ("a", 2.0), ("b", 10.0)])).unwrap();
+        assert_eq!(r1, ChunkReceipt { chunk_id: 0, rows: 3, evicted: None });
+        let _ = w.push_chunk(chunk(&[("a", 4.0)])).unwrap();
+        assert_eq!(w.value_of("a"), Some(7.0));
+        // Third push evicts chunk 0: group b vanishes, a keeps only 4.
+        let r3 = w.push_chunk(chunk(&[("c", 100.0)])).unwrap();
+        assert_eq!(r3.evicted, Some(0));
+        assert_eq!(w.value_of("a"), Some(4.0));
+        assert_eq!(w.value_of("b"), None);
+        assert_eq!(w.value_of("c"), Some(100.0));
+        assert_eq!(w.n_chunks(), 2);
+        assert_eq!(w.rows_ingested(), 5);
+    }
+
+    #[test]
+    fn evicting_a_dominant_chunk_does_not_absorb_survivors() {
+        // 1e16 + 1.0 == 1e16 in f64: a pure unmerge would leave the
+        // window claiming sum 0 / avg 0 after the huge chunk leaves.
+        for (agg, want) in [("sum", 2.0), ("avg", 1.0)] {
+            let mut w = window(agg, 2);
+            w.push_chunk(chunk(&[("a", 1e16)])).unwrap();
+            w.push_chunk(chunk(&[("a", 1.0)])).unwrap();
+            let r = w.push_chunk(chunk(&[("a", 1.0)])).unwrap();
+            assert_eq!(r.evicted, Some(0));
+            let got = w.value_of("a").unwrap();
+            assert!((got - want).abs() < 1e-9, "{agg}: {got} != {want}");
+        }
+    }
+
+    #[test]
+    fn min_max_retraction_recovers_runner_up() {
+        let mut w = window("max", 2);
+        w.push_chunk(chunk(&[("a", 9.0)])).unwrap();
+        w.push_chunk(chunk(&[("a", 5.0)])).unwrap();
+        assert_eq!(w.value_of("a"), Some(9.0));
+        // Evicting the chunk holding the maximum must fall back to the
+        // runner-up — the case plain retraction cannot handle.
+        w.push_chunk(chunk(&[("a", 7.0)])).unwrap();
+        assert_eq!(w.value_of("a"), Some(7.0));
+    }
+
+    #[test]
+    fn median_blackbox_fallback() {
+        let mut w = window("median", 3);
+        w.push_chunk(chunk(&[("a", 1.0), ("a", 50.0)])).unwrap();
+        w.push_chunk(chunk(&[("a", 3.0)])).unwrap();
+        assert_eq!(w.value_of("a"), Some(3.0));
+        let s = w.series();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].rows, 3);
+    }
+
+    #[test]
+    fn series_is_sorted_and_complete() {
+        let mut w = window("avg", 4);
+        w.push_chunk(chunk(&[("b", 2.0), ("a", 1.0)])).unwrap();
+        w.push_chunk(chunk(&[("c", 3.0)])).unwrap();
+        let s = w.series();
+        let keys: Vec<&str> = s.iter().map(|g| g.key.as_str()).collect();
+        assert_eq!(keys, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn chunks_of_tracks_membership() {
+        let mut w = window("sum", 3);
+        w.push_chunk(chunk(&[("a", 1.0)])).unwrap();
+        w.push_chunk(chunk(&[("b", 1.0)])).unwrap();
+        w.push_chunk(chunk(&[("a", 1.0), ("b", 1.0)])).unwrap();
+        assert_eq!(w.chunks_of("a"), vec![0, 2]);
+        assert_eq!(w.chunks_of("b"), vec![1, 2]);
+        w.push_chunk(chunk(&[("c", 1.0)])).unwrap(); // evicts chunk 0
+        assert_eq!(w.chunks_of("a"), vec![2]);
+    }
+
+    #[test]
+    fn bad_rows_are_rejected() {
+        let mut w = window("sum", 2);
+        assert!(matches!(w.push_chunk(vec![vec![Value::from("a")]]), Err(StreamError::BadRow(_))));
+        assert!(matches!(
+            w.push_chunk(vec![vec![Value::from(1.0), Value::from(2.0)]]),
+            Err(StreamError::BadRow(_))
+        ));
+        assert!(matches!(
+            w.push_chunk(vec![vec![Value::from("a"), Value::from("x")]]),
+            Err(StreamError::BadRow(_))
+        ));
+    }
+
+    #[test]
+    fn materialize_round_trips() {
+        let mut w = window("avg", 2);
+        w.push_chunk(chunk(&[("a", 1.0), ("b", 5.0)])).unwrap();
+        w.push_chunk(chunk(&[("a", 3.0)])).unwrap();
+        let (t, g) = w.materialize().unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(g.len(), 2);
+        // Windowed series must agree with a fresh group-by over the
+        // materialized relation.
+        for i in 0..g.len() {
+            let key = g.display_key(&t, i);
+            let vals: Vec<f64> = g.rows(i).iter().map(|&r| t.num(1).unwrap()[r as usize]).collect();
+            let want = w.aggregate().compute(&vals);
+            assert_eq!(w.value_of(&key), Some(want));
+        }
+    }
+
+    #[test]
+    fn empty_window_series_is_empty() {
+        let w = window("sum", 2);
+        assert!(w.series().is_empty());
+        assert_eq!(w.n_rows(), 0);
+        let (t, g) = w.materialize().unwrap();
+        assert_eq!(t.len(), 0);
+        assert_eq!(g.len(), 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Stream/batch equivalence: a sliding window maintained with partial
+//! merges and incremental retraction must agree with recomputing every
+//! window state from scratch, for every aggregate and every
+//! (chunk-stream, capacity) combination.
+
+use proptest::prelude::*;
+use scorpion_agg::aggregate_by_name;
+use scorpion_stream::{SlidingWindow, StreamConfig};
+use scorpion_table::{Field, Schema, Value};
+use std::collections::{BTreeMap, VecDeque};
+
+/// All registry aggregates: mergeable-retractable, mergeable-only
+/// (min/max), and the black-box fallback (median).
+const AGGS: &[&str] = &["sum", "count", "avg", "stddev", "variance", "min", "max", "median"];
+
+/// Absolute tolerance for FP-reordered evaluation, where `scale` is the
+/// largest input magnitude that fed the group (not a fixed floor — the
+/// tolerance must stay tight for small-valued groups, or it stops
+/// guarding against real retraction drift). STDDEV is looser: the
+/// moment formula cancels at ~`scale²` and the square root halves the
+/// surviving precision, giving worst-case error ≈ `sqrt(n·ε)·scale`
+/// (~2e-2 at scale 1e5); 1e-6·scale keeps an order of magnitude over
+/// observed error while still catching drifts far below the value
+/// itself.
+fn tol(name: &str, scale: f64) -> f64 {
+    let scale = scale.max(1.0);
+    match name {
+        "stddev" => 1e-6 * scale.max(1e3),
+        _ => 1e-7 * scale,
+    }
+}
+
+fn schema() -> Schema {
+    Schema::new(vec![Field::disc("g"), Field::cont("v")]).unwrap()
+}
+
+type RawChunk = Vec<(usize, f64)>;
+
+fn to_rows(chunk: &RawChunk) -> Vec<Vec<Value>> {
+    chunk.iter().map(|&(g, v)| vec![Value::Str(format!("g{g}")), Value::Num(v)]).collect()
+}
+
+/// From-scratch reference: group the live chunks' rows and run the
+/// black-box aggregate per group. Returns `(value, max |input|)` per
+/// group — the latter sets the comparison tolerance.
+fn batch_series(live: &VecDeque<&RawChunk>, agg_name: &str) -> BTreeMap<String, (f64, f64)> {
+    let agg = aggregate_by_name(agg_name).unwrap();
+    let mut groups: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for chunk in live {
+        for &(g, v) in chunk.iter() {
+            groups.entry(format!("g{g}")).or_default().push(v);
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(k, vals)| {
+            let max_abs = vals.iter().fold(0.0f64, |a, v| a.max(v.abs()));
+            (k, (agg.compute(&vals), max_abs))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// After every push, the incrementally maintained series is ε-equal
+    /// to a from-scratch recomputation of the same window.
+    #[test]
+    fn sliding_window_matches_batch_recompute(
+        chunks in prop::collection::vec(
+            prop::collection::vec((0usize..4, -1e5f64..1e5), 0..12),
+            1..14,
+        ),
+        capacity in 1usize..6,
+    ) {
+        for name in AGGS {
+            let cfg = StreamConfig::new(schema(), 0, 1, capacity).unwrap();
+            let mut w = SlidingWindow::new(cfg, aggregate_by_name(name).unwrap());
+            let mut live: VecDeque<&RawChunk> = VecDeque::new();
+            for chunk in &chunks {
+                w.push_chunk(to_rows(chunk)).unwrap();
+                live.push_back(chunk);
+                if live.len() > capacity {
+                    live.pop_front();
+                }
+                let want = batch_series(&live, name);
+                let got = w.series();
+                let got_keys: Vec<&String> = got.iter().map(|g| &g.key).collect();
+                let want_keys: Vec<&String> = want.keys().collect();
+                prop_assert_eq!(&got_keys, &want_keys, "{}: group sets differ", name);
+                for ga in &got {
+                    let (want_v, max_abs) = want[&ga.key];
+                    prop_assert!(
+                        (ga.value - want_v).abs() <= tol(name, max_abs),
+                        "{}[{}]: stream {} != batch {}",
+                        name, ga.key, ga.value, want_v
+                    );
+                }
+            }
+        }
+    }
+
+    /// Row counts per group always match the live chunk contents.
+    #[test]
+    fn window_row_accounting_matches(
+        chunks in prop::collection::vec(
+            prop::collection::vec((0usize..3, 0.0f64..10.0), 0..8),
+            1..10,
+        ),
+        capacity in 1usize..4,
+    ) {
+        let cfg = StreamConfig::new(schema(), 0, 1, capacity).unwrap();
+        let mut w = SlidingWindow::new(cfg, aggregate_by_name("sum").unwrap());
+        let mut live: VecDeque<&RawChunk> = VecDeque::new();
+        for chunk in &chunks {
+            w.push_chunk(to_rows(chunk)).unwrap();
+            live.push_back(chunk);
+            if live.len() > capacity {
+                live.pop_front();
+            }
+            let mut want: BTreeMap<String, usize> = BTreeMap::new();
+            for c in &live {
+                for &(g, _) in c.iter() {
+                    *want.entry(format!("g{g}")).or_default() += 1;
+                }
+            }
+            let total: usize = want.values().sum();
+            prop_assert_eq!(w.n_rows(), total);
+            for ga in w.series() {
+                prop_assert_eq!(ga.rows, want[&ga.key]);
+            }
+        }
+    }
+}

@@ -158,18 +158,12 @@ mod tests {
     fn column_type_guards() {
         let num = Column::Num(vec![1.0, 2.0]);
         assert!(num.as_num("a").is_ok());
-        assert!(matches!(
-            num.as_cat("a"),
-            Err(TableError::TypeMismatch { .. })
-        ));
+        assert!(matches!(num.as_cat("a"), Err(TableError::TypeMismatch { .. })));
         let mut cc = CatColumn::new();
         cc.push("v");
         let cat = Column::Cat(cc);
         assert!(cat.as_cat("b").is_ok());
-        assert!(matches!(
-            cat.as_num("b"),
-            Err(TableError::TypeMismatch { .. })
-        ));
+        assert!(matches!(cat.as_num("b"), Err(TableError::TypeMismatch { .. })));
     }
 
     #[test]

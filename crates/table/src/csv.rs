@@ -66,9 +66,8 @@ pub fn parse_csv_with_schema(text: &str, schema: Schema) -> Result<Table> {
             )));
         }
     }
-    let types: Vec<AttrType> = (0..schema.len())
-        .map(|i| schema.field(i).map(|f| f.ty()))
-        .collect::<Result<_>>()?;
+    let types: Vec<AttrType> =
+        (0..schema.len()).map(|i| schema.field(i).map(|f| f.ty())).collect::<Result<_>>()?;
     let mut b = TableBuilder::new(schema);
     for line in lines {
         let cells = split_record(line)?;
@@ -103,10 +102,7 @@ pub fn parse_csv(text: &str) -> Result<Table> {
     let first = lines.next().ok_or(TableError::Empty("CSV data rows"))?;
     let first_cells = split_record(first)?;
     if first_cells.len() != names.len() {
-        return Err(TableError::ArityMismatch {
-            expected: names.len(),
-            got: first_cells.len(),
-        });
+        return Err(TableError::ArityMismatch { expected: names.len(), got: first_cells.len() });
     }
     let fields: Vec<Field> = names
         .iter()

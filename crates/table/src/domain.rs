@@ -97,8 +97,7 @@ mod tests {
 
     #[test]
     fn domains_cover_observed_values() {
-        let schema =
-            Schema::new(vec![Field::cont("x"), Field::disc("s")]).unwrap();
+        let schema = Schema::new(vec![Field::cont("x"), Field::disc("s")]).unwrap();
         let mut b = TableBuilder::new(schema);
         for (x, s) in [(3.0, "a"), (-1.0, "b"), (7.5, "a")] {
             b.push_row(vec![Value::from(x), Value::from(s)]).unwrap();

@@ -169,10 +169,7 @@ impl Predicate {
     /// The fraction of the full attribute-space volume this predicate's
     /// bounding box occupies (product of per-clause fractions).
     pub fn volume_fraction(&self, domains: &[AttrDomain]) -> f64 {
-        self.clauses
-            .values()
-            .map(|c| c.fraction(&domains[c.attr()]))
-            .product()
+        self.clauses.values().map(|c| c.fraction(&domains[c.attr()])).product()
     }
 
     /// Whether two boxes touch or overlap in every constrained dimension,
@@ -204,9 +201,7 @@ impl Predicate {
                 let pad = if span == 0.0 { 1e-9 } else { span * 1e-9 };
                 Clause::range(attr, *lo, hi + pad)
             }
-            AttrDomain::Discrete { cardinality } => {
-                Clause::in_set(attr, 0..*cardinality as u32)
-            }
+            AttrDomain::Discrete { cardinality } => Clause::in_set(attr, 0..*cardinality as u32),
         }
     }
 
@@ -312,10 +307,9 @@ impl Predicate {
                 }
                 Clause::In { codes, .. } => {
                     let vals: Vec<String> = match table.cat(attr) {
-                        Ok(cat) => codes
-                            .iter()
-                            .map(|&c| format!("'{}'", cat.value_of(c)))
-                            .collect(),
+                        Ok(cat) => {
+                            codes.iter().map(|&c| format!("'{}'", cat.value_of(c))).collect()
+                        }
                         Err(_) => codes.iter().map(|c| c.to_string()).collect(),
                     };
                     let _ = write!(s, "{name} in ({})", vals.join(", "));
@@ -361,19 +355,10 @@ mod tests {
     use crate::value::Value;
 
     fn table() -> Table {
-        let schema = Schema::new(vec![
-            Field::cont("x"),
-            Field::cont("y"),
-            Field::disc("s"),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Field::cont("x"), Field::cont("y"), Field::disc("s")]).unwrap();
         let mut b = TableBuilder::new(schema);
-        let rows = [
-            (1.0, 10.0, "a"),
-            (5.0, 20.0, "b"),
-            (9.0, 30.0, "a"),
-            (5.0, 35.0, "c"),
-        ];
+        let rows = [(1.0, 10.0, "a"), (5.0, 20.0, "b"), (9.0, 30.0, "a"), (5.0, 35.0, "c")];
         for (x, y, s) in rows {
             b.push_row(vec![Value::from(x), Value::from(y), Value::from(s)]).unwrap();
         }
@@ -422,11 +407,9 @@ mod tests {
 
     #[test]
     fn implication() {
-        let narrow = Predicate::conjunction([
-            Clause::range(0, 4.0, 6.0),
-            Clause::range(1, 15.0, 25.0),
-        ])
-        .unwrap();
+        let narrow =
+            Predicate::conjunction([Clause::range(0, 4.0, 6.0), Clause::range(1, 15.0, 25.0)])
+                .unwrap();
         let wide = Predicate::conjunction([Clause::range(0, 0.0, 10.0)]).unwrap();
         assert!(narrow.implies(&wide));
         assert!(!wide.implies(&narrow));
@@ -436,11 +419,8 @@ mod tests {
 
     #[test]
     fn hull_drops_one_sided_attrs() {
-        let a = Predicate::conjunction([
-            Clause::range(0, 0.0, 2.0),
-            Clause::range(1, 10.0, 20.0),
-        ])
-        .unwrap();
+        let a = Predicate::conjunction([Clause::range(0, 0.0, 2.0), Clause::range(1, 10.0, 20.0)])
+            .unwrap();
         let b = Predicate::conjunction([Clause::range(0, 5.0, 9.0)]).unwrap();
         let h = a.hull(&b);
         assert_eq!(h.clause(0), Some(&Clause::range(0, 0.0, 9.0)));
@@ -454,7 +434,7 @@ mod tests {
         let t = table();
         let d = domains(&t); // x: [1,9], y: [10,35], s card 3
         let p = Predicate::conjunction([
-            Clause::range(0, 1.0, 5.0),  // 4/8
+            Clause::range(0, 1.0, 5.0),   // 4/8
             Clause::range(1, 10.0, 20.0), // 10/25
         ])
         .unwrap();
@@ -527,11 +507,8 @@ mod tests {
     fn display_renders_names_and_values() {
         let t = table();
         let code_a = t.cat(2).unwrap().code_of("a").unwrap();
-        let p = Predicate::conjunction([
-            Clause::range(0, 1.0, 5.0),
-            Clause::in_set(2, [code_a]),
-        ])
-        .unwrap();
+        let p = Predicate::conjunction([Clause::range(0, 1.0, 5.0), Clause::in_set(2, [code_a])])
+            .unwrap();
         let s = p.display(&t);
         assert!(s.contains("x in [1.0000, 5.0000)"), "{s}");
         assert!(s.contains("s in ('a')"), "{s}");
@@ -543,9 +520,9 @@ mod tests {
         let t = table();
         let d = domains(&t); // x: [1,9], s card 3
         let p = Predicate::conjunction([
-            Clause::range(0, 0.0, 100.0),  // covers all of x
-            Clause::range(1, 15.0, 25.0),  // partial on y
-            Clause::in_set(2, [0, 1, 2]),  // all codes
+            Clause::range(0, 0.0, 100.0), // covers all of x
+            Clause::range(1, 15.0, 25.0), // partial on y
+            Clause::in_set(2, [0, 1, 2]), // all codes
         ])
         .unwrap();
         let s = p.simplify(&d);
@@ -562,11 +539,8 @@ mod tests {
 
     #[test]
     fn without_attr_widens() {
-        let p = Predicate::conjunction([
-            Clause::range(0, 1.0, 2.0),
-            Clause::range(1, 3.0, 4.0),
-        ])
-        .unwrap();
+        let p = Predicate::conjunction([Clause::range(0, 1.0, 2.0), Clause::range(1, 3.0, 4.0)])
+            .unwrap();
         let q = p.without_attr(0);
         assert!(q.clause(0).is_none());
         assert!(p.implies(&q));

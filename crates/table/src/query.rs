@@ -233,7 +233,7 @@ mod tests {
     fn group_by_continuous_attr_keys_on_exact_values() {
         let t = sensors();
         let g = group_by(&t, &[2]).unwrap(); // voltage
-        // Distinct voltages: 2.64, 2.65, 2.63, 2.7, 2.3 -> 5 groups.
+                                             // Distinct voltages: 2.64, 2.65, 2.63, 2.7, 2.3 -> 5 groups.
         assert_eq!(g.len(), 5);
         let key = g.key(0).clone();
         assert_eq!(g.index_of(&key), Some(0));

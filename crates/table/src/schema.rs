@@ -96,10 +96,7 @@ impl Schema {
 
     /// The index of the attribute named `name`.
     pub fn index_of(&self, name: &str) -> Result<usize> {
-        self.by_name
-            .get(name)
-            .copied()
-            .ok_or_else(|| TableError::UnknownAttribute(name.to_owned()))
+        self.by_name.get(name).copied().ok_or_else(|| TableError::UnknownAttribute(name.to_owned()))
     }
 
     /// Iterates over the fields in declaration order.
@@ -109,12 +106,7 @@ impl Schema {
 
     /// Returns the indices of all attributes of the given type.
     pub fn indices_of_type(&self, ty: AttrType) -> Vec<usize> {
-        self.fields
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| f.ty == ty)
-            .map(|(i, _)| i)
-            .collect()
+        self.fields.iter().enumerate().filter(|(_, f)| f.ty == ty).map(|(i, _)| i).collect()
     }
 }
 
@@ -140,14 +132,8 @@ mod tests {
         assert_eq!(s.index_of("voltage").unwrap(), 2);
         assert_eq!(s.field(4).unwrap().name(), "temp");
         assert_eq!(s.field(4).unwrap().ty(), AttrType::Continuous);
-        assert!(matches!(
-            s.index_of("nope"),
-            Err(TableError::UnknownAttribute(_))
-        ));
-        assert!(matches!(
-            s.field(9),
-            Err(TableError::AttributeOutOfBounds { index: 9, len: 5 })
-        ));
+        assert!(matches!(s.index_of("nope"), Err(TableError::UnknownAttribute(_))));
+        assert!(matches!(s.field(9), Err(TableError::AttributeOutOfBounds { index: 9, len: 5 })));
     }
 
     #[test]

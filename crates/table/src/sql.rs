@@ -124,20 +124,21 @@ fn lex(sql: &str) -> Result<Vec<Tok>> {
                 let start = i;
                 i += 1;
                 while i < chars.len()
-                    && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == 'e'
-                        || chars[i] == 'E' || chars[i] == '-' || chars[i] == '+')
+                    && (chars[i].is_ascii_digit()
+                        || chars[i] == '.'
+                        || chars[i] == 'e'
+                        || chars[i] == 'E'
+                        || chars[i] == '-'
+                        || chars[i] == '+')
                 {
                     // Only allow sign right after an exponent marker.
-                    if (chars[i] == '-' || chars[i] == '+')
-                        && !matches!(chars[i - 1], 'e' | 'E')
-                    {
+                    if (chars[i] == '-' || chars[i] == '+') && !matches!(chars[i - 1], 'e' | 'E') {
                         break;
                     }
                     i += 1;
                 }
                 let text: String = chars[start..i].iter().collect();
-                let v: f64 =
-                    text.parse().map_err(|_| err(format!("bad number `{text}`")))?;
+                let v: f64 = text.parse().map_err(|_| err(format!("bad number `{text}`")))?;
                 toks.push(Tok::Num(v));
             }
             _ if c.is_alphanumeric() || c == '_' => {
@@ -282,10 +283,7 @@ pub fn parse_query(sql: &str) -> Result<ParsedQuery> {
 }
 
 /// Evaluates a WHERE conjunction against a table, returning matching rows.
-pub fn apply_selection(
-    table: &crate::table::Table,
-    conditions: &[Condition],
-) -> Result<Vec<u32>> {
+pub fn apply_selection(table: &crate::table::Table, conditions: &[Condition]) -> Result<Vec<u32>> {
     let mut keep: Vec<bool> = vec![true; table.len()];
     for cond in conditions {
         match cond {
@@ -303,7 +301,9 @@ pub fn apply_selection(
                     *k = *k && codes.contains(&Some(cat.codes()[r]));
                 }
             }
-            Condition::Lt(attr, x) | Condition::Le(attr, x) | Condition::Gt(attr, x)
+            Condition::Lt(attr, x)
+            | Condition::Le(attr, x)
+            | Condition::Gt(attr, x)
             | Condition::Ge(attr, x) => {
                 let col = table.num(table.attr(attr)?)?;
                 for (r, k) in keep.iter_mut().enumerate() {
@@ -360,10 +360,8 @@ mod tests {
 
     #[test]
     fn parses_in_list_and_multi_group_by() {
-        let q = parse_query(
-            "SELECT count(x) FROM t WHERE st IN ('DC', 'NY') GROUP BY a, b",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT count(x) FROM t WHERE st IN ('DC', 'NY') GROUP BY a, b").unwrap();
         assert_eq!(
             q.selection,
             vec![Condition::InStr("st".into(), vec!["DC".into(), "NY".into()])]
@@ -384,16 +382,11 @@ mod tests {
         assert!(parse_query("avg(temp) FROM s GROUP BY t").is_err());
         assert!(parse_query("SELECT avg(temp) FROM s GROUP BY t extra").is_err());
         assert!(parse_query("SELECT avg(temp) FROM s WHERE x ~ 3 GROUP BY t").is_err());
-        assert!(parse_query("SELECT avg(temp) FROM s WHERE x = 'unterminated GROUP BY t")
-            .is_err());
+        assert!(parse_query("SELECT avg(temp) FROM s WHERE x = 'unterminated GROUP BY t").is_err());
     }
 
     fn sample() -> crate::table::Table {
-        let schema = Schema::new(vec![
-            Field::disc("candidate"),
-            Field::cont("amt"),
-        ])
-        .unwrap();
+        let schema = Schema::new(vec![Field::disc("candidate"), Field::cont("amt")]).unwrap();
         let mut b = TableBuilder::new(schema);
         for (c, a) in [("Obama", 10.0), ("Romney", 20.0), ("Obama", 30.0)] {
             b.push_row(vec![Value::from(c), Value::from(a)]).unwrap();
@@ -405,8 +398,7 @@ mod tests {
     fn selection_equality() {
         let t = sample();
         let rows =
-            apply_selection(&t, &[Condition::EqStr("candidate".into(), "Obama".into())])
-                .unwrap();
+            apply_selection(&t, &[Condition::EqStr("candidate".into(), "Obama".into())]).unwrap();
         assert_eq!(rows, vec![0, 2]);
     }
 
@@ -415,10 +407,7 @@ mod tests {
         let t = sample();
         let rows = apply_selection(
             &t,
-            &[
-                Condition::Ge("amt".into(), 10.0),
-                Condition::Lt("amt".into(), 30.0),
-            ],
+            &[Condition::Ge("amt".into(), 10.0), Condition::Lt("amt".into(), 30.0)],
         )
         .unwrap();
         assert_eq!(rows, vec![0, 1]);
@@ -428,8 +417,7 @@ mod tests {
     fn selection_unknown_value_matches_nothing() {
         let t = sample();
         let rows =
-            apply_selection(&t, &[Condition::EqStr("candidate".into(), "Nobody".into())])
-                .unwrap();
+            apply_selection(&t, &[Condition::EqStr("candidate".into(), "Nobody".into())]).unwrap();
         assert!(rows.is_empty());
     }
 

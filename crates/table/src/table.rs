@@ -230,10 +230,7 @@ mod tests {
     #[test]
     fn select_rows_out_of_bounds() {
         let t = sample();
-        assert!(matches!(
-            t.select_rows(&[5]),
-            Err(TableError::RowOutOfBounds { .. })
-        ));
+        assert!(matches!(t.select_rows(&[5]), Err(TableError::RowOutOfBounds { .. })));
     }
 
     #[test]

@@ -16,17 +16,12 @@ use scorpion::prelude::*;
 fn main() {
     let ds = expense::generate(ExpenseConfig::default());
     let grouping = group_by(&ds.table, &[ds.group_attr()]).expect("group by date");
-    let sums =
-        aggregate_groups(&ds.table, &grouping, ds.agg_attr(), |v| v.iter().sum::<f64>())
-            .expect("sum");
+    let sums = aggregate_groups(&ds.table, &grouping, ds.agg_attr(), |v| v.iter().sum::<f64>())
+        .expect("sum");
 
     println!("Per-day SUM(disb_amt): typical vs spike days");
-    let typical: f64 = ds
-        .holdout_days
-        .iter()
-        .map(|&d| sums[d])
-        .sum::<f64>()
-        / ds.holdout_days.len() as f64;
+    let typical: f64 =
+        ds.holdout_days.iter().map(|&d| sums[d]).sum::<f64>() / ds.holdout_days.len() as f64;
     println!("  typical day  ≈ ${typical:>12.0}");
     for &d in &ds.outlier_days {
         println!("  {}    ${:>12.0}  ← outlier", grouping.display_key(&ds.table, d), sums[d]);

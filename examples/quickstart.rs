@@ -33,17 +33,14 @@ fn main() {
     ];
     let mut b = TableBuilder::new(schema);
     for (t, s, v, h, temp) in rows {
-        b.push_row(vec![t.into(), s.into(), v.into(), h.into(), temp.into()])
-            .expect("row");
+        b.push_row(vec![t.into(), s.into(), v.into(), h.into(), temp.into()]).expect("row");
     }
     let table = b.build();
 
     // Q1: SELECT avg(temp), time FROM sensors GROUP BY time.
     let grouping = group_by(&table, &[0]).expect("group by time");
-    let avgs = aggregate_groups(&table, &grouping, 4, |v| {
-        v.iter().sum::<f64>() / v.len() as f64
-    })
-    .expect("avg");
+    let avgs = aggregate_groups(&table, &grouping, 4, |v| v.iter().sum::<f64>() / v.len() as f64)
+        .expect("avg");
     println!("Query results (Table 2):");
     #[allow(clippy::needless_range_loop)]
     for i in 0..grouping.len() {

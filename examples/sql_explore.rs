@@ -55,14 +55,9 @@ time,sensorid,voltage,temp
     );
 
     // §4.1: plot the updated output with the explanation removed.
-    let preview = ex
-        .preview(&q.table, &q.grouping, q.agg.as_ref(), q.agg_attr)
-        .expect("preview");
+    let preview = ex.preview(&q.table, &q.grouping, q.agg.as_ref(), q.agg_attr).expect("preview");
     println!("\nupdated series after deletion:");
     for (i, (before, after)) in preview.iter().enumerate() {
-        println!(
-            "  {}  {before:.1} -> {after:.1}",
-            q.grouping.display_key(&q.table, i)
-        );
+        println!("  {}  {before:.1} -> {after:.1}", q.grouping.display_key(&q.table, i));
     }
 }

@@ -32,11 +32,8 @@ fn main() {
         outliers: ds.outlier_groups.iter().map(|&g| (g, 1.0)).collect(),
         holdouts: ds.holdout_groups.clone(),
     };
-    let outlier_rows: Vec<u32> = ds
-        .outlier_groups
-        .iter()
-        .flat_map(|&g| grouping.rows(g).iter().copied())
-        .collect();
+    let outlier_rows: Vec<u32> =
+        ds.outlier_groups.iter().flat_map(|&g| grouping.rows(g).iter().copied()).collect();
 
     let algos: [(&str, Algorithm); 3] = [
         ("DT", Algorithm::DecisionTree(DtConfig::default())),
@@ -65,12 +62,8 @@ fn main() {
             };
             let ex = explain(&query, &cfg).expect("explain");
             let best = ex.best();
-            let acc = predicate_accuracy(
-                &ds.table,
-                &best.predicate,
-                &outlier_rows,
-                ds.truth_rows(false),
-            );
+            let acc =
+                predicate_accuracy(&ds.table, &best.predicate, &outlier_rows, ds.truth_rows(false));
             println!(
                 "{:<6} {:<5} {:>6.2} {:>6.2} {:>6.2} {:>8.2}  {}",
                 name,

@@ -27,17 +27,29 @@ struct Args {
     top: usize,
 }
 
+const HELP: &str = "usage: scorpion --csv FILE --sql QUERY [--outliers k1,k2,...] \
+[--holdouts k1,k2,...] [--direction high|low] [--c F] [--lambda F] [--top N]\n\
+\n\
+QUERY is a select-project-group-by query with one aggregate, e.g.\n\
+\"SELECT avg(temp) FROM readings WHERE sensor = 's3' GROUP BY hour\".\n\
+Group keys (k1, k2, ...) use the values printed in the result listing;\n\
+composite keys join parts with '|'. Without --outliers, the most\n\
+deviant results are labeled automatically.\n\
+\n\
+For continuous monitoring over a live feed, see the scorpion-stream\n\
+crate and `cargo run --release --example streaming_monitor`.";
+
+fn help() -> ! {
+    // Tolerate a closed pipe (`scorpion --help | head`): exiting 0 with
+    // truncated output beats a broken-pipe panic.
+    use std::io::Write as _;
+    let _ = writeln!(std::io::stdout(), "{HELP}");
+    exit(0)
+}
+
 fn usage() -> ! {
-    eprintln!(
-        "usage: scorpion --csv FILE --sql QUERY [--outliers k1,k2,...] \
-         [--holdouts k1,k2,...] [--direction high|low] [--c F] [--lambda F] [--top N]\n\
-         \n\
-         QUERY is a select-project-group-by query with one aggregate, e.g.\n\
-         \"SELECT avg(temp) FROM readings WHERE sensor = 's3' GROUP BY hour\".\n\
-         Group keys (k1, k2, ...) use the values printed in the result listing;\n\
-         composite keys join parts with '|'. Without --outliers, the most\n\
-         deviant results are labeled automatically."
-    );
+    use std::io::Write as _;
+    let _ = writeln!(std::io::stderr(), "{HELP}");
     exit(2)
 }
 
@@ -82,7 +94,7 @@ fn parse_args() -> Args {
             "--c" => args.c = val("--c").parse().unwrap_or_else(|_| usage()),
             "--lambda" => args.lambda = val("--lambda").parse().unwrap_or_else(|_| usage()),
             "--top" => args.top = val("--top").parse().unwrap_or_else(|_| usage()),
-            "--help" | "-h" => usage(),
+            "--help" | "-h" => help(),
             other => {
                 eprintln!("unknown flag `{other}`");
                 usage()
@@ -176,15 +188,10 @@ fn main() {
     );
     print!("{}", ex.render(&q.table, args.top));
 
-    let preview = ex
-        .preview(&q.table, &q.grouping, q.agg.as_ref(), q.agg_attr)
-        .expect("preview");
+    let preview = ex.preview(&q.table, &q.grouping, q.agg.as_ref(), q.agg_attr).expect("preview");
     println!("\nresult series with the top explanation deleted:");
     for (i, (before, after)) in preview.iter().enumerate() {
         let marker = if (before - after).abs() > 1e-9 { "  *" } else { "" };
-        println!(
-            "  {:<16} {before:.3} -> {after:.3}{marker}",
-            q.grouping.display_key(&q.table, i)
-        );
+        println!("  {:<16} {before:.3} -> {after:.3}{marker}", q.grouping.display_key(&q.table, i));
     }
 }

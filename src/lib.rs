@@ -55,7 +55,8 @@
 //! | [`table`] | Columnar relational substrate, predicates, group-by + provenance |
 //! | [`agg`] | Aggregate-property framework (§5) |
 //! | [`core`] | Scorer, NAIVE/DT/MC partitioners, Merger, caching (§3–§7) |
-//! | [`data`] | SYNTH / INTEL / EXPENSE workload generators (§8.1) |
+//! | [`data`] | SYNTH / INTEL / EXPENSE workload generators + streaming sensor feed (§8.1) |
+//! | [`stream`] | Continuous sliding-window engine: mergeable partials, auto-labeling, warm re-explanation |
 //! | [`eval`] | Accuracy metrics + per-figure experiment runners (§8) |
 
 #![warn(missing_docs)]
@@ -64,20 +65,21 @@ pub use scorpion_agg as agg;
 pub use scorpion_core as core;
 pub use scorpion_data as data;
 pub use scorpion_eval as eval;
+pub use scorpion_stream as stream;
 pub use scorpion_table as table;
 
 /// The most common imports, re-exported flat.
 pub mod prelude {
     pub use scorpion_agg::{
-        aggregate_by_name, AggState, Aggregate, Avg, Count, IncrementalAggregate, Max, Median,
-        Min, StdDev, Sum, Variance,
+        aggregate_by_name, AggState, Aggregate, Avg, Count, IncrementalAggregate, Max, Median, Min,
+        StdDev, Sum, Variance,
     };
     pub use scorpion_core::features::{rank_attributes, select_attributes};
     pub use scorpion_core::session::ScorpionSession;
     pub use scorpion_core::{
         explain, Algorithm, Diagnostics, DtConfig, Explanation, GroupSpec, InfluenceParams,
-        LabeledQuery, McConfig, MergerConfig, NaiveConfig, PreparedQuery, ScoredPredicate,
-        Scorer, ScorpionConfig, ScorpionError,
+        LabeledQuery, McConfig, MergerConfig, NaiveConfig, PreparedQuery, ScoredPredicate, Scorer,
+        ScorpionConfig, ScorpionError,
     };
     pub use scorpion_table::{
         aggregate_groups, bin_edges, domains_of, group_by, AttrDomain, AttrType, Clause, Field,

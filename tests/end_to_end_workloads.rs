@@ -8,10 +8,7 @@ use scorpion::eval::predicate_accuracy;
 use scorpion::prelude::*;
 use std::time::Duration;
 
-fn synth_query<'a>(
-    ds: &'a synth::SynthDataset,
-    grouping: &'a Grouping,
-) -> LabeledQuery<'a> {
+fn synth_query<'a>(ds: &'a synth::SynthDataset, grouping: &'a Grouping) -> LabeledQuery<'a> {
     LabeledQuery {
         table: &ds.table,
         grouping,
@@ -49,8 +46,7 @@ fn synth_easy_all_algorithms_beat_random() {
             max_explain_attrs: None,
         };
         let ex = explain(&q, &cfg).unwrap();
-        let acc =
-            predicate_accuracy(&ds.table, &ex.best().predicate, &rows, ds.truth_rows(false));
+        let acc = predicate_accuracy(&ds.table, &ex.best().predicate, &rows, ds.truth_rows(false));
         assert!(
             acc.f_score > 0.4,
             "[{}] F = {} for {}",
@@ -80,10 +76,7 @@ fn blackbox_and_incremental_agree_end_to_end() {
     let q = synth_query(&ds, &grouping);
     let mk = |blackbox: bool| ScorpionConfig {
         params: InfluenceParams { lambda: 0.5, c: 0.2 },
-        algorithm: Algorithm::DecisionTree(DtConfig {
-            sampling: None,
-            ..DtConfig::default()
-        }),
+        algorithm: Algorithm::DecisionTree(DtConfig { sampling: None, ..DtConfig::default() }),
         explain_attrs: Some(ds.dim_attrs()),
         force_blackbox: blackbox,
         max_explain_attrs: None,
@@ -95,7 +88,12 @@ fn blackbox_and_incremental_agree_end_to_end() {
     // trees: near-equal influence and heavily overlapping selections.
     let rel = (fast.best().influence - slow.best().influence).abs()
         / fast.best().influence.abs().max(1.0);
-    assert!(rel < 0.05, "influence mismatch: {} vs {}", fast.best().influence, slow.best().influence);
+    assert!(
+        rel < 0.05,
+        "influence mismatch: {} vs {}",
+        fast.best().influence,
+        slow.best().influence
+    );
     let rows = outlier_union(&ds, &grouping);
     let a: std::collections::HashSet<u32> =
         fast.best().predicate.select(&ds.table, &rows).unwrap().into_iter().collect();
@@ -149,13 +147,9 @@ fn expense_workload_recovers_gmmb() {
     };
     let ex = explain(&q, &cfg).unwrap();
     assert_eq!(ex.diagnostics.algorithm, "mc"); // SUM over positive amounts
-    let rows: Vec<u32> = ds
-        .outlier_days
-        .iter()
-        .flat_map(|&d| grouping.rows(d).iter().copied())
-        .collect();
-    let acc =
-        predicate_accuracy(&ds.table, &ex.best().predicate, &rows, &ds.big_expense_rows);
+    let rows: Vec<u32> =
+        ds.outlier_days.iter().flat_map(|&d| grouping.rows(d).iter().copied()).collect();
+    let acc = predicate_accuracy(&ds.table, &ex.best().predicate, &rows, &ds.big_expense_rows);
     assert!(
         acc.f_score > 0.5,
         "F = {} for {}",

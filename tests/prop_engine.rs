@@ -7,8 +7,7 @@ use scorpion::prelude::*;
 /// Builds a small random two-group table over one dimension attribute.
 fn build_table(xs: &[(f64, f64, bool)]) -> Table {
     // (x, v, in_outlier_group)
-    let schema =
-        Schema::new(vec![Field::disc("g"), Field::cont("x"), Field::cont("v")]).unwrap();
+    let schema = Schema::new(vec![Field::disc("g"), Field::cont("x"), Field::cont("v")]).unwrap();
     let mut b = TableBuilder::new(schema);
     for &(x, v, outlier) in xs {
         let g = if outlier { "o" } else { "h" };

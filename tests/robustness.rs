@@ -5,8 +5,7 @@
 use scorpion::prelude::*;
 
 fn two_group_table(rows: &[(&str, f64, f64)]) -> Table {
-    let schema =
-        Schema::new(vec![Field::disc("g"), Field::cont("x"), Field::cont("v")]).unwrap();
+    let schema = Schema::new(vec![Field::disc("g"), Field::cont("x"), Field::cont("v")]).unwrap();
     let mut b = TableBuilder::new(schema);
     for &(g, x, v) in rows {
         b.push_row(vec![g.into(), x.into(), v.into()]).unwrap();
@@ -35,10 +34,9 @@ fn explain_with(t: &Table, g: &Grouping, algo: Algorithm, c: f64) -> Explanation
 fn single_tuple_groups() {
     let t = two_group_table(&[("o", 1.0, 100.0), ("h", 1.0, 10.0)]);
     let g = group_by(&t, &[0]).unwrap();
-    for algo in [
-        Algorithm::DecisionTree(DtConfig::default()),
-        Algorithm::Naive(NaiveConfig::default()),
-    ] {
+    for algo in
+        [Algorithm::DecisionTree(DtConfig::default()), Algorithm::Naive(NaiveConfig::default())]
+    {
         let ex = explain_with(&t, &g, algo, 0.5);
         assert!(ex.best().influence.is_finite());
     }
@@ -78,9 +76,8 @@ fn extreme_magnitudes_stay_finite() {
 
 #[test]
 fn negative_values_route_away_from_mc() {
-    let rows: Vec<(&str, f64, f64)> = (0..30)
-        .map(|i| (if i % 2 == 0 { "o" } else { "h" }, i as f64, -5.0 + i as f64))
-        .collect();
+    let rows: Vec<(&str, f64, f64)> =
+        (0..30).map(|i| (if i % 2 == 0 { "o" } else { "h" }, i as f64, -5.0 + i as f64)).collect();
     let t = two_group_table(&rows);
     let g = group_by(&t, &[0]).unwrap();
     let q = LabeledQuery {
@@ -147,18 +144,13 @@ fn lambda_extremes() {
 
 #[test]
 fn many_groups_few_rows() {
-    let schema =
-        Schema::new(vec![Field::disc("g"), Field::cont("x"), Field::cont("v")]).unwrap();
+    let schema = Schema::new(vec![Field::disc("g"), Field::cont("x"), Field::cont("v")]).unwrap();
     let mut b = TableBuilder::new(schema);
     for g in 0..50 {
         for i in 0..3 {
             let v = if g == 0 && i == 0 { 100.0 } else { 1.0 };
-            b.push_row(vec![
-                Value::from(format!("g{g}")),
-                Value::from(i as f64),
-                Value::from(v),
-            ])
-            .unwrap();
+            b.push_row(vec![Value::from(format!("g{g}")), Value::from(i as f64), Value::from(v)])
+                .unwrap();
         }
     }
     let t = b.build();
