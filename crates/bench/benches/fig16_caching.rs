@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use scorpion_bench::{BenchSynth, BENCH_TUPLES_PER_GROUP};
 use scorpion_core::session::ScorpionSession;
-use scorpion_core::DtConfig;
+use scorpion_core::{Algorithm, DtConfig};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
@@ -14,19 +14,19 @@ fn bench(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(4))
         .warm_up_time(Duration::from_millis(500));
     let fx = BenchSynth::easy(3, BENCH_TUPLES_PER_GROUP);
+    let algo = || Algorithm::DecisionTree(DtConfig::default());
     for c_param in [0.4f64, 0.2, 0.0] {
-        // Warm session: partitioning cached, Merger warm-started from a
+        // Warm session: preparation cached, Merger warm-started from a
         // higher-c run.
-        let session =
-            ScorpionSession::new(fx.query(), 0.5, DtConfig::default(), None).expect("session");
+        let req = fx.request(algo(), 0.5);
+        let session = ScorpionSession::new(req.clone()).expect("session");
         session.run_with_c(0.5).expect("warm-up run");
         g.bench_with_input(BenchmarkId::new("cached", c_param), &c_param, |b, &cp| {
             b.iter(|| session.run_with_c(cp).expect("cached run"));
         });
         g.bench_with_input(BenchmarkId::new("uncached", c_param), &c_param, |b, &cp| {
             b.iter(|| {
-                let cold = ScorpionSession::new(fx.query(), 0.5, DtConfig::default(), None)
-                    .expect("session");
+                let cold = ScorpionSession::new(req.clone()).expect("session");
                 cold.run_with_c(cp).expect("uncached run")
             });
         });

@@ -6,9 +6,12 @@
 //! the `figures` binary reproduces the paper-scale sweeps.
 
 use scorpion_agg::Sum;
-use scorpion_core::{GroupSpec, InfluenceParams, LabeledQuery, Scorer};
+use scorpion_core::{
+    Algorithm, ExplainRequest, GroupSpec, InfluenceParams, LabeledQuery, Scorer, Scorpion,
+};
 use scorpion_data::synth::{self, SynthConfig, SynthDataset};
 use scorpion_table::{domains_of, group_by, AttrDomain, Grouping};
+use std::sync::Arc;
 
 /// Default tuples per group for benches (scale factor 0.5 of the paper).
 pub const BENCH_TUPLES_PER_GROUP: usize = 1000;
@@ -51,6 +54,21 @@ impl BenchSynth {
             outliers: self.ds.outlier_groups.iter().map(|&g| (g, 1.0)).collect(),
             holdouts: self.ds.holdout_groups.clone(),
         }
+    }
+
+    /// An owned request over this fixture running `algorithm` at `c`
+    /// (λ = 0.5). Clones the table into an `Arc` per call; build once
+    /// outside the measured loop.
+    pub fn request(&self, algorithm: Algorithm, c: f64) -> ExplainRequest {
+        Scorpion::on(self.ds.table.clone())
+            .query(self.grouping.clone(), Arc::new(Sum), self.ds.agg_attr())
+            .expect("bench query")
+            .outliers(self.ds.outlier_groups.iter().map(|&g| (g, 1.0)))
+            .holdouts(self.ds.holdout_groups.iter().copied())
+            .params(0.5, c)
+            .algorithm(algorithm)
+            .build()
+            .expect("bench request")
     }
 
     /// A scorer at the given `c` (λ = 0.5). `force_blackbox` disables the

@@ -1,10 +1,16 @@
 //! One-call entry point: label results, pick an algorithm, explain.
+//!
+//! [`LabeledQuery`] is the borrowed, zero-copy way to pose one
+//! Influential Predicates problem; [`explain`] runs it once. For owned,
+//! re-runnable requests (sessions, services, streams) use the
+//! [`crate::Scorpion`] builder and [`crate::ExplainRequest`] — this
+//! module keeps the thin borrowed constructor for compatibility, and
+//! both paths dispatch into the same [`crate::engine::Explainer`]
+//! implementations.
 
 use crate::config::{Algorithm, DtConfig, McConfig, NaiveConfig, ScorpionConfig};
-use crate::dt::DtPartitioner;
+use crate::engine::engine_for;
 use crate::error::{Result, ScorpionError};
-use crate::mc::mc_search;
-use crate::naive::naive_search;
 use crate::result::{Diagnostics, Explanation};
 use crate::scorer::{GroupSpec, Scorer};
 use scorpion_agg::Aggregate;
@@ -121,7 +127,9 @@ pub fn resolve_algorithm(q: &LabeledQuery<'_>, algo: &Algorithm) -> Result<Algor
 /// Solves the Influential Predicates problem for a labeled query.
 ///
 /// Returns the ranked predicates (most influential first) and run
-/// diagnostics.
+/// diagnostics. Dispatches to the [`crate::engine::Explainer`]
+/// implementing the (resolved) algorithm; nothing is cached across
+/// calls — use [`crate::session::ScorpionSession`] for that.
 pub fn explain(q: &LabeledQuery<'_>, cfg: &ScorpionConfig) -> Result<Explanation> {
     q.validate()?;
     let start = Instant::now();
@@ -140,42 +148,22 @@ pub fn explain(q: &LabeledQuery<'_>, cfg: &ScorpionConfig) -> Result<Explanation
     }
     let domains = domains_of(q.table)?;
     let algo = resolve_algorithm(q, &cfg.algorithm)?;
+    let engine = engine_for(&algo)?;
+    let run = engine.search(&scorer, &attrs, &domains)?;
 
-    let mut diagnostics = Diagnostics::default();
-    let predicates = match &algo {
-        Algorithm::Naive(ncfg) => {
-            diagnostics.algorithm = "naive";
-            let out = naive_search(&scorer, &attrs, &domains, ncfg)?;
-            diagnostics.candidates = out.evaluated;
-            diagnostics.budget_exhausted = !out.completed;
-            vec![out.best]
-        }
-        Algorithm::DecisionTree(dcfg) => {
-            diagnostics.algorithm = "dt";
-            let dt = DtPartitioner::new(&scorer, attrs, domains, dcfg.clone());
-            let (merged, ddiag, _) = dt.run()?;
-            diagnostics.partitions = ddiag.partitions;
-            diagnostics.candidates = ddiag.partitions as u64;
-            merged
-        }
-        Algorithm::BottomUp(mcfg) => {
-            diagnostics.algorithm = "mc";
-            let (results, mdiag) = mc_search(&scorer, &attrs, &domains, mcfg)?;
-            diagnostics.partitions = mdiag.initial_units;
-            diagnostics.candidates = mdiag.scored;
-            results
-        }
-        Algorithm::Auto => unreachable!("resolved above"),
-    };
-    diagnostics.runtime = start.elapsed();
-    diagnostics.scorer_calls = scorer.scorer_calls();
-
-    let predicates = if predicates.is_empty() {
-        vec![crate::result::ScoredPredicate::new(scorpion_table::Predicate::all(), 0.0)]
-    } else {
-        predicates
-    };
-    Ok(Explanation { predicates, diagnostics })
+    Ok(crate::engine::finish(
+        engine.algorithm(),
+        run.predicates,
+        Diagnostics {
+            runtime: start.elapsed(),
+            scorer_calls: scorer.scorer_calls(),
+            cache_hits: scorer.cache_hits(),
+            candidates: run.candidates,
+            partitions: run.partitions,
+            budget_exhausted: run.budget_exhausted,
+            ..Diagnostics::default()
+        },
+    ))
 }
 
 #[cfg(test)]

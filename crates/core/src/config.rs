@@ -123,6 +123,10 @@ pub struct DtConfig {
     /// Overall cap on combined partitions handed to the Merger (its
     /// expansion scan is quadratic in the input size).
     pub max_partitions: usize,
+    /// Worker threads for batched influence re-scoring
+    /// ([`crate::Scorer::influence_batch`]) in the engine's warm path.
+    /// `0` = auto-detect from the host's available parallelism.
+    pub score_threads: usize,
     /// Merger settings for the DT pipeline.
     pub merger: MergerConfig,
 }
@@ -141,6 +145,7 @@ impl Default for DtConfig {
             max_carve_pieces: 64,
             max_leaves: 512,
             max_partitions: 1024,
+            score_threads: 0,
             merger: MergerConfig { use_cached_tuples: true, ..MergerConfig::default() },
         }
     }
@@ -164,6 +169,10 @@ pub struct McConfig {
     pub max_dims: usize,
     /// Disable the §6.2 pruning rules (ablation only).
     pub disable_pruning: bool,
+    /// Worker threads for batched candidate scoring
+    /// ([`crate::Scorer::influence_batch`]) at each level. `0` =
+    /// auto-detect from the host's available parallelism.
+    pub score_threads: usize,
     /// Merger settings for the MC pipeline (exact scoring; the
     /// cached-tuple approximation is a DT-specific optimization).
     pub merger: MergerConfig,
@@ -177,6 +186,7 @@ impl Default for McConfig {
             max_candidates_per_level: 4096,
             max_dims: 0,
             disable_pruning: false,
+            score_threads: 0,
             merger: MergerConfig {
                 use_cached_tuples: false,
                 require_same_attrs: true,

@@ -1,0 +1,691 @@
+//! The two-phase `Explainer` engine abstraction.
+//!
+//! §8.3.3 observes that DT partitioning is `c`-agnostic: prepare once,
+//! re-score cheaply as the user moves the `c` slider. This module
+//! generalizes that split to every algorithm behind one trait pair:
+//!
+//! * [`Explainer::prepare`] runs the expensive, `c`-agnostic phase — DT
+//!   tree growth and carving, MC initial-unit construction, NAIVE
+//!   candidate enumeration — against an owned
+//!   [`ExplainRequest`], and returns a [`PreparedPlan`].
+//! * [`PreparedPlan::run`] is the cheap phase: re-score the prepared
+//!   artifacts under any [`InfluenceParams`] and merge. Every plan
+//!   carries a shared [`InfluenceCache`], so predicates scored in a
+//!   previous run (at any `c`) are re-scored without matcher work —
+//!   the warm path that previously existed for DT only now covers MC
+//!   and NAIVE too.
+//!
+//! Engines also implement [`Explainer::search`], the borrowed one-shot
+//! path [`crate::explain`] dispatches through (no owned request, no
+//! caching) — the two paths produce identical results at equal
+//! parameters.
+//!
+//! Plans can out-live one dataset snapshot: [`PreparedPlan::rebind`]
+//! transfers the `c`-agnostic geometry onto a new, compatible request
+//! (the streaming engine uses this to carry partitions across window
+//! slides), dropping the influence cache whose entries the new data
+//! invalidated.
+
+use crate::config::{Algorithm, DtConfig, InfluenceParams, McConfig, NaiveConfig};
+use crate::dt::DtPartitioner;
+use crate::error::{Result, ScorpionError};
+use crate::features::select_attributes;
+use crate::mc::{initial_units, mc_search, mc_search_units};
+use crate::merger::Merger;
+use crate::naive::{naive_candidates, naive_search, naive_search_prepared, NaiveCandidates};
+use crate::request::ExplainRequest;
+use crate::result::{Diagnostics, Explanation, ScoredPredicate};
+use crate::scorer::{resolve_threads, InfluenceCache, Scorer};
+use parking_lot::Mutex;
+use scorpion_table::{domains_of, AttrDomain, OrdF64, Predicate};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Result of one engine search: the ranked predicates plus the counters
+/// the caller folds into [`Diagnostics`].
+pub struct EngineRun {
+    /// Ranked predicates, best first (may be empty; callers substitute
+    /// the all-predicate).
+    pub predicates: Vec<ScoredPredicate>,
+    /// Partitions / units generated before merging.
+    pub partitions: usize,
+    /// Candidate predicates generated.
+    pub candidates: u64,
+    /// True when an anytime search exhausted its budget.
+    pub budget_exhausted: bool,
+}
+
+/// A partitioning algorithm as a two-phase engine.
+///
+/// Implementations are stateless config holders; all run state lives in
+/// the [`PreparedPlan`] they produce.
+pub trait Explainer: Send + Sync {
+    /// Diagnostic name (`"dt"`, `"mc"`, `"naive"`).
+    fn algorithm(&self) -> &'static str;
+
+    /// One-shot cold search against a borrowed scorer — the
+    /// [`crate::explain`] path. No preparation artifacts survive the
+    /// call.
+    fn search(
+        &self,
+        scorer: &Scorer<'_>,
+        attrs: &[usize],
+        domains: &[AttrDomain],
+    ) -> Result<EngineRun>;
+
+    /// The expensive, `c`-agnostic phase: build everything about this
+    /// request that does not depend on the influence parameters, and
+    /// return a plan that re-scores cheaply.
+    fn prepare(&self, req: &ExplainRequest) -> Result<Box<dyn PreparedPlan>>;
+}
+
+/// The product of [`Explainer::prepare`]: owned, `Send + Sync`, and
+/// cheap to re-run under any [`InfluenceParams`].
+pub trait PreparedPlan: Send + Sync {
+    /// Diagnostic name of the producing algorithm.
+    fn algorithm(&self) -> &'static str;
+
+    /// Re-scores the prepared artifacts at `params` and returns the
+    /// ranked explanation. The first run also charges the preparation's
+    /// scorer calls to its diagnostics, so a prepare+run pair reports
+    /// the same cost shape as the one-shot path.
+    fn run(&self, params: &InfluenceParams) -> Result<Explanation>;
+
+    /// Transfers the `c`-agnostic artifacts onto a new, compatible
+    /// request — same schema and label semantics over fresher data (a
+    /// slid window, an appended table). Influence caches are dropped
+    /// (the data changed); candidate geometry and merge seeds survive
+    /// and are re-scored exactly on the next [`PreparedPlan::run`].
+    fn rebind(&self, req: &ExplainRequest) -> Result<Box<dyn PreparedPlan>>;
+
+    /// Predicates worth seeding a successor plan's merge with (the most
+    /// recent merged output, for engines that merge).
+    fn seeds(&self) -> Vec<Predicate> {
+        Vec::new()
+    }
+
+    /// Adds externally supplied merge seeds (re-scored exactly before
+    /// use). Engines without a merge phase ignore them.
+    fn absorb_seeds(&self, _seeds: Vec<Predicate>) {}
+}
+
+/// Maps a (resolved) [`Algorithm`] to its engine. Errors on
+/// [`Algorithm::Auto`] — resolve it first (e.g. via
+/// [`ExplainRequest::resolve_algorithm`] or
+/// [`crate::resolve_algorithm`]).
+pub fn engine_for(algorithm: &Algorithm) -> Result<Box<dyn Explainer>> {
+    Ok(match algorithm {
+        Algorithm::Naive(cfg) => Box::new(NaiveEngine::new(cfg.clone())),
+        Algorithm::DecisionTree(cfg) => Box::new(DtEngine::new(cfg.clone())),
+        Algorithm::BottomUp(cfg) => Box::new(McEngine::new(cfg.clone())),
+        Algorithm::Auto => {
+            return Err(ScorpionError::BadConfig(
+                "Algorithm::Auto must be resolved before engine construction",
+            ))
+        }
+    })
+}
+
+/// Resolves the request's explanation attributes, applying §6.4 feature
+/// selection when configured. Part of the prepare phase: the selection
+/// is made once, at the request's own parameters.
+fn prep_attrs(req: &ExplainRequest, scorer: &Scorer<'_>) -> Result<Vec<usize>> {
+    let mut attrs = req.resolved_attrs()?;
+    if let Some(k) = req.max_explain_attrs {
+        if k < attrs.len() {
+            attrs = select_attributes(scorer, &attrs, k)?;
+        }
+    }
+    Ok(attrs)
+}
+
+/// Cost of a plan's prepare phase, charged to the diagnostics of its
+/// first run so a prepare+run pair reports the same cost shape as the
+/// one-shot path.
+#[derive(Clone, Copy, Default)]
+struct PrepCost {
+    calls: u64,
+    runtime: std::time::Duration,
+}
+
+/// Wraps ranked predicates into an [`Explanation`], substituting the
+/// all-predicate when the search produced nothing. The single home of
+/// that fallback policy — both the plan path and the borrowed
+/// [`crate::explain`] path go through it.
+pub(crate) fn finish(
+    algorithm: &'static str,
+    predicates: Vec<ScoredPredicate>,
+    mut diagnostics: Diagnostics,
+) -> Explanation {
+    diagnostics.algorithm = algorithm;
+    let predicates = if predicates.is_empty() {
+        vec![ScoredPredicate::new(Predicate::all(), 0.0)]
+    } else {
+        predicates
+    };
+    Explanation { predicates, diagnostics }
+}
+
+// ---------------------------------------------------------------------
+// DT
+// ---------------------------------------------------------------------
+
+/// The §6.1 decision-tree partitioner as an engine. `prepare` grows and
+/// carves the trees (the per-tuple influences driving every split are
+/// `c`-agnostic); `run` re-scores the partitions and merges, warm-
+/// starting the merge from the cached output of the nearest `c' ≥ c`
+/// (the Merger is monotone in `c`: decreasing `c` only merges further).
+pub struct DtEngine {
+    cfg: DtConfig,
+}
+
+impl DtEngine {
+    /// An engine with the given DT configuration.
+    pub fn new(cfg: DtConfig) -> Self {
+        DtEngine { cfg }
+    }
+}
+
+impl Explainer for DtEngine {
+    fn algorithm(&self) -> &'static str {
+        "dt"
+    }
+
+    fn search(
+        &self,
+        scorer: &Scorer<'_>,
+        attrs: &[usize],
+        domains: &[AttrDomain],
+    ) -> Result<EngineRun> {
+        let dt = DtPartitioner::new(scorer, attrs.to_vec(), domains.to_vec(), self.cfg.clone());
+        let (merged, ddiag, _) = dt.run()?;
+        Ok(EngineRun {
+            predicates: merged,
+            partitions: ddiag.partitions,
+            candidates: ddiag.partitions as u64,
+            budget_exhausted: false,
+        })
+    }
+
+    fn prepare(&self, req: &ExplainRequest) -> Result<Box<dyn PreparedPlan>> {
+        let start = Instant::now();
+        req.validate()?;
+        let cache = Arc::new(InfluenceCache::new());
+        let scorer = req.scorer()?.with_cache(cache.clone());
+        let attrs = prep_attrs(req, &scorer)?;
+        let domains = domains_of(&req.table)?;
+        let dt = DtPartitioner::new(&scorer, attrs.clone(), domains.clone(), self.cfg.clone());
+        let (partitions, _) = dt.partition()?;
+        Ok(Box::new(DtPlan {
+            req: req.clone(),
+            cfg: self.cfg.clone(),
+            attrs,
+            domains,
+            partitions,
+            cache,
+            prep_cost: PrepCost { calls: scorer.scorer_calls(), runtime: start.elapsed() },
+            state: Mutex::new(DtPlanState {
+                merged_by_c: BTreeMap::new(),
+                last_merged: Vec::new(),
+                extra_seeds: Vec::new(),
+                charge_prep: true,
+            }),
+        }))
+    }
+}
+
+struct DtPlanState {
+    /// Merged outputs keyed by `c` — each is a valid warm start for any
+    /// lower `c` (§8.3.3).
+    merged_by_c: BTreeMap<OrdF64, Vec<ScoredPredicate>>,
+    /// Most recent merged predicates, exported as successor seeds.
+    last_merged: Vec<Predicate>,
+    /// Externally absorbed seeds, consumed by the next run.
+    extra_seeds: Vec<Predicate>,
+    /// Charge the prepare phase's scorer calls to the next run.
+    charge_prep: bool,
+}
+
+struct DtPlan {
+    req: ExplainRequest,
+    cfg: DtConfig,
+    attrs: Vec<usize>,
+    domains: Vec<AttrDomain>,
+    /// Unscored partition geometry (predicate + §6.3 stats); influence
+    /// fields hold build-time scores and are re-scored per run.
+    partitions: Vec<ScoredPredicate>,
+    cache: Arc<InfluenceCache>,
+    prep_cost: PrepCost,
+    state: Mutex<DtPlanState>,
+}
+
+/// Number of merged predicates exported as seeds to a successor plan.
+const MAX_SEEDS: usize = 8;
+
+impl PreparedPlan for DtPlan {
+    fn algorithm(&self) -> &'static str {
+        "dt"
+    }
+
+    fn run(&self, params: &InfluenceParams) -> Result<Explanation> {
+        let start = Instant::now();
+        let scorer = self.req.scorer_at(*params)?.with_cache(self.cache.clone());
+
+        // Re-score the cached partitions — batched across workers, and
+        // free of matcher work for every cache hit.
+        let mut input = self.partitions.clone();
+        let preds: Vec<Predicate> = input.iter().map(|sp| sp.predicate.clone()).collect();
+        let threads = resolve_threads(self.cfg.score_threads);
+        for (sp, inf) in input.iter_mut().zip(scorer.influence_batch(&preds, threads)) {
+            sp.influence = inf?;
+        }
+        input.sort_by(|a, b| b.influence.total_cmp(&a.influence));
+        let n_partitions = input.len();
+
+        // Merge, warm-started from the nearest cached c' ≥ c plus any
+        // absorbed seeds. Warm-start predicates carry stale influences
+        // and stale stats; re-score exactly, stats dropped.
+        let (warm, extra) = {
+            let mut st = self.state.lock();
+            let warm = st
+                .merged_by_c
+                .range(OrdF64(params.c)..)
+                .next()
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default();
+            (warm, std::mem::take(&mut st.extra_seeds))
+        };
+        for mut sp in warm {
+            sp.influence = scorer.influence(&sp.predicate)?;
+            sp.stats = None;
+            input.push(sp);
+        }
+        for pred in extra {
+            let influence = scorer.influence(&pred)?;
+            input.push(ScoredPredicate::new(pred, influence));
+        }
+        let merger = Merger::new(&scorer, &self.domains, self.cfg.merger.clone());
+        let (merged, _) = merger.merge(input)?;
+
+        let prep = {
+            let mut st = self.state.lock();
+            st.merged_by_c.insert(OrdF64(params.c), merged.clone());
+            st.last_merged = merged.iter().take(MAX_SEEDS).map(|sp| sp.predicate.clone()).collect();
+            if st.charge_prep {
+                st.charge_prep = false;
+                self.prep_cost
+            } else {
+                PrepCost::default()
+            }
+        };
+        Ok(finish(
+            "dt",
+            merged,
+            Diagnostics {
+                runtime: start.elapsed() + prep.runtime,
+                scorer_calls: scorer.scorer_calls() + prep.calls,
+                cache_hits: scorer.cache_hits(),
+                candidates: n_partitions as u64,
+                partitions: n_partitions,
+                ..Diagnostics::default()
+            },
+        ))
+    }
+
+    fn rebind(&self, req: &ExplainRequest) -> Result<Box<dyn PreparedPlan>> {
+        req.validate()?;
+        // Geometry survives; §6.3 stats describe the old data and are
+        // dropped (warm merges run exact), as is the influence cache.
+        let mut partitions = self.partitions.clone();
+        for sp in &mut partitions {
+            sp.stats = None;
+        }
+        Ok(Box::new(DtPlan {
+            req: req.clone(),
+            cfg: self.cfg.clone(),
+            attrs: self.attrs.clone(),
+            domains: domains_of(&req.table)?,
+            partitions,
+            cache: Arc::new(InfluenceCache::new()),
+            prep_cost: PrepCost::default(),
+            state: Mutex::new(DtPlanState {
+                merged_by_c: BTreeMap::new(),
+                last_merged: Vec::new(),
+                extra_seeds: self.seeds(),
+                charge_prep: false,
+            }),
+        }))
+    }
+
+    fn seeds(&self) -> Vec<Predicate> {
+        self.state.lock().last_merged.clone()
+    }
+
+    fn absorb_seeds(&self, seeds: Vec<Predicate>) {
+        self.state.lock().extra_seeds.extend(seeds);
+    }
+}
+
+// ---------------------------------------------------------------------
+// MC
+// ---------------------------------------------------------------------
+
+/// The §6.2 bottom-up partitioner as an engine. `prepare` builds the
+/// level-1 units (bin and value geometry — `c`-agnostic); `run` executes
+/// the pruned subspace search. The shared influence cache makes every
+/// re-scored unit, intersection, and hull from earlier runs free.
+pub struct McEngine {
+    cfg: McConfig,
+}
+
+impl McEngine {
+    /// An engine with the given MC configuration.
+    pub fn new(cfg: McConfig) -> Self {
+        McEngine { cfg }
+    }
+}
+
+impl Explainer for McEngine {
+    fn algorithm(&self) -> &'static str {
+        "mc"
+    }
+
+    fn search(
+        &self,
+        scorer: &Scorer<'_>,
+        attrs: &[usize],
+        domains: &[AttrDomain],
+    ) -> Result<EngineRun> {
+        let (results, mdiag) = mc_search(scorer, attrs, domains, &self.cfg)?;
+        Ok(EngineRun {
+            predicates: results,
+            partitions: mdiag.initial_units,
+            candidates: mdiag.scored,
+            budget_exhausted: false,
+        })
+    }
+
+    fn prepare(&self, req: &ExplainRequest) -> Result<Box<dyn PreparedPlan>> {
+        let start = Instant::now();
+        req.validate()?;
+        let cache = Arc::new(InfluenceCache::new());
+        let scorer = req.scorer()?.with_cache(cache.clone());
+        let attrs = prep_attrs(req, &scorer)?;
+        let domains = domains_of(&req.table)?;
+        let units = initial_units(&scorer, &attrs, &domains, &self.cfg)?;
+        Ok(Box::new(McPlan {
+            req: req.clone(),
+            cfg: self.cfg.clone(),
+            attrs,
+            domains,
+            units,
+            cache,
+            prep_cost: PrepCost { calls: scorer.scorer_calls(), runtime: start.elapsed() },
+            charge_prep: Mutex::new(true),
+        }))
+    }
+}
+
+struct McPlan {
+    req: ExplainRequest,
+    cfg: McConfig,
+    attrs: Vec<usize>,
+    domains: Vec<AttrDomain>,
+    units: Vec<Predicate>,
+    cache: Arc<InfluenceCache>,
+    prep_cost: PrepCost,
+    charge_prep: Mutex<bool>,
+}
+
+impl PreparedPlan for McPlan {
+    fn algorithm(&self) -> &'static str {
+        "mc"
+    }
+
+    fn run(&self, params: &InfluenceParams) -> Result<Explanation> {
+        let start = Instant::now();
+        let scorer = self.req.scorer_at(*params)?.with_cache(self.cache.clone());
+        let (results, mdiag) =
+            mc_search_units(&scorer, &self.attrs, &self.domains, &self.cfg, self.units.clone())?;
+        let prep = {
+            let mut charge = self.charge_prep.lock();
+            if *charge {
+                *charge = false;
+                self.prep_cost
+            } else {
+                PrepCost::default()
+            }
+        };
+        Ok(finish(
+            "mc",
+            results,
+            Diagnostics {
+                runtime: start.elapsed() + prep.runtime,
+                scorer_calls: scorer.scorer_calls() + prep.calls,
+                cache_hits: scorer.cache_hits(),
+                candidates: mdiag.scored,
+                partitions: mdiag.initial_units,
+                ..Diagnostics::default()
+            },
+        ))
+    }
+
+    fn rebind(&self, req: &ExplainRequest) -> Result<Box<dyn PreparedPlan>> {
+        // Unit geometry is derived from domains and dictionaries, which
+        // new data may have shifted; re-prepare (it is cheap for MC).
+        McEngine::new(self.cfg.clone()).prepare(req)
+    }
+}
+
+// ---------------------------------------------------------------------
+// NAIVE
+// ---------------------------------------------------------------------
+
+/// The §4.2 exhaustive partitioner as an engine. `prepare` enumerates
+/// the per-attribute clause candidates (bin and value geometry —
+/// `c`-agnostic); `run` walks the anytime enumeration. With the shared
+/// cache, a completed first run makes later runs at new parameters pure
+/// arithmetic: every enumerated predicate re-scores without a matcher
+/// pass.
+pub struct NaiveEngine {
+    cfg: NaiveConfig,
+}
+
+impl NaiveEngine {
+    /// An engine with the given NAIVE configuration.
+    pub fn new(cfg: NaiveConfig) -> Self {
+        NaiveEngine { cfg }
+    }
+}
+
+impl Explainer for NaiveEngine {
+    fn algorithm(&self) -> &'static str {
+        "naive"
+    }
+
+    fn search(
+        &self,
+        scorer: &Scorer<'_>,
+        attrs: &[usize],
+        domains: &[AttrDomain],
+    ) -> Result<EngineRun> {
+        let out = naive_search(scorer, attrs, domains, &self.cfg)?;
+        Ok(EngineRun {
+            predicates: vec![out.best],
+            partitions: 0,
+            candidates: out.evaluated,
+            budget_exhausted: !out.completed,
+        })
+    }
+
+    fn prepare(&self, req: &ExplainRequest) -> Result<Box<dyn PreparedPlan>> {
+        let start = Instant::now();
+        req.validate()?;
+        let cache = Arc::new(InfluenceCache::new());
+        let scorer = req.scorer()?.with_cache(cache.clone());
+        let attrs = prep_attrs(req, &scorer)?;
+        let domains = domains_of(&req.table)?;
+        let candidates = naive_candidates(&scorer, &attrs, &domains, &self.cfg)?;
+        Ok(Box::new(NaivePlan {
+            req: req.clone(),
+            cfg: self.cfg.clone(),
+            candidates,
+            cache,
+            prep_cost: PrepCost { calls: scorer.scorer_calls(), runtime: start.elapsed() },
+            charge_prep: Mutex::new(true),
+        }))
+    }
+}
+
+struct NaivePlan {
+    req: ExplainRequest,
+    cfg: NaiveConfig,
+    candidates: NaiveCandidates,
+    cache: Arc<InfluenceCache>,
+    prep_cost: PrepCost,
+    charge_prep: Mutex<bool>,
+}
+
+impl PreparedPlan for NaivePlan {
+    fn algorithm(&self) -> &'static str {
+        "naive"
+    }
+
+    fn run(&self, params: &InfluenceParams) -> Result<Explanation> {
+        let start = Instant::now();
+        let scorer = self.req.scorer_at(*params)?.with_cache(self.cache.clone());
+        let out = naive_search_prepared(&scorer, &self.candidates, &self.cfg)?;
+        let prep = {
+            let mut charge = self.charge_prep.lock();
+            if *charge {
+                *charge = false;
+                self.prep_cost
+            } else {
+                PrepCost::default()
+            }
+        };
+        Ok(finish(
+            "naive",
+            vec![out.best],
+            Diagnostics {
+                runtime: start.elapsed() + prep.runtime,
+                scorer_calls: scorer.scorer_calls() + prep.calls,
+                cache_hits: scorer.cache_hits(),
+                candidates: out.evaluated,
+                budget_exhausted: !out.completed,
+                ..Diagnostics::default()
+            },
+        ))
+    }
+
+    fn rebind(&self, req: &ExplainRequest) -> Result<Box<dyn PreparedPlan>> {
+        NaiveEngine::new(self.cfg.clone()).prepare(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DtConfig, McConfig, NaiveConfig};
+    use crate::request::Scorpion;
+    use scorpion_agg::{Avg, Sum};
+    use scorpion_table::{Field, Schema, Table, TableBuilder, Value};
+
+    fn planted() -> Table {
+        let schema =
+            Schema::new(vec![Field::disc("g"), Field::cont("x"), Field::cont("v")]).unwrap();
+        let mut b = TableBuilder::new(schema);
+        for i in 0..200 {
+            let x = (i as f64 * 7.3) % 100.0;
+            let v = if (20.0..60.0).contains(&x) { 80.0 } else { 10.0 };
+            b.push_row(vec!["o".into(), Value::from(x), v.into()]).unwrap();
+            b.push_row(vec!["h".into(), Value::from(x), Value::from(10.0)]).unwrap();
+        }
+        b.build()
+    }
+
+    fn request(algorithm: Algorithm, c: f64) -> ExplainRequest {
+        let agg: std::sync::Arc<dyn scorpion_agg::Aggregate> = match &algorithm {
+            Algorithm::BottomUp(_) => std::sync::Arc::new(Sum),
+            _ => std::sync::Arc::new(Avg),
+        };
+        Scorpion::on(planted())
+            .group_by(&[0], agg, 2)
+            .unwrap()
+            .outlier(0, 1.0)
+            .holdout(1)
+            .params(0.5, c)
+            .algorithm(algorithm)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn engine_for_rejects_auto() {
+        assert!(matches!(engine_for(&Algorithm::Auto), Err(ScorpionError::BadConfig(_))));
+        assert_eq!(
+            engine_for(&Algorithm::DecisionTree(DtConfig::default())).unwrap().algorithm(),
+            "dt"
+        );
+        assert_eq!(
+            engine_for(&Algorithm::BottomUp(McConfig::default())).unwrap().algorithm(),
+            "mc"
+        );
+        assert_eq!(
+            engine_for(&Algorithm::Naive(NaiveConfig::default())).unwrap().algorithm(),
+            "naive"
+        );
+    }
+
+    #[test]
+    fn dt_plan_reruns_with_cache_hits() {
+        let dt = DtConfig { sampling: None, ..DtConfig::default() };
+        let req = request(Algorithm::DecisionTree(dt), 0.5);
+        let plan = req.prepare().unwrap();
+        let first = plan.run(&InfluenceParams { lambda: 0.5, c: 0.5 }).unwrap();
+        let second = plan.run(&InfluenceParams { lambda: 0.5, c: 0.2 }).unwrap();
+        assert_eq!(first.diagnostics.algorithm, "dt");
+        assert!(second.diagnostics.cache_hits > 0, "{:?}", second.diagnostics);
+        assert!(
+            second.diagnostics.scorer_calls < first.diagnostics.scorer_calls,
+            "warm {} vs cold {}",
+            second.diagnostics.scorer_calls,
+            first.diagnostics.scorer_calls
+        );
+    }
+
+    #[test]
+    fn dt_plan_rebinds_onto_fresh_data() {
+        let dt = DtConfig { sampling: None, ..DtConfig::default() };
+        let req = request(Algorithm::DecisionTree(dt), 0.3);
+        let plan = req.prepare().unwrap();
+        let first = plan.run(&req.params()).unwrap();
+        // Rebind onto a clone of the same request (stands in for a slid
+        // window with identical outlier chunks).
+        let rebound = plan.rebind(&req).unwrap();
+        let again = rebound.run(&req.params()).unwrap();
+        assert_eq!(first.best().predicate, again.best().predicate);
+        assert!((first.best().influence - again.best().influence).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorbed_seeds_only_help() {
+        let dt = DtConfig { sampling: None, ..DtConfig::default() };
+        let req = request(Algorithm::DecisionTree(dt), 0.2);
+        let baseline = req.prepare().unwrap().run(&req.params()).unwrap();
+        let seeded = req.prepare().unwrap();
+        seeded.absorb_seeds(vec![baseline.best().predicate.clone()]);
+        let run = seeded.run(&req.params()).unwrap();
+        assert!(run.best().influence >= baseline.best().influence - 1e-9);
+    }
+
+    #[test]
+    fn mc_and_naive_plans_expose_no_seeds() {
+        let req = request(Algorithm::BottomUp(McConfig::default()), 0.5);
+        let plan = req.prepare().unwrap();
+        let _ = plan.run(&req.params()).unwrap();
+        assert!(plan.seeds().is_empty());
+        plan.absorb_seeds(vec![Predicate::all()]); // no-op, must not panic
+    }
+}

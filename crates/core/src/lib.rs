@@ -8,37 +8,49 @@
 //!
 //! Components, mirroring the paper's architecture (Figure 2):
 //!
+//! * [`Scorpion`] / [`ExplainRequest`] — the fluent, owned entry point:
+//!   `Scorpion::on(table).sql(…)?.outlier(…).holdout(…).build()?`.
+//! * [`engine::Explainer`] / [`engine::PreparedPlan`] — every algorithm
+//!   as a two-phase engine: an expensive, `c`-agnostic `prepare` (DT
+//!   partitioning, MC unit construction, NAIVE candidate enumeration)
+//!   and a cheap, re-runnable `run` (§8.3.3, generalized).
 //! * [`Scorer`] — influence evaluation, with the §5.1 incremental fast
-//!   path.
+//!   path and the cross-run [`InfluenceCache`].
 //! * Partitioners — [`naive::naive_search`] (§4.2),
 //!   [`dt::DtPartitioner`] (§6.1), [`mc::mc_search`] (§6.2).
 //! * [`merger::Merger`] — greedy bounding-box merging with the §6.3
 //!   optimizations.
-//! * [`session::ScorpionSession`] — cross-`c` caching (§8.3.3).
-//! * [`explain`] — the one-call entry point with automatic algorithm
-//!   selection from the aggregate's §5 properties.
+//! * [`session::ScorpionSession`] — algorithm-generic cross-parameter
+//!   caching over a prepared plan.
+//! * [`explain`] — the borrowed one-call entry point with automatic
+//!   algorithm selection from the aggregate's §5 properties.
 
 #![warn(missing_docs)]
 
 pub mod api;
 pub mod config;
 pub mod dt;
+pub mod engine;
 mod error;
 pub mod features;
 pub mod mc;
 pub mod merger;
 pub mod naive;
 pub mod prepared;
+pub mod request;
 mod result;
 mod scorer;
 pub mod session;
 
-pub use api::{explain, LabeledQuery};
+pub use api::{explain, resolve_algorithm, LabeledQuery};
 pub use config::{
     Algorithm, DtConfig, InfluenceParams, McConfig, MergerConfig, NaiveConfig, SamplingConfig,
     ScorpionConfig,
 };
+pub use engine::{engine_for, DtEngine, EngineRun, Explainer, McEngine, NaiveEngine, PreparedPlan};
 pub use error::{Result, ScorpionError};
 pub use prepared::PreparedQuery;
+pub use request::{label_extremes, ExplainRequest, RequestBuilder, Scorpion};
 pub use result::{Diagnostics, Explanation, GroupStat, PartitionStats, ScoredPredicate};
-pub use scorer::{GroupSpec, Scorer};
+pub use scorer::{resolve_threads, GroupSpec, InfluenceCache, Scorer};
+pub use session::ScorpionSession;

@@ -50,13 +50,29 @@ pub fn mc_search(
     domains: &[AttrDomain],
     cfg: &McConfig,
 ) -> Result<(Vec<ScoredPredicate>, McDiag)> {
+    let units = initial_units(scorer, attrs, domains, cfg)?;
+    mc_search_units(scorer, attrs, domains, cfg, units)
+}
+
+/// Runs the MC search from pre-built level-1 units — the cheap,
+/// re-runnable phase of the engine split: unit construction is
+/// `c`-agnostic and can be prepared once (see
+/// [`crate::engine::McEngine`]), while the search itself depends on the
+/// scorer's parameters.
+pub fn mc_search_units(
+    scorer: &Scorer<'_>,
+    attrs: &[usize],
+    domains: &[AttrDomain],
+    cfg: &McConfig,
+    units: Vec<Predicate>,
+) -> Result<(Vec<ScoredPredicate>, McDiag)> {
     let mut diag = McDiag::default();
     let merger = Merger::new(scorer, domains, cfg.merger.clone());
+    let threads = crate::scorer::resolve_threads(cfg.score_threads);
 
     // Level 1: single-attribute units.
-    let mut units = initial_units(scorer, attrs, domains, cfg)?;
     diag.initial_units = units.len();
-    let mut scored = score_all(scorer, units.drain(..), &mut diag)?;
+    let mut scored = score_all(scorer, units, threads, &mut diag)?;
     if scored.is_empty() {
         return Ok((vec![ScoredPredicate::new(Predicate::all(), 0.0)], diag));
     }
@@ -114,7 +130,7 @@ pub fn mc_search(
         if next.is_empty() {
             break;
         }
-        let mut next_scored = score_all(scorer, next.into_iter(), &mut diag)?;
+        let mut next_scored = score_all(scorer, next, threads, &mut diag)?;
         // Bound the frontier by hold-out-free influence.
         if next_scored.len() > cfg.max_candidates_per_level {
             let mut keyed: Vec<(f64, ScoredPredicate)> = next_scored
@@ -147,8 +163,10 @@ pub fn mc_search(
 }
 
 /// Builds the level-1 units: one predicate per continuous bin, one per
-/// discrete value occurring in the outlier input groups.
-fn initial_units(
+/// discrete value occurring in the outlier input groups. Unit geometry
+/// depends only on the domains and the outlier rows — not on `c` or `λ`
+/// — which is what makes it cacheable across parameter changes.
+pub(crate) fn initial_units(
     scorer: &Scorer<'_>,
     attrs: &[usize],
     domains: &[AttrDomain],
@@ -188,22 +206,20 @@ fn initial_units(
     Ok(units)
 }
 
+/// Scores a deduplicated candidate batch, fanning out across `threads`
+/// scoped workers (§8.3.2's parallelism extension, via
+/// [`Scorer::influence_batch`]).
 fn score_all(
     scorer: &Scorer<'_>,
-    preds: impl Iterator<Item = Predicate>,
+    preds: impl IntoIterator<Item = Predicate>,
+    threads: usize,
     diag: &mut McDiag,
 ) -> Result<Vec<ScoredPredicate>> {
-    let mut out = Vec::new();
     let mut seen = HashSet::new();
-    for p in preds {
-        if !seen.insert(p.clone()) {
-            continue;
-        }
-        diag.scored += 1;
-        let inf = scorer.influence(&p)?;
-        out.push(ScoredPredicate::new(p, inf));
-    }
-    Ok(out)
+    let preds: Vec<Predicate> = preds.into_iter().filter(|p| seen.insert(p.clone())).collect();
+    diag.scored += preds.len() as u64;
+    let infs = scorer.influence_batch(&preds, threads);
+    preds.into_iter().zip(infs).map(|(p, inf)| Ok(ScoredPredicate::new(p, inf?))).collect()
 }
 
 /// §6.2 PRUNE: a candidate survives when its hold-out-free influence, or

@@ -47,6 +47,7 @@ pub struct NaiveOutcome {
 }
 
 /// Per-attribute clause candidates.
+#[derive(Clone)]
 enum AttrClauses {
     /// All consecutive-bin ranges, from the §4.2 equi-width binning.
     Continuous(Vec<Clause>),
@@ -55,14 +56,25 @@ enum AttrClauses {
     Discrete { attr: usize, codes: Vec<u32> },
 }
 
-/// Runs the NAIVE search over the given explanation attributes.
-pub fn naive_search(
+/// The `c`-agnostic phase of a NAIVE run: the per-attribute clause
+/// candidates the enumeration walks. Geometry depends only on the
+/// domains, the binning config, and the outlier rows, so it can be
+/// prepared once and re-enumerated cheaply at any influence parameters
+/// (see [`crate::engine::NaiveEngine`]).
+#[derive(Clone)]
+pub(crate) struct NaiveCandidates {
+    candidates: Vec<AttrClauses>,
+    has_discrete: bool,
+}
+
+/// Builds the candidate clause sets for the given explanation
+/// attributes.
+pub(crate) fn naive_candidates(
     scorer: &Scorer<'_>,
     attrs: &[usize],
     domains: &[AttrDomain],
     cfg: &NaiveConfig,
-) -> Result<NaiveOutcome> {
-    let start = Instant::now();
+) -> Result<NaiveCandidates> {
     let mut candidates: Vec<AttrClauses> = Vec::with_capacity(attrs.len());
     let mut has_discrete = false;
     for &attr in attrs {
@@ -86,10 +98,32 @@ pub fn naive_search(
             }
         }
     }
+    Ok(NaiveCandidates { candidates, has_discrete })
+}
 
-    let max_clauses =
-        if cfg.max_clauses == 0 { attrs.len() } else { cfg.max_clauses.min(attrs.len()) };
-    let max_subset = if has_discrete { cfg.max_discrete_subset.max(1) } else { 1 };
+/// Runs the NAIVE search over the given explanation attributes.
+pub fn naive_search(
+    scorer: &Scorer<'_>,
+    attrs: &[usize],
+    domains: &[AttrDomain],
+    cfg: &NaiveConfig,
+) -> Result<NaiveOutcome> {
+    let cands = naive_candidates(scorer, attrs, domains, cfg)?;
+    naive_search_prepared(scorer, &cands, cfg)
+}
+
+/// Runs the NAIVE enumeration over prepared candidates — the cheap,
+/// re-runnable phase of the engine split.
+pub(crate) fn naive_search_prepared(
+    scorer: &Scorer<'_>,
+    cands: &NaiveCandidates,
+    cfg: &NaiveConfig,
+) -> Result<NaiveOutcome> {
+    let start = Instant::now();
+    let candidates = &cands.candidates;
+    let n_attrs = candidates.len();
+    let max_clauses = if cfg.max_clauses == 0 { n_attrs } else { cfg.max_clauses.min(n_attrs) };
+    let max_subset = if cands.has_discrete { cfg.max_discrete_subset.max(1) } else { 1 };
 
     let mut st = SearchState {
         scorer,
@@ -109,7 +143,7 @@ pub fn naive_search(
     'outer: for s in 1..=max_subset {
         for k in 1..=max_clauses {
             let mut chosen: Vec<Clause> = Vec::with_capacity(k);
-            let flow = enumerate_combos(&candidates, 0, k, s, s == 1, &mut chosen, &mut st);
+            let flow = enumerate_combos(candidates, 0, k, s, s == 1, &mut chosen, &mut st);
             if flow.is_break() {
                 completed = false;
                 break 'outer;

@@ -73,23 +73,12 @@ impl PreparedQuery {
 
     /// Convenience auto-labeling for exploration: flags the `k` results
     /// whose values deviate most from the median as outliers (error = sign
-    /// of the deviation) and the `k` closest as hold-outs. Real users
-    /// label through a chart; this mirrors that for scripted runs.
+    /// of the deviation) and up to `k` of the closest as hold-outs — the
+    /// two sets are always disjoint, so tiny result series (down to a
+    /// single result) never produce overlapping labels. Real users label
+    /// through a chart; this mirrors that for scripted runs.
     pub fn label_extremes(&self, k: usize) -> (Vec<(usize, f64)>, Vec<usize>) {
-        let median = {
-            let mut v = self.results.clone();
-            let mid = (v.len().max(1) - 1) / 2;
-            v.sort_by(f64::total_cmp);
-            v.get(mid).copied().unwrap_or(0.0)
-        };
-        let mut by_dev: Vec<(usize, f64)> =
-            self.results.iter().enumerate().map(|(i, &v)| (i, v - median)).collect();
-        by_dev.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
-        let k = k.min(by_dev.len() / 2).max(1.min(by_dev.len()));
-        let outliers: Vec<(usize, f64)> =
-            by_dev.iter().take(k).map(|&(i, d)| (i, d.signum())).collect();
-        let holdouts: Vec<usize> = by_dev.iter().rev().take(k).map(|&(i, _)| i).collect();
-        (outliers, holdouts)
+        crate::request::label_extremes(&self.results, k)
     }
 }
 
@@ -185,6 +174,27 @@ mod tests {
             "SELECT avg(temp) FROM s WHERE sensorid = 'nope' GROUP BY time"
         )
         .is_err());
+    }
+
+    #[test]
+    fn label_extremes_is_disjoint_on_tiny_series() {
+        // Regression: with a single result, `k` clamps to 1 and the old
+        // code emitted the same index as both outlier and hold-out, so
+        // `explain` always failed with OverlappingLabels.
+        let t = sensors();
+        let q = PreparedQuery::new(
+            &t,
+            "SELECT avg(temp) FROM sensors WHERE time = '12PM' GROUP BY time",
+        )
+        .unwrap();
+        assert_eq!(q.results.len(), 1);
+        let (outliers, holdouts) = q.label_extremes(1);
+        assert_eq!(outliers.len(), 1);
+        assert!(holdouts.is_empty(), "single result must not double-label: {holdouts:?}");
+        let labeled = q.labeled(outliers, holdouts);
+        assert!(labeled.validate().is_ok());
+        // And the downstream explain must no longer be doomed to fail.
+        assert!(crate::api::explain(&labeled, &ScorpionConfig::default()).is_ok());
     }
 
     #[test]

@@ -52,8 +52,11 @@ pub struct Diagnostics {
     pub algorithm: &'static str,
     /// Wall-clock runtime of the search.
     pub runtime: Duration,
-    /// Number of Scorer influence evaluations.
+    /// Number of Scorer influence evaluations (cache hits excluded).
     pub scorer_calls: u64,
+    /// Influence evaluations answered from a shared
+    /// [`crate::scorer::InfluenceCache`] without matcher work.
+    pub cache_hits: u64,
     /// Number of candidate predicates generated.
     pub candidates: u64,
     /// Number of partitions (leaves / units) before merging.

@@ -10,10 +10,22 @@
 
 use crate::config::InfluenceParams;
 use crate::error::{Result, ScorpionError};
+use parking_lot::Mutex;
 use scorpion_agg::{AggState, Aggregate, IncrementalAggregate};
 use scorpion_table::{Predicate, PredicateMatcher, Table};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
+
+/// Resolves a configured worker-thread count: `0` means "use the host's
+/// available parallelism".
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        requested
+    }
+}
 
 /// One labeled result: the rows of its input group and, for outliers, the
 /// user's error-vector component `v_o` (+1 = "too high", −1 = "too low";
@@ -43,6 +55,134 @@ pub(crate) struct GroupCtx {
     tuple_deltas: OnceLock<Vec<f64>>,
 }
 
+/// One predicate's cached, parameter-agnostic evaluation: per labeled
+/// group, the matched-tuple count `n` and the aggregate delta `Δ`.
+///
+/// §8.3.3 observes that DT partitioning is `c`-agnostic; the same holds
+/// one level deeper for *any* predicate's influence: `Δ` and `n` per
+/// group do not depend on `c` or `λ` — only the final arithmetic
+/// `λ·avg_o(v·Δ/n^c) − (1−λ)·max_h(|Δ|/n^c)` does. Caching `(n, Δ)`
+/// therefore makes re-scoring at a new `c` free of matcher work for
+/// every algorithm, not just DT.
+#[derive(Debug, Clone, Default)]
+struct CachedEval {
+    /// `(n, Δ)` per outlier group (Scorer order), then per hold-out
+    /// group. `None` until a full influence evaluation happened.
+    /// `Arc`-wrapped so a cache hit is a pointer bump, not a copy of
+    /// the per-group slices.
+    groups: Option<Arc<GroupPairs>>,
+    /// Cached result of [`Scorer::max_tuple_influence`].
+    max_tuple: Option<f64>,
+}
+
+/// `(n, Δ)` pairs for the outlier groups and the hold-out groups.
+type GroupPairs = (Box<[(f64, f64)]>, Box<[(f64, f64)]>);
+
+/// A shareable cross-run influence cache keyed by predicate.
+///
+/// Attach one cache to every [`Scorer`] derived from the same labeled
+/// query (same table, labels, and aggregate — the cached `(n, Δ)` pairs
+/// are only meaningful for identical inputs) via [`Scorer::with_cache`];
+/// re-scoring a known predicate under new [`InfluenceParams`] then skips
+/// the matcher entirely and reproduces the direct computation
+/// bit-for-bit.
+pub struct InfluenceCache {
+    /// Sharded by predicate hash so concurrent scoring workers
+    /// ([`Scorer::influence_batch`]) do not serialize on one lock.
+    shards: Vec<Mutex<HashMap<Predicate, CachedEval>>>,
+    /// Inserts stop once the cache holds this many predicates (0 = the
+    /// default cap). NAIVE enumerations can visit millions of
+    /// predicates; the cap bounds memory while keeping the hot units.
+    cap: usize,
+}
+
+/// Default bound on cached predicates per [`InfluenceCache`].
+const DEFAULT_CACHE_CAP: usize = 1 << 20;
+
+/// Lock shards per cache (power of two).
+const CACHE_SHARDS: usize = 16;
+
+impl Default for InfluenceCache {
+    fn default() -> Self {
+        InfluenceCache {
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            cap: 0,
+        }
+    }
+}
+
+impl InfluenceCache {
+    /// An empty cache with the default capacity bound.
+    pub fn new() -> Self {
+        InfluenceCache::default()
+    }
+
+    /// An empty cache that stops inserting past `cap` predicates.
+    pub fn with_capacity_bound(cap: usize) -> Self {
+        InfluenceCache { cap, ..InfluenceCache::default() }
+    }
+
+    /// Number of cached predicates.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Drops every cached evaluation.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().clear();
+        }
+    }
+
+    fn effective_cap(&self) -> usize {
+        if self.cap == 0 {
+            DEFAULT_CACHE_CAP
+        } else {
+            self.cap
+        }
+    }
+
+    fn shard(&self, p: &Predicate) -> &Mutex<HashMap<Predicate, CachedEval>> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        p.hash(&mut h);
+        &self.shards[(h.finish() as usize) & (CACHE_SHARDS - 1)]
+    }
+
+    fn shard_cap(&self) -> usize {
+        self.effective_cap() / CACHE_SHARDS
+    }
+
+    fn get(&self, p: &Predicate) -> Option<CachedEval> {
+        self.shard(p).lock().get(p).cloned()
+    }
+
+    fn store_groups(&self, p: &Predicate, groups: Arc<GroupPairs>) {
+        let cap = self.shard_cap();
+        let mut map = self.shard(p).lock();
+        if let Some(e) = map.get_mut(p) {
+            e.groups = Some(groups);
+        } else if map.len() < cap {
+            map.insert(p.clone(), CachedEval { groups: Some(groups), max_tuple: None });
+        }
+    }
+
+    fn store_max_tuple(&self, p: &Predicate, v: f64) {
+        let cap = self.shard_cap();
+        let mut map = self.shard(p).lock();
+        if let Some(e) = map.get_mut(p) {
+            e.max_tuple = Some(v);
+        } else if map.len() < cap {
+            map.insert(p.clone(), CachedEval { groups: None, max_tuple: Some(v) });
+        }
+    }
+}
+
 /// Influence evaluator bound to one labeled query.
 pub struct Scorer<'a> {
     table: &'a Table,
@@ -53,6 +193,8 @@ pub struct Scorer<'a> {
     holdouts: Vec<GroupCtx>,
     params: InfluenceParams,
     calls: AtomicU64,
+    cache_hits: AtomicU64,
+    cache: Option<Arc<InfluenceCache>>,
 }
 
 impl<'a> Scorer<'a> {
@@ -105,7 +247,18 @@ impl<'a> Scorer<'a> {
             holdouts: holdouts.into_iter().map(|s| build(s, Some(1.0))).collect(),
             params,
             calls: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache: None,
         })
+    }
+
+    /// Attaches a shared [`InfluenceCache`]. The cache must have been
+    /// built for this exact labeled query (same table, labels, and
+    /// aggregate) — entries are parameter-agnostic but data-specific.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<InfluenceCache>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// The table this Scorer evaluates against.
@@ -124,9 +277,11 @@ impl<'a> Scorer<'a> {
     }
 
     /// Returns a Scorer identical to this one but with different
-    /// influence parameters. Cached group states are rebuilt cheaply.
+    /// influence parameters. Cached group states are rebuilt cheaply and
+    /// an attached [`InfluenceCache`] is carried over (its entries are
+    /// parameter-agnostic).
     pub fn with_params(&self, params: InfluenceParams) -> Result<Scorer<'a>> {
-        Scorer::new(
+        let mut s = Scorer::new(
             self.table,
             self.agg,
             self.agg_attr,
@@ -140,7 +295,9 @@ impl<'a> Scorer<'a> {
                 .collect(),
             params,
             self.inc.is_none() && self.agg.incremental().is_some(),
-        )
+        )?;
+        s.cache = self.cache.clone();
+        Ok(s)
     }
 
     /// True when the incremental (§5.1) fast path is active.
@@ -184,9 +341,16 @@ impl<'a> Scorer<'a> {
         self.outliers[g].error
     }
 
-    /// Number of influence evaluations performed so far.
+    /// Number of influence evaluations performed so far. Cache hits are
+    /// not counted — they perform no matcher or aggregate work.
     pub fn scorer_calls(&self) -> u64 {
         self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Number of influence evaluations answered from the attached
+    /// [`InfluenceCache`].
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
     }
 
     /// `Δ` and match count of `p` over one group.
@@ -224,52 +388,140 @@ impl<'a> Scorer<'a> {
 
     /// `inf = v · Δ / n^c`, with the empty selection defined as zero.
     #[inline]
-    fn inf_from_delta(&self, delta: f64, n: usize, error: f64) -> f64 {
-        if n == 0 {
+    fn inf_from_delta(&self, delta: f64, n: f64, error: f64) -> f64 {
+        if n == 0.0 {
             0.0
         } else {
-            error * delta / (n as f64).powf(self.params.c)
+            error * delta / n.powf(self.params.c)
         }
     }
 
-    /// Full influence `inf(O, H, p, V)` (§3.2):
-    /// `λ·(1/|O|)·Σ_o inf(o,p,v_o) − (1−λ)·max_h |inf(h,p)|`.
-    pub fn influence(&self, p: &Predicate) -> Result<f64> {
-        self.calls.fetch_add(1, Ordering::Relaxed);
-        let m = p.matcher(self.table)?;
-        Ok(self.influence_with(&m))
+    /// `(n, Δ)` of `p` over every outlier group, in Scorer order.
+    fn outlier_pairs(&self, m: &PredicateMatcher) -> Box<[(f64, f64)]> {
+        self.outliers
+            .iter()
+            .map(|ctx| {
+                let (d, n) = self.delta_ctx(ctx, m);
+                (n as f64, d)
+            })
+            .collect()
     }
 
-    fn influence_with(&self, m: &PredicateMatcher) -> f64 {
-        let out = self.outlier_term(m);
-        let hold = self.holdout_term(m);
-        self.params.lambda * out - (1.0 - self.params.lambda) * hold
+    /// `(n, Δ)` of `p` over every hold-out group, in Scorer order.
+    fn holdout_pairs(&self, m: &PredicateMatcher) -> Box<[(f64, f64)]> {
+        self.holdouts
+            .iter()
+            .map(|ctx| {
+                let (d, n) = self.delta_ctx(ctx, m);
+                (n as f64, d)
+            })
+            .collect()
     }
 
-    fn outlier_term(&self, m: &PredicateMatcher) -> f64 {
+    /// `λ·(1/|O|)·Σ_o inf(o,p,v_o)` from per-group `(n, Δ)` pairs.
+    fn outlier_term_from(&self, pairs: &[(f64, f64)]) -> f64 {
+        debug_assert_eq!(
+            pairs.len(),
+            self.outliers.len(),
+            "cached pairs belong to a different labeled query"
+        );
         let mut sum = 0.0;
-        for ctx in &self.outliers {
-            let (d, n) = self.delta_ctx(ctx, m);
+        for (ctx, &(n, d)) in self.outliers.iter().zip(pairs) {
             sum += self.inf_from_delta(d, n, ctx.error);
         }
         sum / self.outliers.len() as f64
     }
 
-    fn holdout_term(&self, m: &PredicateMatcher) -> f64 {
+    /// `max_h |inf(h,p)|` from per-group `(n, Δ)` pairs.
+    fn holdout_term_from(&self, pairs: &[(f64, f64)]) -> f64 {
+        debug_assert_eq!(
+            pairs.len(),
+            self.holdouts.len(),
+            "cached pairs belong to a different labeled query"
+        );
         let mut max = 0.0f64;
-        for ctx in &self.holdouts {
-            let (d, n) = self.delta_ctx(ctx, m);
+        for &(n, d) in pairs {
             max = max.max(self.inf_from_delta(d, n, 1.0).abs());
         }
         max
     }
 
-    /// Hold-out-free influence `inf(O, ∅, p, V)` — MC's conservative
-    /// pruning estimate (§6.2, Figure 6a).
-    pub fn influence_outliers_only(&self, p: &Predicate) -> Result<f64> {
+    /// Streaming (allocation-free) outlier term, for the uncached path.
+    fn outlier_term_direct(&self, m: &PredicateMatcher) -> f64 {
+        let mut sum = 0.0;
+        for ctx in &self.outliers {
+            let (d, n) = self.delta_ctx(ctx, m);
+            sum += self.inf_from_delta(d, n as f64, ctx.error);
+        }
+        sum / self.outliers.len() as f64
+    }
+
+    /// Streaming (allocation-free) hold-out term, for the uncached path.
+    fn holdout_term_direct(&self, m: &PredicateMatcher) -> f64 {
+        let mut max = 0.0f64;
+        for ctx in &self.holdouts {
+            let (d, n) = self.delta_ctx(ctx, m);
+            max = max.max(self.inf_from_delta(d, n as f64, 1.0).abs());
+        }
+        max
+    }
+
+    fn combine_terms(&self, out: f64, hold: f64) -> f64 {
+        self.params.lambda * out - (1.0 - self.params.lambda) * hold
+    }
+
+    /// Full influence `inf(O, H, p, V)` (§3.2):
+    /// `λ·(1/|O|)·Σ_o inf(o,p,v_o) − (1−λ)·max_h |inf(h,p)|`.
+    ///
+    /// With an attached [`InfluenceCache`], known predicates are scored
+    /// from their cached per-group `(n, Δ)` pairs — no matcher pass, no
+    /// `scorer_calls` increment, and a result bit-identical to the
+    /// direct computation at the current parameters. Without a cache the
+    /// terms are folded directly from the matcher, allocation-free.
+    pub fn influence(&self, p: &Predicate) -> Result<f64> {
+        let Some(cache) = &self.cache else {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            let m = p.matcher(self.table)?;
+            return Ok(
+                self.combine_terms(self.outlier_term_direct(&m), self.holdout_term_direct(&m))
+            );
+        };
+        if let Some(CachedEval { groups: Some(g), .. }) = cache.get(p) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(
+                self.combine_terms(self.outlier_term_from(&g.0), self.holdout_term_from(&g.1))
+            );
+        }
         self.calls.fetch_add(1, Ordering::Relaxed);
         let m = p.matcher(self.table)?;
-        Ok(self.params.lambda * self.outlier_term(&m))
+        let (o, h) = (self.outlier_pairs(&m), self.holdout_pairs(&m));
+        let inf = self.combine_terms(self.outlier_term_from(&o), self.holdout_term_from(&h));
+        cache.store_groups(p, Arc::new((o, h)));
+        Ok(inf)
+    }
+
+    /// Hold-out-free influence `inf(O, ∅, p, V)` — MC's conservative
+    /// pruning estimate (§6.2, Figure 6a).
+    ///
+    /// On a cache miss with an attached cache, the hold-out groups are
+    /// evaluated too so the stored entry can also answer later full
+    /// [`Scorer::influence`] calls.
+    pub fn influence_outliers_only(&self, p: &Predicate) -> Result<f64> {
+        let Some(cache) = &self.cache else {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            let m = p.matcher(self.table)?;
+            return Ok(self.params.lambda * self.outlier_term_direct(&m));
+        };
+        if let Some(CachedEval { groups: Some(g), .. }) = cache.get(p) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(self.params.lambda * self.outlier_term_from(&g.0));
+        }
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        let m = p.matcher(self.table)?;
+        let (o, h) = (self.outlier_pairs(&m), self.holdout_pairs(&m));
+        let inf = self.params.lambda * self.outlier_term_from(&o);
+        cache.store_groups(p, Arc::new((o, h)));
+        Ok(inf)
     }
 
     /// Per-tuple deltas of outlier group `g`, aligned with its rows.
@@ -326,6 +578,12 @@ impl<'a> Scorer<'a> {
     /// `inf(s) = mean_{t∈s} v·Δ(t)`, so no sub-predicate of `p` can exceed
     /// `max_{t∈p(g_O)} inf(t)`.
     pub fn max_tuple_influence(&self, p: &Predicate) -> Result<f64> {
+        if let Some(cache) = &self.cache {
+            if let Some(CachedEval { max_tuple: Some(v), .. }) = cache.get(p) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(v);
+            }
+        }
         let m = p.matcher(self.table)?;
         let mut best = f64::NEG_INFINITY;
         for (g, ctx) in self.outliers.iter().enumerate() {
@@ -338,6 +596,9 @@ impl<'a> Scorer<'a> {
                     }
                 }
             }
+        }
+        if let Some(cache) = &self.cache {
+            cache.store_max_tuple(p, best);
         }
         Ok(best)
     }

@@ -1,153 +1,115 @@
-//! Cross-`c` caching (§8.3.3).
+//! Cross-parameter caching sessions (§8.3.3, generalized).
 //!
-//! The result predicates are sensitive to `c`, so a user (or a UI slider)
-//! will re-run the same Scorpion query at several `c` values. Two
-//! observations make this cheap:
+//! The result predicates are sensitive to `c`, so a user (or a UI
+//! slider) will re-run the same Scorpion query at several `c` values.
+//! The expensive phase of every algorithm is `c`-agnostic — DT tree
+//! growth, MC unit construction, NAIVE candidate enumeration — and so is
+//! each scored predicate's per-group `(n, Δ)` evaluation. A
+//! [`ScorpionSession`] therefore wraps any [`Explainer`] engine's
+//! [`PreparedPlan`]:
 //!
-//! 1. The DT partitioner is `c`-agnostic: single-tuple influence
-//!    `v·Δ(t)/1^c` does not depend on `c`, so the partitioning (and the
-//!    per-partition statistics) can be computed once and only *re-scored*
-//!    for each new `c`.
-//! 2. The Merger is deterministic and monotone in `c`: decreasing `c`
-//!    only merges further, so a previous run at a *higher* `c` is a valid
-//!    warm start for the merge frontier.
+//! 1. The first run triggers [`Explainer::prepare`] (lazily) and pays
+//!    the full cost.
+//! 2. Every later run, at any `(λ, c)`, re-scores through the plan's
+//!    shared [`crate::InfluenceCache`] — known predicates re-score with
+//!    pure arithmetic, no matcher passes — and, for DT, warm-starts the
+//!    merge from the cached output of the nearest `c' ≥ c` (the Merger
+//!    is monotone in `c`: decreasing `c` only merges further).
 //!
-//! [`ScorpionSession`] implements both: partitions are cached after the
-//! first run, and each merge starts from the cached merged output of the
-//! nearest cached `c' ≥ c`.
+//! This is the §8.3.3 DT cache made algorithm-generic: warm cross-`c`
+//! runs now work for DT **and** MC **and** NAIVE.
 
-use crate::api::LabeledQuery;
-use crate::config::{DtConfig, InfluenceParams};
-use crate::dt::DtPartitioner;
+use crate::config::InfluenceParams;
+use crate::engine::{Explainer, PreparedPlan};
 use crate::error::Result;
-use crate::merger::Merger;
-use crate::result::{Diagnostics, Explanation, ScoredPredicate};
+use crate::request::ExplainRequest;
+use crate::result::Explanation;
 use parking_lot::Mutex;
-use scorpion_table::{domains_of, AttrDomain, OrdF64};
-use std::collections::BTreeMap;
-use std::time::Instant;
+use std::sync::Arc;
 
-struct SessionCache {
-    /// Unscored partitions (predicate + stats); influence fields hold the
-    /// score at partition-build time and are recomputed per `c`.
-    partitions: Option<Vec<ScoredPredicate>>,
-    /// Merged outputs keyed by `c`.
-    merged_by_c: BTreeMap<OrdF64, Vec<ScoredPredicate>>,
+/// A reusable Scorpion session: one request, one engine, cached
+/// preparation, cheap re-runs across parameter changes.
+pub struct ScorpionSession {
+    req: ExplainRequest,
+    engine: Box<dyn Explainer>,
+    plan: Mutex<Option<Arc<dyn PreparedPlan>>>,
 }
 
-/// A reusable Scorpion session for DT queries, caching partitioning work
-/// across changes of the `c` knob.
-pub struct ScorpionSession<'a> {
-    query: LabeledQuery<'a>,
-    lambda: f64,
-    dt_cfg: DtConfig,
-    explain_attrs: Vec<usize>,
-    domains: Vec<AttrDomain>,
-    cache: Mutex<SessionCache>,
-}
-
-impl<'a> ScorpionSession<'a> {
-    /// Creates a session. `explain_attrs = None` selects `A_rest`.
-    pub fn new(
-        query: LabeledQuery<'a>,
-        lambda: f64,
-        dt_cfg: DtConfig,
-        explain_attrs: Option<Vec<usize>>,
-    ) -> Result<Self> {
-        query.validate()?;
-        let explain_attrs = explain_attrs.unwrap_or_else(|| query.default_explain_attrs());
-        let domains = domains_of(query.table)?;
-        Ok(ScorpionSession {
-            query,
-            lambda,
-            dt_cfg,
-            explain_attrs,
-            domains,
-            cache: Mutex::new(SessionCache { partitions: None, merged_by_c: BTreeMap::new() }),
-        })
+impl ScorpionSession {
+    /// Creates a session for the request's (resolved) algorithm.
+    pub fn new(req: ExplainRequest) -> Result<Self> {
+        req.validate()?;
+        let engine = req.engine()?;
+        Ok(ScorpionSession { req, engine, plan: Mutex::new(None) })
     }
 
-    /// Runs (or re-runs) the query at the given `c`, reusing cached work.
-    pub fn run_with_c(&self, c: f64) -> Result<Explanation> {
-        let start = Instant::now();
-        let params = InfluenceParams { lambda: self.lambda, c };
-        let scorer = self.query.scorer(params, false)?;
+    /// Creates a session driven by an explicit engine (overriding the
+    /// request's algorithm choice).
+    pub fn with_engine(req: ExplainRequest, engine: Box<dyn Explainer>) -> Result<Self> {
+        req.validate()?;
+        Ok(ScorpionSession { req, engine, plan: Mutex::new(None) })
+    }
 
-        // 1. Partitions: build once, re-score per c.
-        let partitions: Vec<ScoredPredicate> = {
-            let cached = self.cache.lock().partitions.clone();
-            match cached {
-                Some(parts) => {
-                    let mut rescored = parts;
-                    for p in &mut rescored {
-                        p.influence = scorer.influence(&p.predicate)?;
-                    }
-                    rescored.sort_by(|a, b| b.influence.total_cmp(&a.influence));
-                    rescored
-                }
-                None => {
-                    let dt = DtPartitioner::new(
-                        &scorer,
-                        self.explain_attrs.clone(),
-                        self.domains.clone(),
-                        self.dt_cfg.clone(),
-                    );
-                    let (parts, _) = dt.partition()?;
-                    self.cache.lock().partitions = Some(parts.clone());
-                    parts
-                }
-            }
-        };
-        let n_partitions = partitions.len();
+    /// The underlying request.
+    pub fn request(&self) -> &ExplainRequest {
+        &self.req
+    }
 
-        // 2. Merge with warm start from the nearest cached c' ≥ c.
-        let warm: Vec<ScoredPredicate> = {
-            let cache = self.cache.lock();
-            cache.merged_by_c.range(OrdF64(c)..).next().map(|(_, v)| v.clone()).unwrap_or_default()
-        };
-        let mut input = partitions;
-        for mut sp in warm {
-            // Warm-start predicates carry stale influences; re-score.
-            sp.influence = scorer.influence(&sp.predicate)?;
-            input.push(sp);
+    /// Diagnostic name of the engine in charge.
+    pub fn algorithm(&self) -> &'static str {
+        self.engine.algorithm()
+    }
+
+    /// The session's prepared plan, preparing it on first use.
+    pub fn plan(&self) -> Result<Arc<dyn PreparedPlan>> {
+        let mut guard = self.plan.lock();
+        if let Some(p) = &*guard {
+            return Ok(p.clone());
         }
-        let merger = Merger::new(&scorer, &self.domains, self.dt_cfg.merger.clone());
-        let (merged, _) = merger.merge(input)?;
-        self.cache.lock().merged_by_c.insert(OrdF64(c), merged.clone());
-
-        Ok(Explanation {
-            predicates: merged,
-            diagnostics: Diagnostics {
-                algorithm: "dt",
-                runtime: start.elapsed(),
-                scorer_calls: scorer.scorer_calls(),
-                candidates: n_partitions as u64,
-                partitions: n_partitions,
-                budget_exhausted: false,
-            },
-        })
+        let p: Arc<dyn PreparedPlan> = Arc::from(self.engine.prepare(&self.req)?);
+        *guard = Some(p.clone());
+        Ok(p)
     }
 
-    /// True when the partitioning cache has been populated.
+    /// Runs (or re-runs) the query at the given parameters, reusing all
+    /// cached work.
+    pub fn run(&self, params: InfluenceParams) -> Result<Explanation> {
+        self.plan()?.run(&params)
+    }
+
+    /// Runs at the request's own parameters.
+    pub fn run_default(&self) -> Result<Explanation> {
+        self.run(self.req.params())
+    }
+
+    /// Runs at the given `c`, keeping the request's λ — the UI-slider
+    /// path.
+    pub fn run_with_c(&self, c: f64) -> Result<Explanation> {
+        self.run(self.req.params().with_c(c))
+    }
+
+    /// True when the preparation phase has already run.
     pub fn is_warm(&self) -> bool {
-        self.cache.lock().partitions.is_some()
+        self.plan.lock().is_some()
     }
 
-    /// Drops all cached state (used by the caching ablation).
+    /// Drops all cached state (used by the caching ablation). The next
+    /// run prepares from scratch.
     pub fn clear_cache(&self) {
-        let mut c = self.cache.lock();
-        c.partitions = None;
-        c.merged_by_c.clear();
+        *self.plan.lock() = None;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{Algorithm, DtConfig};
+    use crate::request::Scorpion;
     use scorpion_agg::Avg;
-    use scorpion_table::{group_by, Field, Grouping, Schema, Table, TableBuilder, Value};
+    use scorpion_table::{Field, Schema, Table, TableBuilder, Value};
+    use std::sync::Arc as StdArc;
 
-    fn planted() -> (Table, Grouping) {
+    fn planted() -> Table {
         let schema =
             Schema::new(vec![Field::disc("g"), Field::cont("x"), Field::cont("v")]).unwrap();
         let mut b = TableBuilder::new(schema);
@@ -157,24 +119,25 @@ mod tests {
             b.push_row(vec!["o".into(), Value::from(x), v.into()]).unwrap();
             b.push_row(vec!["h".into(), Value::from(x), Value::from(10.0)]).unwrap();
         }
-        let t = b.build();
-        let g = group_by(&t, &[0]).unwrap();
-        (t, g)
+        b.build()
+    }
+
+    fn dt_request(table: Table) -> crate::request::ExplainRequest {
+        Scorpion::on(table)
+            .group_by(&[0], StdArc::new(Avg), 2)
+            .unwrap()
+            .outlier(0, 1.0)
+            .holdout(1)
+            .params(0.5, 0.5)
+            .algorithm(Algorithm::DecisionTree(DtConfig { sampling: None, ..DtConfig::default() }))
+            .build()
+            .unwrap()
     }
 
     #[test]
     fn cached_rerun_matches_cold_run() {
-        let (t, g) = planted();
-        let q = LabeledQuery {
-            table: &t,
-            grouping: &g,
-            agg: &Avg,
-            agg_attr: 2,
-            outliers: vec![(0, 1.0)],
-            holdouts: vec![1],
-        };
-        let dt_cfg = DtConfig { sampling: None, ..DtConfig::default() };
-        let session = ScorpionSession::new(q, 0.5, dt_cfg.clone(), None).unwrap();
+        let t = planted();
+        let session = ScorpionSession::new(dt_request(t.clone())).unwrap();
         assert!(!session.is_warm());
         // Warm the cache at high c, then run at a lower c.
         let _ = session.run_with_c(0.5).unwrap();
@@ -182,36 +145,25 @@ mod tests {
         let warm = session.run_with_c(0.1).unwrap();
 
         // Cold session straight at c = 0.1.
-        let q2 = LabeledQuery {
-            table: &t,
-            grouping: &g,
-            agg: &Avg,
-            agg_attr: 2,
-            outliers: vec![(0, 1.0)],
-            holdouts: vec![1],
-        };
-        let cold_session = ScorpionSession::new(q2, 0.5, dt_cfg, None).unwrap();
+        let cold_session = ScorpionSession::new(dt_request(t)).unwrap();
         let cold = cold_session.run_with_c(0.1).unwrap();
 
         // The warm-started merge must be at least as good as the cold one
-        // (it sees a superset of the cold run's inputs).
+        // (it sees a superset of the cold run's inputs) and strictly
+        // cheaper in scorer calls.
         assert!(warm.best().influence >= cold.best().influence - 1e-9);
+        assert!(
+            warm.diagnostics.scorer_calls < cold.diagnostics.scorer_calls,
+            "warm {} vs cold {}",
+            warm.diagnostics.scorer_calls,
+            cold.diagnostics.scorer_calls
+        );
     }
 
     #[test]
     fn rescoring_partition_cache_changes_with_c() {
-        let (t, g) = planted();
-        let q = LabeledQuery {
-            table: &t,
-            grouping: &g,
-            agg: &Avg,
-            agg_attr: 2,
-            outliers: vec![(0, 1.0)],
-            holdouts: vec![1],
-        };
-        let session =
-            ScorpionSession::new(q, 0.5, DtConfig { sampling: None, ..DtConfig::default() }, None)
-                .unwrap();
+        let t = planted();
+        let session = ScorpionSession::new(dt_request(t.clone())).unwrap();
         let hi = session.run_with_c(1.0).unwrap();
         let lo = session.run_with_c(0.0).unwrap();
         // c = 0 rewards raw Δ: the chosen predicate should select at
@@ -224,21 +176,24 @@ mod tests {
 
     #[test]
     fn clear_cache_resets() {
-        let (t, g) = planted();
-        let q = LabeledQuery {
-            table: &t,
-            grouping: &g,
-            agg: &Avg,
-            agg_attr: 2,
-            outliers: vec![(0, 1.0)],
-            holdouts: vec![1],
-        };
-        let session =
-            ScorpionSession::new(q, 0.5, DtConfig { sampling: None, ..DtConfig::default() }, None)
-                .unwrap();
+        let session = ScorpionSession::new(dt_request(planted())).unwrap();
         let _ = session.run_with_c(0.3).unwrap();
         assert!(session.is_warm());
         session.clear_cache();
         assert!(!session.is_warm());
+    }
+
+    #[test]
+    fn session_resolves_auto_algorithm() {
+        let req = Scorpion::on(planted())
+            .group_by(&[0], StdArc::new(Avg), 2)
+            .unwrap()
+            .outlier(0, 1.0)
+            .holdout(1)
+            .build()
+            .unwrap();
+        let session = ScorpionSession::new(req).unwrap();
+        assert_eq!(session.algorithm(), "dt"); // AVG → DT via Auto
+        assert!(session.run_default().unwrap().best().influence.is_finite());
     }
 }

@@ -5,10 +5,9 @@
 //! (higher-`c`) run.
 
 use crate::experiments::Scale;
-use crate::harness::SynthRun;
+use crate::harness::{dt, SynthRun};
 use crate::report::{f, Report};
 use scorpion_core::session::ScorpionSession;
-use scorpion_core::DtConfig;
 use scorpion_data::synth::SynthConfig;
 
 const C_DESC: [f64; 6] = [0.5, 0.4, 0.3, 0.2, 0.1, 0.0];
@@ -23,14 +22,11 @@ pub fn run(scale: &Scale) -> Vec<Report> {
     for dims in 3..=scale.max_dims.max(3) {
         for (diff, base) in [("Easy", SynthConfig::easy(dims)), ("Hard", SynthConfig::hard(dims))] {
             let run = SynthRun::new(base.with_tuples_per_group(scale.tuples_per_group));
-            let cached =
-                ScorpionSession::new(run.query(), 0.5, DtConfig::default(), None).expect("session");
+            let cached = ScorpionSession::new(run.request(dt(), 0.5)).expect("session");
             for &c in &C_DESC {
                 let warm = cached.run_with_c(c).expect("cached run");
-                // Uncached: a fresh session per c (partitioning redone).
-                let cold_session =
-                    ScorpionSession::new(run.query(), 0.5, DtConfig::default(), None)
-                        .expect("session");
+                // Uncached: a fresh session per c (preparation redone).
+                let cold_session = ScorpionSession::new(run.request(dt(), 0.5)).expect("session");
                 let cold = cold_session.run_with_c(c).expect("uncached run");
                 r.push(vec![
                     dims.to_string(),

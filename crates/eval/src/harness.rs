@@ -5,13 +5,13 @@
 use crate::metrics::{predicate_accuracy, Accuracy};
 use scorpion_agg::{StdDev, Sum};
 use scorpion_core::{
-    explain, Algorithm, DtConfig, Explanation, InfluenceParams, LabeledQuery, McConfig,
-    NaiveConfig, ScorpionConfig,
+    Algorithm, DtConfig, ExplainRequest, Explanation, LabeledQuery, McConfig, NaiveConfig, Scorpion,
 };
 use scorpion_data::expense::ExpenseDataset;
 use scorpion_data::intel::IntelDataset;
 use scorpion_data::synth::{SynthConfig, SynthDataset};
 use scorpion_table::{group_by, Grouping, Predicate};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The SYNTH workbench: dataset + grouping + labels, ready to run any
@@ -22,6 +22,7 @@ pub struct SynthRun {
     /// Grouping of `GROUP BY Ad`.
     pub grouping: Grouping,
     outlier_union: Vec<u32>,
+    base: ExplainRequest,
 }
 
 impl SynthRun {
@@ -33,7 +34,16 @@ impl SynthRun {
         for &g in &ds.outlier_groups {
             outlier_union.extend_from_slice(grouping.rows(g));
         }
-        SynthRun { ds, grouping, outlier_union }
+        let base = Scorpion::on(ds.table.clone())
+            .query(grouping.clone(), Arc::new(Sum), ds.agg_attr())
+            .expect("synth query")
+            .outliers(ds.outlier_groups.iter().map(|&g| (g, 1.0)))
+            .holdouts(ds.holdout_groups.iter().copied())
+            .explain_attrs(ds.dim_attrs())
+            .params(0.5, 0.5)
+            .build()
+            .expect("synth request");
+        SynthRun { ds, grouping, outlier_union, base }
     }
 
     /// The labeled query: outlier groups flagged "too high" (`v = <1>`),
@@ -59,16 +69,15 @@ impl SynthRun {
         predicate_accuracy(&self.ds.table, pred, &self.outlier_union, self.ds.truth_rows(inner))
     }
 
+    /// An owned request running `algorithm` at parameter `c` (λ = 0.5,
+    /// the paper's setup). `Arc`-shares the dataset with this workbench.
+    pub fn request(&self, algorithm: Algorithm, c: f64) -> ExplainRequest {
+        self.base.with_algorithm(algorithm).with_c(c)
+    }
+
     /// Runs an algorithm at parameter `c` (λ = 0.5, the paper's setup).
     pub fn run(&self, algorithm: Algorithm, c: f64) -> Explanation {
-        let cfg = ScorpionConfig {
-            params: InfluenceParams { lambda: 0.5, c },
-            algorithm,
-            explain_attrs: Some(self.ds.dim_attrs()),
-            force_blackbox: false,
-            max_explain_attrs: None,
-        };
-        explain(&self.query(), &cfg).expect("synth explain")
+        self.request(algorithm, c).explain().expect("synth explain")
     }
 }
 
@@ -105,6 +114,7 @@ pub struct IntelRun {
     /// Grouping by hour.
     pub grouping: Grouping,
     outlier_union: Vec<u32>,
+    base: ExplainRequest,
 }
 
 impl IntelRun {
@@ -116,7 +126,16 @@ impl IntelRun {
         for &g in &ds.outlier_hours {
             outlier_union.extend_from_slice(grouping.rows(g));
         }
-        IntelRun { ds, grouping, outlier_union }
+        let base = Scorpion::on(ds.table.clone())
+            .query(grouping.clone(), Arc::new(StdDev), ds.agg_attr())
+            .expect("intel query")
+            .outliers(ds.outlier_hours.iter().map(|&g| (g, 1.0)))
+            .holdouts(ds.holdout_hours.iter().copied())
+            .explain_attrs(ds.explain_attrs())
+            .params(0.5, 0.5)
+            .build()
+            .expect("intel request");
+        IntelRun { ds, grouping, outlier_union, base }
     }
 
     /// The labeled query (outlier hours "too high").
@@ -141,16 +160,14 @@ impl IntelRun {
         predicate_accuracy(&self.ds.table, pred, &self.outlier_union, &self.ds.failing_rows)
     }
 
+    /// An owned request running `algorithm` at parameter `c`.
+    pub fn request(&self, algorithm: Algorithm, c: f64) -> ExplainRequest {
+        self.base.with_algorithm(algorithm).with_c(c)
+    }
+
     /// Runs DT at parameter `c`.
     pub fn run_dt(&self, c: f64) -> Explanation {
-        let cfg = ScorpionConfig {
-            params: InfluenceParams { lambda: 0.5, c },
-            algorithm: dt(),
-            explain_attrs: Some(self.ds.explain_attrs()),
-            force_blackbox: false,
-            max_explain_attrs: None,
-        };
-        explain(&self.query(), &cfg).expect("intel explain")
+        self.request(dt(), c).explain().expect("intel explain")
     }
 }
 
@@ -162,6 +179,7 @@ pub struct ExpenseRun {
     /// Grouping by date.
     pub grouping: Grouping,
     outlier_union: Vec<u32>,
+    base: ExplainRequest,
 }
 
 impl ExpenseRun {
@@ -173,7 +191,16 @@ impl ExpenseRun {
         for &g in &ds.outlier_days {
             outlier_union.extend_from_slice(grouping.rows(g));
         }
-        ExpenseRun { ds, grouping, outlier_union }
+        let base = Scorpion::on(ds.table.clone())
+            .query(grouping.clone(), Arc::new(Sum), ds.agg_attr())
+            .expect("expense query")
+            .outliers(ds.outlier_days.iter().map(|&g| (g, 1.0)))
+            .holdouts(ds.holdout_days.iter().copied())
+            .explain_attrs(ds.explain_attrs())
+            .params(0.5, 0.5)
+            .build()
+            .expect("expense request");
+        ExpenseRun { ds, grouping, outlier_union, base }
     }
 
     /// The labeled query (spike days "too high").
@@ -198,16 +225,14 @@ impl ExpenseRun {
         predicate_accuracy(&self.ds.table, pred, &self.outlier_union, &self.ds.big_expense_rows)
     }
 
+    /// An owned request running `algorithm` at parameter `c`.
+    pub fn request(&self, algorithm: Algorithm, c: f64) -> ExplainRequest {
+        self.base.with_algorithm(algorithm).with_c(c)
+    }
+
     /// Runs MC (the paper's choice: SUM over positive amounts) at `c`.
     pub fn run_mc(&self, c: f64) -> Explanation {
-        let cfg = ScorpionConfig {
-            params: InfluenceParams { lambda: 0.5, c },
-            algorithm: mc(),
-            explain_attrs: Some(self.ds.explain_attrs()),
-            force_blackbox: false,
-            max_explain_attrs: None,
-        };
-        explain(&self.query(), &cfg).expect("expense explain")
+        self.request(mc(), c).explain().expect("expense explain")
     }
 }
 

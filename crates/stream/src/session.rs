@@ -1,20 +1,25 @@
 //! Warm-started continuous explanation.
 //!
-//! The offline engine caches DT partitions across the `c` knob
-//! (§8.3.3) because single-tuple influence is `c`-agnostic. The same
-//! partitions are *time*-agnostic too, as long as the window slide does
-//! not touch the rows they were grown from: the DT trees are built from
-//! the outlier groups' tuples (plus hold-out carving), so a slide that
-//! only adds/drops chunks of *other* groups leaves the partition
-//! geometry valid. [`ContinuousSession`] exploits this by keying the
-//! partition cache on a **chunk signature** — the set of live chunk ids
-//! contributing rows to each flagged outlier group. While the signature
-//! is stable, re-explanation skips tree growth entirely: cached
-//! partitions are re-scored against the current window (hold-out
-//! penalties included, so scores stay exact) and re-merged. When the
-//! signature changes — the anomaly grew, shrank, or slid out — the cache
-//! is invalidated for a cold rebuild, which is itself warm-started by
-//! seeding the Merger with the previous window's merged predicates.
+//! The offline engine splits every algorithm into an expensive,
+//! `c`-agnostic `prepare` and a cheap `run`
+//! ([`scorpion_core::engine::Explainer`] / [`PreparedPlan`], §8.3.3
+//! generalized). The prepared artifacts are *time*-agnostic too, as
+//! long as the window slide does not touch the rows they were grown
+//! from: the DT trees are built from the outlier groups' tuples (plus
+//! hold-out carving), so a slide that only adds/drops chunks of *other*
+//! groups leaves the partition geometry valid. [`ContinuousSession`]
+//! exploits this by keying a cache of **prepared plans** on a **chunk
+//! signature** — the set of live chunk ids contributing rows to each
+//! flagged outlier group. While the signature is stable, re-explanation
+//! skips tree growth entirely: the cached plan is
+//! [`PreparedPlan::rebind`]-ed onto the new window state (geometry and
+//! merge seeds survive; the influence cache, whose entries the new data
+//! invalidated, is dropped) and re-run — cached partitions are
+//! re-scored against the current window (hold-out penalties included,
+//! so scores stay exact) and re-merged. When the signature changes —
+//! the anomaly grew, shrank, or slid out — the session prepares cold,
+//! which is itself warm-started by absorbing the previous plan's merge
+//! seeds.
 //!
 //! The signature also covers the discrete explain attributes'
 //! *dictionaries*: set clauses store dictionary codes, and codes are
@@ -26,25 +31,23 @@
 //! changes which boundaries §6.1.4 would carve, so warm partitions can
 //! be coarser around new hold-out structure than a cold rebuild's.
 //! Influence scores are always exact; only candidate geometry ages.
-//! Warm merges always run exact (cached per-partition stats are
-//! dropped): the §6.3 cached-tuple approximation is steered by
-//! statistics frozen at build time, and on re-explanation workloads it
-//! proved both slower and less precise than exact re-scoring — it
+//! Warm merges always run exact (`rebind` drops the cached
+//! per-partition stats): the §6.3 cached-tuple approximation is steered
+//! by statistics frozen at build time, and on re-explanation workloads
+//! it proved both slower and less precise than exact re-scoring — it
 //! remains active only inside cold builds.
 
 use crate::detector::{Detection, DetectorConfig, OutlierDetector};
 use crate::error::{Result, StreamError};
 use crate::window::SlidingWindow;
 use parking_lot::Mutex;
-use scorpion_core::dt::DtPartitioner;
-use scorpion_core::merger::Merger;
-use scorpion_core::{
-    Diagnostics, DtConfig, Explanation, InfluenceParams, LabeledQuery, ScoredPredicate,
-};
-use scorpion_table::{domains_of, Grouping, Predicate, Table};
+use scorpion_core::engine::{DtEngine, Explainer, PreparedPlan};
+use scorpion_core::{DtConfig, ExplainRequest, Explanation, InfluenceParams};
+use scorpion_table::{Grouping, Table};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Knobs of the continuous explanation pipeline.
@@ -78,9 +81,9 @@ impl Default for ContinuousConfig {
 /// A self-contained explanation of one flagged window state.
 pub struct StreamExplanation {
     /// The materialized window relation.
-    pub table: Table,
+    pub table: Arc<Table>,
     /// Its group-by provenance.
-    pub grouping: Grouping,
+    pub grouping: Arc<Grouping>,
     /// What the detector flagged.
     pub detection: Detection,
     /// Outlier result indices into [`StreamExplanation::grouping`].
@@ -89,7 +92,7 @@ pub struct StreamExplanation {
     pub holdouts: Vec<usize>,
     /// The ranked predicates plus diagnostics.
     pub explanation: Explanation,
-    /// True when the partition cache was reused (no tree growth).
+    /// True when the cached plan was reused (no tree growth).
     pub warm: bool,
 }
 
@@ -103,15 +106,15 @@ impl StreamExplanation {
 /// Cache hit/miss counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SessionStats {
-    /// Explanations served from cached partitions.
+    /// Explanations served from a rebound cached plan.
     pub warm_runs: u64,
-    /// Explanations that grew trees from scratch.
+    /// Explanations that prepared (grew trees) from scratch.
     pub cold_runs: u64,
 }
 
 struct SessionCache {
-    /// Chunk signature of the outlier groups the partitions were grown
-    /// from.
+    /// Chunk signature of the outlier groups the cached plan was
+    /// prepared from.
     outlier_sig: Option<u64>,
     /// Signature of the explain attributes' dictionaries at cache time.
     /// Discrete clauses store dictionary *codes*, and codes are assigned
@@ -120,10 +123,8 @@ struct SessionCache {
     /// changing what a cached predicate means. Any mismatch forces a
     /// cold rebuild and discards merge seeds.
     dict_sig: Option<u64>,
-    partitions: Vec<ScoredPredicate>,
-    /// Previous merged output; seeds the next merge (monotone warm
-    /// start, as in the offline session's cross-`c` cache).
-    last_merged: Vec<Predicate>,
+    /// The prepared plan of the last explained window state.
+    plan: Option<Arc<dyn PreparedPlan>>,
     stats: SessionStats,
 }
 
@@ -131,6 +132,7 @@ struct SessionCache {
 pub struct ContinuousSession {
     cfg: ContinuousConfig,
     detector: OutlierDetector,
+    engine: DtEngine,
     cache: Mutex<SessionCache>,
 }
 
@@ -138,23 +140,24 @@ impl ContinuousSession {
     /// Creates a session.
     pub fn new(cfg: ContinuousConfig) -> Self {
         let detector = OutlierDetector::new(cfg.detector.clone());
+        let engine = DtEngine::new(cfg.dt.clone());
         ContinuousSession {
             cfg,
             detector,
+            engine,
             cache: Mutex::new(SessionCache {
                 outlier_sig: None,
                 dict_sig: None,
-                partitions: Vec::new(),
-                last_merged: Vec::new(),
+                plan: None,
                 stats: SessionStats::default(),
             }),
         }
     }
 
     /// True when a subsequent [`ContinuousSession::explain`] against an
-    /// unchanged outlier signature would reuse cached partitions.
+    /// unchanged outlier signature would reuse the cached plan.
     pub fn is_warm(&self) -> bool {
-        self.cache.lock().outlier_sig.is_some()
+        self.cache.lock().plan.is_some()
     }
 
     /// Cache hit/miss counters so far.
@@ -167,8 +170,7 @@ impl ContinuousSession {
         let mut c = self.cache.lock();
         c.outlier_sig = None;
         c.dict_sig = None;
-        c.partitions.clear();
-        c.last_merged.clear();
+        c.plan = None;
     }
 
     /// Detects outliers in the window's live series and, when something
@@ -180,6 +182,7 @@ impl ContinuousSession {
         };
         let start = Instant::now();
         let (table, grouping) = window.materialize()?;
+        let (table, grouping) = (Arc::new(table), Arc::new(grouping));
 
         // Map detected keys to result indices of the materialized
         // grouping.
@@ -199,110 +202,61 @@ impl ContinuousSession {
             }
         }
 
-        let agg = window.aggregate().clone();
-        let query = LabeledQuery {
-            table: &table,
-            grouping: &grouping,
-            agg: agg.as_ref(),
-            agg_attr: window.config().agg_attr,
-            outliers: outliers.clone(),
-            holdouts: holdouts.clone(),
-        };
-        let attrs = match &self.cfg.explain_attrs {
-            Some(a) => a.clone(),
-            None => query.default_explain_attrs(),
-        };
-        if attrs.is_empty() {
-            return Err(StreamError::Engine(scorpion_core::ScorpionError::NoExplainAttributes));
-        }
+        let params = InfluenceParams { lambda: self.cfg.lambda, c: self.cfg.c };
+        let req = ExplainRequest::from_parts(
+            table.clone(),
+            grouping.clone(),
+            window.aggregate().clone(),
+            window.config().agg_attr,
+            outliers.clone(),
+            holdouts.clone(),
+        )?
+        .with_params(params)
+        .with_explain_attrs(self.cfg.explain_attrs.clone());
+        let attrs = req.resolved_attrs()?;
 
         let outlier_sig = self.outlier_signature(window, &detection, &attrs);
         let dict_sig = dictionary_signature(&table, &attrs);
 
-        let (explanation, warm) = {
-            let scorer =
-                query.scorer(InfluenceParams { lambda: self.cfg.lambda, c: self.cfg.c }, false)?;
-            let domains = domains_of(&table)?;
-
-            // Partitions: reuse while the outlier groups' chunks (and
-            // the discrete dictionaries cached predicates are encoded
-            // against) are untouched; otherwise grow cold.
-            let (mut input, warm, seeds) = {
-                let cache = self.cache.lock();
-                let dict_ok = cache.dict_sig == Some(dict_sig);
-                let warm = dict_ok
-                    && cache.outlier_sig == Some(outlier_sig)
-                    && !cache.partitions.is_empty();
-                let input = if warm { cache.partitions.clone() } else { Vec::new() };
-                // Seed the merge with the previous window's merged
-                // output (re-scored exactly below) — but never across a
-                // dictionary change, where the cached codes would mean
-                // different values.
-                let seeds: Vec<Predicate> =
-                    if dict_ok { cache.last_merged.clone() } else { Vec::new() };
-                (input, warm, seeds)
-            };
-            if warm {
-                for sp in &mut input {
-                    sp.influence = scorer.influence(&sp.predicate)?;
-                    // Warm merges run exact: the cached per-partition
-                    // stats describe the window the partitions were
-                    // built from, and the §6.3 cached-tuple
-                    // approximation steered by aging stats proved both
-                    // slower and less precise than exact re-scoring on
-                    // re-explanation workloads (see stream_throughput).
-                    sp.stats = None;
-                }
-                input.sort_by(|a, b| b.influence.total_cmp(&a.influence));
-            } else {
-                let dt = DtPartitioner::new(
-                    &scorer,
-                    attrs.clone(),
-                    domains.clone(),
-                    self.cfg.dt.clone(),
-                );
-                let (parts, _) = dt.partition()?;
-                let mut cache = self.cache.lock();
-                cache.partitions = parts.clone();
-                cache.outlier_sig = Some(outlier_sig);
-                cache.dict_sig = Some(dict_sig);
-                input = parts;
-            }
-            let n_partitions = input.len();
-
-            for pred in seeds {
-                let influence = scorer.influence(&pred)?;
-                input.push(ScoredPredicate::new(pred, influence));
-            }
-
-            let merger = Merger::new(&scorer, &domains, self.cfg.dt.merger.clone());
-            let (mut merged, _) = merger.merge(input)?;
-            if merged.is_empty() {
-                merged.push(ScoredPredicate::new(Predicate::all(), 0.0));
-            }
-            {
-                let mut cache = self.cache.lock();
-                cache.last_merged = merged.iter().take(8).map(|sp| sp.predicate.clone()).collect();
-                if warm {
-                    cache.stats.warm_runs += 1;
-                } else {
-                    cache.stats.cold_runs += 1;
-                }
-            }
-
-            let explanation = Explanation {
-                predicates: merged,
-                diagnostics: Diagnostics {
-                    algorithm: "dt-stream",
-                    runtime: start.elapsed(),
-                    scorer_calls: scorer.scorer_calls(),
-                    candidates: n_partitions as u64,
-                    partitions: n_partitions,
-                    budget_exhausted: false,
-                },
-            };
-            (explanation, warm)
+        // Reuse the cached plan while the outlier groups' chunks (and
+        // the discrete dictionaries cached predicates are encoded
+        // against) are untouched; otherwise prepare cold, seeded with
+        // the previous plan's merged predicates when the dictionaries
+        // still agree.
+        let (cached_plan, dict_ok, warm) = {
+            let cache = self.cache.lock();
+            let dict_ok = cache.dict_sig == Some(dict_sig);
+            let warm = dict_ok && cache.outlier_sig == Some(outlier_sig) && cache.plan.is_some();
+            (cache.plan.clone(), dict_ok, warm)
         };
+        let plan: Arc<dyn PreparedPlan> = if warm {
+            let prev = cached_plan.as_ref().expect("warm implies a cached plan");
+            Arc::from(prev.rebind(&req)?)
+        } else {
+            let fresh: Arc<dyn PreparedPlan> = Arc::from(self.engine.prepare(&req)?);
+            if dict_ok {
+                if let Some(prev) = &cached_plan {
+                    fresh.absorb_seeds(prev.seeds());
+                }
+            }
+            fresh
+        };
+
+        let mut explanation = plan.run(&params)?;
+        explanation.diagnostics.algorithm = "dt-stream";
+        explanation.diagnostics.runtime = start.elapsed();
+
+        {
+            let mut cache = self.cache.lock();
+            cache.plan = Some(plan);
+            cache.outlier_sig = Some(outlier_sig);
+            cache.dict_sig = Some(dict_sig);
+            if warm {
+                cache.stats.warm_runs += 1;
+            } else {
+                cache.stats.cold_runs += 1;
+            }
+        }
 
         Ok(Some(StreamExplanation {
             table,
@@ -315,10 +269,9 @@ impl ContinuousSession {
         }))
     }
 
-    /// Hash of everything the cached partition geometry depends on
-    /// (apart from discrete dictionaries, tracked by
-    /// [`dictionary_signature`]): the
-    /// flagged groups, the live chunks backing each of them, the
+    /// Hash of everything the cached plan's geometry depends on (apart
+    /// from discrete dictionaries, tracked by [`dictionary_signature`]):
+    /// the flagged groups, the live chunks backing each of them, the
     /// explanation attributes, the aggregate, and λ. Deliberately
     /// excludes `c` (single-tuple influence is `c`-agnostic, §8.3.3) and
     /// the hold-out set (a stale hold-out set only ages candidate
@@ -434,7 +387,7 @@ mod tests {
     }
 
     #[test]
-    fn unchanged_signature_reuses_partitions() {
+    fn unchanged_signature_reuses_plan() {
         let mut w = build_window(12, 8..10);
         let s = session();
         let first = s.explain(&w).unwrap().expect("detection");
@@ -470,7 +423,7 @@ mod tests {
         // Hour 0 carries a sensor ("zz") that appears first in the
         // window and nowhere else. Evicting it renumbers every other
         // sensor's dictionary code in the next materialization, so
-        // cached partitions (which store codes) must not be reused even
+        // cached plans (which store codes) must not be reused even
         // though the outlier hours' chunks are untouched.
         let cfg = StreamConfig::new(feed_schema(), 0, 2, 12).unwrap();
         let mut w = SlidingWindow::new(cfg, aggregate_by_name("avg").unwrap());
@@ -511,6 +464,23 @@ mod tests {
         assert!(!s.is_warm());
         let again = s.explain(&w).unwrap().expect("detection");
         assert!(!again.warm);
+    }
+
+    #[test]
+    fn warm_run_reuses_partition_geometry() {
+        // Warm runs skip tree growth: the rebound plan re-scores the
+        // *same* partitions (exactly, against the new window) instead of
+        // growing new ones, so the candidate geometry is identical.
+        let mut w = build_window(12, 8..10);
+        let s = session();
+        let cold = s.explain(&w).unwrap().expect("detection");
+        w.push_chunk(hour_chunk(12, false)).unwrap();
+        let warm = s.explain(&w).unwrap().expect("detection");
+        assert!(warm.warm);
+        assert_eq!(
+            warm.explanation.diagnostics.partitions, cold.explanation.diagnostics.partitions,
+            "rebinding must carry the partition set over unchanged"
+        );
     }
 
     #[test]

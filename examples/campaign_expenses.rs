@@ -4,7 +4,9 @@
 //! $10M+ spike days, and lets MC (SUM is independent + anti-monotonic on
 //! positive amounts) explain where the money went. Sweeping `c` shows
 //! the paper's reported behavior: a 4-clause GMMB INC. explanation at
-//! high `c` that widens as `c` drops.
+//! high `c` that widens as `c` drops. The sweep runs through one MC
+//! session — the unit grid is built once and every previously scored
+//! candidate re-scores from the cross-`c` influence cache.
 //!
 //! ```text
 //! cargo run --release --example campaign_expenses
@@ -12,39 +14,38 @@
 
 use scorpion::data::expense::{self, ExpenseConfig};
 use scorpion::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     let ds = expense::generate(ExpenseConfig::default());
-    let grouping = group_by(&ds.table, &[ds.group_attr()]).expect("group by date");
-    let sums = aggregate_groups(&ds.table, &grouping, ds.agg_attr(), |v| v.iter().sum::<f64>())
-        .expect("sum");
+
+    let builder = Scorpion::on(ds.table.clone())
+        .group_by(&[ds.group_attr()], Arc::new(Sum), ds.agg_attr())
+        .expect("group by date");
 
     println!("Per-day SUM(disb_amt): typical vs spike days");
+    let sums = builder.results();
     let typical: f64 =
         ds.holdout_days.iter().map(|&d| sums[d]).sum::<f64>() / ds.holdout_days.len() as f64;
     println!("  typical day  ≈ ${typical:>12.0}");
     for &d in &ds.outlier_days {
-        println!("  {}    ${:>12.0}  ← outlier", grouping.display_key(&ds.table, d), sums[d]);
+        println!("  {}    ${:>12.0}  ← outlier", builder.display_key(d), sums[d]);
     }
 
-    let query = LabeledQuery {
-        table: &ds.table,
-        grouping: &grouping,
-        agg: &Sum,
-        agg_attr: ds.agg_attr(),
-        outliers: ds.outlier_days.iter().map(|&d| (d, 1.0)).collect(),
-        holdouts: ds.holdout_days.clone(),
-    };
+    let request = builder
+        .outliers(ds.outlier_days.iter().map(|&d| (d, 1.0)))
+        .holdouts(ds.holdout_days.iter().copied())
+        .explain_attrs(ds.explain_attrs())
+        .algorithm(Algorithm::BottomUp(McConfig::default()))
+        .params(0.5, 1.0)
+        .build()
+        .expect("labels");
+    let session = ScorpionSession::new(request).expect("session");
 
     println!("\nMC explanations by c (λ = 0.5):");
     let amounts = ds.table.num(ds.agg_attr()).expect("amounts");
     for c in [1.0, 0.5, 0.2, 0.1, 0.0] {
-        let cfg = ScorpionConfig {
-            params: InfluenceParams { lambda: 0.5, c },
-            explain_attrs: Some(ds.explain_attrs()),
-            ..ScorpionConfig::default()
-        };
-        let ex = explain(&query, &cfg).expect("explain");
+        let ex = session.run_with_c(c).expect("explain");
         let best = ex.best();
         let all_rows: Vec<u32> = (0..ds.table.len() as u32).collect();
         let sel = best.predicate.select(&ds.table, &all_rows).expect("select");
@@ -54,9 +55,10 @@ fn main() {
             sel.iter().map(|&r| amounts[r as usize]).sum::<f64>() / sel.len() as f64
         };
         println!(
-            "  c = {c:<4} [{}] {} rows, avg ${avg:.0}\n           {}",
+            "  c = {c:<4} [{}] {} rows, avg ${avg:.0}, {} cache hits\n           {}",
             ex.diagnostics.algorithm,
             sel.len(),
+            ex.diagnostics.cache_hits,
             best.predicate.display(&ds.table)
         );
     }

@@ -1,8 +1,10 @@
 //! Quickstart: the paper's running example (§2, Tables 1 & 2).
 //!
-//! Builds the 9-row sensor table, runs `SELECT avg(temp) GROUP BY time`,
-//! labels the 12PM and 1PM averages as "too high" with 11AM as the
-//! hold-out, and asks Scorpion why.
+//! Builds the 9-row sensor table, runs `SELECT avg(temp) GROUP BY time`
+//! through the `Scorpion` builder, labels the 12PM and 1PM averages as
+//! "too high" with 11AM as the hold-out, and asks Scorpion why — once
+//! per `c`, through a session so only the first run pays for
+//! partitioning.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -35,35 +37,32 @@ fn main() {
     for (t, s, v, h, temp) in rows {
         b.push_row(vec![t.into(), s.into(), v.into(), h.into(), temp.into()]).expect("row");
     }
-    let table = b.build();
 
     // Q1: SELECT avg(temp), time FROM sensors GROUP BY time.
-    let grouping = group_by(&table, &[0]).expect("group by time");
-    let avgs = aggregate_groups(&table, &grouping, 4, |v| v.iter().sum::<f64>() / v.len() as f64)
-        .expect("avg");
+    let builder = Scorpion::on(b.build())
+        .sql("SELECT avg(temp), time FROM sensors GROUP BY time")
+        .expect("query");
     println!("Query results (Table 2):");
-    #[allow(clippy::needless_range_loop)]
-    for i in 0..grouping.len() {
-        println!("  α{} {}  AVG(temp) = {:.1}", i + 1, grouping.display_key(&table, i), avgs[i]);
+    for (i, avg) in builder.results().iter().enumerate() {
+        println!("  α{} {}  AVG(temp) = {avg:.1}", i + 1, builder.display_key(i));
     }
 
     // The analyst flags α2 (12PM) and α3 (1PM) as too high, α1 as normal.
-    let query = LabeledQuery {
-        table: &table,
-        grouping: &grouping,
-        agg: &Avg,
-        agg_attr: 4,
-        outliers: vec![(1, 1.0), (2, 1.0)],
-        holdouts: vec![0],
-    };
+    let request = builder
+        .outlier(1, 1.0)
+        .outlier(2, 1.0)
+        .holdout(0)
+        .params(0.5, 1.0)
+        .build()
+        .expect("labels");
+    let table = request.table().clone();
+    let grouping = request.grouping().clone();
 
+    // One session: the DT partitioning runs once, each `c` re-scores.
+    let session = ScorpionSession::new(request).expect("session");
     println!("\nScorpion explanations by c (λ = 0.5):");
     for c in [1.0, 0.5, 0.0] {
-        let cfg = ScorpionConfig {
-            params: InfluenceParams { lambda: 0.5, c },
-            ..ScorpionConfig::default()
-        };
-        let ex = explain(&query, &cfg).expect("explain");
+        let ex = session.run_with_c(c).expect("explain");
         let best = ex.best();
         println!(
             "  c = {c:<4}  [{}]  inf = {:+.3}  {}",

@@ -3,7 +3,9 @@
 //! Simulates the Intel Lab deployment with (1) a dying sensor and (2) a
 //! battery-drained sensor, runs `STDDEV(temp) GROUP BY hour`, labels the
 //! failure hours as outliers, and shows how the explanation sharpens as
-//! `c` grows — from `sensorid = 15` to the voltage/light signature.
+//! `c` grows — from `sensorid = 15` to the voltage/light signature. All
+//! `c` values run through one session, so the DT partitioning happens
+//! once per workload.
 //!
 //! ```text
 //! cargo run --release --example sensor_outage
@@ -11,6 +13,7 @@
 
 use scorpion::data::intel::{self, IntelConfig};
 use scorpion::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     for (title, cfg) in [
@@ -20,15 +23,13 @@ fn main() {
         println!("== {title} ==");
         let mode = cfg.failure;
         let ds = intel::generate(cfg);
-        let grouping = group_by(&ds.table, &[ds.group_attr()]).expect("group by hour");
+
+        let builder = Scorpion::on(ds.table.clone())
+            .group_by(&[ds.group_attr()], Arc::new(StdDev), ds.agg_attr())
+            .expect("group by hour");
 
         // Show the user's view: STDDEV(temp) per hour.
-        let sds = aggregate_groups(&ds.table, &grouping, ds.agg_attr(), |v| {
-            let n = v.len() as f64;
-            let m = v.iter().sum::<f64>() / n;
-            (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n).sqrt()
-        })
-        .expect("stddev");
+        let sds = builder.results();
         let peak = sds.iter().cloned().fold(0.0, f64::max);
         let normal = sds
             .iter()
@@ -38,22 +39,17 @@ fn main() {
             .fold(0.0, f64::max);
         println!("  STDDEV(temp): normal hours peak {normal:.1}, failure hours peak {peak:.1}");
 
-        let query = LabeledQuery {
-            table: &ds.table,
-            grouping: &grouping,
-            agg: &StdDev,
-            agg_attr: ds.agg_attr(),
-            outliers: ds.outlier_hours.iter().map(|&h| (h, 1.0)).collect(),
-            holdouts: ds.holdout_hours.clone(),
-        };
+        let request = builder
+            .outliers(ds.outlier_hours.iter().map(|&h| (h, 1.0)))
+            .holdouts(ds.holdout_hours.iter().copied())
+            .explain_attrs(ds.explain_attrs())
+            .params(0.5, 0.5)
+            .build()
+            .expect("labels");
 
+        let session = ScorpionSession::new(request).expect("session");
         for c in [0.1, 0.5, 1.0] {
-            let cfg = ScorpionConfig {
-                params: InfluenceParams { lambda: 0.5, c },
-                explain_attrs: Some(ds.explain_attrs()),
-                ..ScorpionConfig::default()
-            };
-            let ex = explain(&query, &cfg).expect("explain");
+            let ex = session.run_with_c(c).expect("explain");
             println!(
                 "  c = {c:<4} [{}] {}",
                 ex.diagnostics.algorithm,

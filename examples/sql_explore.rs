@@ -6,7 +6,6 @@
 //! cargo run --release --example sql_explore
 //! ```
 
-use scorpion::core::PreparedQuery;
 use scorpion::prelude::*;
 use scorpion::table::csv::parse_csv_with_schema;
 
@@ -36,28 +35,41 @@ time,sensorid,voltage,temp
 
     // The analyst's query, verbatim SQL.
     let sql = "SELECT avg(temp), time FROM sensors GROUP BY time";
-    let q = PreparedQuery::new(&table, sql).expect("query");
+    let builder = Scorpion::on(table).sql(sql).expect("query");
     println!("{sql}");
-    for (i, v) in q.results.iter().enumerate() {
-        println!("  {}  ->  {v:.1}", q.grouping.display_key(&q.table, i));
+    for (i, v) in builder.results().iter().enumerate() {
+        println!("  {}  ->  {v:.1}", builder.display_key(i));
     }
 
     // Auto-label the most deviant result(s); a UI would take clicks.
-    let (outliers, holdouts) = q.label_extremes(2);
-    println!("\nauto-labeled outliers: {outliers:?}, hold-outs: {holdouts:?}");
+    let request = builder.auto_label(2).build().expect("labels");
+    println!(
+        "\nauto-labeled outliers: {:?}, hold-outs: {:?}",
+        request.outliers(),
+        request.holdouts()
+    );
 
-    let labeled = q.labeled(outliers, holdouts);
-    let ex = explain(&labeled, &ScorpionConfig::default()).expect("explain");
+    let ex = request.explain().expect("explain");
     println!(
         "\nbest explanation [{}]: {}",
         ex.diagnostics.algorithm,
-        ex.best().predicate.display(&q.table)
+        ex.best().predicate.display(request.table())
     );
 
     // §4.1: plot the updated output with the explanation removed.
-    let preview = ex.preview(&q.table, &q.grouping, q.agg.as_ref(), q.agg_attr).expect("preview");
+    let preview = ex
+        .preview(
+            request.table(),
+            request.grouping(),
+            request.aggregate().as_ref(),
+            request.agg_attr(),
+        )
+        .expect("preview");
     println!("\nupdated series after deletion:");
     for (i, (before, after)) in preview.iter().enumerate() {
-        println!("  {}  {before:.1} -> {after:.1}", q.grouping.display_key(&q.table, i));
+        println!(
+            "  {}  {before:.1} -> {after:.1}",
+            request.grouping().display_key(request.table(), i)
+        );
     }
 }

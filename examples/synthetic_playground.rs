@@ -4,7 +4,8 @@
 //! Generates SYNTH-2D-Hard, runs NAIVE / DT / MC over a grid of `c`
 //! values, and prints each algorithm's predicate with precision / recall
 //! / F-score against the planted outer cube — a miniature of Figures
-//! 9–12.
+//! 9–12. Each algorithm sweeps its `c` grid through one session, so the
+//! expensive preparation phase runs once per algorithm.
 //!
 //! ```text
 //! cargo run --release --example synthetic_playground
@@ -13,27 +14,28 @@
 use scorpion::data::synth::{self, SynthConfig};
 use scorpion::eval::predicate_accuracy;
 use scorpion::prelude::*;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
     let ds = synth::generate(SynthConfig::hard(2));
-    let grouping = group_by(&ds.table, &[ds.group_attr()]).expect("group by Ad");
     println!(
         "SYNTH-2D-Hard: outer cube {}, inner cube {}",
         ds.truth_predicate(false).display(&ds.table),
         ds.truth_predicate(true).display(&ds.table),
     );
 
-    let query = LabeledQuery {
-        table: &ds.table,
-        grouping: &grouping,
-        agg: &Sum,
-        agg_attr: ds.agg_attr(),
-        outliers: ds.outlier_groups.iter().map(|&g| (g, 1.0)).collect(),
-        holdouts: ds.holdout_groups.clone(),
-    };
+    let base = Scorpion::on(ds.table.clone())
+        .group_by(&[ds.group_attr()], Arc::new(Sum), ds.agg_attr())
+        .expect("group by Ad")
+        .outliers(ds.outlier_groups.iter().map(|&g| (g, 1.0)))
+        .holdouts(ds.holdout_groups.iter().copied())
+        .explain_attrs(ds.dim_attrs())
+        .params(0.5, 0.5)
+        .build()
+        .expect("labels");
     let outlier_rows: Vec<u32> =
-        ds.outlier_groups.iter().flat_map(|&g| grouping.rows(g).iter().copied()).collect();
+        ds.outlier_groups.iter().flat_map(|&g| base.grouping().rows(g).iter().copied()).collect();
 
     let algos: [(&str, Algorithm); 3] = [
         ("DT", Algorithm::DecisionTree(DtConfig::default())),
@@ -52,15 +54,9 @@ fn main() {
         "algo", "c", "P", "R", "F", "time(s)"
     );
     for (name, algo) in &algos {
+        let session = ScorpionSession::new(base.with_algorithm(algo.clone())).expect("session");
         for c in [0.0, 0.1, 0.3, 0.5] {
-            let cfg = ScorpionConfig {
-                params: InfluenceParams { lambda: 0.5, c },
-                algorithm: algo.clone(),
-                explain_attrs: Some(ds.dim_attrs()),
-                force_blackbox: false,
-                max_explain_attrs: None,
-            };
-            let ex = explain(&query, &cfg).expect("explain");
+            let ex = session.run_with_c(c).expect("explain");
             let best = ex.best();
             let acc =
                 predicate_accuracy(&ds.table, &best.predicate, &outlier_rows, ds.truth_rows(false));

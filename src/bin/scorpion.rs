@@ -12,7 +12,6 @@
 //!
 //! Without `--outliers`, the most deviant results are auto-labeled.
 
-use scorpion::core::PreparedQuery;
 use scorpion::prelude::*;
 use std::process::exit;
 
@@ -107,10 +106,6 @@ fn parse_args() -> Args {
     args
 }
 
-fn key_index(q: &PreparedQuery, key: &str) -> Option<usize> {
-    (0..q.grouping.len()).find(|&i| q.grouping.display_key(&q.table, i) == key)
-}
-
 fn main() {
     let args = parse_args();
     let table = match scorpion::table::csv::load_csv(std::path::Path::new(&args.csv)) {
@@ -120,8 +115,8 @@ fn main() {
             exit(1)
         }
     };
-    let q = match PreparedQuery::new(&table, &args.sql) {
-        Ok(q) => q,
+    let builder = match Scorpion::on(table).sql(&args.sql) {
+        Ok(b) => b,
         Err(e) => {
             eprintln!("query failed: {e}");
             exit(1)
@@ -129,50 +124,48 @@ fn main() {
     };
 
     println!("{}", args.sql.trim());
-    for (i, v) in q.results.iter().enumerate() {
-        println!("  {:<16} {v:.3}", q.grouping.display_key(&q.table, i));
+    for (i, v) in builder.results().iter().enumerate() {
+        println!("  {:<16} {v:.3}", builder.display_key(i));
     }
 
-    let (outliers, holdouts) = if args.outliers.is_empty() {
-        let (o, h) = q.label_extremes(2);
+    let builder = if args.outliers.is_empty() {
+        let builder = builder.auto_label(2);
         println!(
             "\nauto-labeled outliers: {}",
-            o.iter()
-                .map(|&(i, _)| q.grouping.display_key(&q.table, i))
+            builder
+                .outlier_labels()
+                .iter()
+                .map(|&(i, _)| builder.display_key(i))
                 .collect::<Vec<_>>()
                 .join(", ")
         );
-        (o, h)
+        builder
     } else {
+        let key_index = |b: &RequestBuilder, k: &str| {
+            b.index_of_key(k).unwrap_or_else(|| {
+                eprintln!("unknown result key `{k}`");
+                exit(1)
+            })
+        };
         let mut o = Vec::new();
         for k in &args.outliers {
-            match key_index(&q, k) {
-                Some(i) => o.push((i, args.direction)),
-                None => {
-                    eprintln!("unknown result key `{k}`");
-                    exit(1)
-                }
-            }
+            o.push((key_index(&builder, k), args.direction));
         }
         let mut h = Vec::new();
         for k in &args.holdouts {
-            match key_index(&q, k) {
-                Some(i) => h.push(i),
-                None => {
-                    eprintln!("unknown result key `{k}`");
-                    exit(1)
-                }
-            }
+            h.push(key_index(&builder, k));
         }
-        (o, h)
+        builder.outliers(o).holdouts(h)
     };
 
-    let labeled = q.labeled(outliers, holdouts);
-    let cfg = ScorpionConfig {
-        params: InfluenceParams { lambda: args.lambda, c: args.c },
-        ..ScorpionConfig::default()
+    let request = match builder.params(args.lambda, args.c).build() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("labeling failed: {e}");
+            exit(1)
+        }
     };
-    let ex = match explain(&labeled, &cfg) {
+    let ex = match request.explain() {
         Ok(ex) => ex,
         Err(e) => {
             eprintln!("explanation failed: {e}");
@@ -186,12 +179,22 @@ fn main() {
         ex.diagnostics.scorer_calls,
         ex.diagnostics.runtime.as_secs_f64()
     );
-    print!("{}", ex.render(&q.table, args.top));
+    print!("{}", ex.render(request.table(), args.top));
 
-    let preview = ex.preview(&q.table, &q.grouping, q.agg.as_ref(), q.agg_attr).expect("preview");
+    let preview = ex
+        .preview(
+            request.table(),
+            request.grouping(),
+            request.aggregate().as_ref(),
+            request.agg_attr(),
+        )
+        .expect("preview");
     println!("\nresult series with the top explanation deleted:");
     for (i, (before, after)) in preview.iter().enumerate() {
         let marker = if (before - after).abs() > 1e-9 { "  *" } else { "" };
-        println!("  {:<16} {before:.3} -> {after:.3}{marker}", q.grouping.display_key(&q.table, i));
+        println!(
+            "  {:<16} {before:.3} -> {after:.3}{marker}",
+            request.grouping().display_key(request.table(), i)
+        );
     }
 }

@@ -31,21 +31,26 @@
 //! let table = b.build();
 //!
 //! // Q1: SELECT avg(temp) FROM sensors GROUP BY time.
-//! let grouping = group_by(&table, &[0]).unwrap();
-//!
 //! // The 12PM and 1PM averages look too high; 11AM is normal.
-//! let query = LabeledQuery {
-//!     table: &table, grouping: &grouping,
-//!     agg: &Avg, agg_attr: 3,
-//!     outliers: vec![(1, 1.0), (2, 1.0)],
-//!     holdouts: vec![0],
-//! };
-//! let explanation = explain(&query, &ScorpionConfig::default()).unwrap();
+//! let request = Scorpion::on(table)
+//!     .sql("SELECT avg(temp) FROM sensors GROUP BY time").unwrap()
+//!     .outlier(1, 1.0)
+//!     .outlier(2, 1.0)
+//!     .holdout(0)
+//!     .build().unwrap();
+//! let explanation = request.explain().unwrap();
 //! let best = explanation.best();
 //! // The planted cause: the low-voltage sensor.
+//! let table = request.table();
 //! let rows: Vec<u32> = (0..table.len() as u32).collect();
-//! let selected = best.predicate.select(&table, &rows).unwrap();
+//! let selected = best.predicate.select(table, &rows).unwrap();
 //! assert!(selected.contains(&5) && selected.contains(&8));
+//!
+//! // Interactive exploration: prepare once, re-run cheaply per `c`.
+//! let session = ScorpionSession::new(request).unwrap();
+//! let sharp = session.run_with_c(1.0).unwrap();
+//! let broad = session.run_with_c(0.0).unwrap();
+//! assert!(sharp.best().influence.is_finite() && broad.best().influence.is_finite());
 //! ```
 //!
 //! ## Crates
@@ -54,7 +59,7 @@
 //! |-------|----------|
 //! | [`table`] | Columnar relational substrate, predicates, group-by + provenance |
 //! | [`agg`] | Aggregate-property framework (§5) |
-//! | [`core`] | Scorer, NAIVE/DT/MC partitioners, Merger, caching (§3–§7) |
+//! | [`core`] | Scorer + influence cache, `Explainer` engines (NAIVE/DT/MC), Merger, builder + sessions (§3–§7) |
 //! | [`data`] | SYNTH / INTEL / EXPENSE workload generators + streaming sensor feed (§8.1) |
 //! | [`stream`] | Continuous sliding-window engine: mergeable partials, auto-labeling, warm re-explanation |
 //! | [`eval`] | Accuracy metrics + per-figure experiment runners (§8) |
@@ -77,9 +82,10 @@ pub mod prelude {
     pub use scorpion_core::features::{rank_attributes, select_attributes};
     pub use scorpion_core::session::ScorpionSession;
     pub use scorpion_core::{
-        explain, Algorithm, Diagnostics, DtConfig, Explanation, GroupSpec, InfluenceParams,
-        LabeledQuery, McConfig, MergerConfig, NaiveConfig, PreparedQuery, ScoredPredicate, Scorer,
-        ScorpionConfig, ScorpionError,
+        explain, label_extremes, Algorithm, Diagnostics, DtConfig, DtEngine, ExplainRequest,
+        Explainer, Explanation, GroupSpec, InfluenceCache, InfluenceParams, LabeledQuery, McConfig,
+        McEngine, MergerConfig, NaiveConfig, NaiveEngine, PreparedPlan, PreparedQuery,
+        RequestBuilder, ScoredPredicate, Scorer, Scorpion, ScorpionConfig, ScorpionError,
     };
     pub use scorpion_table::{
         aggregate_groups, bin_edges, domains_of, group_by, AttrDomain, AttrType, Clause, Field,

@@ -161,27 +161,25 @@ fn expense_workload_recovers_gmmb() {
 #[test]
 fn session_caching_is_consistent_across_c() {
     let ds = synth::generate(SynthConfig::easy(2).with_tuples_per_group(300));
-    let grouping = group_by(&ds.table, &[0]).unwrap();
-    let query = LabeledQuery {
-        table: &ds.table,
-        grouping: &grouping,
-        agg: &Avg,
-        agg_attr: ds.agg_attr(),
-        outliers: ds.outlier_groups.iter().map(|&g| (g, 1.0)).collect(),
-        holdouts: ds.holdout_groups.clone(),
-    };
-    let session = ScorpionSession::new(
-        query,
-        0.5,
-        DtConfig { sampling: None, ..DtConfig::default() },
-        Some(ds.dim_attrs()),
-    )
-    .unwrap();
+    let dim_attrs = ds.dim_attrs();
+    let agg_attr = ds.agg_attr();
+    let table = ds.table.clone();
+    let req = Scorpion::on(table.clone())
+        .group_by(&[0], std::sync::Arc::new(Avg), agg_attr)
+        .unwrap()
+        .outliers(ds.outlier_groups.iter().map(|&g| (g, 1.0)))
+        .holdouts(ds.holdout_groups.iter().copied())
+        .explain_attrs(dim_attrs)
+        .params(0.5, 0.5)
+        .algorithm(Algorithm::DecisionTree(DtConfig { sampling: None, ..DtConfig::default() }))
+        .build()
+        .unwrap();
+    let session = ScorpionSession::new(req).unwrap();
     let mut last_n = usize::MAX;
-    let all: Vec<u32> = (0..ds.table.len() as u32).collect();
+    let all: Vec<u32> = (0..table.len() as u32).collect();
     for c in [0.5, 0.3, 0.1] {
         let ex = session.run_with_c(c).unwrap();
-        let n = ex.best().predicate.count(&ds.table, &all).unwrap();
+        let n = ex.best().predicate.count(&table, &all).unwrap();
         // Lower c should never be *more* selective by an order of
         // magnitude; sanity: selections stay non-trivial and influence
         // finite.

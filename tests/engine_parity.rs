@@ -1,0 +1,200 @@
+//! Parity and warm-path guarantees of the `Explainer` engine API.
+//!
+//! Two families of checks, per algorithm (DT / MC / NAIVE):
+//!
+//! 1. **Parity** — the owned engine path
+//!    (`ExplainRequest::prepare` + `PreparedPlan::run`) returns the
+//!    same ranked predicates and influences as the borrowed
+//!    `explain(&LabeledQuery, …)` path on planted workloads. The
+//!    influence cache stores per-group `(n, Δ)` pairs and replays the
+//!    exact scoring arithmetic, so equality is to machine precision.
+//!
+//! 2. **Warm runs** — a session's second run at a new `c` matches a
+//!    cold run at that `c` (exactly for MC/NAIVE, whose searches are
+//!    deterministic; at-least-as-good for DT, whose warm merge sees a
+//!    superset of the cold inputs) while performing strictly fewer
+//!    scorer calls — the §8.3.3 cache generalized to every engine.
+
+use scorpion::prelude::*;
+use std::sync::Arc;
+
+/// Planted workload: outlier group "o" runs hot for x ∈ [20, 60); the
+/// hold-out group "h" is uniform.
+fn planted(n: usize) -> Table {
+    let schema = Schema::new(vec![Field::disc("g"), Field::cont("x"), Field::cont("v")]).unwrap();
+    let mut b = TableBuilder::new(schema);
+    for i in 0..n {
+        let x = (i as f64 * 7.3) % 100.0;
+        let v = if (20.0..60.0).contains(&x) { 80.0 } else { 10.0 };
+        b.push_row(vec!["o".into(), Value::from(x), v.into()]).unwrap();
+        b.push_row(vec!["h".into(), Value::from(x), Value::from(10.0)]).unwrap();
+    }
+    b.build()
+}
+
+fn algorithms() -> Vec<(&'static str, Algorithm, Arc<dyn Aggregate>)> {
+    vec![
+        (
+            "dt",
+            Algorithm::DecisionTree(DtConfig { sampling: None, ..DtConfig::default() }),
+            Arc::new(Avg),
+        ),
+        ("mc", Algorithm::BottomUp(McConfig::default()), Arc::new(Sum)),
+        (
+            "naive",
+            Algorithm::Naive(NaiveConfig { time_budget: None, ..NaiveConfig::default() }),
+            Arc::new(Sum),
+        ),
+    ]
+}
+
+fn request(t: &Table, algorithm: Algorithm, agg: Arc<dyn Aggregate>, c: f64) -> ExplainRequest {
+    Scorpion::on(t.clone())
+        .group_by(&[0], agg, 2)
+        .unwrap()
+        .outlier(0, 1.0)
+        .holdout(1)
+        .params(0.5, c)
+        .algorithm(algorithm)
+        .build()
+        .unwrap()
+}
+
+fn assert_same_results(name: &str, a: &Explanation, b: &Explanation) {
+    assert_eq!(
+        a.predicates.len(),
+        b.predicates.len(),
+        "[{name}] result counts differ: {} vs {}",
+        a.predicates.len(),
+        b.predicates.len()
+    );
+    for (i, (x, y)) in a.predicates.iter().zip(&b.predicates).enumerate() {
+        assert_eq!(x.predicate, y.predicate, "[{name}] predicate #{i} differs");
+        assert!(
+            (x.influence - y.influence).abs() <= 1e-12 * x.influence.abs().max(1.0),
+            "[{name}] influence #{i}: {} vs {}",
+            x.influence,
+            y.influence
+        );
+    }
+}
+
+/// The engine path must reproduce the borrowed `explain()` path exactly.
+#[test]
+fn engine_api_matches_explain_for_all_algorithms() {
+    let t = planted(300);
+    let g = group_by(&t, &[0]).unwrap();
+    for (name, algo, agg) in algorithms() {
+        let c = 0.4;
+        let old = {
+            let q = LabeledQuery {
+                table: &t,
+                grouping: &g,
+                agg: agg.as_ref(),
+                agg_attr: 2,
+                outliers: vec![(0, 1.0)],
+                holdouts: vec![1],
+            };
+            let cfg = ScorpionConfig {
+                params: InfluenceParams { lambda: 0.5, c },
+                algorithm: algo.clone(),
+                ..ScorpionConfig::default()
+            };
+            explain(&q, &cfg).unwrap()
+        };
+        let new = request(&t, algo, agg, c).explain().unwrap();
+        assert_eq!(old.diagnostics.algorithm, new.diagnostics.algorithm);
+        assert_same_results(name, &old, &new);
+    }
+}
+
+/// Acceptance: the session accepts every engine, and a warm second run
+/// at a new `c` performs strictly fewer scorer calls than the cold run
+/// — for DT **and** MC **and** NAIVE.
+#[test]
+fn warm_second_run_is_strictly_cheaper_for_every_engine() {
+    let t = planted(300);
+    for (name, algo, agg) in algorithms() {
+        let session = ScorpionSession::new(request(&t, algo, agg, 0.5)).unwrap();
+        assert_eq!(session.algorithm(), name);
+        let cold = session.run_with_c(0.5).unwrap();
+        let warm = session.run_with_c(0.3).unwrap();
+        assert!(
+            warm.diagnostics.scorer_calls < cold.diagnostics.scorer_calls,
+            "[{name}] warm {} vs cold {} scorer calls",
+            warm.diagnostics.scorer_calls,
+            cold.diagnostics.scorer_calls
+        );
+        assert!(
+            warm.diagnostics.cache_hits > 0,
+            "[{name}] warm run should hit the influence cache"
+        );
+    }
+}
+
+/// A warm run at a new `c` must match a cold run at that `c`: exactly
+/// for MC and NAIVE (deterministic searches over identical prepared
+/// artifacts and bit-identical cached scores), and at-least-as-good for
+/// DT (the warm merge sees a superset of the cold run's inputs).
+#[test]
+fn warm_run_matches_cold_run_at_new_c() {
+    let t = planted(300);
+    for (name, algo, agg) in algorithms() {
+        let warm_session =
+            ScorpionSession::new(request(&t, algo.clone(), agg.clone(), 0.5)).unwrap();
+        let _ = warm_session.run_with_c(0.5).unwrap();
+        let warm = warm_session.run_with_c(0.3).unwrap();
+
+        let cold_session = ScorpionSession::new(request(&t, algo, agg, 0.5)).unwrap();
+        let cold = cold_session.run_with_c(0.3).unwrap();
+
+        if name == "dt" {
+            assert!(
+                warm.best().influence >= cold.best().influence - 1e-9,
+                "[dt] warm merge regressed: {} vs {}",
+                warm.best().influence,
+                cold.best().influence
+            );
+        } else {
+            assert_same_results(name, &warm, &cold);
+        }
+    }
+}
+
+/// MC and NAIVE sessions work through explicit engines too (not only
+/// via the request's algorithm field).
+#[test]
+fn explicit_engine_override() {
+    let t = planted(200);
+    let req = request(&t, Algorithm::Auto, Arc::new(Sum), 0.5);
+    let session =
+        ScorpionSession::with_engine(req, Box::new(McEngine::new(McConfig::default()))).unwrap();
+    assert_eq!(session.algorithm(), "mc");
+    let ex = session.run_default().unwrap();
+    assert_eq!(ex.diagnostics.algorithm, "mc");
+    assert!(ex.best().influence.is_finite());
+}
+
+/// The influence cache reproduces scores bit-for-bit: re-running at the
+/// *same* parameters from a warm plan returns identical results with
+/// zero additional partition re-scoring cost for NAIVE (every candidate
+/// hits the cache).
+#[test]
+fn naive_rerun_at_same_c_is_pure_cache() {
+    let t = planted(200);
+    let req = request(
+        &t,
+        Algorithm::Naive(NaiveConfig { time_budget: None, ..NaiveConfig::default() }),
+        Arc::new(Sum),
+        0.5,
+    );
+    let plan = req.prepare().unwrap();
+    let first = plan.run(&req.params()).unwrap();
+    let second = plan.run(&req.params()).unwrap();
+    assert_same_results("naive", &first, &second);
+    assert_eq!(
+        second.diagnostics.scorer_calls, 0,
+        "a completed NAIVE enumeration re-run must be answered entirely from cache"
+    );
+    assert_eq!(second.diagnostics.cache_hits, second.diagnostics.candidates);
+}

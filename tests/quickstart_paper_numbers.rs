@@ -65,21 +65,20 @@ fn section32_tuple_influences() {
 #[test]
 fn explanation_targets_sensor3_low_voltage() {
     let t = sensors();
-    let g = group_by(&t, &[0]).unwrap();
-    let query = LabeledQuery {
-        table: &t,
-        grouping: &g,
-        agg: &Avg,
-        agg_attr: 4,
-        outliers: vec![(1, 1.0), (2, 1.0)],
-        holdouts: vec![0],
-    };
+    // One session across the c sweep: partitioning runs once.
+    let session = ScorpionSession::new(
+        Scorpion::on(t.clone())
+            .sql("SELECT avg(temp), time FROM sensors GROUP BY time")
+            .unwrap()
+            .outlier(1, 1.0)
+            .outlier(2, 1.0)
+            .holdout(0)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
     for c in [0.0, 0.5, 1.0] {
-        let cfg = ScorpionConfig {
-            params: InfluenceParams { lambda: 0.5, c },
-            ..ScorpionConfig::default()
-        };
-        let ex = explain(&query, &cfg).unwrap();
+        let ex = session.run_with_c(c).unwrap();
         let best = &ex.best().predicate;
         // The anomalous readings are rows 5 (T6) and 8 (T9); a correct
         // explanation must select them and spare the hold-out's normal
@@ -96,20 +95,14 @@ fn explanation_targets_sensor3_low_voltage() {
 fn error_vector_too_low_prefers_cool_readings() {
     // §3.2: with v = <−1> the cool readings become the influential ones.
     let t = sensors();
-    let g = group_by(&t, &[0]).unwrap();
-    let query = LabeledQuery {
-        table: &t,
-        grouping: &g,
-        agg: &Avg,
-        agg_attr: 4,
-        outliers: vec![(1, -1.0)],
-        holdouts: vec![],
-    };
-    let cfg = ScorpionConfig {
-        params: InfluenceParams { lambda: 1.0, c: 1.0 },
-        ..ScorpionConfig::default()
-    };
-    let ex = explain(&query, &cfg).unwrap();
+    let req = Scorpion::on(t.clone())
+        .group_by(&[0], std::sync::Arc::new(Avg), 4)
+        .unwrap()
+        .outlier(1, -1.0)
+        .params(1.0, 1.0)
+        .build()
+        .unwrap();
+    let ex = req.explain().unwrap();
     let sel = ex.best().predicate.select(&t, &[3, 4, 5]).unwrap();
     // T6 (row 5, the 100° reading) must NOT be selected: deleting it
     // lowers the average further.

@@ -14,20 +14,18 @@ fn two_group_table(rows: &[(&str, f64, f64)]) -> Table {
 }
 
 fn explain_with(t: &Table, g: &Grouping, algo: Algorithm, c: f64) -> Explanation {
-    let q = LabeledQuery {
-        table: t,
-        grouping: g,
-        agg: &Avg,
-        agg_attr: 2,
-        outliers: vec![(0, 1.0)],
-        holdouts: if g.len() > 1 { vec![1] } else { vec![] },
-    };
-    let cfg = ScorpionConfig {
-        params: InfluenceParams { lambda: 0.5, c },
-        algorithm: algo,
-        ..ScorpionConfig::default()
-    };
-    explain(&q, &cfg).unwrap()
+    let holdouts: Vec<usize> = if g.len() > 1 { vec![1] } else { vec![] };
+    Scorpion::on(t.clone())
+        .query(g.clone(), std::sync::Arc::new(Avg), 2)
+        .unwrap()
+        .outlier(0, 1.0)
+        .holdouts(holdouts)
+        .params(0.5, c)
+        .algorithm(algo)
+        .build()
+        .unwrap()
+        .explain()
+        .unwrap()
 }
 
 #[test]
@@ -79,16 +77,15 @@ fn negative_values_route_away_from_mc() {
     let rows: Vec<(&str, f64, f64)> =
         (0..30).map(|i| (if i % 2 == 0 { "o" } else { "h" }, i as f64, -5.0 + i as f64)).collect();
     let t = two_group_table(&rows);
-    let g = group_by(&t, &[0]).unwrap();
-    let q = LabeledQuery {
-        table: &t,
-        grouping: &g,
-        agg: &Sum,
-        agg_attr: 2,
-        outliers: vec![(0, 1.0)],
-        holdouts: vec![1],
-    };
-    let ex = explain(&q, &ScorpionConfig::default()).unwrap();
+    let ex = Scorpion::on(t)
+        .group_by(&[0], std::sync::Arc::new(Sum), 2)
+        .unwrap()
+        .outlier(0, 1.0)
+        .holdout(1)
+        .build()
+        .unwrap()
+        .explain()
+        .unwrap();
     // Sum over negative data is not anti-monotonic → Auto must avoid MC.
     assert_eq!(ex.diagnostics.algorithm, "dt");
 }
@@ -123,19 +120,16 @@ fn lambda_extremes() {
     let t = two_group_table(&rows);
     let g = group_by(&t, &[0]).unwrap();
     for lambda in [0.0, 1.0] {
-        let q = LabeledQuery {
-            table: &t,
-            grouping: &g,
-            agg: &Avg,
-            agg_attr: 2,
-            outliers: vec![(0, 1.0)],
-            holdouts: vec![1],
-        };
-        let cfg = ScorpionConfig {
-            params: InfluenceParams { lambda, c: 0.5 },
-            ..ScorpionConfig::default()
-        };
-        let ex = explain(&q, &cfg).unwrap();
+        let ex = Scorpion::on(t.clone())
+            .query(g.clone(), std::sync::Arc::new(Avg), 2)
+            .unwrap()
+            .outlier(0, 1.0)
+            .holdout(1)
+            .params(lambda, 0.5)
+            .build()
+            .unwrap()
+            .explain()
+            .unwrap();
         assert!(ex.best().influence.is_finite(), "lambda = {lambda}");
     }
     // λ = 1 ignores hold-outs entirely: influence never negative for the
@@ -154,16 +148,15 @@ fn many_groups_few_rows() {
         }
     }
     let t = b.build();
-    let g = group_by(&t, &[0]).unwrap();
-    let q = LabeledQuery {
-        table: &t,
-        grouping: &g,
-        agg: &Avg,
-        agg_attr: 2,
-        outliers: vec![(0, 1.0)],
-        holdouts: (1..30).collect(),
-    };
-    let ex = explain(&q, &ScorpionConfig::default()).unwrap();
+    let ex = Scorpion::on(t)
+        .group_by(&[0], std::sync::Arc::new(Avg), 2)
+        .unwrap()
+        .outlier(0, 1.0)
+        .holdouts(1..30)
+        .build()
+        .unwrap()
+        .explain()
+        .unwrap();
     assert!(ex.best().influence.is_finite());
 }
 
@@ -203,21 +196,17 @@ fn max_explain_attrs_drops_noise_without_losing_answer() {
         .unwrap();
     }
     let t = b.build();
-    let g = group_by(&t, &[0]).unwrap();
-    let q = LabeledQuery {
-        table: &t,
-        grouping: &g,
-        agg: &Avg,
-        agg_attr: 4,
-        outliers: vec![(0, 1.0)],
-        holdouts: vec![1],
-    };
-    let cfg = ScorpionConfig {
-        params: InfluenceParams { lambda: 0.5, c: 0.3 },
-        max_explain_attrs: Some(1),
-        ..ScorpionConfig::default()
-    };
-    let ex = explain(&q, &cfg).unwrap();
+    let ex = Scorpion::on(t.clone())
+        .group_by(&[0], std::sync::Arc::new(Avg), 4)
+        .unwrap()
+        .outlier(0, 1.0)
+        .holdout(1)
+        .params(0.5, 0.3)
+        .max_explain_attrs(1)
+        .build()
+        .unwrap()
+        .explain()
+        .unwrap();
     let best = &ex.best().predicate;
     assert!(best.clause(1).is_some(), "x clause expected: {}", best.display(&t));
     assert!(best.clause(2).is_none() && best.clause(3).is_none());
