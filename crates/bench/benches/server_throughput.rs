@@ -1,0 +1,102 @@
+//! Load generator for the explanation service: cold vs warm RPS of
+//! `POST /explain` over real sockets.
+//!
+//! * **cold** — every request lands on a fresh table generation, so the
+//!   plan cache misses and the full parse → prepare → score pipeline
+//!   runs per request.
+//! * **warm** — the same query and labels at a rotating `c`: the plan
+//!   cache hits and the request re-scores through the prepared plan's
+//!   influence cache (the §8.3.3 path a resident server keeps hot).
+//!
+//! The gap between the two lines is the value of running resident
+//! instead of one-shot.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scorpion_server::{client::Client, Json, Server, ServerConfig};
+use scorpion_table::{Field, Schema, Table, TableBuilder, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The planted workload: group "o" runs hot for x ∈ [20, 60); group "h"
+/// is uniform.
+fn planted(n: usize) -> Table {
+    let schema = Schema::new(vec![Field::disc("g"), Field::cont("x"), Field::cont("v")]).unwrap();
+    let mut b = TableBuilder::new(schema);
+    for i in 0..n {
+        let x = (i as f64 * 7.3) % 100.0;
+        let v = if (20.0..60.0).contains(&x) { 80.0 } else { 10.0 };
+        b.push_row(vec!["o".into(), Value::from(x), v.into()]).unwrap();
+        b.push_row(vec!["h".into(), Value::from(x), Value::from(10.0)]).unwrap();
+    }
+    b.build()
+}
+
+fn explain_body(c: f64) -> Json {
+    Json::obj([
+        ("table", Json::from("planted")),
+        ("sql", Json::from("SELECT avg(v) FROM planted GROUP BY g")),
+        ("outliers", Json::arr(["o"])),
+        ("holdouts", Json::arr(["h"])),
+        ("lambda", Json::from(0.5)),
+        ("c", Json::from(c)),
+        ("algorithm", Json::from("dt")),
+    ])
+}
+
+fn explain_rps(criterion: &mut Criterion) {
+    let server = Server::bind(&ServerConfig { port: 0, workers: 4, ..ServerConfig::default() })
+        .expect("bind");
+    let state = server.state();
+    let table = Arc::new(planted(300));
+    state.registry.insert("planted", table.clone());
+    let handle = server.spawn().expect("spawn");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let mut g = criterion.benchmark_group("server_explain");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300))
+        .throughput(Throughput::Elements(1));
+
+    // Cold: bump the generation before each request — every key is new.
+    g.bench_function("cold", |b| {
+        b.iter(|| {
+            state.registry.insert("planted", table.clone());
+            let (status, resp) = client.post("/explain", &explain_body(0.5)).expect("cold post");
+            assert_eq!(status, 200);
+            assert_eq!(resp.get("plan_cache").and_then(Json::as_str), Some("miss"));
+            resp
+        });
+    });
+
+    // Warm: one generation, rotating c — after the first lap every
+    // request is a plan-cache hit re-scored from cached (n, Δ) pairs.
+    state.registry.insert("planted", table.clone());
+    let cs = [0.5, 0.3, 0.7, 0.2];
+    let mut lap = 0usize;
+    // Prime each c once so the measured laps are pure warm path.
+    for &c in &cs {
+        client.post("/explain", &explain_body(c)).expect("prime");
+    }
+    g.bench_function("warm", |b| {
+        b.iter(|| {
+            let c = cs[lap % cs.len()];
+            lap += 1;
+            let (status, resp) = client.post("/explain", &explain_body(c)).expect("warm post");
+            assert_eq!(status, 200);
+            assert_eq!(resp.get("plan_cache").and_then(Json::as_str), Some("hit"));
+            resp
+        });
+    });
+    g.finish();
+
+    let stats = state.plans.stats();
+    println!(
+        "server_explain summary: plan cache {} hits / {} misses / {} evictions",
+        stats.hits, stats.misses, stats.evictions
+    );
+    handle.stop();
+}
+
+criterion_group!(benches, explain_rps);
+criterion_main!(benches);

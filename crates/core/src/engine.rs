@@ -211,7 +211,7 @@ impl Explainer for DtEngine {
     fn prepare(&self, req: &ExplainRequest) -> Result<Box<dyn PreparedPlan>> {
         let start = Instant::now();
         req.validate()?;
-        let cache = Arc::new(InfluenceCache::new());
+        let cache = Arc::new(InfluenceCache::with_capacity_bound(req.influence_cache_entries()));
         let scorer = req.scorer()?.with_cache(cache.clone());
         let attrs = prep_attrs(req, &scorer)?;
         let domains = domains_of(&req.table)?;
@@ -326,6 +326,7 @@ impl PreparedPlan for DtPlan {
                 runtime: start.elapsed() + prep.runtime,
                 scorer_calls: scorer.scorer_calls() + prep.calls,
                 cache_hits: scorer.cache_hits(),
+                cache_evictions: scorer.cache_evictions(),
                 candidates: n_partitions as u64,
                 partitions: n_partitions,
                 ..Diagnostics::default()
@@ -347,7 +348,7 @@ impl PreparedPlan for DtPlan {
             attrs: self.attrs.clone(),
             domains: domains_of(&req.table)?,
             partitions,
-            cache: Arc::new(InfluenceCache::new()),
+            cache: Arc::new(InfluenceCache::with_capacity_bound(req.influence_cache_entries())),
             prep_cost: PrepCost::default(),
             state: Mutex::new(DtPlanState {
                 merged_by_c: BTreeMap::new(),
@@ -409,7 +410,7 @@ impl Explainer for McEngine {
     fn prepare(&self, req: &ExplainRequest) -> Result<Box<dyn PreparedPlan>> {
         let start = Instant::now();
         req.validate()?;
-        let cache = Arc::new(InfluenceCache::new());
+        let cache = Arc::new(InfluenceCache::with_capacity_bound(req.influence_cache_entries()));
         let scorer = req.scorer()?.with_cache(cache.clone());
         let attrs = prep_attrs(req, &scorer)?;
         let domains = domains_of(&req.table)?;
@@ -464,6 +465,7 @@ impl PreparedPlan for McPlan {
                 runtime: start.elapsed() + prep.runtime,
                 scorer_calls: scorer.scorer_calls() + prep.calls,
                 cache_hits: scorer.cache_hits(),
+                cache_evictions: scorer.cache_evictions(),
                 candidates: mdiag.scored,
                 partitions: mdiag.initial_units,
                 ..Diagnostics::default()
@@ -522,7 +524,7 @@ impl Explainer for NaiveEngine {
     fn prepare(&self, req: &ExplainRequest) -> Result<Box<dyn PreparedPlan>> {
         let start = Instant::now();
         req.validate()?;
-        let cache = Arc::new(InfluenceCache::new());
+        let cache = Arc::new(InfluenceCache::with_capacity_bound(req.influence_cache_entries()));
         let scorer = req.scorer()?.with_cache(cache.clone());
         let attrs = prep_attrs(req, &scorer)?;
         let domains = domains_of(&req.table)?;
@@ -572,6 +574,7 @@ impl PreparedPlan for NaivePlan {
                 runtime: start.elapsed() + prep.runtime,
                 scorer_calls: scorer.scorer_calls() + prep.calls,
                 cache_hits: scorer.cache_hits(),
+                cache_evictions: scorer.cache_evictions(),
                 candidates: out.evaluated,
                 budget_exhausted: !out.completed,
                 ..Diagnostics::default()

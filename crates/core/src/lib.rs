@@ -33,6 +33,7 @@ pub mod dt;
 pub mod engine;
 mod error;
 pub mod features;
+pub mod lru;
 pub mod mc;
 pub mod merger;
 pub mod naive;
@@ -49,6 +50,7 @@ pub use config::{
 };
 pub use engine::{engine_for, DtEngine, EngineRun, Explainer, McEngine, NaiveEngine, PreparedPlan};
 pub use error::{Result, ScorpionError};
+pub use lru::LruShard;
 pub use prepared::PreparedQuery;
 pub use request::{label_extremes, ExplainRequest, RequestBuilder, Scorpion};
 pub use result::{Diagnostics, Explanation, GroupStat, PartitionStats, ScoredPredicate};

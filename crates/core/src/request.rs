@@ -69,6 +69,7 @@ pub struct ExplainRequest {
     pub(crate) explain_attrs: Option<Vec<usize>>,
     pub(crate) max_explain_attrs: Option<usize>,
     pub(crate) force_blackbox: bool,
+    pub(crate) influence_cache_entries: usize,
 }
 
 impl ExplainRequest {
@@ -98,6 +99,7 @@ impl ExplainRequest {
             explain_attrs: None,
             max_explain_attrs: None,
             force_blackbox: false,
+            influence_cache_entries: 0,
         };
         req.validate()?;
         Ok(req)
@@ -166,6 +168,19 @@ impl ExplainRequest {
     #[must_use]
     pub fn with_explain_attrs(&self, explain_attrs: Option<Vec<usize>>) -> Self {
         ExplainRequest { explain_attrs, ..self.clone() }
+    }
+
+    /// The configured [`crate::InfluenceCache`] bound for plans prepared
+    /// from this request (`0` = the cache's default bound).
+    pub fn influence_cache_entries(&self) -> usize {
+        self.influence_cache_entries
+    }
+
+    /// Returns a copy whose prepared plans bound their influence cache
+    /// to `entries` predicates, evicting LRU past that (`0` = default).
+    #[must_use]
+    pub fn with_influence_cache_entries(&self, entries: usize) -> Self {
+        ExplainRequest { influence_cache_entries: entries, ..self.clone() }
     }
 
     /// A borrowed [`LabeledQuery`] view of this request — the bridge to
@@ -340,6 +355,7 @@ struct RequestOpts {
     explain_attrs: Option<Vec<usize>>,
     max_explain_attrs: Option<usize>,
     force_blackbox: bool,
+    influence_cache_entries: usize,
 }
 
 impl Default for RequestOpts {
@@ -352,6 +368,7 @@ impl Default for RequestOpts {
             explain_attrs: None,
             max_explain_attrs: None,
             force_blackbox: false,
+            influence_cache_entries: 0,
         }
     }
 }
@@ -486,6 +503,14 @@ impl RequestBuilder {
         self
     }
 
+    /// Bounds the prepared plan's influence cache to `entries`
+    /// predicates, evicting LRU past that (`0` = the default bound).
+    #[must_use]
+    pub fn influence_cache_entries(mut self, entries: usize) -> Self {
+        self.request.influence_cache_entries = entries;
+        self
+    }
+
     /// Validates the labels and produces the owned request.
     pub fn build(self) -> Result<ExplainRequest> {
         let req = ExplainRequest {
@@ -500,6 +525,7 @@ impl RequestBuilder {
             explain_attrs: self.request.explain_attrs,
             max_explain_attrs: self.request.max_explain_attrs,
             force_blackbox: self.request.force_blackbox,
+            influence_cache_entries: self.request.influence_cache_entries,
         };
         req.validate()?;
         Ok(req)

@@ -57,6 +57,10 @@ pub struct Diagnostics {
     /// Influence evaluations answered from a shared
     /// [`crate::scorer::InfluenceCache`] without matcher work.
     pub cache_hits: u64,
+    /// Predicates this run's own stores evicted (LRU) from the plan's
+    /// shared [`crate::scorer::InfluenceCache`] — attribution stays
+    /// per-run even when concurrent runs share the cache.
+    pub cache_evictions: u64,
     /// Number of candidate predicates generated.
     pub candidates: u64,
     /// Number of partitions (leaves / units) before merging.

@@ -10,10 +10,10 @@
 
 use crate::config::InfluenceParams;
 use crate::error::{Result, ScorpionError};
+use crate::lru::LruShard;
 use parking_lot::Mutex;
 use scorpion_agg::{AggState, Aggregate, IncrementalAggregate};
 use scorpion_table::{Predicate, PredicateMatcher, Table};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -78,6 +78,10 @@ struct CachedEval {
 /// `(n, Δ)` pairs for the outlier groups and the hold-out groups.
 type GroupPairs = (Box<[(f64, f64)]>, Box<[(f64, f64)]>);
 
+/// One lock shard of an [`InfluenceCache`]: a [`LruShard`] of cached
+/// evaluations keyed by predicate.
+type CacheShard = LruShard<Predicate, CachedEval>;
+
 /// A shareable cross-run influence cache keyed by predicate.
 ///
 /// Attach one cache to every [`Scorer`] derived from the same labeled
@@ -86,14 +90,20 @@ type GroupPairs = (Box<[(f64, f64)]>, Box<[(f64, f64)]>);
 /// re-scoring a known predicate under new [`InfluenceParams`] then skips
 /// the matcher entirely and reproduces the direct computation
 /// bit-for-bit.
+///
+/// The cache is bounded: past its capacity, inserting a new predicate
+/// evicts the least-recently-used one (NAIVE enumerations can visit
+/// millions of predicates; eviction bounds memory while keeping the hot
+/// set warm). Evictions are counted and surface per run in
+/// [`crate::Diagnostics::cache_evictions`].
 pub struct InfluenceCache {
     /// Sharded by predicate hash so concurrent scoring workers
     /// ([`Scorer::influence_batch`]) do not serialize on one lock.
-    shards: Vec<Mutex<HashMap<Predicate, CachedEval>>>,
-    /// Inserts stop once the cache holds this many predicates (0 = the
-    /// default cap). NAIVE enumerations can visit millions of
-    /// predicates; the cap bounds memory while keeping the hot units.
+    shards: Vec<Mutex<CacheShard>>,
+    /// Total capacity across shards (0 = the default cap).
     cap: usize,
+    /// Cumulative LRU evictions.
+    evictions: AtomicU64,
 }
 
 /// Default bound on cached predicates per [`InfluenceCache`].
@@ -105,8 +115,9 @@ const CACHE_SHARDS: usize = 16;
 impl Default for InfluenceCache {
     fn default() -> Self {
         InfluenceCache {
-            shards: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::new(CacheShard::default())).collect(),
             cap: 0,
+            evictions: AtomicU64::new(0),
         }
     }
 }
@@ -117,7 +128,11 @@ impl InfluenceCache {
         InfluenceCache::default()
     }
 
-    /// An empty cache that stops inserting past `cap` predicates.
+    /// An empty cache holding at most `cap` predicates, evicting the
+    /// least recently used past that (`0` = the default bound). The
+    /// bound is enforced per lock shard, so the effective capacity is
+    /// `cap` rounded up to a multiple of the shard count — read it back
+    /// with [`InfluenceCache::capacity`].
     pub fn with_capacity_bound(cap: usize) -> Self {
         InfluenceCache { cap, ..InfluenceCache::default() }
     }
@@ -132,11 +147,24 @@ impl InfluenceCache {
         self.shards.iter().all(|s| s.lock().is_empty())
     }
 
-    /// Drops every cached evaluation.
+    /// Drops every cached evaluation (the eviction counter survives —
+    /// clearing is not evicting).
     pub fn clear(&self) {
         for s in &self.shards {
             s.lock().clear();
         }
+    }
+
+    /// Total capacity in predicates: the configured bound (or the
+    /// default when constructed with `0`), rounded up to shard
+    /// granularity — this is the bound actually enforced.
+    pub fn capacity(&self) -> usize {
+        self.shard_cap() * CACHE_SHARDS
+    }
+
+    /// Cumulative number of LRU evictions since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     fn effective_cap(&self) -> usize {
@@ -147,7 +175,7 @@ impl InfluenceCache {
         }
     }
 
-    fn shard(&self, p: &Predicate) -> &Mutex<HashMap<Predicate, CachedEval>> {
+    fn shard(&self, p: &Predicate) -> &Mutex<CacheShard> {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
         p.hash(&mut h);
@@ -155,31 +183,43 @@ impl InfluenceCache {
     }
 
     fn shard_cap(&self) -> usize {
-        self.effective_cap() / CACHE_SHARDS
+        self.effective_cap().div_ceil(CACHE_SHARDS)
+    }
+
+    fn count_evictions(&self, n: u64) {
+        if n > 0 {
+            self.evictions.fetch_add(n, Ordering::Relaxed);
+        }
     }
 
     fn get(&self, p: &Predicate) -> Option<CachedEval> {
-        self.shard(p).lock().get(p).cloned()
+        self.shard(p).lock().get_mut(p).map(|e| e.clone())
     }
 
-    fn store_groups(&self, p: &Predicate, groups: Arc<GroupPairs>) {
+    /// Updates `p`'s entry in place, or inserts a fresh one (evicting
+    /// LRU past the shard bound). Returns how many entries this store
+    /// evicted, so callers can attribute evictions to themselves.
+    fn upsert(&self, p: &Predicate, update: impl FnOnce(&mut CachedEval)) -> u64 {
         let cap = self.shard_cap();
-        let mut map = self.shard(p).lock();
-        if let Some(e) = map.get_mut(p) {
-            e.groups = Some(groups);
-        } else if map.len() < cap {
-            map.insert(p.clone(), CachedEval { groups: Some(groups), max_tuple: None });
+        let mut shard = self.shard(p).lock();
+        if let Some(e) = shard.get_mut(p) {
+            update(e);
+            return 0;
         }
+        let mut e = CachedEval::default();
+        update(&mut e);
+        let n = shard.insert(p, e, cap);
+        drop(shard);
+        self.count_evictions(n);
+        n
     }
 
-    fn store_max_tuple(&self, p: &Predicate, v: f64) {
-        let cap = self.shard_cap();
-        let mut map = self.shard(p).lock();
-        if let Some(e) = map.get_mut(p) {
-            e.max_tuple = Some(v);
-        } else if map.len() < cap {
-            map.insert(p.clone(), CachedEval { groups: None, max_tuple: Some(v) });
-        }
+    fn store_groups(&self, p: &Predicate, groups: Arc<GroupPairs>) -> u64 {
+        self.upsert(p, |e| e.groups = Some(groups))
+    }
+
+    fn store_max_tuple(&self, p: &Predicate, v: f64) -> u64 {
+        self.upsert(p, |e| e.max_tuple = Some(v))
     }
 }
 
@@ -194,6 +234,7 @@ pub struct Scorer<'a> {
     params: InfluenceParams,
     calls: AtomicU64,
     cache_hits: AtomicU64,
+    cache_evictions: AtomicU64,
     cache: Option<Arc<InfluenceCache>>,
 }
 
@@ -248,6 +289,7 @@ impl<'a> Scorer<'a> {
             params,
             calls: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
             cache: None,
         })
     }
@@ -351,6 +393,13 @@ impl<'a> Scorer<'a> {
     /// [`InfluenceCache`].
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of LRU evictions *this Scorer's* stores caused in the
+    /// attached [`InfluenceCache`] — attribution stays correct when
+    /// several runs share one cache concurrently.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache_evictions.load(Ordering::Relaxed)
     }
 
     /// `Δ` and match count of `p` over one group.
@@ -496,7 +545,8 @@ impl<'a> Scorer<'a> {
         let m = p.matcher(self.table)?;
         let (o, h) = (self.outlier_pairs(&m), self.holdout_pairs(&m));
         let inf = self.combine_terms(self.outlier_term_from(&o), self.holdout_term_from(&h));
-        cache.store_groups(p, Arc::new((o, h)));
+        let evicted = cache.store_groups(p, Arc::new((o, h)));
+        self.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
         Ok(inf)
     }
 
@@ -520,7 +570,8 @@ impl<'a> Scorer<'a> {
         let m = p.matcher(self.table)?;
         let (o, h) = (self.outlier_pairs(&m), self.holdout_pairs(&m));
         let inf = self.params.lambda * self.outlier_term_from(&o);
-        cache.store_groups(p, Arc::new((o, h)));
+        let evicted = cache.store_groups(p, Arc::new((o, h)));
+        self.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
         Ok(inf)
     }
 
@@ -598,7 +649,8 @@ impl<'a> Scorer<'a> {
             }
         }
         if let Some(cache) = &self.cache {
-            cache.store_max_tuple(p, best);
+            let evicted = cache.store_max_tuple(p, best);
+            self.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
         }
         Ok(best)
     }
@@ -920,6 +972,68 @@ mod tests {
         for (a, b) in serial.iter().zip(&parallel) {
             assert!((a - b).abs() < 1e-12, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn influence_cache_evicts_lru_past_bound() {
+        let t = sensors();
+        let cache = Arc::new(InfluenceCache::with_capacity_bound(16));
+        assert_eq!(cache.capacity(), 16);
+        let s = paper_scorer(&t, 1.0).with_cache(cache.clone());
+        let preds: Vec<Predicate> = (0..100)
+            .map(|i| {
+                let lo = i as f64 * 0.01;
+                Predicate::conjunction([Clause::range(2, lo, lo + 0.5)]).unwrap()
+            })
+            .collect();
+        for p in &preds {
+            s.influence(p).unwrap();
+        }
+        assert!(cache.len() <= 16, "cache holds {} > bound", cache.len());
+        // Every insert past a full shard evicts exactly one entry.
+        assert_eq!(cache.evictions() as usize, preds.len() - cache.len());
+        // The most recently inserted predicate is still resident.
+        let hits = s.cache_hits();
+        s.influence(preds.last().unwrap()).unwrap();
+        assert_eq!(s.cache_hits(), hits + 1);
+    }
+
+    #[test]
+    fn influence_cache_keeps_recently_touched_entries() {
+        let t = sensors();
+        let cache = Arc::new(InfluenceCache::with_capacity_bound(32));
+        let s = paper_scorer(&t, 1.0).with_cache(cache.clone());
+        let hot = Predicate::conjunction([Clause::range(2, 0.0, 2.4)]).unwrap();
+        s.influence(&hot).unwrap();
+        // Flood with distinct predicates, re-touching `hot` after each
+        // insert: it is always MRU in its shard, so LRU never picks it.
+        for i in 0..200 {
+            let lo = 2.0 + i as f64 * 0.003;
+            s.influence(&Predicate::conjunction([Clause::range(2, lo, lo + 0.1)]).unwrap())
+                .unwrap();
+            s.influence(&hot).unwrap();
+        }
+        assert!(cache.evictions() > 0, "flood must overflow the bound");
+        let calls = s.scorer_calls();
+        s.influence(&hot).unwrap();
+        assert_eq!(s.scorer_calls(), calls, "hot predicate was evicted despite recency");
+    }
+
+    #[test]
+    fn influence_cache_clear_keeps_eviction_counter() {
+        let t = sensors();
+        let cache = Arc::new(InfluenceCache::with_capacity_bound(16));
+        let s = paper_scorer(&t, 1.0).with_cache(cache.clone());
+        for i in 0..64 {
+            let lo = i as f64 * 0.02;
+            s.influence(&Predicate::conjunction([Clause::range(2, lo, lo + 0.5)]).unwrap())
+                .unwrap();
+        }
+        let evicted = cache.evictions();
+        assert!(evicted > 0);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.evictions(), evicted);
     }
 
     #[test]

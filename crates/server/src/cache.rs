@@ -1,0 +1,240 @@
+//! The sharded plan cache: warm [`ScorpionSession`]s keyed by
+//! `(table generation, normalized SQL, labels, algorithm)`.
+//!
+//! The influence parameters `(λ, c)` are deliberately **not** part of
+//! the key — that is the whole point: a repeated `POST /explain` for the
+//! same query and labels at a new `c` lands on the cached session and
+//! re-runs through its prepared plan's influence cache (pure arithmetic,
+//! no matcher passes) instead of re-parsing, re-partitioning, and
+//! re-scoring from scratch. Replacing a table bumps its generation,
+//! which changes every dependent key and strands the stale entries until
+//! LRU eviction collects them.
+
+use crate::registry::TableEntry;
+use parking_lot::Mutex;
+use scorpion_core::{LruShard, ScorpionSession};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A cache key. Construct with [`PlanKey::new`] so SQL normalization and
+/// field separation stay consistent.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey(String);
+
+impl PlanKey {
+    /// Builds a key from the coordinates that determine a prepared
+    /// plan's validity. `labels` is the caller's canonical rendering of
+    /// the label specification (indices or keys, auto-label `k`, …);
+    /// requests that spell the same labels differently simply occupy
+    /// two cache slots — both correct, neither shared.
+    pub fn new(entry: &TableEntry, name: &str, sql: &str, labels: &str, algorithm: &str) -> Self {
+        PlanKey(format!(
+            "{name}@{generation}\u{1}{sql}\u{1}{labels}\u{1}{algorithm}",
+            generation = entry.generation,
+            sql = normalize_sql(sql),
+        ))
+    }
+}
+
+/// Collapses runs of whitespace to single spaces and trims, so
+/// formatting differences in the SQL text do not fragment the cache.
+/// Identifier case is preserved (the engine treats it as significant).
+pub fn normalize_sql(sql: &str) -> String {
+    sql.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// A cached, warm session plus the result-series metadata needed to
+/// render responses without re-running the query.
+pub struct PlanEntry {
+    /// The reusable session (prepared lazily on first run).
+    pub session: ScorpionSession,
+    /// Human-readable group keys, in result order.
+    pub display_keys: Vec<String>,
+    /// The aggregate result series, in result order.
+    pub results: Vec<f64>,
+}
+
+/// Counters the `/stats` endpoint reports.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build a session.
+    pub misses: u64,
+    /// Entries evicted (LRU).
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// One lock shard: a [`LruShard`] of shared sessions keyed by plan key.
+type Shard = LruShard<PlanKey, Arc<PlanEntry>>;
+
+/// Sharded LRU cache of warm sessions.
+pub struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Lock shards (power of two).
+const SHARDS: usize = 8;
+
+/// Default bound on cached sessions.
+const DEFAULT_CAP: usize = 256;
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::with_capacity(DEFAULT_CAP)
+    }
+}
+
+impl PlanCache {
+    /// A cache bounded to `cap` sessions (`0` = the default bound).
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = if cap == 0 { DEFAULT_CAP } else { cap };
+        PlanCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            cap,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &PlanKey) -> &Mutex<Shard> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) & (SHARDS - 1)]
+    }
+
+    /// Per-shard resident bound: the configured capacity rounded up to
+    /// shard granularity, so the cache never under-provisions what the
+    /// operator asked for (it may hold up to `SHARDS − 1` extra).
+    fn shard_cap(&self) -> usize {
+        self.cap.div_ceil(SHARDS)
+    }
+
+    /// Looks up `key`; on a miss, runs `build` (outside any lock — it
+    /// parses SQL and constructs a session) and caches the result.
+    /// Concurrent misses on the same key may both build; the first
+    /// insert wins and later builders adopt it, so every caller shares
+    /// one session object per key.
+    pub fn get_or_create<E>(
+        &self,
+        key: &PlanKey,
+        build: impl FnOnce() -> Result<PlanEntry, E>,
+    ) -> Result<(Arc<PlanEntry>, bool), E> {
+        if let Some(entry) = self.shard(key).lock().get_mut(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((entry.clone(), true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build()?);
+        let mut shard = self.shard(key).lock();
+        if let Some(existing) = shard.get_mut(key) {
+            // A racing builder won; adopt its resident entry.
+            return Ok((existing.clone(), false));
+        }
+        let evicted = shard.insert(key, built.clone(), self.shard_cap());
+        drop(shard);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        Ok((built, false))
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().len()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scorpion_core::Scorpion;
+    use scorpion_table::{Field, Schema, Table, TableBuilder};
+
+    fn sensors() -> Table {
+        let schema =
+            Schema::new(vec![Field::disc("g"), Field::cont("x"), Field::cont("v")]).unwrap();
+        let mut b = TableBuilder::new(schema);
+        for i in 0..20 {
+            let g = if i % 2 == 0 { "o" } else { "h" };
+            let v = if i == 0 { 100.0 } else { 10.0 };
+            b.push_row(vec![g.into(), (i as f64).into(), v.into()]).unwrap();
+        }
+        b.build()
+    }
+
+    fn entry_for(table: &Table) -> PlanEntry {
+        let builder = Scorpion::on(table.clone()).sql("SELECT avg(v) FROM t GROUP BY g").unwrap();
+        let display_keys: Vec<String> =
+            (0..builder.len()).map(|i| builder.display_key(i)).collect();
+        let results = builder.results().to_vec();
+        let req = builder.outlier(1, 1.0).holdout(0).build().unwrap();
+        PlanEntry { session: ScorpionSession::new(req).unwrap(), display_keys, results }
+    }
+
+    fn key(gen_entry: &TableEntry, sql: &str) -> PlanKey {
+        PlanKey::new(gen_entry, "t", sql, "o:[1]h:[0]", "auto")
+    }
+
+    #[test]
+    fn hit_after_miss_shares_the_session() {
+        let t = sensors();
+        let cache = PlanCache::default();
+        let te = TableEntry { table: std::sync::Arc::new(t.clone()), generation: 1 };
+        let k = key(&te, "SELECT avg(v)  FROM t   GROUP BY g");
+        let (a, hit_a) = cache.get_or_create::<()>(&k, || Ok(entry_for(&t))).unwrap();
+        // Different whitespace, same normalized key.
+        let k2 = key(&te, "SELECT avg(v) FROM t GROUP BY g");
+        let (b, hit_b) = cache.get_or_create::<()>(&k2, || Ok(entry_for(&t))).unwrap();
+        assert!(!hit_a && hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn generation_bump_changes_the_key() {
+        let t = sensors();
+        let cache = PlanCache::default();
+        let g1 = TableEntry { table: std::sync::Arc::new(t.clone()), generation: 1 };
+        let g2 = TableEntry { table: std::sync::Arc::new(t.clone()), generation: 2 };
+        let sql = "SELECT avg(v) FROM t GROUP BY g";
+        cache.get_or_create::<()>(&key(&g1, sql), || Ok(entry_for(&t))).unwrap();
+        let (_, hit) = cache.get_or_create::<()>(&key(&g2, sql), || Ok(entry_for(&t))).unwrap();
+        assert!(!hit, "new generation must not hit the old plan");
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_bounds_residency() {
+        let t = sensors();
+        let cache = PlanCache::with_capacity(8);
+        let te = TableEntry { table: std::sync::Arc::new(t.clone()), generation: 1 };
+        for i in 0..50 {
+            let k = PlanKey::new(
+                &te,
+                "t",
+                &format!("SELECT avg(v) FROM t GROUP BY g -- {i}"),
+                "o:[1]h:[0]",
+                "auto",
+            );
+            cache.get_or_create::<()>(&k, || Ok(entry_for(&t))).unwrap();
+        }
+        let s = cache.stats();
+        assert!(s.entries <= 8, "{} entries resident", s.entries);
+        assert_eq!(s.evictions as usize, 50 - s.entries);
+    }
+}

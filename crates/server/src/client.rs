@@ -1,0 +1,97 @@
+//! A tiny blocking HTTP/1.1 client for load generators and tests.
+//!
+//! Not a general client: it speaks exactly the dialect the server
+//! emits (`Content-Length` bodies, keep-alive) and parses bodies as
+//! JSON. Lives in the library so the `server_throughput` bench and the
+//! integration tests measure the same wire path real clients use.
+
+use crate::json::Json;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A keep-alive connection to one server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects (with a 5s I/O deadline).
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_nodelay(true)?;
+        Ok(Client { reader: BufReader::new(stream.try_clone()?), writer: stream })
+    }
+
+    /// `GET path`, returning `(status, parsed JSON body)`.
+    pub fn get(&mut self, path: &str) -> io::Result<(u16, Json)> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body, returning `(status, parsed body)`.
+    pub fn post(&mut self, path: &str, body: &Json) -> io::Result<(u16, Json)> {
+        let text = body
+            .encode()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        self.request("POST", path, Some(&text))
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> io::Result<(u16, Json)> {
+        let body = body.unwrap_or("");
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nHost: scorpion\r\nContent-Length: {}\r\n\
+             Content-Type: application/json\r\n\r\n{body}",
+            body.len()
+        )?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, Json)> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let mut content_length = 0usize;
+        loop {
+            line.clear();
+            self.reader.read_line(&mut line)?;
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| bad("bad Content-Length"))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let text = String::from_utf8(body).map_err(|_| bad("body is not UTF-8"))?;
+        let json = if text.is_empty() {
+            Json::Null
+        } else {
+            Json::parse(&text).map_err(|e| bad(&e.to_string()))?
+        };
+        Ok((status, json))
+    }
+}
+
+/// One-shot convenience: connect, send, disconnect.
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<(u16, Json)> {
+    Client::connect(addr)?.get(path)
+}
+
+/// One-shot convenience: connect, POST JSON, disconnect.
+pub fn post(addr: SocketAddr, path: &str, body: &Json) -> io::Result<(u16, Json)> {
+    Client::connect(addr)?.post(path, body)
+}

@@ -1,0 +1,302 @@
+//! Minimal HTTP/1.1 framing over blocking streams.
+//!
+//! Just enough of RFC 9112 for a JSON service: request-line + header
+//! parsing, `Content-Length` bodies, keep-alive connection reuse, and
+//! response serialization. No chunked encoding, no TLS, no pipelining
+//! guarantees beyond sequential request/response on one connection —
+//! the service's clients are `curl`, load generators, and dashboards.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Largest accepted request body (tables are POSTed as CSV text).
+pub const MAX_BODY_BYTES: usize = 64 << 20;
+
+/// Largest accepted header section.
+const MAX_HEADER_BYTES: usize = 64 << 10;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path without the query string (`/explain`).
+    pub path: String,
+    /// Raw query string, if any (without the `?`).
+    pub query: Option<String>,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// True when the client asked to keep the connection open
+    /// (HTTP/1.1 defaults to keep-alive).
+    pub fn keep_alive(&self) -> bool {
+        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// A response under construction.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers beyond the standard set.
+    pub headers: Vec<(String, String)>,
+    /// Content type of `body`.
+    pub content_type: &'static str,
+    /// The payload.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// The standard reason phrase for the status code.
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the response, with `Connection: keep-alive|close`
+    /// according to `keep_alive`.
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        )?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Outcome of reading one request off a connection.
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// The peer closed the connection cleanly (or idled out) before
+    /// sending a request — not an error.
+    Closed,
+    /// The bytes on the wire are not a valid request; the given
+    /// response should be sent before closing.
+    Malformed(Response),
+}
+
+/// Reads one HTTP/1.1 request from a buffered stream.
+pub fn read_request(r: &mut BufReader<impl Read>) -> io::Result<ReadOutcome> {
+    let mut line = String::new();
+    let mut header_bytes = 0usize;
+    if read_crlf_line(r, &mut line, &mut header_bytes)? == 0 {
+        return Ok(ReadOutcome::Closed);
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Ok(ReadOutcome::Malformed(error_response(400, "malformed request line")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(ReadOutcome::Malformed(error_response(400, "unsupported HTTP version")));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), Some(q.to_owned())),
+        None => (target.to_owned(), None),
+    };
+    let method = method.to_ascii_uppercase();
+
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        if read_crlf_line(r, &mut line, &mut header_bytes)? == 0 {
+            // EOF mid-headers.
+            return Ok(ReadOutcome::Malformed(error_response(400, "truncated headers")));
+        }
+        if line.is_empty() {
+            break;
+        }
+        if header_bytes > MAX_HEADER_BYTES {
+            return Ok(ReadOutcome::Malformed(error_response(400, "headers too large")));
+        }
+        match line.split_once(':') {
+            Some((name, value)) => {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()))
+            }
+            None => return Ok(ReadOutcome::Malformed(error_response(400, "malformed header"))),
+        }
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose();
+    let body = match content_length {
+        Err(_) => return Ok(ReadOutcome::Malformed(error_response(400, "bad Content-Length"))),
+        Ok(Some(n)) if n > MAX_BODY_BYTES => {
+            return Ok(ReadOutcome::Malformed(error_response(413, "body too large")))
+        }
+        Ok(Some(n)) => {
+            // Grow with the bytes that actually arrive — never allocate
+            // the full declared length up front (a header alone must
+            // not be able to commit 64 MB per connection).
+            let mut body = Vec::with_capacity(n.min(64 << 10));
+            let read = r.by_ref().take(n as u64).read_to_end(&mut body)?;
+            if read < n {
+                return Ok(ReadOutcome::Malformed(error_response(400, "truncated body")));
+            }
+            body
+        }
+        Ok(None) => Vec::new(),
+    };
+    Ok(ReadOutcome::Request(Request { method, path, query, headers, body }))
+}
+
+/// Reads one line, stripping the trailing CRLF (or bare LF). Returns the
+/// number of raw bytes consumed (0 = EOF before any byte).
+fn read_crlf_line(
+    r: &mut BufReader<impl Read>,
+    line: &mut String,
+    total: &mut usize,
+) -> io::Result<usize> {
+    line.clear();
+    let mut buf = Vec::new();
+    let n = {
+        let mut limited = r.by_ref().take((MAX_HEADER_BYTES + 2) as u64);
+        limited.read_until(b'\n', &mut buf)?
+    };
+    *total += n;
+    if n == 0 {
+        return Ok(0);
+    }
+    while matches!(buf.last(), Some(b'\n') | Some(b'\r')) {
+        buf.pop();
+    }
+    match String::from_utf8(buf) {
+        Ok(s) => *line = s,
+        Err(_) => *line = String::from("\u{FFFD}"),
+    }
+    Ok(n)
+}
+
+/// A JSON error body `{"error": msg}` with the given status.
+pub fn error_response(status: u16, msg: &str) -> Response {
+    let body = crate::json::Json::obj([("error", msg)]).encode().expect("finite");
+    Response::json(status, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> ReadOutcome {
+        read_request(&mut BufReader::new(raw.as_bytes())).unwrap()
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let ReadOutcome::Request(req) = parse("GET /stats?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n")
+        else {
+            panic!("expected request")
+        };
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/stats");
+        assert_eq!(req.query.as_deref(), Some("verbose=1"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.keep_alive());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_close() {
+        let raw = "POST /explain HTTP/1.1\r\nContent-Length: 4\r\nConnection: close\r\n\r\nbody";
+        let ReadOutcome::Request(req) = parse(raw) else { panic!("expected request") };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"body");
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn eof_is_clean_close() {
+        assert!(matches!(parse(""), ReadOutcome::Closed));
+    }
+
+    #[test]
+    fn truncated_body_is_malformed_not_hung() {
+        let raw = "POST /explain HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        let ReadOutcome::Malformed(resp) = parse(raw) else { panic!("expected malformed") };
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn oversized_content_length_rejected_before_reading() {
+        let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        let ReadOutcome::Malformed(resp) = parse(&raw) else { panic!("expected malformed") };
+        assert_eq!(resp.status, 413);
+    }
+
+    #[test]
+    fn malformed_inputs_get_400() {
+        for raw in
+            ["garbage\r\n\r\n", "GET /x SPDY/3\r\n\r\n", "GET /x HTTP/1.1\r\nnocolon\r\n\r\n"]
+        {
+            let ReadOutcome::Malformed(resp) = parse(raw) else {
+                panic!("expected malformed for {raw:?}")
+            };
+            assert_eq!(resp.status, 400);
+        }
+    }
+
+    #[test]
+    fn response_serializes_with_length() {
+        let resp = Response::json(200, "{}".as_bytes().to_vec());
+        let mut out = Vec::new();
+        resp.write_to(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn two_requests_on_one_connection() {
+        let raw = "GET /healthz HTTP/1.1\r\n\r\nGET /stats HTTP/1.1\r\n\r\n";
+        let mut r = BufReader::new(raw.as_bytes());
+        let ReadOutcome::Request(a) = read_request(&mut r).unwrap() else { panic!() };
+        let ReadOutcome::Request(b) = read_request(&mut r).unwrap() else { panic!() };
+        assert_eq!(a.path, "/healthz");
+        assert_eq!(b.path, "/stats");
+        assert!(matches!(read_request(&mut r).unwrap(), ReadOutcome::Closed));
+    }
+}

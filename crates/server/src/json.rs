@@ -1,0 +1,555 @@
+//! A minimal, dependency-free JSON value type with an encoder and a
+//! parser.
+//!
+//! Covers the subset of RFC 8259 the service (and the CLI's `--json`
+//! output) needs: all value kinds, full string escaping (including
+//! `\uXXXX` with surrogate pairs), and strict rejection of trailing
+//! garbage. Numbers are `f64`; encoding a non-finite number is an
+//! error — JSON has no representation for NaN or infinities, and
+//! silently emitting `null` would corrupt influence scores downstream.
+
+use std::fmt;
+
+/// A JSON value. Object members keep their insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (always carried as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Encoding or parsing failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonError {
+    /// Tried to encode a NaN or infinite number.
+    NonFiniteNumber(f64),
+    /// The input text is not valid JSON.
+    Parse {
+        /// Byte offset of the failure.
+        at: usize,
+        /// What went wrong.
+        msg: &'static str,
+    },
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::NonFiniteNumber(v) => {
+                write!(f, "cannot encode non-finite number {v} as JSON")
+            }
+            JsonError::Parse { at, msg } => write!(f, "JSON parse error at byte {at}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Result alias for JSON operations.
+pub type Result<T> = std::result::Result<T, JsonError>;
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl Json {
+    /// An object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>, V: Into<Json>>(pairs: impl IntoIterator<Item = (K, V)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v.into())).collect())
+    }
+
+    /// An array from values.
+    pub fn arr<V: Into<Json>>(items: impl IntoIterator<Item = V>) -> Json {
+        Json::Arr(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Member `key` of an object (first occurrence), if present.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes to compact JSON text. Errors on non-finite numbers.
+    pub fn encode(&self) -> Result<String> {
+        let mut out = String::new();
+        self.encode_into(&mut out)?;
+        Ok(out)
+    }
+
+    fn encode_into(&self, out: &mut String) -> Result<()> {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(v) => {
+                if !v.is_finite() {
+                    return Err(JsonError::NonFiniteNumber(*v));
+                }
+                // Shortest round-trip form; integers lose the ".0" for
+                // interoperability with integer-typed consumers.
+                if *v == v.trunc() && v.abs() < 1e15 {
+                    out.push_str(&format!("{}", *v as i64));
+                } else {
+                    out.push_str(&format!("{v}"));
+                }
+            }
+            Json::Str(s) => encode_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.encode_into(out)?;
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    encode_string(k, out);
+                    out.push(':');
+                    v.encode_into(out)?;
+                }
+                out.push('}');
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses JSON text (one value, no trailing garbage).
+    pub fn parse(text: &str) -> Result<Json> {
+        let bytes = text.as_bytes();
+        let mut p = Parser { bytes, pos: 0 };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != bytes.len() {
+            return Err(JsonError::Parse { at: p.pos, msg: "trailing characters after value" });
+        }
+        Ok(v)
+    }
+}
+
+fn encode_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Nesting depth cap: malformed deeply nested input must not overflow
+/// the stack of a worker thread.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &'static str) -> Result<T> {
+        Err(JsonError::Parse { at: self.pos, msg })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, msg: &'static str) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(msg)
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            self.err("invalid literal")
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json> {
+        if depth > MAX_DEPTH {
+            return self.err("nesting too deep");
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(_) => self.err("unexpected character"),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json> {
+        self.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json> {
+        self.eat(b'{', "expected '{'")?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':'")?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16> {
+        let mut v: u16 = 0;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(b @ b'0'..=b'9') => b - b'0',
+                Some(b @ b'a'..=b'f') => b - b'a' + 10,
+                Some(b @ b'A'..=b'F') => b - b'A' + 10,
+                _ => return self.err("invalid \\u escape"),
+            };
+            v = (v << 4) | d as u16;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.eat(b'"', "expected string")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a \uXXXX low half must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return self.err("unpaired surrogate");
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return self.err("unpaired surrogate");
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return self.err("invalid low surrogate");
+                                }
+                                0x10000 + (((hi as u32 - 0xD800) << 10) | (lo as u32 - 0xDC00))
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return self.err("unpaired surrogate");
+                            } else {
+                                hi as u32
+                            };
+                            match char::from_u32(cp) {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid code point"),
+                            }
+                            // hex4 advanced past the digits already.
+                            continue;
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return self.err("control character in string"),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return self.err("invalid number"),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return self.err("digits required after decimal point");
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return self.err("digits required in exponent");
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Json::Num(v)),
+            // Overflowing literals (e.g. 1e999) parse to infinity; JSON
+            // values must stay finite.
+            _ => Err(JsonError::Parse { at: start, msg: "number out of range" }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_and_parses_scalars() {
+        for (v, text) in [
+            (Json::Null, "null"),
+            (Json::Bool(true), "true"),
+            (Json::Bool(false), "false"),
+            (Json::Num(3.0), "3"),
+            (Json::Num(-0.5), "-0.5"),
+            (Json::Str("hi".into()), "\"hi\""),
+        ] {
+            assert_eq!(v.encode().unwrap(), text);
+            assert_eq!(Json::parse(text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn rejects_non_finite_numbers() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(Json::Num(v).encode(), Err(JsonError::NonFiniteNumber(_))));
+        }
+        assert!(Json::parse("NaN").is_err());
+        assert!(Json::parse("Infinity").is_err());
+        assert!(Json::parse("1e999").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "line\nbreak \"quoted\" back\\slash tab\t bell\u{07} émoji 🦂";
+        let encoded = Json::Str(s.into()).encode().unwrap();
+        assert_eq!(Json::parse(&encoded).unwrap(), Json::Str(s.into()));
+    }
+
+    #[test]
+    fn unicode_escapes_and_surrogates() {
+        assert_eq!(Json::parse("\"\\u00e9\"").unwrap(), Json::Str("é".into()));
+        assert_eq!(Json::parse("\"\\ud83e\\udd82\"").unwrap(), Json::Str("🦂".into()));
+        assert!(Json::parse("\"\\ud83e\"").is_err()); // unpaired high
+        assert!(Json::parse("\"\\udd82\"").is_err()); // unpaired low
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Json::obj([
+            ("name", Json::from("sensors")),
+            ("rows", Json::from(42u64)),
+            ("tags", Json::arr(["a", "b"])),
+            ("nested", Json::obj([("x", Json::Null)])),
+        ]);
+        let text = v.encode().unwrap();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+        assert_eq!(v.get("rows").and_then(Json::as_f64), Some(42.0));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "\"\\x\"",
+            "\"unterminated",
+            "[1] garbage",
+            "{\"a\":1,}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(Json::parse(&deep).is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! # scorpion-server
+//!
+//! A concurrent HTTP explanation service multiplexing Scorpion sessions
+//! over shared tables — the paper's §2 premise ("put outlier
+//! explanation in end-user hands") as a long-lived network service
+//! rather than a one-shot CLI.
+//!
+//! The design leans on what the engine API already guarantees:
+//! [`scorpion_core::ExplainRequest`] owns its data through `Arc`s and
+//! every prepared plan is `Send + Sync`, so one warm
+//! [`scorpion_core::ScorpionSession`] can serve many concurrent
+//! requests bit-exactly. The server adds the serving substrate:
+//!
+//! * [`registry::TableRegistry`] — named, `Arc`-shared table snapshots
+//!   with generation stamps (reloading a table invalidates dependent
+//!   plans by key, not by scanning).
+//! * [`cache::PlanCache`] — a sharded LRU of warm sessions keyed by
+//!   `(table generation, normalized SQL, labels, algorithm)`. The
+//!   influence parameters are *not* in the key: a repeated
+//!   `POST /explain` at a new `c` re-scores through the plan's
+//!   influence cache instead of re-preparing (§8.3.3, generalized).
+//! * [`pool::WorkerPool`] — a bounded worker pool with a backpressure
+//!   queue; saturation sheds connections with immediate 503s.
+//! * [`http`] / [`json`] — a dependency-free HTTP/1.1 framing layer
+//!   and JSON codec (no crates.io access in this build).
+//!
+//! Endpoints: `POST /explain`, `GET`/`POST /tables`, `GET /healthz`,
+//! `GET /stats`. Run it via the binary:
+//!
+//! ```text
+//! scorpion serve --csv readings=readings.csv --port 7070 --workers 8
+//! ```
+//!
+//! or embed it:
+//!
+//! ```no_run
+//! use scorpion_server::{Server, ServerConfig};
+//! let server = Server::bind(&ServerConfig::default()).unwrap();
+//! // server.state().registry.insert("readings", table);
+//! server.run().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod pool;
+pub mod registry;
+pub mod render;
+pub mod server;
+pub mod stats;
+
+pub use cache::{normalize_sql, PlanCache, PlanCacheStats, PlanEntry, PlanKey};
+pub use json::{Json, JsonError};
+pub use pool::{PoolGauges, SubmitError, WorkerPool};
+pub use registry::{TableEntry, TableRegistry};
+pub use render::{diagnostics_json, explanations_json, num_or_null};
+pub use server::{dispatch, Server, ServerConfig, ServerHandle, ServerState};
+pub use stats::{Endpoint, ServerStats};

@@ -1,0 +1,237 @@
+//! A bounded worker thread pool with a backpressure queue.
+//!
+//! Jobs land on a bounded channel; when every worker is busy and the
+//! queue is full, [`WorkerPool::try_submit`] fails *immediately* so the
+//! acceptor can shed load (HTTP 503) instead of queueing unbounded work
+//! — under overload a fast rejection beats a slow timeout.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads draining a bounded job queue.
+pub struct WorkerPool {
+    tx: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    queued: Arc<AtomicUsize>,
+    busy: Arc<AtomicUsize>,
+    rejected: Arc<AtomicUsize>,
+}
+
+/// A cloneable, read-only view of a pool's load gauges — shareable with
+/// observers (the `/stats` endpoint) that outlive no pool reference.
+#[derive(Clone, Default)]
+pub struct PoolGauges {
+    queued: Arc<AtomicUsize>,
+    busy: Arc<AtomicUsize>,
+    rejected: Arc<AtomicUsize>,
+    workers: usize,
+}
+
+impl PoolGauges {
+    /// Jobs accepted but not yet started.
+    pub fn queue_depth(&self) -> usize {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    /// Workers currently running a job.
+    pub fn busy_workers(&self) -> usize {
+        self.busy.load(Ordering::Relaxed)
+    }
+
+    /// Submissions shed because the queue was saturated.
+    pub fn rejected(&self) -> usize {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Queue full — every worker busy and no queue slot free.
+    Saturated,
+    /// The pool is shutting down.
+    Closed,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads behind a queue of `queue_depth` pending
+    /// jobs (both forced to at least 1).
+    pub fn new(workers: usize, queue_depth: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = mpsc::sync_channel::<Job>(queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let queued = Arc::new(AtomicUsize::new(0));
+        let busy = Arc::new(AtomicUsize::new(0));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = rx.clone();
+                let queued = queued.clone();
+                let busy = busy.clone();
+                std::thread::Builder::new()
+                    .name(format!("scorpion-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &queued, &busy))
+                    .expect("spawn worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers: handles,
+            queued,
+            busy,
+            rejected: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// A shareable view of this pool's load gauges.
+    pub fn gauges(&self) -> PoolGauges {
+        PoolGauges {
+            queued: self.queued.clone(),
+            busy: self.busy.clone(),
+            rejected: self.rejected.clone(),
+            workers: self.workers.len(),
+        }
+    }
+
+    /// Submits a job, failing fast when the queue is full.
+    pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
+        let tx = self.tx.as_ref().ok_or(SubmitError::Closed)?;
+        self.queued.fetch_add(1, Ordering::Relaxed);
+        match tx.try_send(Box::new(job)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.queued.fetch_sub(1, Ordering::Relaxed);
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                match e {
+                    TrySendError::Full(_) => Err(SubmitError::Saturated),
+                    TrySendError::Disconnected(_) => Err(SubmitError::Closed),
+                }
+            }
+        }
+    }
+
+    /// Stops accepting jobs, drains the queue, and joins every worker.
+    pub fn shutdown(&mut self) {
+        drop(self.tx.take());
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Stops accepting jobs and detaches the workers instead of joining
+    /// them: each exits once its current job ends and the queue drains.
+    /// Used on server stop, where joining would block on idle
+    /// keep-alive connections until their read timeout.
+    pub fn detach(&mut self) {
+        drop(self.tx.take());
+        self.workers.clear();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>, queued: &AtomicUsize, busy: &AtomicUsize) {
+    loop {
+        // Hold the receiver lock only while dequeuing, never while
+        // running a job.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(poisoned) => poisoned.into_inner().recv(),
+        };
+        let Ok(job) = job else { return };
+        queued.fetch_sub(1, Ordering::Relaxed);
+        busy.fetch_add(1, Ordering::Relaxed);
+        // A panicking job must cost one request, not one worker: catch
+        // the unwind so the thread (and the busy gauge) survive.
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+            eprintln!("worker survived a panicking job");
+        }
+        busy.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_jobs_on_workers() {
+        let pool = WorkerPool::new(4, 8);
+        let (tx, rx) = channel();
+        for i in 0..32 {
+            let tx = tx.clone();
+            // try_submit can saturate an 8-deep queue; retry.
+            loop {
+                let tx2 = tx.clone();
+                match pool.try_submit(move || tx2.send(i).unwrap()) {
+                    Ok(()) => break,
+                    Err(SubmitError::Saturated) => std::thread::yield_now(),
+                    Err(SubmitError::Closed) => panic!("pool closed"),
+                }
+            }
+        }
+        let mut got: Vec<i32> =
+            (0..32).map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn saturation_rejects_fast() {
+        let pool = WorkerPool::new(1, 1);
+        let (release_tx, release_rx) = channel::<()>();
+        let release_rx = Arc::new(Mutex::new(release_rx));
+        // Occupy the single worker...
+        let rx1 = release_rx.clone();
+        pool.try_submit(move || {
+            rx1.lock().unwrap().recv().unwrap();
+        })
+        .unwrap();
+        // ...wait until it actually started...
+        while pool.gauges().busy_workers() == 0 {
+            std::thread::yield_now();
+        }
+        // ...fill the single queue slot...
+        let rx2 = release_rx.clone();
+        pool.try_submit(move || {
+            rx2.lock().unwrap().recv().unwrap();
+        })
+        .unwrap();
+        // ...now the pool must shed.
+        let r = pool.try_submit(|| {});
+        assert_eq!(r, Err(SubmitError::Saturated));
+        assert_eq!(pool.gauges().rejected(), 1);
+        release_tx.send(()).unwrap();
+        release_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_and_joins() {
+        let mut pool = WorkerPool::new(2, 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let c = counter.clone();
+            pool.try_submit(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+        assert!(matches!(pool.try_submit(|| {}), Err(SubmitError::Closed)));
+    }
+}

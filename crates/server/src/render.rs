@@ -1,0 +1,79 @@
+//! Shared JSON renderings of engine results.
+//!
+//! One home for the wire shapes of explanations and diagnostics, used
+//! by both the HTTP handlers and the CLI's `--json` output — so the two
+//! surfaces cannot silently diverge when a diagnostics field is added.
+
+use crate::json::Json;
+use scorpion_core::{Diagnostics, ScoredPredicate};
+use scorpion_table::Table;
+
+/// `NaN`-safe number rendering: the wire has no NaN, so degenerate
+/// values become `null`.
+pub fn num_or_null(v: f64) -> Json {
+    if v.is_finite() {
+        Json::Num(v)
+    } else {
+        Json::Null
+    }
+}
+
+/// The top-`k` ranked predicates as `[{influence, predicate}]`,
+/// displayed against `table`.
+pub fn explanations_json(table: &Table, predicates: &[ScoredPredicate], top: usize) -> Json {
+    Json::Arr(
+        predicates
+            .iter()
+            .take(top)
+            .map(|sp| {
+                Json::obj([
+                    ("influence", num_or_null(sp.influence)),
+                    ("predicate", Json::from(sp.predicate.display(table))),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// A [`Diagnostics`] block as a JSON object.
+pub fn diagnostics_json(d: &Diagnostics) -> Json {
+    Json::obj([
+        ("runtime_ms", Json::from(d.runtime.as_secs_f64() * 1000.0)),
+        ("scorer_calls", Json::from(d.scorer_calls)),
+        ("cache_hits", Json::from(d.cache_hits)),
+        ("cache_evictions", Json::from(d.cache_evictions)),
+        ("candidates", Json::from(d.candidates)),
+        ("partitions", Json::from(d.partitions)),
+        ("budget_exhausted", Json::from(d.budget_exhausted)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scorpion_table::{Field, Predicate, Schema, TableBuilder};
+
+    #[test]
+    fn renders_nan_as_null_and_caps_top() {
+        let schema = Schema::new(vec![Field::cont("x")]).unwrap();
+        let mut b = TableBuilder::new(schema);
+        b.push_row(vec![1.0.into()]).unwrap();
+        let t = b.build();
+        let preds = vec![
+            ScoredPredicate::new(Predicate::all(), f64::NAN),
+            ScoredPredicate::new(Predicate::all(), 2.0),
+        ];
+        let j = explanations_json(&t, &preds, 1);
+        let arr = j.as_array().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("influence"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn diagnostics_encode_cleanly() {
+        let d = Diagnostics { algorithm: "dt", scorer_calls: 7, ..Diagnostics::default() };
+        let j = diagnostics_json(&d);
+        assert_eq!(j.get("scorer_calls").and_then(Json::as_f64), Some(7.0));
+        assert!(j.encode().is_ok());
+    }
+}

@@ -1,0 +1,533 @@
+//! The service: accept loop, routing, and the `/explain` handler.
+
+use crate::cache::{PlanCache, PlanEntry, PlanKey};
+use crate::http::{error_response, read_request, ReadOutcome, Request, Response};
+use crate::json::Json;
+use crate::pool::{PoolGauges, SubmitError, WorkerPool};
+use crate::registry::{TableEntry, TableRegistry};
+use crate::render::{diagnostics_json, explanations_json, num_or_null};
+use crate::stats::{Endpoint, ServerStats};
+use scorpion_core::{Algorithm, DtConfig, InfluenceParams, McConfig, NaiveConfig, ScorpionSession};
+use std::io::{BufReader, Read};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1` by default). Port `0` binds an
+    /// ephemeral port — read the actual one from
+    /// [`Server::local_addr`].
+    pub host: String,
+    /// TCP port.
+    pub port: u16,
+    /// Worker threads (`0` = available parallelism).
+    pub workers: usize,
+    /// Backpressure queue depth: connections accepted but not yet
+    /// picked up by a worker before the server starts shedding with
+    /// 503s.
+    pub queue_depth: usize,
+    /// Plan-cache bound in sessions (`0` = default).
+    pub plan_cache_entries: usize,
+    /// Per-plan influence-cache bound in predicates (`0` = default).
+    pub influence_cache_entries: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            host: "127.0.0.1".into(),
+            port: 7070,
+            workers: 0,
+            queue_depth: 64,
+            plan_cache_entries: 0,
+            influence_cache_entries: 0,
+        }
+    }
+}
+
+/// Shared, thread-safe service state: the tables, the warm plans, and
+/// the counters. Cheap to clone behind the server's `Arc`.
+pub struct ServerState {
+    /// Named table snapshots.
+    pub registry: TableRegistry,
+    /// Warm sessions keyed by (generation, SQL, labels, algorithm).
+    pub plans: PlanCache,
+    /// Request/latency counters.
+    pub stats: ServerStats,
+    influence_cache_entries: usize,
+    pool: std::sync::OnceLock<PoolGauges>,
+}
+
+impl ServerState {
+    /// Fresh state with the given cache bounds.
+    pub fn new(plan_cache_entries: usize, influence_cache_entries: usize) -> Self {
+        ServerState {
+            registry: TableRegistry::new(),
+            plans: PlanCache::with_capacity(plan_cache_entries),
+            stats: ServerStats::new(),
+            influence_cache_entries,
+            pool: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The per-plan influence-cache bound requests are built with.
+    pub fn influence_cache_entries(&self) -> usize {
+        self.influence_cache_entries
+    }
+}
+
+/// Idle keep-alive connections are closed after this long.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The bound, not-yet-running service.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    pool: WorkerPool,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the worker pool.
+    pub fn bind(cfg: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind((cfg.host.as_str(), cfg.port))?;
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        } else {
+            cfg.workers
+        };
+        let pool = WorkerPool::new(workers, cfg.queue_depth);
+        let state = Arc::new(ServerState::new(cfg.plan_cache_entries, cfg.influence_cache_entries));
+        let _ = state.pool.set(pool.gauges());
+        Ok(Server { listener, state, pool, stop: Arc::new(AtomicBool::new(false)) })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared state — register tables here before (or while)
+    /// serving.
+    pub fn state(&self) -> Arc<ServerState> {
+        self.state.clone()
+    }
+
+    /// Serves until [`ServerHandle::stop`] is called (when spawned) or
+    /// the process exits. Each accepted connection is dispatched to the
+    /// worker pool; when the pool is saturated the connection gets an
+    /// immediate 503 and is closed (load shedding).
+    ///
+    /// A worker stays pinned to its connection for the connection's
+    /// lifetime (keep-alive included), bounded by the 10s idle read
+    /// timeout — so size `workers` for the expected number of
+    /// *connections*, not in-flight requests. Parking idle keep-alive
+    /// connections back to a poller (freeing workers between requests)
+    /// is a noted follow-on in the ROADMAP.
+    pub fn run(mut self) -> std::io::Result<()> {
+        let mut consecutive_failures = 0u32;
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(accepted) => {
+                    consecutive_failures = 0;
+                    accepted
+                }
+                // Transient accept errors (EMFILE under connection
+                // pressure, ECONNABORTED races) must not kill the
+                // service — back off briefly and keep accepting. Only
+                // a persistently failing listener is fatal.
+                Err(e) => {
+                    consecutive_failures += 1;
+                    if consecutive_failures > 100 {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            };
+            if self.stop.load(Ordering::Relaxed) {
+                self.pool.detach();
+                return Ok(());
+            }
+            self.state.stats.connection();
+            let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+            let _ = stream.set_nodelay(true);
+            let state = self.state.clone();
+            let submitted = self.pool.try_submit({
+                let stream = stream.try_clone();
+                move || {
+                    if let Ok(stream) = stream {
+                        handle_connection(stream, &state);
+                    }
+                }
+            });
+            match submitted {
+                Ok(()) => {}
+                Err(SubmitError::Closed) => return Ok(()),
+                Err(SubmitError::Saturated) => {
+                    self.state.stats.shed_connection();
+                    let mut stream = stream;
+                    let resp = error_response(503, "server saturated; retry later");
+                    let _ = resp.write_to(&mut stream, false);
+                }
+            }
+        }
+    }
+
+    /// Runs the accept loop on a background thread, returning a handle
+    /// for tests, benches, and embedding.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let state = self.state.clone();
+        let stop = self.stop.clone();
+        let thread =
+            std::thread::Builder::new().name("scorpion-acceptor".into()).spawn(move || {
+                let _ = self.run();
+            })?;
+        Ok(ServerHandle { addr, state, stop, thread: Some(thread) })
+    }
+}
+
+/// Handle to a spawned server.
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    state: Arc<ServerState>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server listens on.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (register tables, read stats).
+    pub fn state(&self) -> Arc<ServerState> {
+        self.state.clone()
+    }
+
+    /// Stops the accept loop and joins it (the `Drop` impl does the
+    /// work; this method just makes the intent explicit at call sites).
+    /// In-flight worker jobs finish in the background.
+    pub fn stop(self) {}
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &ServerState) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        let outcome = match read_request(&mut reader) {
+            Ok(o) => o,
+            // Idle timeout or peer reset: close quietly.
+            Err(_) => return,
+        };
+        match outcome {
+            ReadOutcome::Closed => return,
+            ReadOutcome::Malformed(resp) => {
+                state.stats.record(Endpoint::Other, resp.status, Duration::ZERO);
+                let _ = resp.write_to(&mut writer, false);
+                // Drain (a bounded amount of) whatever the peer is
+                // still sending before closing: discarding unread bytes
+                // triggers a TCP RST that can destroy the error
+                // response before the client reads it.
+                let mut sink = std::io::sink();
+                let _ = std::io::copy(&mut (&mut reader).take(1 << 20), &mut sink);
+                return;
+            }
+            ReadOutcome::Request(req) => {
+                let keep_alive = req.keep_alive();
+                let started = Instant::now();
+                let (endpoint, resp) = dispatch(&req, state);
+                state.stats.record(endpoint, resp.status, started.elapsed());
+                if resp.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Routes one request. Public so embedders (and the bench's in-process
+/// mode) can exercise handlers without sockets.
+pub fn dispatch(req: &Request, state: &ServerState) -> (Endpoint, Response) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (Endpoint::Healthz, handle_healthz(state)),
+        ("GET", "/tables") => (Endpoint::Tables, handle_tables_get(state)),
+        ("POST", "/tables") => (Endpoint::Tables, respond(handle_tables_post(req, state))),
+        ("POST", "/explain") => (Endpoint::Explain, respond(handle_explain(req, state))),
+        ("GET", "/stats") => (Endpoint::Stats, handle_stats(state)),
+        (_, "/healthz" | "/tables" | "/explain" | "/stats") => {
+            (Endpoint::Other, error_response(405, "method not allowed"))
+        }
+        _ => (Endpoint::Other, error_response(404, "no such endpoint")),
+    }
+}
+
+fn respond(r: Result<Response, Response>) -> Response {
+    r.unwrap_or_else(|e| e)
+}
+
+fn ok_json(value: &Json) -> Response {
+    match value.encode() {
+        Ok(body) => Response::json(200, body),
+        Err(e) => error_response(500, &format!("response encoding failed: {e}")),
+    }
+}
+
+fn handle_healthz(state: &ServerState) -> Response {
+    ok_json(&Json::obj([
+        ("status", Json::from("ok")),
+        ("uptime_secs", Json::from(state.stats.uptime().as_secs())),
+        ("tables", Json::from(state.registry.len())),
+    ]))
+}
+
+fn handle_tables_get(state: &ServerState) -> Response {
+    let tables: Vec<Json> = state
+        .registry
+        .list()
+        .into_iter()
+        .map(|(name, e)| {
+            Json::obj([
+                ("name", Json::from(name)),
+                ("generation", Json::from(e.generation)),
+                ("rows", Json::from(e.table.len())),
+                ("attributes", Json::from(e.table.schema().len())),
+            ])
+        })
+        .collect();
+    ok_json(&Json::obj([("tables", Json::Arr(tables))]))
+}
+
+fn handle_tables_post(req: &Request, state: &ServerState) -> Result<Response, Response> {
+    let body = parse_body(req)?;
+    let name = body
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| error_response(400, "missing string field `name`"))?;
+    let csv = body
+        .get("csv")
+        .and_then(Json::as_str)
+        .ok_or_else(|| error_response(400, "missing string field `csv`"))?;
+    let table = scorpion_table::csv::parse_csv(csv)
+        .map_err(|e| error_response(400, &format!("CSV rejected: {e}")))?;
+    let rows = table.len();
+    let generation = state.registry.insert(name, table);
+    Ok(ok_json(&Json::obj([
+        ("name", Json::from(name)),
+        ("generation", Json::from(generation)),
+        ("rows", Json::from(rows)),
+    ])))
+}
+
+fn handle_stats(state: &ServerState) -> Response {
+    let plans = state.plans.stats();
+    let pool = state.pool.get().cloned().unwrap_or_default();
+    ok_json(&Json::obj([
+        (
+            "queue",
+            Json::obj([
+                ("workers", Json::from(pool.workers())),
+                ("busy", Json::from(pool.busy_workers())),
+                ("depth", Json::from(pool.queue_depth())),
+                ("rejected", Json::from(pool.rejected())),
+            ]),
+        ),
+        ("uptime_secs", Json::from(state.stats.uptime().as_secs())),
+        ("connections", Json::from(state.stats.connections_total())),
+        ("shed_connections", Json::from(state.stats.shed_total())),
+        (
+            "plan_cache",
+            Json::obj([
+                ("hits", Json::from(plans.hits)),
+                ("misses", Json::from(plans.misses)),
+                ("evictions", Json::from(plans.evictions)),
+                ("entries", Json::from(plans.entries)),
+            ]),
+        ),
+        ("endpoints", state.stats.endpoints_json()),
+    ]))
+}
+
+fn parse_body(req: &Request) -> Result<Json, Response> {
+    let text =
+        std::str::from_utf8(&req.body).map_err(|_| error_response(400, "body is not UTF-8"))?;
+    Json::parse(text).map_err(|e| error_response(400, &format!("bad JSON body: {e}")))
+}
+
+fn parse_algorithm(name: &str) -> Result<Algorithm, Response> {
+    Ok(match name {
+        "auto" => Algorithm::Auto,
+        "dt" => Algorithm::DecisionTree(DtConfig::default()),
+        "mc" => Algorithm::BottomUp(McConfig::default()),
+        "naive" => Algorithm::Naive(NaiveConfig::default()),
+        other => {
+            return Err(error_response(
+                400,
+                &format!("unknown algorithm `{other}` (expected auto|dt|mc|naive)"),
+            ))
+        }
+    })
+}
+
+fn handle_explain(req: &Request, state: &ServerState) -> Result<Response, Response> {
+    let body = parse_body(req)?;
+    let sql = body
+        .get("sql")
+        .and_then(Json::as_str)
+        .ok_or_else(|| error_response(400, "missing string field `sql`"))?;
+    let table_name = match body.get("table").and_then(Json::as_str) {
+        Some(n) => n.to_owned(),
+        // With exactly one registered table the field is optional.
+        None => match &state.registry.list()[..] {
+            [(only, _)] => only.clone(),
+            _ => return Err(error_response(400, "missing field `table`")),
+        },
+    };
+    let entry = state
+        .registry
+        .get(&table_name)
+        .ok_or_else(|| error_response(404, &format!("no table named `{table_name}`")))?;
+
+    let lambda = body.get("lambda").and_then(Json::as_f64).unwrap_or(0.5);
+    let c = body.get("c").and_then(Json::as_f64).unwrap_or(0.5);
+    let top = body.get("top").and_then(Json::as_f64).unwrap_or(3.0).max(1.0) as usize;
+    let algorithm_name = body.get("algorithm").and_then(Json::as_str).unwrap_or("auto");
+    let algorithm = parse_algorithm(algorithm_name)?;
+
+    // Canonical label spec for the cache key: the re-encoded raw JSON
+    // label fields (parse→encode normalizes formatting).
+    let enc = |field: &str| -> String {
+        body.get(field).map(|v| v.encode().unwrap_or_default()).unwrap_or_default()
+    };
+    let labels_spec =
+        format!("o:{}|h:{}|k:{}", enc("outliers"), enc("holdouts"), enc("auto_label"));
+    let key = PlanKey::new(&entry, &table_name, sql, &labels_spec, algorithm_name);
+
+    let build = || -> Result<PlanEntry, Response> {
+        build_plan_entry(state, &entry, sql, &body, algorithm, lambda, c)
+    };
+    let (plan, hit) = state.plans.get_or_create(&key, build)?;
+
+    let explanation = plan
+        .session
+        .run(InfluenceParams { lambda, c })
+        .map_err(|e| error_response(500, &format!("explanation failed: {e}")))?;
+
+    let table = plan.session.request().table();
+    let outlier_idx: Vec<usize> =
+        plan.session.request().outliers().iter().map(|&(i, _)| i).collect();
+    let holdout_idx = plan.session.request().holdouts();
+    let results: Vec<Json> = plan
+        .display_keys
+        .iter()
+        .zip(&plan.results)
+        .enumerate()
+        .map(|(i, (k, &v))| {
+            let label = if outlier_idx.contains(&i) {
+                Json::from("outlier")
+            } else if holdout_idx.contains(&i) {
+                Json::from("holdout")
+            } else {
+                Json::Null
+            };
+            Json::obj([
+                ("key", Json::from(k.as_str())),
+                ("value", num_or_null(v)),
+                ("label", label),
+            ])
+        })
+        .collect();
+    let explanations = explanations_json(table, &explanation.predicates, top);
+    let d = &explanation.diagnostics;
+    Ok(ok_json(&Json::obj([
+        ("table", Json::from(table_name)),
+        ("generation", Json::from(entry.generation)),
+        ("algorithm", Json::from(d.algorithm)),
+        ("plan_cache", Json::from(if hit { "hit" } else { "miss" })),
+        ("lambda", Json::from(lambda)),
+        ("c", Json::from(c)),
+        ("results", Json::Arr(results)),
+        ("explanations", explanations),
+        ("diagnostics", diagnostics_json(d)),
+    ])))
+}
+
+/// Builds the session and result metadata for a plan-cache miss.
+fn build_plan_entry(
+    state: &ServerState,
+    entry: &TableEntry,
+    sql: &str,
+    body: &Json,
+    algorithm: Algorithm,
+    lambda: f64,
+    c: f64,
+) -> Result<PlanEntry, Response> {
+    let bad = |msg: String| error_response(400, &msg);
+    let builder = scorpion_core::Scorpion::on(entry.table.clone())
+        .sql(sql)
+        .map_err(|e| bad(format!("query failed: {e}")))?;
+    let display_keys: Vec<String> = (0..builder.len()).map(|i| builder.display_key(i)).collect();
+    let results = builder.results().to_vec();
+
+    // A label is a result index (number) or a display key (string);
+    // outliers may also be `{"key"|"index":…, "error": ±w}` objects.
+    let resolve = |v: &Json| -> Result<usize, Response> {
+        match v {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as usize),
+            Json::Str(k) => {
+                builder.index_of_key(k).ok_or_else(|| bad(format!("unknown result key `{k}`")))
+            }
+            _ => Err(bad(format!("bad label {v:?}: expected index or key"))),
+        }
+    };
+    let builder = if let Some(k) = body.get("auto_label").and_then(Json::as_f64) {
+        builder.auto_label((k.max(1.0)) as usize)
+    } else {
+        let mut outliers = Vec::new();
+        for v in body.get("outliers").and_then(Json::as_array).unwrap_or(&[]) {
+            let (target, error) = match v {
+                Json::Obj(_) => {
+                    let error = v.get("error").and_then(Json::as_f64).unwrap_or(1.0);
+                    let target = v
+                        .get("key")
+                        .or_else(|| v.get("index"))
+                        .ok_or_else(|| bad("outlier object needs `key` or `index`".into()))?;
+                    (target.clone(), error)
+                }
+                other => (other.clone(), 1.0),
+            };
+            outliers.push((resolve(&target)?, error));
+        }
+        let mut holdouts = Vec::new();
+        for v in body.get("holdouts").and_then(Json::as_array).unwrap_or(&[]) {
+            holdouts.push(resolve(v)?);
+        }
+        builder.outliers(outliers).holdouts(holdouts)
+    };
+    let request = builder
+        .params(lambda, c)
+        .algorithm(algorithm)
+        .influence_cache_entries(state.influence_cache_entries)
+        .build()
+        .map_err(|e| bad(format!("labeling failed: {e}")))?;
+    let session = ScorpionSession::new(request)
+        .map_err(|e| bad(format!("session construction failed: {e}")))?;
+    Ok(PlanEntry { session, display_keys, results })
+}

@@ -1,0 +1,150 @@
+//! Lock-free service counters behind `GET /stats`.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// The endpoints tracked individually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET` / `POST /tables`.
+    Tables,
+    /// `POST /explain`.
+    Explain,
+    /// `GET /stats`.
+    Stats,
+    /// Anything else (404s, bad methods, malformed requests).
+    Other,
+}
+
+const ENDPOINTS: [(Endpoint, &str); 5] = [
+    (Endpoint::Healthz, "healthz"),
+    (Endpoint::Tables, "tables"),
+    (Endpoint::Explain, "explain"),
+    (Endpoint::Stats, "stats"),
+    (Endpoint::Other, "other"),
+];
+
+/// Per-endpoint counters.
+#[derive(Default)]
+struct EndpointStats {
+    count: AtomicU64,
+    errors: AtomicU64,
+    micros_total: AtomicU64,
+    micros_max: AtomicU64,
+}
+
+impl EndpointStats {
+    fn record(&self, status: u16, elapsed: Duration) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = elapsed.as_micros() as u64;
+        self.micros_total.fetch_add(us, Ordering::Relaxed);
+        self.micros_max.fetch_max(us, Ordering::Relaxed);
+    }
+
+    fn to_json(&self) -> Json {
+        let count = self.count.load(Ordering::Relaxed);
+        let total = self.micros_total.load(Ordering::Relaxed);
+        let mean_ms = if count == 0 { 0.0 } else { total as f64 / count as f64 / 1000.0 };
+        Json::obj([
+            ("count", Json::from(count)),
+            ("errors", Json::from(self.errors.load(Ordering::Relaxed))),
+            ("mean_ms", Json::from(mean_ms)),
+            ("max_ms", Json::from(self.micros_max.load(Ordering::Relaxed) as f64 / 1000.0)),
+        ])
+    }
+}
+
+/// Service-wide counters: per-endpoint latency plus connection and
+/// load-shedding totals.
+pub struct ServerStats {
+    started: Instant,
+    endpoints: [EndpointStats; 5],
+    connections: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats {
+            started: Instant::now(),
+            endpoints: Default::default(),
+            connections: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ServerStats {
+    /// Fresh counters starting now.
+    pub fn new() -> Self {
+        ServerStats::default()
+    }
+
+    /// Seconds since the service started.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Records one handled request.
+    pub fn record(&self, endpoint: Endpoint, status: u16, elapsed: Duration) {
+        let idx = ENDPOINTS.iter().position(|(e, _)| *e == endpoint).expect("known endpoint");
+        self.endpoints[idx].record(status, elapsed);
+    }
+
+    /// Counts an accepted connection.
+    pub fn connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a connection shed by backpressure (503 at accept).
+    pub fn shed_connection(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections shed so far.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Renders the per-endpoint section of `/stats`.
+    pub fn endpoints_json(&self) -> Json {
+        Json::Obj(
+            ENDPOINTS
+                .iter()
+                .enumerate()
+                .map(|(i, (_, name))| ((*name).to_owned(), self.endpoints[i].to_json()))
+                .collect(),
+        )
+    }
+
+    /// Total accepted connections.
+    pub fn connections_total(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_per_endpoint_latency() {
+        let s = ServerStats::new();
+        s.record(Endpoint::Explain, 200, Duration::from_millis(10));
+        s.record(Endpoint::Explain, 400, Duration::from_millis(30));
+        s.record(Endpoint::Healthz, 200, Duration::from_micros(50));
+        let j = s.endpoints_json();
+        let explain = j.get("explain").unwrap();
+        assert_eq!(explain.get("count").unwrap().as_f64(), Some(2.0));
+        assert_eq!(explain.get("errors").unwrap().as_f64(), Some(1.0));
+        assert_eq!(explain.get("mean_ms").unwrap().as_f64(), Some(20.0));
+        assert_eq!(explain.get("max_ms").unwrap().as_f64(), Some(30.0));
+        assert_eq!(j.get("healthz").unwrap().get("count").unwrap().as_f64(), Some(1.0));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the JSON codec: encode→parse identity over
+//! generated values (escapes, unicode, nesting), non-finite-float
+//! rejection, and parser robustness on arbitrary input.
+
+use proptest::prelude::*;
+use scorpion_server::{Json, JsonError};
+
+/// Strings salted with the characters that exercise every escape path:
+/// quotes, backslashes, control characters, multi-byte unicode.
+fn arb_string(r: &mut TestRunner) -> String {
+    let n = (0usize..12).sample(r);
+    (0..n)
+        .map(|_| match (0usize..8).sample(r) {
+            0 => '"',
+            1 => '\\',
+            2 => '\n',
+            3 => char::from_u32((0u32..0x20).sample(r)).unwrap(),
+            4 => ['é', '🦂', '\u{FFFD}', '\u{2028}'][(0usize..4).sample(r)],
+            _ => char::from_u32((0x20u32..0x7F).sample(r)).unwrap(),
+        })
+        .collect()
+}
+
+/// An arbitrary JSON value with bounded depth (scalars at the leaves).
+fn arb_json(r: &mut TestRunner, depth: usize) -> Json {
+    let kinds = if depth == 0 { 4 } else { 6 };
+    match (0usize..kinds).sample(r) {
+        0 => Json::Null,
+        1 => Json::Bool(any::<bool>().sample(r)),
+        // The shim's any::<f64>() is finite by construction.
+        2 => Json::Num(any::<f64>().sample(r)),
+        3 => Json::Str(arb_string(r)),
+        4 => Json::Arr((0..(0usize..5).sample(r)).map(|_| arb_json(r, depth - 1)).collect()),
+        _ => Json::Obj(
+            (0..(0usize..5).sample(r)).map(|_| (arb_string(r), arb_json(r, depth - 1))).collect(),
+        ),
+    }
+}
+
+/// Strategy wrapper so `proptest!` can sample whole documents.
+struct ArbJson;
+
+impl Strategy for ArbJson {
+    type Value = Json;
+    fn sample(&self, r: &mut TestRunner) -> Json {
+        arb_json(r, 3)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// encode → parse is the identity, for every generated document.
+    #[test]
+    fn encode_parse_round_trip(v in ArbJson) {
+        let text = v.encode().unwrap();
+        prop_assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    /// Encoding is deterministic and idempotent through a round trip.
+    #[test]
+    fn encode_is_canonical(v in ArbJson) {
+        let once = v.encode().unwrap();
+        let twice = Json::parse(&once).unwrap().encode().unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// A non-finite number anywhere in the document fails encoding.
+    #[test]
+    fn non_finite_numbers_rejected(v in ArbJson, pick in 0usize..3) {
+        let bad = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][pick];
+        let doc = Json::Obj(vec![
+            ("ok".into(), v),
+            ("bad".into(), Json::Num(bad)),
+        ]);
+        prop_assert!(matches!(doc.encode(), Err(JsonError::NonFiniteNumber(_))));
+    }
+
+    /// The parser never panics on arbitrary text; accepted inputs
+    /// re-encode successfully (everything parsed is finite).
+    #[test]
+    fn parser_is_total(s in prop::collection::vec(0u32..0xFF, 0..64)) {
+        let text: String =
+            s.iter().filter_map(|&c| char::from_u32(c)).collect();
+        if let Ok(v) = Json::parse(&text) {
+            v.encode().unwrap();
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! End-to-end HTTP tests: a spawned server, real sockets, JSON bodies.
+//!
+//! The acceptance property of the service lives here: a warm repeat
+//! `POST /explain` (same query and labels, new `c`) runs through the
+//! cached session — plan-cache hit, influence-cache hits, strictly
+//! fewer scorer calls than the cold first call.
+
+use scorpion_server::{client, Json, Server, ServerConfig};
+
+/// CSV of the planted workload: group "o" runs hot for x ∈ [20, 60),
+/// group "h" is uniform.
+fn planted_csv(n: usize) -> String {
+    let mut s = String::from("g,x,v\n");
+    for i in 0..n {
+        let x = (i as f64 * 7.3) % 100.0;
+        let v = if (20.0..60.0).contains(&x) { 80.0 } else { 10.0 };
+        s.push_str(&format!("o,{x},{v}\n"));
+        s.push_str(&format!("h,{x},10\n"));
+    }
+    s
+}
+
+fn serve() -> scorpion_server::ServerHandle {
+    let server = Server::bind(&ServerConfig { port: 0, workers: 4, ..ServerConfig::default() })
+        .expect("bind ephemeral port");
+    server.spawn().expect("spawn server")
+}
+
+fn table_body(name: &str, rows: usize) -> Json {
+    Json::obj([("name", Json::from(name)), ("csv", Json::from(planted_csv(rows)))])
+}
+
+fn explain_body(table: &str, algorithm: &str, c: f64) -> Json {
+    Json::obj([
+        ("table", Json::from(table)),
+        ("sql", Json::from("SELECT avg(v) FROM t GROUP BY g")),
+        ("outliers", Json::arr(["o"])),
+        ("holdouts", Json::arr(["h"])),
+        ("lambda", Json::from(0.5)),
+        ("c", Json::from(c)),
+        ("algorithm", Json::from(algorithm)),
+    ])
+}
+
+fn diag(resp: &Json, field: &str) -> f64 {
+    resp.get("diagnostics")
+        .and_then(|d| d.get(field))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("missing diagnostics.{field} in {resp:?}"))
+}
+
+#[test]
+fn healthz_tables_and_stats_round_trip() {
+    let handle = serve();
+    let mut c = client::Client::connect(handle.addr()).unwrap();
+
+    let (status, health) = c.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(health.get("tables").and_then(Json::as_f64), Some(0.0));
+
+    let (status, loaded) = c.post("/tables", &table_body("planted", 50)).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(loaded.get("rows").and_then(Json::as_f64), Some(100.0));
+
+    let (status, tables) = c.get("/tables").unwrap();
+    assert_eq!(status, 200);
+    let list = tables.get("tables").and_then(Json::as_array).unwrap();
+    assert_eq!(list.len(), 1);
+    assert_eq!(list[0].get("name").and_then(Json::as_str), Some("planted"));
+    assert_eq!(list[0].get("attributes").and_then(Json::as_f64), Some(3.0));
+
+    let (status, stats) = c.get("/stats").unwrap();
+    assert_eq!(status, 200);
+    let queue = stats.get("queue").unwrap();
+    assert!(queue.get("workers").and_then(Json::as_f64).unwrap() >= 1.0);
+    handle.stop();
+}
+
+#[test]
+fn warm_repeat_explain_hits_every_cache_layer() {
+    let handle = serve();
+    let mut c = client::Client::connect(handle.addr()).unwrap();
+    c.post("/tables", &table_body("planted", 300)).unwrap();
+
+    let (status, cold) = c.post("/explain", &explain_body("planted", "dt", 0.5)).unwrap();
+    assert_eq!(status, 200, "{cold:?}");
+    assert_eq!(cold.get("plan_cache").and_then(Json::as_str), Some("miss"));
+    assert_eq!(cold.get("algorithm").and_then(Json::as_str), Some("dt"));
+    let cold_calls = diag(&cold, "scorer_calls");
+    assert!(cold_calls > 0.0);
+    let best = &cold.get("explanations").and_then(Json::as_array).unwrap()[0];
+    assert!(best.get("predicate").and_then(Json::as_str).unwrap().contains("x in"));
+
+    // Same query + labels, new c: the warm path.
+    let (status, warm) = c.post("/explain", &explain_body("planted", "dt", 0.2)).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(warm.get("plan_cache").and_then(Json::as_str), Some("hit"));
+    assert!(diag(&warm, "cache_hits") > 0.0, "warm run must hit the influence cache");
+    assert!(
+        diag(&warm, "scorer_calls") < cold_calls,
+        "warm {} vs cold {} scorer calls",
+        diag(&warm, "scorer_calls"),
+        cold_calls
+    );
+
+    let (_, stats) = c.get("/stats").unwrap();
+    let plans = stats.get("plan_cache").unwrap();
+    assert_eq!(plans.get("hits").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(plans.get("misses").and_then(Json::as_f64), Some(1.0));
+    let explain_stats = stats.get("endpoints").and_then(|e| e.get("explain")).unwrap();
+    assert_eq!(explain_stats.get("count").and_then(Json::as_f64), Some(2.0));
+    assert_eq!(explain_stats.get("errors").and_then(Json::as_f64), Some(0.0));
+    handle.stop();
+}
+
+#[test]
+fn reloading_a_table_invalidates_warm_plans() {
+    let handle = serve();
+    let mut c = client::Client::connect(handle.addr()).unwrap();
+    c.post("/tables", &table_body("t", 100)).unwrap();
+    let (_, first) = c.post("/explain", &explain_body("t", "dt", 0.5)).unwrap();
+    assert_eq!(first.get("plan_cache").and_then(Json::as_str), Some("miss"));
+    // Reload the table: new generation, stale plans unreachable.
+    c.post("/tables", &table_body("t", 100)).unwrap();
+    let (_, second) = c.post("/explain", &explain_body("t", "dt", 0.5)).unwrap();
+    assert_eq!(second.get("plan_cache").and_then(Json::as_str), Some("miss"));
+    assert!(
+        second.get("generation").and_then(Json::as_f64)
+            > first.get("generation").and_then(Json::as_f64)
+    );
+    handle.stop();
+}
+
+#[test]
+fn auto_label_and_single_table_default() {
+    let handle = serve();
+    let mut c = client::Client::connect(handle.addr()).unwrap();
+    c.post("/tables", &table_body("only", 100)).unwrap();
+    // No `table` (one registered ⇒ default) and no explicit labels.
+    let body = Json::obj([
+        ("sql", Json::from("SELECT avg(v) FROM t GROUP BY g")),
+        ("auto_label", Json::from(1.0)),
+    ]);
+    let (status, resp) = c.post("/explain", &body).unwrap();
+    assert_eq!(status, 200, "{resp:?}");
+    let results = resp.get("results").and_then(Json::as_array).unwrap();
+    assert_eq!(results.len(), 2);
+    assert!(results.iter().any(|r| r.get("label").and_then(Json::as_str) == Some("outlier")));
+    handle.stop();
+}
+
+#[test]
+fn error_paths_are_clean_json() {
+    let handle = serve();
+    let mut c = client::Client::connect(handle.addr()).unwrap();
+
+    let (status, _) = c.get("/no-such-endpoint").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = c.get("/explain").unwrap();
+    assert_eq!(status, 405);
+
+    let (status, err) = c.post("/explain", &explain_body("unregistered", "dt", 0.5)).unwrap();
+    assert_eq!(status, 404);
+    assert!(err.get("error").and_then(Json::as_str).unwrap().contains("unregistered"));
+
+    c.post("/tables", &table_body("t", 20)).unwrap();
+    let (status, err) = c
+        .post(
+            "/explain",
+            &Json::obj([
+                ("table", Json::from("t")),
+                ("sql", Json::from("SELECT avg(v) FROM t GROUP BY g")),
+                ("outliers", Json::arr(["no-such-group"])),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(status, 400);
+    assert!(err.get("error").and_then(Json::as_str).unwrap().contains("no-such-group"));
+
+    let (status, err) = c
+        .post(
+            "/explain",
+            &Json::obj([("table", Json::from("t")), ("sql", Json::from("not sql at all"))]),
+        )
+        .unwrap();
+    assert_eq!(status, 400);
+    assert!(err.get("error").is_some());
+
+    // The connection survived every error (keep-alive).
+    let (status, _) = c.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    handle.stop();
+}
+
+#[test]
+fn concurrent_clients_get_identical_answers() {
+    let handle = serve();
+    let mut setup = client::Client::connect(handle.addr()).unwrap();
+    setup.post("/tables", &table_body("shared", 200)).unwrap();
+    // Prime one plan so some threads hit and some miss concurrently.
+    setup.post("/explain", &explain_body("shared", "mc", 0.5)).unwrap();
+
+    let addr = handle.addr();
+    let answers: Vec<Vec<(String, String)>> = std::thread::scope(|s| {
+        (0..8)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut c = client::Client::connect(addr).unwrap();
+                    let mut got = Vec::new();
+                    for &(algo, cc) in &[("mc", 0.5), ("naive", 0.5), ("mc", 0.2), ("naive", 0.2)] {
+                        let (status, resp) =
+                            c.post("/explain", &explain_body("shared", algo, cc)).unwrap();
+                        assert_eq!(status, 200, "{resp:?}");
+                        let best = &resp.get("explanations").and_then(Json::as_array).unwrap()[0];
+                        got.push((
+                            format!("{algo}@{cc}"),
+                            format!(
+                                "{}|{}",
+                                best.get("predicate").and_then(Json::as_str).unwrap(),
+                                best.get("influence").and_then(Json::as_f64).unwrap()
+                            ),
+                        ));
+                    }
+                    got
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    // Every thread must have seen bit-identical explanations per (algo, c).
+    for per_thread in &answers[1..] {
+        assert_eq!(per_thread, &answers[0]);
+    }
+    let state = handle.state();
+    let stats = state.plans.stats();
+    assert!(stats.hits > 0, "concurrent repeats must share warm plans: {stats:?}");
+    handle.stop();
+}

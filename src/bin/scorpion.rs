@@ -7,13 +7,39 @@
 //! scorpion --csv readings.csv \
 //!          --sql "SELECT stddev(temp) FROM readings GROUP BY hour" \
 //!          --outliers h040,h041 --holdouts h000,h001 \
-//!          --direction high --c 0.5 [--top 5]
+//!          --direction high --c 0.5 [--top 5] [--json]
 //! ```
 //!
 //! Without `--outliers`, the most deviant results are auto-labeled.
+//!
+//! The same flow as a long-lived service (warm plan caches, shared
+//! tables, concurrent sessions):
+//!
+//! ```text
+//! scorpion serve --csv readings=readings.csv --port 7070 --workers 8
+//! ```
 
 use scorpion::prelude::*;
+use scorpion::server::{diagnostics_json, explanations_json, num_or_null, Json};
+use scorpion::server::{Server, ServerConfig};
 use std::process::exit;
+
+/// `println!` that tolerates a closed pipe (`scorpion … | head`):
+/// truncated output and exit 0 beat a broken-pipe panic.
+macro_rules! out {
+    ($($t:tt)*) => {{
+        use std::io::Write as _;
+        let _ = writeln!(std::io::stdout(), $($t)*);
+    }};
+}
+
+/// `print!` variant of [`out!`].
+macro_rules! outp {
+    ($($t:tt)*) => {{
+        use std::io::Write as _;
+        let _ = write!(std::io::stdout(), $($t)*);
+    }};
+}
 
 struct Args {
     csv: String,
@@ -24,35 +50,57 @@ struct Args {
     c: f64,
     lambda: f64,
     top: usize,
+    json: bool,
 }
 
 const HELP: &str = "usage: scorpion --csv FILE --sql QUERY [--outliers k1,k2,...] \
-[--holdouts k1,k2,...] [--direction high|low] [--c F] [--lambda F] [--top N]\n\
+[--holdouts k1,k2,...] [--direction high|low] [--c F] [--lambda F] [--top N] [--json]\n\
+       scorpion serve --csv NAME=FILE [--csv ...] [--port P] [--workers N] ...\n\
 \n\
 QUERY is a select-project-group-by query with one aggregate, e.g.\n\
 \"SELECT avg(temp) FROM readings WHERE sensor = 's3' GROUP BY hour\".\n\
 Group keys (k1, k2, ...) use the values printed in the result listing;\n\
 composite keys join parts with '|'. Without --outliers, the most\n\
-deviant results are labeled automatically.\n\
+deviant results are labeled automatically. --json prints the result\n\
+series, explanations, and diagnostics as one JSON object.\n\
 \n\
-For continuous monitoring over a live feed, see the scorpion-stream\n\
-crate and `cargo run --release --example streaming_monitor`.";
+`scorpion serve` runs the explanation service (see `scorpion serve\n\
+--help`). For continuous monitoring over a live feed, see the\n\
+scorpion-stream crate and `cargo run --release --example\n\
+streaming_monitor`.";
 
-fn help() -> ! {
-    // Tolerate a closed pipe (`scorpion --help | head`): exiting 0 with
-    // truncated output beats a broken-pipe panic.
+const SERVE_HELP: &str = "usage: scorpion serve [--csv NAME=FILE]... [--port P] [--host H] \
+[--workers N] [--queue N] [--plan-cache N] [--influence-cache-entries N]\n\
+\n\
+Serves outlier explanations over HTTP/1.1 JSON:\n\
+  POST /explain   {table, sql, outliers|auto_label, holdouts, lambda, c,\n\
+                   top, algorithm} -> ranked predicates + diagnostics\n\
+  GET  /tables    registered tables (name, generation, rows)\n\
+  POST /tables    {name, csv} -> load/replace a table\n\
+  GET  /healthz   liveness\n\
+  GET  /stats     plan-cache hits, queue depth, per-endpoint latency\n\
+\n\
+--csv NAME=FILE registers FILE under NAME at startup (bare FILE uses\n\
+the file stem). --port 0 picks an ephemeral port; the bound address is\n\
+printed on stdout. --workers 0 (default) uses all cores. Repeated\n\
+/explain calls for the same query and labels at a new c reuse the\n\
+cached prepared plan (the paper's 8.3.3 cache, served warm).";
+
+/// Prints help, tolerating a closed pipe (`scorpion --help | head`):
+/// exiting 0 with truncated output beats a broken-pipe panic.
+fn help(text: &str) -> ! {
     use std::io::Write as _;
-    let _ = writeln!(std::io::stdout(), "{HELP}");
+    let _ = writeln!(std::io::stdout(), "{text}");
     exit(0)
 }
 
-fn usage() -> ! {
+fn usage(text: &str) -> ! {
     use std::io::Write as _;
-    let _ = writeln!(std::io::stderr(), "{HELP}");
+    let _ = writeln!(std::io::stderr(), "{text}");
     exit(2)
 }
 
-fn parse_args() -> Args {
+fn parse_args(it: impl Iterator<Item = String>) -> Args {
     let mut args = Args {
         csv: String::new(),
         sql: String::new(),
@@ -62,13 +110,14 @@ fn parse_args() -> Args {
         c: 0.5,
         lambda: 0.5,
         top: 3,
+        json: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = it;
     while let Some(flag) = it.next() {
         let mut val = |name: &str| -> String {
             it.next().unwrap_or_else(|| {
                 eprintln!("missing value for {name}");
-                usage()
+                usage(HELP)
             })
         };
         match flag.as_str() {
@@ -86,28 +135,150 @@ fn parse_args() -> Args {
                     "low" => -1.0,
                     other => {
                         eprintln!("--direction must be `high` or `low`, got `{other}`");
-                        usage()
+                        usage(HELP)
                     }
                 }
             }
-            "--c" => args.c = val("--c").parse().unwrap_or_else(|_| usage()),
-            "--lambda" => args.lambda = val("--lambda").parse().unwrap_or_else(|_| usage()),
-            "--top" => args.top = val("--top").parse().unwrap_or_else(|_| usage()),
-            "--help" | "-h" => help(),
+            "--c" => args.c = val("--c").parse().unwrap_or_else(|_| usage(HELP)),
+            "--lambda" => args.lambda = val("--lambda").parse().unwrap_or_else(|_| usage(HELP)),
+            "--top" => args.top = val("--top").parse().unwrap_or_else(|_| usage(HELP)),
+            "--json" => args.json = true,
+            "--help" | "-h" => help(HELP),
             other => {
                 eprintln!("unknown flag `{other}`");
-                usage()
+                usage(HELP)
             }
         }
     }
     if args.csv.is_empty() || args.sql.is_empty() {
-        usage();
+        usage(HELP);
     }
     args
 }
 
+struct ServeArgs {
+    tables: Vec<(String, String)>,
+    config: ServerConfig,
+}
+
+fn parse_serve_args(it: impl Iterator<Item = String>) -> ServeArgs {
+    let mut args = ServeArgs { tables: Vec::new(), config: ServerConfig::default() };
+    let mut it = it;
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage(SERVE_HELP)
+            })
+        };
+        let num = |name: &str, v: String| -> usize {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bad numeric value for {name}: `{v}`");
+                usage(SERVE_HELP)
+            })
+        };
+        match flag.as_str() {
+            "--csv" => {
+                let spec = val("--csv");
+                let (name, path) = match spec.split_once('=') {
+                    Some((n, p)) => (n.to_owned(), p.to_owned()),
+                    None => {
+                        let stem = std::path::Path::new(&spec)
+                            .file_stem()
+                            .map(|s| s.to_string_lossy().into_owned())
+                            .unwrap_or_else(|| spec.clone());
+                        (stem, spec)
+                    }
+                };
+                args.tables.push((name, path));
+            }
+            "--port" => {
+                // Parse as u16 directly so out-of-range ports error
+                // instead of silently wrapping.
+                let v = val("--port");
+                args.config.port = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad port `{v}` (expected 0-65535)");
+                    usage(SERVE_HELP)
+                })
+            }
+            "--host" => args.config.host = val("--host"),
+            "--workers" => args.config.workers = num("--workers", val("--workers")),
+            "--queue" => args.config.queue_depth = num("--queue", val("--queue")),
+            "--plan-cache" => {
+                args.config.plan_cache_entries = num("--plan-cache", val("--plan-cache"))
+            }
+            "--influence-cache-entries" => {
+                args.config.influence_cache_entries =
+                    num("--influence-cache-entries", val("--influence-cache-entries"))
+            }
+            "--help" | "-h" => help(SERVE_HELP),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage(SERVE_HELP)
+            }
+        }
+    }
+    args
+}
+
+fn serve_main(it: impl Iterator<Item = String>) -> ! {
+    let args = parse_serve_args(it);
+    let server = match Server::bind(&args.config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind {}:{}: {e}", args.config.host, args.config.port);
+            exit(1)
+        }
+    };
+    let state = server.state();
+    for (name, path) in &args.tables {
+        match scorpion::table::csv::load_csv(std::path::Path::new(path)) {
+            Ok(t) => {
+                let rows = t.len();
+                let generation = state.registry.insert(name.clone(), t);
+                eprintln!("loaded `{name}` from {path}: {rows} rows (generation {generation})");
+            }
+            Err(e) => {
+                eprintln!("failed to load {path}: {e}");
+                exit(1)
+            }
+        }
+    }
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("failed to read bound address: {e}");
+            exit(1)
+        }
+    };
+    {
+        // Announce the bound address on stdout (scripts parse this —
+        // notably with --port 0) and tolerate a closed pipe.
+        use std::io::Write as _;
+        let mut out = std::io::stdout();
+        let _ = writeln!(
+            out,
+            "scorpion-server listening on http://{addr} ({} tables)",
+            state.registry.len()
+        );
+        let _ = out.flush();
+    }
+    match server.run() {
+        Ok(()) => exit(0),
+        Err(e) => {
+            eprintln!("server error: {e}");
+            exit(1)
+        }
+    }
+}
+
 fn main() {
-    let args = parse_args();
+    let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("serve") {
+        argv.next();
+        serve_main(argv);
+    }
+    let args = parse_args(argv);
     let table = match scorpion::table::csv::load_csv(std::path::Path::new(&args.csv)) {
         Ok(t) => t,
         Err(e) => {
@@ -123,22 +294,26 @@ fn main() {
         }
     };
 
-    println!("{}", args.sql.trim());
-    for (i, v) in builder.results().iter().enumerate() {
-        println!("  {:<16} {v:.3}", builder.display_key(i));
+    if !args.json {
+        out!("{}", args.sql.trim());
+        for (i, v) in builder.results().iter().enumerate() {
+            out!("  {:<16} {v:.3}", builder.display_key(i));
+        }
     }
 
     let builder = if args.outliers.is_empty() {
         let builder = builder.auto_label(2);
-        println!(
-            "\nauto-labeled outliers: {}",
-            builder
-                .outlier_labels()
-                .iter()
-                .map(|&(i, _)| builder.display_key(i))
-                .collect::<Vec<_>>()
-                .join(", ")
-        );
+        if !args.json {
+            out!(
+                "\nauto-labeled outliers: {}",
+                builder
+                    .outlier_labels()
+                    .iter()
+                    .map(|&(i, _)| builder.display_key(i))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
         builder
     } else {
         let key_index = |b: &RequestBuilder, k: &str| {
@@ -158,6 +333,10 @@ fn main() {
         builder.outliers(o).holdouts(h)
     };
 
+    // Kept for the JSON rendering of the result series.
+    let results = builder.results().to_vec();
+    let display_keys: Vec<String> = (0..builder.len()).map(|i| builder.display_key(i)).collect();
+
     let request = match builder.params(args.lambda, args.c).build() {
         Ok(r) => r,
         Err(e) => {
@@ -173,13 +352,39 @@ fn main() {
         }
     };
 
-    println!(
+    if args.json {
+        let series: Vec<Json> = display_keys
+            .iter()
+            .zip(&results)
+            .map(|(k, &v)| Json::obj([("key", Json::from(k.as_str())), ("value", num_or_null(v))]))
+            .collect();
+        let doc = Json::obj([
+            ("sql", Json::from(args.sql.trim())),
+            ("results", Json::Arr(series)),
+            ("algorithm", Json::from(ex.diagnostics.algorithm)),
+            ("explanations", explanations_json(request.table(), &ex.predicates, args.top)),
+            ("diagnostics", diagnostics_json(&ex.diagnostics)),
+        ]);
+        match doc.encode() {
+            Ok(text) => {
+                use std::io::Write as _;
+                let _ = writeln!(std::io::stdout(), "{text}");
+            }
+            Err(e) => {
+                eprintln!("JSON encoding failed: {e}");
+                exit(1)
+            }
+        }
+        return;
+    }
+
+    out!(
         "\nexplanations [{}; {} scorer calls; {:.2}s]:",
         ex.diagnostics.algorithm,
         ex.diagnostics.scorer_calls,
         ex.diagnostics.runtime.as_secs_f64()
     );
-    print!("{}", ex.render(request.table(), args.top));
+    outp!("{}", ex.render(request.table(), args.top));
 
     let preview = ex
         .preview(
@@ -189,10 +394,10 @@ fn main() {
             request.agg_attr(),
         )
         .expect("preview");
-    println!("\nresult series with the top explanation deleted:");
+    out!("\nresult series with the top explanation deleted:");
     for (i, (before, after)) in preview.iter().enumerate() {
         let marker = if (before - after).abs() > 1e-9 { "  *" } else { "" };
-        println!(
+        out!(
             "  {:<16} {before:.3} -> {after:.3}{marker}",
             request.grouping().display_key(request.table(), i)
         );

@@ -62,6 +62,7 @@
 //! | [`core`] | Scorer + influence cache, `Explainer` engines (NAIVE/DT/MC), Merger, builder + sessions (§3–§7) |
 //! | [`data`] | SYNTH / INTEL / EXPENSE workload generators + streaming sensor feed (§8.1) |
 //! | [`stream`] | Continuous sliding-window engine: mergeable partials, auto-labeling, warm re-explanation |
+//! | [`server`] | HTTP explanation service: table registry, plan cache, bounded worker pool |
 //! | [`eval`] | Accuracy metrics + per-figure experiment runners (§8) |
 
 #![warn(missing_docs)]
@@ -70,6 +71,7 @@ pub use scorpion_agg as agg;
 pub use scorpion_core as core;
 pub use scorpion_data as data;
 pub use scorpion_eval as eval;
+pub use scorpion_server as server;
 pub use scorpion_stream as stream;
 pub use scorpion_table as table;
 

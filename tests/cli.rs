@@ -1,0 +1,162 @@
+//! CLI contract tests for the `scorpion` binary: exit codes, help
+//! output (including under a closed pipe), `--json` output, and the
+//! `serve` subcommand end to end.
+
+use scorpion::server::{client, Json};
+use std::io::Read;
+use std::process::{Child, Command, Stdio};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_scorpion"))
+}
+
+fn sample_csv_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("scorpion_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut text = String::from("g,x,v\n");
+    for i in 0..60 {
+        let x = (i as f64 * 7.3) % 100.0;
+        let v = if (20.0..60.0).contains(&x) { 80.0 } else { 10.0 };
+        text.push_str(&format!("o,{x},{v}\nh,{x},10\n"));
+    }
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+#[test]
+fn help_exits_zero_with_usage() {
+    for args in [&["--help"][..], &["-h"][..], &["serve", "--help"][..], &["serve", "-h"][..]] {
+        let out = bin().args(args).output().unwrap();
+        assert_eq!(out.status.code(), Some(0), "{args:?}");
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("usage: scorpion"), "{args:?}: {text}");
+    }
+    let serve_help = bin().args(["serve", "--help"]).output().unwrap();
+    let text = String::from_utf8(serve_help.stdout).unwrap();
+    for endpoint in ["/explain", "/tables", "/healthz", "/stats"] {
+        assert!(text.contains(endpoint), "serve help missing {endpoint}: {text}");
+    }
+}
+
+/// `scorpion --help | head -1`: the pipe closes before the help text is
+/// fully written; the process must still exit 0, not die of SIGPIPE or
+/// panic on the write error.
+#[test]
+fn help_tolerates_closed_pipe() {
+    for args in [&["--help"][..], &["serve", "--help"][..]] {
+        let mut child = bin().args(args).stdout(Stdio::piped()).spawn().unwrap();
+        // Close the read end without draining it.
+        drop(child.stdout.take());
+        let status = child.wait().unwrap();
+        assert_eq!(status.code(), Some(0), "{args:?} under closed pipe: {status:?}");
+    }
+}
+
+#[test]
+fn bad_invocations_exit_two() {
+    for args in [
+        &[][..],                     // missing --csv/--sql
+        &["--no-such-flag"][..],     // unknown flag
+        &["serve", "--no-such"][..], // unknown serve flag
+        &["--csv"][..],              // missing value
+    ] {
+        let out = bin().args(args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+    }
+}
+
+#[test]
+fn json_output_parses_and_ranks() {
+    let csv = sample_csv_path("json.csv");
+    let out = bin()
+        .args([
+            "--csv",
+            csv.to_str().unwrap(),
+            "--sql",
+            "SELECT avg(v) FROM t GROUP BY g",
+            "--outliers",
+            "o",
+            "--holdouts",
+            "h",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let doc = Json::parse(std::str::from_utf8(&out.stdout).unwrap().trim()).unwrap();
+    assert_eq!(doc.get("results").and_then(Json::as_array).map(<[Json]>::len), Some(2));
+    let explanations = doc.get("explanations").and_then(Json::as_array).unwrap();
+    assert!(!explanations.is_empty());
+    assert!(explanations[0].get("influence").and_then(Json::as_f64).is_some());
+    assert!(doc
+        .get("diagnostics")
+        .and_then(|d| d.get("scorer_calls"))
+        .and_then(Json::as_f64)
+        .is_some());
+}
+
+struct KillOnDrop(Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// `scorpion serve --port 0` prints the bound address, serves
+/// `/healthz` and `/explain`, and shuts down on SIGKILL without
+/// leaving the port wedged.
+#[test]
+fn serve_subcommand_end_to_end() {
+    let csv = sample_csv_path("serve.csv");
+    let child = bin()
+        .args([
+            "serve",
+            "--csv",
+            &format!("planted={}", csv.display()),
+            "--port",
+            "0",
+            "--workers",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut child = KillOnDrop(child);
+    // First stdout line: "scorpion-server listening on http://ADDR (..".
+    let mut line = String::new();
+    let mut stdout = child.0.stdout.take().unwrap();
+    let mut buf = [0u8; 1];
+    while stdout.read(&mut buf).unwrap() == 1 && buf[0] != b'\n' {
+        line.push(buf[0] as char);
+    }
+    let addr: std::net::SocketAddr = line
+        .split("http://")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in banner: {line:?}"))
+        .parse()
+        .unwrap();
+
+    let mut c = client::Client::connect(addr).unwrap();
+    let (status, health) = c.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(health.get("tables").and_then(Json::as_f64), Some(1.0));
+
+    let body = Json::obj([
+        ("table", Json::from("planted")),
+        ("sql", Json::from("SELECT avg(v) FROM planted GROUP BY g")),
+        ("outliers", Json::arr(["o"])),
+        ("holdouts", Json::arr(["h"])),
+        ("c", Json::from(0.5)),
+    ]);
+    let (status, resp) = c.post("/explain", &body).unwrap();
+    assert_eq!(status, 200, "{resp:?}");
+    assert_eq!(resp.get("plan_cache").and_then(Json::as_str), Some("miss"));
+    let (status, resp) = c.post("/explain", &body).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(resp.get("plan_cache").and_then(Json::as_str), Some("hit"));
+}

@@ -175,6 +175,131 @@ fn explicit_engine_override() {
     assert!(ex.best().influence.is_finite());
 }
 
+/// The server substrate under concurrency: N threads hammering one
+/// shared `TableRegistry`/`PlanCache` must produce bit-exact results vs
+/// the single-threaded borrowed `explain()` path — the shared sessions,
+/// shared influence caches, and racing plan builders may never change
+/// an answer. (DT is excluded from the bit-exact check: its warm merge
+/// legitimately sees a superset of the cold inputs across `c` values;
+/// it is asserted at-least-as-good instead.)
+#[test]
+fn concurrent_shared_plan_cache_matches_borrowed_explain() {
+    use scorpion::server::{PlanCache, PlanEntry, PlanKey, TableRegistry};
+
+    let t = planted(300);
+    let g = group_by(&t, &[0]).unwrap();
+    let cs = [0.5, 0.3, 0.7];
+
+    // Single-threaded reference: the borrowed explain() path per (algo, c).
+    let mut reference = std::collections::HashMap::new();
+    for (name, algo, agg) in algorithms() {
+        for &c in &cs {
+            let q = LabeledQuery {
+                table: &t,
+                grouping: &g,
+                agg: agg.as_ref(),
+                agg_attr: 2,
+                outliers: vec![(0, 1.0)],
+                holdouts: vec![1],
+            };
+            let cfg = ScorpionConfig {
+                params: InfluenceParams { lambda: 0.5, c },
+                algorithm: algo.clone(),
+                ..ScorpionConfig::default()
+            };
+            reference.insert((name, c.to_bits()), explain(&q, &cfg).unwrap());
+        }
+    }
+
+    let registry = TableRegistry::new();
+    registry.insert("planted", t.clone());
+    let plans = PlanCache::with_capacity(64);
+    let algos = algorithms();
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|worker| {
+                let registry = &registry;
+                let plans = &plans;
+                let algos = &algos;
+                let reference = &reference;
+                s.spawn(move || {
+                    // Each worker walks the (algo, c) grid in a
+                    // different rotation so hits and misses interleave.
+                    for step in 0..algos.len() * cs.len() {
+                        let idx = (step + worker) % (algos.len() * cs.len());
+                        let (name, algo, agg) = &algos[idx / cs.len()];
+                        let c = cs[idx % cs.len()];
+                        let entry = registry.get("planted").expect("registered");
+                        let key = PlanKey::new(
+                            &entry,
+                            "planted",
+                            "group_by g avg v",
+                            "o:[0]|h:[1]",
+                            name,
+                        );
+                        let (plan, _hit) = plans
+                            .get_or_create(&key, || -> Result<PlanEntry, ScorpionError> {
+                                let builder = Scorpion::on(entry.table.clone())
+                                    .group_by(&[0], agg.clone(), 2)?
+                                    .outlier(0, 1.0)
+                                    .holdout(1)
+                                    .params(0.5, 0.5)
+                                    .algorithm(algo.clone());
+                                Ok(PlanEntry {
+                                    session: ScorpionSession::new(builder.build()?)?,
+                                    display_keys: Vec::new(),
+                                    results: Vec::new(),
+                                })
+                            })
+                            .unwrap();
+                        let ex = plan.session.run(InfluenceParams { lambda: 0.5, c }).unwrap();
+                        let want = &reference[&(*name, c.to_bits())];
+                        if *name == "dt" {
+                            assert!(
+                                ex.best().influence >= want.best().influence - 1e-9,
+                                "[dt@{c}] warm merge regressed: {} vs {}",
+                                ex.best().influence,
+                                want.best().influence
+                            );
+                        } else {
+                            assert_same_results(name, want, &ex);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+    });
+
+    let stats = plans.stats();
+    // One resident plan per distinct key; racing builders may each
+    // count a miss for the same key (the first insert wins and the
+    // losers adopt it), so misses can exceed residency, never
+    // undershoot it.
+    assert_eq!(stats.entries, algos.len(), "one plan per algorithm: {stats:?}");
+    assert!(stats.misses as usize >= stats.entries, "{stats:?}");
+    assert!(stats.hits > 0, "concurrent workers must share warm plans: {stats:?}");
+
+    // Acceptance: a warm repeat at a fresh c runs through the shared
+    // influence cache — cache hits in its Diagnostics, cheaper than its
+    // own cold run.
+    for (name, _, _) in &algos {
+        let entry = registry.get("planted").unwrap();
+        let key = PlanKey::new(&entry, "planted", "group_by g avg v", "o:[0]|h:[1]", name);
+        let (plan, hit) = plans
+            .get_or_create(&key, || -> Result<PlanEntry, ScorpionError> {
+                panic!("plan for {name} must already be cached")
+            })
+            .unwrap();
+        assert!(hit);
+        let warm = plan.session.run(InfluenceParams { lambda: 0.5, c: 0.9 }).unwrap();
+        assert!(warm.diagnostics.cache_hits > 0, "[{name}] warm repeat missed the cache");
+    }
+}
+
 /// The influence cache reproduces scores bit-for-bit: re-running at the
 /// *same* parameters from a warm plan returns identical results with
 /// zero additional partition re-scoring cost for NAIVE (every candidate
