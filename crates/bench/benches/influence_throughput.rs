@@ -1,0 +1,98 @@
+//! Influence hot-path throughput: row-at-a-time baseline vs the bitmap
+//! kernel path, cold and clause-cache-warm.
+//!
+//! The workload mirrors one DT/MC re-score level: a grid of 64
+//! two-clause candidates over a 100k-row SYNTH table, where the 64
+//! candidates share 16 distinct clauses — exactly the shape the
+//! [`scorpion_table::ClauseMaskCache`] exploits. Three variants:
+//!
+//! * `rowwise` — the pre-vectorization reference: every candidate walks
+//!   every labeled row through the `PredicateMatcher`
+//!   ([`Scorer::influence_rowwise`]).
+//! * `mask_cold` — the mask path with an empty clause cache per batch
+//!   (kernel passes included).
+//! * `mask_warm` — the mask path with the clause cache warm: per
+//!   candidate, `(n, Δ)` is a word-zip of cached bitmaps.
+//!
+//! No `InfluenceCache` is attached, so every variant recomputes `(n, Δ)`
+//! per call — this isolates predicate evaluation, not result caching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scorpion_bench::BenchSynth;
+use scorpion_core::Scorer;
+use scorpion_table::{Clause, Predicate};
+use std::time::Duration;
+
+/// Tuples per group; 10 groups → 100k rows total.
+const TUPLES_PER_GROUP: usize = 10_000;
+
+/// Grid side: SIDE × SIDE candidates from 2 × SIDE distinct clauses.
+const SIDE: usize = 8;
+
+fn level_candidates(fx: &BenchSynth) -> Vec<Predicate> {
+    let attrs = fx.ds.dim_attrs();
+    let (ax, ay) = (attrs[0], attrs[1]);
+    let step = 100.0 / SIDE as f64;
+    let clause =
+        |attr: usize, i: usize| Clause::range(attr, i as f64 * step, (i + 1) as f64 * step + 20.0);
+    let mut out = Vec::with_capacity(SIDE * SIDE);
+    for i in 0..SIDE {
+        for j in 0..SIDE {
+            out.push(Predicate::conjunction([clause(ax, i), clause(ay, j)]).unwrap());
+        }
+    }
+    out
+}
+
+fn score_batch(s: &Scorer<'_>, preds: &[Predicate]) -> f64 {
+    let mut acc = 0.0;
+    for r in s.influence_batch(preds, 1) {
+        acc += r.expect("scoring succeeds");
+    }
+    acc
+}
+
+fn bench_influence(c: &mut Criterion) {
+    let fx = BenchSynth::easy(2, TUPLES_PER_GROUP);
+    let preds = level_candidates(&fx);
+    let mut g = c.benchmark_group("influence_throughput");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_millis(500))
+        .throughput(Throughput::Elements(preds.len() as u64));
+
+    // Pre-refactor baseline: row-at-a-time matcher per candidate.
+    let s = fx.scorer(0.5, false);
+    g.bench_with_input(BenchmarkId::new("rowwise", fx.rows()), &preds, |b, preds| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in preds {
+                acc += s.influence_rowwise(p).expect("scoring succeeds");
+            }
+            acc
+        });
+    });
+
+    // Mask path, clause cache cold per batch: fresh scorer each round
+    // (its construction is excluded from the timed region).
+    g.bench_with_input(BenchmarkId::new("mask_cold", fx.rows()), &preds, |b, preds| {
+        b.iter_batched(
+            || fx.scorer(0.5, false),
+            |s| score_batch(&s, preds),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    // Mask path, clause cache warm: the steady state of a DT/MC level.
+    let warm = fx.scorer(0.5, false);
+    score_batch(&warm, &preds);
+    g.bench_with_input(BenchmarkId::new("mask_warm", fx.rows()), &preds, |b, preds| {
+        b.iter(|| score_batch(&warm, preds));
+    });
+
+    assert_eq!(warm.mask_cache_entries() as usize, 2 * SIDE, "distinct clauses cached once");
+    g.finish();
+}
+
+criterion_group!(benches, bench_influence);
+criterion_main!(benches);

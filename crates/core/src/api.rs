@@ -12,7 +12,7 @@ use crate::config::{Algorithm, DtConfig, McConfig, NaiveConfig, ScorpionConfig};
 use crate::engine::engine_for;
 use crate::error::{Result, ScorpionError};
 use crate::result::{Diagnostics, Explanation};
-use crate::scorer::{GroupSpec, Scorer};
+use crate::scorer::Scorer;
 use scorpion_agg::Aggregate;
 use scorpion_table::{domains_of, Grouping, Table};
 use std::collections::HashSet;
@@ -69,24 +69,31 @@ impl<'a> LabeledQuery<'a> {
             .collect()
     }
 
-    /// Builds a Scorer for these labels.
+    /// Builds a Scorer for these labels. Group rows and masks come from
+    /// the grouping's shared (`Arc`-cached) handles, so repeated scorer
+    /// builds over the same grouping — plan re-runs, session re-scores,
+    /// streaming rebinds — copy no row ids.
     pub fn scorer(
         &self,
         params: crate::config::InfluenceParams,
         force_blackbox: bool,
     ) -> Result<Scorer<'a>> {
         self.validate()?;
-        let outliers = self
-            .outliers
-            .iter()
-            .map(|&(i, e)| GroupSpec { rows: self.grouping.rows(i).to_vec(), error: e })
-            .collect();
-        let holdouts = self
-            .holdouts
-            .iter()
-            .map(|&i| GroupSpec { rows: self.grouping.rows(i).to_vec(), error: 1.0 })
-            .collect();
-        Scorer::new(self.table, self.agg, self.agg_attr, outliers, holdouts, params, force_blackbox)
+        let handle = |i: usize, error: f64| {
+            let (rows, mask) = self.grouping.shared_group(i, self.table.len());
+            crate::scorer::GroupHandle { rows, mask, error }
+        };
+        let outliers = self.outliers.iter().map(|&(i, e)| handle(i, e)).collect();
+        let holdouts = self.holdouts.iter().map(|&i| handle(i, 1.0)).collect();
+        Scorer::from_handles(
+            self.table,
+            self.agg,
+            self.agg_attr,
+            outliers,
+            holdouts,
+            params,
+            force_blackbox,
+        )
     }
 
     /// Values of the aggregate attribute across all labeled groups,
@@ -158,6 +165,8 @@ pub fn explain(q: &LabeledQuery<'_>, cfg: &ScorpionConfig) -> Result<Explanation
             runtime: start.elapsed(),
             scorer_calls: scorer.scorer_calls(),
             cache_hits: scorer.cache_hits(),
+            mask_cache_hits: scorer.mask_cache_hits(),
+            mask_cache_entries: scorer.mask_cache_entries(),
             candidates: run.candidates,
             partitions: run.partitions,
             budget_exhausted: run.budget_exhausted,

@@ -391,6 +391,14 @@ impl<'s, 'a> DtPartitioner<'s, 'a> {
 
     /// Splits `node`, partitioning full and sampled positions and applying
     /// the §6.1.2 stratified resampling to the children.
+    ///
+    /// For nodes spanning enough rows, the chosen split is compiled
+    /// once into a left-side [`scorpion_table::RowMask`] via the clause
+    /// kernels (`[−∞, x)` for continuous splits, the left code set for
+    /// discrete ones) and row routing is a bit test. Small nodes of
+    /// large tables skip the full-column kernel pass and route through
+    /// direct value compares instead — the kernel touches every table
+    /// row, which would dwarf the node's own work deep in the tree.
     fn apply_split(
         &self,
         side: &SideData,
@@ -399,18 +407,32 @@ impl<'s, 'a> DtPartitioner<'s, 'a> {
         split: &Split,
         rng: &mut StdRng,
     ) -> (Node, Node) {
+        let table = self.scorer.table();
+        let node_rows: usize = node.slices.iter().map(|s| s.pos.len()).sum();
+        let left_mask = if node_rows >= table.len() / 64 {
+            let left_clause = match split {
+                Split::Cont { attr, x } => Clause::range(*attr, f64::NEG_INFINITY, *x),
+                Split::Disc { attr, left } => Clause::in_set(*attr, left.iter().copied()),
+            };
+            table.column(left_clause.attr()).ok().and_then(|col| left_clause.eval_mask(col))
+        } else {
+            None
+        };
         let table_col = |attr: usize| {
             cols.iter().find(|(a, _)| *a == attr).map(|(_, c)| c).expect("split attr is bound")
         };
         let goes_left = |g: usize, p: u32| -> bool {
-            let row = side.groups[g].rows[p as usize] as usize;
+            let row = side.groups[g].rows[p as usize];
+            if let Some(m) = &left_mask {
+                return m.contains(row);
+            }
             match split {
                 Split::Cont { attr, x } => match table_col(*attr) {
-                    Col::Num(vals) => vals[row] < *x,
+                    Col::Num(vals) => vals[row as usize] < *x,
                     Col::Cat(_) => false,
                 },
                 Split::Disc { attr, left } => match table_col(*attr) {
-                    Col::Cat(codes) => left.contains(&codes[row]),
+                    Col::Cat(codes) => left.contains(&codes[row as usize]),
                     Col::Num(_) => false,
                 },
             }
@@ -530,20 +552,23 @@ impl<'s, 'a> DtPartitioner<'s, 'a> {
 
     /// Scores each partition exactly and attaches the per-group statistics
     /// (cardinality + mean-influence representative tuple, §6.3).
+    ///
+    /// Partition membership is read from the Scorer's predicate masks,
+    /// so sibling partitions sharing clauses (children of the same
+    /// carve) reuse cached clause masks instead of re-walking rows.
     fn finalize(&self, preds: Vec<Predicate>) -> Result<Vec<ScoredPredicate>> {
         let mut seen = std::collections::HashSet::new();
         let mut out = Vec::with_capacity(preds.len());
-        let table = self.scorer.table();
         for pred in preds {
             if !seen.insert(pred.clone()) {
                 continue;
             }
-            let m = pred.matcher(table)?;
+            let pm = self.scorer.predicate_mask(&pred)?;
             let stat_for = |rows: &[u32], values: &[f64], infs: &[f64]| -> GroupStat {
                 let mut idx: Vec<usize> = Vec::new();
                 let mut sum = 0.0;
                 for (i, &row) in rows.iter().enumerate() {
-                    if m.matches(row) {
+                    if pm.contains(row) {
                         idx.push(i);
                         sum += infs[i];
                     }

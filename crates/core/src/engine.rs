@@ -37,7 +37,7 @@ use crate::request::ExplainRequest;
 use crate::result::{Diagnostics, Explanation, ScoredPredicate};
 use crate::scorer::{resolve_threads, InfluenceCache, Scorer};
 use parking_lot::Mutex;
-use scorpion_table::{domains_of, AttrDomain, OrdF64, Predicate};
+use scorpion_table::{domains_of, AttrDomain, ClauseMaskCache, OrdF64, Predicate};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -212,7 +212,8 @@ impl Explainer for DtEngine {
         let start = Instant::now();
         req.validate()?;
         let cache = Arc::new(InfluenceCache::with_capacity_bound(req.influence_cache_entries()));
-        let scorer = req.scorer()?.with_cache(cache.clone());
+        let masks = Arc::new(ClauseMaskCache::new());
+        let scorer = req.scorer()?.with_cache(cache.clone()).with_mask_cache(masks.clone());
         let attrs = prep_attrs(req, &scorer)?;
         let domains = domains_of(&req.table)?;
         let dt = DtPartitioner::new(&scorer, attrs.clone(), domains.clone(), self.cfg.clone());
@@ -224,6 +225,7 @@ impl Explainer for DtEngine {
             domains,
             partitions,
             cache,
+            masks,
             prep_cost: PrepCost { calls: scorer.scorer_calls(), runtime: start.elapsed() },
             state: Mutex::new(DtPlanState {
                 merged_by_c: BTreeMap::new(),
@@ -256,6 +258,8 @@ struct DtPlan {
     /// fields hold build-time scores and are re-scored per run.
     partitions: Vec<ScoredPredicate>,
     cache: Arc<InfluenceCache>,
+    /// Clause masks for this plan's table snapshot, shared across runs.
+    masks: Arc<ClauseMaskCache>,
     prep_cost: PrepCost,
     state: Mutex<DtPlanState>,
 }
@@ -270,10 +274,14 @@ impl PreparedPlan for DtPlan {
 
     fn run(&self, params: &InfluenceParams) -> Result<Explanation> {
         let start = Instant::now();
-        let scorer = self.req.scorer_at(*params)?.with_cache(self.cache.clone());
+        let scorer = self
+            .req
+            .scorer_at(*params)?
+            .with_cache(self.cache.clone())
+            .with_mask_cache(self.masks.clone());
 
         // Re-score the cached partitions — batched across workers, and
-        // free of matcher work for every cache hit.
+        // free of mask work for every cache hit.
         let mut input = self.partitions.clone();
         let preds: Vec<Predicate> = input.iter().map(|sp| sp.predicate.clone()).collect();
         let threads = resolve_threads(self.cfg.score_threads);
@@ -327,6 +335,8 @@ impl PreparedPlan for DtPlan {
                 scorer_calls: scorer.scorer_calls() + prep.calls,
                 cache_hits: scorer.cache_hits(),
                 cache_evictions: scorer.cache_evictions(),
+                mask_cache_hits: scorer.mask_cache_hits(),
+                mask_cache_entries: scorer.mask_cache_entries(),
                 candidates: n_partitions as u64,
                 partitions: n_partitions,
                 ..Diagnostics::default()
@@ -337,7 +347,8 @@ impl PreparedPlan for DtPlan {
     fn rebind(&self, req: &ExplainRequest) -> Result<Box<dyn PreparedPlan>> {
         req.validate()?;
         // Geometry survives; §6.3 stats describe the old data and are
-        // dropped (warm merges run exact), as is the influence cache.
+        // dropped (warm merges run exact), as are the influence cache
+        // and the clause masks (both encode the old table's rows).
         let mut partitions = self.partitions.clone();
         for sp in &mut partitions {
             sp.stats = None;
@@ -349,6 +360,7 @@ impl PreparedPlan for DtPlan {
             domains: domains_of(&req.table)?,
             partitions,
             cache: Arc::new(InfluenceCache::with_capacity_bound(req.influence_cache_entries())),
+            masks: Arc::new(ClauseMaskCache::new()),
             prep_cost: PrepCost::default(),
             state: Mutex::new(DtPlanState {
                 merged_by_c: BTreeMap::new(),
@@ -411,7 +423,8 @@ impl Explainer for McEngine {
         let start = Instant::now();
         req.validate()?;
         let cache = Arc::new(InfluenceCache::with_capacity_bound(req.influence_cache_entries()));
-        let scorer = req.scorer()?.with_cache(cache.clone());
+        let masks = Arc::new(ClauseMaskCache::new());
+        let scorer = req.scorer()?.with_cache(cache.clone()).with_mask_cache(masks.clone());
         let attrs = prep_attrs(req, &scorer)?;
         let domains = domains_of(&req.table)?;
         let units = initial_units(&scorer, &attrs, &domains, &self.cfg)?;
@@ -422,6 +435,7 @@ impl Explainer for McEngine {
             domains,
             units,
             cache,
+            masks,
             prep_cost: PrepCost { calls: scorer.scorer_calls(), runtime: start.elapsed() },
             charge_prep: Mutex::new(true),
         }))
@@ -435,6 +449,7 @@ struct McPlan {
     domains: Vec<AttrDomain>,
     units: Vec<Predicate>,
     cache: Arc<InfluenceCache>,
+    masks: Arc<ClauseMaskCache>,
     prep_cost: PrepCost,
     charge_prep: Mutex<bool>,
 }
@@ -446,7 +461,11 @@ impl PreparedPlan for McPlan {
 
     fn run(&self, params: &InfluenceParams) -> Result<Explanation> {
         let start = Instant::now();
-        let scorer = self.req.scorer_at(*params)?.with_cache(self.cache.clone());
+        let scorer = self
+            .req
+            .scorer_at(*params)?
+            .with_cache(self.cache.clone())
+            .with_mask_cache(self.masks.clone());
         let (results, mdiag) =
             mc_search_units(&scorer, &self.attrs, &self.domains, &self.cfg, self.units.clone())?;
         let prep = {
@@ -466,6 +485,8 @@ impl PreparedPlan for McPlan {
                 scorer_calls: scorer.scorer_calls() + prep.calls,
                 cache_hits: scorer.cache_hits(),
                 cache_evictions: scorer.cache_evictions(),
+                mask_cache_hits: scorer.mask_cache_hits(),
+                mask_cache_entries: scorer.mask_cache_entries(),
                 candidates: mdiag.scored,
                 partitions: mdiag.initial_units,
                 ..Diagnostics::default()
@@ -525,7 +546,8 @@ impl Explainer for NaiveEngine {
         let start = Instant::now();
         req.validate()?;
         let cache = Arc::new(InfluenceCache::with_capacity_bound(req.influence_cache_entries()));
-        let scorer = req.scorer()?.with_cache(cache.clone());
+        let masks = Arc::new(ClauseMaskCache::new());
+        let scorer = req.scorer()?.with_cache(cache.clone()).with_mask_cache(masks.clone());
         let attrs = prep_attrs(req, &scorer)?;
         let domains = domains_of(&req.table)?;
         let candidates = naive_candidates(&scorer, &attrs, &domains, &self.cfg)?;
@@ -534,6 +556,7 @@ impl Explainer for NaiveEngine {
             cfg: self.cfg.clone(),
             candidates,
             cache,
+            masks,
             prep_cost: PrepCost { calls: scorer.scorer_calls(), runtime: start.elapsed() },
             charge_prep: Mutex::new(true),
         }))
@@ -545,6 +568,7 @@ struct NaivePlan {
     cfg: NaiveConfig,
     candidates: NaiveCandidates,
     cache: Arc<InfluenceCache>,
+    masks: Arc<ClauseMaskCache>,
     prep_cost: PrepCost,
     charge_prep: Mutex<bool>,
 }
@@ -556,7 +580,11 @@ impl PreparedPlan for NaivePlan {
 
     fn run(&self, params: &InfluenceParams) -> Result<Explanation> {
         let start = Instant::now();
-        let scorer = self.req.scorer_at(*params)?.with_cache(self.cache.clone());
+        let scorer = self
+            .req
+            .scorer_at(*params)?
+            .with_cache(self.cache.clone())
+            .with_mask_cache(self.masks.clone());
         let out = naive_search_prepared(&scorer, &self.candidates, &self.cfg)?;
         let prep = {
             let mut charge = self.charge_prep.lock();
@@ -575,6 +603,8 @@ impl PreparedPlan for NaivePlan {
                 scorer_calls: scorer.scorer_calls() + prep.calls,
                 cache_hits: scorer.cache_hits(),
                 cache_evictions: scorer.cache_evictions(),
+                mask_cache_hits: scorer.mask_cache_hits(),
+                mask_cache_entries: scorer.mask_cache_entries(),
                 candidates: out.evaluated,
                 budget_exhausted: !out.completed,
                 ..Diagnostics::default()

@@ -61,6 +61,13 @@ pub struct Diagnostics {
     /// shared [`crate::scorer::InfluenceCache`] — attribution stays
     /// per-run even when concurrent runs share the cache.
     pub cache_evictions: u64,
+    /// Clause-mask lookups this run answered from the plan's shared
+    /// [`scorpion_table::ClauseMaskCache`] — each hit skips one
+    /// full-column kernel pass.
+    pub mask_cache_hits: u64,
+    /// Distinct clause masks resident in the plan's cache after the
+    /// run.
+    pub mask_cache_entries: u64,
     /// Number of candidate predicates generated.
     pub candidates: u64,
     /// Number of partitions (leaves / units) before merging.
@@ -110,7 +117,7 @@ impl Explanation {
         agg: &dyn Aggregate,
         agg_attr: usize,
     ) -> scorpion_table::Result<Vec<(f64, f64)>> {
-        let matcher = self.best().predicate.matcher(table)?;
+        let mask = self.best().predicate.mask_uncached(table)?;
         let vals = table.num(agg_attr)?;
         let mut out = Vec::with_capacity(grouping.len());
         let mut scratch = Vec::new();
@@ -120,8 +127,7 @@ impl Explanation {
             scratch.extend(rows.iter().map(|&r| vals[r as usize]));
             let before = agg.compute(&scratch);
             scratch.clear();
-            scratch
-                .extend(rows.iter().filter(|&&r| !matcher.matches(r)).map(|&r| vals[r as usize]));
+            scratch.extend(rows.iter().filter(|&&r| !mask.contains(r)).map(|&r| vals[r as usize]));
             let after = agg.compute(&scratch);
             out.push((before, after));
         }

@@ -7,13 +7,24 @@
 //! only the *deleted* tuples:
 //!
 //! `Δ(p) = recover(m_D) − recover(remove(m_D, state(p(g))))`.
+//!
+//! Predicate evaluation is columnar: each candidate compiles to a
+//! [`scorpion_table::RowMask`] (per-clause bitmap kernels, `AND`-combined,
+//! memoized per distinct clause in a shared [`ClauseMaskCache`]), and
+//! `(n, Δ)` per group falls out of a word-wise zip of the predicate mask
+//! against the group's base mask — `n` from popcount, `Δ` from a masked
+//! [`AggState`] fold that skips whole all-zero words. The row-at-a-time
+//! [`scorpion_table::PredicateMatcher`] survives only as the reference
+//! oracle ([`Scorer::influence_rowwise`]), parity-tested against the mask
+//! path.
 
 use crate::config::InfluenceParams;
 use crate::error::{Result, ScorpionError};
 use crate::lru::LruShard;
 use parking_lot::Mutex;
 use scorpion_agg::{AggState, Aggregate, IncrementalAggregate};
-use scorpion_table::{Predicate, PredicateMatcher, Table};
+use scorpion_table::{ClauseMaskCache, Predicate, PredicateMask, PredicateMatcher, RowMask, Table};
+use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -30,6 +41,9 @@ pub fn resolve_threads(requested: usize) -> usize {
 /// One labeled result: the rows of its input group and, for outliers, the
 /// user's error-vector component `v_o` (+1 = "too high", −1 = "too low";
 /// any magnitude is accepted and treated as a weight).
+///
+/// Rows are a *set*: the Scorer normalizes them to ascending order and
+/// drops duplicates (groupings already produce sorted, unique row ids).
 #[derive(Debug, Clone)]
 pub struct GroupSpec {
     /// Row ids of the input group `g_o` (provenance of the result).
@@ -38,10 +52,27 @@ pub struct GroupSpec {
     pub error: f64,
 }
 
+/// A labeled group as shared handles — the zero-copy form
+/// [`crate::LabeledQuery::scorer`] feeds from a grouping's cached
+/// `Arc` slices and masks.
+pub(crate) struct GroupHandle {
+    /// Row ids, ascending and unique.
+    pub rows: Arc<[u32]>,
+    /// The same rows as a bitmap over the table's row domain.
+    pub mask: Arc<RowMask>,
+    /// Error-vector component (`1.0` for hold-outs).
+    pub error: f64,
+}
+
 /// A labeled group prepared for scoring.
 pub(crate) struct GroupCtx {
-    /// Row ids of the input group.
-    pub rows: Vec<u32>,
+    /// Row ids of the input group, ascending and unique.
+    pub rows: Arc<[u32]>,
+    /// The group's rows as a bitmap over the table's row domain.
+    pub mask: Arc<RowMask>,
+    /// The nonzero word span of `mask` — the only words the masked
+    /// accumulation loops visit.
+    span: Range<usize>,
     /// Aggregate-attribute values aligned with `rows`.
     pub values: Vec<f64>,
     /// Error-vector component (`1.0` for hold-outs).
@@ -229,6 +260,9 @@ pub struct Scorer<'a> {
     agg: &'a dyn Aggregate,
     inc: Option<&'a dyn IncrementalAggregate>,
     agg_attr: usize,
+    /// The full aggregate-attribute column (masked folds index it by
+    /// global row id).
+    vals: &'a [f64],
     outliers: Vec<GroupCtx>,
     holdouts: Vec<GroupCtx>,
     params: InfluenceParams,
@@ -236,6 +270,13 @@ pub struct Scorer<'a> {
     cache_hits: AtomicU64,
     cache_evictions: AtomicU64,
     cache: Option<Arc<InfluenceCache>>,
+    /// Per-clause mask memo: every distinct clause is evaluated against
+    /// the table once per cache lifetime, shared by all candidates.
+    masks: Arc<ClauseMaskCache>,
+    /// Clause-mask lookups *this Scorer* answered from the cache —
+    /// attribution stays per-run even when concurrent runs share one
+    /// cache (mirrors the per-Scorer `cache_hits` counter).
+    mask_hits: AtomicU64,
 }
 
 impl<'a> Scorer<'a> {
@@ -252,6 +293,37 @@ impl<'a> Scorer<'a> {
         params: InfluenceParams,
         force_blackbox: bool,
     ) -> Result<Self> {
+        let handle = |spec: GroupSpec| -> GroupHandle {
+            let mut rows = spec.rows;
+            rows.sort_unstable();
+            rows.dedup();
+            let mask = Arc::new(RowMask::from_rows(table.len(), &rows));
+            GroupHandle { rows: rows.into(), mask, error: spec.error }
+        };
+        Scorer::from_handles(
+            table,
+            agg,
+            agg_attr,
+            outliers.into_iter().map(handle).collect(),
+            holdouts.into_iter().map(handle).collect(),
+            params,
+            force_blackbox,
+        )
+    }
+
+    /// Builds a Scorer from pre-shared group handles (row slices +
+    /// masks), avoiding any per-group copying — the path
+    /// [`crate::LabeledQuery::scorer`] takes from a grouping's cached
+    /// shared groups.
+    pub(crate) fn from_handles(
+        table: &'a Table,
+        agg: &'a dyn Aggregate,
+        agg_attr: usize,
+        outliers: Vec<GroupHandle>,
+        holdouts: Vec<GroupHandle>,
+        params: InfluenceParams,
+        force_blackbox: bool,
+    ) -> Result<Self> {
         if outliers.is_empty() {
             return Err(ScorpionError::NoOutliers);
         }
@@ -263,17 +335,20 @@ impl<'a> Scorer<'a> {
         }
         let inc = if force_blackbox { None } else { agg.incremental() };
         let vals = table.num(agg_attr)?;
-        let build = |spec: GroupSpec, default_error: Option<f64>| -> GroupCtx {
-            let values: Vec<f64> = spec.rows.iter().map(|&r| vals[r as usize]).collect();
+        let build = |h: GroupHandle, default_error: Option<f64>| -> GroupCtx {
+            let values: Vec<f64> = h.rows.iter().map(|&r| vals[r as usize]).collect();
             let full_state = inc.map(|i| i.state_of(&values));
             let full_value = match (&full_state, inc) {
                 (Some(s), Some(i)) => i.recover(s),
                 _ => agg.compute(&values),
             };
+            let span = h.mask.nonzero_word_span();
             GroupCtx {
-                rows: spec.rows,
+                rows: h.rows,
+                mask: h.mask,
+                span,
                 values,
-                error: default_error.unwrap_or(spec.error),
+                error: default_error.unwrap_or(h.error),
                 full_value,
                 full_state,
                 tuple_deltas: OnceLock::new(),
@@ -284,13 +359,16 @@ impl<'a> Scorer<'a> {
             agg,
             inc,
             agg_attr,
-            outliers: outliers.into_iter().map(|s| build(s, None)).collect(),
-            holdouts: holdouts.into_iter().map(|s| build(s, Some(1.0))).collect(),
+            vals,
+            outliers: outliers.into_iter().map(|h| build(h, None)).collect(),
+            holdouts: holdouts.into_iter().map(|h| build(h, Some(1.0))).collect(),
             params,
             calls: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_evictions: AtomicU64::new(0),
             cache: None,
+            masks: Arc::new(ClauseMaskCache::new()),
+            mask_hits: AtomicU64::new(0),
         })
     }
 
@@ -301,6 +379,33 @@ impl<'a> Scorer<'a> {
     pub fn with_cache(mut self, cache: Arc<InfluenceCache>) -> Self {
         self.cache = Some(cache);
         self
+    }
+
+    /// Attaches a shared [`ClauseMaskCache`]. The cache is
+    /// table-specific: attach one per table snapshot (plans do this so
+    /// every run over the same table reuses its clause masks) and drop
+    /// it when the table changes.
+    #[must_use]
+    pub fn with_mask_cache(mut self, masks: Arc<ClauseMaskCache>) -> Self {
+        self.masks = masks;
+        self
+    }
+
+    /// The clause-mask cache this Scorer evaluates through.
+    pub fn mask_cache(&self) -> &Arc<ClauseMaskCache> {
+        &self.masks
+    }
+
+    /// Clause-mask lookups this Scorer answered from its cache. Only
+    /// this Scorer's own lookups count, so attribution stays correct
+    /// when concurrent runs share one cache.
+    pub fn mask_cache_hits(&self) -> u64 {
+        self.mask_hits.load(Ordering::Relaxed)
+    }
+
+    /// Distinct clauses currently resident in the attached cache.
+    pub fn mask_cache_entries(&self) -> u64 {
+        self.masks.len() as u64
     }
 
     /// The table this Scorer evaluates against.
@@ -319,26 +424,28 @@ impl<'a> Scorer<'a> {
     }
 
     /// Returns a Scorer identical to this one but with different
-    /// influence parameters. Cached group states are rebuilt cheaply and
-    /// an attached [`InfluenceCache`] is carried over (its entries are
+    /// influence parameters. Group handles (row slices and masks) are
+    /// shared by `Arc`, and the attached [`InfluenceCache`] and
+    /// [`ClauseMaskCache`] are carried over (both are
     /// parameter-agnostic).
     pub fn with_params(&self, params: InfluenceParams) -> Result<Scorer<'a>> {
-        let mut s = Scorer::new(
+        let handles = |groups: &[GroupCtx]| {
+            groups
+                .iter()
+                .map(|g| GroupHandle { rows: g.rows.clone(), mask: g.mask.clone(), error: g.error })
+                .collect()
+        };
+        let mut s = Scorer::from_handles(
             self.table,
             self.agg,
             self.agg_attr,
-            self.outliers
-                .iter()
-                .map(|g| GroupSpec { rows: g.rows.clone(), error: g.error })
-                .collect(),
-            self.holdouts
-                .iter()
-                .map(|g| GroupSpec { rows: g.rows.clone(), error: g.error })
-                .collect(),
+            handles(&self.outliers),
+            handles(&self.holdouts),
             params,
             self.inc.is_none() && self.agg.incremental().is_some(),
         )?;
         s.cache = self.cache.clone();
+        s.masks = self.masks.clone();
         Ok(s)
     }
 
@@ -402,8 +509,72 @@ impl<'a> Scorer<'a> {
         self.cache_evictions.load(Ordering::Relaxed)
     }
 
-    /// `Δ` and match count of `p` over one group.
-    fn delta_ctx(&self, ctx: &GroupCtx, m: &PredicateMatcher) -> (f64, usize) {
+    /// The bitmap of `p` over this Scorer's table, through the attached
+    /// clause-mask cache (hits attributed to this Scorer).
+    pub(crate) fn predicate_mask(&self, p: &Predicate) -> Result<PredicateMask> {
+        let (mask, hits) = p.mask_with_hits(self.table, &self.masks)?;
+        if hits > 0 {
+            self.mask_hits.fetch_add(hits, Ordering::Relaxed);
+        }
+        Ok(mask)
+    }
+
+    /// `Δ` and match count of `p` (as a mask) over one group: a
+    /// word-wise zip of the predicate mask against the group's base
+    /// mask. `n` comes from popcount; `Δ` from a masked [`AggState`]
+    /// fold (incremental path) or a masked gather of the survivors
+    /// (black-box path). All-zero words — groups the predicate does not
+    /// touch — cost one `AND` per 64 rows.
+    ///
+    /// Rows are visited in ascending order, which is exactly the order
+    /// the row-at-a-time oracle visits them (group rows are normalized
+    /// ascending), so the floating-point accumulation is bit-identical
+    /// to [`Scorer::influence_rowwise`].
+    fn delta_ctx(&self, ctx: &GroupCtx, pm: &RowMask) -> (f64, usize) {
+        let gw = ctx.mask.words();
+        let pw = pm.words();
+        match (self.inc, &ctx.full_state) {
+            (Some(inc), Some(full)) => {
+                let mut sub = AggState::zero(inc.state_len());
+                let mut n = 0usize;
+                for wi in ctx.span.clone() {
+                    let mut w = gw[wi] & pw[wi];
+                    n += w.count_ones() as usize;
+                    while w != 0 {
+                        let row = ((wi as u32) << 6) | w.trailing_zeros();
+                        sub.accumulate(&inc.state_one(self.vals[row as usize]));
+                        w &= w - 1;
+                    }
+                }
+                if n == 0 {
+                    return (0.0, 0);
+                }
+                (ctx.full_value - inc.recover(&inc.remove(full, &sub)), n)
+            }
+            _ => {
+                let mut kept = Vec::with_capacity(ctx.rows.len());
+                let mut n = 0usize;
+                for wi in ctx.span.clone() {
+                    let g = gw[wi];
+                    n += (g & pw[wi]).count_ones() as usize;
+                    let mut w = g & !pw[wi];
+                    while w != 0 {
+                        let row = ((wi as u32) << 6) | w.trailing_zeros();
+                        kept.push(self.vals[row as usize]);
+                        w &= w - 1;
+                    }
+                }
+                if n == 0 {
+                    return (0.0, 0);
+                }
+                (ctx.full_value - self.agg.compute(&kept), n)
+            }
+        }
+    }
+
+    /// Row-at-a-time `Δ` and match count — the reference oracle the
+    /// masked fold is parity-tested against.
+    fn delta_ctx_rowwise(&self, ctx: &GroupCtx, m: &PredicateMatcher) -> (f64, usize) {
         match (self.inc, &ctx.full_state) {
             (Some(inc), Some(full)) => {
                 let mut sub = AggState::zero(inc.state_len());
@@ -435,6 +606,27 @@ impl<'a> Scorer<'a> {
         }
     }
 
+    /// Full influence computed entirely row-at-a-time through the
+    /// [`PredicateMatcher`] — the pre-vectorization reference
+    /// implementation, kept as the parity oracle (and the baseline the
+    /// `influence_throughput` bench measures the mask path against). No
+    /// caches are consulted and no counters advance.
+    pub fn influence_rowwise(&self, p: &Predicate) -> Result<f64> {
+        let m = p.matcher(self.table)?;
+        let mut sum = 0.0;
+        for ctx in &self.outliers {
+            let (d, n) = self.delta_ctx_rowwise(ctx, &m);
+            sum += self.inf_from_delta(d, n as f64, ctx.error);
+        }
+        let out = sum / self.outliers.len() as f64;
+        let mut hold = 0.0f64;
+        for ctx in &self.holdouts {
+            let (d, n) = self.delta_ctx_rowwise(ctx, &m);
+            hold = hold.max(self.inf_from_delta(d, n as f64, 1.0).abs());
+        }
+        Ok(self.combine_terms(out, hold))
+    }
+
     /// `inf = v · Δ / n^c`, with the empty selection defined as zero.
     #[inline]
     fn inf_from_delta(&self, delta: f64, n: f64, error: f64) -> f64 {
@@ -446,22 +638,22 @@ impl<'a> Scorer<'a> {
     }
 
     /// `(n, Δ)` of `p` over every outlier group, in Scorer order.
-    fn outlier_pairs(&self, m: &PredicateMatcher) -> Box<[(f64, f64)]> {
+    fn outlier_pairs(&self, pm: &RowMask) -> Box<[(f64, f64)]> {
         self.outliers
             .iter()
             .map(|ctx| {
-                let (d, n) = self.delta_ctx(ctx, m);
+                let (d, n) = self.delta_ctx(ctx, pm);
                 (n as f64, d)
             })
             .collect()
     }
 
     /// `(n, Δ)` of `p` over every hold-out group, in Scorer order.
-    fn holdout_pairs(&self, m: &PredicateMatcher) -> Box<[(f64, f64)]> {
+    fn holdout_pairs(&self, pm: &RowMask) -> Box<[(f64, f64)]> {
         self.holdouts
             .iter()
             .map(|ctx| {
-                let (d, n) = self.delta_ctx(ctx, m);
+                let (d, n) = self.delta_ctx(ctx, pm);
                 (n as f64, d)
             })
             .collect()
@@ -496,20 +688,20 @@ impl<'a> Scorer<'a> {
     }
 
     /// Streaming (allocation-free) outlier term, for the uncached path.
-    fn outlier_term_direct(&self, m: &PredicateMatcher) -> f64 {
+    fn outlier_term_direct(&self, pm: &RowMask) -> f64 {
         let mut sum = 0.0;
         for ctx in &self.outliers {
-            let (d, n) = self.delta_ctx(ctx, m);
+            let (d, n) = self.delta_ctx(ctx, pm);
             sum += self.inf_from_delta(d, n as f64, ctx.error);
         }
         sum / self.outliers.len() as f64
     }
 
     /// Streaming (allocation-free) hold-out term, for the uncached path.
-    fn holdout_term_direct(&self, m: &PredicateMatcher) -> f64 {
+    fn holdout_term_direct(&self, pm: &RowMask) -> f64 {
         let mut max = 0.0f64;
         for ctx in &self.holdouts {
-            let (d, n) = self.delta_ctx(ctx, m);
+            let (d, n) = self.delta_ctx(ctx, pm);
             max = max.max(self.inf_from_delta(d, n as f64, 1.0).abs());
         }
         max
@@ -523,16 +715,16 @@ impl<'a> Scorer<'a> {
     /// `λ·(1/|O|)·Σ_o inf(o,p,v_o) − (1−λ)·max_h |inf(h,p)|`.
     ///
     /// With an attached [`InfluenceCache`], known predicates are scored
-    /// from their cached per-group `(n, Δ)` pairs — no matcher pass, no
+    /// from their cached per-group `(n, Δ)` pairs — no mask pass, no
     /// `scorer_calls` increment, and a result bit-identical to the
     /// direct computation at the current parameters. Without a cache the
-    /// terms are folded directly from the matcher, allocation-free.
+    /// terms are folded directly from the predicate's mask.
     pub fn influence(&self, p: &Predicate) -> Result<f64> {
         let Some(cache) = &self.cache else {
             self.calls.fetch_add(1, Ordering::Relaxed);
-            let m = p.matcher(self.table)?;
+            let pm = self.predicate_mask(p)?;
             return Ok(
-                self.combine_terms(self.outlier_term_direct(&m), self.holdout_term_direct(&m))
+                self.combine_terms(self.outlier_term_direct(&pm), self.holdout_term_direct(&pm))
             );
         };
         if let Some(CachedEval { groups: Some(g), .. }) = cache.get(p) {
@@ -542,8 +734,8 @@ impl<'a> Scorer<'a> {
             );
         }
         self.calls.fetch_add(1, Ordering::Relaxed);
-        let m = p.matcher(self.table)?;
-        let (o, h) = (self.outlier_pairs(&m), self.holdout_pairs(&m));
+        let pm = self.predicate_mask(p)?;
+        let (o, h) = (self.outlier_pairs(&pm), self.holdout_pairs(&pm));
         let inf = self.combine_terms(self.outlier_term_from(&o), self.holdout_term_from(&h));
         let evicted = cache.store_groups(p, Arc::new((o, h)));
         self.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
@@ -559,16 +751,16 @@ impl<'a> Scorer<'a> {
     pub fn influence_outliers_only(&self, p: &Predicate) -> Result<f64> {
         let Some(cache) = &self.cache else {
             self.calls.fetch_add(1, Ordering::Relaxed);
-            let m = p.matcher(self.table)?;
-            return Ok(self.params.lambda * self.outlier_term_direct(&m));
+            let pm = self.predicate_mask(p)?;
+            return Ok(self.params.lambda * self.outlier_term_direct(&pm));
         };
         if let Some(CachedEval { groups: Some(g), .. }) = cache.get(p) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(self.params.lambda * self.outlier_term_from(&g.0));
         }
         self.calls.fetch_add(1, Ordering::Relaxed);
-        let m = p.matcher(self.table)?;
-        let (o, h) = (self.outlier_pairs(&m), self.holdout_pairs(&m));
+        let pm = self.predicate_mask(p)?;
+        let (o, h) = (self.outlier_pairs(&pm), self.holdout_pairs(&pm));
         let inf = self.params.lambda * self.outlier_term_from(&o);
         let evicted = cache.store_groups(p, Arc::new((o, h)));
         self.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
@@ -635,12 +827,12 @@ impl<'a> Scorer<'a> {
                 return Ok(v);
             }
         }
-        let m = p.matcher(self.table)?;
+        let pm = self.predicate_mask(p)?;
         let mut best = f64::NEG_INFINITY;
         for (g, ctx) in self.outliers.iter().enumerate() {
             let deltas = self.outlier_tuple_deltas(g);
             for (i, &row) in ctx.rows.iter().enumerate() {
-                if m.matches(row) {
+                if pm.contains(row) {
                     let inf = ctx.error * deltas[i];
                     if inf > best {
                         best = inf;
@@ -705,9 +897,21 @@ impl<'a> Scorer<'a> {
     /// evaluating the same shared group state read-only. With
     /// `threads <= 1` the batch is scored sequentially. Results are in
     /// input order; scoring errors surface per predicate.
+    ///
+    /// Candidates at one DT/MC level share most of their clauses; the
+    /// attached [`ClauseMaskCache`] evaluates each *distinct* clause
+    /// against the table once for the whole batch. Before fanning out,
+    /// the cache is pre-warmed serially so workers never race to build
+    /// the same clause mask.
     pub fn influence_batch(&self, preds: &[Predicate], threads: usize) -> Vec<Result<f64>> {
         if threads <= 1 || preds.len() < 2 {
             return preds.iter().map(|p| self.influence(p)).collect();
+        }
+        for p in preds {
+            // Errors resurface per predicate during scoring.
+            if let Ok(hits) = p.warm_masks(self.table, &self.masks) {
+                self.mask_hits.fetch_add(hits, Ordering::Relaxed);
+            }
         }
         let threads = threads.min(preds.len());
         let chunk = preds.len().div_ceil(threads);
@@ -972,6 +1176,81 @@ mod tests {
         for (a, b) in serial.iter().zip(&parallel) {
             assert!((a - b).abs() < 1e-12, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn mask_path_matches_rowwise_oracle_bit_exactly() {
+        let t = sensors();
+        for c in [0.0, 0.3, 1.0] {
+            let s = paper_scorer(&t, c).with_params(InfluenceParams { lambda: 0.5, c }).unwrap();
+            let code3 = t.cat(1).unwrap().code_of("3").unwrap();
+            for p in [
+                Predicate::all(),
+                Predicate::conjunction([Clause::range(2, 0.0, 2.4)]).unwrap(),
+                Predicate::conjunction([Clause::in_set(1, [code3])]).unwrap(),
+                Predicate::conjunction([Clause::range(2, 0.0, 2.4), Clause::in_set(1, [code3])])
+                    .unwrap(),
+                Predicate::conjunction([Clause::range(3, 1000.0, 2000.0)]).unwrap(),
+            ] {
+                let mask = s.influence(&p).unwrap();
+                let oracle = s.influence_rowwise(&p).unwrap();
+                assert!(
+                    mask.to_bits() == oracle.to_bits(),
+                    "c={c}: mask {mask} != oracle {oracle} for {}",
+                    p.display(&t)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_evaluates_each_distinct_clause_once() {
+        let t = sensors();
+        let s = paper_scorer(&t, 1.0);
+        // 8 candidates built from 4 distinct voltage clauses and 2
+        // distinct temp clauses.
+        let volts: Vec<Clause> =
+            (0..4).map(|i| Clause::range(2, 2.0 + i as f64 * 0.1, 2.8)).collect();
+        let temps = [Clause::range(3, 0.0, 50.0), Clause::range(3, 50.0, 200.0)];
+        let preds: Vec<Predicate> = volts
+            .iter()
+            .flat_map(|v| {
+                temps.iter().map(|t| Predicate::conjunction([v.clone(), t.clone()]).unwrap())
+            })
+            .collect();
+        for r in s.influence_batch(&preds, 4) {
+            r.unwrap();
+        }
+        assert_eq!(s.mask_cache_entries(), 6, "one mask per distinct clause");
+        let hits = s.mask_cache_hits();
+        assert!(hits > 0, "shared clauses must hit the cache");
+        // Re-scoring the same batch is pure cache traffic.
+        for r in s.influence_batch(&preds, 1) {
+            r.unwrap();
+        }
+        assert_eq!(s.mask_cache_entries(), 6);
+        assert!(s.mask_cache_hits() > hits);
+    }
+
+    #[test]
+    fn unsorted_group_rows_are_normalized() {
+        let t = sensors();
+        let g = group_by(&t, &[0]).unwrap();
+        let mut shuffled = g.rows(1).to_vec();
+        shuffled.reverse();
+        let s = Scorer::new(
+            &t,
+            &Avg,
+            3,
+            vec![GroupSpec { rows: shuffled, error: 1.0 }],
+            vec![],
+            InfluenceParams { lambda: 1.0, c: 1.0 },
+            false,
+        )
+        .unwrap();
+        assert_eq!(s.outlier_rows(0), g.rows(1), "rows normalize ascending");
+        let p = Predicate::conjunction([Clause::range(2, 0.0, 2.4)]).unwrap();
+        assert_eq!(s.influence(&p).unwrap().to_bits(), s.influence_rowwise(&p).unwrap().to_bits());
     }
 
     #[test]

@@ -42,6 +42,8 @@ pub fn diagnostics_json(d: &Diagnostics) -> Json {
         ("scorer_calls", Json::from(d.scorer_calls)),
         ("cache_hits", Json::from(d.cache_hits)),
         ("cache_evictions", Json::from(d.cache_evictions)),
+        ("mask_cache_hits", Json::from(d.mask_cache_hits)),
+        ("mask_cache_entries", Json::from(d.mask_cache_entries)),
         ("candidates", Json::from(d.candidates)),
         ("partitions", Json::from(d.partitions)),
         ("budget_exhausted", Json::from(d.budget_exhausted)),
@@ -71,9 +73,17 @@ mod tests {
 
     #[test]
     fn diagnostics_encode_cleanly() {
-        let d = Diagnostics { algorithm: "dt", scorer_calls: 7, ..Diagnostics::default() };
+        let d = Diagnostics {
+            algorithm: "dt",
+            scorer_calls: 7,
+            mask_cache_hits: 3,
+            mask_cache_entries: 2,
+            ..Diagnostics::default()
+        };
         let j = diagnostics_json(&d);
         assert_eq!(j.get("scorer_calls").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(j.get("mask_cache_hits").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(j.get("mask_cache_entries").and_then(Json::as_f64), Some(2.0));
         assert!(j.encode().is_ok());
     }
 }

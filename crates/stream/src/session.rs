@@ -27,6 +27,17 @@
 //! drops or reorders values silently renumbers them — any dictionary
 //! drift forces a cold rebuild and discards merge seeds.
 //!
+//! Each window state hands its labeled groups to the engine as shared
+//! row *masks*: the materialized [`Grouping`] caches one `Arc` row
+//! slice and one `Arc` bitmap per group
+//! ([`Grouping::shared_group`]), so the prepare scorer, every
+//! `plan.run`, and every rebound plan over that window state read the
+//! same bitmaps instead of copying fresh `Vec<u32>` row lists per
+//! scorer build. Clause masks (the per-table
+//! [`scorpion_table::ClauseMaskCache`]) live on the prepared plan and
+//! are dropped by `rebind`, since the new materialization renumbers
+//! rows.
+//!
 //! One approximation is inherited deliberately: a stale *hold-out* set
 //! changes which boundaries §6.1.4 would carve, so warm partitions can
 //! be coarser around new hold-out structure than a cold rebuild's.

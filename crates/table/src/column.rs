@@ -61,6 +61,28 @@ impl CatColumn {
         self.dict.len()
     }
 
+    /// Gathers the given rows into a fresh, self-contained column.
+    ///
+    /// Codes are remapped through a dense old→new table instead of
+    /// re-hashing each row's string; the new dictionary is assigned in
+    /// first-appearance order of `rows`, exactly as pushing the string
+    /// values one row at a time would.
+    pub fn gather(&self, rows: &[u32]) -> CatColumn {
+        const UNMAPPED: u32 = u32::MAX;
+        let mut map = vec![UNMAPPED; self.dict.len()];
+        let mut out = CatColumn::new();
+        out.codes.reserve(rows.len());
+        for &r in rows {
+            let old = self.codes[r as usize];
+            let new = &mut map[old as usize];
+            if *new == UNMAPPED {
+                *new = out.intern(&self.dict[old as usize]);
+            }
+            out.codes.push(*new);
+        }
+        out
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         self.codes.len()
@@ -152,6 +174,26 @@ mod tests {
         assert_eq!(c.cardinality(), 1);
         // Re-interning returns the same code.
         assert_eq!(c.intern("x"), 0);
+    }
+
+    #[test]
+    fn gather_reinterns_in_first_appearance_order() {
+        let mut c = CatColumn::new();
+        for v in ["DC", "NY", "CA", "NY", "DC"] {
+            c.push(v);
+        }
+        // Select rows so "NY" appears first: its new code must be 0.
+        let g = c.gather(&[3, 4, 1]);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.cardinality(), 2);
+        assert_eq!(g.codes(), &[0, 1, 0]);
+        assert_eq!(g.value_of(0), "NY");
+        assert_eq!(g.value_of(1), "DC");
+        assert_eq!(g.code_of("CA"), None);
+        // Empty gathers produce empty, usable columns.
+        let e = c.gather(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e.cardinality(), 0);
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   adjacency, and box carving.
 //! * [`query::group_by`] — group-by execution whose [`query::Grouping`]
 //!   doubles as the provenance mapping `αᵢ → g_αᵢ`.
+//! * [`RowMask`] / [`ClauseMaskCache`] — the bitmap execution layer:
+//!   per-clause columnar kernels, word-wise conjunction, popcount and
+//!   selection-vector iteration, with per-table clause-mask memoization.
 //!
 //! ```
 //! use scorpion_table::{Field, Schema, TableBuilder, Value};
@@ -42,6 +45,7 @@ pub mod domain;
 mod error;
 pub mod predicate;
 pub mod query;
+pub mod rowmask;
 mod schema;
 pub mod sql;
 mod table;
@@ -52,6 +56,7 @@ pub use domain::{bin_edges, domains_of, AttrDomain};
 pub use error::{Result, TableError};
 pub use predicate::{Clause, Predicate, PredicateMatcher};
 pub use query::{aggregate_groups, group_by, group_values, GroupKey, Grouping, KeyPart};
+pub use rowmask::{ClauseMaskCache, PredicateMask, RowMask};
 pub use schema::{AttrType, Field, Schema};
 pub use sql::{apply_selection, parse_query, Condition, ParsedQuery};
 pub use table::{Table, TableBuilder};

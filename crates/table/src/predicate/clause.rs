@@ -1,7 +1,9 @@
 //! Single-attribute clauses: ranges over continuous attributes and value
 //! sets over discrete attributes (§3.1).
 
+use crate::column::Column;
 use crate::domain::AttrDomain;
+use crate::rowmask::RowMask;
 use std::collections::BTreeSet;
 use std::hash::{Hash, Hasher};
 
@@ -68,6 +70,24 @@ impl Clause {
         match self {
             Clause::Range { .. } => false,
             Clause::In { codes, .. } => codes.contains(&c),
+        }
+    }
+
+    /// Evaluates the clause against a whole column as a bitmap kernel:
+    /// bit `r` of the result is set iff row `r` satisfies the clause.
+    /// Returns `None` when the clause kind does not match the column
+    /// kind (range over discrete, set over continuous) — the columnar
+    /// equivalent of the matcher's type-mismatch error.
+    ///
+    /// The loops are branch-light and enum-dispatch-free: one pass over
+    /// the raw `&[f64]` / `&[u32]` storage packing 64 rows per word.
+    pub fn eval_mask(&self, col: &Column) -> Option<RowMask> {
+        match (self, col) {
+            (Clause::Range { lo, hi, .. }, Column::Num(data)) => {
+                Some(eval_range_mask(data, *lo, *hi))
+            }
+            (Clause::In { codes, .. }, Column::Cat(cat)) => Some(eval_in_mask(codes, cat.codes())),
+            _ => None,
         }
     }
 
@@ -160,6 +180,40 @@ impl Clause {
             _ => false,
         }
     }
+}
+
+/// `lo <= v < hi` over a raw continuous column, 64 rows per word.
+fn eval_range_mask(data: &[f64], lo: f64, hi: f64) -> RowMask {
+    let mut words = vec![0u64; data.len().div_ceil(64)];
+    for (word, chunk) in words.iter_mut().zip(data.chunks(64)) {
+        let mut bits = 0u64;
+        for (j, &v) in chunk.iter().enumerate() {
+            bits |= ((lo <= v && v < hi) as u64) << j;
+        }
+        *word = bits;
+    }
+    RowMask::from_words(words, data.len())
+}
+
+/// `code ∈ set` over a raw dictionary-code column. The admitted codes
+/// are expanded into a small bitmap first so the row loop is a pair of
+/// shifts instead of a `BTreeSet` probe.
+fn eval_in_mask(set: &BTreeSet<u32>, codes: &[u32]) -> RowMask {
+    let max = set.iter().next_back().copied().unwrap_or(0);
+    let mut lut = vec![0u64; (max as usize >> 6) + 1];
+    for &c in set {
+        lut[(c >> 6) as usize] |= 1u64 << (c & 63);
+    }
+    let mut words = vec![0u64; codes.len().div_ceil(64)];
+    for (word, chunk) in words.iter_mut().zip(codes.chunks(64)) {
+        let mut bits = 0u64;
+        for (j, &c) in chunk.iter().enumerate() {
+            let hit = if c <= max { (lut[(c >> 6) as usize] >> (c & 63)) & 1 } else { 0 };
+            bits |= hit << j;
+        }
+        *word = bits;
+    }
+    RowMask::from_words(words, codes.len())
 }
 
 impl PartialEq for Clause {
@@ -290,6 +344,38 @@ mod tests {
         assert!(!a.touches(&c, 0.1));
         assert!(a.touches(&c, 1.0));
         assert!(Clause::in_set(1, [1]).touches(&Clause::in_set(1, [9]), 0.0));
+    }
+
+    #[test]
+    fn eval_mask_matches_scalar_semantics() {
+        // 70 rows so the kernels cross a word boundary.
+        let data: Vec<f64> = (0..70).map(|i| i as f64).collect();
+        let col = Column::Num(data.clone());
+        let c = Clause::range(0, 10.0, 20.0);
+        let m = c.eval_mask(&col).unwrap();
+        for (r, &v) in data.iter().enumerate() {
+            assert_eq!(m.contains(r as u32), c.matches_num(v), "row {r}");
+        }
+        assert!(c.eval_mask(&Column::Cat(crate::column::CatColumn::new())).is_none());
+
+        let mut cat = crate::column::CatColumn::new();
+        for i in 0..70 {
+            cat.push(["a", "b", "c"][i % 3]);
+        }
+        let codes = cat.codes().to_vec();
+        let col = Column::Cat(cat);
+        let c = Clause::in_set(0, [0, 2]);
+        let m = c.eval_mask(&col).unwrap();
+        for (r, &code) in codes.iter().enumerate() {
+            assert_eq!(m.contains(r as u32), c.matches_code(code), "row {r}");
+        }
+        // Codes above the set's maximum never match (guarded LUT probe).
+        let narrow = Clause::in_set(0, [0]);
+        let m = narrow.eval_mask(&col).unwrap();
+        for (r, &code) in codes.iter().enumerate() {
+            assert_eq!(m.contains(r as u32), code == 0, "row {r}");
+        }
+        assert!(narrow.eval_mask(&Column::Num(vec![1.0])).is_none());
     }
 
     #[test]

@@ -4,10 +4,12 @@ use crate::column::Column;
 use crate::domain::AttrDomain;
 use crate::error::Result;
 use crate::predicate::clause::Clause;
+use crate::rowmask::{ClauseMaskCache, PredicateMask, RowMask};
 use crate::table::Table;
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// A conjunction of per-attribute clauses; each attribute appears in at
 /// most one clause. The empty conjunction matches every tuple.
@@ -93,7 +95,114 @@ impl Predicate {
         self.clauses.is_empty()
     }
 
-    /// Compiles the predicate against a table for fast row matching.
+    /// The type-mismatch error for a clause bound against the wrong
+    /// column kind, named after the table's schema.
+    fn type_mismatch(table: &Table, clause: &Clause) -> crate::error::TableError {
+        let attr = clause.attr();
+        let name = table
+            .schema()
+            .field(attr)
+            .map(|f| f.name().to_owned())
+            .unwrap_or_else(|_| format!("attr{attr}"));
+        crate::error::TableError::TypeMismatch {
+            attr: name,
+            expected: match clause {
+                Clause::Range { .. } => "continuous",
+                Clause::In { .. } => "discrete",
+            },
+        }
+    }
+
+    /// One clause's mask against `table`, served from (and recorded in)
+    /// `cache`; the flag reports a cache hit.
+    fn clause_mask(
+        table: &Table,
+        cache: &ClauseMaskCache,
+        clause: &Clause,
+    ) -> Result<(Arc<RowMask>, bool)> {
+        cache.get_or_eval_flagged(clause, || {
+            let col = table.column(clause.attr())?;
+            clause.eval_mask(col).ok_or_else(|| Predicate::type_mismatch(table, clause))
+        })
+    }
+
+    /// Evaluates the predicate against `table` as a bitmap: the `AND` of
+    /// its clauses' cached masks. Single-clause predicates share the
+    /// cached clause mask (refcount bump, no copy); the empty conjunction
+    /// is the full mask.
+    ///
+    /// This is the primary evaluation path — sibling candidates that
+    /// share clauses (a DT re-score level, an MC level, a NAIVE round)
+    /// pay each distinct clause's column pass once per `cache` lifetime.
+    /// Bit `r` is set iff [`PredicateMatcher::matches`] returns true for
+    /// row `r`; the row-at-a-time matcher survives as the reference
+    /// oracle for exactly that property.
+    pub fn mask(&self, table: &Table, cache: &ClauseMaskCache) -> Result<PredicateMask> {
+        self.mask_with_hits(table, cache).map(|(m, _)| m)
+    }
+
+    /// [`Predicate::mask`] plus the number of clause lookups this call
+    /// answered from `cache` — lets a consumer sharing the cache with
+    /// others attribute hits to itself.
+    pub fn mask_with_hits(
+        &self,
+        table: &Table,
+        cache: &ClauseMaskCache,
+    ) -> Result<(PredicateMask, u64)> {
+        let mut hits = 0u64;
+        let mut first: Option<Arc<RowMask>> = None;
+        let mut acc: Option<RowMask> = None;
+        for clause in self.clauses.values() {
+            let (m, hit) = Predicate::clause_mask(table, cache, clause)?;
+            hits += hit as u64;
+            match (&mut acc, &first) {
+                (Some(a), _) => a.and_assign(&m),
+                (None, Some(f)) => acc = Some(f.and(&m)),
+                (None, None) => first = Some(m),
+            }
+        }
+        let mask = match (acc, first) {
+            (Some(owned), _) => PredicateMask::Owned(owned),
+            (None, Some(shared)) => PredicateMask::Shared(shared),
+            (None, None) => PredicateMask::Owned(RowMask::full(table.len())),
+        };
+        Ok((mask, hits))
+    }
+
+    /// Ensures each of the predicate's clause masks is resident in
+    /// `cache` without doing any conjunction work — batch scorers call
+    /// this once per candidate list before fanning out across workers,
+    /// so shared clauses are built exactly once instead of raced on.
+    /// Returns how many clause lookups were already cached.
+    pub fn warm_masks(&self, table: &Table, cache: &ClauseMaskCache) -> Result<u64> {
+        let mut hits = 0u64;
+        for clause in self.clauses.values() {
+            hits += Predicate::clause_mask(table, cache, clause)?.1 as u64;
+        }
+        Ok(hits)
+    }
+
+    /// Evaluates the predicate as a bitmap without a clause cache — for
+    /// one-shot consumers (CLI previews, selection helpers) where
+    /// memoization has nothing to amortize.
+    pub fn mask_uncached(&self, table: &Table) -> Result<RowMask> {
+        let mut acc: Option<RowMask> = None;
+        for clause in self.clauses.values() {
+            let col = table.column(clause.attr())?;
+            let m = clause.eval_mask(col).ok_or_else(|| Predicate::type_mismatch(table, clause))?;
+            match &mut acc {
+                Some(a) => a.and_assign(&m),
+                None => acc = Some(m),
+            }
+        }
+        Ok(acc.unwrap_or_else(|| RowMask::full(table.len())))
+    }
+
+    /// Compiles the predicate against a table for row-at-a-time
+    /// matching. Kept as the reference oracle for the mask kernels
+    /// (parity-tested) and as the small-probe fallback of
+    /// [`Predicate::select`] / [`Predicate::count`]; scoring hot paths
+    /// evaluate [`Predicate::mask`] instead.
     pub fn matcher<'t>(&self, table: &'t Table) -> Result<PredicateMatcher<'t>> {
         let mut bound = Vec::with_capacity(self.clauses.len());
         for clause in self.clauses.values() {
@@ -106,32 +215,42 @@ impl Predicate {
                 (Clause::In { codes, .. }, Column::Cat(c)) => {
                     BoundClause::In { codes: c.codes(), set: codes.clone() }
                 }
-                _ => {
-                    let name = table.schema().field(attr)?.name().to_owned();
-                    return Err(crate::error::TableError::TypeMismatch {
-                        attr: name,
-                        expected: match clause {
-                            Clause::Range { .. } => "continuous",
-                            Clause::In { .. } => "discrete",
-                        },
-                    });
-                }
+                _ => return Err(Predicate::type_mismatch(table, clause)),
             };
             bound.push(b);
         }
         Ok(PredicateMatcher { bound })
     }
 
-    /// Selects, from `rows`, the ids whose tuples satisfy the predicate.
+    /// True when probing `n_rows` of `table` should match row-at-a-time
+    /// rather than pay a full-column kernel pass per clause: the mask
+    /// kernels touch every table row, so tiny probes of large tables
+    /// are cheaper through the matcher.
+    fn small_probe(table: &Table, n_rows: usize) -> bool {
+        n_rows < table.len() / 64
+    }
+
+    /// Selects, from `rows`, the ids whose tuples satisfy the predicate
+    /// (bitmap-evaluated: one columnar pass per clause, then bit tests;
+    /// small probes of large tables fall back to row-at-a-time
+    /// matching).
     pub fn select(&self, table: &Table, rows: &[u32]) -> Result<Vec<u32>> {
-        let m = self.matcher(table)?;
-        Ok(rows.iter().copied().filter(|&r| m.matches(r)).collect())
+        if Predicate::small_probe(table, rows.len()) {
+            let m = self.matcher(table)?;
+            return Ok(rows.iter().copied().filter(|&r| m.matches(r)).collect());
+        }
+        let m = self.mask_uncached(table)?;
+        Ok(rows.iter().copied().filter(|&r| m.contains(r)).collect())
     }
 
     /// Counts the rows of `rows` satisfying the predicate.
     pub fn count(&self, table: &Table, rows: &[u32]) -> Result<usize> {
-        let m = self.matcher(table)?;
-        Ok(rows.iter().filter(|&&r| m.matches(r)).count())
+        if Predicate::small_probe(table, rows.len()) {
+            let m = self.matcher(table)?;
+            return Ok(rows.iter().filter(|&&r| m.matches(r)).count());
+        }
+        let m = self.mask_uncached(table)?;
+        Ok(rows.iter().filter(|&&r| m.contains(r)).count())
     }
 
     /// Syntactic containment: every tuple matching `self` also matches
@@ -535,6 +654,61 @@ mod tests {
         // Partial clauses survive.
         let q = Predicate::conjunction([Clause::range(0, 1.0, 5.0)]).unwrap();
         assert_eq!(q.simplify(&d), q);
+    }
+
+    #[test]
+    fn mask_agrees_with_matcher_and_shares_clause_masks() {
+        let t = table();
+        let cache = ClauseMaskCache::new();
+        let code_b = t.cat(2).unwrap().code_of("b").unwrap();
+        let preds = [
+            Predicate::all(),
+            Predicate::conjunction([Clause::range(0, 2.0, 10.0)]).unwrap(),
+            Predicate::conjunction([Clause::range(0, 2.0, 10.0), Clause::in_set(2, [code_b])])
+                .unwrap(),
+        ];
+        for p in &preds {
+            let mask = p.mask(&t, &cache).unwrap();
+            let m = p.matcher(&t).unwrap();
+            for r in 0..t.len() as u32 {
+                assert_eq!(mask.contains(r), m.matches(r), "{} row {r}", p.display(&t));
+            }
+            assert_eq!(
+                mask.count_ones(),
+                p.count(&t, &(0..t.len() as u32).collect::<Vec<_>>()).unwrap()
+            );
+            assert_eq!(
+                mask.to_rows(),
+                p.select(&t, &(0..t.len() as u32).collect::<Vec<_>>()).unwrap()
+            );
+        }
+        // The range clause appears in two predicates: second evaluation
+        // is a cache hit, and the single-clause predicate shares the Arc.
+        assert!(cache.hits() >= 1);
+        assert_eq!(cache.len(), 2);
+        if let PredicateMask::Shared(m) = preds[1].mask(&t, &cache).unwrap() {
+            let (again, hit) =
+                Predicate::clause_mask(&t, &cache, preds[1].clause(0).unwrap()).unwrap();
+            assert!(hit);
+            assert!(Arc::ptr_eq(&m, &again));
+        } else {
+            panic!("single-clause predicate must share its clause mask");
+        }
+    }
+
+    #[test]
+    fn mask_reports_type_mismatch_like_matcher() {
+        let t = table();
+        // Range clause over the discrete attribute `s`.
+        let bad = Predicate::conjunction([Clause::range(2, 0.0, 1.0)]).unwrap();
+        let cache = ClauseMaskCache::new();
+        assert!(matches!(
+            bad.mask(&t, &cache),
+            Err(crate::error::TableError::TypeMismatch { ref attr, expected: "continuous" })
+                if attr == "s"
+        ));
+        assert!(bad.mask_uncached(&t).is_err());
+        assert!(bad.matcher(&t).is_err());
     }
 
     #[test]

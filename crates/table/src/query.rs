@@ -6,10 +6,12 @@
 //! the input group `g_αᵢ` of every result tuple `αᵢ`.
 
 use crate::error::{Result, TableError};
+use crate::rowmask::RowMask;
 use crate::table::Table;
 use crate::value::OrdF64;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// One component of a group key.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -39,6 +41,10 @@ impl fmt::Display for GroupKey {
     }
 }
 
+/// One group's shared view: its row ids as an `Arc` slice and as a row
+/// bitmap over the owning table.
+type SharedGroup = (Arc<[u32]>, Arc<RowMask>);
+
 /// The result of grouping a table: keys in first-appearance order and, for
 /// each key, the row ids of its input group.
 #[derive(Debug, Clone)]
@@ -46,6 +52,11 @@ pub struct Grouping {
     group_attrs: Vec<usize>,
     keys: Vec<GroupKey>,
     groups: Vec<Vec<u32>>,
+    /// Lazily shared views of `groups`: `Arc` row slices and row bitmaps
+    /// handed to every Scorer built over this grouping, so repeated plan
+    /// runs, session re-scores, and streaming rebinds stop copying each
+    /// group's row ids into fresh `Vec<u32>`s.
+    shared: OnceLock<Vec<SharedGroup>>,
 }
 
 impl Grouping {
@@ -77,6 +88,23 @@ impl Grouping {
     /// All input groups.
     pub fn all_rows(&self) -> &[Vec<u32>] {
         &self.groups
+    }
+
+    /// The input group of result `i` as a shared slice plus its bitmap
+    /// over `0..n_rows` (the owning table's length). Built once per
+    /// grouping on first use and shared by `Arc` afterwards — the
+    /// zero-copy provenance handle the execution layer consumes.
+    pub fn shared_group(&self, i: usize, n_rows: usize) -> (Arc<[u32]>, Arc<RowMask>) {
+        let shared = self.shared.get_or_init(|| {
+            self.groups
+                .iter()
+                .map(|rows| {
+                    (Arc::from(rows.as_slice()), Arc::new(RowMask::from_rows(n_rows, rows)))
+                })
+                .collect()
+        });
+        debug_assert_eq!(shared[i].1.len(), n_rows, "grouping bound to a different table length");
+        (shared[i].0.clone(), shared[i].1.clone())
     }
 
     /// Finds the index of the group whose key equals `key`.
@@ -131,7 +159,7 @@ pub fn group_by(table: &Table, attrs: &[usize]) -> Result<Grouping> {
         });
         groups[idx].push(row as u32);
     }
-    Ok(Grouping { group_attrs: attrs.to_vec(), keys, groups })
+    Ok(Grouping { group_attrs: attrs.to_vec(), keys, groups, shared: OnceLock::new() })
 }
 
 /// Runs an aggregate function over each group's `agg_attr` values.
@@ -217,6 +245,19 @@ mod tests {
         assert!((res[0] - 34.666).abs() < 0.01);
         assert!((res[1] - 56.666).abs() < 0.01);
         assert!((res[2] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_groups_are_cached_and_consistent() {
+        let t = sensors();
+        let g = group_by(&t, &[0]).unwrap();
+        let (rows, mask) = g.shared_group(1, t.len());
+        assert_eq!(&*rows, g.rows(1));
+        assert_eq!(mask.to_rows(), g.rows(1));
+        // Second call returns the same shared allocations.
+        let (rows2, mask2) = g.shared_group(1, t.len());
+        assert!(Arc::ptr_eq(&rows, &rows2));
+        assert!(Arc::ptr_eq(&mask, &mask2));
     }
 
     #[test]

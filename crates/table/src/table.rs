@@ -47,16 +47,29 @@ impl Table {
             .ok_or(TableError::AttributeOutOfBounds { index: i, len: self.columns.len() })
     }
 
-    /// Borrows the continuous column at index `i`.
+    /// Borrows the continuous column at index `i`. The type-mismatch
+    /// error string is only built on the failure path — this accessor is
+    /// on several hot paths and must not allocate on success.
     pub fn num(&self, i: usize) -> Result<&[f64]> {
-        let name = self.schema.field(i)?.name().to_owned();
-        self.column(i)?.as_num(&name)
+        match self.column(i)? {
+            Column::Num(v) => Ok(v),
+            Column::Cat(_) => Err(TableError::TypeMismatch {
+                attr: self.schema.field(i)?.name().to_owned(),
+                expected: "continuous",
+            }),
+        }
     }
 
-    /// Borrows the discrete column at index `i`.
+    /// Borrows the discrete column at index `i` (allocation-free on
+    /// success, like [`Table::num`]).
     pub fn cat(&self, i: usize) -> Result<&CatColumn> {
-        let name = self.schema.field(i)?.name().to_owned();
-        self.column(i)?.as_cat(&name)
+        match self.column(i)? {
+            Column::Cat(c) => Ok(c),
+            Column::Num(_) => Err(TableError::TypeMismatch {
+                attr: self.schema.field(i)?.name().to_owned(),
+                expected: "discrete",
+            }),
+        }
     }
 
     /// The cell at (`row`, `attr`) as a dynamically typed value.
@@ -67,21 +80,28 @@ impl Table {
         Ok(self.column(attr)?.value(row))
     }
 
-    /// Materializes the sub-table containing exactly `rows` (in order).
-    ///
-    /// Dictionary codes are re-interned, so the result is self-contained.
+    /// Materializes the sub-table containing exactly `rows` (in order)
+    /// as a columnar gather: `f64` cells are copied slice-to-slice and
+    /// dictionary codes are remapped in bulk — no per-cell [`Value`]
+    /// boxing, no per-cell string hashing. Dictionary codes are
+    /// re-interned in first-appearance order of the selected rows, so
+    /// the result is self-contained and identical to a row-by-row
+    /// rebuild.
     pub fn select_rows(&self, rows: &[u32]) -> Result<Table> {
-        let mut b = TableBuilder::new(self.schema.clone());
         for &r in rows {
-            let r = r as usize;
-            if r >= self.len {
-                return Err(TableError::RowOutOfBounds { index: r, len: self.len });
+            if r as usize >= self.len {
+                return Err(TableError::RowOutOfBounds { index: r as usize, len: self.len });
             }
-            let row: Vec<Value> =
-                (0..self.schema.len()).map(|a| self.columns[a].value(r)).collect();
-            b.push_row(row)?;
         }
-        Ok(b.build())
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| match c {
+                Column::Num(v) => Column::Num(rows.iter().map(|&r| v[r as usize]).collect()),
+                Column::Cat(c) => Column::Cat(c.gather(rows)),
+            })
+            .collect();
+        Ok(Table { schema: self.schema.clone(), columns, len: rows.len() })
     }
 }
 

@@ -90,7 +90,7 @@ pub mod prelude {
         RequestBuilder, ScoredPredicate, Scorer, Scorpion, ScorpionConfig, ScorpionError,
     };
     pub use scorpion_table::{
-        aggregate_groups, bin_edges, domains_of, group_by, AttrDomain, AttrType, Clause, Field,
-        Grouping, Predicate, Schema, Table, TableBuilder, Value,
+        aggregate_groups, bin_edges, domains_of, group_by, AttrDomain, AttrType, Clause,
+        ClauseMaskCache, Field, Grouping, Predicate, RowMask, Schema, Table, TableBuilder, Value,
     };
 }
