@@ -1,0 +1,204 @@
+//! `promcheck` — validates a Prometheus text exposition read from
+//! stdin, for CI smoke tests of the server's `/metrics` endpoint:
+//!
+//! ```text
+//! curl -fsS http://$ADDR/metrics | promcheck
+//! ```
+//!
+//! Checks performed:
+//!
+//! * every sample line parses as `name{labels} value` with a legal
+//!   metric name and a finite-or-`+Inf`/`NaN` float value;
+//! * every `# TYPE` line names a known type and precedes the family's
+//!   samples;
+//! * counters (`*_total` or `TYPE counter`) are non-negative;
+//! * histograms: per label set, `_bucket` counts are cumulative in
+//!   `le` order, end with `le="+Inf"`, the `+Inf` bucket equals
+//!   `_count`, and `_sum`/`_count` are present.
+//!
+//! Exits 0 with a one-line summary on success, 1 with a diagnostic on
+//! the first violation.
+
+use std::collections::BTreeMap;
+use std::io::Read;
+use std::process::exit;
+
+fn fail(line_no: usize, msg: &str) -> ! {
+    eprintln!("promcheck: line {line_no}: {msg}");
+    exit(1)
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Splits `name{labels} value` into `(name, labels, value)`; labels may
+/// contain escaped quotes.
+fn parse_sample(line: &str) -> Option<(&str, &str, f64)> {
+    let (lhs, labels) = match line.find('{') {
+        Some(open) => {
+            let close = line.rfind('}')?;
+            (&line[..open], &line[open + 1..close])
+        }
+        None => {
+            let sp = line.find(|c: char| c.is_ascii_whitespace())?;
+            (&line[..sp], "")
+        }
+    };
+    let value_text = line.rsplit(|c: char| c.is_ascii_whitespace()).next()?;
+    let value = match value_text {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v.parse().ok()?,
+    };
+    Some((lhs.trim(), labels, value))
+}
+
+/// The `le` label's value, and the label set with `le` removed (the
+/// bucket's series identity).
+fn split_le(labels: &str) -> (Option<String>, String) {
+    let mut le = None;
+    let mut rest = Vec::new();
+    // Label values in our exposition contain no escaped quotes or
+    // commas, so a split on `",` boundaries is exact.
+    for pair in labels.split("\",") {
+        let pair = pair.trim_end_matches('"');
+        match pair.split_once("=\"") {
+            Some(("le", v)) => le = Some(v.to_owned()),
+            Some(_) | None if pair.is_empty() => {}
+            _ => rest.push(pair.to_owned()),
+        }
+    }
+    (le, rest.join(","))
+}
+
+fn main() {
+    let mut text = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+        eprintln!("promcheck: failed to read stdin: {e}");
+        exit(1);
+    }
+    if text.trim().is_empty() {
+        eprintln!("promcheck: empty exposition");
+        exit(1);
+    }
+
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    // histogram family -> series labels -> (le, count) in document order.
+    let mut buckets: BTreeMap<(String, String), Vec<(String, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<(String, String), f64> = BTreeMap::new();
+    let mut sums: BTreeMap<(String, String), f64> = BTreeMap::new();
+    let mut samples = 0usize;
+
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_ascii_whitespace();
+            let (Some(name), Some(ty)) = (parts.next(), parts.next()) else {
+                fail(line_no, "malformed TYPE line");
+            };
+            if !valid_metric_name(name) {
+                fail(line_no, &format!("bad metric name in TYPE: `{name}`"));
+            }
+            if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&ty) {
+                fail(line_no, &format!("unknown metric type `{ty}`"));
+            }
+            if types.insert(name.to_owned(), ty.to_owned()).is_some() {
+                fail(line_no, &format!("duplicate TYPE for `{name}`"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP and free comments.
+        }
+
+        let Some((name, labels, value)) = parse_sample(line) else {
+            fail(line_no, &format!("unparseable sample: `{line}`"));
+        };
+        if !valid_metric_name(name) {
+            fail(line_no, &format!("bad metric name `{name}`"));
+        }
+        samples += 1;
+
+        // The family a suffixed series belongs to, if its base is typed.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|s| name.strip_suffix(s).filter(|b| types.contains_key(*b)))
+            .unwrap_or(name);
+        let declared = types.get(family).map(String::as_str);
+        if declared.is_none() {
+            fail(line_no, &format!("sample for `{name}` precedes its TYPE line"));
+        }
+        if declared == Some("counter") && value < 0.0 {
+            fail(line_no, &format!("counter `{name}` is negative: {value}"));
+        }
+        if declared == Some("histogram") {
+            let (le, series) = split_le(labels);
+            let key = (family.to_owned(), series);
+            if let Some(stripped) = name.strip_suffix("_bucket") {
+                let Some(le) = le else {
+                    fail(line_no, &format!("`{name}` bucket without an le label"));
+                };
+                if value < 0.0 {
+                    fail(line_no, &format!("negative bucket count in `{stripped}`"));
+                }
+                buckets.entry(key).or_default().push((le, value));
+            } else if name.ends_with("_count") {
+                counts.insert(key, value);
+            } else if name.ends_with("_sum") {
+                sums.insert(key, value);
+            }
+        }
+    }
+
+    for ((family, series), series_buckets) in &buckets {
+        let at = |msg: &str| -> ! {
+            eprintln!("promcheck: histogram `{family}{{{series}}}`: {msg}");
+            exit(1)
+        };
+        let mut last = f64::NEG_INFINITY;
+        let mut last_le = f64::NEG_INFINITY;
+        for (le, count) in series_buckets {
+            let bound = match le.as_str() {
+                "+Inf" => f64::INFINITY,
+                v => v.parse().unwrap_or_else(|_| at(&format!("bad le `{v}`"))),
+            };
+            if bound <= last_le {
+                at(&format!("le bounds not increasing at `{le}`"));
+            }
+            if *count < last {
+                at(&format!("bucket counts not cumulative at le=\"{le}\": {count} < {last}"));
+            }
+            (last, last_le) = (*count, bound);
+        }
+        let Some((le, inf_count)) = series_buckets.last().filter(|(le, _)| le == "+Inf") else {
+            at("missing le=\"+Inf\" bucket");
+        };
+        let _ = le;
+        let Some(count) = counts.get(&(family.clone(), series.clone())) else {
+            at("missing _count series");
+        };
+        if inf_count != count {
+            at(&format!("+Inf bucket {inf_count} != _count {count}"));
+        }
+        if !sums.contains_key(&(family.clone(), series.clone())) {
+            at("missing _sum series");
+        }
+    }
+
+    println!(
+        "promcheck: ok ({samples} samples, {} families, {} histogram series)",
+        types.len(),
+        buckets.len()
+    );
+}

@@ -158,6 +158,8 @@ pub fn explain(q: &LabeledQuery<'_>, cfg: &ScorpionConfig) -> Result<Explanation
     let engine = engine_for(&algo)?;
     let run = engine.search(&scorer, &attrs, &domains)?;
 
+    let mut phases = run.phases;
+    scorpion_obs::merge_phases(&mut phases, scorer.timing_phases());
     Ok(crate::engine::finish(
         engine.algorithm(),
         run.predicates,
@@ -170,6 +172,7 @@ pub fn explain(q: &LabeledQuery<'_>, cfg: &ScorpionConfig) -> Result<Explanation
             candidates: run.candidates,
             partitions: run.partitions,
             budget_exhausted: run.budget_exhausted,
+            phases,
             ..Diagnostics::default()
         },
     ))
@@ -267,6 +270,7 @@ mod tests {
         let ex = explain(&q, &cfg).unwrap();
         assert_eq!(ex.diagnostics.algorithm, "dt");
         assert!(ex.diagnostics.scorer_calls > 0);
+        assert!(!ex.diagnostics.phases.is_empty(), "borrowed path reports no phases");
         let clause = ex.best().predicate.clause(1).expect("x clause");
         assert!(clause.matches_num(40.0));
         assert!(!clause.matches_num(90.0));

@@ -32,8 +32,10 @@ use crate::result::{GroupStat, PartitionStats, ScoredPredicate};
 use crate::scorer::Scorer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use scorpion_obs::{span, PhaseTiming, Phases};
 use scorpion_table::{AttrDomain, Clause, Column, Predicate};
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 /// Counters describing one DT run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -54,6 +56,8 @@ pub struct DtPartitioner<'s, 'a> {
     attrs: Vec<usize>,
     domains: Vec<AttrDomain>,
     cfg: DtConfig,
+    /// Wall-clock attribution of the pipeline stages (`dt.*` phases).
+    phases: Phases,
 }
 
 /// A column borrowed for fast attribute access.
@@ -104,27 +108,37 @@ impl<'s, 'a> DtPartitioner<'s, 'a> {
         domains: Vec<AttrDomain>,
         cfg: DtConfig,
     ) -> Self {
-        DtPartitioner { scorer, attrs, domains, cfg }
+        DtPartitioner { scorer, attrs, domains, cfg, phases: Phases::new() }
+    }
+
+    /// Takes the `dt.*` phase timings accumulated by partitioning runs
+    /// so far (callers fold them into `Diagnostics.phases`).
+    pub fn take_phases(&self) -> Vec<PhaseTiming> {
+        self.phases.take()
     }
 
     /// Runs partitioning only: ranked, exactly scored partitions with the
     /// per-group statistics the Merger needs.
     pub fn partition(&self) -> Result<(Vec<ScoredPredicate>, DtDiag)> {
+        let _span = span!("dt.partition");
         let mut diag = DtDiag::default();
         let cols = self.borrow_cols()?;
         let mut rng = StdRng::seed_from_u64(self.cfg.sampling.map(|s| s.seed).unwrap_or(0));
 
         // Outlier side.
-        let out_side = self.build_side(true)?;
-        let out_leaves = self.grow(&out_side, &cols, &mut rng, &mut diag.sampled_fraction);
+        let out_side = self.phases.time("dt.influences", || self.build_side(true))?;
+        let out_leaves = self
+            .phases
+            .time("dt.grow", || self.grow(&out_side, &cols, &mut rng, &mut diag.sampled_fraction));
         diag.outlier_leaves = out_leaves.len();
 
         // Hold-out side (if any).
         let mut hold_preds: Vec<(Predicate, f64)> = Vec::new();
         if self.scorer.n_holdouts() > 0 {
-            let hold_side = self.build_side(false)?;
+            let hold_side = self.phases.time("dt.influences", || self.build_side(false))?;
             let mut dummy = 0.0;
-            let hold_leaves = self.grow(&hold_side, &cols, &mut rng, &mut dummy);
+            let hold_leaves =
+                self.phases.time("dt.grow", || self.grow(&hold_side, &cols, &mut rng, &mut dummy));
             diag.holdout_leaves = hold_leaves.len();
             hold_preds = hold_leaves
                 .iter()
@@ -134,10 +148,10 @@ impl<'s, 'a> DtPartitioner<'s, 'a> {
 
         // §6.1.4: carve outlier partitions along influential hold-out
         // partitions.
-        let combined = self.combine(&out_leaves, &hold_preds);
+        let combined = self.phases.time("dt.carve", || self.combine(&out_leaves, &hold_preds));
         diag.partitions = combined.len();
 
-        let mut scored = self.finalize(combined)?;
+        let mut scored = self.phases.time("dt.finalize", || self.finalize(combined))?;
         // Bound the Merger's (quadratic) input; the ranking is exact, so
         // only the weakest partitions are dropped.
         scored.truncate(self.cfg.max_partitions.max(1));
@@ -148,7 +162,7 @@ impl<'s, 'a> DtPartitioner<'s, 'a> {
     pub fn run(&self) -> Result<(Vec<ScoredPredicate>, DtDiag, MergeDiag)> {
         let (parts, diag) = self.partition()?;
         let merger = Merger::new(self.scorer, &self.domains, self.cfg.merger.clone());
-        let (merged, mdiag) = merger.merge(parts)?;
+        let (merged, mdiag) = self.phases.time("run.merge", || merger.merge(parts))?;
         Ok((merged, diag, mdiag))
     }
 
@@ -258,9 +272,19 @@ impl<'s, 'a> DtPartitioner<'s, 'a> {
                 leaves.push(node);
                 continue;
             }
-            match self.best_split(side, cols, &node) {
+            let split = {
+                let _span = span!("dt.split");
+                let start = Instant::now();
+                let split = self.best_split(side, cols, &node);
+                self.phases.add("dt.split", start.elapsed());
+                split
+            };
+            match split {
                 Some(split) => {
+                    let _span = span!("dt.expand");
+                    let start = Instant::now();
                     let (l, r) = self.apply_split(side, cols, node, &split, rng);
+                    self.phases.add("dt.expand", start.elapsed());
                     stack.push(l);
                     stack.push(r);
                 }

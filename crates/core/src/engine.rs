@@ -37,6 +37,7 @@ use crate::request::ExplainRequest;
 use crate::result::{Diagnostics, Explanation, ScoredPredicate};
 use crate::scorer::{resolve_threads, InfluenceCache, Scorer};
 use parking_lot::Mutex;
+use scorpion_obs::{merge_phases, span, PhaseTiming};
 use scorpion_table::{domains_of, AttrDomain, ClauseMaskCache, OrdF64, Predicate};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -54,6 +55,9 @@ pub struct EngineRun {
     pub candidates: u64,
     /// True when an anytime search exhausted its budget.
     pub budget_exhausted: bool,
+    /// Per-phase wall-clock attribution of the search (callers fold in
+    /// scorer-side timings before publishing `Diagnostics.phases`).
+    pub phases: Vec<PhaseTiming>,
 }
 
 /// A partitioning algorithm as a two-phase engine.
@@ -143,10 +147,12 @@ fn prep_attrs(req: &ExplainRequest, scorer: &Scorer<'_>) -> Result<Vec<usize>> {
 /// Cost of a plan's prepare phase, charged to the diagnostics of its
 /// first run so a prepare+run pair reports the same cost shape as the
 /// one-shot path.
-#[derive(Clone, Copy, Default)]
+#[derive(Clone, Default)]
 struct PrepCost {
     calls: u64,
     runtime: std::time::Duration,
+    /// Prepare-side phase timings, merged into the first run's phases.
+    phases: Vec<PhaseTiming>,
 }
 
 /// Wraps ranked predicates into an [`Explanation`], substituting the
@@ -205,10 +211,12 @@ impl Explainer for DtEngine {
             partitions: ddiag.partitions,
             candidates: ddiag.partitions as u64,
             budget_exhausted: false,
+            phases: dt.take_phases(),
         })
     }
 
     fn prepare(&self, req: &ExplainRequest) -> Result<Box<dyn PreparedPlan>> {
+        let _span = span!("prepare");
         let start = Instant::now();
         req.validate()?;
         let cache = Arc::new(InfluenceCache::with_capacity_bound(req.influence_cache_entries()));
@@ -218,6 +226,10 @@ impl Explainer for DtEngine {
         let domains = domains_of(&req.table)?;
         let dt = DtPartitioner::new(&scorer, attrs.clone(), domains.clone(), self.cfg.clone());
         let (partitions, _) = dt.partition()?;
+        let runtime = start.elapsed();
+        let mut phases = vec![PhaseTiming::once("prepare", runtime)];
+        merge_phases(&mut phases, dt.take_phases());
+        merge_phases(&mut phases, scorer.timing_phases());
         Ok(Box::new(DtPlan {
             req: req.clone(),
             cfg: self.cfg.clone(),
@@ -226,7 +238,7 @@ impl Explainer for DtEngine {
             partitions,
             cache,
             masks,
-            prep_cost: PrepCost { calls: scorer.scorer_calls(), runtime: start.elapsed() },
+            prep_cost: PrepCost { calls: scorer.scorer_calls(), runtime, phases },
             state: Mutex::new(DtPlanState {
                 merged_by_c: BTreeMap::new(),
                 last_merged: Vec::new(),
@@ -273,6 +285,7 @@ impl PreparedPlan for DtPlan {
     }
 
     fn run(&self, params: &InfluenceParams) -> Result<Explanation> {
+        let _span = span!("run");
         let start = Instant::now();
         let scorer = self
             .req
@@ -282,6 +295,8 @@ impl PreparedPlan for DtPlan {
 
         // Re-score the cached partitions — batched across workers, and
         // free of mask work for every cache hit.
+        let score_start = Instant::now();
+        let score_span = span!("score");
         let mut input = self.partitions.clone();
         let preds: Vec<Predicate> = input.iter().map(|sp| sp.predicate.clone()).collect();
         let threads = resolve_threads(self.cfg.score_threads);
@@ -313,8 +328,13 @@ impl PreparedPlan for DtPlan {
             let influence = scorer.influence(&pred)?;
             input.push(ScoredPredicate::new(pred, influence));
         }
+        drop(score_span);
+        let score_elapsed = score_start.elapsed();
+
+        let merge_start = Instant::now();
         let merger = Merger::new(&scorer, &self.domains, self.cfg.merger.clone());
         let (merged, _) = merger.merge(input)?;
+        let merge_elapsed = merge_start.elapsed();
 
         let prep = {
             let mut st = self.state.lock();
@@ -322,11 +342,20 @@ impl PreparedPlan for DtPlan {
             st.last_merged = merged.iter().take(MAX_SEEDS).map(|sp| sp.predicate.clone()).collect();
             if st.charge_prep {
                 st.charge_prep = false;
-                self.prep_cost
+                self.prep_cost.clone()
             } else {
                 PrepCost::default()
             }
         };
+        let mut phases = prep.phases.clone();
+        merge_phases(
+            &mut phases,
+            [
+                PhaseTiming::once("run.score", score_elapsed),
+                PhaseTiming::once("run.merge", merge_elapsed),
+            ],
+        );
+        merge_phases(&mut phases, scorer.timing_phases());
         Ok(finish(
             "dt",
             merged,
@@ -339,6 +368,7 @@ impl PreparedPlan for DtPlan {
                 mask_cache_entries: scorer.mask_cache_entries(),
                 candidates: n_partitions as u64,
                 partitions: n_partitions,
+                phases,
                 ..Diagnostics::default()
             },
         ))
@@ -416,10 +446,12 @@ impl Explainer for McEngine {
             partitions: mdiag.initial_units,
             candidates: mdiag.scored,
             budget_exhausted: false,
+            phases: mdiag.phases,
         })
     }
 
     fn prepare(&self, req: &ExplainRequest) -> Result<Box<dyn PreparedPlan>> {
+        let _span = span!("prepare");
         let start = Instant::now();
         req.validate()?;
         let cache = Arc::new(InfluenceCache::with_capacity_bound(req.influence_cache_entries()));
@@ -427,7 +459,15 @@ impl Explainer for McEngine {
         let scorer = req.scorer()?.with_cache(cache.clone()).with_mask_cache(masks.clone());
         let attrs = prep_attrs(req, &scorer)?;
         let domains = domains_of(&req.table)?;
+        let unit_start = Instant::now();
         let units = initial_units(&scorer, &attrs, &domains, &self.cfg)?;
+        let unit_elapsed = unit_start.elapsed();
+        let runtime = start.elapsed();
+        let mut phases = vec![
+            PhaseTiming::once("prepare", runtime),
+            PhaseTiming::once("mc.units", unit_elapsed),
+        ];
+        merge_phases(&mut phases, scorer.timing_phases());
         Ok(Box::new(McPlan {
             req: req.clone(),
             cfg: self.cfg.clone(),
@@ -436,7 +476,7 @@ impl Explainer for McEngine {
             units,
             cache,
             masks,
-            prep_cost: PrepCost { calls: scorer.scorer_calls(), runtime: start.elapsed() },
+            prep_cost: PrepCost { calls: scorer.scorer_calls(), runtime, phases },
             charge_prep: Mutex::new(true),
         }))
     }
@@ -460,23 +500,32 @@ impl PreparedPlan for McPlan {
     }
 
     fn run(&self, params: &InfluenceParams) -> Result<Explanation> {
+        let _span = span!("run");
         let start = Instant::now();
         let scorer = self
             .req
             .scorer_at(*params)?
             .with_cache(self.cache.clone())
             .with_mask_cache(self.masks.clone());
-        let (results, mdiag) =
-            mc_search_units(&scorer, &self.attrs, &self.domains, &self.cfg, self.units.clone())?;
+        let score_start = Instant::now();
+        let (results, mdiag) = {
+            let _span = span!("score");
+            mc_search_units(&scorer, &self.attrs, &self.domains, &self.cfg, self.units.clone())?
+        };
+        let score_elapsed = score_start.elapsed();
         let prep = {
             let mut charge = self.charge_prep.lock();
             if *charge {
                 *charge = false;
-                self.prep_cost
+                self.prep_cost.clone()
             } else {
                 PrepCost::default()
             }
         };
+        let mut phases = prep.phases.clone();
+        merge_phases(&mut phases, [PhaseTiming::once("run.score", score_elapsed)]);
+        merge_phases(&mut phases, mdiag.phases.clone());
+        merge_phases(&mut phases, scorer.timing_phases());
         Ok(finish(
             "mc",
             results,
@@ -489,6 +538,7 @@ impl PreparedPlan for McPlan {
                 mask_cache_entries: scorer.mask_cache_entries(),
                 candidates: mdiag.scored,
                 partitions: mdiag.initial_units,
+                phases,
                 ..Diagnostics::default()
             },
         ))
@@ -533,16 +583,19 @@ impl Explainer for NaiveEngine {
         attrs: &[usize],
         domains: &[AttrDomain],
     ) -> Result<EngineRun> {
+        let score_start = Instant::now();
         let out = naive_search(scorer, attrs, domains, &self.cfg)?;
         Ok(EngineRun {
             predicates: vec![out.best],
             partitions: 0,
             candidates: out.evaluated,
             budget_exhausted: !out.completed,
+            phases: vec![PhaseTiming::once("run.score", score_start.elapsed())],
         })
     }
 
     fn prepare(&self, req: &ExplainRequest) -> Result<Box<dyn PreparedPlan>> {
+        let _span = span!("prepare");
         let start = Instant::now();
         req.validate()?;
         let cache = Arc::new(InfluenceCache::with_capacity_bound(req.influence_cache_entries()));
@@ -550,14 +603,22 @@ impl Explainer for NaiveEngine {
         let scorer = req.scorer()?.with_cache(cache.clone()).with_mask_cache(masks.clone());
         let attrs = prep_attrs(req, &scorer)?;
         let domains = domains_of(&req.table)?;
+        let cand_start = Instant::now();
         let candidates = naive_candidates(&scorer, &attrs, &domains, &self.cfg)?;
+        let cand_elapsed = cand_start.elapsed();
+        let runtime = start.elapsed();
+        let mut phases = vec![
+            PhaseTiming::once("prepare", runtime),
+            PhaseTiming::once("naive.candidates", cand_elapsed),
+        ];
+        merge_phases(&mut phases, scorer.timing_phases());
         Ok(Box::new(NaivePlan {
             req: req.clone(),
             cfg: self.cfg.clone(),
             candidates,
             cache,
             masks,
-            prep_cost: PrepCost { calls: scorer.scorer_calls(), runtime: start.elapsed() },
+            prep_cost: PrepCost { calls: scorer.scorer_calls(), runtime, phases },
             charge_prep: Mutex::new(true),
         }))
     }
@@ -579,22 +640,31 @@ impl PreparedPlan for NaivePlan {
     }
 
     fn run(&self, params: &InfluenceParams) -> Result<Explanation> {
+        let _span = span!("run");
         let start = Instant::now();
         let scorer = self
             .req
             .scorer_at(*params)?
             .with_cache(self.cache.clone())
             .with_mask_cache(self.masks.clone());
-        let out = naive_search_prepared(&scorer, &self.candidates, &self.cfg)?;
+        let score_start = Instant::now();
+        let out = {
+            let _span = span!("score");
+            naive_search_prepared(&scorer, &self.candidates, &self.cfg)?
+        };
+        let score_elapsed = score_start.elapsed();
         let prep = {
             let mut charge = self.charge_prep.lock();
             if *charge {
                 *charge = false;
-                self.prep_cost
+                self.prep_cost.clone()
             } else {
                 PrepCost::default()
             }
         };
+        let mut phases = prep.phases.clone();
+        merge_phases(&mut phases, [PhaseTiming::once("run.score", score_elapsed)]);
+        merge_phases(&mut phases, scorer.timing_phases());
         Ok(finish(
             "naive",
             vec![out.best],
@@ -607,6 +677,7 @@ impl PreparedPlan for NaivePlan {
                 mask_cache_entries: scorer.mask_cache_entries(),
                 candidates: out.evaluated,
                 budget_exhausted: !out.completed,
+                phases,
                 ..Diagnostics::default()
             },
         ))
@@ -711,6 +782,42 @@ mod tests {
         seeded.absorb_seeds(vec![baseline.best().predicate.clone()]);
         let run = seeded.run(&req.params()).unwrap();
         assert!(run.best().influence >= baseline.best().influence - 1e-9);
+    }
+
+    #[test]
+    fn plan_runs_attribute_phases() {
+        let algorithms = [
+            Algorithm::DecisionTree(DtConfig { sampling: None, ..DtConfig::default() }),
+            Algorithm::BottomUp(McConfig::default()),
+            Algorithm::Naive(NaiveConfig::default()),
+        ];
+        for algorithm in algorithms {
+            let req = request(algorithm, 0.5);
+            let plan = req.prepare().unwrap();
+            let first = plan.run(&req.params()).unwrap();
+            let names: Vec<&str> = first.diagnostics.phases.iter().map(|p| p.name).collect();
+            assert!(
+                names.contains(&"prepare"),
+                "{}: first run missing prepare phase in {names:?}",
+                first.diagnostics.algorithm
+            );
+            assert!(
+                first.diagnostics.phases.iter().all(|p| p.count > 0),
+                "{names:?} has zero-count phases"
+            );
+            // The prepare cost is charged exactly once.
+            let second = plan.run(&req.params()).unwrap();
+            assert!(
+                second.diagnostics.phases.iter().all(|p| p.name != "prepare"),
+                "{}: prepare charged twice",
+                second.diagnostics.algorithm
+            );
+            assert!(
+                !second.diagnostics.phases.is_empty(),
+                "{}: warm run has no phases",
+                second.diagnostics.algorithm
+            );
+        }
     }
 
     #[test]

@@ -55,4 +55,5 @@ pub use prepared::PreparedQuery;
 pub use request::{label_extremes, ExplainRequest, RequestBuilder, Scorpion};
 pub use result::{Diagnostics, Explanation, GroupStat, PartitionStats, ScoredPredicate};
 pub use scorer::{resolve_threads, GroupSpec, InfluenceCache, Scorer};
+pub use scorpion_obs::PhaseTiming;
 pub use session::ScorpionSession;

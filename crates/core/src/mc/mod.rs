@@ -24,11 +24,12 @@ use crate::error::Result;
 use crate::merger::{MergeDiag, Merger};
 use crate::result::ScoredPredicate;
 use crate::scorer::Scorer;
+use scorpion_obs::{span, PhaseTiming, Phases};
 use scorpion_table::{bin_edges, AttrDomain, Clause, Predicate};
 use std::collections::{HashMap, HashSet};
 
 /// Counters describing one MC run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct McDiag {
     /// Number of levels (dimensionalities) explored.
     pub levels: usize,
@@ -40,6 +41,9 @@ pub struct McDiag {
     pub scored: u64,
     /// Aggregate Merger diagnostics.
     pub merge: MergeDiag,
+    /// Per-phase wall-clock attribution (`mc.*` phases), summed across
+    /// levels.
+    pub phases: Vec<PhaseTiming>,
 }
 
 /// Runs the MC search over the given explanation attributes. Returns the
@@ -69,11 +73,14 @@ pub fn mc_search_units(
     let mut diag = McDiag::default();
     let merger = Merger::new(scorer, domains, cfg.merger.clone());
     let threads = crate::scorer::resolve_threads(cfg.score_threads);
+    let phases = Phases::new();
 
     // Level 1: single-attribute units.
     diag.initial_units = units.len();
-    let mut scored = score_all(scorer, units, threads, &mut diag)?;
+    let mut scored =
+        phases.time("mc.level_score", || score_all(scorer, units, threads, &mut diag))?;
     if scored.is_empty() {
+        diag.phases = phases.take();
         return Ok((vec![ScoredPredicate::new(Predicate::all(), 0.0)], diag));
     }
 
@@ -86,12 +93,13 @@ pub fn mc_search_units(
 
     loop {
         diag.levels = level;
+        let _span = span!("mc.level");
 
         // Prune candidates that can no longer matter (§6.2 PRUNE).
         if let Some(b) = &best {
             let before = scored.len();
             if !cfg.disable_pruning {
-                scored = prune(scorer, scored, b.influence)?;
+                scored = phases.time("mc.prune", || prune(scorer, scored, b.influence))?;
             }
             diag.pruned += (before - scored.len()) as u64;
         }
@@ -100,7 +108,7 @@ pub fn mc_search_units(
         }
 
         // Merge adjacent units; keep improvements over `best`.
-        let (merged, mdiag) = merger.merge(scored.clone())?;
+        let (merged, mdiag) = phases.time("mc.level_merge", || merger.merge(scored.clone()))?;
         diag.merge.seeds += mdiag.seeds;
         diag.merge.merges += mdiag.merges;
         diag.merge.exact_estimates += mdiag.exact_estimates;
@@ -130,7 +138,8 @@ pub fn mc_search_units(
         if next.is_empty() {
             break;
         }
-        let mut next_scored = score_all(scorer, next, threads, &mut diag)?;
+        let mut next_scored =
+            phases.time("mc.level_score", || score_all(scorer, next, threads, &mut diag))?;
         // Bound the frontier by hold-out-free influence.
         if next_scored.len() > cfg.max_candidates_per_level {
             let mut keyed: Vec<(f64, ScoredPredicate)> = next_scored
@@ -159,6 +168,7 @@ pub fn mc_search_units(
     if results.is_empty() {
         results.push(ScoredPredicate::new(Predicate::all(), 0.0));
     }
+    diag.phases = phases.take();
     Ok((results, diag))
 }
 

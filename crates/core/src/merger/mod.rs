@@ -25,6 +25,7 @@ use crate::error::Result;
 use crate::result::{GroupStat, PartitionStats, ScoredPredicate};
 use crate::scorer::Scorer;
 use scorpion_agg::AggState;
+use scorpion_obs::span;
 use scorpion_table::{AttrDomain, Predicate};
 use std::collections::HashSet;
 
@@ -59,6 +60,7 @@ impl<'s, 'a> Merger<'s, 'a> {
     /// Merges the ranked input list, returning a ranked result list
     /// (exactly scored, best first) and diagnostics.
     pub fn merge(&self, input: Vec<ScoredPredicate>) -> Result<(Vec<ScoredPredicate>, MergeDiag)> {
+        let _span = span!("merge");
         let mut diag = MergeDiag::default();
         if input.is_empty() {
             return Ok((Vec::new(), diag));
@@ -83,6 +85,7 @@ impl<'s, 'a> Merger<'s, 'a> {
             }
             consumed[seed] = true;
             diag.seeds += 1;
+            let _span = span!("merge.pass");
             let mut cur = items[seed].clone();
             for _ in 0..self.cfg.max_expansions {
                 let mut best: Option<(usize, ScoredPredicate)> = None;

@@ -1,6 +1,7 @@
 //! Result types: scored predicates, partition statistics, diagnostics.
 
 use scorpion_agg::Aggregate;
+use scorpion_obs::PhaseTiming;
 use scorpion_table::{Grouping, Predicate, Table};
 use std::time::Duration;
 
@@ -74,6 +75,11 @@ pub struct Diagnostics {
     pub partitions: usize,
     /// True when an anytime search exhausted its budget before completing.
     pub budget_exhausted: bool,
+    /// Per-phase wall-clock attribution of `runtime` (prepare-side
+    /// phases are charged to the first run, like `scorer_calls`).
+    /// Phases overlap hierarchically — e.g. `dt.split` time is inside
+    /// `dt.grow` — so the entries do not sum to `runtime`.
+    pub phases: Vec<PhaseTiming>,
 }
 
 /// The output of a Scorpion run: predicates ranked by influence, most

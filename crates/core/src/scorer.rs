@@ -23,10 +23,12 @@ use crate::error::{Result, ScorpionError};
 use crate::lru::LruShard;
 use parking_lot::Mutex;
 use scorpion_agg::{AggState, Aggregate, IncrementalAggregate};
+use scorpion_obs::PhaseTiming;
 use scorpion_table::{ClauseMaskCache, Predicate, PredicateMask, PredicateMatcher, RowMask, Table};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// Resolves a configured worker-thread count: `0` means "use the host's
 /// available parallelism".
@@ -277,6 +279,14 @@ pub struct Scorer<'a> {
     /// attribution stays per-run even when concurrent runs share one
     /// cache (mirrors the per-Scorer `cache_hits` counter).
     mask_hits: AtomicU64,
+    /// Nanoseconds spent in uncached mask-path evaluations, and how
+    /// many there were — the `scorer.mask` phase.
+    mask_nanos: AtomicU64,
+    mask_timed: AtomicU64,
+    /// Nanoseconds spent in the row-at-a-time oracle — the
+    /// `scorer.rowwise` phase.
+    rowwise_nanos: AtomicU64,
+    rowwise_timed: AtomicU64,
 }
 
 impl<'a> Scorer<'a> {
@@ -369,6 +379,10 @@ impl<'a> Scorer<'a> {
             cache: None,
             masks: Arc::new(ClauseMaskCache::new()),
             mask_hits: AtomicU64::new(0),
+            mask_nanos: AtomicU64::new(0),
+            mask_timed: AtomicU64::new(0),
+            rowwise_nanos: AtomicU64::new(0),
+            rowwise_timed: AtomicU64::new(0),
         })
     }
 
@@ -509,6 +523,29 @@ impl<'a> Scorer<'a> {
         self.cache_evictions.load(Ordering::Relaxed)
     }
 
+    /// Wall-clock attribution of this Scorer's uncached evaluations:
+    /// time in the vectorized mask-kernel path (`scorer.mask`) vs the
+    /// row-at-a-time oracle (`scorer.rowwise`). Cache hits do neither
+    /// kind of work and are not timed.
+    pub fn timing_phases(&self) -> Vec<PhaseTiming> {
+        [
+            ("scorer.mask", &self.mask_nanos, &self.mask_timed),
+            ("scorer.rowwise", &self.rowwise_nanos, &self.rowwise_timed),
+        ]
+        .into_iter()
+        .filter_map(|(name, nanos, count)| {
+            let count = count.load(Ordering::Relaxed);
+            (count > 0).then(|| PhaseTiming { name, nanos: nanos.load(Ordering::Relaxed), count })
+        })
+        .collect()
+    }
+
+    #[inline]
+    fn note_mask_time(&self, start: Instant) {
+        self.mask_nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.mask_timed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The bitmap of `p` over this Scorer's table, through the attached
     /// clause-mask cache (hits attributed to this Scorer).
     pub(crate) fn predicate_mask(&self, p: &Predicate) -> Result<PredicateMask> {
@@ -612,6 +649,7 @@ impl<'a> Scorer<'a> {
     /// `influence_throughput` bench measures the mask path against). No
     /// caches are consulted and no counters advance.
     pub fn influence_rowwise(&self, p: &Predicate) -> Result<f64> {
+        let start = Instant::now();
         let m = p.matcher(self.table)?;
         let mut sum = 0.0;
         for ctx in &self.outliers {
@@ -624,6 +662,8 @@ impl<'a> Scorer<'a> {
             let (d, n) = self.delta_ctx_rowwise(ctx, &m);
             hold = hold.max(self.inf_from_delta(d, n as f64, 1.0).abs());
         }
+        self.rowwise_nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.rowwise_timed.fetch_add(1, Ordering::Relaxed);
         Ok(self.combine_terms(out, hold))
     }
 
@@ -722,10 +762,12 @@ impl<'a> Scorer<'a> {
     pub fn influence(&self, p: &Predicate) -> Result<f64> {
         let Some(cache) = &self.cache else {
             self.calls.fetch_add(1, Ordering::Relaxed);
+            let start = Instant::now();
             let pm = self.predicate_mask(p)?;
-            return Ok(
-                self.combine_terms(self.outlier_term_direct(&pm), self.holdout_term_direct(&pm))
-            );
+            let inf =
+                self.combine_terms(self.outlier_term_direct(&pm), self.holdout_term_direct(&pm));
+            self.note_mask_time(start);
+            return Ok(inf);
         };
         if let Some(CachedEval { groups: Some(g), .. }) = cache.get(p) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -734,9 +776,11 @@ impl<'a> Scorer<'a> {
             );
         }
         self.calls.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
         let pm = self.predicate_mask(p)?;
         let (o, h) = (self.outlier_pairs(&pm), self.holdout_pairs(&pm));
         let inf = self.combine_terms(self.outlier_term_from(&o), self.holdout_term_from(&h));
+        self.note_mask_time(start);
         let evicted = cache.store_groups(p, Arc::new((o, h)));
         self.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
         Ok(inf)
@@ -751,17 +795,22 @@ impl<'a> Scorer<'a> {
     pub fn influence_outliers_only(&self, p: &Predicate) -> Result<f64> {
         let Some(cache) = &self.cache else {
             self.calls.fetch_add(1, Ordering::Relaxed);
+            let start = Instant::now();
             let pm = self.predicate_mask(p)?;
-            return Ok(self.params.lambda * self.outlier_term_direct(&pm));
+            let inf = self.params.lambda * self.outlier_term_direct(&pm);
+            self.note_mask_time(start);
+            return Ok(inf);
         };
         if let Some(CachedEval { groups: Some(g), .. }) = cache.get(p) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(self.params.lambda * self.outlier_term_from(&g.0));
         }
         self.calls.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
         let pm = self.predicate_mask(p)?;
         let (o, h) = (self.outlier_pairs(&pm), self.holdout_pairs(&pm));
         let inf = self.params.lambda * self.outlier_term_from(&o);
+        self.note_mask_time(start);
         let evicted = cache.store_groups(p, Arc::new((o, h)));
         self.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
         Ok(inf)

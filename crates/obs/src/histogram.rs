@@ -1,0 +1,249 @@
+//! Log-scale histogram: HDR-style power-of-two octaves subdivided into
+//! 16 linear sub-buckets, giving a worst-case relative error of 1/16
+//! (6.25%) on any reported quantile while covering the full `u64`
+//! range in under a thousand buckets (~8 KB of counters).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the sub-buckets per octave.
+const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per power-of-two octave.
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+
+/// Total bucket count: values `0..16` get exact unit buckets, then 60
+/// octaves of 16 sub-buckets cover the rest of the `u64` range.
+pub const NUM_BUCKETS: usize = ((64 - SUB_BITS + 1) * SUB_COUNT as u32) as usize;
+
+/// The bucket index a value lands in.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros(); // >= SUB_BITS
+        let base = (exp - SUB_BITS + 1) * SUB_COUNT as u32;
+        let sub = (v >> (exp - SUB_BITS)) - SUB_COUNT;
+        base as usize + sub as usize
+    }
+}
+
+/// Inclusive `(lower, upper)` value bounds of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < NUM_BUCKETS, "bucket index {i} out of range");
+    if i < SUB_COUNT as usize {
+        (i as u64, i as u64)
+    } else {
+        let exp = (i / SUB_COUNT as usize) as u32 + SUB_BITS - 1;
+        let sub = (i % SUB_COUNT as usize) as u64;
+        let shift = exp - SUB_BITS;
+        let lo = (SUB_COUNT + sub) << shift;
+        (lo, lo + ((1u64 << shift) - 1))
+    }
+}
+
+/// A lock-free log-scale histogram of `u64` samples (typically
+/// latencies in microseconds). Recording is a relaxed `fetch_add` on
+/// one bucket plus the count/sum/max scalars; reading takes a
+/// [`HistogramSnapshot`].
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the counters. Not atomic across buckets
+    /// under concurrent recording — each counter is individually
+    /// consistent, which is all quantile reporting needs.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned copy of a [`Histogram`]'s counters: mergeable, quantile-
+/// extractable, serializable by callers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { counts: vec![0; NUM_BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (the identity for [`merge`](Self::merge)).
+    pub fn empty() -> Self {
+        HistogramSnapshot::default()
+    }
+
+    /// Adds another snapshot's samples into this one. Merging two
+    /// snapshots is equivalent to having recorded both sample streams
+    /// into one histogram.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        // Wrapping, to match the atomic `fetch_add` a live histogram
+        // uses for its sum.
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the bucket
+    /// holding the target sample, clamped to the exact max. Within
+    /// 1/16 relative error of the true quantile; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)`, in
+    /// increasing bound order. Counts are per-bucket, not cumulative.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_bounds(i).1, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn bounds_partition_the_range() {
+        // Every bucket's upper + 1 is the next bucket's lower.
+        let mut prev_hi = None;
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= hi, "bucket {i}");
+            if let Some(p) = prev_hi {
+                assert_eq!(lo, p + 1, "gap before bucket {i}");
+            }
+            prev_hi = Some(hi);
+            if hi == u64::MAX {
+                assert_eq!(i, NUM_BUCKETS - 1);
+                break;
+            }
+        }
+        assert_eq!(prev_hi, Some(u64::MAX));
+    }
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.max(), 1000);
+        let p50 = s.quantile(0.5);
+        assert!((468..=532).contains(&p50), "p50 = {p50}");
+        let p99 = s.quantile(0.99);
+        assert!((928..=1000).contains(&p99), "p99 = {p99}");
+        assert_eq!(s.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn merge_is_addition() {
+        let (a, b) = (Histogram::new(), Histogram::new());
+        for v in [3u64, 17, 17, 40_000] {
+            a.record(v);
+        }
+        for v in [5u64, 17, 1 << 40] {
+            b.record(v);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 7);
+        assert_eq!(m.sum(), 3 + 17 + 17 + 40_000 + 5 + 17 + (1 << 40));
+        assert_eq!(m.max(), 1 << 40);
+    }
+}

@@ -1,0 +1,48 @@
+//! Dependency-free observability for the Scorpion workspace.
+//!
+//! Four small pieces, designed to be cheap enough to leave compiled
+//! into the hot path:
+//!
+//! - [`Histogram`]: a log-scale (HDR-style, power-of-two octaves with
+//!   sub-buckets) latency histogram with lock-free recording,
+//!   mergeable [`HistogramSnapshot`]s, and quantile extraction.
+//! - [`Phases`] / [`PhaseTiming`]: named monotonic-clock phase timers
+//!   that accumulate `(nanos, count)` per phase — the data behind
+//!   `Diagnostics.phases` and the CLI `--verbose` table.
+//! - [`Recorder`] / [`span!`]: a global span recorder with RAII scope
+//!   guards. Disabled (the default) it costs one relaxed atomic load
+//!   per span site; enabled it buffers spans thread-locally and
+//!   flushes them to a bounded global ring.
+//! - [`chrome_trace_json`] and [`PromText`]: export completed spans as
+//!   Chrome `chrome://tracing` JSON, and counters/gauges/histograms as
+//!   Prometheus text exposition.
+
+#![warn(missing_docs)]
+
+mod histogram;
+mod phase;
+mod prom;
+mod recorder;
+mod trace;
+
+pub use histogram::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use phase::{merge_phases, PhaseTiming, Phases};
+pub use prom::PromText;
+pub use recorder::{recorder, Recorder, Span, SpanGuard};
+pub use trace::{chrome_trace_json, write_chrome_trace};
+
+/// Opens a named span scope on the global [`Recorder`], returning the
+/// RAII guard. Bind it to keep the span open for the rest of the block:
+///
+/// ```
+/// let _span = scorpion_obs::span!("dt.split");
+/// ```
+///
+/// When the recorder is disabled (the default) this is one relaxed
+/// atomic load and no clock read.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::recorder().start($name)
+    };
+}

@@ -1,0 +1,144 @@
+//! Named phase timers: coarse, always-on wall-clock attribution.
+//!
+//! A [`Phases`] accumulator lives wherever timing is collected (a
+//! partitioner, a prepared plan) and aggregates `(nanos, count)` per
+//! phase name. Snapshots come out as `Vec<PhaseTiming>` — the payload
+//! of `Diagnostics.phases`.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Accumulated wall-clock time of one named phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseTiming {
+    /// Phase name, dotted by convention (`"dt.split"`, `"run.merge"`).
+    pub name: &'static str,
+    /// Total nanoseconds spent in the phase.
+    pub nanos: u64,
+    /// Number of times the phase ran.
+    pub count: u64,
+}
+
+impl PhaseTiming {
+    /// A single-run timing of `elapsed` wall-clock time.
+    pub fn once(name: &'static str, elapsed: Duration) -> Self {
+        PhaseTiming { name, nanos: elapsed.as_nanos() as u64, count: 1 }
+    }
+
+    /// Total time in milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.nanos as f64 / 1e6
+    }
+}
+
+/// Merges `src` into `dst`, summing nanos/count of same-named phases
+/// and preserving first-seen order.
+pub fn merge_phases(dst: &mut Vec<PhaseTiming>, src: impl IntoIterator<Item = PhaseTiming>) {
+    for p in src {
+        match dst.iter_mut().find(|d| d.name == p.name) {
+            Some(d) => {
+                d.nanos += p.nanos;
+                d.count += p.count;
+            }
+            None => dst.push(p),
+        }
+    }
+}
+
+/// A thread-safe phase-timing accumulator. Interior mutability so
+/// `&self` methods deep inside an engine can record; the phase list is
+/// short (tens of entries), so a mutex-guarded vec is cheap.
+#[derive(Debug, Default)]
+pub struct Phases {
+    inner: Mutex<Vec<PhaseTiming>>,
+}
+
+impl Phases {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Phases::default()
+    }
+
+    /// Adds one elapsed duration to `name`.
+    pub fn add(&self, name: &'static str, elapsed: Duration) {
+        self.add_nanos(name, elapsed.as_nanos() as u64, 1);
+    }
+
+    /// Adds raw `(nanos, count)` to `name`.
+    pub fn add_nanos(&self, name: &'static str, nanos: u64, count: u64) {
+        let mut inner = self.inner.lock().expect("phases lock");
+        merge_phases(&mut inner, [PhaseTiming { name, nanos, count }]);
+    }
+
+    /// Runs `f`, charging its wall-clock time to `name`.
+    pub fn time<T>(&self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.add(name, start.elapsed());
+        out
+    }
+
+    /// Merges a list of timings (e.g. another accumulator's snapshot).
+    pub fn extend(&self, items: impl IntoIterator<Item = PhaseTiming>) {
+        let mut inner = self.inner.lock().expect("phases lock");
+        merge_phases(&mut inner, items);
+    }
+
+    /// A copy of the accumulated timings, in first-recorded order.
+    pub fn snapshot(&self) -> Vec<PhaseTiming> {
+        self.inner.lock().expect("phases lock").clone()
+    }
+
+    /// Takes the accumulated timings, leaving the accumulator empty.
+    pub fn take(&self) -> Vec<PhaseTiming> {
+        std::mem::take(&mut self.inner.lock().expect("phases lock"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_by_name() {
+        let p = Phases::new();
+        p.add_nanos("a", 10, 1);
+        p.add_nanos("b", 5, 1);
+        p.add_nanos("a", 30, 2);
+        let snap = p.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0], PhaseTiming { name: "a", nanos: 40, count: 3 });
+        assert_eq!(snap[1].name, "b");
+    }
+
+    #[test]
+    fn time_charges_the_closure() {
+        let p = Phases::new();
+        let v = p.time("work", || 7);
+        assert_eq!(v, 7);
+        let snap = p.snapshot();
+        assert_eq!(snap[0].count, 1);
+    }
+
+    #[test]
+    fn take_drains() {
+        let p = Phases::new();
+        p.add_nanos("a", 1, 1);
+        assert_eq!(p.take().len(), 1);
+        assert!(p.snapshot().is_empty());
+    }
+
+    #[test]
+    fn merge_preserves_order() {
+        let mut dst = vec![PhaseTiming { name: "x", nanos: 1, count: 1 }];
+        merge_phases(
+            &mut dst,
+            [
+                PhaseTiming { name: "y", nanos: 2, count: 1 },
+                PhaseTiming { name: "x", nanos: 3, count: 1 },
+            ],
+        );
+        assert_eq!(dst[0], PhaseTiming { name: "x", nanos: 4, count: 2 });
+        assert_eq!(dst[1].name, "y");
+    }
+}

@@ -1,0 +1,154 @@
+//! Prometheus text-exposition builder (format version 0.0.4): `# HELP`
+//! / `# TYPE` headers, labeled samples, and histogram families with
+//! cumulative `_bucket` series, `le="+Inf"`, `_sum`, and `_count`.
+
+use crate::histogram::HistogramSnapshot;
+use std::fmt::Write;
+
+/// Accumulates an exposition document line by line.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// An empty document.
+    pub fn new() -> Self {
+        PromText::default()
+    }
+
+    /// Emits the `# HELP` and `# TYPE` header for a metric family.
+    /// `kind` is `"counter"`, `"gauge"`, or `"histogram"`.
+    pub fn header(&mut self, name: &str, kind: &str, help: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Emits one sample line, `name{labels} value`.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        self.push_labels(labels, None);
+        let _ = writeln!(self.out, " {}", fmt_value(value));
+    }
+
+    /// Emits a full histogram family from a snapshot: cumulative
+    /// `_bucket` lines for every non-empty bucket, a `le="+Inf"`
+    /// terminator, `_sum`, and `_count`. Recorded sample values are
+    /// multiplied by `scale` (e.g. `1e-6` to export microsecond
+    /// recordings as seconds).
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+        scale: f64,
+    ) {
+        let mut cumulative = 0u64;
+        for (upper, count) in snap.buckets() {
+            cumulative += count;
+            self.out.push_str(name);
+            self.out.push_str("_bucket");
+            self.push_labels(labels, Some(&fmt_value(upper as f64 * scale)));
+            let _ = writeln!(self.out, " {cumulative}");
+        }
+        self.out.push_str(name);
+        self.out.push_str("_bucket");
+        self.push_labels(labels, Some("+Inf"));
+        let _ = writeln!(self.out, " {}", snap.count());
+        self.out.push_str(name);
+        self.out.push_str("_sum");
+        self.push_labels(labels, None);
+        let _ = writeln!(self.out, " {}", fmt_value(snap.sum() as f64 * scale));
+        self.out.push_str(name);
+        self.out.push_str("_count");
+        self.push_labels(labels, None);
+        let _ = writeln!(self.out, " {}", snap.count());
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn push_labels(&mut self, labels: &[(&str, &str)], le: Option<&str>) {
+        if labels.is_empty() && le.is_none() {
+            return;
+        }
+        self.out.push('{');
+        let mut first = true;
+        for (k, v) in labels.iter().copied().chain(le.map(|v| ("le", v))) {
+            if !first {
+                self.out.push(',');
+            }
+            first = false;
+            self.out.push_str(k);
+            self.out.push_str("=\"");
+            for c in v.chars() {
+                match c {
+                    '"' => self.out.push_str("\\\""),
+                    '\\' => self.out.push_str("\\\\"),
+                    '\n' => self.out.push_str("\\n"),
+                    c => self.out.push(c),
+                }
+            }
+            self.out.push('"');
+        }
+        self.out.push('}');
+    }
+}
+
+/// Formats a value the way Prometheus expects: integral values without
+/// a fractional part, others in plain decimal.
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+
+    #[test]
+    fn counters_and_gauges_render() {
+        let mut p = PromText::new();
+        p.header("scorpion_requests_total", "counter", "Requests handled.");
+        p.sample("scorpion_requests_total", &[("endpoint", "explain")], 3.0);
+        p.sample("scorpion_requests_total", &[("endpoint", "stats")], 1.0);
+        let text = p.finish();
+        assert!(text.contains("# TYPE scorpion_requests_total counter"));
+        assert!(text.contains("scorpion_requests_total{endpoint=\"explain\"} 3\n"));
+        assert!(text.contains("scorpion_requests_total{endpoint=\"stats\"} 1\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_terminated() {
+        let h = Histogram::new();
+        for v in [5u64, 5, 100, 3000] {
+            h.record(v);
+        }
+        let mut p = PromText::new();
+        p.header("d_seconds", "histogram", "Durations.");
+        p.histogram("d_seconds", &[("endpoint", "explain")], &h.snapshot(), 1e-6);
+        let text = p.finish();
+        assert!(text.contains("le=\"+Inf\"} 4\n"), "{text}");
+        assert!(text.contains("d_seconds_count{endpoint=\"explain\"} 4\n"));
+        // Cumulative counts never decrease.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.contains("_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn unlabeled_sample_has_no_braces() {
+        let mut p = PromText::new();
+        p.sample("up", &[], 1.0);
+        assert_eq!(p.finish(), "up 1\n");
+    }
+}

@@ -1,0 +1,64 @@
+//! Chrome trace-event export: completed spans become an array of
+//! `"ph": "X"` (complete) events that `chrome://tracing` and Perfetto
+//! load directly. One process (`pid` 1); `tid` is the recorder's
+//! per-thread id, so worker threads stack as separate rows.
+
+use crate::recorder::Span;
+use std::io;
+use std::path::Path;
+
+/// Renders spans as a Chrome trace JSON document.
+pub fn chrome_trace_json(spans: &[Span]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        for c in s.name.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push_str(&format!(
+            "\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{}}}",
+            s.tid, s.start_us, s.dur_us
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Writes spans as a Chrome trace JSON file at `path`.
+pub fn write_chrome_trace(path: &Path, spans: &[Span]) -> io::Result<()> {
+    std::fs::write(path, chrome_trace_json(spans))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_complete_events() {
+        let spans = [
+            Span { name: "prepare", start_us: 0, dur_us: 100, tid: 1 },
+            Span { name: "dt.split", start_us: 10, dur_us: 20, tid: 2 },
+        ];
+        let json = chrome_trace_json(&spans);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"prepare\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"tid\":2"));
+        assert!(json.contains("\"ts\":10"));
+        assert!(json.contains("\"dur\":20"));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert_eq!(chrome_trace_json(&[]), "{\"traceEvents\":[]}");
+    }
+}

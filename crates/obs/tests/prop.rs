@@ -1,0 +1,57 @@
+//! Property tests for the log-scale histogram: bucket containment,
+//! quantile relative-error bound, and merge/record equivalence.
+
+use proptest::prelude::*;
+use scorpion_obs::{bucket_bounds, bucket_index, Histogram};
+
+proptest! {
+    /// Every recorded value falls inside its reported bucket's bounds.
+    #[test]
+    fn value_falls_in_reported_bucket(v in any::<u64>()) {
+        let (lo, hi) = bucket_bounds(bucket_index(v));
+        prop_assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+    }
+
+    /// A reported quantile never undershoots the exact order statistic
+    /// and overshoots it by at most one bucket width — a 1/16 relative
+    /// error (plus 1 for the unit buckets).
+    #[test]
+    fn quantile_within_bucket_error(
+        values in prop::collection::vec(0u64..1 << 48, 1..300),
+        q in 0.01f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[target - 1];
+        let got = h.snapshot().quantile(q);
+        prop_assert!(got >= exact, "quantile({q}) = {got} < exact {exact}");
+        let bound = exact as f64 * (1.0 + 1.0 / 16.0) + 1.0;
+        prop_assert!((got as f64) <= bound, "quantile({q}) = {got} > bound {bound}");
+    }
+
+    /// Merging two snapshots is identical to recording both sample
+    /// streams into a single histogram.
+    #[test]
+    fn merge_equals_recording_into_one(
+        a in prop::collection::vec(any::<u64>(), 0..200),
+        b in prop::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let (ha, hb, hall) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hall.record(v);
+        }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        prop_assert_eq!(merged, hall.snapshot());
+    }
+}

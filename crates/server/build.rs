@@ -1,0 +1,19 @@
+//! Stamps the git revision into the build for `/stats` and
+//! `scorpion_build_info` in `/metrics`. Falls back to "unknown" when
+//! the build happens outside a git checkout (e.g. from a source
+//! tarball) — git is optional, never an error.
+
+fn main() {
+    let sha = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into());
+    println!("cargo:rustc-env=SCORPION_GIT_SHA={sha}");
+    // Re-stamp when HEAD moves; harmless if the path doesn't exist.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

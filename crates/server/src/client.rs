@@ -28,18 +28,30 @@ impl Client {
 
     /// `GET path`, returning `(status, parsed JSON body)`.
     pub fn get(&mut self, path: &str) -> io::Result<(u16, Json)> {
-        self.request("GET", path, None)
+        self.request("GET", path, None).and_then(RawResponse::into_json)
+    }
+
+    /// `GET path` for non-JSON endpoints (`/metrics`), returning
+    /// `(status, body text)`.
+    pub fn get_text(&mut self, path: &str) -> io::Result<(u16, String)> {
+        self.request("GET", path, None).map(|r| (r.status, r.body))
     }
 
     /// `POST path` with a JSON body, returning `(status, parsed body)`.
     pub fn post(&mut self, path: &str, body: &Json) -> io::Result<(u16, Json)> {
+        self.post_raw(path, body).and_then(RawResponse::into_json)
+    }
+
+    /// `POST path` with a JSON body, returning the raw response with
+    /// its headers (for inspecting `x-scorpion-trace-id` and friends).
+    pub fn post_raw(&mut self, path: &str, body: &Json) -> io::Result<RawResponse> {
         let text = body
             .encode()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         self.request("POST", path, Some(&text))
     }
 
-    fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> io::Result<(u16, Json)> {
+    fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> io::Result<RawResponse> {
         let body = body.unwrap_or("");
         write!(
             self.writer,
@@ -51,7 +63,7 @@ impl Client {
         self.read_response()
     }
 
-    fn read_response(&mut self) -> io::Result<(u16, Json)> {
+    fn read_response(&mut self) -> io::Result<RawResponse> {
         let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
         let mut line = String::new();
         self.reader.read_line(&mut line)?;
@@ -61,6 +73,7 @@ impl Client {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| bad("malformed status line"))?;
         let mut content_length = 0usize;
+        let mut headers = Vec::new();
         loop {
             line.clear();
             self.reader.read_line(&mut line)?;
@@ -69,20 +82,45 @@ impl Client {
                 break;
             }
             if let Some((name, value)) = trimmed.split_once(':') {
-                if name.eq_ignore_ascii_case("content-length") {
-                    content_length = value.trim().parse().map_err(|_| bad("bad Content-Length"))?;
+                let (name, value) = (name.trim().to_ascii_lowercase(), value.trim().to_owned());
+                if name == "content-length" {
+                    content_length = value.parse().map_err(|_| bad("bad Content-Length"))?;
                 }
+                headers.push((name, value));
             }
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
-        let text = String::from_utf8(body).map_err(|_| bad("body is not UTF-8"))?;
-        let json = if text.is_empty() {
+        let body = String::from_utf8(body).map_err(|_| bad("body is not UTF-8"))?;
+        Ok(RawResponse { status, headers, body })
+    }
+}
+
+/// A response before JSON parsing: status, lowercased headers, body
+/// text.
+pub struct RawResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body as text.
+    pub body: String,
+}
+
+impl RawResponse {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn into_json(self) -> io::Result<(u16, Json)> {
+        let json = if self.body.is_empty() {
             Json::Null
         } else {
-            Json::parse(&text).map_err(|e| bad(&e.to_string()))?
+            Json::parse(&self.body)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
         };
-        Ok((status, json))
+        Ok((self.status, json))
     }
 }
 

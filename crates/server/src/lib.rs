@@ -25,7 +25,9 @@
 //!   and JSON codec (no crates.io access in this build).
 //!
 //! Endpoints: `POST /explain`, `GET`/`POST /tables`, `GET /healthz`,
-//! `GET /stats`. Run it via the binary:
+//! `GET /stats`, `GET /metrics` (Prometheus text exposition). Every
+//! response carries an `x-scorpion-trace-id` header. Run it via the
+//! binary:
 //!
 //! ```text
 //! scorpion serve --csv readings=readings.csv --port 7070 --workers 8
@@ -57,5 +59,5 @@ pub use json::{Json, JsonError};
 pub use pool::{PoolGauges, SubmitError, WorkerPool};
 pub use registry::{TableEntry, TableRegistry};
 pub use render::{diagnostics_json, explanations_json, num_or_null};
-pub use server::{dispatch, Server, ServerConfig, ServerHandle, ServerState};
-pub use stats::{Endpoint, ServerStats};
+pub use server::{dispatch, Server, ServerConfig, ServerHandle, ServerState, TRACE_ID_HEADER};
+pub use stats::{Endpoint, EndpointMetrics, ServerStats};

@@ -37,6 +37,17 @@ pub fn explanations_json(table: &Table, predicates: &[ScoredPredicate], top: usi
 
 /// A [`Diagnostics`] block as a JSON object.
 pub fn diagnostics_json(d: &Diagnostics) -> Json {
+    let phases: Vec<Json> = d
+        .phases
+        .iter()
+        .map(|p| {
+            Json::obj([
+                ("name", Json::from(p.name)),
+                ("ms", Json::from(p.millis())),
+                ("count", Json::from(p.count)),
+            ])
+        })
+        .collect();
     Json::obj([
         ("runtime_ms", Json::from(d.runtime.as_secs_f64() * 1000.0)),
         ("scorer_calls", Json::from(d.scorer_calls)),
@@ -47,6 +58,7 @@ pub fn diagnostics_json(d: &Diagnostics) -> Json {
         ("candidates", Json::from(d.candidates)),
         ("partitions", Json::from(d.partitions)),
         ("budget_exhausted", Json::from(d.budget_exhausted)),
+        ("phases", Json::Arr(phases)),
     ])
 }
 
@@ -78,12 +90,21 @@ mod tests {
             scorer_calls: 7,
             mask_cache_hits: 3,
             mask_cache_entries: 2,
+            phases: vec![scorpion_core::PhaseTiming {
+                name: "dt.split",
+                nanos: 2_500_000,
+                count: 4,
+            }],
             ..Diagnostics::default()
         };
         let j = diagnostics_json(&d);
         assert_eq!(j.get("scorer_calls").and_then(Json::as_f64), Some(7.0));
         assert_eq!(j.get("mask_cache_hits").and_then(Json::as_f64), Some(3.0));
         assert_eq!(j.get("mask_cache_entries").and_then(Json::as_f64), Some(2.0));
+        let phases = j.get("phases").and_then(Json::as_array).unwrap();
+        assert_eq!(phases[0].get("name").and_then(Json::as_str), Some("dt.split"));
+        assert_eq!(phases[0].get("ms").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(phases[0].get("count").and_then(Json::as_f64), Some(4.0));
         assert!(j.encode().is_ok());
     }
 }

@@ -8,11 +8,16 @@ use crate::registry::{TableEntry, TableRegistry};
 use crate::render::{diagnostics_json, explanations_json, num_or_null};
 use crate::stats::{Endpoint, ServerStats};
 use scorpion_core::{Algorithm, DtConfig, InfluenceParams, McConfig, NaiveConfig, ScorpionSession};
-use std::io::{BufReader, Read};
+use scorpion_obs::PromText;
+use std::io::{BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// The response header carrying the per-request trace id.
+pub const TRACE_ID_HEADER: &str = "x-scorpion-trace-id";
 
 /// Server construction knobs.
 #[derive(Debug, Clone)]
@@ -33,6 +38,11 @@ pub struct ServerConfig {
     pub plan_cache_entries: usize,
     /// Per-plan influence-cache bound in predicates (`0` = default).
     pub influence_cache_entries: usize,
+    /// Write one access-log line per request to stderr.
+    pub access_log: bool,
+    /// When set, enable the span recorder and dump a Chrome-trace JSON
+    /// file per `/explain` request into this directory.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -44,6 +54,8 @@ impl Default for ServerConfig {
             queue_depth: 64,
             plan_cache_entries: 0,
             influence_cache_entries: 0,
+            access_log: false,
+            trace_dir: None,
         }
     }
 }
@@ -58,6 +70,8 @@ pub struct ServerState {
     /// Request/latency counters.
     pub stats: ServerStats,
     influence_cache_entries: usize,
+    access_log: bool,
+    trace_dir: Option<PathBuf>,
     pool: std::sync::OnceLock<PoolGauges>,
 }
 
@@ -69,8 +83,21 @@ impl ServerState {
             plans: PlanCache::with_capacity(plan_cache_entries),
             stats: ServerStats::new(),
             influence_cache_entries,
+            access_log: false,
+            trace_dir: None,
             pool: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Enables the access log and/or per-request trace dumps. Setting a
+    /// trace directory also turns the global span recorder on.
+    pub fn with_observability(mut self, access_log: bool, trace_dir: Option<PathBuf>) -> Self {
+        self.access_log = access_log;
+        if trace_dir.is_some() {
+            scorpion_obs::recorder().enable();
+        }
+        self.trace_dir = trace_dir;
+        self
     }
 
     /// The per-plan influence-cache bound requests are built with.
@@ -100,7 +127,13 @@ impl Server {
             cfg.workers
         };
         let pool = WorkerPool::new(workers, cfg.queue_depth);
-        let state = Arc::new(ServerState::new(cfg.plan_cache_entries, cfg.influence_cache_entries));
+        if let Some(dir) = &cfg.trace_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let state = Arc::new(
+            ServerState::new(cfg.plan_cache_entries, cfg.influence_cache_entries)
+                .with_observability(cfg.access_log, cfg.trace_dir.clone()),
+        );
         let _ = state.pool.set(pool.gauges());
         Ok(Server { listener, state, pool, stop: Arc::new(AtomicBool::new(false)) })
     }
@@ -254,7 +287,11 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
                 let keep_alive = req.keep_alive();
                 let started = Instant::now();
                 let (endpoint, resp) = dispatch(&req, state);
-                state.stats.record(endpoint, resp.status, started.elapsed());
+                let elapsed = started.elapsed();
+                state.stats.record(endpoint, resp.status, elapsed);
+                if state.access_log {
+                    access_log_line(&req, &resp, elapsed);
+                }
                 if resp.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
                     return;
                 }
@@ -263,20 +300,47 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
     }
 }
 
+/// One stderr line per handled request: `method path status duration_ms
+/// trace_id`. Write errors (e.g. a closed stderr pipe) are swallowed —
+/// logging must never take the service down.
+fn access_log_line(req: &Request, resp: &Response, elapsed: Duration) {
+    let trace_id = resp
+        .headers
+        .iter()
+        .find(|(n, _)| n == TRACE_ID_HEADER)
+        .map(|(_, v)| v.as_str())
+        .unwrap_or("-");
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(
+        err,
+        "{} {} {} {:.1}ms trace={}",
+        req.method,
+        req.path,
+        resp.status,
+        elapsed.as_secs_f64() * 1000.0,
+        trace_id,
+    );
+}
+
 /// Routes one request. Public so embedders (and the bench's in-process
-/// mode) can exercise handlers without sockets.
+/// mode) can exercise handlers without sockets. Every response carries
+/// an `x-scorpion-trace-id` header unique to this request.
 pub fn dispatch(req: &Request, state: &ServerState) -> (Endpoint, Response) {
-    match (req.method.as_str(), req.path.as_str()) {
+    let trace_id = state.stats.next_trace_id();
+    let (endpoint, mut resp) = match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (Endpoint::Healthz, handle_healthz(state)),
         ("GET", "/tables") => (Endpoint::Tables, handle_tables_get(state)),
         ("POST", "/tables") => (Endpoint::Tables, respond(handle_tables_post(req, state))),
-        ("POST", "/explain") => (Endpoint::Explain, respond(handle_explain(req, state))),
+        ("POST", "/explain") => (Endpoint::Explain, respond(handle_explain(req, state, trace_id))),
         ("GET", "/stats") => (Endpoint::Stats, handle_stats(state)),
-        (_, "/healthz" | "/tables" | "/explain" | "/stats") => {
+        ("GET", "/metrics") => (Endpoint::Metrics, handle_metrics(state)),
+        (_, "/healthz" | "/tables" | "/explain" | "/stats" | "/metrics") => {
             (Endpoint::Other, error_response(405, "method not allowed"))
         }
         _ => (Endpoint::Other, error_response(404, "no such endpoint")),
-    }
+    };
+    resp.headers.push((TRACE_ID_HEADER.to_owned(), trace_id.to_string()));
+    (endpoint, resp)
 }
 
 fn respond(r: Result<Response, Response>) -> Response {
@@ -336,10 +400,19 @@ fn handle_tables_post(req: &Request, state: &ServerState) -> Result<Response, Re
     ])))
 }
 
+/// Crate version baked in at compile time.
+const BUILD_VERSION: &str = env!("CARGO_PKG_VERSION");
+/// Git revision stamped by `build.rs` ("unknown" outside a checkout).
+const BUILD_GIT: &str = env!("SCORPION_GIT_SHA");
+
 fn handle_stats(state: &ServerState) -> Response {
     let plans = state.plans.stats();
     let pool = state.pool.get().cloned().unwrap_or_default();
     ok_json(&Json::obj([
+        (
+            "build",
+            Json::obj([("version", Json::from(BUILD_VERSION)), ("git", Json::from(BUILD_GIT))]),
+        ),
         (
             "queue",
             Json::obj([
@@ -352,6 +425,7 @@ fn handle_stats(state: &ServerState) -> Response {
         ("uptime_secs", Json::from(state.stats.uptime().as_secs())),
         ("connections", Json::from(state.stats.connections_total())),
         ("shed_connections", Json::from(state.stats.shed_total())),
+        ("trace_ids_issued", Json::from(state.stats.trace_ids_issued())),
         (
             "plan_cache",
             Json::obj([
@@ -363,6 +437,76 @@ fn handle_stats(state: &ServerState) -> Response {
         ),
         ("endpoints", state.stats.endpoints_json()),
     ]))
+}
+
+/// `GET /metrics`: Prometheus text exposition (format 0.0.4) of the
+/// same counters `/stats` serves as JSON, plus per-endpoint latency
+/// histograms in seconds.
+fn handle_metrics(state: &ServerState) -> Response {
+    let mut p = PromText::new();
+
+    p.header("scorpion_requests_total", "counter", "Requests handled, by endpoint.");
+    let endpoints = state.stats.endpoint_metrics();
+    for e in &endpoints {
+        p.sample("scorpion_requests_total", &[("endpoint", e.name)], e.latency_us.count() as f64);
+    }
+    p.header(
+        "scorpion_request_errors_total",
+        "counter",
+        "Requests answered with status >= 400, by endpoint.",
+    );
+    for e in &endpoints {
+        p.sample("scorpion_request_errors_total", &[("endpoint", e.name)], e.errors as f64);
+    }
+    p.header(
+        "scorpion_request_duration_seconds",
+        "histogram",
+        "Request handling latency, by endpoint.",
+    );
+    for e in &endpoints {
+        if e.latency_us.count() > 0 {
+            // Recorded in µs; exported in seconds.
+            p.histogram(
+                "scorpion_request_duration_seconds",
+                &[("endpoint", e.name)],
+                &e.latency_us,
+                1e-6,
+            );
+        }
+    }
+
+    p.header("scorpion_connections_total", "counter", "TCP connections accepted.");
+    p.sample("scorpion_connections_total", &[], state.stats.connections_total() as f64);
+    p.header(
+        "scorpion_shed_connections_total",
+        "counter",
+        "Connections shed with 503 under backpressure.",
+    );
+    p.sample("scorpion_shed_connections_total", &[], state.stats.shed_total() as f64);
+
+    let plans = state.plans.stats();
+    p.header("scorpion_plan_cache_hits_total", "counter", "Plan-cache hits.");
+    p.sample("scorpion_plan_cache_hits_total", &[], plans.hits as f64);
+    p.header("scorpion_plan_cache_misses_total", "counter", "Plan-cache misses.");
+    p.sample("scorpion_plan_cache_misses_total", &[], plans.misses as f64);
+    p.header("scorpion_plan_cache_evictions_total", "counter", "Plan-cache evictions.");
+    p.sample("scorpion_plan_cache_evictions_total", &[], plans.evictions as f64);
+    p.header("scorpion_plan_cache_entries", "gauge", "Warm plans resident in the cache.");
+    p.sample("scorpion_plan_cache_entries", &[], plans.entries as f64);
+
+    p.header("scorpion_registered_tables", "gauge", "Tables in the registry.");
+    p.sample("scorpion_registered_tables", &[], state.registry.len() as f64);
+    p.header("scorpion_uptime_seconds", "gauge", "Seconds since the service started.");
+    p.sample("scorpion_uptime_seconds", &[], state.stats.uptime().as_secs_f64());
+    p.header("scorpion_build_info", "gauge", "Build metadata; value is always 1.");
+    p.sample("scorpion_build_info", &[("version", BUILD_VERSION), ("git", BUILD_GIT)], 1.0);
+
+    Response {
+        status: 200,
+        headers: Vec::new(),
+        content_type: "text/plain; version=0.0.4; charset=utf-8",
+        body: p.finish().into_bytes(),
+    }
 }
 
 fn parse_body(req: &Request) -> Result<Json, Response> {
@@ -386,7 +530,7 @@ fn parse_algorithm(name: &str) -> Result<Algorithm, Response> {
     })
 }
 
-fn handle_explain(req: &Request, state: &ServerState) -> Result<Response, Response> {
+fn handle_explain(req: &Request, state: &ServerState, trace_id: u64) -> Result<Response, Response> {
     let body = parse_body(req)?;
     let sql = body
         .get("sql")
@@ -456,17 +600,35 @@ fn handle_explain(req: &Request, state: &ServerState) -> Result<Response, Respon
         .collect();
     let explanations = explanations_json(table, &explanation.predicates, top);
     let d = &explanation.diagnostics;
+    if let Some(dir) = &state.trace_dir {
+        dump_trace(dir, trace_id);
+    }
     Ok(ok_json(&Json::obj([
         ("table", Json::from(table_name)),
         ("generation", Json::from(entry.generation)),
         ("algorithm", Json::from(d.algorithm)),
         ("plan_cache", Json::from(if hit { "hit" } else { "miss" })),
+        ("trace_id", Json::from(trace_id)),
         ("lambda", Json::from(lambda)),
         ("c", Json::from(c)),
         ("results", Json::Arr(results)),
         ("explanations", explanations),
         ("diagnostics", diagnostics_json(d)),
     ])))
+}
+
+/// Drains the global span recorder and writes `explain-<id>.json` in
+/// Chrome trace format. Under concurrent explains the drained spans may
+/// include a neighbor request's — the dump is a debugging aid, not an
+/// exact per-request attribution. Failures are swallowed: tracing must
+/// never fail the request.
+fn dump_trace(dir: &std::path::Path, trace_id: u64) {
+    let spans = scorpion_obs::recorder().drain();
+    if spans.is_empty() {
+        return;
+    }
+    let path = dir.join(format!("explain-{trace_id}.json"));
+    let _ = scorpion_obs::write_chrome_trace(&path, &spans);
 }
 
 /// Builds the session and result metadata for a plan-cache miss.

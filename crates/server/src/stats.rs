@@ -1,6 +1,7 @@
-//! Lock-free service counters behind `GET /stats`.
+//! Lock-free service counters behind `GET /stats` and `GET /metrics`.
 
 use crate::json::Json;
+use scorpion_obs::{Histogram, HistogramSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -15,58 +16,72 @@ pub enum Endpoint {
     Explain,
     /// `GET /stats`.
     Stats,
+    /// `GET /metrics`.
+    Metrics,
     /// Anything else (404s, bad methods, malformed requests).
     Other,
 }
 
-const ENDPOINTS: [(Endpoint, &str); 5] = [
+const ENDPOINTS: [(Endpoint, &str); 6] = [
     (Endpoint::Healthz, "healthz"),
     (Endpoint::Tables, "tables"),
     (Endpoint::Explain, "explain"),
     (Endpoint::Stats, "stats"),
+    (Endpoint::Metrics, "metrics"),
     (Endpoint::Other, "other"),
 ];
 
-/// Per-endpoint counters.
+/// Per-endpoint counters: an error count plus a log-scale latency
+/// histogram (microseconds) whose exact `count`/`sum`/`max` replace the
+/// old scalar mean/max counters.
 #[derive(Default)]
 struct EndpointStats {
-    count: AtomicU64,
     errors: AtomicU64,
-    micros_total: AtomicU64,
-    micros_max: AtomicU64,
+    latency_us: Histogram,
 }
 
 impl EndpointStats {
     fn record(&self, status: u16, elapsed: Duration) {
-        self.count.fetch_add(1, Ordering::Relaxed);
         if status >= 400 {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
-        let us = elapsed.as_micros() as u64;
-        self.micros_total.fetch_add(us, Ordering::Relaxed);
-        self.micros_max.fetch_max(us, Ordering::Relaxed);
+        self.latency_us.record(elapsed.as_micros() as u64);
     }
 
     fn to_json(&self) -> Json {
-        let count = self.count.load(Ordering::Relaxed);
-        let total = self.micros_total.load(Ordering::Relaxed);
-        let mean_ms = if count == 0 { 0.0 } else { total as f64 / count as f64 / 1000.0 };
+        let snap = self.latency_us.snapshot();
+        let ms = |us: u64| us as f64 / 1000.0;
         Json::obj([
-            ("count", Json::from(count)),
+            ("count", Json::from(snap.count())),
             ("errors", Json::from(self.errors.load(Ordering::Relaxed))),
-            ("mean_ms", Json::from(mean_ms)),
-            ("max_ms", Json::from(self.micros_max.load(Ordering::Relaxed) as f64 / 1000.0)),
+            ("mean_ms", Json::from(snap.mean() / 1000.0)),
+            ("p50_ms", Json::from(ms(snap.quantile(0.5)))),
+            ("p90_ms", Json::from(ms(snap.quantile(0.9)))),
+            ("p99_ms", Json::from(ms(snap.quantile(0.99)))),
+            ("max_ms", Json::from(ms(snap.max()))),
         ])
     }
 }
 
-/// Service-wide counters: per-endpoint latency plus connection and
-/// load-shedding totals.
+/// One endpoint's exported counters, as consumed by the `/metrics`
+/// renderer: `(name, error count, latency snapshot in µs)`.
+pub struct EndpointMetrics {
+    /// Prometheus label value (`"explain"`, `"stats"`, …).
+    pub name: &'static str,
+    /// Requests answered with status ≥ 400.
+    pub errors: u64,
+    /// Latency distribution in microseconds.
+    pub latency_us: HistogramSnapshot,
+}
+
+/// Service-wide counters: per-endpoint latency histograms plus
+/// connection, load-shedding, and trace-id state.
 pub struct ServerStats {
     started: Instant,
-    endpoints: [EndpointStats; 5],
+    endpoints: [EndpointStats; 6],
     connections: AtomicU64,
     shed: AtomicU64,
+    next_trace_id: AtomicU64,
 }
 
 impl Default for ServerStats {
@@ -76,6 +91,7 @@ impl Default for ServerStats {
             endpoints: Default::default(),
             connections: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            next_trace_id: AtomicU64::new(1),
         }
     }
 }
@@ -95,6 +111,16 @@ impl ServerStats {
     pub fn record(&self, endpoint: Endpoint, status: u16, elapsed: Duration) {
         let idx = ENDPOINTS.iter().position(|(e, _)| *e == endpoint).expect("known endpoint");
         self.endpoints[idx].record(status, elapsed);
+    }
+
+    /// Issues the next request trace id (unique per server lifetime).
+    pub fn next_trace_id(&self) -> u64 {
+        self.next_trace_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Trace ids issued so far.
+    pub fn trace_ids_issued(&self) -> u64 {
+        self.next_trace_id.load(Ordering::Relaxed) - 1
     }
 
     /// Counts an accepted connection.
@@ -123,6 +149,19 @@ impl ServerStats {
         )
     }
 
+    /// Per-endpoint counters for the Prometheus exposition.
+    pub fn endpoint_metrics(&self) -> Vec<EndpointMetrics> {
+        ENDPOINTS
+            .iter()
+            .enumerate()
+            .map(|(i, (_, name))| EndpointMetrics {
+                name,
+                errors: self.endpoints[i].errors.load(Ordering::Relaxed),
+                latency_us: self.endpoints[i].latency_us.snapshot(),
+            })
+            .collect()
+    }
+
     /// Total accepted connections.
     pub fn connections_total(&self) -> u64 {
         self.connections.load(Ordering::Relaxed)
@@ -143,8 +182,32 @@ mod tests {
         let explain = j.get("explain").unwrap();
         assert_eq!(explain.get("count").unwrap().as_f64(), Some(2.0));
         assert_eq!(explain.get("errors").unwrap().as_f64(), Some(1.0));
+        // count and sum are exact, so the mean and max survive the
+        // histogram's bucketing untouched.
         assert_eq!(explain.get("mean_ms").unwrap().as_f64(), Some(20.0));
         assert_eq!(explain.get("max_ms").unwrap().as_f64(), Some(30.0));
+        // Quantiles are bucketed: within 1/16 relative error.
+        let p99 = explain.get("p99_ms").unwrap().as_f64().unwrap();
+        assert!((28.0..=30.0).contains(&p99), "p99_ms = {p99}");
         assert_eq!(j.get("healthz").unwrap().get("count").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_counted() {
+        let s = ServerStats::new();
+        let a = s.next_trace_id();
+        let b = s.next_trace_id();
+        assert_ne!(a, b);
+        assert_eq!(s.trace_ids_issued(), 2);
+    }
+
+    #[test]
+    fn endpoint_metrics_expose_snapshots() {
+        let s = ServerStats::new();
+        s.record(Endpoint::Metrics, 200, Duration::from_micros(120));
+        let m = s.endpoint_metrics();
+        let metrics = m.iter().find(|e| e.name == "metrics").unwrap();
+        assert_eq!(metrics.latency_us.count(), 1);
+        assert_eq!(metrics.latency_us.max(), 120);
     }
 }

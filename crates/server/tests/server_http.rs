@@ -193,6 +193,158 @@ fn error_paths_are_clean_json() {
     handle.stop();
 }
 
+/// Value of the first sample named `name` (exact match on the part
+/// before `{` / whitespace) in a Prometheus exposition body.
+fn prom_value(text: &str, name: &str) -> Option<f64> {
+    prom_samples(text, name).first().map(|(_, v)| *v)
+}
+
+/// All `(labels, value)` samples whose metric name is exactly `name`.
+fn prom_samples(text: &str, name: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some((lhs, rhs)) = line.rsplit_once(' ') else { continue };
+        let (metric, labels) = match lhs.split_once('{') {
+            Some((m, rest)) => (m, rest.trim_end_matches('}')),
+            None => (lhs, ""),
+        };
+        if metric == name {
+            if let Ok(v) = rhs.trim().parse::<f64>() {
+                out.push((labels.to_owned(), v));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn metrics_exposition_round_trip() {
+    let handle = serve();
+    let mut c = client::Client::connect(handle.addr()).unwrap();
+
+    let (status, before) = c.get_text("/metrics").unwrap();
+    assert_eq!(status, 200);
+    // Static series are present even with zero traffic.
+    assert!(before.contains("# TYPE scorpion_requests_total counter"), "{before}");
+    assert_eq!(prom_value(&before, "scorpion_registered_tables"), Some(0.0));
+    let build = prom_samples(&before, "scorpion_build_info");
+    assert_eq!(build.len(), 1);
+    assert!(build[0].0.contains("version="), "build_info labels: {}", build[0].0);
+    assert!(build[0].0.contains("git="), "build_info labels: {}", build[0].0);
+    assert!(prom_value(&before, "scorpion_uptime_seconds").unwrap() >= 0.0);
+    let total = |text: &str| -> f64 {
+        prom_samples(text, "scorpion_requests_total").iter().map(|(_, v)| v).sum()
+    };
+    let reqs_before = total(&before);
+
+    // Generate traffic: a table load and two explains.
+    c.post("/tables", &table_body("m", 100)).unwrap();
+    c.post("/explain", &explain_body("m", "dt", 0.5)).unwrap();
+    c.post("/explain", &explain_body("m", "dt", 0.2)).unwrap();
+
+    let (_, after) = c.get_text("/metrics").unwrap();
+    // Counters are monotone and reflect the traffic above.
+    let reqs_after = total(&after);
+    assert!(reqs_after >= reqs_before + 4.0, "{reqs_before} -> {reqs_after}");
+    assert_eq!(prom_value(&after, "scorpion_registered_tables"), Some(1.0));
+    assert_eq!(prom_value(&after, "scorpion_plan_cache_hits_total"), Some(1.0));
+    assert_eq!(prom_value(&after, "scorpion_plan_cache_misses_total"), Some(1.0));
+
+    // The explain latency histogram: cumulative buckets ending at +Inf,
+    // with _count consistent with the traffic.
+    let buckets: Vec<(String, f64)> =
+        prom_samples(&after, "scorpion_request_duration_seconds_bucket")
+            .into_iter()
+            .filter(|(labels, _)| labels.contains("endpoint=\"explain\""))
+            .collect();
+    assert!(!buckets.is_empty(), "no explain buckets in:\n{after}");
+    let mut last = f64::NEG_INFINITY;
+    for (labels, v) in &buckets {
+        assert!(*v >= last, "bucket counts must be cumulative: {labels} {v} after {last}");
+        last = *v;
+    }
+    assert!(buckets.last().unwrap().0.contains("le=\"+Inf\""), "{:?}", buckets.last());
+    let count = prom_samples(&after, "scorpion_request_duration_seconds_count")
+        .into_iter()
+        .find(|(l, _)| l.contains("endpoint=\"explain\""))
+        .map(|(_, v)| v)
+        .unwrap();
+    assert_eq!(count, 2.0);
+    assert_eq!(buckets.last().unwrap().1, count, "+Inf bucket must equal _count");
+    let sum = prom_samples(&after, "scorpion_request_duration_seconds_sum")
+        .into_iter()
+        .find(|(l, _)| l.contains("endpoint=\"explain\""))
+        .map(|(_, v)| v)
+        .unwrap();
+    assert!(sum > 0.0, "two explains must have positive total latency");
+    handle.stop();
+}
+
+#[test]
+fn responses_carry_trace_ids() {
+    let handle = serve();
+    let mut c = client::Client::connect(handle.addr()).unwrap();
+    c.post("/tables", &table_body("t", 100)).unwrap();
+
+    let resp = c.post_raw("/explain", &explain_body("t", "dt", 0.5)).unwrap();
+    assert_eq!(resp.status, 200);
+    let header_id = resp
+        .header(scorpion_server::TRACE_ID_HEADER)
+        .unwrap_or_else(|| panic!("missing trace header in {:?}", resp.headers))
+        .parse::<f64>()
+        .unwrap();
+    let body = Json::parse(&resp.body).unwrap();
+    assert_eq!(
+        body.get("trace_id").and_then(Json::as_f64),
+        Some(header_id),
+        "body trace_id must echo the response header"
+    );
+
+    // A second request gets a distinct id.
+    let resp2 = c.post_raw("/explain", &explain_body("t", "dt", 0.2)).unwrap();
+    let header_id2 =
+        resp2.header(scorpion_server::TRACE_ID_HEADER).unwrap().parse::<f64>().unwrap();
+    assert_ne!(header_id, header_id2);
+
+    let (_, stats) = c.get("/stats").unwrap();
+    assert!(stats.get("trace_ids_issued").and_then(Json::as_f64).unwrap() >= 3.0);
+    let build = stats.get("build").expect("stats must carry build info");
+    assert!(build.get("version").and_then(Json::as_str).is_some());
+    assert!(build.get("git").and_then(Json::as_str).is_some());
+    assert!(stats.get("uptime_secs").and_then(Json::as_f64).unwrap() >= 0.0);
+    handle.stop();
+}
+
+#[test]
+fn explain_diagnostics_attribute_phases_per_algorithm() {
+    let handle = serve();
+    let mut c = client::Client::connect(handle.addr()).unwrap();
+    c.post("/tables", &table_body("t", 150)).unwrap();
+
+    for algo in ["dt", "mc", "naive"] {
+        let (status, resp) = c.post("/explain", &explain_body("t", algo, 0.5)).unwrap();
+        assert_eq!(status, 200, "{resp:?}");
+        let phases = resp
+            .get("diagnostics")
+            .and_then(|d| d.get("phases"))
+            .and_then(Json::as_array)
+            .unwrap_or_else(|| panic!("{algo}: no diagnostics.phases in {resp:?}"));
+        assert!(!phases.is_empty(), "{algo}: empty phases");
+        let names: Vec<&str> =
+            phases.iter().filter_map(|p| p.get("name").and_then(Json::as_str)).collect();
+        assert!(names.contains(&"prepare"), "{algo}: first run must charge prepare: {names:?}");
+        assert!(names.contains(&"run.score"), "{algo}: missing run.score: {names:?}");
+        for p in phases {
+            assert!(p.get("ms").and_then(Json::as_f64).unwrap() >= 0.0);
+            assert!(p.get("count").and_then(Json::as_f64).unwrap() >= 1.0);
+        }
+    }
+    handle.stop();
+}
+
 #[test]
 fn concurrent_clients_get_identical_answers() {
     let handle = serve();

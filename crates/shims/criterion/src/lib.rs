@@ -192,6 +192,55 @@ impl BenchmarkGroup<'_> {
             fmt_duration(mean),
             fmt_duration(*max),
         );
+        write_json_record(&full, samples, *min, mean, *max, self.throughput);
+    }
+}
+
+/// When `BENCH_JSON` names a file, appends one JSON object per
+/// benchmark (JSON Lines) so CI can archive machine-readable results
+/// alongside the human log. Failures to write are reported but never
+/// fail the bench run.
+fn write_json_record(
+    id: &str,
+    samples: &[Duration],
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+    throughput: Option<Throughput>,
+) {
+    let Ok(path) = std::env::var("BENCH_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let elems_per_sec = match throughput {
+        Some(Throughput::Elements(n)) if mean.as_secs_f64() > 0.0 => {
+            format!(",\"elements_per_sec\":{:.1}", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    let record = format!(
+        "{{\"id\":\"{escaped}\",\"samples\":{},\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{}{elems_per_sec}}}\n",
+        samples.len(),
+        min.as_nanos(),
+        mean.as_nanos(),
+        max.as_nanos(),
+    );
+    use std::io::Write as _;
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(record.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("BENCH_JSON: failed to append to {path}: {e}");
     }
 }
 
@@ -311,6 +360,28 @@ mod tests {
         });
         g.finish();
         assert!(ran > 0);
+    }
+
+    #[test]
+    fn bench_json_appends_records() {
+        let path = std::env::temp_dir().join("criterion_shim_bench.jsonl");
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("BENCH_JSON", &path);
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("json");
+        g.sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1))
+            .throughput(Throughput::Elements(10));
+        g.bench_function("emit \"x\"", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+        std::env::remove_var("BENCH_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let line = text.lines().next().unwrap();
+        assert!(line.starts_with("{\"id\":\"json/emit \\\"x\\\"\""), "{line}");
+        assert!(line.contains("\"mean_ns\":"), "{line}");
+        assert!(line.contains("\"elements_per_sec\":"), "{line}");
+        assert!(line.ends_with('}'), "{line}");
     }
 
     #[test]

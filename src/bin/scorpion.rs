@@ -51,10 +51,13 @@ struct Args {
     lambda: f64,
     top: usize,
     json: bool,
+    verbose: bool,
+    trace: Option<String>,
 }
 
 const HELP: &str = "usage: scorpion --csv FILE --sql QUERY [--outliers k1,k2,...] \
-[--holdouts k1,k2,...] [--direction high|low] [--c F] [--lambda F] [--top N] [--json]\n\
+[--holdouts k1,k2,...] [--direction high|low] [--c F] [--lambda F] [--top N] [--json] \
+[--verbose] [--trace FILE]\n\
        scorpion serve --csv NAME=FILE [--csv ...] [--port P] [--workers N] ...\n\
 \n\
 QUERY is a select-project-group-by query with one aggregate, e.g.\n\
@@ -62,7 +65,9 @@ QUERY is a select-project-group-by query with one aggregate, e.g.\n\
 Group keys (k1, k2, ...) use the values printed in the result listing;\n\
 composite keys join parts with '|'. Without --outliers, the most\n\
 deviant results are labeled automatically. --json prints the result\n\
-series, explanations, and diagnostics as one JSON object.\n\
+series, explanations, and diagnostics as one JSON object. --verbose\n\
+prints a per-phase timing table to stderr (composes with --json).\n\
+--trace FILE writes a chrome://tracing span dump of the run.\n\
 \n\
 `scorpion serve` runs the explanation service (see `scorpion serve\n\
 --help`). For continuous monitoring over a live feed, see the\n\
@@ -70,7 +75,8 @@ scorpion-stream crate and `cargo run --release --example\n\
 streaming_monitor`.";
 
 const SERVE_HELP: &str = "usage: scorpion serve [--csv NAME=FILE]... [--port P] [--host H] \
-[--workers N] [--queue N] [--plan-cache N] [--influence-cache-entries N]\n\
+[--workers N] [--queue N] [--plan-cache N] [--influence-cache-entries N] [--access-log] \
+[--trace-dir DIR]\n\
 \n\
 Serves outlier explanations over HTTP/1.1 JSON:\n\
   POST /explain   {table, sql, outliers|auto_label, holdouts, lambda, c,\n\
@@ -79,12 +85,17 @@ Serves outlier explanations over HTTP/1.1 JSON:\n\
   POST /tables    {name, csv} -> load/replace a table\n\
   GET  /healthz   liveness\n\
   GET  /stats     plan-cache hits, queue depth, per-endpoint latency\n\
+  GET  /metrics   Prometheus text exposition (latency histograms,\n\
+                  counters, build info)\n\
 \n\
 --csv NAME=FILE registers FILE under NAME at startup (bare FILE uses\n\
 the file stem). --port 0 picks an ephemeral port; the bound address is\n\
 printed on stdout. --workers 0 (default) uses all cores. Repeated\n\
 /explain calls for the same query and labels at a new c reuse the\n\
-cached prepared plan (the paper's 8.3.3 cache, served warm).";
+cached prepared plan (the paper's 8.3.3 cache, served warm).\n\
+--access-log prints one line per request to stderr (method, path,\n\
+status, duration, trace id). --trace-dir DIR dumps a chrome://tracing\n\
+span file per /explain into DIR.";
 
 /// Prints help, tolerating a closed pipe (`scorpion --help | head`):
 /// exiting 0 with truncated output beats a broken-pipe panic.
@@ -111,6 +122,8 @@ fn parse_args(it: impl Iterator<Item = String>) -> Args {
         lambda: 0.5,
         top: 3,
         json: false,
+        verbose: false,
+        trace: None,
     };
     let mut it = it;
     while let Some(flag) = it.next() {
@@ -143,6 +156,8 @@ fn parse_args(it: impl Iterator<Item = String>) -> Args {
             "--lambda" => args.lambda = val("--lambda").parse().unwrap_or_else(|_| usage(HELP)),
             "--top" => args.top = val("--top").parse().unwrap_or_else(|_| usage(HELP)),
             "--json" => args.json = true,
+            "--verbose" => args.verbose = true,
+            "--trace" => args.trace = Some(val("--trace")),
             "--help" | "-h" => help(HELP),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -211,6 +226,10 @@ fn parse_serve_args(it: impl Iterator<Item = String>) -> ServeArgs {
                 args.config.influence_cache_entries =
                     num("--influence-cache-entries", val("--influence-cache-entries"))
             }
+            "--access-log" => args.config.access_log = true,
+            "--trace-dir" => {
+                args.config.trace_dir = Some(std::path::PathBuf::from(val("--trace-dir")))
+            }
             "--help" | "-h" => help(SERVE_HELP),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -270,6 +289,35 @@ fn serve_main(it: impl Iterator<Item = String>) -> ! {
             exit(1)
         }
     }
+}
+
+/// Prints the per-phase timing table from [`Diagnostics::phases`] to
+/// stderr (so it composes with `--json` on stdout). Phases nest —
+/// `prepare` contains `dt.*`, `run.score` contains `scorer.*` — so the
+/// totals row is a sum of attributed time, not wall time.
+fn phase_table(d: &Diagnostics) {
+    use std::io::Write as _;
+    let stderr = std::io::stderr();
+    let mut w = stderr.lock();
+    if d.phases.is_empty() {
+        let _ = writeln!(w, "\nno phase timings attributed");
+        return;
+    }
+    let name_w = d.phases.iter().map(|p| p.name.len()).max().unwrap_or(5).max("TOTAL".len());
+    let _ = writeln!(w, "\n{:<name_w$}  {:>10}  {:>8}", "phase", "ms", "count");
+    let mut total_ms = 0.0;
+    let mut total_count = 0u64;
+    for p in &d.phases {
+        let _ = writeln!(w, "{:<name_w$}  {:>10.3}  {:>8}", p.name, p.millis(), p.count);
+        total_ms += p.millis();
+        total_count += p.count;
+    }
+    let _ = writeln!(w, "{:<name_w$}  {:>10.3}  {:>8}", "TOTAL", total_ms, total_count);
+    let _ = writeln!(
+        w,
+        "(phases nest; attributed total can exceed the {:.3}ms wall time)",
+        d.runtime.as_secs_f64() * 1000.0
+    );
 }
 
 fn main() {
@@ -344,6 +392,9 @@ fn main() {
             exit(1)
         }
     };
+    if args.trace.is_some() {
+        scorpion::obs::recorder().enable();
+    }
     let ex = match request.explain() {
         Ok(ex) => ex,
         Err(e) => {
@@ -351,6 +402,19 @@ fn main() {
             exit(1)
         }
     };
+    if let Some(path) = &args.trace {
+        let spans = scorpion::obs::recorder().drain();
+        match scorpion::obs::write_chrome_trace(std::path::Path::new(path), &spans) {
+            Ok(()) => eprintln!("wrote {} spans to {path} (open in chrome://tracing)", spans.len()),
+            Err(e) => {
+                eprintln!("failed to write trace {path}: {e}");
+                exit(1)
+            }
+        }
+    }
+    if args.verbose {
+        phase_table(&ex.diagnostics);
+    }
 
     if args.json {
         let series: Vec<Json> = display_keys

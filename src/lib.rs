@@ -57,6 +57,7 @@
 //!
 //! | Crate | Contents |
 //! |-------|----------|
+//! | [`obs`] | Dependency-free observability: phase timings, log-scale histograms, span recorder, Prometheus text |
 //! | [`table`] | Columnar relational substrate, predicates, group-by + provenance |
 //! | [`agg`] | Aggregate-property framework (§5) |
 //! | [`core`] | Scorer + influence cache, `Explainer` engines (NAIVE/DT/MC), Merger, builder + sessions (§3–§7) |
@@ -71,6 +72,7 @@ pub use scorpion_agg as agg;
 pub use scorpion_core as core;
 pub use scorpion_data as data;
 pub use scorpion_eval as eval;
+pub use scorpion_obs as obs;
 pub use scorpion_server as server;
 pub use scorpion_stream as stream;
 pub use scorpion_table as table;

@@ -94,6 +94,86 @@ fn json_output_parses_and_ranks() {
         .and_then(|d| d.get("scorer_calls"))
         .and_then(Json::as_f64)
         .is_some());
+    let phases = doc
+        .get("diagnostics")
+        .and_then(|d| d.get("phases"))
+        .and_then(Json::as_array)
+        .expect("diagnostics.phases in --json output");
+    assert!(!phases.is_empty());
+    let names: Vec<&str> =
+        phases.iter().filter_map(|p| p.get("name").and_then(Json::as_str)).collect();
+    assert!(names.contains(&"run.score"), "{names:?}");
+}
+
+/// `--verbose` prints the phase table to stderr — aligned columns, a
+/// TOTAL row — without disturbing the `--json` document on stdout.
+#[test]
+fn verbose_phase_table_on_stderr() {
+    let csv = sample_csv_path("verbose.csv");
+    let out = bin()
+        .args([
+            "--csv",
+            csv.to_str().unwrap(),
+            "--sql",
+            "SELECT avg(v) FROM t GROUP BY g",
+            "--outliers",
+            "o",
+            "--holdouts",
+            "h",
+            "--json",
+            "--verbose",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    // stdout is still one clean JSON document.
+    assert!(Json::parse(std::str::from_utf8(&out.stdout).unwrap().trim()).is_ok());
+    let table = String::from_utf8(out.stderr).unwrap();
+    assert!(table.contains("phase"), "{table}");
+    assert!(table.contains("run.score"), "{table}");
+    assert!(table.contains("TOTAL"), "{table}");
+    // Columns align: every phase row ends at the same width as the header.
+    let lines: Vec<&str> = table.lines().filter(|l| l.contains("  ")).collect();
+    assert!(lines.len() >= 3, "{table}");
+}
+
+/// `--trace FILE` writes a chrome://tracing JSON dump with the nested
+/// prepare/run span structure.
+#[test]
+fn trace_flag_writes_chrome_trace() {
+    let csv = sample_csv_path("trace.csv");
+    let trace = std::env::temp_dir().join("scorpion_cli_test").join("trace_out.json");
+    let _ = std::fs::remove_file(&trace);
+    let out = bin()
+        .args([
+            "--csv",
+            csv.to_str().unwrap(),
+            "--sql",
+            "SELECT avg(v) FROM t GROUP BY g",
+            "--outliers",
+            "o",
+            "--holdouts",
+            "h",
+            "--json",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let doc = Json::parse(&text).expect("trace is valid JSON");
+    let events = doc.get("traceEvents").and_then(Json::as_array).expect("traceEvents array");
+    assert!(!events.is_empty());
+    let names: Vec<&str> =
+        events.iter().filter_map(|e| e.get("name").and_then(Json::as_str)).collect();
+    for required in ["prepare", "run", "score"] {
+        assert!(names.contains(&required), "missing span `{required}` in {names:?}");
+    }
+    for e in events {
+        assert!(e.get("ts").and_then(Json::as_f64).is_some());
+        assert!(e.get("dur").and_then(Json::as_f64).is_some());
+    }
 }
 
 struct KillOnDrop(Child);
