@@ -20,9 +20,17 @@
 //! states instead of re-reading rows. SUM/COUNT/AVG/STDDEV/VARIANCE are
 //! retractable-mergeable; MIN/MAX are mergeable only; MEDIAN is neither.
 //!
+//! A fifth, approximate capability covers the operators with no exact
+//! partial: **sketch tiers** ([`SketchAggregate`], via
+//! [`Aggregate::sketch`]) — MEDIAN and the [`Percentile`] family ride a
+//! retractable quantile sketch, [`CountDistinct`] a merge-only HLL++,
+//! each within a runtime-queryable error bound. Exact `compute` stays
+//! the oracle; sketches engage only where a caller opts in.
+//!
 //! Shipped operators: [`Sum`], [`Count`], [`Avg`], [`StdDev`],
-//! [`Variance`] (incrementally removable + independent) and [`Min`],
-//! [`Max`], [`Median`] (black-box).
+//! [`Variance`] (incrementally removable + independent), [`Min`],
+//! [`Max`], [`Median`] (black-box), and the sketch-tier family
+//! ([`Percentile`], [`CountDistinct`]).
 //!
 //! ```
 //! use scorpion_agg::{Avg, Aggregate, IncrementalAggregate};
@@ -40,6 +48,7 @@ mod arithmetic;
 mod merge;
 mod order;
 mod registry;
+mod sketch;
 mod spread;
 mod state;
 mod traits;
@@ -48,6 +57,7 @@ pub use arithmetic::{Avg, Count, Sum};
 pub use merge::MergeableAggregate;
 pub use order::{Max, Median, Min};
 pub use registry::{aggregate_by_name, registered_names};
+pub use sketch::{CountDistinct, Percentile, SketchAggregate};
 pub use spread::{StdDev, Variance};
 pub use state::{AggState, MAX_STATE};
 pub use traits::{AggProperties, Aggregate, IncrementalAggregate};

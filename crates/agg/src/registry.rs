@@ -1,18 +1,33 @@
 //! Name-based aggregate lookup, mirroring how a query layer would resolve
 //! `SELECT stddev(temp) ...` to an operator implementation.
+//!
+//! Recognized names (case-insensitive):
+//!
+//! * exact, incrementally removable: `sum`, `count`, `avg` (alias
+//!   `mean`), `stddev` (alias `std`), `variance` (alias `var`);
+//! * exact, mergeable-only: `min`, `max`;
+//! * exact compute with a sketch tier: `median`, `count_distinct`
+//!   (alias `distinct`), and the percentile family — the shorthands
+//!   `p10`/`p25`/`p50`/`p75`/`p90`/`p95`/`p99`/`p999`/`p100`, any
+//!   `p<digits>` spelling (1–2 digits read as hundredths, 3 as
+//!   thousandths, e.g. `p87` = 0.87, `p995` = 0.995), and the explicit
+//!   form `percentile:<fraction>` with a fraction in `(0, 1]` (the SQL
+//!   layer lowers `percentile(col, p)` to this spelling).
+//!
+//! Misses return `None`; callers surface [`registered_names`] so users
+//! see the vocabulary instead of a bare failure.
 
 use crate::arithmetic::{Avg, Count, Sum};
 use crate::order::{Max, Median, Min};
+use crate::sketch::{CountDistinct, Percentile};
 use crate::spread::{StdDev, Variance};
 use crate::traits::Aggregate;
 use std::sync::Arc;
 
 /// Resolves an aggregate operator by (case-insensitive) name.
-///
-/// Recognized names: `sum`, `count`, `avg` (alias `mean`), `stddev`
-/// (alias `std`), `variance` (alias `var`), `min`, `max`, `median`.
 pub fn aggregate_by_name(name: &str) -> Option<Arc<dyn Aggregate>> {
-    let a: Arc<dyn Aggregate> = match name.to_ascii_lowercase().as_str() {
+    let lower = name.to_ascii_lowercase();
+    let a: Arc<dyn Aggregate> = match lower.as_str() {
         "sum" => Arc::new(Sum),
         "count" => Arc::new(Count),
         "avg" | "mean" => Arc::new(Avg),
@@ -21,14 +36,46 @@ pub fn aggregate_by_name(name: &str) -> Option<Arc<dyn Aggregate>> {
         "min" => Arc::new(Min),
         "max" => Arc::new(Max),
         "median" => Arc::new(Median),
-        _ => return None,
+        "count_distinct" | "distinct" => Arc::new(CountDistinct),
+        other => Arc::new(Percentile::new(parse_percentile(other)?)?),
     };
     Some(a)
 }
 
-/// All registered aggregate names (canonical spellings).
+/// Parses the percentile spellings: `p<digits>` (1–2 digits →
+/// hundredths, 3 → thousandths) and `percentile:<fraction>`.
+fn parse_percentile(name: &str) -> Option<f64> {
+    if let Some(frac) = name.strip_prefix("percentile:") {
+        return frac.parse::<f64>().ok();
+    }
+    let digits = name.strip_prefix('p')?;
+    if digits.is_empty() || digits.len() > 3 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let v: f64 = digits.parse().ok()?;
+    Some(match digits.len() {
+        3 => v / 1000.0,
+        _ => v / 100.0,
+    })
+}
+
+/// All registered aggregate names (canonical spellings; the open-ended
+/// percentile family is represented by its common shorthands).
 pub fn registered_names() -> &'static [&'static str] {
-    &["sum", "count", "avg", "stddev", "variance", "min", "max", "median"]
+    &[
+        "sum",
+        "count",
+        "avg",
+        "stddev",
+        "variance",
+        "min",
+        "max",
+        "median",
+        "count_distinct",
+        "p50",
+        "p90",
+        "p99",
+    ]
 }
 
 #[cfg(test)]
@@ -49,11 +96,37 @@ mod tests {
         assert_eq!(aggregate_by_name("mean").unwrap().name(), "avg");
         assert_eq!(aggregate_by_name("std").unwrap().name(), "stddev");
         assert_eq!(aggregate_by_name("var").unwrap().name(), "variance");
+        assert_eq!(aggregate_by_name("distinct").unwrap().name(), "count_distinct");
+        assert_eq!(aggregate_by_name("P99").unwrap().name(), "p99");
     }
 
     #[test]
     fn unknown_name_is_none() {
         assert!(aggregate_by_name("geomean").is_none());
+        assert!(aggregate_by_name("p").is_none());
+        assert!(aggregate_by_name("p0").is_none());
+        assert!(aggregate_by_name("p1000").is_none(), "four digits is not a percentile");
+        assert!(aggregate_by_name("pxx").is_none());
+        assert!(aggregate_by_name("percentile:0").is_none());
+        assert!(aggregate_by_name("percentile:1.5").is_none());
+        assert!(aggregate_by_name("percentile:abc").is_none());
+    }
+
+    #[test]
+    fn percentile_spellings_resolve() {
+        // 1-2 digits are hundredths, 3 digits are thousandths.
+        assert_eq!(aggregate_by_name("p87").unwrap().name(), "percentile");
+        assert_eq!(aggregate_by_name("p999").unwrap().name(), "p999");
+        assert_eq!(aggregate_by_name("p5").unwrap().name(), "percentile");
+        // Explicit fraction form, as lowered from SQL percentile(col, p).
+        assert_eq!(aggregate_by_name("percentile:0.5").unwrap().name(), "p50");
+        assert_eq!(aggregate_by_name("percentile:0.87").unwrap().name(), "percentile");
+        // p50 and median agree on the lower-median convention.
+        let vals = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(
+            aggregate_by_name("p50").unwrap().compute(&vals),
+            aggregate_by_name("median").unwrap().compute(&vals)
+        );
     }
 
     #[test]
@@ -66,11 +139,24 @@ mod tests {
                 "{name} should be incrementally removable"
             );
         }
-        for name in ["min", "max", "median"] {
+        for name in ["min", "max", "median", "p90", "count_distinct"] {
             assert!(
                 aggregate_by_name(name).unwrap().incremental().is_none(),
                 "{name} should not be incrementally removable"
             );
+        }
+    }
+
+    #[test]
+    fn sketch_support_split() {
+        for name in ["median", "p50", "p90", "p99", "count_distinct"] {
+            assert!(
+                aggregate_by_name(name).unwrap().sketch().is_some(),
+                "{name} should have a sketch tier"
+            );
+        }
+        for name in ["sum", "count", "avg", "stddev", "variance", "min", "max"] {
+            assert!(aggregate_by_name(name).unwrap().sketch().is_none(), "{name} is exact-only");
         }
     }
 }

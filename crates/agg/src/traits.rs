@@ -67,6 +67,17 @@ pub trait Aggregate: Send + Sync {
     fn mergeable(&self) -> Option<&dyn crate::MergeableAggregate> {
         None
     }
+
+    /// The sketch-partial decomposition, when the operator has an
+    /// approximate tier (see [`crate::SketchAggregate`]). Orthogonal to
+    /// the exact capabilities: MEDIAN/PERCENTILE have no exact partial
+    /// but a retractable quantile sketch; COUNT DISTINCT has a
+    /// merge-only HLL++. `None` means exact-only. Sketch answers carry
+    /// a runtime-queryable error bound and are only used where a caller
+    /// explicitly opts in — `compute` stays the oracle.
+    fn sketch(&self) -> Option<&dyn crate::SketchAggregate> {
+        None
+    }
 }
 
 /// §5.1: the `state`/`update`/`remove`/`recover` decomposition.

@@ -1,7 +1,9 @@
 //! Streaming benchmarks: (1) ingest throughput of the sliding window's
-//! partial-state maintenance across aggregate classes, and (2) warm vs
+//! partial-state maintenance across aggregate classes, (2) warm vs
 //! cold re-explanation after a window slide — the cached DT partitions
-//! (chunk-signature reuse) against a from-scratch rebuild.
+//! (chunk-signature reuse) against a from-scratch rebuild, and (3) the
+//! compaction tier's ingest cost and resident-row bound on a long quiet
+//! feed.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use scorpion_agg::aggregate_by_name;
@@ -109,5 +111,57 @@ fn re_explain(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, ingest, re_explain);
+/// Ingest throughput with the compaction tier on vs off, plus the
+/// sketch-tier percentile window. The asserts pin the acceptance
+/// property: with compaction, resident raw rows are O(keep_recent ·
+/// chunk-rows) — a constant — while the uncompacted window buffers
+/// every row it holds.
+fn compaction(c: &mut Criterion) {
+    const KEEP_RECENT: usize = 4;
+    let chunks = pregenerate(96);
+    let total_rows: u64 = chunks.iter().map(|c| c.len() as u64).sum();
+    let max_chunk_rows = chunks.iter().map(Vec::len).max().unwrap_or(0);
+    let mut g = c.benchmark_group("stream_compaction");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300))
+        .throughput(Throughput::Elements(total_rows));
+    for (mode, agg, compact, sketches) in [
+        ("raw", "avg", false, false),
+        ("compacted", "avg", true, false),
+        ("sketch_compacted", "p50", true, true),
+    ] {
+        g.bench_with_input(BenchmarkId::new("push", mode), &(), |b, _| {
+            b.iter_batched(
+                || chunks.clone(),
+                |owned| {
+                    let n_chunks = owned.len();
+                    let mut cfg =
+                        StreamConfig::new(feed_schema(), FEED_GROUP_ATTR, FEED_AGG_ATTR, n_chunks)
+                            .expect("config")
+                            .with_sketches(sketches);
+                    if compact {
+                        cfg = cfg.with_compaction(KEEP_RECENT).expect("keep_recent");
+                    }
+                    let mut w = SlidingWindow::new(cfg, aggregate_by_name(agg).unwrap());
+                    for chunk in owned {
+                        w.push_chunk(chunk).expect("ingest");
+                    }
+                    if compact {
+                        // O(chunks) resident, not O(rows).
+                        assert!(w.resident_rows() <= (KEEP_RECENT + 1) * max_chunk_rows);
+                        assert_eq!(w.n_compacted_chunks(), n_chunks - KEEP_RECENT);
+                    } else {
+                        assert_eq!(w.resident_rows() as u64, total_rows);
+                    }
+                    w.series()
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ingest, re_explain, compaction);
 criterion_main!(benches);

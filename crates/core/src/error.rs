@@ -32,6 +32,13 @@ pub enum ScorpionError {
         /// What is missing.
         requires: &'static str,
     },
+    /// The query named an aggregate the registry does not recognize.
+    /// Display lists the registered vocabulary so CLI and server errors
+    /// tell the user what *would* work.
+    UnknownAggregate {
+        /// The unrecognized aggregate name as the query spelled it.
+        name: String,
+    },
     /// No explanation attributes remain after removing group-by and
     /// aggregate attributes.
     NoExplainAttributes,
@@ -51,6 +58,14 @@ impl fmt::Display for ScorpionError {
             ScorpionError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
             ScorpionError::UnsupportedAggregate { algorithm, requires } => {
                 write!(f, "{algorithm} requires {requires}")
+            }
+            ScorpionError::UnknownAggregate { name } => {
+                write!(
+                    f,
+                    "unknown aggregate '{name}'; registered aggregates: {} \
+                     (plus percentile(col, p) for any p in (0, 1])",
+                    scorpion_agg::registered_names().join(", ")
+                )
             }
             ScorpionError::NoExplainAttributes => {
                 write!(f, "no attributes available to build explanations over")

@@ -32,11 +32,8 @@ impl PreparedQuery {
     /// §3.1 models selections.
     pub fn new(source: &Table, sql: &str) -> Result<Self> {
         let parsed = parse_query(sql)?;
-        let agg =
-            aggregate_by_name(&parsed.agg_name).ok_or(ScorpionError::UnsupportedAggregate {
-                algorithm: "query preparation",
-                requires: "a registered aggregate (sum/count/avg/stddev/variance/min/max/median)",
-            })?;
+        let agg = aggregate_by_name(&parsed.agg_name)
+            .ok_or_else(|| ScorpionError::UnknownAggregate { name: parsed.agg_name.clone() })?;
         let table = if parsed.selection.is_empty() {
             source.clone()
         } else {
@@ -158,12 +155,18 @@ mod tests {
     }
 
     #[test]
-    fn unknown_aggregate_rejected() {
+    fn unknown_aggregate_rejected_with_vocabulary() {
         let t = sensors();
-        assert!(matches!(
-            PreparedQuery::new(&t, "SELECT geomean(temp) FROM s GROUP BY time"),
-            Err(ScorpionError::UnsupportedAggregate { .. })
-        ));
+        let err = match PreparedQuery::new(&t, "SELECT geomean(temp) FROM s GROUP BY time") {
+            Err(e) => e,
+            Ok(_) => panic!("geomean is not registered"),
+        };
+        assert!(matches!(err, ScorpionError::UnknownAggregate { .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("geomean"), "names the offender: {msg}");
+        for name in scorpion_agg::registered_names() {
+            assert!(msg.contains(name), "lists {name}: {msg}");
+        }
     }
 
     #[test]

@@ -75,6 +75,13 @@ pub struct Diagnostics {
     pub partitions: usize,
     /// True when an anytime search exhausted its budget before completing.
     pub budget_exhausted: bool,
+    /// Raw rows resident in the producing sliding window (0 for offline
+    /// runs). With the stream compaction tier this stays O(chunks) on
+    /// quiet streams while logical rows grow with the window.
+    pub resident_rows: u64,
+    /// Approximate bytes resident in the producing sliding window
+    /// (rows + partials + sketches + masks; 0 for offline runs).
+    pub resident_bytes: u64,
     /// Per-phase wall-clock attribution of `runtime` (prepare-side
     /// phases are charged to the first run, like `scorer_calls`).
     /// Phases overlap hierarchically — e.g. `dt.split` time is inside

@@ -58,6 +58,8 @@ pub fn diagnostics_json(d: &Diagnostics) -> Json {
         ("candidates", Json::from(d.candidates)),
         ("partitions", Json::from(d.partitions)),
         ("budget_exhausted", Json::from(d.budget_exhausted)),
+        ("resident_rows", Json::from(d.resident_rows)),
+        ("resident_bytes", Json::from(d.resident_bytes)),
         ("phases", Json::Arr(phases)),
     ])
 }

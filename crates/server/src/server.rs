@@ -496,6 +496,23 @@ fn handle_metrics(state: &ServerState) -> Response {
 
     p.header("scorpion_registered_tables", "gauge", "Tables in the registry.");
     p.sample("scorpion_registered_tables", &[], state.registry.len() as f64);
+    p.header("scorpion_table_resident_rows", "gauge", "Rows resident, by registered table.");
+    let tables = state.registry.list();
+    for (name, entry) in &tables {
+        p.sample("scorpion_table_resident_rows", &[("table", name)], entry.table.len() as f64);
+    }
+    p.header(
+        "scorpion_table_resident_bytes",
+        "gauge",
+        "Approximate columnar bytes resident, by registered table.",
+    );
+    for (name, entry) in &tables {
+        p.sample(
+            "scorpion_table_resident_bytes",
+            &[("table", name)],
+            entry.table.approx_bytes() as f64,
+        );
+    }
     p.header("scorpion_uptime_seconds", "gauge", "Seconds since the service started.");
     p.sample("scorpion_uptime_seconds", &[], state.stats.uptime().as_secs_f64());
     p.header("scorpion_build_info", "gauge", "Build metadata; value is always 1.");

@@ -187,6 +187,25 @@ fn error_paths_are_clean_json() {
     assert_eq!(status, 400);
     assert!(err.get("error").is_some());
 
+    // An unknown aggregate is rejected with the registered vocabulary,
+    // so the 4xx body tells the caller what *would* work.
+    let (status, err) = c
+        .post(
+            "/explain",
+            &Json::obj([
+                ("table", Json::from("t")),
+                ("sql", Json::from("SELECT geomean(v) FROM t GROUP BY g")),
+                ("outliers", Json::arr(["o"])),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(status, 400);
+    let msg = err.get("error").and_then(Json::as_str).unwrap();
+    assert!(msg.contains("geomean"), "names the offender: {msg}");
+    for name in ["avg", "median", "count_distinct", "p99", "percentile"] {
+        assert!(msg.contains(name), "lists {name}: {msg}");
+    }
+
     // The connection survived every error (keep-alive).
     let (status, _) = c.get("/healthz").unwrap();
     assert_eq!(status, 200);
@@ -252,6 +271,15 @@ fn metrics_exposition_round_trip() {
     assert_eq!(prom_value(&after, "scorpion_registered_tables"), Some(1.0));
     assert_eq!(prom_value(&after, "scorpion_plan_cache_hits_total"), Some(1.0));
     assert_eq!(prom_value(&after, "scorpion_plan_cache_misses_total"), Some(1.0));
+
+    // Per-table residency gauges: 100 planted rows × 2 groups.
+    let rows = prom_samples(&after, "scorpion_table_resident_rows");
+    assert_eq!(rows.len(), 1);
+    assert!(rows[0].0.contains("table=\"m\""), "labels: {}", rows[0].0);
+    assert_eq!(rows[0].1, 200.0);
+    let bytes = prom_samples(&after, "scorpion_table_resident_bytes");
+    assert_eq!(bytes.len(), 1);
+    assert!(bytes[0].1 > 0.0);
 
     // The explain latency histogram: cumulative buckets ending at +Inf,
     // with _count consistent with the traffic.

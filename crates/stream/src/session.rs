@@ -256,6 +256,12 @@ impl ContinuousSession {
         let mut explanation = plan.run(&params)?;
         explanation.diagnostics.algorithm = "dt-stream";
         explanation.diagnostics.runtime = start.elapsed();
+        // Window-maintenance attribution and residency gauges: drain the
+        // window's accumulated `window.compact` time into this
+        // explanation's phase table and report what the window holds.
+        scorpion_obs::merge_phases(&mut explanation.diagnostics.phases, window.phases().take());
+        explanation.diagnostics.resident_rows = window.resident_rows() as u64;
+        explanation.diagnostics.resident_bytes = window.resident_bytes();
 
         {
             let mut cache = self.cache.lock();
@@ -492,6 +498,91 @@ mod tests {
             warm.explanation.diagnostics.partitions, cold.explanation.diagnostics.partitions,
             "rebinding must carry the partition set over unchanged"
         );
+    }
+
+    #[test]
+    fn compacted_window_explains_identically() {
+        // Satellite: an explanation over a compacted window must match
+        // the uncompacted oracle exactly, as long as the flagged groups'
+        // chunks were marked before compaction reached them. The driver
+        // loop below mimics production: explain after every push and
+        // feed the detection's labels back via `mark_flagged`.
+        let plain_cfg = StreamConfig::new(feed_schema(), 0, 2, 12).unwrap();
+        let mut plain = SlidingWindow::new(plain_cfg, aggregate_by_name("avg").unwrap());
+        let cfg = StreamConfig::new(feed_schema(), 0, 2, 12).unwrap().with_compaction(3).unwrap();
+        let mut compacted = SlidingWindow::new(cfg, aggregate_by_name("avg").unwrap());
+        let s_plain = session();
+        let s_comp = session();
+        let mut last: Option<(StreamExplanation, StreamExplanation)> = None;
+        let mut saw_compact_phase = false;
+        for hour in 0..12 {
+            let hot = (8..10).contains(&hour);
+            plain.push_chunk(hour_chunk(hour, hot)).unwrap();
+            compacted.push_chunk(hour_chunk(hour, hot)).unwrap();
+            let a = s_plain.explain(&plain).unwrap();
+            let b = s_comp.explain(&compacted).unwrap();
+            if let Some(b) = &b {
+                saw_compact_phase |=
+                    b.explanation.diagnostics.phases.iter().any(|p| p.name == "window.compact");
+                // Keep every labeled group's evidence rows resident.
+                let keys: Vec<&str> = b
+                    .detection
+                    .outliers
+                    .iter()
+                    .map(|(k, _)| k.as_str())
+                    .chain(b.detection.holdouts.iter().map(|k| k.as_str()))
+                    .collect();
+                compacted.mark_flagged(keys);
+            }
+            if let (Some(a), Some(b)) = (a, b) {
+                last = Some((a, b));
+            }
+        }
+        let (a, b) = last.expect("the hot hours must be detected");
+        assert!(compacted.n_compacted_chunks() > 0, "compaction must have fired");
+        assert!(compacted.resident_rows() < plain.resident_rows());
+        // Identical labels, predicate, and influence.
+        assert_eq!(a.detection.outliers, b.detection.outliers);
+        let pa = a.explanation.best();
+        let pb = b.explanation.best();
+        assert_eq!(pa.predicate.display(&a.table), pb.predicate.display(&b.table));
+        assert!(
+            (pa.influence - pb.influence).abs() <= 1e-9 * pa.influence.abs().max(1.0),
+            "influence {} vs {}",
+            pa.influence,
+            pb.influence
+        );
+        // Maintenance attribution and gauges surfaced in diagnostics.
+        // Each explanation drains the window's phase accumulator, so the
+        // compact phase appears in whichever explanation followed the
+        // compaction work.
+        assert!(saw_compact_phase, "window.compact must be attributed");
+        let d = &b.explanation.diagnostics;
+        assert_eq!(d.resident_rows, compacted.resident_rows() as u64);
+        assert!(d.resident_bytes > 0);
+    }
+
+    #[test]
+    fn compaction_soak_bounds_resident_rows() {
+        // A long quiet stream with a huge window: resident raw rows
+        // must stay bounded by the keep-recent horizon, not grow with
+        // the window.
+        let cfg = StreamConfig::new(feed_schema(), 0, 2, 500).unwrap().with_compaction(4).unwrap();
+        let mut w = SlidingWindow::new(cfg, aggregate_by_name("avg").unwrap());
+        let rows_per_chunk = hour_chunk(0, false).len();
+        let mut peak = 0usize;
+        for hour in 0..300 {
+            w.push_chunk(hour_chunk(hour, false)).unwrap();
+            peak = peak.max(w.resident_rows());
+        }
+        assert_eq!(w.n_chunks(), 300);
+        assert!(
+            peak <= rows_per_chunk * 5,
+            "resident rows must be O(keep_recent), got peak {peak}"
+        );
+        // Logical series still spans every live chunk.
+        let s = w.series();
+        assert_eq!(s.iter().map(|g| g.rows).sum::<usize>(), 300 * rows_per_chunk);
     }
 
     #[test]

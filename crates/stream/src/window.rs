@@ -17,15 +17,43 @@
 //! * black-box aggregates (MEDIAN) fall back to recomputing from the
 //!   buffered rows at read time.
 //!
-//! Raw rows are buffered for the window's lifetime regardless, because
-//! explanation needs the full relation: [`SlidingWindow::materialize`]
-//! rebuilds a [`Table`] + provenance [`Grouping`] for the engine.
+//! ## Sketch mode
+//!
+//! [`StreamConfig::with_sketches`] lets aggregates that expose a
+//! [`scorpion_agg::SketchAggregate`] tier (MEDIAN, PERCENTILE,
+//! COUNT DISTINCT) serve [`SlidingWindow::value_of`] and
+//! [`SlidingWindow::series`] from per-group [`SketchPartial`]s instead
+//! of buffered raw values: each chunk is summarized once into per-group
+//! sketches, totals are maintained by merge, and eviction either
+//! retracts exactly (quantile sketches form a group under merge) or
+//! re-merges the survivors (HLL). The answer carries the sketch's
+//! documented error bound; exact `compute` remains the oracle whenever
+//! sketch mode is off.
+//!
+//! ## Compaction tier
+//!
+//! Raw rows are buffered because explanation needs the full relation:
+//! [`SlidingWindow::materialize`] rebuilds a [`Table`] + provenance
+//! [`Grouping`] for the engine. [`StreamConfig::with_compaction`] bounds
+//! that buffer: once a chunk ages past the `keep_recent` newest chunks
+//! and no flagged group ever touched it
+//! ([`SlidingWindow::mark_flagged`]), the compaction tier drops its raw
+//! rows and retains only the per-group partials, sketches, and a
+//! per-group [`RowMask`] of the chunk-local row positions. Series
+//! maintenance is unaffected (it never re-reads rows); materialization
+//! and the warm-reuse signature ([`SlidingWindow::chunks_of`]) simply
+//! skip compacted chunks, so resident memory is O(groups · chunks)
+//! instead of O(rows) on quiet streams while flagged chunks stay fully
+//! re-explainable.
 
 use crate::error::{Result, StreamError};
-use scorpion_agg::{AggState, Aggregate};
-use scorpion_table::{group_by, AttrType, Grouping, Schema, Table, TableBuilder, Value};
-use std::collections::{BTreeMap, VecDeque};
+use scorpion_agg::{AggState, Aggregate, SketchAggregate};
+use scorpion_obs::Phases;
+use scorpion_sketch::{HeavyHitter, SketchPartial, SpaceSaving};
+use scorpion_table::{group_by, AttrType, Grouping, RowMask, Schema, Table, TableBuilder, Value};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Static description of the stream relation and the continuous query.
 #[derive(Debug, Clone)]
@@ -38,6 +66,17 @@ pub struct StreamConfig {
     pub agg_attr: usize,
     /// Window capacity in chunks; pushing beyond it evicts the oldest.
     pub window_chunks: usize,
+    /// Serve the series from the aggregate's sketch tier when it has one
+    /// (approximate, within the sketch's error bound). Off by default:
+    /// exact `compute` stays the oracle.
+    pub sketch_mode: bool,
+    /// Mask-aware compaction: keep raw rows only for the newest
+    /// `keep_recent` chunks and for chunks a flagged group touched;
+    /// older never-flagged chunks drop their rows. `None` (default)
+    /// disables compaction. Choose `keep_recent` to cover the
+    /// detection horizon — a group flagged for the first time still
+    /// needs raw rows somewhere.
+    pub compact_keep_recent: Option<usize>,
 }
 
 impl StreamConfig {
@@ -62,7 +101,31 @@ impl StreamConfig {
         if a.ty() != AttrType::Continuous {
             return Err(StreamError::BadConfig("aggregate attribute must be continuous"));
         }
-        Ok(StreamConfig { schema, group_attr, agg_attr, window_chunks })
+        Ok(StreamConfig {
+            schema,
+            group_attr,
+            agg_attr,
+            window_chunks,
+            sketch_mode: false,
+            compact_keep_recent: None,
+        })
+    }
+
+    /// Enables (or disables) the sketch tier for sketch-capable
+    /// aggregates.
+    pub fn with_sketches(mut self, on: bool) -> Self {
+        self.sketch_mode = on;
+        self
+    }
+
+    /// Enables the compaction tier, always retaining raw rows for the
+    /// newest `keep_recent` chunks.
+    pub fn with_compaction(mut self, keep_recent: usize) -> Result<Self> {
+        if keep_recent == 0 {
+            return Err(StreamError::BadConfig("compaction must keep at least one recent chunk"));
+        }
+        self.compact_keep_recent = Some(keep_recent);
+        Ok(self)
     }
 }
 
@@ -78,12 +141,26 @@ struct Chunk {
     /// black-box aggregates so [`SlidingWindow::series`] recomputes in
     /// O(rows-of-group) instead of rescanning every buffered row.
     values: BTreeMap<String, Vec<f64>>,
+    /// Per group key: sketch summary of the aggregate attribute
+    /// (sketch mode only).
+    sketches: BTreeMap<String, SketchPartial>,
+    /// Per group key: mask of the chunk-local row positions the group
+    /// occupied. Built when the chunk is compacted — the only
+    /// row-membership record that survives the raw rows.
+    masks: BTreeMap<String, RowMask>,
+    /// Raw rows dropped by the compaction tier.
+    compacted: bool,
+    /// A flagged group's rows live here; exempt from compaction so warm
+    /// re-explanation keeps its evidence.
+    flagged: bool,
 }
 
 /// Running per-group totals over the live window.
 struct GroupTotal {
     partial: AggState,
     rows: usize,
+    /// Merged sketch over the group's live chunks (sketch mode only).
+    sketch: Option<SketchPartial>,
 }
 
 /// True when subtracting `removed` may have destroyed the precision of
@@ -130,6 +207,14 @@ pub struct SlidingWindow {
     totals: BTreeMap<String, GroupTotal>,
     next_chunk_id: u64,
     rows_ingested: u64,
+    /// SpaceSaving heavy-hitter summary of group keys over the window's
+    /// ingest lifetime (weights = rows per key; never retracted).
+    heavy: SpaceSaving,
+    /// Chunks the compaction tier has stripped so far (lifetime count).
+    compactions: u64,
+    /// Maintenance-phase attribution (`window.compact`), drained by the
+    /// session layer into explanation diagnostics.
+    phases: Phases,
 }
 
 impl SlidingWindow {
@@ -142,6 +227,9 @@ impl SlidingWindow {
             totals: BTreeMap::new(),
             next_chunk_id: 0,
             rows_ingested: 0,
+            heavy: SpaceSaving::default_sketch(),
+            compactions: 0,
+            phases: Phases::new(),
         }
     }
 
@@ -155,14 +243,81 @@ impl SlidingWindow {
         &self.agg
     }
 
+    /// The active sketch tier: `Some` only when sketch mode is on *and*
+    /// the aggregate exposes one.
+    pub fn sketch_tier(&self) -> Option<&dyn SketchAggregate> {
+        if self.cfg.sketch_mode {
+            self.agg.sketch()
+        } else {
+            None
+        }
+    }
+
     /// Number of live chunks.
     pub fn n_chunks(&self) -> usize {
         self.chunks.len()
     }
 
-    /// Number of live rows.
+    /// Number of raw rows resident in the window. With compaction this
+    /// counts only retained rows; see [`Self::series`]'s per-group
+    /// `rows` for the logical count.
     pub fn n_rows(&self) -> usize {
         self.chunks.iter().map(|c| c.rows.len()).sum()
+    }
+
+    /// Raw rows resident (alias of [`Self::n_rows`], the gauge exported
+    /// to diagnostics).
+    pub fn resident_rows(&self) -> usize {
+        self.n_rows()
+    }
+
+    /// Approximate bytes resident in the window: buffered rows and
+    /// value vectors plus per-group partials, sketches, and masks.
+    pub fn resident_bytes(&self) -> u64 {
+        // A Value is a tagged enum (≥ 16 bytes); strings add heap. Use a
+        // flat 32 bytes/value — the gauge tracks growth, not the
+        // allocator.
+        let mut bytes = 0u64;
+        let per_value = 32 * self.cfg.schema.len() as u64;
+        for c in &self.chunks {
+            bytes += c.rows.len() as u64 * per_value;
+            for (key, vs) in &c.values {
+                bytes += key.len() as u64 + 8 * vs.len() as u64;
+            }
+            for (key, (state, _)) in c.groups.iter() {
+                bytes += key.len() as u64 + std::mem::size_of_val(state) as u64 + 16;
+            }
+            for (key, s) in &c.sketches {
+                bytes += key.len() as u64 + s.approx_bytes() as u64;
+            }
+            for (key, m) in &c.masks {
+                bytes += key.len() as u64 + 8 * m.words().len() as u64;
+            }
+        }
+        for (key, t) in &self.totals {
+            bytes += key.len() as u64 + std::mem::size_of_val(&t.partial) as u64 + 24;
+            if let Some(s) = &t.sketch {
+                bytes += s.approx_bytes() as u64;
+            }
+        }
+        bytes + self.heavy.approx_bytes() as u64
+    }
+
+    /// Chunks whose raw rows the compaction tier has dropped (live).
+    pub fn n_compacted_chunks(&self) -> usize {
+        self.chunks.iter().filter(|c| c.compacted).count()
+    }
+
+    /// Lifetime count of chunks compacted (including since-evicted
+    /// ones).
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Maintenance-phase timings (`window.compact`); the session layer
+    /// drains these into explanation diagnostics.
+    pub fn phases(&self) -> &Phases {
+        &self.phases
     }
 
     /// Total rows ever ingested (including evicted ones).
@@ -170,13 +325,57 @@ impl SlidingWindow {
         self.rows_ingested
     }
 
-    /// Ids of the live chunks containing rows of `key`, oldest first.
+    /// Approximate heaviest group keys by ingested row count
+    /// (SpaceSaving; `err ≤ rows_ingested / 64`). Lifetime counts —
+    /// eviction does not retract them.
+    pub fn heavy_groups(&self, k: usize) -> Vec<HeavyHitter> {
+        let mut hh = self.heavy.heavy_hitters();
+        hh.truncate(k);
+        hh
+    }
+
+    /// Ids of the live, *uncompacted* chunks containing rows of `key`,
+    /// oldest first. Compacted chunks are excluded on purpose: this
+    /// feeds the warm-reuse signature, and a compacted chunk's rows are
+    /// absent from [`Self::materialize`] — excluding it keeps the
+    /// signature consistent with the relation the engine actually sees.
     pub fn chunks_of(&self, key: &str) -> Vec<u64> {
-        self.chunks.iter().filter(|c| c.groups.contains_key(key)).map(|c| c.id).collect()
+        self.chunks
+            .iter()
+            .filter(|c| !c.compacted && c.groups.contains_key(key))
+            .map(|c| c.id)
+            .collect()
+    }
+
+    /// The retained row-membership mask of `key` within a compacted
+    /// chunk (`None` if the chunk is live-with-rows, evicted, or never
+    /// held the group).
+    pub fn compacted_mask(&self, chunk_id: u64, key: &str) -> Option<&RowMask> {
+        self.chunks.iter().find(|c| c.id == chunk_id && c.compacted)?.masks.get(key)
+    }
+
+    /// Marks every live chunk holding rows of the given group keys as
+    /// flagged, permanently exempting them from compaction. Returns how
+    /// many chunks were newly flagged. Call when the detector labels a
+    /// group so its evidence rows survive for re-explanation.
+    pub fn mark_flagged<'k>(&mut self, keys: impl IntoIterator<Item = &'k str>) -> usize {
+        let keys: BTreeSet<&str> = keys.into_iter().collect();
+        if keys.is_empty() {
+            return 0;
+        }
+        let mut newly = 0;
+        for c in &mut self.chunks {
+            if !c.flagged && keys.iter().any(|k| c.groups.contains_key(*k)) {
+                c.flagged = true;
+                newly += 1;
+            }
+        }
+        newly
     }
 
     /// Ingests one batch as a new chunk, evicting the oldest chunk when
-    /// the window is at capacity.
+    /// the window is at capacity and compacting aged never-flagged
+    /// chunks when the compaction tier is enabled.
     pub fn push_chunk(&mut self, rows: Vec<Vec<Value>>) -> Result<ChunkReceipt> {
         let mergeable = self.agg.mergeable();
         let mut groups: BTreeMap<String, (AggState, usize)> = BTreeMap::new();
@@ -209,48 +408,85 @@ impl SlidingWindow {
             };
             groups.insert(key.clone(), (state, n));
         }
+
+        // Sketch tier: summarize each group's values once per chunk.
+        let mut sketches: BTreeMap<String, SketchPartial> = BTreeMap::new();
+        if let Some(sk) = self.sketch_tier() {
+            for (key, vals) in &values {
+                let mut partial = sk.sketch_empty();
+                for &v in vals {
+                    partial.insert(v);
+                }
+                sketches.insert(key.clone(), partial);
+            }
+        }
+
         // Black-box aggregates need the raw values at read time; for
-        // mergeable operators the partials subsume them.
-        let values = if mergeable.is_none() { values } else { BTreeMap::new() };
+        // mergeable operators the partials subsume them, and in sketch
+        // mode the sketches do.
+        let values =
+            if mergeable.is_none() && sketches.is_empty() { values } else { BTreeMap::new() };
 
         // Merge the new chunk's partials into the running totals.
         if let Some(m) = mergeable {
             for (key, (state, n)) in &groups {
-                let total = self
-                    .totals
-                    .entry(key.clone())
-                    .or_insert_with(|| GroupTotal { partial: m.empty_partial(), rows: 0 });
+                let total = self.totals.entry(key.clone()).or_insert_with(|| GroupTotal {
+                    partial: m.empty_partial(),
+                    rows: 0,
+                    sketch: None,
+                });
                 m.merge(&mut total.partial, state);
                 total.rows += n;
             }
         } else {
             for (key, (_, n)) in &groups {
-                let total = self
-                    .totals
-                    .entry(key.clone())
-                    .or_insert_with(|| GroupTotal { partial: AggState::zero(0), rows: 0 });
+                let total = self.totals.entry(key.clone()).or_insert_with(|| GroupTotal {
+                    partial: AggState::zero(0),
+                    rows: 0,
+                    sketch: None,
+                });
                 total.rows += n;
             }
+        }
+        for (key, partial) in &sketches {
+            let total = self.totals.get_mut(key).expect("sketched group has a total");
+            match &mut total.sketch {
+                Some(s) => s.merge(partial).map_err(StreamError::Sketch)?,
+                none => *none = Some(partial.clone()),
+            }
+        }
+        for (key, (_, n)) in &groups {
+            self.heavy.insert(key, *n as u64);
         }
 
         let chunk_id = self.next_chunk_id;
         self.next_chunk_id += 1;
         self.rows_ingested += rows.len() as u64;
         let n_rows = rows.len();
-        self.chunks.push_back(Chunk { id: chunk_id, rows, groups, values });
+        self.chunks.push_back(Chunk {
+            id: chunk_id,
+            rows,
+            groups,
+            values,
+            sketches,
+            masks: BTreeMap::new(),
+            compacted: false,
+            flagged: false,
+        });
 
         let evicted = if self.chunks.len() > self.cfg.window_chunks {
             let old = self.chunks.pop_front().expect("non-empty window");
-            self.retract(&old);
+            self.retract(&old)?;
             Some(old.id)
         } else {
             None
         };
+        self.compact();
         Ok(ChunkReceipt { chunk_id, rows: n_rows, evicted })
     }
 
     /// Removes an evicted chunk's contribution from the running totals.
-    fn retract(&mut self, old: &Chunk) {
+    fn retract(&mut self, old: &Chunk) -> Result<()> {
         let mergeable = self.agg.mergeable();
         for (key, (state, n)) in &old.groups {
             let Some(total) = self.totals.get_mut(key) else { continue };
@@ -282,7 +518,21 @@ impl SlidingWindow {
                 }
                 None => {}
             }
+            // Sketch totals: quantile sketches retract exactly (bucket
+            // counts form a group under merge); HLL cannot, so re-merge
+            // the survivors' per-chunk sketches — row-free either way.
+            if let Some(evicted_sketch) = old.sketches.get(key) {
+                if let Some(total_sketch) = &mut total.sketch {
+                    let retracted =
+                        total_sketch.retract(evicted_sketch).map_err(StreamError::Sketch)?;
+                    if !retracted {
+                        total.sketch =
+                            Self::remerge_sketch(&self.chunks, key).map_err(StreamError::Sketch)?;
+                    }
+                }
+            }
         }
+        Ok(())
     }
 
     /// Rebuilds one group's partial by merging the surviving chunks'
@@ -301,10 +551,74 @@ impl SlidingWindow {
         acc
     }
 
+    /// Rebuilds one group's sketch total by merging the surviving
+    /// chunks' per-chunk sketches.
+    fn remerge_sketch(
+        chunks: &VecDeque<Chunk>,
+        key: &str,
+    ) -> scorpion_sketch::Result<Option<SketchPartial>> {
+        let mut acc: Option<SketchPartial> = None;
+        for c in chunks {
+            if let Some(s) = c.sketches.get(key) {
+                match &mut acc {
+                    Some(a) => a.merge(s)?,
+                    none => *none = Some(s.clone()),
+                }
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Strips raw rows from chunks older than the `keep_recent` newest
+    /// that no flagged group ever touched, leaving partials + sketches +
+    /// per-group row masks. Requires a row-free read path: a mergeable
+    /// partial or an active sketch tier. Timed as `window.compact`.
+    fn compact(&mut self) {
+        let Some(keep) = self.cfg.compact_keep_recent else { return };
+        if self.agg.mergeable().is_none() && self.sketch_tier().is_none() {
+            return; // black-box reads need the buffered values
+        }
+        if self.chunks.len() <= keep {
+            return;
+        }
+        let start = Instant::now();
+        let group_attr = self.cfg.group_attr;
+        let mut did = 0u64;
+        let eligible = self.chunks.len() - keep;
+        for c in self.chunks.iter_mut().take(eligible) {
+            if c.compacted || c.flagged {
+                continue;
+            }
+            let mut masks: BTreeMap<String, RowMask> = BTreeMap::new();
+            for (i, row) in c.rows.iter().enumerate() {
+                if let Value::Str(key) = &row[group_attr] {
+                    masks
+                        .entry(key.clone())
+                        .or_insert_with(|| RowMask::empty(c.rows.len()))
+                        .insert(i as u32);
+                }
+            }
+            c.masks = masks;
+            c.rows = Vec::new();
+            c.values = BTreeMap::new();
+            c.compacted = true;
+            did += 1;
+        }
+        if did > 0 {
+            self.compactions += did;
+            self.phases.add_nanos("window.compact", start.elapsed().as_nanos() as u64, did);
+        }
+    }
+
     /// The current windowed aggregate value of `key`, if the group is
     /// live.
     pub fn value_of(&self, key: &str) -> Option<f64> {
         let total = self.totals.get(key)?;
+        if let Some(sk) = self.sketch_tier() {
+            if let Some(sketch) = &total.sketch {
+                return Some(sk.sketch_finalize(sketch));
+            }
+        }
         match self.agg.mergeable() {
             Some(m) => Some(m.finalize(&total.partial)),
             None => Some(self.agg.compute(&self.raw_values(key))),
@@ -313,12 +627,16 @@ impl SlidingWindow {
 
     /// The live group-by result series, sorted by group key.
     pub fn series(&self) -> Vec<GroupAggregate> {
+        let tier = self.sketch_tier();
         self.totals
             .iter()
             .map(|(key, total)| {
-                let value = match self.agg.mergeable() {
-                    Some(m) => m.finalize(&total.partial),
-                    None => self.agg.compute(&self.raw_values(key)),
+                let value = match (tier, &total.sketch) {
+                    (Some(sk), Some(sketch)) => sk.sketch_finalize(sketch),
+                    _ => match self.agg.mergeable() {
+                        Some(m) => m.finalize(&total.partial),
+                        None => self.agg.compute(&self.raw_values(key)),
+                    },
                 };
                 GroupAggregate { key: key.clone(), value, rows: total.rows }
             })
@@ -339,7 +657,10 @@ impl SlidingWindow {
 
     /// Materializes the live window as a relation plus provenance — the
     /// substrate the explanation engine runs on. Rows appear in chunk
-    /// arrival order, so the result is deterministic.
+    /// arrival order, so the result is deterministic. Compacted chunks
+    /// contribute nothing (their rows are gone); [`Self::chunks_of`]
+    /// skips them symmetrically so warm-reuse signatures stay consistent
+    /// with this relation.
     pub fn materialize(&self) -> Result<(Table, Grouping)> {
         let mut b = TableBuilder::new(self.cfg.schema.clone());
         b.reserve(self.n_rows());
@@ -380,6 +701,7 @@ mod tests {
         assert!(matches!(StreamConfig::new(s(), 1, 1, 2), Err(StreamError::BadConfig(_))));
         assert!(matches!(StreamConfig::new(s(), 1, 0, 2), Err(StreamError::BadConfig(_))));
         assert!(StreamConfig::new(s(), 0, 1, 2).is_ok());
+        assert!(StreamConfig::new(s(), 0, 1, 2).unwrap().with_compaction(0).is_err());
     }
 
     #[test]
@@ -499,5 +821,168 @@ mod tests {
         let (t, g) = w.materialize().unwrap();
         assert_eq!(t.len(), 0);
         assert_eq!(g.len(), 0);
+    }
+
+    // ---- sketch mode ----------------------------------------------------
+
+    fn sketch_window(agg: &str, capacity: usize) -> SlidingWindow {
+        let cfg = StreamConfig::new(two_col_schema(), 0, 1, capacity).unwrap().with_sketches(true);
+        SlidingWindow::new(cfg, aggregate_by_name(agg).unwrap())
+    }
+
+    #[test]
+    fn sketch_median_tracks_exact_within_bound() {
+        let mut exact = window("median", 3);
+        let mut approx = sketch_window("median", 3);
+        assert!(approx.sketch_tier().is_some());
+        for base in [10.0, 20.0, 30.0, 40.0] {
+            let rows: Vec<(String, f64)> =
+                (0..20).map(|i| ("a".to_string(), base + i as f64)).collect();
+            let borrowed: Vec<(&str, f64)> = rows.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+            exact.push_chunk(chunk(&borrowed)).unwrap();
+            approx.push_chunk(chunk(&borrowed)).unwrap();
+            let want = exact.value_of("a").unwrap();
+            let got = approx.value_of("a").unwrap();
+            let tier = approx.sketch_tier().unwrap();
+            let sketch = tier.sketch_empty();
+            let tol = sketch.error_bound().magnitude() * want.abs() + 1e-9;
+            assert!((got - want).abs() <= tol, "median {got} vs {want} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn sketch_eviction_retracts_quantiles_exactly() {
+        let mut w = sketch_window("p50", 2);
+        w.push_chunk(chunk(&[("a", 1000.0), ("a", 2000.0)])).unwrap();
+        w.push_chunk(chunk(&[("a", 5.0)])).unwrap();
+        // Evict the big chunk: the surviving value must dominate.
+        w.push_chunk(chunk(&[("a", 7.0)])).unwrap();
+        let got = w.value_of("a").unwrap();
+        assert!((5.0..=8.0).contains(&got), "retracted median {got}");
+    }
+
+    #[test]
+    fn sketch_count_distinct_remerges_on_eviction() {
+        let mut w = sketch_window("count_distinct", 2);
+        let many: Vec<(String, f64)> = (0..500).map(|i| ("a".to_string(), i as f64)).collect();
+        let borrowed: Vec<(&str, f64)> = many.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        w.push_chunk(chunk(&borrowed)).unwrap();
+        w.push_chunk(chunk(&[("a", 1.0), ("a", 2.0)])).unwrap();
+        // Evicting the 500-distinct chunk must re-merge, not retract.
+        w.push_chunk(chunk(&[("a", 1.0)])).unwrap();
+        let got = w.value_of("a").unwrap();
+        assert!(got < 20.0, "after eviction only ~3 distinct remain, got {got}");
+    }
+
+    #[test]
+    fn sketch_mode_off_stays_exact() {
+        let mut w = window("p50", 2);
+        w.push_chunk(chunk(&[("a", 1.0), ("a", 2.0), ("a", 100.0)])).unwrap();
+        assert_eq!(w.value_of("a"), Some(2.0));
+    }
+
+    // ---- compaction tier ------------------------------------------------
+
+    fn compacting_window(agg: &str, capacity: usize, keep: usize, sketches: bool) -> SlidingWindow {
+        let cfg = StreamConfig::new(two_col_schema(), 0, 1, capacity)
+            .unwrap()
+            .with_sketches(sketches)
+            .with_compaction(keep)
+            .unwrap();
+        SlidingWindow::new(cfg, aggregate_by_name(agg).unwrap())
+    }
+
+    #[test]
+    fn compaction_bounds_resident_rows() {
+        let mut w = compacting_window("avg", 100, 3, false);
+        for i in 0..100 {
+            let rows: Vec<(String, f64)> =
+                (0..10).map(|j| (format!("g{}", j % 4), (i * 10 + j) as f64)).collect();
+            let borrowed: Vec<(&str, f64)> = rows.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+            w.push_chunk(chunk(&borrowed)).unwrap();
+        }
+        assert_eq!(w.n_chunks(), 100);
+        // Only the newest `keep` chunks hold raw rows.
+        assert_eq!(w.resident_rows(), 3 * 10);
+        assert_eq!(w.n_compacted_chunks(), 97);
+        // The series is untouched: logical rows and exact totals.
+        let s = w.series();
+        assert_eq!(s.iter().map(|g| g.rows).sum::<usize>(), 1000);
+        let all: Vec<f64> = (0..1000).map(|k| k as f64).collect();
+        // g0 holds the rows whose within-chunk position j = v mod 10 has
+        // j mod 4 == 0.
+        let per_group: Vec<f64> =
+            all.iter().copied().filter(|v| ((*v as u64) % 10).is_multiple_of(4)).collect();
+        let want = aggregate_by_name("avg").unwrap().compute(&per_group);
+        assert!((w.value_of("g0").unwrap() - want).abs() < 1e-9);
+        // Phase attribution recorded the work.
+        let phases = w.phases().snapshot();
+        let compact = phases.iter().find(|p| p.name == "window.compact").unwrap();
+        assert_eq!(compact.count, 97);
+    }
+
+    #[test]
+    fn flagged_chunks_keep_their_rows() {
+        let mut w = compacting_window("avg", 10, 1, false);
+        w.push_chunk(chunk(&[("hot", 9.0), ("cold", 1.0)])).unwrap();
+        assert_eq!(w.mark_flagged(["hot"]), 1);
+        for _ in 0..5 {
+            w.push_chunk(chunk(&[("cold", 1.0)])).unwrap();
+        }
+        // Chunk 0 holds a flagged group: still materializable.
+        assert_eq!(w.n_compacted_chunks(), 4);
+        let (t, _) = w.materialize().unwrap();
+        assert_eq!(t.len(), 2 + 1); // chunk 0 (2 rows) + newest chunk (1 row)
+        assert_eq!(w.chunks_of("hot"), vec![0]);
+    }
+
+    #[test]
+    fn compacted_chunks_leave_masks_and_exit_signatures() {
+        let mut w = compacting_window("sum", 10, 1, false);
+        w.push_chunk(chunk(&[("a", 1.0), ("b", 2.0), ("a", 3.0)])).unwrap();
+        w.push_chunk(chunk(&[("a", 4.0)])).unwrap();
+        w.push_chunk(chunk(&[("b", 5.0)])).unwrap();
+        // Chunks 0 and 1 are compacted; masks record row membership.
+        assert_eq!(w.n_compacted_chunks(), 2);
+        let m = w.compacted_mask(0, "a").unwrap();
+        assert_eq!(m.to_rows(), vec![0, 2]);
+        assert!(w.compacted_mask(2, "b").is_none(), "live chunk has no mask");
+        // Signatures skip compacted chunks, matching materialize().
+        assert_eq!(w.chunks_of("a"), Vec::<u64>::new());
+        assert_eq!(w.chunks_of("b"), vec![2]);
+        // Totals remain exact.
+        assert_eq!(w.value_of("a"), Some(8.0));
+        assert_eq!(w.value_of("b"), Some(7.0));
+    }
+
+    #[test]
+    fn blackbox_without_sketch_tier_never_compacts() {
+        let mut w = compacting_window("median", 10, 1, false);
+        for _ in 0..5 {
+            w.push_chunk(chunk(&[("a", 1.0), ("a", 3.0)])).unwrap();
+        }
+        assert_eq!(w.n_compacted_chunks(), 0, "median needs its raw values");
+        let exact = w.value_of("a").unwrap();
+        assert!((1.0..=3.0).contains(&exact));
+        // With the sketch tier on, the same window compacts.
+        let mut ws = compacting_window("median", 10, 1, true);
+        for _ in 0..5 {
+            ws.push_chunk(chunk(&[("a", 1.0), ("a", 3.0)])).unwrap();
+        }
+        assert_eq!(ws.n_compacted_chunks(), 4);
+        let got = ws.value_of("a").unwrap();
+        assert!((0.9..=3.1).contains(&got), "sketched median {got}");
+    }
+
+    #[test]
+    fn heavy_groups_tracks_dominant_keys() {
+        let mut w = window("sum", 4);
+        for _ in 0..10 {
+            w.push_chunk(chunk(&[("big", 1.0), ("big", 1.0), ("small", 1.0)])).unwrap();
+        }
+        let hh = w.heavy_groups(1);
+        assert_eq!(hh.len(), 1);
+        assert_eq!(hh[0].key, "big");
+        assert_eq!(hh[0].count, 20);
     }
 }

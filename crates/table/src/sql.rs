@@ -197,11 +197,28 @@ impl Parser {
     fn parse(&mut self) -> Result<ParsedQuery> {
         self.expect_kw("SELECT")?;
         // agg(attr) [, extra projections up to FROM are tolerated]
-        let agg_name = self.ident()?.to_ascii_lowercase();
+        let mut agg_name = self.ident()?.to_ascii_lowercase();
         if self.next() != Some(Tok::LParen) {
             return Err(self.err("expected `(` after aggregate name"));
         }
         let agg_attr = self.ident()?;
+        // Optional numeric parameter: `percentile(col, p)`, lowered to
+        // the registry spelling `percentile:<fraction>`. A parameter
+        // above 1 is read as a percent (`percentile(col, 90)` ≡ 0.9).
+        if self.peek() == Some(&Tok::Comma) {
+            self.next();
+            let p = match self.next() {
+                Some(Tok::Num(v)) => v,
+                other => {
+                    return Err(self.err(format!("expected numeric parameter, found {other:?}")))
+                }
+            };
+            if agg_name != "percentile" {
+                return Err(self.err(format!("`{agg_name}` does not take a parameter")));
+            }
+            let frac = if p > 1.0 { p / 100.0 } else { p };
+            agg_name = format!("percentile:{frac}");
+        }
         if self.next() != Some(Tok::RParen) {
             return Err(self.err("expected `)` after aggregate attribute"));
         }
@@ -367,6 +384,22 @@ mod tests {
             vec![Condition::InStr("st".into(), vec!["DC".into(), "NY".into()])]
         );
         assert_eq!(q.group_by, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn parses_percentile_parameter() {
+        let q = parse_query("SELECT percentile(lat, 0.9) FROM t GROUP BY day").unwrap();
+        assert_eq!(q.agg_name, "percentile:0.9");
+        assert_eq!(q.agg_attr, "lat");
+        // A parameter above 1 reads as a percent.
+        let q = parse_query("SELECT percentile(lat, 90) FROM t GROUP BY day").unwrap();
+        assert_eq!(q.agg_name, "percentile:0.9");
+        // Shorthand names need no parameter and pass through untouched.
+        let q = parse_query("SELECT p99(lat) FROM t GROUP BY day").unwrap();
+        assert_eq!(q.agg_name, "p99");
+        // Only percentile takes a parameter.
+        assert!(parse_query("SELECT avg(lat, 0.5) FROM t GROUP BY day").is_err());
+        assert!(parse_query("SELECT percentile(lat, x) FROM t GROUP BY day").is_err());
     }
 
     #[test]

@@ -40,6 +40,23 @@ impl Table {
         self.schema.index_of(name)
     }
 
+    /// Approximate resident bytes of the columnar payload: 8 per `f64`
+    /// cell, 4 per dictionary code, plus the interned dictionary
+    /// strings. A monitoring gauge, not an allocator-exact measure.
+    pub fn approx_bytes(&self) -> u64 {
+        self.columns
+            .iter()
+            .map(|c| match c {
+                Column::Num(v) => 8 * v.len() as u64,
+                Column::Cat(c) => {
+                    let dict: u64 =
+                        (0..c.cardinality() as u32).map(|i| c.value_of(i).len() as u64 + 24).sum();
+                    4 * c.codes().len() as u64 + dict
+                }
+            })
+            .sum()
+    }
+
     /// The column at attribute index `i`.
     pub fn column(&self, i: usize) -> Result<&Column> {
         self.columns

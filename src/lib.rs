@@ -59,7 +59,8 @@
 //! |-------|----------|
 //! | [`obs`] | Dependency-free observability: phase timings, log-scale histograms, span recorder, Prometheus text |
 //! | [`table`] | Columnar relational substrate, predicates, group-by + provenance |
-//! | [`agg`] | Aggregate-property framework (§5) |
+//! | [`agg`] | Aggregate-property framework (§5) + sketch-tier operators |
+//! | [`sketch`] | Probabilistic sketches: retractable quantiles, HLL++, SpaceSaving |
 //! | [`core`] | Scorer + influence cache, `Explainer` engines (NAIVE/DT/MC), Merger, builder + sessions (§3–§7) |
 //! | [`data`] | SYNTH / INTEL / EXPENSE workload generators + streaming sensor feed (§8.1) |
 //! | [`stream`] | Continuous sliding-window engine: mergeable partials, auto-labeling, warm re-explanation |
@@ -74,14 +75,15 @@ pub use scorpion_data as data;
 pub use scorpion_eval as eval;
 pub use scorpion_obs as obs;
 pub use scorpion_server as server;
+pub use scorpion_sketch as sketch;
 pub use scorpion_stream as stream;
 pub use scorpion_table as table;
 
 /// The most common imports, re-exported flat.
 pub mod prelude {
     pub use scorpion_agg::{
-        aggregate_by_name, AggState, Aggregate, Avg, Count, IncrementalAggregate, Max, Median, Min,
-        StdDev, Sum, Variance,
+        aggregate_by_name, AggState, Aggregate, Avg, Count, CountDistinct, IncrementalAggregate,
+        Max, Median, Min, Percentile, SketchAggregate, StdDev, Sum, Variance,
     };
     pub use scorpion_core::features::{rank_attributes, select_attributes};
     pub use scorpion_core::session::ScorpionSession;
@@ -90,6 +92,9 @@ pub mod prelude {
         Explainer, Explanation, GroupSpec, InfluenceCache, InfluenceParams, LabeledQuery, McConfig,
         McEngine, MergerConfig, NaiveConfig, NaiveEngine, PreparedPlan, PreparedQuery,
         RequestBuilder, ScoredPredicate, Scorer, Scorpion, ScorpionConfig, ScorpionError,
+    };
+    pub use scorpion_sketch::{
+        ErrorBound, HyperLogLog, QuantileSketch, SketchPartial, SpaceSaving,
     };
     pub use scorpion_table::{
         aggregate_groups, bin_edges, domains_of, group_by, AttrDomain, AttrType, Clause,
