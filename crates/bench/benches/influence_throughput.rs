@@ -53,6 +53,11 @@ fn score_batch(s: &Scorer<'_>, preds: &[Predicate]) -> f64 {
 }
 
 fn bench_influence(c: &mut Criterion) {
+    // The flight recorder is on for the whole run: the acceptance bar is
+    // that the hot path stays within noise of a recorder-less build
+    // (scoring never touches the ring; there is nothing on this path to
+    // slow down, and this keeps the bench honest about it).
+    scorpion_obs::telemetry().enable();
     let fx = BenchSynth::easy(2, TUPLES_PER_GROUP);
     let preds = level_candidates(&fx);
     let mut g = c.benchmark_group("influence_throughput");

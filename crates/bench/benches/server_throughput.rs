@@ -44,8 +44,12 @@ fn explain_body(c: f64) -> Json {
 }
 
 fn explain_rps(criterion: &mut Criterion) {
+    // Default config enables the flight recorder (4096-event ring), so
+    // every measured request pays the full telemetry path: event
+    // assembly plus a ring write after the response bytes are flushed.
     let server = Server::bind(&ServerConfig { port: 0, workers: 4, ..ServerConfig::default() })
         .expect("bind");
+    assert!(scorpion_obs::telemetry().enabled(), "bench must measure the recorder-on path");
     let state = server.state();
     let table = Arc::new(planted(300));
     state.registry.insert("planted", table.clone());

@@ -11,6 +11,7 @@
 //!   metric name and a finite-or-`+Inf`/`NaN` float value;
 //! * every `# TYPE` line names a known type and precedes the family's
 //!   samples;
+//! * every family with samples has a non-empty `# HELP` line;
 //! * counters (`*_total` or `TYPE counter`) are non-negative;
 //! * histograms: per label set, `_bucket` counts are cumulative in
 //!   `le` order, end with `le="+Inf"`, the `+Inf` bucket equals
@@ -19,7 +20,7 @@
 //! Exits 0 with a one-line summary on success, 1 with a diagnostic on
 //! the first violation.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::Read;
 use std::process::exit;
 
@@ -90,6 +91,8 @@ fn main() {
     }
 
     let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut helps: BTreeSet<String> = BTreeSet::new();
+    let mut emitted: BTreeSet<String> = BTreeSet::new();
     // histogram family -> series labels -> (le, count) in document order.
     let mut buckets: BTreeMap<(String, String), Vec<(String, f64)>> = BTreeMap::new();
     let mut counts: BTreeMap<(String, String), f64> = BTreeMap::new();
@@ -100,6 +103,21 @@ fn main() {
         let line_no = i + 1;
         let line = line.trim_end();
         if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let Some(name) = rest.split_ascii_whitespace().next() else {
+                fail(line_no, "malformed HELP line");
+            };
+            if !valid_metric_name(name) {
+                fail(line_no, &format!("bad metric name in HELP: `{name}`"));
+            }
+            if rest[name.len()..].trim().is_empty() {
+                fail(line_no, &format!("HELP for `{name}` has no text"));
+            }
+            if !helps.insert(name.to_owned()) {
+                fail(line_no, &format!("duplicate HELP for `{name}`"));
+            }
             continue;
         }
         if let Some(rest) = line.strip_prefix("# TYPE ") {
@@ -139,6 +157,7 @@ fn main() {
         if declared.is_none() {
             fail(line_no, &format!("sample for `{name}` precedes its TYPE line"));
         }
+        emitted.insert(family.to_owned());
         if declared == Some("counter") && value < 0.0 {
             fail(line_no, &format!("counter `{name}` is negative: {value}"));
         }
@@ -193,6 +212,13 @@ fn main() {
         }
         if !sums.contains_key(&(family.clone(), series.clone())) {
             at("missing _sum series");
+        }
+    }
+
+    for family in &emitted {
+        if !helps.contains(family) {
+            eprintln!("promcheck: family `{family}` has samples but no # HELP line");
+            exit(1);
         }
     }
 

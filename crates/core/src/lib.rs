@@ -42,6 +42,7 @@ pub mod request;
 mod result;
 mod scorer;
 pub mod session;
+pub mod telemetry;
 
 pub use api::{explain, resolve_algorithm, LabeledQuery};
 pub use config::{
@@ -57,3 +58,6 @@ pub use result::{Diagnostics, Explanation, GroupStat, PartitionStats, ScoredPred
 pub use scorer::{resolve_threads, GroupSpec, InfluenceCache, Scorer};
 pub use scorpion_obs::PhaseTiming;
 pub use session::ScorpionSession;
+pub use telemetry::{
+    apply_diagnostics, events_to_table, table_csv, telemetry_table_from_csv, TelemetryTable,
+};

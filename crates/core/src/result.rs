@@ -51,6 +51,11 @@ impl ScoredPredicate {
 pub struct Diagnostics {
     /// Which algorithm produced the result (`"naive"`, `"dt"`, `"mc"`).
     pub algorithm: &'static str,
+    /// Process-wide trace id of the producing request/run/slide (0 when
+    /// the surface did not assign one). The same id appears in the
+    /// server's `x-scorpion-trace-id` response header and in the flight
+    /// recorder's event for this run.
+    pub trace_id: u64,
     /// Wall-clock runtime of the search.
     pub runtime: Duration,
     /// Number of Scorer influence evaluations (cache hits excluded).

@@ -16,6 +16,10 @@
 //! - [`chrome_trace_json`] and [`PromText`]: export completed spans as
 //!   Chrome `chrome://tracing` JSON, and counters/gauges/histograms as
 //!   Prometheus text exposition.
+//! - [`Telemetry`] / [`telemetry`]: the flight recorder — a bounded
+//!   ring of per-request [`TelemetryEvent`]s (one per server request,
+//!   CLI run, or continuous-session slide) that the engine can later
+//!   explain like any other relation.
 
 #![warn(missing_docs)]
 
@@ -23,12 +27,16 @@ mod histogram;
 mod phase;
 mod prom;
 mod recorder;
+mod telemetry;
 mod trace;
 
 pub use histogram::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, NUM_BUCKETS};
 pub use phase::{merge_phases, PhaseTiming, Phases};
 pub use prom::PromText;
 pub use recorder::{recorder, Recorder, Span, SpanGuard};
+pub use telemetry::{
+    next_trace_id, telemetry, CacheHit, Telemetry, TelemetryEvent, DEFAULT_TELEMETRY_EVENTS,
+};
 pub use trace::{chrome_trace_json, write_chrome_trace};
 
 /// Opens a named span scope on the global [`Recorder`], returning the

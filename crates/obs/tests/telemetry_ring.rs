@@ -1,0 +1,43 @@
+//! Flight-recorder ring laws under concurrency.
+//!
+//! This lives in its own integration-test binary (own process) because
+//! the telemetry ring is process-global state.
+
+use scorpion_obs::{telemetry, TelemetryEvent};
+
+/// Capacity is fixed by the first enable in this process.
+const CAP: usize = 256;
+
+#[test]
+fn ring_never_exceeds_bound_under_concurrent_writers() {
+    telemetry().enable_with_capacity(CAP);
+    assert_eq!(telemetry().capacity(), CAP);
+
+    const WRITERS: usize = 8;
+    const PER_WRITER: usize = 2_000;
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            s.spawn(move || {
+                for i in 0..PER_WRITER {
+                    let mut e = TelemetryEvent::blank((w * PER_WRITER + i) as u64, "stress");
+                    e.total_us = i as u64;
+                    telemetry().record(e);
+                }
+            });
+        }
+    });
+
+    assert_eq!(telemetry().recorded(), (WRITERS * PER_WRITER) as u64);
+    let snap = telemetry().snapshot();
+    assert_eq!(snap.len(), CAP, "post-wrap snapshot is exactly the ring bound");
+
+    // Quiescent now: every resident event must be one that was written,
+    // and recording more keeps the bound.
+    for e in &snap {
+        assert_eq!(e.endpoint, "stress");
+    }
+    for i in 0..CAP * 2 {
+        telemetry().record(TelemetryEvent::blank(i as u64, "again"));
+    }
+    assert_eq!(telemetry().snapshot().len(), CAP);
+}

@@ -35,6 +35,15 @@ impl Request {
         self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
     }
 
+    /// Value of query parameter `name` (`""` for a bare flag). No
+    /// percent-decoding — the service's parameters are plain tokens.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.as_deref()?.split('&').find_map(|kv| {
+            let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+            (k == name).then_some(v)
+        })
+    }
+
     /// True when the client asked to keep the connection open
     /// (HTTP/1.1 defaults to keep-alive).
     pub fn keep_alive(&self) -> bool {
@@ -232,6 +241,8 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/stats");
         assert_eq!(req.query.as_deref(), Some("verbose=1"));
+        assert_eq!(req.query_param("verbose"), Some("1"));
+        assert_eq!(req.query_param("missing"), None);
         assert_eq!(req.header("host"), Some("x"));
         assert!(req.keep_alive());
         assert!(req.body.is_empty());

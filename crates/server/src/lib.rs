@@ -25,9 +25,11 @@
 //!   and JSON codec (no crates.io access in this build).
 //!
 //! Endpoints: `POST /explain`, `GET`/`POST /tables`, `GET /healthz`,
-//! `GET /stats`, `GET /metrics` (Prometheus text exposition). Every
-//! response carries an `x-scorpion-trace-id` header. Run it via the
-//! binary:
+//! `GET /stats`, `GET /metrics` (Prometheus text exposition), and the
+//! self-observation pair `GET /debug/telemetry` (the flight-recorder
+//! ring as JSON or CSV) / `GET /debug/slow` (the engine explaining the
+//! service's own latency outliers — see [`debug`]). Every response
+//! carries an `x-scorpion-trace-id` header. Run it via the binary:
 //!
 //! ```text
 //! scorpion serve --csv readings=readings.csv --port 7070 --workers 8
@@ -46,6 +48,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod debug;
 pub mod http;
 pub mod json;
 pub mod pool;
@@ -55,9 +58,12 @@ pub mod server;
 pub mod stats;
 
 pub use cache::{normalize_sql, PlanCache, PlanCacheStats, PlanEntry, PlanKey};
+pub use debug::audit_json;
 pub use json::{Json, JsonError};
 pub use pool::{PoolGauges, SubmitError, WorkerPool};
 pub use registry::{TableEntry, TableRegistry};
 pub use render::{diagnostics_json, explanations_json, num_or_null};
-pub use server::{dispatch, Server, ServerConfig, ServerHandle, ServerState, TRACE_ID_HEADER};
+pub use server::{
+    dispatch, dispatch_recorded, Server, ServerConfig, ServerHandle, ServerState, TRACE_ID_HEADER,
+};
 pub use stats::{Endpoint, EndpointMetrics, ServerStats};

@@ -49,6 +49,7 @@ pub fn diagnostics_json(d: &Diagnostics) -> Json {
         })
         .collect();
     Json::obj([
+        ("trace_id", Json::from(d.trace_id)),
         ("runtime_ms", Json::from(d.runtime.as_secs_f64() * 1000.0)),
         ("scorer_calls", Json::from(d.scorer_calls)),
         ("cache_hits", Json::from(d.cache_hits)),
@@ -89,6 +90,7 @@ mod tests {
     fn diagnostics_encode_cleanly() {
         let d = Diagnostics {
             algorithm: "dt",
+            trace_id: 42,
             scorer_calls: 7,
             mask_cache_hits: 3,
             mask_cache_entries: 2,
@@ -100,6 +102,7 @@ mod tests {
             ..Diagnostics::default()
         };
         let j = diagnostics_json(&d);
+        assert_eq!(j.get("trace_id").and_then(Json::as_f64), Some(42.0));
         assert_eq!(j.get("scorer_calls").and_then(Json::as_f64), Some(7.0));
         assert_eq!(j.get("mask_cache_hits").and_then(Json::as_f64), Some(3.0));
         assert_eq!(j.get("mask_cache_entries").and_then(Json::as_f64), Some(2.0));

@@ -8,7 +8,7 @@ use crate::registry::{TableEntry, TableRegistry};
 use crate::render::{diagnostics_json, explanations_json, num_or_null};
 use crate::stats::{Endpoint, ServerStats};
 use scorpion_core::{Algorithm, DtConfig, InfluenceParams, McConfig, NaiveConfig, ScorpionSession};
-use scorpion_obs::PromText;
+use scorpion_obs::{CacheHit, PromText, TelemetryEvent};
 use std::io::{BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -40,6 +40,13 @@ pub struct ServerConfig {
     pub influence_cache_entries: usize,
     /// Write one access-log line per request to stderr.
     pub access_log: bool,
+    /// Requests at or above this many milliseconds get an access-log
+    /// line with a `slow` marker and the top-3 phases inline — emitted
+    /// even when the full access log is off.
+    pub slow_ms: Option<u64>,
+    /// Flight-recorder ring capacity in events (`0` leaves the recorder
+    /// off). The first enable in the process fixes the capacity.
+    pub telemetry_events: usize,
     /// When set, enable the span recorder and dump a Chrome-trace JSON
     /// file per `/explain` request into this directory.
     pub trace_dir: Option<PathBuf>,
@@ -55,6 +62,8 @@ impl Default for ServerConfig {
             plan_cache_entries: 0,
             influence_cache_entries: 0,
             access_log: false,
+            slow_ms: None,
+            telemetry_events: scorpion_obs::DEFAULT_TELEMETRY_EVENTS,
             trace_dir: None,
         }
     }
@@ -71,6 +80,7 @@ pub struct ServerState {
     pub stats: ServerStats,
     influence_cache_entries: usize,
     access_log: bool,
+    slow_ms: Option<u64>,
     trace_dir: Option<PathBuf>,
     pool: std::sync::OnceLock<PoolGauges>,
 }
@@ -84,6 +94,7 @@ impl ServerState {
             stats: ServerStats::new(),
             influence_cache_entries,
             access_log: false,
+            slow_ms: None,
             trace_dir: None,
             pool: std::sync::OnceLock::new(),
         }
@@ -97,6 +108,14 @@ impl ServerState {
             scorpion_obs::recorder().enable();
         }
         self.trace_dir = trace_dir;
+        self
+    }
+
+    /// Sets the slow-request threshold: requests at or above `slow_ms`
+    /// milliseconds are logged (with their phase breakdown) even when
+    /// the full access log is off.
+    pub fn with_slow_ms(mut self, slow_ms: Option<u64>) -> Self {
+        self.slow_ms = slow_ms;
         self
     }
 
@@ -130,9 +149,13 @@ impl Server {
         if let Some(dir) = &cfg.trace_dir {
             std::fs::create_dir_all(dir)?;
         }
+        if cfg.telemetry_events > 0 {
+            scorpion_obs::telemetry().enable_with_capacity(cfg.telemetry_events);
+        }
         let state = Arc::new(
             ServerState::new(cfg.plan_cache_entries, cfg.influence_cache_entries)
-                .with_observability(cfg.access_log, cfg.trace_dir.clone()),
+                .with_observability(cfg.access_log, cfg.trace_dir.clone())
+                .with_slow_ms(cfg.slow_ms),
         );
         let _ = state.pool.set(pool.gauges());
         Ok(Server { listener, state, pool, stop: Arc::new(AtomicBool::new(false)) })
@@ -191,9 +214,10 @@ impl Server {
             let state = self.state.clone();
             let submitted = self.pool.try_submit({
                 let stream = stream.try_clone();
+                let queued_at = Instant::now();
                 move || {
                     if let Ok(stream) = stream {
-                        handle_connection(stream, &state);
+                        handle_connection(stream, &state, queued_at.elapsed());
                     }
                 }
             });
@@ -260,10 +284,13 @@ impl Drop for ServerHandle {
     }
 }
 
-fn handle_connection(stream: TcpStream, state: &ServerState) {
+fn handle_connection(stream: TcpStream, state: &ServerState, queue_wait: Duration) {
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
+    // The pool queue is waited in once per connection, before the first
+    // request; keep-alive follow-ups run on the already-pinned worker.
+    let mut queue_wait_us = queue_wait.as_micros() as u64;
     loop {
         let outcome = match read_request(&mut reader) {
             Ok(o) => o,
@@ -286,13 +313,22 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
             ReadOutcome::Request(req) => {
                 let keep_alive = req.keep_alive();
                 let started = Instant::now();
-                let (endpoint, resp) = dispatch(&req, state);
+                let (endpoint, resp, event) = dispatch_recorded(&req, state, queue_wait_us);
+                queue_wait_us = 0;
                 let elapsed = started.elapsed();
                 state.stats.record(endpoint, resp.status, elapsed);
-                if state.access_log {
-                    access_log_line(&req, &resp, elapsed);
+                let slow = state.slow_ms.is_some_and(|ms| elapsed >= Duration::from_millis(ms));
+                if state.access_log || slow {
+                    access_log_line(&req, &resp, elapsed, slow, event.as_ref());
                 }
-                if resp.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+                let write_failed = resp.write_to(&mut writer, keep_alive).is_err();
+                // The ring write happens after the response bytes are on
+                // the wire — recording stays off the latency-critical
+                // path.
+                if let Some(event) = event {
+                    scorpion_obs::telemetry().record(event);
+                }
+                if write_failed || !keep_alive {
                     return;
                 }
             }
@@ -301,18 +337,25 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
 }
 
 /// One stderr line per handled request: `method path status duration_ms
-/// trace_id`. Write errors (e.g. a closed stderr pipe) are swallowed —
-/// logging must never take the service down.
-fn access_log_line(req: &Request, resp: &Response, elapsed: Duration) {
+/// trace_id`. Requests over the `--slow-ms` threshold get a ` slow`
+/// marker plus their top-3 phases by elapsed time inline, so a single
+/// grep of the log explains *where* a slow request spent its time.
+/// Write errors (e.g. a closed stderr pipe) are swallowed — logging
+/// must never take the service down.
+fn access_log_line(
+    req: &Request,
+    resp: &Response,
+    elapsed: Duration,
+    slow: bool,
+    event: Option<&TelemetryEvent>,
+) {
     let trace_id = resp
         .headers
         .iter()
         .find(|(n, _)| n == TRACE_ID_HEADER)
         .map(|(_, v)| v.as_str())
         .unwrap_or("-");
-    let mut err = std::io::stderr().lock();
-    let _ = writeln!(
-        err,
+    let mut line = format!(
         "{} {} {} {:.1}ms trace={}",
         req.method,
         req.path,
@@ -320,27 +363,86 @@ fn access_log_line(req: &Request, resp: &Response, elapsed: Duration) {
         elapsed.as_secs_f64() * 1000.0,
         trace_id,
     );
+    if slow {
+        line.push_str(" slow");
+        if let Some(top) = event.map(|e| e.top_phases(3)).filter(|t| !t.is_empty()) {
+            line.push_str(" phases=");
+            for (i, (name, us)) in top.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push_str(&format!("{name}:{:.1}ms", *us as f64 / 1000.0));
+            }
+        }
+    }
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(err, "{line}");
 }
 
 /// Routes one request. Public so embedders (and the bench's in-process
 /// mode) can exercise handlers without sockets. Every response carries
-/// an `x-scorpion-trace-id` header unique to this request.
+/// an `x-scorpion-trace-id` header unique to this request. When the
+/// flight recorder is on, the request's telemetry event is recorded
+/// before returning ([`dispatch_recorded`] lets the socket path defer
+/// that write until after the response is on the wire).
 pub fn dispatch(req: &Request, state: &ServerState) -> (Endpoint, Response) {
+    let (endpoint, resp, event) = dispatch_recorded(req, state, 0);
+    if let Some(event) = event {
+        scorpion_obs::telemetry().record(event);
+    }
+    (endpoint, resp)
+}
+
+/// Routes one request and assembles — but does not record — its
+/// flight-recorder event. The event is `Some` when the recorder is
+/// enabled or a slow-request threshold needs phase attribution; the
+/// caller owns the ring write, so it can happen off the
+/// response-latency critical path.
+pub fn dispatch_recorded(
+    req: &Request,
+    state: &ServerState,
+    queue_wait_us: u64,
+) -> (Endpoint, Response, Option<TelemetryEvent>) {
     let trace_id = state.stats.next_trace_id();
+    let want_event = scorpion_obs::telemetry().enabled() || state.slow_ms.is_some();
+    let started = Instant::now();
+    let mut explain_event = None;
     let (endpoint, mut resp) = match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (Endpoint::Healthz, handle_healthz(state)),
         ("GET", "/tables") => (Endpoint::Tables, handle_tables_get(state)),
         ("POST", "/tables") => (Endpoint::Tables, respond(handle_tables_post(req, state))),
-        ("POST", "/explain") => (Endpoint::Explain, respond(handle_explain(req, state, trace_id))),
+        ("POST", "/explain") => {
+            let resp = match handle_explain(req, state, trace_id) {
+                Ok((resp, event)) => {
+                    explain_event = event;
+                    resp
+                }
+                Err(resp) => resp,
+            };
+            (Endpoint::Explain, resp)
+        }
         ("GET", "/stats") => (Endpoint::Stats, handle_stats(state)),
         ("GET", "/metrics") => (Endpoint::Metrics, handle_metrics(state)),
-        (_, "/healthz" | "/tables" | "/explain" | "/stats" | "/metrics") => {
-            (Endpoint::Other, error_response(405, "method not allowed"))
-        }
+        ("GET", "/debug/telemetry") => (Endpoint::Debug, crate::debug::handle_telemetry(req)),
+        ("GET", "/debug/slow") => (Endpoint::Debug, crate::debug::handle_slow(req)),
+        (
+            _,
+            "/healthz" | "/tables" | "/explain" | "/stats" | "/metrics" | "/debug/telemetry"
+            | "/debug/slow",
+        ) => (Endpoint::Other, error_response(405, "method not allowed")),
         _ => (Endpoint::Other, error_response(404, "no such endpoint")),
     };
     resp.headers.push((TRACE_ID_HEADER.to_owned(), trace_id.to_string()));
-    (endpoint, resp)
+    let event = want_event.then(|| {
+        let mut event =
+            explain_event.unwrap_or_else(|| TelemetryEvent::blank(trace_id, endpoint.label()));
+        event.trace_id = trace_id;
+        event.status = resp.status;
+        event.queue_wait_us = queue_wait_us;
+        event.total_us = started.elapsed().as_micros() as u64;
+        event
+    });
+    (endpoint, resp, event)
 }
 
 fn respond(r: Result<Response, Response>) -> Response {
@@ -547,7 +649,15 @@ fn parse_algorithm(name: &str) -> Result<Algorithm, Response> {
     })
 }
 
-fn handle_explain(req: &Request, state: &ServerState, trace_id: u64) -> Result<Response, Response> {
+/// `POST /explain`: runs (or re-scores) the plan and renders the
+/// explanation. Also assembles the request's flight-recorder event —
+/// the one handler whose event carries engine facts (algorithm, cache
+/// observations, phase attribution) beyond the surface dimensions.
+fn handle_explain(
+    req: &Request,
+    state: &ServerState,
+    trace_id: u64,
+) -> Result<(Response, Option<TelemetryEvent>), Response> {
     let body = parse_body(req)?;
     let sql = body
         .get("sql")
@@ -586,10 +696,13 @@ fn handle_explain(req: &Request, state: &ServerState, trace_id: u64) -> Result<R
     };
     let (plan, hit) = state.plans.get_or_create(&key, build)?;
 
-    let explanation = plan
+    let mut explanation = plan
         .session
         .run(InfluenceParams { lambda, c })
         .map_err(|e| error_response(500, &format!("explanation failed: {e}")))?;
+    // The body's diagnostics carry the same id as the response header
+    // and the flight-recorder event.
+    explanation.diagnostics.trace_id = trace_id;
 
     let table = plan.session.request().table();
     let outlier_idx: Vec<usize> =
@@ -620,7 +733,17 @@ fn handle_explain(req: &Request, state: &ServerState, trace_id: u64) -> Result<R
     if let Some(dir) = &state.trace_dir {
         dump_trace(dir, trace_id);
     }
-    Ok(ok_json(&Json::obj([
+    let event = (scorpion_obs::telemetry().enabled() || state.slow_ms.is_some()).then(|| {
+        let mut event = TelemetryEvent::blank(trace_id, "explain");
+        event.table = table_name.clone();
+        event.generation = entry.generation;
+        event.aggregate = plan.session.request().aggregate().name().to_owned();
+        event.plan_cache = CacheHit::from_flag(hit);
+        event.rows_scanned = table.len() as u64;
+        event.predicates = explanation.predicates.len() as u64;
+        scorpion_core::apply_diagnostics(event, d)
+    });
+    let resp = ok_json(&Json::obj([
         ("table", Json::from(table_name)),
         ("generation", Json::from(entry.generation)),
         ("algorithm", Json::from(d.algorithm)),
@@ -631,7 +754,8 @@ fn handle_explain(req: &Request, state: &ServerState, trace_id: u64) -> Result<R
         ("results", Json::Arr(results)),
         ("explanations", explanations),
         ("diagnostics", diagnostics_json(d)),
-    ])))
+    ]));
+    Ok((resp, event))
 }
 
 /// Drains the global span recorder and writes `explain-<id>.json` in

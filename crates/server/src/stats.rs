@@ -18,16 +18,27 @@ pub enum Endpoint {
     Stats,
     /// `GET /metrics`.
     Metrics,
+    /// `GET /debug/telemetry` and `GET /debug/slow`.
+    Debug,
     /// Anything else (404s, bad methods, malformed requests).
     Other,
 }
 
-const ENDPOINTS: [(Endpoint, &str); 6] = [
+impl Endpoint {
+    /// The label used for stats, metrics, and the flight recorder's
+    /// `endpoint` dimension.
+    pub fn label(self) -> &'static str {
+        ENDPOINTS.iter().find(|(e, _)| *e == self).expect("known endpoint").1
+    }
+}
+
+const ENDPOINTS: [(Endpoint, &str); 7] = [
     (Endpoint::Healthz, "healthz"),
     (Endpoint::Tables, "tables"),
     (Endpoint::Explain, "explain"),
     (Endpoint::Stats, "stats"),
     (Endpoint::Metrics, "metrics"),
+    (Endpoint::Debug, "debug"),
     (Endpoint::Other, "other"),
 ];
 
@@ -78,10 +89,10 @@ pub struct EndpointMetrics {
 /// connection, load-shedding, and trace-id state.
 pub struct ServerStats {
     started: Instant,
-    endpoints: [EndpointStats; 6],
+    endpoints: [EndpointStats; 7],
     connections: AtomicU64,
     shed: AtomicU64,
-    next_trace_id: AtomicU64,
+    trace_ids_issued: AtomicU64,
 }
 
 impl Default for ServerStats {
@@ -91,7 +102,7 @@ impl Default for ServerStats {
             endpoints: Default::default(),
             connections: AtomicU64::new(0),
             shed: AtomicU64::new(0),
-            next_trace_id: AtomicU64::new(1),
+            trace_ids_issued: AtomicU64::new(0),
         }
     }
 }
@@ -113,14 +124,18 @@ impl ServerStats {
         self.endpoints[idx].record(status, elapsed);
     }
 
-    /// Issues the next request trace id (unique per server lifetime).
+    /// Issues the next request trace id from the process-wide sequence
+    /// ([`scorpion_obs::next_trace_id`]) — the CLI and continuous
+    /// sessions draw from the same counter, so a response header, an
+    /// access-log line, and a flight-recorder event all correlate by id.
     pub fn next_trace_id(&self) -> u64 {
-        self.next_trace_id.fetch_add(1, Ordering::Relaxed)
+        self.trace_ids_issued.fetch_add(1, Ordering::Relaxed);
+        scorpion_obs::next_trace_id()
     }
 
-    /// Trace ids issued so far.
+    /// Trace ids issued by *this* server so far.
     pub fn trace_ids_issued(&self) -> u64 {
-        self.next_trace_id.load(Ordering::Relaxed) - 1
+        self.trace_ids_issued.load(Ordering::Relaxed)
     }
 
     /// Counts an accepted connection.
@@ -199,6 +214,16 @@ mod tests {
         let b = s.next_trace_id();
         assert_ne!(a, b);
         assert_eq!(s.trace_ids_issued(), 2);
+    }
+
+    #[test]
+    fn debug_endpoint_is_tracked_and_labeled() {
+        assert_eq!(Endpoint::Debug.label(), "debug");
+        assert_eq!(Endpoint::Explain.label(), "explain");
+        let s = ServerStats::new();
+        s.record(Endpoint::Debug, 200, Duration::from_micros(10));
+        let j = s.endpoints_json();
+        assert_eq!(j.get("debug").unwrap().get("count").unwrap().as_f64(), Some(1.0));
     }
 
     #[test]

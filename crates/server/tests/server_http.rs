@@ -330,6 +330,11 @@ fn responses_carry_trace_ids() {
         Some(header_id),
         "body trace_id must echo the response header"
     );
+    assert_eq!(
+        body.get("diagnostics").and_then(|d| d.get("trace_id")).and_then(Json::as_f64),
+        Some(header_id),
+        "engine diagnostics must carry the x-scorpion-trace-id for correlation"
+    );
 
     // A second request gets a distinct id.
     let resp2 = c.post_raw("/explain", &explain_body("t", "dt", 0.2)).unwrap();
@@ -370,6 +375,63 @@ fn explain_diagnostics_attribute_phases_per_algorithm() {
             assert!(p.get("count").and_then(Json::as_f64).unwrap() >= 1.0);
         }
     }
+    handle.stop();
+}
+
+#[test]
+fn debug_endpoints_expose_the_flight_recorder() {
+    let handle = serve();
+    let mut c = client::Client::connect(handle.addr()).unwrap();
+    c.post("/tables", &table_body("t", 100)).unwrap();
+    let resp = c.post_raw("/explain", &explain_body("t", "dt", 0.5)).unwrap();
+    assert_eq!(resp.status, 200);
+    let trace_id = resp.header(scorpion_server::TRACE_ID_HEADER).unwrap().to_owned();
+
+    // The explain request's event is in the ring, correlatable by the
+    // trace id the response header carried.
+    let (status, telem) = c.get("/debug/telemetry").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(telem.get("enabled").and_then(Json::as_bool), Some(true));
+    assert!(telem.get("capacity").and_then(Json::as_f64).unwrap() >= 1.0);
+    let events = telem.get("events").and_then(Json::as_array).unwrap();
+    let key = format!("t{trace_id}");
+    let event = events
+        .iter()
+        .find(|e| e.get("req").and_then(Json::as_str) == Some(key.as_str()))
+        .unwrap_or_else(|| panic!("no event for trace {trace_id}"));
+    assert_eq!(event.get("endpoint").and_then(Json::as_str), Some("explain"));
+    assert_eq!(event.get("table").and_then(Json::as_str), Some("t"));
+    assert_eq!(event.get("algorithm").and_then(Json::as_str), Some("dt"));
+    assert_eq!(event.get("aggregate").and_then(Json::as_str), Some("avg"));
+    assert_eq!(event.get("plan_cache").and_then(Json::as_str), Some("miss"));
+    assert_eq!(event.get("status").and_then(Json::as_str), Some("200"));
+    assert!(event.get("latency_ms").and_then(Json::as_f64).unwrap() > 0.0);
+    assert!(event.get("rows_scanned").and_then(Json::as_f64).unwrap() > 0.0);
+
+    // The CSV rendering parses back into the same relation shape
+    // (`scorpion audit --telemetry-csv` reads exactly this dump).
+    let (status, csv) = c.get_text("/debug/telemetry?format=csv").unwrap();
+    assert_eq!(status, 200);
+    let table = scorpion_core::telemetry_table_from_csv(&csv).unwrap();
+    assert!(!table.is_empty());
+    assert!(table.attr("req").is_ok() && table.attr("latency_ms").is_ok());
+
+    // /debug/slow always answers — on quiet telemetry with an honest
+    // non-finding.
+    let (status, slow) = c.get("/debug/slow").unwrap();
+    assert_eq!(status, 200, "{slow:?}");
+    let outcome = slow.get("outcome").and_then(Json::as_str).unwrap();
+    assert!(
+        ["too_few_events", "no_outliers", "explained"].contains(&outcome),
+        "unexpected outcome {outcome}"
+    );
+    assert!(slow.get("events").and_then(Json::as_f64).unwrap() >= 1.0);
+
+    // Bad parameters are clean 400s; bad methods on /debug paths 405.
+    let (status, _) = c.get("/debug/slow?threshold=bogus").unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = c.post("/debug/slow", &Json::obj([("x", Json::from(1.0))])).unwrap();
+    assert_eq!(status, 405);
     handle.stop();
 }
 

@@ -38,11 +38,13 @@
 
 #![warn(missing_docs)]
 
+mod audit;
 mod detector;
 mod error;
 mod session;
 mod window;
 
+pub use audit::{explain_latency, Audit, AuditConfig, AuditOutcome, AuditReport};
 pub use detector::{Detection, DetectorConfig, OutlierDetector};
 pub use error::{Result, StreamError};
 pub use session::{ContinuousConfig, ContinuousSession, SessionStats, StreamExplanation};

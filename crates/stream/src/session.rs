@@ -256,12 +256,35 @@ impl ContinuousSession {
         let mut explanation = plan.run(&params)?;
         explanation.diagnostics.algorithm = "dt-stream";
         explanation.diagnostics.runtime = start.elapsed();
+        // Every slide draws from the same process-wide id sequence the
+        // server stamps into `x-scorpion-trace-id`, so a slide's flight
+        // recorder event is correlatable with HTTP-side telemetry.
+        explanation.diagnostics.trace_id = scorpion_obs::next_trace_id();
         // Window-maintenance attribution and residency gauges: drain the
         // window's accumulated `window.compact` time into this
         // explanation's phase table and report what the window holds.
         scorpion_obs::merge_phases(&mut explanation.diagnostics.phases, window.phases().take());
         explanation.diagnostics.resident_rows = window.resident_rows() as u64;
         explanation.diagnostics.resident_bytes = window.resident_bytes();
+
+        if scorpion_obs::telemetry().enabled() {
+            let mut event = scorpion_obs::TelemetryEvent::blank(
+                explanation.diagnostics.trace_id,
+                "stream.slide",
+            );
+            event.table = "window".to_owned();
+            event.generation = window.n_chunks() as u64;
+            event.aggregate = window.aggregate().name().to_owned();
+            // Plan-cache semantics on the stream path: was the prepared
+            // plan rebound (warm) or grown from scratch (cold)?
+            event.plan_cache = scorpion_obs::CacheHit::from_flag(warm);
+            event.rows_scanned = table.len() as u64;
+            event.predicates = explanation.predicates.len() as u64;
+            event.status = 200;
+            event.total_us = explanation.diagnostics.runtime.as_micros() as u64;
+            scorpion_obs::telemetry()
+                .record(scorpion_core::apply_diagnostics(event, &explanation.diagnostics));
+        }
 
         {
             let mut cache = self.cache.lock();
@@ -583,6 +606,34 @@ mod tests {
         // Logical series still spans every live chunk.
         let s = w.series();
         assert_eq!(s.iter().map(|g| g.rows).sum::<usize>(), 300 * rows_per_chunk);
+    }
+
+    #[test]
+    fn slides_carry_correlatable_trace_ids_and_record_telemetry() {
+        // The stream binary's only user of the process-global flight
+        // recorder; the audit tests build tables from literal events.
+        scorpion_obs::telemetry().enable();
+        let mut w = build_window(12, 8..10);
+        let s = session();
+        let cold = s.explain(&w).unwrap().expect("detection");
+        w.push_chunk(hour_chunk(12, false)).unwrap();
+        let warm = s.explain(&w).unwrap().expect("detection");
+        scorpion_obs::telemetry().disable();
+
+        let (id_cold, id_warm) =
+            (cold.explanation.diagnostics.trace_id, warm.explanation.diagnostics.trace_id);
+        assert!(id_cold > 0 && id_warm > id_cold, "ids are issued, distinct, and ordered");
+
+        let events = scorpion_obs::telemetry().snapshot();
+        let slide = |id| events.iter().find(|e| e.trace_id == id).expect("slide event recorded");
+        let (ev_cold, ev_warm) = (slide(id_cold), slide(id_warm));
+        assert_eq!(ev_cold.endpoint, "stream.slide");
+        assert_eq!(ev_cold.algorithm, "dt-stream");
+        assert_eq!(ev_cold.aggregate, "avg");
+        assert_eq!(ev_cold.plan_cache, scorpion_obs::CacheHit::Miss);
+        assert_eq!(ev_warm.plan_cache, scorpion_obs::CacheHit::Hit);
+        assert!(ev_cold.rows_scanned > 0 && ev_cold.predicates > 0);
+        assert!(ev_cold.resident_bytes > 0, "window residency flows into the event");
     }
 
     #[test]

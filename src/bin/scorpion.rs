@@ -20,8 +20,9 @@
 //! ```
 
 use scorpion::prelude::*;
-use scorpion::server::{diagnostics_json, explanations_json, num_or_null, Json};
+use scorpion::server::{audit_json, diagnostics_json, explanations_json, num_or_null, Json};
 use scorpion::server::{Server, ServerConfig};
+use scorpion::stream::{explain_latency, AuditConfig, AuditOutcome};
 use std::process::exit;
 
 /// `println!` that tolerates a closed pipe (`scorpion … | head`):
@@ -59,6 +60,7 @@ const HELP: &str = "usage: scorpion --csv FILE --sql QUERY [--outliers k1,k2,...
 [--holdouts k1,k2,...] [--direction high|low] [--c F] [--lambda F] [--top N] [--json] \
 [--verbose] [--trace FILE]\n\
        scorpion serve --csv NAME=FILE [--csv ...] [--port P] [--workers N] ...\n\
+       scorpion audit --telemetry-csv FILE [--threshold Z] [--top N] [--json]\n\
 \n\
 QUERY is a select-project-group-by query with one aggregate, e.g.\n\
 \"SELECT avg(temp) FROM readings WHERE sensor = 's3' GROUP BY hour\".\n\
@@ -70,13 +72,16 @@ prints a per-phase timing table to stderr (composes with --json).\n\
 --trace FILE writes a chrome://tracing span dump of the run.\n\
 \n\
 `scorpion serve` runs the explanation service (see `scorpion serve\n\
---help`). For continuous monitoring over a live feed, see the\n\
+--help`). `scorpion audit` runs the engine over its own request\n\
+telemetry (a `GET /debug/telemetry?format=csv` dump) and names the\n\
+request attributes that explain the latency outliers (see `scorpion\n\
+audit --help`). For continuous monitoring over a live feed, see the\n\
 scorpion-stream crate and `cargo run --release --example\n\
 streaming_monitor`.";
 
 const SERVE_HELP: &str = "usage: scorpion serve [--csv NAME=FILE]... [--port P] [--host H] \
 [--workers N] [--queue N] [--plan-cache N] [--influence-cache-entries N] [--access-log] \
-[--trace-dir DIR]\n\
+[--slow-ms MS] [--telemetry-events N] [--trace-dir DIR]\n\
 \n\
 Serves outlier explanations over HTTP/1.1 JSON:\n\
   POST /explain   {table, sql, outliers|auto_label, holdouts, lambda, c,\n\
@@ -87,6 +92,10 @@ Serves outlier explanations over HTTP/1.1 JSON:\n\
   GET  /stats     plan-cache hits, queue depth, per-endpoint latency\n\
   GET  /metrics   Prometheus text exposition (latency histograms,\n\
                   counters, build info)\n\
+  GET  /debug/telemetry   the flight-recorder ring (JSON; ?format=csv\n\
+                  is the dump `scorpion audit` reads)\n\
+  GET  /debug/slow        the engine explains the service's own latency\n\
+                  outliers [?threshold=Z] [?top=N]\n\
 \n\
 --csv NAME=FILE registers FILE under NAME at startup (bare FILE uses\n\
 the file stem). --port 0 picks an ephemeral port; the bound address is\n\
@@ -94,8 +103,25 @@ printed on stdout. --workers 0 (default) uses all cores. Repeated\n\
 /explain calls for the same query and labels at a new c reuse the\n\
 cached prepared plan (the paper's 8.3.3 cache, served warm).\n\
 --access-log prints one line per request to stderr (method, path,\n\
-status, duration, trace id). --trace-dir DIR dumps a chrome://tracing\n\
+status, duration, trace id). --slow-ms MS also logs any request at or\n\
+over MS milliseconds with its top-3 phases inline (works without\n\
+--access-log). --telemetry-events N sizes the flight-recorder ring\n\
+(default 4096; 0 disables it). --trace-dir DIR dumps a chrome://tracing\n\
 span file per /explain into DIR.";
+
+const AUDIT_HELP: &str = "usage: scorpion audit --telemetry-csv FILE [--threshold Z] [--top N] \
+[--json]\n\
+\n\
+Self-explain: runs the Scorpion engine over the service's own request\n\
+telemetry. FILE is a flight-recorder dump — save one with\n\
+  curl 'http://HOST:PORT/debug/telemetry?format=csv' > telemetry.csv\n\
+\n\
+The audit groups requests into arrival-order slices, aggregates\n\
+avg(latency_ms) per slice, flags slow slices with a median/MAD detector\n\
+(--threshold Z, default 3.5), and searches the request dimensions\n\
+(endpoint, algorithm, cache hits, ...) for the predicate whose deletion\n\
+best explains the spike — e.g. `algorithm in {naive} AND plan_cache in\n\
+{miss}`. --json emits the same document shape as GET /debug/slow.";
 
 /// Prints help, tolerating a closed pipe (`scorpion --help | head`):
 /// exiting 0 with truncated output beats a broken-pipe panic.
@@ -227,6 +253,10 @@ fn parse_serve_args(it: impl Iterator<Item = String>) -> ServeArgs {
                     num("--influence-cache-entries", val("--influence-cache-entries"))
             }
             "--access-log" => args.config.access_log = true,
+            "--slow-ms" => args.config.slow_ms = Some(num("--slow-ms", val("--slow-ms")) as u64),
+            "--telemetry-events" => {
+                args.config.telemetry_events = num("--telemetry-events", val("--telemetry-events"))
+            }
             "--trace-dir" => {
                 args.config.trace_dir = Some(std::path::PathBuf::from(val("--trace-dir")))
             }
@@ -291,6 +321,109 @@ fn serve_main(it: impl Iterator<Item = String>) -> ! {
     }
 }
 
+struct AuditArgs {
+    csv: String,
+    threshold: f64,
+    top: usize,
+    json: bool,
+}
+
+fn parse_audit_args(it: impl Iterator<Item = String>) -> AuditArgs {
+    let mut args = AuditArgs { csv: String::new(), threshold: 3.5, top: 3, json: false };
+    let mut it = it;
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage(AUDIT_HELP)
+            })
+        };
+        match flag.as_str() {
+            "--telemetry-csv" => args.csv = val("--telemetry-csv"),
+            "--threshold" => {
+                let v = val("--threshold");
+                args.threshold = v.parse().ok().filter(|z: &f64| *z > 0.0).unwrap_or_else(|| {
+                    eprintln!("bad --threshold `{v}` (expected a positive number)");
+                    usage(AUDIT_HELP)
+                })
+            }
+            "--top" => args.top = val("--top").parse().unwrap_or_else(|_| usage(AUDIT_HELP)),
+            "--json" => args.json = true,
+            "--help" | "-h" => help(AUDIT_HELP),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage(AUDIT_HELP)
+            }
+        }
+    }
+    if args.csv.is_empty() {
+        usage(AUDIT_HELP);
+    }
+    args
+}
+
+/// `scorpion audit`: the self-explain pipeline over an offline
+/// flight-recorder dump — the same [`explain_latency`] call behind
+/// `GET /debug/slow`, pointed at a CSV instead of the live ring.
+fn audit_main(it: impl Iterator<Item = String>) -> ! {
+    let args = parse_audit_args(it);
+    let text = match std::fs::read_to_string(&args.csv) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to read {}: {e}", args.csv);
+            exit(1)
+        }
+    };
+    let table = match scorpion::core::telemetry_table_from_csv(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("telemetry CSV rejected: {e}");
+            exit(1)
+        }
+    };
+    let cfg = AuditConfig { threshold: args.threshold, ..AuditConfig::default() };
+    let audit = match explain_latency(&table, &cfg) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("audit failed: {e}");
+            exit(1)
+        }
+    };
+
+    if args.json {
+        match audit_json(&audit, cfg.min_events, args.top).encode() {
+            Ok(text) => out!("{text}"),
+            Err(e) => {
+                eprintln!("JSON encoding failed: {e}");
+                exit(1)
+            }
+        }
+        exit(0)
+    }
+
+    out!("audited {} request events (threshold {})", audit.events, audit.threshold);
+    match &audit.outcome {
+        AuditOutcome::TooFewEvents => {
+            out!("too few events for a verdict (need at least {})", cfg.min_events);
+        }
+        AuditOutcome::NoOutliers { center_ms, scale_ms } => {
+            out!(
+                "latency is uniform: center {center_ms:.2}ms, scale {scale_ms:.2}ms — \
+                 no slow slices"
+            );
+        }
+        AuditOutcome::Explained(report) => {
+            out!("slow slices (center {:.2}ms, scale {:.2}ms):", report.center_ms, report.scale_ms);
+            for (key, ms) in &report.slow {
+                out!("  {key:<8} avg {ms:.2}ms");
+            }
+            out!("\nwhat explains the slow slices:");
+            outp!("{}", report.explanation.render(&report.table, args.top));
+        }
+    }
+    exit(0)
+}
+
 /// Prints the per-phase timing table from [`Diagnostics::phases`] to
 /// stderr (so it composes with `--json` on stdout). Phases nest —
 /// `prepare` contains `dt.*`, `run.score` contains `scorer.*` — so the
@@ -325,6 +458,10 @@ fn main() {
     if argv.peek().map(String::as_str) == Some("serve") {
         argv.next();
         serve_main(argv);
+    }
+    if argv.peek().map(String::as_str) == Some("audit") {
+        argv.next();
+        audit_main(argv);
     }
     let args = parse_args(argv);
     let table = match scorpion::table::csv::load_csv(std::path::Path::new(&args.csv)) {
@@ -395,13 +532,31 @@ fn main() {
     if args.trace.is_some() {
         scorpion::obs::recorder().enable();
     }
-    let ex = match request.explain() {
+    // Draw from the same process-wide trace-id sequence as the server
+    // and the stream sessions, so this run's diagnostics correlate.
+    let trace_id = scorpion::obs::next_trace_id();
+    let mut ex = match request.explain() {
         Ok(ex) => ex,
         Err(e) => {
             eprintln!("explanation failed: {e}");
             exit(1)
         }
     };
+    ex.diagnostics.trace_id = trace_id;
+    if scorpion::obs::telemetry().enabled() {
+        let mut event = scorpion::obs::TelemetryEvent::blank(trace_id, "cli.explain");
+        event.table = std::path::Path::new(&args.csv)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| args.csv.clone());
+        event.aggregate = request.aggregate().name().to_owned();
+        event.rows_scanned = request.table().len() as u64;
+        event.predicates = ex.predicates.len() as u64;
+        event.status = 200;
+        event.total_us = ex.diagnostics.runtime.as_micros() as u64;
+        scorpion::obs::telemetry()
+            .record(scorpion::core::apply_diagnostics(event, &ex.diagnostics));
+    }
     if let Some(path) = &args.trace {
         let spans = scorpion::obs::recorder().drain();
         match scorpion::obs::write_chrome_trace(std::path::Path::new(path), &spans) {

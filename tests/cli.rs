@@ -26,7 +26,14 @@ fn sample_csv_path(name: &str) -> std::path::PathBuf {
 
 #[test]
 fn help_exits_zero_with_usage() {
-    for args in [&["--help"][..], &["-h"][..], &["serve", "--help"][..], &["serve", "-h"][..]] {
+    for args in [
+        &["--help"][..],
+        &["-h"][..],
+        &["serve", "--help"][..],
+        &["serve", "-h"][..],
+        &["audit", "--help"][..],
+        &["audit", "-h"][..],
+    ] {
         let out = bin().args(args).output().unwrap();
         assert_eq!(out.status.code(), Some(0), "{args:?}");
         let text = String::from_utf8(out.stdout).unwrap();
@@ -34,9 +41,17 @@ fn help_exits_zero_with_usage() {
     }
     let serve_help = bin().args(["serve", "--help"]).output().unwrap();
     let text = String::from_utf8(serve_help.stdout).unwrap();
-    for endpoint in ["/explain", "/tables", "/healthz", "/stats"] {
+    for endpoint in ["/explain", "/tables", "/healthz", "/stats", "/debug/telemetry", "/debug/slow"]
+    {
         assert!(text.contains(endpoint), "serve help missing {endpoint}: {text}");
     }
+    for flag in ["--slow-ms", "--telemetry-events"] {
+        assert!(text.contains(flag), "serve help missing {flag}: {text}");
+    }
+    let audit_help = bin().args(["audit", "--help"]).output().unwrap();
+    let text = String::from_utf8(audit_help.stdout).unwrap();
+    assert!(text.contains("--telemetry-csv"), "{text}");
+    assert!(text.contains("/debug/telemetry"), "{text}");
 }
 
 /// `scorpion --help | head -1`: the pipe closes before the help text is
@@ -60,6 +75,8 @@ fn bad_invocations_exit_two() {
         &["--no-such-flag"][..],     // unknown flag
         &["serve", "--no-such"][..], // unknown serve flag
         &["--csv"][..],              // missing value
+        &["audit"][..],              // missing --telemetry-csv
+        &["audit", "--no-such"][..], // unknown audit flag
     ] {
         let out = bin().args(args).output().unwrap();
         assert_eq!(out.status.code(), Some(2), "{args:?}");
@@ -94,6 +111,14 @@ fn json_output_parses_and_ranks() {
         .and_then(|d| d.get("scorer_calls"))
         .and_then(Json::as_f64)
         .is_some());
+    // The one-shot path stamps a trace id from the same process-wide
+    // sequence the server uses, so offline runs correlate too.
+    let trace_id = doc
+        .get("diagnostics")
+        .and_then(|d| d.get("trace_id"))
+        .and_then(Json::as_f64)
+        .expect("diagnostics.trace_id in --json output");
+    assert!(trace_id >= 1.0, "{trace_id}");
     let phases = doc
         .get("diagnostics")
         .and_then(|d| d.get("phases"))
@@ -176,6 +201,55 @@ fn trace_flag_writes_chrome_trace() {
     }
 }
 
+/// `scorpion audit --telemetry-csv` over a planted dump: the slow
+/// (naive, plan-cache-miss) cell must surface in both the JSON document
+/// (the `/debug/slow` shape) and the human rendering.
+#[test]
+fn audit_subcommand_explains_telemetry_dump() {
+    use scorpion::obs::{CacheHit, TelemetryEvent};
+    let events: Vec<TelemetryEvent> = (0..64u64)
+        .map(|i| {
+            let slow = i >= 48 && i % 2 == 0;
+            let mut e = TelemetryEvent::blank(i + 1, "explain");
+            e.table = "sensors".into();
+            e.aggregate = "avg".into();
+            e.status = 200;
+            e.algorithm = if slow { "naive".into() } else { "dt".into() };
+            e.plan_cache = if slow { CacheHit::Miss } else { CacheHit::Hit };
+            e.total_us = if slow { 90_000 + i * 41 } else { 1_500 + i * 11 };
+            e
+        })
+        .collect();
+    let table = scorpion::core::events_to_table(&events).unwrap();
+    let dir = std::env::temp_dir().join("scorpion_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("audit_dump.csv");
+    std::fs::write(&path, scorpion::core::table_csv(&table).unwrap()).unwrap();
+
+    let out = bin()
+        .args(["audit", "--telemetry-csv", path.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let doc = Json::parse(std::str::from_utf8(&out.stdout).unwrap().trim()).unwrap();
+    assert_eq!(doc.get("outcome").and_then(Json::as_str), Some("explained"), "{doc:?}");
+    assert_eq!(doc.get("events").and_then(Json::as_f64), Some(64.0));
+    let predicate = doc
+        .get("explanations")
+        .and_then(Json::as_array)
+        .and_then(|a| a.first())
+        .and_then(|e| e.get("predicate"))
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("no predicate in {doc:?}"));
+    assert!(predicate.contains("naive") || predicate.contains("plan_cache"), "{predicate}");
+
+    let out = bin().args(["audit", "--telemetry-csv", path.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("slow slices"), "{text}");
+    assert!(text.contains("naive") || text.contains("plan_cache"), "{text}");
+}
+
 struct KillOnDrop(Child);
 
 impl Drop for KillOnDrop {
@@ -239,4 +313,68 @@ fn serve_subcommand_end_to_end() {
     let (status, resp) = c.post("/explain", &body).unwrap();
     assert_eq!(status, 200);
     assert_eq!(resp.get("plan_cache").and_then(Json::as_str), Some("hit"));
+}
+
+/// `--slow-ms 0` flags every request as slow: the stderr log line gets
+/// the ` slow` marker and an inline `phases=` breakdown even without
+/// `--access-log`.
+#[test]
+fn serve_slow_ms_logs_phase_breakdown() {
+    let csv = sample_csv_path("slow.csv");
+    let child = bin()
+        .args([
+            "serve",
+            "--csv",
+            &format!("planted={}", csv.display()),
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--slow-ms",
+            "0",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut child = KillOnDrop(child);
+    let mut line = String::new();
+    let mut stdout = child.0.stdout.take().unwrap();
+    let mut buf = [0u8; 1];
+    while stdout.read(&mut buf).unwrap() == 1 && buf[0] != b'\n' {
+        line.push(buf[0] as char);
+    }
+    let addr: std::net::SocketAddr = line
+        .split("http://")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in banner: {line:?}"))
+        .parse()
+        .unwrap();
+
+    let mut c = client::Client::connect(addr).unwrap();
+    let body = Json::obj([
+        ("table", Json::from("planted")),
+        ("sql", Json::from("SELECT avg(v) FROM planted GROUP BY g")),
+        ("outliers", Json::arr(["o"])),
+        ("holdouts", Json::arr(["h"])),
+    ]);
+    let (status, _) = c.post("/explain", &body).unwrap();
+    assert_eq!(status, 200);
+    drop(c);
+
+    // Kill the server, then drain its stderr.
+    let mut stderr = child.0.stderr.take().unwrap();
+    let _ = child.0.kill();
+    let _ = child.0.wait();
+    let mut log = String::new();
+    stderr.read_to_string(&mut log).unwrap();
+    let slow_line = log
+        .lines()
+        .find(|l| l.contains("POST /explain") && l.contains(" slow"))
+        .unwrap_or_else(|| panic!("no slow /explain line in stderr: {log}"));
+    assert!(slow_line.contains("trace="), "{slow_line}");
+    assert!(slow_line.contains("phases="), "{slow_line}");
+    // The breakdown names real engine phases with elapsed times.
+    assert!(slow_line.contains("ms"), "{slow_line}");
 }

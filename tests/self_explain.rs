@@ -1,0 +1,113 @@
+//! E2E self-explain: the service explains its own latency outliers.
+//!
+//! Latency is injected into one (endpoint, algorithm) cell — slow
+//! `explain` requests running the `naive` algorithm on a plan-cache
+//! miss, interleaved with fast `dt` hits — by recording events straight
+//! into the process-wide flight recorder (the test hook; the ring has
+//! no idea whether an event came from a socket). Then both surfaces
+//! must name the planted cell's attributes:
+//!
+//! * `GET /debug/slow` over the live ring, and
+//! * `scorpion audit --telemetry-csv` over the
+//!   `GET /debug/telemetry?format=csv` dump of the same ring.
+
+use scorpion::obs::{telemetry, CacheHit, TelemetryEvent};
+use scorpion::server::{client, Json, Server, ServerConfig};
+use std::process::Command;
+
+/// 64 requests: fast (dt, plan-cache hit, ~2ms) throughout, with a
+/// burst over the last two 8-event slices where every other request is
+/// the planted slow cell (naive, plan-cache miss, ~80ms).
+fn planted_events() -> Vec<TelemetryEvent> {
+    (0..64u64)
+        .map(|i| {
+            let slow = i >= 48 && i % 2 == 0;
+            let mut e = TelemetryEvent::blank(i + 1, "explain");
+            e.table = "sensors".into();
+            e.aggregate = "avg".into();
+            e.status = 200;
+            e.algorithm = if slow { "naive".into() } else { "dt".into() };
+            e.plan_cache = if slow { CacheHit::Miss } else { CacheHit::Hit };
+            // Jitter keeps the MAD non-degenerate.
+            e.total_us = if slow { 80_000 + i * 37 } else { 2_000 + i * 13 };
+            e.phases_us = vec![("run.score", e.total_us * 9 / 10)];
+            e
+        })
+        .collect()
+}
+
+fn best_predicate(doc: &Json) -> String {
+    assert_eq!(
+        doc.get("outcome").and_then(Json::as_str),
+        Some("explained"),
+        "expected an explanation: {doc:?}"
+    );
+    let slow = doc.get("slow_slices").and_then(Json::as_array).unwrap();
+    assert!(!slow.is_empty());
+    doc.get("explanations")
+        .and_then(Json::as_array)
+        .and_then(|a| a.first())
+        .and_then(|e| e.get("predicate"))
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("no ranked predicate in {doc:?}"))
+        .to_owned()
+}
+
+fn names_planted_cell(predicate: &str) {
+    assert!(
+        predicate.contains("naive") || predicate.contains("plan_cache"),
+        "top predicate must name the planted (algorithm=naive, plan_cache=miss) \
+         cell, got: {predicate}"
+    );
+}
+
+#[test]
+fn debug_slow_and_audit_name_the_injected_cell() {
+    let server = Server::bind(&ServerConfig { port: 0, workers: 2, ..ServerConfig::default() })
+        .expect("bind ephemeral port");
+    let handle = server.spawn().expect("spawn server");
+
+    // Inject the latency outliers into the flight recorder.
+    telemetry().clear();
+    for event in planted_events() {
+        telemetry().record(event);
+    }
+
+    let mut c = client::Client::connect(handle.addr()).unwrap();
+
+    // Dump the ring as CSV first, while it holds exactly the planted
+    // events (each /debug request appends its own event after its
+    // response is written).
+    let (status, csv) = c.get_text("/debug/telemetry?format=csv").unwrap();
+    assert_eq!(status, 200);
+    assert!(csv.lines().next().unwrap().contains("latency_ms"), "CSV header: {csv}");
+
+    // Surface 1: the live self-explain endpoint.
+    let (status, slow) = c.get("/debug/slow").unwrap();
+    assert_eq!(status, 200, "{slow:?}");
+    names_planted_cell(&best_predicate(&slow));
+
+    // Surface 2: `scorpion audit` over the offline dump.
+    let dir = std::env::temp_dir().join("scorpion_self_explain_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("telemetry.csv");
+    std::fs::write(&path, &csv).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_scorpion"))
+        .args(["audit", "--telemetry-csv", path.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let doc = Json::parse(std::str::from_utf8(&out.stdout).unwrap().trim()).unwrap();
+    names_planted_cell(&best_predicate(&doc));
+
+    // The human rendering names the cell too.
+    let out = Command::new(env!("CARGO_BIN_EXE_scorpion"))
+        .args(["audit", "--telemetry-csv", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("slow slices"), "{text}");
+    assert!(text.contains("naive") || text.contains("plan_cache"), "{text}");
+    handle.stop();
+}
