@@ -45,6 +45,20 @@ impl IncrementalAggregate for Sum {
     fn recover(&self, m: &AggState) -> f64 {
         m[0]
     }
+    fn state_from_count_sum(&self, _n: f64, sum: f64) -> Option<AggState> {
+        Some(AggState::new(&[sum]))
+    }
+    fn delta_from_count_sum(
+        &self,
+        full: &AggState,
+        full_value: f64,
+        _n: f64,
+        sum: f64,
+    ) -> Option<f64> {
+        // Bit-identical to the default composition, minus the two heap
+        // states: removed state is `[full[0] − sum]`.
+        Some(full_value - (full[0] - sum))
+    }
 }
 
 /// `COUNT(*)`. Incrementally removable with state `[n]`; independent;
@@ -87,6 +101,20 @@ impl IncrementalAggregate for Count {
     }
     fn recover(&self, m: &AggState) -> f64 {
         m[0]
+    }
+    fn state_from_count_sum(&self, n: f64, _sum: f64) -> Option<AggState> {
+        // COUNT ignores values entirely, so the interval collapses to a
+        // point: Δ is exact whenever `n` is.
+        Some(AggState::new(&[n]))
+    }
+    fn delta_from_count_sum(
+        &self,
+        full: &AggState,
+        full_value: f64,
+        n: f64,
+        _sum: f64,
+    ) -> Option<f64> {
+        Some(full_value - (full[0] - n))
     }
 }
 
@@ -137,6 +165,21 @@ impl IncrementalAggregate for Avg {
         } else {
             m[0] / m[1]
         }
+    }
+    fn state_from_count_sum(&self, n: f64, sum: f64) -> Option<AggState> {
+        Some(AggState::new(&[sum, n]))
+    }
+    fn delta_from_count_sum(
+        &self,
+        full: &AggState,
+        full_value: f64,
+        n: f64,
+        sum: f64,
+    ) -> Option<f64> {
+        // Mirrors `recover` on the removed state `[full[0]−sum, full[1]−n]`,
+        // including its empty-population convention.
+        let (rs, rn) = (full[0] - sum, full[1] - n);
+        Some(full_value - if rn.abs() < 0.5 { 0.0 } else { rs / rn })
     }
 }
 

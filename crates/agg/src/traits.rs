@@ -127,6 +127,43 @@ pub trait IncrementalAggregate: Aggregate {
 
     /// `recover(m)`: the aggregate value summarized by `m`.
     fn recover(&self, m: &AggState) -> f64;
+
+    /// The state of `n` removed tuples whose value-sum is `sum`, when
+    /// that pair fully determines the state (SUM → `[sum]`, COUNT →
+    /// `[n]`, AVG → `[sum, n]`).
+    ///
+    /// This is the hook the approximate influence search's closed-form
+    /// interval bounds rest on: if the removed subset's value-sum is
+    /// only known to lie in `[lo, hi]`, evaluating
+    /// `recover(remove(m_D, state_from_count_sum(n, ·)))` at both
+    /// endpoints brackets the true Δ, *provided* `recover` is monotone
+    /// in the sum component for fixed count — true for every aggregate
+    /// that implements this. Aggregates whose state needs more than
+    /// `(count, sum)` (e.g. STDDEV's sum of squares) return `None` and
+    /// fall back to exact scoring under approximate mode.
+    fn state_from_count_sum(&self, _n: f64, _sum: f64) -> Option<AggState> {
+        None
+    }
+
+    /// `Δ = recover(m_D) − recover(remove(m_D, state_from_count_sum(n, sum)))`
+    /// in one call, where `full_value` must equal `recover(full)`.
+    ///
+    /// Semantically identical to composing the three hooks, but the
+    /// approximate search's interval pass evaluates it three times per
+    /// candidate per group, so the arithmetic operators override the
+    /// default (which materializes two intermediate states on the heap)
+    /// with allocation-free closed forms. Returns `None` exactly when
+    /// [`IncrementalAggregate::state_from_count_sum`] does.
+    fn delta_from_count_sum(
+        &self,
+        full: &AggState,
+        full_value: f64,
+        n: f64,
+        sum: f64,
+    ) -> Option<f64> {
+        let sub = self.state_from_count_sum(n, sum)?;
+        Some(full_value - self.recover(&self.remove(full, &sub)))
+    }
 }
 
 #[cfg(test)]

@@ -37,7 +37,10 @@ impl BenchSynth {
         Self::from_config(SynthConfig::hard(dims).with_tuples_per_group(tuples_per_group))
     }
 
-    fn from_config(cfg: SynthConfig) -> Self {
+    /// Builds a fixture from an explicit [`SynthConfig`] (custom noise,
+    /// cube placement, or seed — e.g. the low-noise §8.3.2 variant the
+    /// approximate-mode benches use).
+    pub fn from_config(cfg: SynthConfig) -> Self {
         let ds = synth::generate(cfg);
         let grouping = group_by(&ds.table, &[ds.group_attr()]).expect("group by Ad");
         let domains = domains_of(&ds.table).expect("domains");

@@ -140,7 +140,11 @@ pub fn resolve_algorithm(q: &LabeledQuery<'_>, algo: &Algorithm) -> Result<Algor
 pub fn explain(q: &LabeledQuery<'_>, cfg: &ScorpionConfig) -> Result<Explanation> {
     q.validate()?;
     let start = Instant::now();
-    let scorer = q.scorer(cfg.params, cfg.force_blackbox)?;
+    let mut scorer = q.scorer(cfg.params, cfg.force_blackbox)?;
+    if let Some(approx) = &cfg.approx {
+        let state = scorer.build_approx(*approx)?;
+        scorer = scorer.with_approx_state(state);
+    }
     let mut attrs = match &cfg.explain_attrs {
         Some(a) => a.clone(),
         None => q.default_explain_attrs(),
@@ -160,22 +164,20 @@ pub fn explain(q: &LabeledQuery<'_>, cfg: &ScorpionConfig) -> Result<Explanation
 
     let mut phases = run.phases;
     scorpion_obs::merge_phases(&mut phases, scorer.timing_phases());
-    Ok(crate::engine::finish(
-        engine.algorithm(),
-        run.predicates,
-        Diagnostics {
-            runtime: start.elapsed(),
-            scorer_calls: scorer.scorer_calls(),
-            cache_hits: scorer.cache_hits(),
-            mask_cache_hits: scorer.mask_cache_hits(),
-            mask_cache_entries: scorer.mask_cache_entries(),
-            candidates: run.candidates,
-            partitions: run.partitions,
-            budget_exhausted: run.budget_exhausted,
-            phases,
-            ..Diagnostics::default()
-        },
-    ))
+    let mut diagnostics = Diagnostics {
+        runtime: start.elapsed(),
+        scorer_calls: scorer.scorer_calls(),
+        cache_hits: scorer.cache_hits(),
+        mask_cache_hits: scorer.mask_cache_hits(),
+        mask_cache_entries: scorer.mask_cache_entries(),
+        candidates: run.candidates,
+        partitions: run.partitions,
+        budget_exhausted: run.budget_exhausted,
+        phases,
+        ..Diagnostics::default()
+    };
+    crate::engine::approx_diag(&mut diagnostics, &scorer);
+    Ok(crate::engine::finish(engine.algorithm(), run.predicates, diagnostics))
 }
 
 #[cfg(test)]

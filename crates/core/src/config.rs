@@ -92,6 +92,67 @@ impl Default for SamplingConfig {
     }
 }
 
+/// Configuration of the two-stage approximate influence search.
+///
+/// When attached to a request, candidate predicates are first scored with
+/// closed-form influence *intervals* derived from a deterministic
+/// stratified row sample (per input group); candidates whose interval
+/// upper bound cannot reach the running top-k lower bound are pruned
+/// before exact scoring. The intervals are conservative envelopes — the
+/// true influence always lies inside them — so the exact top-1 predicate
+/// is never pruned and the reported `approx_error_bound` is honest by
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxConfig {
+    /// Fraction of each group's rows sampled exactly, in `(0, 1]`. Rows
+    /// are chosen by seeded hash rank, so the sample is deterministic and
+    /// identical across reruns. `1.0` degenerates to exact scoring.
+    pub sample_rate: f64,
+    /// Requested confidence level for the influence intervals, in
+    /// `(0.5, 1]`. The current bounds are deterministic envelopes with
+    /// coverage 1.0, so any admissible value is met; the knob is
+    /// validated and reserved for future distribution-sensitive
+    /// tightening (Macke et al.).
+    pub confidence: f64,
+    /// Groups smaller than this are never sampled (interval bounds on
+    /// tiny groups cost more than exact scoring saves); their rows are
+    /// scored exactly and contribute zero to the error bound.
+    pub min_rows: usize,
+    /// Seed of the hash-rank sampler (deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for ApproxConfig {
+    fn default() -> Self {
+        ApproxConfig { sample_rate: 0.1, confidence: 0.95, min_rows: 256, seed: 0x5C09 }
+    }
+}
+
+/// Valid range for [`ApproxConfig::sample_rate`], used in error messages.
+pub const APPROX_RATE_RANGE: &str = "(0.0, 1.0]";
+/// Valid range for [`ApproxConfig::confidence`], used in error messages.
+pub const APPROX_CONFIDENCE_RANGE: &str = "(0.5, 1.0]";
+
+impl ApproxConfig {
+    /// Validates the knobs, returning a message naming the offending
+    /// field and its valid range on failure.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if !(self.sample_rate > 0.0 && self.sample_rate <= 1.0) {
+            return Err(format!(
+                "approx sample_rate must be in {APPROX_RATE_RANGE}, got {}",
+                self.sample_rate
+            ));
+        }
+        if !(self.confidence > 0.5 && self.confidence <= 1.0) {
+            return Err(format!(
+                "approx confidence must be in {APPROX_CONFIDENCE_RANGE}, got {}",
+                self.confidence
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Configuration of the DT (decision-tree) partitioner (§6.1).
 #[derive(Debug, Clone)]
 pub struct DtConfig {
@@ -266,6 +327,9 @@ pub struct ScorpionConfig {
     /// associated with the influence signal before searching. `None`
     /// keeps all explanation attributes.
     pub max_explain_attrs: Option<usize>,
+    /// Two-stage approximate influence search. `None` (the default)
+    /// keeps every scoring path exact.
+    pub approx: Option<ApproxConfig>,
 }
 
 #[cfg(test)]
@@ -290,6 +354,19 @@ mod tests {
         let p = InfluenceParams::new(0.7, 0.3).with_c(0.9);
         assert_eq!(p.lambda, 0.7);
         assert_eq!(p.c, 0.9);
+    }
+
+    #[test]
+    fn approx_validation_names_range() {
+        assert!(ApproxConfig::default().validate().is_ok());
+        let bad_rate = ApproxConfig { sample_rate: 0.0, ..ApproxConfig::default() };
+        let msg = bad_rate.validate().unwrap_err();
+        assert!(msg.contains("sample_rate") && msg.contains(APPROX_RATE_RANGE), "{msg}");
+        let bad_conf = ApproxConfig { confidence: 0.5, ..ApproxConfig::default() };
+        let msg = bad_conf.validate().unwrap_err();
+        assert!(msg.contains("confidence") && msg.contains(APPROX_CONFIDENCE_RANGE), "{msg}");
+        let nan = ApproxConfig { sample_rate: f64::NAN, ..ApproxConfig::default() };
+        assert!(nan.validate().is_err());
     }
 
     #[test]

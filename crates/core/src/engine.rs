@@ -26,7 +26,8 @@
 //! slides), dropping the influence cache whose entries the new data
 //! invalidated.
 
-use crate::config::{Algorithm, DtConfig, InfluenceParams, McConfig, NaiveConfig};
+use crate::approx::ApproxState;
+use crate::config::{Algorithm, DtConfig, InfluenceParams, McConfig, NaiveConfig, SamplingConfig};
 use crate::dt::DtPartitioner;
 use crate::error::{Result, ScorpionError};
 use crate::features::select_attributes;
@@ -144,6 +145,24 @@ fn prep_attrs(req: &ExplainRequest, scorer: &Scorer<'_>) -> Result<Vec<usize>> {
     Ok(attrs)
 }
 
+/// Builds the approximate-search sampler state for a plan when the
+/// request opted in (`None` otherwise). Runs in `prepare`/`rebind` —
+/// the per-group sort is data-snapshot work, not per-run work.
+fn prep_approx(req: &ExplainRequest, scorer: &Scorer<'_>) -> Result<Option<Arc<ApproxState>>> {
+    req.approx().map(|cfg| scorer.build_approx(*cfg)).transpose()
+}
+
+/// Fills the approx-related [`Diagnostics`] fields from a run's scorer:
+/// pruned count, the error bound (present whenever approximate mode was
+/// requested, 0.0 when nothing was pruned), and any fallback reason.
+pub(crate) fn approx_diag(diag: &mut Diagnostics, scorer: &Scorer<'_>) {
+    if let Some(state) = scorer.approx_state() {
+        diag.candidates_pruned = scorer.candidates_pruned();
+        diag.approx_error_bound = Some(scorer.approx_error_bound());
+        diag.approx_fallback = state.fallback();
+    }
+}
+
 /// Cost of a plan's prepare phase, charged to the diagnostics of its
 /// first run so a prepare+run pair reports the same cost shape as the
 /// one-shot path.
@@ -223,8 +242,23 @@ impl Explainer for DtEngine {
         let masks = Arc::new(ClauseMaskCache::new());
         let scorer = req.scorer()?.with_cache(cache.clone()).with_mask_cache(masks.clone());
         let attrs = prep_attrs(req, &scorer)?;
+        let approx_state = prep_approx(req, &scorer)?;
         let domains = domains_of(&req.table)?;
-        let dt = DtPartitioner::new(&scorer, attrs.clone(), domains.clone(), self.cfg.clone());
+        // Approximate mode implies §6.1.2 tree-growth sampling: when the
+        // DT config left it unset, derive one from the approx knobs so
+        // the grow phase samples at the same rate the scorer does.
+        let mut cfg = self.cfg.clone();
+        if cfg.sampling.is_none() {
+            if let Some(a) = req.approx() {
+                cfg.sampling = Some(SamplingConfig {
+                    min_rows_to_sample: a.min_rows,
+                    min_rate: a.sample_rate,
+                    seed: a.seed,
+                    ..SamplingConfig::default()
+                });
+            }
+        }
+        let dt = DtPartitioner::new(&scorer, attrs.clone(), domains.clone(), cfg.clone());
         let (partitions, _) = dt.partition()?;
         let runtime = start.elapsed();
         let mut phases = vec![PhaseTiming::once("prepare", runtime)];
@@ -232,12 +266,13 @@ impl Explainer for DtEngine {
         merge_phases(&mut phases, scorer.timing_phases());
         Ok(Box::new(DtPlan {
             req: req.clone(),
-            cfg: self.cfg.clone(),
+            cfg,
             attrs,
             domains,
             partitions,
             cache,
             masks,
+            approx_state,
             prep_cost: PrepCost { calls: scorer.scorer_calls(), runtime, phases },
             state: Mutex::new(DtPlanState {
                 merged_by_c: BTreeMap::new(),
@@ -272,6 +307,9 @@ struct DtPlan {
     cache: Arc<InfluenceCache>,
     /// Clause masks for this plan's table snapshot, shared across runs.
     masks: Arc<ClauseMaskCache>,
+    /// Sampler state for this plan's table snapshot, attached to every
+    /// run scorer when the request opted into approximate search.
+    approx_state: Option<Arc<ApproxState>>,
     prep_cost: PrepCost,
     state: Mutex<DtPlanState>,
 }
@@ -287,20 +325,26 @@ impl PreparedPlan for DtPlan {
     fn run(&self, params: &InfluenceParams) -> Result<Explanation> {
         let _span = span!("run");
         let start = Instant::now();
-        let scorer = self
+        let mut scorer = self
             .req
             .scorer_at(*params)?
             .with_cache(self.cache.clone())
             .with_mask_cache(self.masks.clone());
+        if let Some(state) = &self.approx_state {
+            scorer = scorer.with_approx_state(state.clone());
+        }
 
         // Re-score the cached partitions — batched across workers, and
-        // free of mask work for every cache hit.
+        // free of mask work for every cache hit. Under approximate mode
+        // the batch is interval-pruned first; the Merger re-scores its
+        // top results exactly, so reported predicates stay exact.
         let score_start = Instant::now();
         let score_span = span!("score");
         let mut input = self.partitions.clone();
         let preds: Vec<Predicate> = input.iter().map(|sp| sp.predicate.clone()).collect();
         let threads = resolve_threads(self.cfg.score_threads);
-        for (sp, inf) in input.iter_mut().zip(scorer.influence_batch(&preds, threads)) {
+        let batch = scorer.influence_batch_pruned(&preds, threads, self.cfg.merger.max_results);
+        for (sp, inf) in input.iter_mut().zip(batch.scores) {
             sp.influence = inf?;
         }
         input.sort_by(|a, b| b.influence.total_cmp(&a.influence));
@@ -356,22 +400,20 @@ impl PreparedPlan for DtPlan {
             ],
         );
         merge_phases(&mut phases, scorer.timing_phases());
-        Ok(finish(
-            "dt",
-            merged,
-            Diagnostics {
-                runtime: start.elapsed() + prep.runtime,
-                scorer_calls: scorer.scorer_calls() + prep.calls,
-                cache_hits: scorer.cache_hits(),
-                cache_evictions: scorer.cache_evictions(),
-                mask_cache_hits: scorer.mask_cache_hits(),
-                mask_cache_entries: scorer.mask_cache_entries(),
-                candidates: n_partitions as u64,
-                partitions: n_partitions,
-                phases,
-                ..Diagnostics::default()
-            },
-        ))
+        let mut diagnostics = Diagnostics {
+            runtime: start.elapsed() + prep.runtime,
+            scorer_calls: scorer.scorer_calls() + prep.calls,
+            cache_hits: scorer.cache_hits(),
+            cache_evictions: scorer.cache_evictions(),
+            mask_cache_hits: scorer.mask_cache_hits(),
+            mask_cache_entries: scorer.mask_cache_entries(),
+            candidates: n_partitions as u64,
+            partitions: n_partitions,
+            phases,
+            ..Diagnostics::default()
+        };
+        approx_diag(&mut diagnostics, &scorer);
+        Ok(finish("dt", merged, diagnostics))
     }
 
     fn rebind(&self, req: &ExplainRequest) -> Result<Box<dyn PreparedPlan>> {
@@ -383,6 +425,9 @@ impl PreparedPlan for DtPlan {
         for sp in &mut partitions {
             sp.stats = None;
         }
+        // Sampler state encodes old row ids and values; rebuild it for
+        // the new snapshot.
+        let approx_state = prep_approx(req, &req.scorer()?)?;
         Ok(Box::new(DtPlan {
             req: req.clone(),
             cfg: self.cfg.clone(),
@@ -391,6 +436,7 @@ impl PreparedPlan for DtPlan {
             partitions,
             cache: Arc::new(InfluenceCache::with_capacity_bound(req.influence_cache_entries())),
             masks: Arc::new(ClauseMaskCache::new()),
+            approx_state,
             prep_cost: PrepCost::default(),
             state: Mutex::new(DtPlanState {
                 merged_by_c: BTreeMap::new(),
@@ -451,13 +497,31 @@ impl Explainer for McEngine {
     }
 
     fn prepare(&self, req: &ExplainRequest) -> Result<Box<dyn PreparedPlan>> {
+        self.prepare_with_attrs(req, None)
+    }
+}
+
+impl McEngine {
+    /// `prepare`, optionally reusing an already selected attribute set —
+    /// the §6.4 ranking is a property of the labeling, not of one window
+    /// snapshot, so rebinding plans pass their attrs through instead of
+    /// re-ranking every slide.
+    fn prepare_with_attrs(
+        &self,
+        req: &ExplainRequest,
+        cached_attrs: Option<Vec<usize>>,
+    ) -> Result<Box<dyn PreparedPlan>> {
         let _span = span!("prepare");
         let start = Instant::now();
         req.validate()?;
         let cache = Arc::new(InfluenceCache::with_capacity_bound(req.influence_cache_entries()));
         let masks = Arc::new(ClauseMaskCache::new());
         let scorer = req.scorer()?.with_cache(cache.clone()).with_mask_cache(masks.clone());
-        let attrs = prep_attrs(req, &scorer)?;
+        let attrs = match cached_attrs {
+            Some(attrs) => attrs,
+            None => prep_attrs(req, &scorer)?,
+        };
+        let approx_state = prep_approx(req, &scorer)?;
         let domains = domains_of(&req.table)?;
         let unit_start = Instant::now();
         let units = initial_units(&scorer, &attrs, &domains, &self.cfg)?;
@@ -476,6 +540,7 @@ impl Explainer for McEngine {
             units,
             cache,
             masks,
+            approx_state,
             prep_cost: PrepCost { calls: scorer.scorer_calls(), runtime, phases },
             charge_prep: Mutex::new(true),
         }))
@@ -490,6 +555,7 @@ struct McPlan {
     units: Vec<Predicate>,
     cache: Arc<InfluenceCache>,
     masks: Arc<ClauseMaskCache>,
+    approx_state: Option<Arc<ApproxState>>,
     prep_cost: PrepCost,
     charge_prep: Mutex<bool>,
 }
@@ -502,11 +568,14 @@ impl PreparedPlan for McPlan {
     fn run(&self, params: &InfluenceParams) -> Result<Explanation> {
         let _span = span!("run");
         let start = Instant::now();
-        let scorer = self
+        let mut scorer = self
             .req
             .scorer_at(*params)?
             .with_cache(self.cache.clone())
             .with_mask_cache(self.masks.clone());
+        if let Some(state) = &self.approx_state {
+            scorer = scorer.with_approx_state(state.clone());
+        }
         let score_start = Instant::now();
         let (results, mdiag) = {
             let _span = span!("score");
@@ -526,28 +595,29 @@ impl PreparedPlan for McPlan {
         merge_phases(&mut phases, [PhaseTiming::once("run.score", score_elapsed)]);
         merge_phases(&mut phases, mdiag.phases.clone());
         merge_phases(&mut phases, scorer.timing_phases());
-        Ok(finish(
-            "mc",
-            results,
-            Diagnostics {
-                runtime: start.elapsed() + prep.runtime,
-                scorer_calls: scorer.scorer_calls() + prep.calls,
-                cache_hits: scorer.cache_hits(),
-                cache_evictions: scorer.cache_evictions(),
-                mask_cache_hits: scorer.mask_cache_hits(),
-                mask_cache_entries: scorer.mask_cache_entries(),
-                candidates: mdiag.scored,
-                partitions: mdiag.initial_units,
-                phases,
-                ..Diagnostics::default()
-            },
-        ))
+        let mut diagnostics = Diagnostics {
+            runtime: start.elapsed() + prep.runtime,
+            scorer_calls: scorer.scorer_calls() + prep.calls,
+            cache_hits: scorer.cache_hits(),
+            cache_evictions: scorer.cache_evictions(),
+            mask_cache_hits: scorer.mask_cache_hits(),
+            mask_cache_entries: scorer.mask_cache_entries(),
+            candidates: mdiag.scored,
+            partitions: mdiag.initial_units,
+            phases,
+            ..Diagnostics::default()
+        };
+        approx_diag(&mut diagnostics, &scorer);
+        Ok(finish("mc", results, diagnostics))
     }
 
     fn rebind(&self, req: &ExplainRequest) -> Result<Box<dyn PreparedPlan>> {
         // Unit geometry is derived from domains and dictionaries, which
         // new data may have shifted; re-prepare (it is cheap for MC).
-        McEngine::new(self.cfg.clone()).prepare(req)
+        // The §6.4 attribute selection survives: it ranks the *labeling*,
+        // which a slide preserves, and re-ranking it is the expensive
+        // part of MC's prepare.
+        McEngine::new(self.cfg.clone()).prepare_with_attrs(req, Some(self.attrs.clone()))
     }
 }
 
@@ -595,13 +665,29 @@ impl Explainer for NaiveEngine {
     }
 
     fn prepare(&self, req: &ExplainRequest) -> Result<Box<dyn PreparedPlan>> {
+        self.prepare_with_attrs(req, None)
+    }
+}
+
+impl NaiveEngine {
+    /// `prepare`, optionally reusing an already selected attribute set
+    /// (see [`McEngine::prepare_with_attrs`] — same §6.4 reasoning).
+    fn prepare_with_attrs(
+        &self,
+        req: &ExplainRequest,
+        cached_attrs: Option<Vec<usize>>,
+    ) -> Result<Box<dyn PreparedPlan>> {
         let _span = span!("prepare");
         let start = Instant::now();
         req.validate()?;
         let cache = Arc::new(InfluenceCache::with_capacity_bound(req.influence_cache_entries()));
         let masks = Arc::new(ClauseMaskCache::new());
         let scorer = req.scorer()?.with_cache(cache.clone()).with_mask_cache(masks.clone());
-        let attrs = prep_attrs(req, &scorer)?;
+        let attrs = match cached_attrs {
+            Some(attrs) => attrs,
+            None => prep_attrs(req, &scorer)?,
+        };
+        let approx_state = prep_approx(req, &scorer)?;
         let domains = domains_of(&req.table)?;
         let cand_start = Instant::now();
         let candidates = naive_candidates(&scorer, &attrs, &domains, &self.cfg)?;
@@ -615,9 +701,11 @@ impl Explainer for NaiveEngine {
         Ok(Box::new(NaivePlan {
             req: req.clone(),
             cfg: self.cfg.clone(),
+            attrs,
             candidates,
             cache,
             masks,
+            approx_state,
             prep_cost: PrepCost { calls: scorer.scorer_calls(), runtime, phases },
             charge_prep: Mutex::new(true),
         }))
@@ -627,9 +715,11 @@ impl Explainer for NaiveEngine {
 struct NaivePlan {
     req: ExplainRequest,
     cfg: NaiveConfig,
+    attrs: Vec<usize>,
     candidates: NaiveCandidates,
     cache: Arc<InfluenceCache>,
     masks: Arc<ClauseMaskCache>,
+    approx_state: Option<Arc<ApproxState>>,
     prep_cost: PrepCost,
     charge_prep: Mutex<bool>,
 }
@@ -642,11 +732,16 @@ impl PreparedPlan for NaivePlan {
     fn run(&self, params: &InfluenceParams) -> Result<Explanation> {
         let _span = span!("run");
         let start = Instant::now();
-        let scorer = self
+        let mut scorer = self
             .req
             .scorer_at(*params)?
             .with_cache(self.cache.clone())
             .with_mask_cache(self.masks.clone());
+        if let Some(state) = &self.approx_state {
+            // NAIVE's anytime argmax loop is not batch-pruned; the state is
+            // attached so diagnostics report the knob consistently.
+            scorer = scorer.with_approx_state(state.clone());
+        }
         let score_start = Instant::now();
         let out = {
             let _span = span!("score");
@@ -665,26 +760,24 @@ impl PreparedPlan for NaivePlan {
         let mut phases = prep.phases.clone();
         merge_phases(&mut phases, [PhaseTiming::once("run.score", score_elapsed)]);
         merge_phases(&mut phases, scorer.timing_phases());
-        Ok(finish(
-            "naive",
-            vec![out.best],
-            Diagnostics {
-                runtime: start.elapsed() + prep.runtime,
-                scorer_calls: scorer.scorer_calls() + prep.calls,
-                cache_hits: scorer.cache_hits(),
-                cache_evictions: scorer.cache_evictions(),
-                mask_cache_hits: scorer.mask_cache_hits(),
-                mask_cache_entries: scorer.mask_cache_entries(),
-                candidates: out.evaluated,
-                budget_exhausted: !out.completed,
-                phases,
-                ..Diagnostics::default()
-            },
-        ))
+        let mut diagnostics = Diagnostics {
+            runtime: start.elapsed() + prep.runtime,
+            scorer_calls: scorer.scorer_calls() + prep.calls,
+            cache_hits: scorer.cache_hits(),
+            cache_evictions: scorer.cache_evictions(),
+            mask_cache_hits: scorer.mask_cache_hits(),
+            mask_cache_entries: scorer.mask_cache_entries(),
+            candidates: out.evaluated,
+            budget_exhausted: !out.completed,
+            phases,
+            ..Diagnostics::default()
+        };
+        approx_diag(&mut diagnostics, &scorer);
+        Ok(finish("naive", vec![out.best], diagnostics))
     }
 
     fn rebind(&self, req: &ExplainRequest) -> Result<Box<dyn PreparedPlan>> {
-        NaiveEngine::new(self.cfg.clone()).prepare(req)
+        NaiveEngine::new(self.cfg.clone()).prepare_with_attrs(req, Some(self.attrs.clone()))
     }
 }
 

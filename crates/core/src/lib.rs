@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod approx;
 pub mod config;
 pub mod dt;
 pub mod engine;
@@ -45,9 +46,10 @@ pub mod session;
 pub mod telemetry;
 
 pub use api::{explain, resolve_algorithm, LabeledQuery};
+pub use approx::ApproxState;
 pub use config::{
-    Algorithm, DtConfig, InfluenceParams, McConfig, MergerConfig, NaiveConfig, SamplingConfig,
-    ScorpionConfig,
+    Algorithm, ApproxConfig, DtConfig, InfluenceParams, McConfig, MergerConfig, NaiveConfig,
+    SamplingConfig, ScorpionConfig, APPROX_CONFIDENCE_RANGE, APPROX_RATE_RANGE,
 };
 pub use engine::{engine_for, DtEngine, EngineRun, Explainer, McEngine, NaiveEngine, PreparedPlan};
 pub use error::{Result, ScorpionError};
@@ -55,7 +57,7 @@ pub use lru::LruShard;
 pub use prepared::PreparedQuery;
 pub use request::{label_extremes, ExplainRequest, RequestBuilder, Scorpion};
 pub use result::{Diagnostics, Explanation, GroupStat, PartitionStats, ScoredPredicate};
-pub use scorer::{resolve_threads, GroupSpec, InfluenceCache, Scorer};
+pub use scorer::{resolve_threads, GroupSpec, InfluenceCache, PrunedBatch, Scorer};
 pub use scorpion_obs::PhaseTiming;
 pub use session::ScorpionSession;
 pub use telemetry::{

@@ -77,8 +77,9 @@ pub fn mc_search_units(
 
     // Level 1: single-attribute units.
     diag.initial_units = units.len();
+    let top_k = cfg.merger.max_results;
     let mut scored =
-        phases.time("mc.level_score", || score_all(scorer, units, threads, &mut diag))?;
+        phases.time("mc.level_score", || score_all(scorer, units, threads, top_k, &mut diag))?;
     if scored.is_empty() {
         diag.phases = phases.take();
         return Ok((vec![ScoredPredicate::new(Predicate::all(), 0.0)], diag));
@@ -139,7 +140,7 @@ pub fn mc_search_units(
             break;
         }
         let mut next_scored =
-            phases.time("mc.level_score", || score_all(scorer, next, threads, &mut diag))?;
+            phases.time("mc.level_score", || score_all(scorer, next, threads, top_k, &mut diag))?;
         // Bound the frontier by hold-out-free influence.
         if next_scored.len() > cfg.max_candidates_per_level {
             let mut keyed: Vec<(f64, ScoredPredicate)> = next_scored
@@ -218,18 +219,22 @@ pub(crate) fn initial_units(
 
 /// Scores a deduplicated candidate batch, fanning out across `threads`
 /// scoped workers (§8.3.2's parallelism extension, via
-/// [`Scorer::influence_batch`]).
+/// [`Scorer::influence_batch_pruned`]). When the scorer carries an
+/// approximate state, candidates whose influence interval cannot reach
+/// the batch's top-`top_k` lower bound are skipped and reported at their
+/// interval estimate; without one the batch is scored exactly.
 fn score_all(
     scorer: &Scorer<'_>,
     preds: impl IntoIterator<Item = Predicate>,
     threads: usize,
+    top_k: usize,
     diag: &mut McDiag,
 ) -> Result<Vec<ScoredPredicate>> {
     let mut seen = HashSet::new();
     let preds: Vec<Predicate> = preds.into_iter().filter(|p| seen.insert(p.clone())).collect();
     diag.scored += preds.len() as u64;
-    let infs = scorer.influence_batch(&preds, threads);
-    preds.into_iter().zip(infs).map(|(p, inf)| Ok(ScoredPredicate::new(p, inf?))).collect()
+    let batch = scorer.influence_batch_pruned(&preds, threads, top_k);
+    preds.into_iter().zip(batch.scores).map(|(p, inf)| Ok(ScoredPredicate::new(p, inf?))).collect()
 }
 
 /// §6.2 PRUNE: a candidate survives when its hold-out-free influence, or

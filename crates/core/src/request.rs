@@ -38,7 +38,7 @@
 //! ```
 
 use crate::api::LabeledQuery;
-use crate::config::{Algorithm, InfluenceParams};
+use crate::config::{Algorithm, ApproxConfig, InfluenceParams};
 use crate::engine::{engine_for, Explainer, PreparedPlan};
 use crate::error::{Result, ScorpionError};
 use crate::prepared::PreparedQuery;
@@ -70,6 +70,7 @@ pub struct ExplainRequest {
     pub(crate) max_explain_attrs: Option<usize>,
     pub(crate) force_blackbox: bool,
     pub(crate) influence_cache_entries: usize,
+    pub(crate) approx: Option<ApproxConfig>,
 }
 
 impl ExplainRequest {
@@ -100,6 +101,7 @@ impl ExplainRequest {
             max_explain_attrs: None,
             force_blackbox: false,
             influence_cache_entries: 0,
+            approx: None,
         };
         req.validate()?;
         Ok(req)
@@ -181,6 +183,21 @@ impl ExplainRequest {
     #[must_use]
     pub fn with_influence_cache_entries(&self, entries: usize) -> Self {
         ExplainRequest { influence_cache_entries: entries, ..self.clone() }
+    }
+
+    /// The approximate-search configuration, if any.
+    pub fn approx(&self) -> Option<&ApproxConfig> {
+        self.approx.as_ref()
+    }
+
+    /// Returns a copy running the two-stage approximate influence
+    /// search under `approx` (`None` restores the exact default).
+    /// Validate the knobs with [`ApproxConfig::validate`] at the edge;
+    /// plans also reject out-of-range values when building sampler
+    /// state.
+    #[must_use]
+    pub fn with_approx(&self, approx: Option<ApproxConfig>) -> Self {
+        ExplainRequest { approx, ..self.clone() }
     }
 
     /// A borrowed [`LabeledQuery`] view of this request — the bridge to
@@ -356,6 +373,7 @@ struct RequestOpts {
     max_explain_attrs: Option<usize>,
     force_blackbox: bool,
     influence_cache_entries: usize,
+    approx: Option<ApproxConfig>,
 }
 
 impl Default for RequestOpts {
@@ -369,6 +387,7 @@ impl Default for RequestOpts {
             max_explain_attrs: None,
             force_blackbox: false,
             influence_cache_entries: 0,
+            approx: None,
         }
     }
 }
@@ -511,6 +530,16 @@ impl RequestBuilder {
         self
     }
 
+    /// Opts into the two-stage approximate influence search. Exact
+    /// scoring stays the default; with this set, candidate batches are
+    /// interval-pruned before exact scoring and diagnostics report
+    /// `candidates_pruned` and `approx_error_bound`.
+    #[must_use]
+    pub fn approx(mut self, cfg: ApproxConfig) -> Self {
+        self.request.approx = Some(cfg);
+        self
+    }
+
     /// Validates the labels and produces the owned request.
     pub fn build(self) -> Result<ExplainRequest> {
         let req = ExplainRequest {
@@ -526,6 +555,7 @@ impl RequestBuilder {
             max_explain_attrs: self.request.max_explain_attrs,
             force_blackbox: self.request.force_blackbox,
             influence_cache_entries: self.request.influence_cache_entries,
+            approx: self.request.approx,
         };
         req.validate()?;
         Ok(req)

@@ -76,6 +76,20 @@ pub struct Diagnostics {
     pub mask_cache_entries: u64,
     /// Number of candidate predicates generated.
     pub candidates: u64,
+    /// Candidates discarded by the approximate influence search's
+    /// interval pruning before exact scoring (0 in exact mode).
+    pub candidates_pruned: u64,
+    /// Worst-case distance between a pruned candidate's estimated and
+    /// true influence, from the interval the pruning decision used.
+    /// `Some` whenever approximate mode was active (0.0 when nothing was
+    /// pruned — every returned score is then exact); `None` in exact
+    /// mode. Reported predicate scores are always exact; the bound
+    /// quantifies only what pruning could have misjudged *below* the
+    /// returned ranking.
+    pub approx_error_bound: Option<f64>,
+    /// Why approximate mode fell back to exact scoring (e.g. a
+    /// black-box aggregate with no closed-form interval), when it did.
+    pub approx_fallback: Option<&'static str>,
     /// Number of partitions (leaves / units) before merging.
     pub partitions: usize,
     /// True when an anytime search exhausted its budget before completing.

@@ -18,17 +18,53 @@
 //! oracle ([`Scorer::influence_rowwise`]), parity-tested against the mask
 //! path.
 
-use crate::config::InfluenceParams;
+use crate::approx::{ApproxState, GroupSample, InfluenceInterval};
+use crate::config::{ApproxConfig, InfluenceParams};
 use crate::error::{Result, ScorpionError};
 use crate::lru::LruShard;
 use parking_lot::Mutex;
 use scorpion_agg::{AggState, Aggregate, IncrementalAggregate};
 use scorpion_obs::PhaseTiming;
-use scorpion_table::{ClauseMaskCache, Predicate, PredicateMask, PredicateMatcher, RowMask, Table};
+use scorpion_table::{
+    intersect_count_words, ClauseMaskCache, Predicate, PredicateMask, PredicateMatcher, RowMask,
+    Table,
+};
+use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// `n^c` for the interval pass. `c = 0.5` (the paper's default) hits
+/// `sqrt` instead of the generic `powf`; any ulp drift against the exact
+/// path's arithmetic is covered by the interval's envelope pad.
+#[inline]
+fn pow_c(n: f64, c: f64) -> f64 {
+    if c == 0.5 {
+        n.sqrt()
+    } else {
+        n.powf(c)
+    }
+}
+
+/// Batch-lifetime scratch for the interval (bound) pass: per-candidate
+/// buffers reused across the batch plus the per-(group, leading-clause)
+/// AND memo. Everything here is transient — it never outlives one
+/// [`Scorer::influence_batch_pruned`] call.
+#[derive(Default)]
+struct BoundScratch {
+    /// The current candidate's full-table clause masks.
+    clause_masks: Vec<Arc<RowMask>>,
+    /// The current candidate's compressed (sample-universe) clause bitmaps.
+    comps: Vec<Arc<Vec<u64>>>,
+    /// Per-slot matched sampled-row counts.
+    ks: Vec<u32>,
+    /// Per-slot matched sampled value-sums.
+    ss: Vec<f64>,
+    /// `group-mask ∧ leading-clause-mask` over the group's word span,
+    /// keyed by both operands' addresses (stable for the batch).
+    lead: HashMap<(usize, usize), Vec<u64>>,
+}
 
 /// Resolves a configured worker-thread count: `0` means "use the host's
 /// available parallelism".
@@ -287,6 +323,22 @@ pub struct Scorer<'a> {
     /// `scorer.rowwise` phase.
     rowwise_nanos: AtomicU64,
     rowwise_timed: AtomicU64,
+    /// Sampler state of the two-stage approximate search; `None` keeps
+    /// every batch exact.
+    approx: Option<Arc<ApproxState>>,
+    /// Candidates discarded by interval pruning
+    /// ([`Scorer::influence_batch_pruned`]) on this Scorer.
+    pruned: AtomicU64,
+    /// Bit pattern of the largest per-batch error bound seen so far
+    /// (bounds are non-negative, so `f64` bit order equals value order
+    /// and a monotonic `fetch_max` suffices).
+    bound_bits: AtomicU64,
+    /// Nanoseconds building sampler state — the `sampler.build` phase.
+    sampler_build_nanos: AtomicU64,
+    sampler_build_timed: AtomicU64,
+    /// Nanoseconds in interval-bound passes — the `sampler.bound` phase.
+    sampler_bound_nanos: AtomicU64,
+    sampler_bound_timed: AtomicU64,
 }
 
 impl<'a> Scorer<'a> {
@@ -383,6 +435,13 @@ impl<'a> Scorer<'a> {
             mask_timed: AtomicU64::new(0),
             rowwise_nanos: AtomicU64::new(0),
             rowwise_timed: AtomicU64::new(0),
+            approx: None,
+            pruned: AtomicU64::new(0),
+            bound_bits: AtomicU64::new(0),
+            sampler_build_nanos: AtomicU64::new(0),
+            sampler_build_timed: AtomicU64::new(0),
+            sampler_bound_nanos: AtomicU64::new(0),
+            sampler_bound_timed: AtomicU64::new(0),
         })
     }
 
@@ -460,7 +519,93 @@ impl<'a> Scorer<'a> {
         )?;
         s.cache = self.cache.clone();
         s.masks = self.masks.clone();
+        s.approx = self.approx.clone();
         Ok(s)
+    }
+
+    /// Builds the approximate-search sampler state
+    /// ([`crate::ApproxState`]) for this labeled query under `cfg`.
+    ///
+    /// Expensive relative to a single batch (each group's unsampled
+    /// values are sorted), so build once per data snapshot and attach
+    /// the `Arc` to every scorer over that snapshot with
+    /// [`Scorer::with_approx_state`]; engines do this in `prepare` and
+    /// rebuild on rebind. Aggregates without a `(count, sum)`-determined
+    /// state yield a *fallback* state: attaching it still succeeds, but
+    /// batches score exactly and diagnostics carry the reason.
+    pub fn build_approx(&self, cfg: ApproxConfig) -> Result<Arc<ApproxState>> {
+        if cfg.validate().is_err() {
+            return Err(ScorpionError::BadConfig(
+                "approx sample_rate must be in (0.0, 1.0] and confidence in (0.5, 1.0]",
+            ));
+        }
+        let start = Instant::now();
+        let fallback = match self.inc {
+            None => Some("aggregate is not incrementally removable; scored exactly"),
+            // Probe the closed-form hook once: the empty removal is
+            // representable iff any (count, sum) pair is.
+            Some(inc) if inc.state_from_count_sum(0.0, 0.0).is_none() => {
+                Some("aggregate state is not determined by (count, sum); scored exactly")
+            }
+            Some(_) => None,
+        };
+        let build = |groups: &[GroupCtx]| -> Vec<GroupSample> {
+            if fallback.is_some() {
+                return Vec::new();
+            }
+            groups
+                .iter()
+                .map(|g| GroupSample::build(self.table.len(), &g.rows, &g.values, &cfg))
+                .collect()
+        };
+        let (outliers, holdouts) = (build(&self.outliers), build(&self.holdouts));
+        let state = ApproxState::assemble(
+            cfg,
+            outliers,
+            holdouts,
+            fallback,
+            self.vals,
+            start.elapsed().as_nanos() as u64,
+        );
+        self.sampler_build_nanos.fetch_add(state.build_nanos, Ordering::Relaxed);
+        self.sampler_build_timed.fetch_add(1, Ordering::Relaxed);
+        Ok(Arc::new(state))
+    }
+
+    /// Attaches prebuilt sampler state. The state must have been built
+    /// for this exact labeled query (same table, labels, and aggregate —
+    /// samples are row-id- and value-specific, though parameter-agnostic
+    /// like the influence cache).
+    #[must_use]
+    pub fn with_approx_state(mut self, state: Arc<ApproxState>) -> Self {
+        self.approx = Some(state);
+        self
+    }
+
+    /// Builds sampler state under `cfg` and attaches it — the one-shot
+    /// convenience over [`Scorer::build_approx`] +
+    /// [`Scorer::with_approx_state`].
+    pub fn with_approx(self, cfg: ApproxConfig) -> Result<Self> {
+        let state = self.build_approx(cfg)?;
+        Ok(self.with_approx_state(state))
+    }
+
+    /// The attached sampler state, if any.
+    pub fn approx_state(&self) -> Option<&Arc<ApproxState>> {
+        self.approx.as_ref()
+    }
+
+    /// Candidates discarded by interval pruning on this Scorer.
+    pub fn candidates_pruned(&self) -> u64 {
+        self.pruned.load(Ordering::Relaxed)
+    }
+
+    /// The largest per-batch pruning error bound this Scorer reported:
+    /// the worst distance between a pruned candidate's estimated
+    /// influence and its interval edge. `0.0` when nothing was pruned —
+    /// every score returned so far is then exact.
+    pub fn approx_error_bound(&self) -> f64 {
+        f64::from_bits(self.bound_bits.load(Ordering::Relaxed))
     }
 
     /// True when the incremental (§5.1) fast path is active.
@@ -525,12 +670,16 @@ impl<'a> Scorer<'a> {
 
     /// Wall-clock attribution of this Scorer's uncached evaluations:
     /// time in the vectorized mask-kernel path (`scorer.mask`) vs the
-    /// row-at-a-time oracle (`scorer.rowwise`). Cache hits do neither
-    /// kind of work and are not timed.
+    /// row-at-a-time oracle (`scorer.rowwise`), plus the approximate
+    /// search's sampler-state construction (`sampler.build`) and
+    /// interval-bound passes (`sampler.bound`). Cache hits do none of
+    /// these kinds of work and are not timed.
     pub fn timing_phases(&self) -> Vec<PhaseTiming> {
         [
             ("scorer.mask", &self.mask_nanos, &self.mask_timed),
             ("scorer.rowwise", &self.rowwise_nanos, &self.rowwise_timed),
+            ("sampler.build", &self.sampler_build_nanos, &self.sampler_build_timed),
+            ("sampler.bound", &self.sampler_bound_nanos, &self.sampler_bound_timed),
         ]
         .into_iter()
         .filter_map(|(name, nanos, count)| {
@@ -574,7 +723,36 @@ impl<'a> Scorer<'a> {
             (Some(inc), Some(full)) => {
                 let mut sub = AggState::zero(inc.state_len());
                 let mut n = 0usize;
-                for wi in ctx.span.clone() {
+                // Chunked word-zip: AND and popcount 8 words at a time
+                // (branch-free, auto-vectorizable), then bit-walk only
+                // the chunks that matched anything. Rows are still
+                // visited strictly ascending — the chunking reorders no
+                // accumulation, so the fold stays bit-identical to the
+                // rowwise oracle.
+                let mut wi = ctx.span.start;
+                let chunk_end = ctx.span.start + (ctx.span.len() & !7);
+                while wi < chunk_end {
+                    let mut anded = [0u64; 8];
+                    let mut any = 0u64;
+                    for (lane, a) in anded.iter_mut().enumerate() {
+                        let w = gw[wi + lane] & pw[wi + lane];
+                        *a = w;
+                        any |= w;
+                        n += w.count_ones() as usize;
+                    }
+                    if any != 0 {
+                        for (lane, &a) in anded.iter().enumerate() {
+                            let mut w = a;
+                            while w != 0 {
+                                let row = (((wi + lane) as u32) << 6) | w.trailing_zeros();
+                                sub.accumulate(&inc.state_one(self.vals[row as usize]));
+                                w &= w - 1;
+                            }
+                        }
+                    }
+                    wi += 8;
+                }
+                for wi in chunk_end..ctx.span.end {
                     let mut w = gw[wi] & pw[wi];
                     n += w.count_ones() as usize;
                     while w != 0 {
@@ -978,6 +1156,381 @@ impl<'a> Scorer<'a> {
         });
         out
     }
+
+    /// The candidate's per-slot `(k, s)` — matched *sampled* row count
+    /// and value-sum for every labeled group at once — from one word
+    /// loop over the candidate's compressed (sample-universe) bitmap:
+    /// the AND of its clauses' compressed bitmaps, each memoized in the
+    /// state by [`ApproxState::compressed_clause`]. The universe is two
+    /// orders of magnitude smaller than the table, which is what makes
+    /// the bound pass cheap enough to win even when it prunes nothing.
+    ///
+    /// Results land in `scratch` (reused across the batch to keep the
+    /// pass allocation-free). `None` when a clause's mask cannot be
+    /// evaluated; the caller lets such candidates survive to exact
+    /// scoring, which surfaces the error per predicate.
+    fn sampled_stats(
+        &self,
+        p: &Predicate,
+        st: &ApproxState,
+        scratch: &mut BoundScratch,
+    ) -> Option<()> {
+        let clause_masks = &mut scratch.clause_masks;
+        let comps = &mut scratch.comps;
+        clause_masks.clear();
+        comps.clear();
+        for clause in p.clauses() {
+            let (full, hit) = self
+                .masks
+                .get_or_eval_flagged(clause, || {
+                    let col = self.table.column(clause.attr())?;
+                    clause.eval_mask(col).ok_or_else(|| scorpion_table::TableError::TypeMismatch {
+                        attr: format!("attr{}", clause.attr()),
+                        expected: "clause-compatible",
+                    })
+                })
+                .ok()?;
+            if hit {
+                self.mask_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            comps.push(st.compressed_clause(clause, &full));
+            clause_masks.push(full);
+        }
+        // The conjunction word is assembled on the fly (the match arm is
+        // branch-predicted perfectly within a candidate); no conjunction
+        // bitmap is materialized. Compressed clause bitmaps have all
+        // out-of-universe tail bits clear, and the empty-conjunction
+        // `u64::MAX` case is tail-safe because the per-slot edge masks
+        // below never admit positions outside `slot_ranges`.
+        let word_at = |wi: usize| -> u64 {
+            match comps.as_slice() {
+                [] => u64::MAX,
+                [a] => a[wi],
+                [a, b] => a[wi] & b[wi],
+                many => many.iter().fold(u64::MAX, |acc, m| acc & m[wi]),
+            }
+        };
+        let slots = st.slot_ranges.len();
+        let (ks, ss) = (&mut scratch.ks, &mut scratch.ss);
+        ks.clear();
+        ks.resize(slots, 0);
+        ss.clear();
+        ss.resize(slots, 0.0);
+        for (slot, range) in st.slot_ranges.iter().enumerate() {
+            if range.is_empty() {
+                continue;
+            }
+            let (w0, w1) = (range.start >> 6, (range.end - 1) >> 6);
+            let mut k = 0u32;
+            // Two accumulator lanes break the floating-point add
+            // dependency chain; the lane split is positional, hence
+            // deterministic.
+            let (mut s0, mut s1) = (0.0f64, 0.0f64);
+            for wi in w0..=w1 {
+                let mut w = word_at(wi);
+                if wi == w0 && range.start & 63 != 0 {
+                    w &= u64::MAX << (range.start & 63);
+                }
+                if wi == w1 && range.end & 63 != 0 {
+                    w &= (1u64 << (range.end & 63)) - 1;
+                }
+                k += w.count_ones();
+                while w != 0 {
+                    let pos = (wi << 6) | w.trailing_zeros() as usize;
+                    s0 += st.universe_vals[pos];
+                    w &= w - 1;
+                    if w == 0 {
+                        break;
+                    }
+                    let pos = (wi << 6) | w.trailing_zeros() as usize;
+                    s1 += st.universe_vals[pos];
+                    w &= w - 1;
+                }
+            }
+            ks[slot] = k;
+            ss[slot] = s0 + s1;
+        }
+        Some(())
+    }
+
+    /// `(n, Δ_lo, Δ_hi, Δ_est)` of a candidate over one group: `n` is
+    /// exact (a fused AND-popcount of the clause masks against the group
+    /// mask over its nonzero word span — no conjunction bitmap is ever
+    /// materialized), the sampled matched values are exact (`k`, `s`
+    /// from [`Scorer::sampled_stats`]), and the unsampled matched
+    /// value-sum is bracketed through
+    /// [`GroupSample::removed_sum_bounds`]. The Δ endpoints come from
+    /// evaluating the aggregate's closed-form `(count, sum)` delta at
+    /// both sum endpoints — monotone in the sum for every aggregate
+    /// implementing the hook, so the endpoints bracket the true Δ.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn delta_interval(
+        &self,
+        ctx: &GroupCtx,
+        gs: &GroupSample,
+        clause_masks: &[Arc<RowMask>],
+        k: u32,
+        s: f64,
+        inc: &dyn IncrementalAggregate,
+        lead: &mut HashMap<(usize, usize), Vec<u64>>,
+    ) -> (usize, f64, f64, f64) {
+        let gw = ctx.mask.words();
+        let n: usize = match clause_masks {
+            [] => ctx.rows.len(),
+            [a] => {
+                let span = ctx.span.clone();
+                intersect_count_words(&gw[span.clone()], &a.words()[span])
+            }
+            [a, b] => {
+                // Candidates at one DT/MC level share leading clauses,
+                // so `group ∧ leading-clause` is memoized per batch and
+                // the triple intersection becomes a double one against a
+                // cache-hot scratch row. Keys are addresses: the group
+                // contexts and the cached clause masks are both pinned
+                // for the batch's lifetime.
+                let span = ctx.span.clone();
+                let key = (ctx as *const GroupCtx as usize, Arc::as_ptr(a) as usize);
+                let ga = lead.entry(key).or_insert_with(|| {
+                    gw[span.clone()]
+                        .iter()
+                        .zip(&a.words()[span.clone()])
+                        .map(|(&g, &x)| g & x)
+                        .collect()
+                });
+                intersect_count_words(ga, &b.words()[span])
+            }
+            many => {
+                let mut n = 0usize;
+                for wi in ctx.span.clone() {
+                    let mut w = gw[wi];
+                    for m in many {
+                        w &= m.words()[wi];
+                    }
+                    n += w.count_ones() as usize;
+                }
+                n
+            }
+        };
+        if n == 0 {
+            return (0, 0.0, 0.0, 0.0);
+        }
+        let (rs_lo, rs_est, rs_hi) = gs.removed_sum_bounds(s, n - k as usize);
+        let full = ctx.full_state.as_ref().expect("approx states imply incremental state");
+        let d_at = |rs: f64| {
+            inc.delta_from_count_sum(full, ctx.full_value, n as f64, rs)
+                .expect("probed at build time")
+        };
+        let (a, b) = (d_at(rs_lo), d_at(rs_hi));
+        (n, a.min(b), a.max(b), d_at(rs_est))
+    }
+
+    /// The influence interval of a candidate under the attached sampler
+    /// state: per-group Δ intervals pushed through the §3.2 arithmetic
+    /// with endpoint monotonicity (the outlier term is a sum of linear
+    /// images; the hold-out term maxes `|Δ|/n^c` intervals). `None` when
+    /// the candidate's masks cannot be evaluated.
+    fn influence_interval(
+        &self,
+        p: &Predicate,
+        st: &ApproxState,
+        scratch: &mut BoundScratch,
+    ) -> Option<InfluenceInterval> {
+        let inc = self.inc.expect("fallback states never reach the interval pass");
+        self.sampled_stats(p, st, scratch)?;
+        let BoundScratch { clause_masks: cms, ks, ss, lead, .. } = scratch;
+        let c = self.params.c;
+        let (mut out_lo, mut out_hi, mut out_est) = (0.0f64, 0.0f64, 0.0f64);
+        for (slot, (ctx, gs)) in self.outliers.iter().zip(&st.outliers).enumerate() {
+            let (n, d_lo, d_hi, d_est) =
+                self.delta_interval(ctx, gs, cms, ks[slot], ss[slot], inc, lead);
+            if n == 0 {
+                continue;
+            }
+            let scale = ctx.error / pow_c(n as f64, c);
+            let (a, b) = (d_lo * scale, d_hi * scale);
+            out_lo += a.min(b);
+            out_hi += a.max(b);
+            out_est += d_est * scale;
+        }
+        let m = self.outliers.len() as f64;
+        let (out_lo, out_hi, out_est) = (out_lo / m, out_hi / m, out_est / m);
+        // Hold-out: `max(0, max_g t_g)` with `t_g ∈ [a_g, b_g]` lies in
+        // `[max(0, max_g a_g), max(0, max_g b_g)]`.
+        let base = self.outliers.len();
+        let (mut hold_lo, mut hold_hi, mut hold_est) = (0.0f64, 0.0f64, 0.0f64);
+        for (slot, (ctx, gs)) in self.holdouts.iter().zip(&st.holdouts).enumerate() {
+            let (n, d_lo, d_hi, d_est) =
+                self.delta_interval(ctx, gs, cms, ks[base + slot], ss[base + slot], inc, lead);
+            if n == 0 {
+                continue;
+            }
+            let scale = pow_c(n as f64, c).recip();
+            let abs_lo =
+                if d_lo <= 0.0 && d_hi >= 0.0 { 0.0 } else { d_lo.abs().min(d_hi.abs()) * scale };
+            hold_lo = hold_lo.max(abs_lo);
+            hold_hi = hold_hi.max(d_lo.abs().max(d_hi.abs()) * scale);
+            hold_est = hold_est.max(d_est.abs() * scale);
+        }
+        let l = self.params.lambda;
+        let mut lo = l * out_lo - (1.0 - l) * hold_hi;
+        let mut hi = l * out_hi - (1.0 - l) * hold_lo;
+        let est = l * out_est - (1.0 - l) * hold_est;
+        // Pad the envelope against floating-point slop between this
+        // arithmetic and the exact path's row-order accumulation, so
+        // "the true influence lies inside" survives rounding.
+        let pad = 1e-9 * (lo.abs().max(hi.abs()) + 1.0);
+        lo -= pad;
+        hi += pad;
+        Some(InfluenceInterval { lo, hi, est })
+    }
+
+    /// Two-stage batch scoring: interval-prune, then score survivors
+    /// exactly ([`Scorer::influence_batch`] semantics and threading).
+    ///
+    /// With attached sampler state, every candidate first gets a cheap
+    /// influence interval; the pruning threshold `L` is the `top_k`-th
+    /// largest interval *lower* bound, and candidates whose *upper*
+    /// bound falls below `L` are dropped (their reported score is the
+    /// interval's point estimate). Survivors are then scored exactly in
+    /// descending-estimate order, with `L` refined to the `top_k`-th
+    /// largest *exact* score seen so far, pruning borderline survivors
+    /// the static pass could not. Either way a pruned candidate's true
+    /// influence sits below its upper bound, hence below the threshold
+    /// in force, hence below at least `top_k` exact scores — so the
+    /// returned top-`top_k` scores, and in particular the best
+    /// predicate, are always exact.
+    ///
+    /// Without sampler state (or with a fallback state) this is exactly
+    /// [`Scorer::influence_batch`] with zero pruning.
+    pub fn influence_batch_pruned(
+        &self,
+        preds: &[Predicate],
+        threads: usize,
+        top_k: usize,
+    ) -> PrunedBatch {
+        let top_k = top_k.max(1);
+        let exact_only = match &self.approx {
+            None => true,
+            Some(st) => st.fallback.is_some() || preds.len() <= top_k,
+        };
+        if exact_only {
+            return PrunedBatch {
+                scores: self.influence_batch(preds, threads),
+                pruned: 0,
+                error_bound: 0.0,
+            };
+        }
+        let st = self.approx.as_ref().expect("checked above").clone();
+        let start = Instant::now();
+        // No cache pre-warm pass: `sampled_stats` evaluates (and counts
+        // hits for) each distinct clause itself, and the survivor batch
+        // re-warms serially before any fan-out.
+        let mut scratch = BoundScratch::default();
+        let intervals: Vec<Option<InfluenceInterval>> =
+            preds.iter().map(|p| self.influence_interval(p, &st, &mut scratch)).collect();
+        let mut los: Vec<f64> = intervals.iter().flatten().map(|iv| iv.lo).collect();
+        let threshold = if los.len() > top_k {
+            los.select_nth_unstable_by(top_k - 1, |a, b| b.total_cmp(a));
+            los[top_k - 1]
+        } else {
+            f64::NEG_INFINITY
+        };
+        self.sampler_bound_nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.sampler_bound_timed.fetch_add(1, Ordering::Relaxed);
+        // NaN-safe survivorship: only a *provably* dominated candidate
+        // (`hi < L`) is pruned; NaN intervals and mask errors survive to
+        // exact scoring.
+        let survives: Vec<bool> = intervals
+            .iter()
+            .map(|iv| {
+                iv.map(|iv| iv.hi.partial_cmp(&threshold) != Some(std::cmp::Ordering::Less))
+                    .unwrap_or(true)
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..preds.len()).filter(|&i| survives[i]).collect();
+        let mut error_bound = 0.0f64;
+        let mut pruned = 0u64;
+        let mut scores: Vec<Result<f64>> = preds.iter().map(|_| Ok(f64::NAN)).collect();
+        if threads <= 1 || order.len() < 2 {
+            // Dynamic threshold refinement (threshold-algorithm style):
+            // survivors are visited in descending order of their interval
+            // estimate, so the strongest candidates are scored exactly
+            // first and the pruning threshold is raised to the `top_k`-th
+            // largest *exact* score seen so far. A later survivor whose
+            // upper bound falls below that refined threshold is provably
+            // outside the exact top-`top_k` and is pruned without exact
+            // scoring — the same invariant as the static pass, with a
+            // tighter `L`. Candidates without an interval (mask errors)
+            // sort first and are always scored exactly.
+            order.sort_unstable_by(|&a, &b| {
+                let ea = intervals[a].map(|iv| iv.est).unwrap_or(f64::INFINITY);
+                let eb = intervals[b].map(|iv| iv.est).unwrap_or(f64::INFINITY);
+                eb.total_cmp(&ea)
+            });
+            let mut thr = threshold;
+            // The `top_k` largest exact scores so far, ascending.
+            let mut exact_top: Vec<f64> = Vec::with_capacity(top_k);
+            for &i in &order {
+                if exact_top.len() == top_k {
+                    if let Some(iv) = intervals[i] {
+                        if iv.hi < thr {
+                            error_bound = error_bound.max(iv.error_bound());
+                            scores[i] = Ok(iv.est);
+                            pruned += 1;
+                            continue;
+                        }
+                    }
+                }
+                let sc = self.influence(&preds[i]);
+                if let Ok(v) = sc {
+                    if !v.is_nan() {
+                        let pos = exact_top.partition_point(|&x| x < v);
+                        exact_top.insert(pos, v);
+                        if exact_top.len() > top_k {
+                            exact_top.remove(0);
+                        }
+                        if exact_top.len() == top_k {
+                            thr = thr.max(exact_top[0]);
+                        }
+                    }
+                }
+                scores[i] = sc;
+            }
+        } else {
+            // Parallel survivor scoring keeps the static threshold: the
+            // workers would serialize on a shared dynamic one.
+            let survivors: Vec<Predicate> = order.iter().map(|&i| preds[i].clone()).collect();
+            let exact = self.influence_batch(&survivors, threads);
+            for (&i, sc) in order.iter().zip(exact) {
+                scores[i] = sc;
+            }
+        }
+        for (i, iv) in intervals.iter().enumerate() {
+            if !survives[i] {
+                let iv = iv.expect("pruned candidates have intervals");
+                error_bound = error_bound.max(iv.error_bound());
+                scores[i] = Ok(iv.est);
+                pruned += 1;
+            }
+        }
+        self.pruned.fetch_add(pruned, Ordering::Relaxed);
+        self.bound_bits.fetch_max(error_bound.to_bits(), Ordering::Relaxed);
+        PrunedBatch { scores, pruned, error_bound }
+    }
+}
+
+/// Result of [`Scorer::influence_batch_pruned`]: per-candidate scores in
+/// input order plus this batch's pruning statistics.
+pub struct PrunedBatch {
+    /// One score per input predicate: exact for survivors, the interval
+    /// point estimate for pruned candidates.
+    pub scores: Vec<Result<f64>>,
+    /// Candidates pruned without exact scoring.
+    pub pruned: u64,
+    /// Worst distance between a pruned candidate's estimate and its
+    /// interval edge (`0.0` when nothing was pruned).
+    pub error_bound: f64,
 }
 
 #[cfg(test)]

@@ -57,6 +57,9 @@ pub fn diagnostics_json(d: &Diagnostics) -> Json {
         ("mask_cache_hits", Json::from(d.mask_cache_hits)),
         ("mask_cache_entries", Json::from(d.mask_cache_entries)),
         ("candidates", Json::from(d.candidates)),
+        ("candidates_pruned", Json::from(d.candidates_pruned)),
+        ("approx_error_bound", d.approx_error_bound.map(num_or_null).unwrap_or(Json::Null)),
+        ("approx_fallback", d.approx_fallback.map(Json::from).unwrap_or(Json::Null)),
         ("partitions", Json::from(d.partitions)),
         ("budget_exhausted", Json::from(d.budget_exhausted)),
         ("resident_rows", Json::from(d.resident_rows)),
@@ -103,6 +106,8 @@ mod tests {
         };
         let j = diagnostics_json(&d);
         assert_eq!(j.get("trace_id").and_then(Json::as_f64), Some(42.0));
+        assert_eq!(j.get("approx_error_bound"), Some(&Json::Null), "exact runs render null");
+        assert_eq!(j.get("candidates_pruned").and_then(Json::as_f64), Some(0.0));
         assert_eq!(j.get("scorer_calls").and_then(Json::as_f64), Some(7.0));
         assert_eq!(j.get("mask_cache_hits").and_then(Json::as_f64), Some(3.0));
         assert_eq!(j.get("mask_cache_entries").and_then(Json::as_f64), Some(2.0));
@@ -111,5 +116,20 @@ mod tests {
         assert_eq!(phases[0].get("ms").and_then(Json::as_f64), Some(2.5));
         assert_eq!(phases[0].get("count").and_then(Json::as_f64), Some(4.0));
         assert!(j.encode().is_ok());
+    }
+
+    #[test]
+    fn approx_diagnostics_render() {
+        let d = Diagnostics {
+            algorithm: "mc",
+            candidates_pruned: 12,
+            approx_error_bound: Some(0.25),
+            approx_fallback: Some("aggregate is not incrementally removable; scored exactly"),
+            ..Diagnostics::default()
+        };
+        let j = diagnostics_json(&d);
+        assert_eq!(j.get("candidates_pruned").and_then(Json::as_f64), Some(12.0));
+        assert_eq!(j.get("approx_error_bound").and_then(Json::as_f64), Some(0.25));
+        assert!(j.get("approx_fallback").and_then(Json::as_str).is_some());
     }
 }

@@ -7,7 +7,9 @@ use crate::pool::{PoolGauges, SubmitError, WorkerPool};
 use crate::registry::{TableEntry, TableRegistry};
 use crate::render::{diagnostics_json, explanations_json, num_or_null};
 use crate::stats::{Endpoint, ServerStats};
-use scorpion_core::{Algorithm, DtConfig, InfluenceParams, McConfig, NaiveConfig, ScorpionSession};
+use scorpion_core::{
+    Algorithm, ApproxConfig, DtConfig, InfluenceParams, McConfig, NaiveConfig, ScorpionSession,
+};
 use scorpion_obs::{CacheHit, PromText, TelemetryEvent};
 use std::io::{BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -649,6 +651,36 @@ fn parse_algorithm(name: &str) -> Result<Algorithm, Response> {
     })
 }
 
+/// Reads the approximate-search knobs from an `/explain` body:
+/// `approx: true` opts in with defaults; `approx_rate`,
+/// `approx_confidence`, and `approx_seed` override fields (any of them
+/// implies opting in). Out-of-range values are a 400 whose message
+/// names the valid range.
+fn parse_approx(body: &Json) -> Result<Option<ApproxConfig>, Response> {
+    let rate = body.get("approx_rate").and_then(Json::as_f64);
+    let confidence = body.get("approx_confidence").and_then(Json::as_f64);
+    let seed = body.get("approx_seed").and_then(Json::as_f64);
+    let opted_in = body.get("approx").and_then(Json::as_bool).unwrap_or(false)
+        || rate.is_some()
+        || confidence.is_some()
+        || seed.is_some();
+    if !opted_in {
+        return Ok(None);
+    }
+    let mut cfg = ApproxConfig::default();
+    if let Some(r) = rate {
+        cfg.sample_rate = r;
+    }
+    if let Some(cf) = confidence {
+        cfg.confidence = cf;
+    }
+    if let Some(s) = seed {
+        cfg.seed = s as u64;
+    }
+    cfg.validate().map_err(|msg| error_response(400, &msg))?;
+    Ok(Some(cfg))
+}
+
 /// `POST /explain`: runs (or re-scores) the plan and renders the
 /// explanation. Also assembles the request's flight-recorder event —
 /// the one handler whose event carries engine facts (algorithm, cache
@@ -681,18 +713,28 @@ fn handle_explain(
     let top = body.get("top").and_then(Json::as_f64).unwrap_or(3.0).max(1.0) as usize;
     let algorithm_name = body.get("algorithm").and_then(Json::as_str).unwrap_or("auto");
     let algorithm = parse_algorithm(algorithm_name)?;
+    let approx = parse_approx(&body)?;
 
     // Canonical label spec for the cache key: the re-encoded raw JSON
-    // label fields (parse→encode normalizes formatting).
+    // label fields (parse→encode normalizes formatting). The approx
+    // knobs join the key because the sampler state lives in the plan.
     let enc = |field: &str| -> String {
         body.get(field).map(|v| v.encode().unwrap_or_default()).unwrap_or_default()
     };
-    let labels_spec =
-        format!("o:{}|h:{}|k:{}", enc("outliers"), enc("holdouts"), enc("auto_label"));
+    let approx_spec = match &approx {
+        Some(a) => format!("{}:{}:{}:{}", a.sample_rate, a.confidence, a.min_rows, a.seed),
+        None => String::new(),
+    };
+    let labels_spec = format!(
+        "o:{}|h:{}|k:{}|a:{approx_spec}",
+        enc("outliers"),
+        enc("holdouts"),
+        enc("auto_label")
+    );
     let key = PlanKey::new(&entry, &table_name, sql, &labels_spec, algorithm_name);
 
     let build = || -> Result<PlanEntry, Response> {
-        build_plan_entry(state, &entry, sql, &body, algorithm, lambda, c)
+        build_plan_entry(state, &entry, sql, &body, algorithm, lambda, c, approx)
     };
     let (plan, hit) = state.plans.get_or_create(&key, build)?;
 
@@ -773,6 +815,7 @@ fn dump_trace(dir: &std::path::Path, trace_id: u64) {
 }
 
 /// Builds the session and result metadata for a plan-cache miss.
+#[allow(clippy::too_many_arguments)]
 fn build_plan_entry(
     state: &ServerState,
     entry: &TableEntry,
@@ -781,6 +824,7 @@ fn build_plan_entry(
     algorithm: Algorithm,
     lambda: f64,
     c: f64,
+    approx: Option<ApproxConfig>,
 ) -> Result<PlanEntry, Response> {
     let bad = |msg: String| error_response(400, &msg);
     let builder = scorpion_core::Scorpion::on(entry.table.clone())
@@ -824,12 +868,14 @@ fn build_plan_entry(
         }
         builder.outliers(outliers).holdouts(holdouts)
     };
-    let request = builder
+    let mut builder = builder
         .params(lambda, c)
         .algorithm(algorithm)
-        .influence_cache_entries(state.influence_cache_entries)
-        .build()
-        .map_err(|e| bad(format!("labeling failed: {e}")))?;
+        .influence_cache_entries(state.influence_cache_entries);
+    if let Some(a) = approx {
+        builder = builder.approx(a);
+    }
+    let request = builder.build().map_err(|e| bad(format!("labeling failed: {e}")))?;
     let session = ScorpionSession::new(request)
         .map_err(|e| bad(format!("session construction failed: {e}")))?;
     Ok(PlanEntry { session, display_keys, results })

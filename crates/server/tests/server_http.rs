@@ -212,6 +212,52 @@ fn error_paths_are_clean_json() {
     handle.stop();
 }
 
+/// Out-of-range approximate-search knobs are a 400 whose body names the
+/// valid range; a valid opt-in runs and reports `approx_error_bound`
+/// and `candidates_pruned` in diagnostics.
+#[test]
+fn approx_knobs_validate_and_report() {
+    let handle = serve();
+    let mut c = client::Client::connect(handle.addr()).unwrap();
+    c.post("/tables", &table_body("t", 100)).unwrap();
+
+    let with = |fields: &[(&str, Json)]| {
+        let mut body = explain_body("t", "dt", 0.5);
+        if let Json::Obj(pairs) = &mut body {
+            pairs.extend(fields.iter().map(|(k, v)| ((*k).to_owned(), v.clone())));
+        }
+        body
+    };
+    for (field, value, range) in [
+        ("approx_rate", 1.5, "(0.0, 1.0]"),
+        ("approx_rate", 0.0, "(0.0, 1.0]"),
+        ("approx_confidence", 0.4, "(0.5, 1.0]"),
+        ("approx_confidence", 1.01, "(0.5, 1.0]"),
+    ] {
+        let (status, err) = c.post("/explain", &with(&[(field, Json::from(value))])).unwrap();
+        assert_eq!(status, 400, "{field}={value}: {err:?}");
+        let msg = err.get("error").and_then(Json::as_str).unwrap();
+        assert!(msg.contains(range), "{field}={value}: body must name {range}, got: {msg}");
+    }
+
+    let (status, resp) = c.post("/explain", &with(&[("approx", Json::from(true))])).unwrap();
+    assert_eq!(status, 200, "{resp:?}");
+    let bound = diag(&resp, "approx_error_bound");
+    assert!(bound >= 0.0, "{bound}");
+    assert!(diag(&resp, "candidates_pruned") >= 0.0);
+
+    // Exact requests to the same table render null, not a stale bound:
+    // the approx knobs are part of the plan key.
+    let (status, exact) = c.post("/explain", &explain_body("t", "dt", 0.5)).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        exact.get("diagnostics").and_then(|d| d.get("approx_error_bound")),
+        Some(&Json::Null),
+        "{exact:?}"
+    );
+    handle.stop();
+}
+
 /// Value of the first sample named `name` (exact match on the part
 /// before `{` / whitespace) in a Prometheus exposition body.
 fn prom_value(text: &str, name: &str) -> Option<f64> {

@@ -64,8 +64,10 @@ pub enum AuditOutcome {
         /// Robust scale (1.4826·MAD) of per-slice average latency, ms.
         scale_ms: f64,
     },
-    /// Slow slices were flagged and explained.
-    Explained(AuditReport),
+    /// Slow slices were flagged and explained. Boxed: the report (with
+    /// its embedded explanation and table handle) dwarfs the other
+    /// variants.
+    Explained(Box<AuditReport>),
 }
 
 /// The explained case: which slices were slow, and why.
@@ -189,13 +191,13 @@ pub fn explain_latency(table: &Table, cfg: &AuditConfig) -> Result<Audit> {
     Ok(Audit {
         events,
         threshold: cfg.threshold,
-        outcome: AuditOutcome::Explained(AuditReport {
+        outcome: AuditOutcome::Explained(Box::new(AuditReport {
             slow,
             center_ms: detection.center,
             scale_ms: detection.scale,
             explanation,
             table,
-        }),
+        })),
     })
 }
 

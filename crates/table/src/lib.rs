@@ -56,7 +56,9 @@ pub use domain::{bin_edges, domains_of, AttrDomain};
 pub use error::{Result, TableError};
 pub use predicate::{Clause, Predicate, PredicateMatcher};
 pub use query::{aggregate_groups, group_by, group_values, GroupKey, Grouping, KeyPart};
-pub use rowmask::{ClauseMaskCache, PredicateMask, RowMask};
+pub use rowmask::{
+    intersect3_count_words, intersect_count_words, ClauseMaskCache, PredicateMask, RowMask,
+};
 pub use schema::{AttrType, Field, Schema};
 pub use sql::{apply_selection, parse_query, Condition, ParsedQuery};
 pub use table::{Table, TableBuilder};

@@ -147,9 +147,14 @@ impl RowMask {
     }
 
     /// `|self ∧ other|` without materializing the intersection.
+    ///
+    /// The word zip is unrolled 8-wide with independent accumulators so
+    /// the popcounts pipeline instead of serializing on one running sum
+    /// — the autovectorizer turns each lane into SIMD popcount sequences
+    /// where the target supports them.
     pub fn intersect_count(&self, other: &RowMask) -> usize {
         debug_assert_eq!(self.len, other.len);
-        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
+        intersect_count_words(&self.words, &other.words)
     }
 
     /// Iterates the set rows in ascending order (a selection vector).
@@ -163,6 +168,50 @@ impl RowMask {
         out.extend(self.iter());
         out
     }
+}
+
+/// 8-way unrolled `popcount(a & b)` over two word slices (the kernel
+/// behind [`RowMask::intersect_count`], shared so span-limited consumers
+/// can run it over sub-slices).
+pub fn intersect_count_words(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0usize; 8];
+    let (ca, ra) = a.split_at(a.len() - a.len() % 8);
+    let (cb, rb) = b.split_at(ca.len());
+    for (wa, wb) in ca.chunks_exact(8).zip(cb.chunks_exact(8)) {
+        for lane in 0..8 {
+            acc[lane] += (wa[lane] & wb[lane]).count_ones() as usize;
+        }
+    }
+    let mut n: usize = acc.iter().sum();
+    for (wa, wb) in ra.iter().zip(rb) {
+        n += (wa & wb).count_ones() as usize;
+    }
+    n
+}
+
+/// 8-way unrolled `popcount(a & b & c)` over three word slices — the
+/// three-operand sibling of [`intersect_count_words`], for counting a
+/// two-clause conjunction against a group mask in one pass without
+/// materializing the conjunction bitmap.
+pub fn intersect3_count_words(a: &[u64], b: &[u64], c: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), c.len());
+    let mut acc = [0usize; 8];
+    let head = a.len() - a.len() % 8;
+    let (ca, ra) = a.split_at(head);
+    let (cb, rb) = b.split_at(head);
+    let (cc, rc) = c.split_at(head);
+    for ((wa, wb), wc) in ca.chunks_exact(8).zip(cb.chunks_exact(8)).zip(cc.chunks_exact(8)) {
+        for lane in 0..8 {
+            acc[lane] += (wa[lane] & wb[lane] & wc[lane]).count_ones() as usize;
+        }
+    }
+    let mut n: usize = acc.iter().sum();
+    for ((wa, wb), wc) in ra.iter().zip(rb).zip(rc) {
+        n += (wa & wb & wc).count_ones() as usize;
+    }
+    n
 }
 
 impl<'a> IntoIterator for &'a RowMask {
@@ -288,16 +337,22 @@ impl ClauseMaskCache {
         self.entries.lock().map.is_empty()
     }
 
-    /// Number of lookups answered from the cache (cumulative, across
-    /// every sharer — per-consumer attribution is the caller's job, via
-    /// the hit flag of [`ClauseMaskCache::get_or_eval_flagged`]).
+    /// Number of lookups answered from the cache since construction or
+    /// the last [`ClauseMaskCache::clear`] (per-consumer attribution is
+    /// the caller's job, via the hit flag of
+    /// [`ClauseMaskCache::get_or_eval_flagged`]).
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Drops every cached mask (the hit counter survives).
+    /// Drops every cached mask *and* resets the hit counter. A clear is
+    /// how a plan rebind recycles a cache for a new table snapshot, so
+    /// both entries and hits must restart from zero — carrying the old
+    /// count over made warm-slide diagnostics overcount hits that
+    /// belonged to the previous generation.
     pub fn clear(&self) {
         self.entries.lock().map.clear();
+        self.hits.store(0, Ordering::Relaxed);
     }
 
     /// The cached mask of `clause`, computing and caching it with
@@ -421,7 +476,42 @@ mod tests {
         assert_eq!(cache.hits(), 1);
         cache.clear();
         assert!(cache.is_empty());
-        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.hits(), 0, "clear starts a new counting generation");
+    }
+
+    #[test]
+    fn intersect_count_unrolled_matches_scalar_on_all_lengths() {
+        // Cover every remainder class of the 8-word unroll, including
+        // lengths shorter than one chunk.
+        for words in 0..20usize {
+            let len = words * 64 + 17;
+            let rows_a: Vec<u32> = (0..len as u32).filter(|r| r % 3 == 0).collect();
+            let rows_b: Vec<u32> = (0..len as u32).filter(|r| r % 5 == 0).collect();
+            let a = RowMask::from_rows(len, &rows_a);
+            let b = RowMask::from_rows(len, &rows_b);
+            let scalar: usize =
+                a.words().iter().zip(b.words()).map(|(x, y)| (x & y).count_ones() as usize).sum();
+            assert_eq!(a.intersect_count(&b), scalar, "len {len}");
+            assert_eq!(a.intersect_count(&b), (0..len as u32).filter(|r| r % 15 == 0).count());
+        }
+    }
+
+    #[test]
+    fn intersect3_unrolled_matches_scalar_on_all_lengths() {
+        for words in 0..20usize {
+            let len = words * 64 + 17;
+            let rows_a: Vec<u32> = (0..len as u32).filter(|r| r % 2 == 0).collect();
+            let rows_b: Vec<u32> = (0..len as u32).filter(|r| r % 3 == 0).collect();
+            let rows_c: Vec<u32> = (0..len as u32).filter(|r| r % 5 == 0).collect();
+            let a = RowMask::from_rows(len, &rows_a);
+            let b = RowMask::from_rows(len, &rows_b);
+            let c = RowMask::from_rows(len, &rows_c);
+            assert_eq!(
+                intersect3_count_words(a.words(), b.words(), c.words()),
+                (0..len as u32).filter(|r| r % 30 == 0).count(),
+                "len {len}"
+            );
+        }
     }
 
     #[test]

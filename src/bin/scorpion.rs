@@ -54,11 +54,12 @@ struct Args {
     json: bool,
     verbose: bool,
     trace: Option<String>,
+    approx: Option<ApproxConfig>,
 }
 
 const HELP: &str = "usage: scorpion --csv FILE --sql QUERY [--outliers k1,k2,...] \
 [--holdouts k1,k2,...] [--direction high|low] [--c F] [--lambda F] [--top N] [--json] \
-[--verbose] [--trace FILE]\n\
+[--verbose] [--trace FILE] [--approx] [--approx-rate F] [--approx-confidence F]\n\
        scorpion serve --csv NAME=FILE [--csv ...] [--port P] [--workers N] ...\n\
        scorpion audit --telemetry-csv FILE [--threshold Z] [--top N] [--json]\n\
 \n\
@@ -70,6 +71,13 @@ deviant results are labeled automatically. --json prints the result\n\
 series, explanations, and diagnostics as one JSON object. --verbose\n\
 prints a per-phase timing table to stderr (composes with --json).\n\
 --trace FILE writes a chrome://tracing span dump of the run.\n\
+--approx enables the two-stage approximate influence search: a\n\
+deterministic stratified sample prunes dominated candidates before\n\
+exact scoring; the reported top predicates stay exactly scored and\n\
+diagnostics gain approx_error_bound and candidates_pruned.\n\
+--approx-rate F (in (0.0, 1.0], default 0.1) sets the per-group sample\n\
+rate; --approx-confidence F (in (0.5, 1.0], default 0.95) the interval\n\
+confidence. Either flag implies --approx.\n\
 \n\
 `scorpion serve` runs the explanation service (see `scorpion serve\n\
 --help`). `scorpion audit` runs the engine over its own request\n\
@@ -85,7 +93,8 @@ const SERVE_HELP: &str = "usage: scorpion serve [--csv NAME=FILE]... [--port P] 
 \n\
 Serves outlier explanations over HTTP/1.1 JSON:\n\
   POST /explain   {table, sql, outliers|auto_label, holdouts, lambda, c,\n\
-                   top, algorithm} -> ranked predicates + diagnostics\n\
+                   top, algorithm, approx, approx_rate, approx_confidence}\n\
+                  -> ranked predicates + diagnostics\n\
   GET  /tables    registered tables (name, generation, rows)\n\
   POST /tables    {name, csv} -> load/replace a table\n\
   GET  /healthz   liveness\n\
@@ -150,6 +159,7 @@ fn parse_args(it: impl Iterator<Item = String>) -> Args {
         json: false,
         verbose: false,
         trace: None,
+        approx: None,
     };
     let mut it = it;
     while let Some(flag) = it.next() {
@@ -184,6 +194,19 @@ fn parse_args(it: impl Iterator<Item = String>) -> Args {
             "--json" => args.json = true,
             "--verbose" => args.verbose = true,
             "--trace" => args.trace = Some(val("--trace")),
+            "--approx" => {
+                args.approx.get_or_insert_with(ApproxConfig::default);
+            }
+            "--approx-rate" => {
+                // Unparseable values become NaN, which validate()
+                // rejects below with the range-naming message.
+                let rate = val("--approx-rate").parse().unwrap_or(f64::NAN);
+                args.approx.get_or_insert_with(ApproxConfig::default).sample_rate = rate;
+            }
+            "--approx-confidence" => {
+                let conf = val("--approx-confidence").parse().unwrap_or(f64::NAN);
+                args.approx.get_or_insert_with(ApproxConfig::default).confidence = conf;
+            }
             "--help" | "-h" => help(HELP),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -193,6 +216,12 @@ fn parse_args(it: impl Iterator<Item = String>) -> Args {
     }
     if args.csv.is_empty() || args.sql.is_empty() {
         usage(HELP);
+    }
+    if let Some(a) = &args.approx {
+        if let Err(msg) = a.validate() {
+            eprintln!("{msg}");
+            exit(2);
+        }
     }
     args
 }
@@ -522,7 +551,11 @@ fn main() {
     let results = builder.results().to_vec();
     let display_keys: Vec<String> = (0..builder.len()).map(|i| builder.display_key(i)).collect();
 
-    let request = match builder.params(args.lambda, args.c).build() {
+    let mut builder = builder.params(args.lambda, args.c);
+    if let Some(a) = args.approx {
+        builder = builder.approx(a);
+    }
+    let request = match builder.build() {
         Ok(r) => r,
         Err(e) => {
             eprintln!("labeling failed: {e}");

@@ -88,10 +88,11 @@ pub mod prelude {
     pub use scorpion_core::features::{rank_attributes, select_attributes};
     pub use scorpion_core::session::ScorpionSession;
     pub use scorpion_core::{
-        explain, label_extremes, Algorithm, Diagnostics, DtConfig, DtEngine, ExplainRequest,
-        Explainer, Explanation, GroupSpec, InfluenceCache, InfluenceParams, LabeledQuery, McConfig,
-        McEngine, MergerConfig, NaiveConfig, NaiveEngine, PreparedPlan, PreparedQuery,
-        RequestBuilder, ScoredPredicate, Scorer, Scorpion, ScorpionConfig, ScorpionError,
+        explain, label_extremes, Algorithm, ApproxConfig, Diagnostics, DtConfig, DtEngine,
+        ExplainRequest, Explainer, Explanation, GroupSpec, InfluenceCache, InfluenceParams,
+        LabeledQuery, McConfig, McEngine, MergerConfig, NaiveConfig, NaiveEngine, PreparedPlan,
+        PreparedQuery, RequestBuilder, ScoredPredicate, Scorer, Scorpion, ScorpionConfig,
+        ScorpionError,
     };
     pub use scorpion_sketch::{
         ErrorBound, HyperLogLog, QuantileSketch, SketchPartial, SpaceSaving,

@@ -130,6 +130,65 @@ fn json_output_parses_and_ranks() {
     assert!(names.contains(&"run.score"), "{names:?}");
 }
 
+/// Out-of-range approximate-search knobs exit 2 with a message that
+/// names the valid range, before any data is read.
+#[test]
+fn approx_flags_validate_ranges() {
+    let csv = sample_csv_path("approx_validate.csv");
+    for (flag, value, range) in [
+        ("--approx-rate", "1.5", "(0.0, 1.0]"),
+        ("--approx-rate", "0.0", "(0.0, 1.0]"),
+        ("--approx-rate", "abc", "(0.0, 1.0]"),
+        ("--approx-confidence", "0.4", "(0.5, 1.0]"),
+        ("--approx-confidence", "1.2", "(0.5, 1.0]"),
+    ] {
+        let out = bin()
+            .args([
+                "--csv",
+                csv.to_str().unwrap(),
+                "--sql",
+                "SELECT avg(v) FROM t GROUP BY g",
+                flag,
+                value,
+            ])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "{flag} {value}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(range), "{flag} {value}: stderr must name {range}, got: {err}");
+    }
+}
+
+/// `--approx --json` surfaces the approximate-search diagnostics:
+/// `approx_error_bound` is a number (0.0 when nothing was pruned) and
+/// `candidates_pruned` is present.
+#[test]
+fn approx_json_reports_error_bound() {
+    let csv = sample_csv_path("approx_json.csv");
+    let out = bin()
+        .args([
+            "--csv",
+            csv.to_str().unwrap(),
+            "--sql",
+            "SELECT avg(v) FROM t GROUP BY g",
+            "--outliers",
+            "o",
+            "--holdouts",
+            "h",
+            "--approx",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let doc = Json::parse(std::str::from_utf8(&out.stdout).unwrap().trim()).unwrap();
+    let d = doc.get("diagnostics").expect("diagnostics");
+    let bound = d.get("approx_error_bound").and_then(Json::as_f64);
+    assert!(bound.is_some(), "approx runs must report approx_error_bound: {d:?}");
+    assert!(bound.unwrap() >= 0.0);
+    assert!(d.get("candidates_pruned").and_then(Json::as_f64).is_some());
+}
+
 /// `--verbose` prints the phase table to stderr — aligned columns, a
 /// TOTAL row — without disturbing the `--json` document on stdout.
 #[test]

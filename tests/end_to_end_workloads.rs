@@ -44,6 +44,7 @@ fn synth_easy_all_algorithms_beat_random() {
             explain_attrs: Some(ds.dim_attrs()),
             force_blackbox: false,
             max_explain_attrs: None,
+            approx: None,
         };
         let ex = explain(&q, &cfg).unwrap();
         let acc = predicate_accuracy(&ds.table, &ex.best().predicate, &rows, ds.truth_rows(false));
@@ -80,6 +81,7 @@ fn blackbox_and_incremental_agree_end_to_end() {
         explain_attrs: Some(ds.dim_attrs()),
         force_blackbox: blackbox,
         max_explain_attrs: None,
+        approx: None,
     };
     let fast = explain(&q, &mk(false)).unwrap();
     let slow = explain(&q, &mk(true)).unwrap();

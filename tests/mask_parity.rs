@@ -134,3 +134,31 @@ proptest! {
         }
     }
 }
+
+/// Regression: `ClauseMaskCache::clear()` must reset the hit counter
+/// along with the entries. It used to leave `hits()` at its old value,
+/// so a rebind's fresh cache reported stale hit counts from the
+/// previous data snapshot in diagnostics.
+#[test]
+fn clause_mask_cache_clear_resets_counters() {
+    let rows: Vec<(f64, usize, f64, bool)> =
+        (0..64).map(|i| (i as f64, i % 4, i as f64, i % 2 == 0)).collect();
+    let t = build_table(&rows);
+    let p = build_predicate(&t, 10.0, 20.0, false, 0);
+    let cache = ClauseMaskCache::new();
+
+    p.mask(&t, &cache).unwrap();
+    p.mask(&t, &cache).unwrap();
+    assert!(cache.hits() > 0, "second lookup must hit");
+    assert!(!cache.is_empty(), "first lookup must populate");
+
+    cache.clear();
+    assert_eq!(cache.len(), 0, "clear() must drop entries");
+    assert_eq!(cache.hits(), 0, "clear() must reset the hit counter");
+
+    // A fresh miss/hit cycle counts from zero.
+    p.mask(&t, &cache).unwrap();
+    assert_eq!(cache.hits(), 0);
+    p.mask(&t, &cache).unwrap();
+    assert_eq!(cache.hits(), 1);
+}
