@@ -7,9 +7,14 @@
 //! * **warm** — the same query and labels at a rotating `c`: the plan
 //!   cache hits and the request re-scores through the prepared plan's
 //!   influence cache (the §8.3.3 path a resident server keeps hot).
+//! * **warm_parked256** — the warm path again, but with 256 idle
+//!   keep-alive connections parked on the readiness poller. With
+//!   request-grained workers the parked crowd costs file descriptors,
+//!   not workers, so warm p99 must stay within 2× of the
+//!   single-connection group (asserted below).
 //!
-//! The gap between the two lines is the value of running resident
-//! instead of one-shot.
+//! The gap between the first two lines is the value of running resident
+//! instead of one-shot; the third line is the cost of being popular.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use scorpion_server::{client::Client, Json, Server, ServerConfig};
@@ -92,7 +97,56 @@ fn explain_rps(criterion: &mut Criterion) {
             resp
         });
     });
+
+    // Baseline warm p99 at one connection, sampled outside criterion so
+    // the parked comparison below is apples-to-apples.
+    let p99_low = sample_warm_p99(&mut client, &cs, &mut lap);
+
+    // Park 256 idle keep-alive connections: each sends one request to
+    // establish itself, then sits. They must cost workers nothing.
+    let idle: Vec<Client> = (0..256)
+        .map(|_| {
+            let mut c = Client::connect(handle.addr()).expect("idle connect");
+            let (status, _) = c.get("/healthz").expect("idle healthz");
+            assert_eq!(status, 200);
+            c
+        })
+        .collect();
+    let parked_deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let (_, stats) = client.get("/stats").expect("stats");
+        let parked = stats.get("parked_connections").and_then(Json::as_f64).unwrap_or(0.0);
+        if parked >= 256.0 {
+            break;
+        }
+        assert!(std::time::Instant::now() < parked_deadline, "only {parked} parked");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    g.bench_function("warm_parked256", |b| {
+        b.iter(|| {
+            let c = cs[lap % cs.len()];
+            lap += 1;
+            let (status, resp) = client.post("/explain", &explain_body(c)).expect("parked post");
+            assert_eq!(status, 200);
+            assert_eq!(resp.get("plan_cache").and_then(Json::as_str), Some("hit"));
+            resp
+        });
+    });
     g.finish();
+
+    let p99_parked = sample_warm_p99(&mut client, &cs, &mut lap);
+    println!(
+        "server_explain warm p99: {:.2}ms at 1 connection, {:.2}ms with 256 parked ({:.2}x)",
+        p99_low.as_secs_f64() * 1000.0,
+        p99_parked.as_secs_f64() * 1000.0,
+        p99_parked.as_secs_f64() / p99_low.as_secs_f64().max(1e-9),
+    );
+    assert!(
+        p99_parked <= p99_low * 2,
+        "256 parked connections must not double warm p99: {p99_low:?} -> {p99_parked:?}"
+    );
+    drop(idle);
 
     let stats = state.plans.stats();
     println!(
@@ -100,6 +154,23 @@ fn explain_rps(criterion: &mut Criterion) {
         stats.hits, stats.misses, stats.evictions
     );
     handle.stop();
+}
+
+/// p99 of 200 warm `/explain` round-trips, measured outside criterion
+/// so the parked/unparked comparison shares one methodology.
+fn sample_warm_p99(client: &mut Client, cs: &[f64], lap: &mut usize) -> Duration {
+    let mut samples: Vec<Duration> = (0..200)
+        .map(|_| {
+            let c = cs[*lap % cs.len()];
+            *lap += 1;
+            let start = std::time::Instant::now();
+            let (status, _) = client.post("/explain", &explain_body(c)).expect("p99 post");
+            assert_eq!(status, 200);
+            start.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() * 99 / 100]
 }
 
 criterion_group!(benches, explain_rps);

@@ -230,6 +230,11 @@ pub struct McConfig {
     pub max_dims: usize,
     /// Disable the §6.2 pruning rules (ablation only).
     pub disable_pruning: bool,
+    /// Anytime budget: the level loop stops once this much wall-clock
+    /// time has elapsed and returns the best predicates found so far
+    /// (`McDiag::budget_exhausted` reports the early exit). `None` (the
+    /// default) runs to convergence.
+    pub time_budget: Option<Duration>,
     /// Worker threads for batched candidate scoring
     /// ([`crate::Scorer::influence_batch`]) at each level. `0` =
     /// auto-detect from the host's available parallelism.
@@ -247,6 +252,7 @@ impl Default for McConfig {
             max_candidates_per_level: 4096,
             max_dims: 0,
             disable_pruning: false,
+            time_budget: None,
             score_threads: 0,
             merger: MergerConfig {
                 use_cached_tuples: false,

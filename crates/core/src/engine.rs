@@ -97,6 +97,22 @@ pub trait PreparedPlan: Send + Sync {
     /// the same cost shape as the one-shot path.
     fn run(&self, params: &InfluenceParams) -> Result<Explanation>;
 
+    /// Like [`PreparedPlan::run`], but with a best-effort wall-clock
+    /// budget. Anytime engines (NAIVE, MC) clamp their internal time
+    /// budget to `budget` and return best-so-far results with
+    /// [`Diagnostics::budget_exhausted`] set when it expires; engines
+    /// without an anytime loop (DT) ignore it and run to completion, so
+    /// callers enforcing a hard deadline must also check the clock after
+    /// the call returns. `None` behaves exactly like [`PreparedPlan::run`].
+    fn run_with_budget(
+        &self,
+        params: &InfluenceParams,
+        budget: Option<std::time::Duration>,
+    ) -> Result<Explanation> {
+        let _ = budget;
+        self.run(params)
+    }
+
     /// Transfers the `c`-agnostic artifacts onto a new, compatible
     /// request — same schema and label semantics over fresher data (a
     /// slid window, an appended table). Influence caches are dropped
@@ -491,7 +507,7 @@ impl Explainer for McEngine {
             predicates: results,
             partitions: mdiag.initial_units,
             candidates: mdiag.scored,
-            budget_exhausted: false,
+            budget_exhausted: mdiag.budget_exhausted,
             phases: mdiag.phases,
         })
     }
@@ -560,12 +576,11 @@ struct McPlan {
     charge_prep: Mutex<bool>,
 }
 
-impl PreparedPlan for McPlan {
-    fn algorithm(&self) -> &'static str {
-        "mc"
-    }
-
-    fn run(&self, params: &InfluenceParams) -> Result<Explanation> {
+impl McPlan {
+    /// The shared run body, parameterized by config so
+    /// [`PreparedPlan::run_with_budget`] can clamp the anytime budget
+    /// without mutating the plan.
+    fn run_with_cfg(&self, params: &InfluenceParams, cfg: &McConfig) -> Result<Explanation> {
         let _span = span!("run");
         let start = Instant::now();
         let mut scorer = self
@@ -579,7 +594,7 @@ impl PreparedPlan for McPlan {
         let score_start = Instant::now();
         let (results, mdiag) = {
             let _span = span!("score");
-            mc_search_units(&scorer, &self.attrs, &self.domains, &self.cfg, self.units.clone())?
+            mc_search_units(&scorer, &self.attrs, &self.domains, cfg, self.units.clone())?
         };
         let score_elapsed = score_start.elapsed();
         let prep = {
@@ -604,11 +619,37 @@ impl PreparedPlan for McPlan {
             mask_cache_entries: scorer.mask_cache_entries(),
             candidates: mdiag.scored,
             partitions: mdiag.initial_units,
+            budget_exhausted: mdiag.budget_exhausted,
             phases,
             ..Diagnostics::default()
         };
         approx_diag(&mut diagnostics, &scorer);
         Ok(finish("mc", results, diagnostics))
+    }
+}
+
+impl PreparedPlan for McPlan {
+    fn algorithm(&self) -> &'static str {
+        "mc"
+    }
+
+    fn run(&self, params: &InfluenceParams) -> Result<Explanation> {
+        self.run_with_cfg(params, &self.cfg)
+    }
+
+    fn run_with_budget(
+        &self,
+        params: &InfluenceParams,
+        budget: Option<std::time::Duration>,
+    ) -> Result<Explanation> {
+        match budget {
+            None => self.run(params),
+            Some(b) => {
+                let mut cfg = self.cfg.clone();
+                cfg.time_budget = Some(cfg.time_budget.map_or(b, |own| own.min(b)));
+                self.run_with_cfg(params, &cfg)
+            }
+        }
     }
 
     fn rebind(&self, req: &ExplainRequest) -> Result<Box<dyn PreparedPlan>> {
@@ -724,12 +765,11 @@ struct NaivePlan {
     charge_prep: Mutex<bool>,
 }
 
-impl PreparedPlan for NaivePlan {
-    fn algorithm(&self) -> &'static str {
-        "naive"
-    }
-
-    fn run(&self, params: &InfluenceParams) -> Result<Explanation> {
+impl NaivePlan {
+    /// The shared run body, parameterized by config so
+    /// [`PreparedPlan::run_with_budget`] can clamp the anytime budget
+    /// without mutating the plan.
+    fn run_with_cfg(&self, params: &InfluenceParams, cfg: &NaiveConfig) -> Result<Explanation> {
         let _span = span!("run");
         let start = Instant::now();
         let mut scorer = self
@@ -745,7 +785,7 @@ impl PreparedPlan for NaivePlan {
         let score_start = Instant::now();
         let out = {
             let _span = span!("score");
-            naive_search_prepared(&scorer, &self.candidates, &self.cfg)?
+            naive_search_prepared(&scorer, &self.candidates, cfg)?
         };
         let score_elapsed = score_start.elapsed();
         let prep = {
@@ -774,6 +814,31 @@ impl PreparedPlan for NaivePlan {
         };
         approx_diag(&mut diagnostics, &scorer);
         Ok(finish("naive", vec![out.best], diagnostics))
+    }
+}
+
+impl PreparedPlan for NaivePlan {
+    fn algorithm(&self) -> &'static str {
+        "naive"
+    }
+
+    fn run(&self, params: &InfluenceParams) -> Result<Explanation> {
+        self.run_with_cfg(params, &self.cfg)
+    }
+
+    fn run_with_budget(
+        &self,
+        params: &InfluenceParams,
+        budget: Option<std::time::Duration>,
+    ) -> Result<Explanation> {
+        match budget {
+            None => self.run(params),
+            Some(b) => {
+                let mut cfg = self.cfg.clone();
+                cfg.time_budget = Some(cfg.time_budget.map_or(b, |own| own.min(b)));
+                self.run_with_cfg(params, &cfg)
+            }
+        }
     }
 
     fn rebind(&self, req: &ExplainRequest) -> Result<Box<dyn PreparedPlan>> {
@@ -911,6 +976,30 @@ mod tests {
                 second.diagnostics.algorithm
             );
         }
+    }
+
+    #[test]
+    fn run_with_budget_clamps_anytime_engines() {
+        for algorithm in
+            [Algorithm::BottomUp(McConfig::default()), Algorithm::Naive(NaiveConfig::default())]
+        {
+            let req = request(algorithm, 0.5);
+            let plan = req.prepare().unwrap();
+            let out = plan.run_with_budget(&req.params(), Some(std::time::Duration::ZERO)).unwrap();
+            assert!(out.diagnostics.budget_exhausted, "{}", out.diagnostics.algorithm);
+            assert!(!out.predicates.is_empty());
+            // A generous budget does not trip the anytime exit.
+            let full = plan
+                .run_with_budget(&req.params(), Some(std::time::Duration::from_secs(3600)))
+                .unwrap();
+            assert!(!full.diagnostics.budget_exhausted, "{}", full.diagnostics.algorithm);
+        }
+        // DT has no anytime loop: the budget is ignored, not an error.
+        let dt = DtConfig { sampling: None, ..DtConfig::default() };
+        let req = request(Algorithm::DecisionTree(dt), 0.5);
+        let plan = req.prepare().unwrap();
+        let out = plan.run_with_budget(&req.params(), Some(std::time::Duration::ZERO)).unwrap();
+        assert!(!out.diagnostics.budget_exhausted);
     }
 
     #[test]

@@ -41,6 +41,10 @@ pub struct McDiag {
     pub scored: u64,
     /// Aggregate Merger diagnostics.
     pub merge: MergeDiag,
+    /// True when the anytime budget ([`McConfig::time_budget`]) expired
+    /// before the level loop converged; the returned predicates are the
+    /// best found so far.
+    pub budget_exhausted: bool,
     /// Per-phase wall-clock attribution (`mc.*` phases), summed across
     /// levels.
     pub phases: Vec<PhaseTiming>,
@@ -74,6 +78,12 @@ pub fn mc_search_units(
     let merger = Merger::new(scorer, domains, cfg.merger.clone());
     let threads = crate::scorer::resolve_threads(cfg.score_threads);
     let phases = Phases::new();
+    // Anytime budget: checked between whole level phases (score, prune,
+    // merge, intersect are each uninterruptible) — level granularity is
+    // the natural checkpoint, since every completed level has already
+    // folded its improvements into `results`.
+    let started = std::time::Instant::now();
+    let over_budget = || cfg.time_budget.is_some_and(|b| started.elapsed() >= b);
 
     // Level 1: single-attribute units.
     diag.initial_units = units.len();
@@ -94,6 +104,10 @@ pub fn mc_search_units(
 
     loop {
         diag.levels = level;
+        if over_budget() {
+            diag.budget_exhausted = true;
+            break;
+        }
         let _span = span!("mc.level");
 
         // Prune candidates that can no longer matter (§6.2 PRUNE).
@@ -125,6 +139,10 @@ pub fn mc_search_units(
         best = improved.iter().max_by(|a, b| a.influence.total_cmp(&b.influence)).cloned();
 
         if level >= max_dims {
+            break;
+        }
+        if over_budget() {
+            diag.budget_exhausted = true;
             break;
         }
 
@@ -481,5 +499,21 @@ mod tests {
         for r in &results {
             assert!(r.predicate.num_clauses() <= 2); // merged hulls of 1-D units
         }
+    }
+
+    /// An exhausted anytime budget stops between levels but still returns
+    /// a usable (possibly degenerate) best-so-far result set.
+    #[test]
+    fn zero_budget_exits_early_with_results() {
+        let t = planted(400);
+        let s = scorer(&t, 0.5);
+        let d = domains_of(&t).unwrap();
+        let budgeted = McConfig { time_budget: Some(std::time::Duration::ZERO), ..cfg() };
+        let (results, diag) = mc_search(&s, &[1, 2], &d, &budgeted).unwrap();
+        assert!(diag.budget_exhausted, "{diag:?}");
+        assert!(!results.is_empty());
+        // And the default (no budget) never reports exhaustion.
+        let (_, full) = mc_search(&s, &[1, 2], &d, &cfg()).unwrap();
+        assert!(!full.budget_exhausted);
     }
 }

@@ -77,6 +77,18 @@ impl ScorpionSession {
         self.plan()?.run(&params)
     }
 
+    /// Runs (or re-runs) the query under a best-effort wall-clock
+    /// budget — see [`PreparedPlan::run_with_budget`] for the per-engine
+    /// semantics (anytime engines return best-so-far with
+    /// `budget_exhausted` set; DT runs to completion regardless).
+    pub fn run_with_budget(
+        &self,
+        params: InfluenceParams,
+        budget: Option<std::time::Duration>,
+    ) -> Result<Explanation> {
+        self.plan()?.run_with_budget(&params, budget)
+    }
+
     /// Runs at the request's own parameters.
     pub fn run_default(&self) -> Result<Explanation> {
         self.run(self.req.params())

@@ -8,13 +8,24 @@
 //! no matcher passes) instead of re-parsing, re-partitioning, and
 //! re-scoring from scratch. Replacing a table bumps its generation,
 //! which changes every dependent key and strands the stale entries until
-//! LRU eviction collects them.
+//! eviction collects them.
+//!
+//! Eviction is **prepare-cost-aware**: each resident entry remembers how
+//! long it took to build (SQL parse + session + `prepare`), and an
+//! incoming entry may only evict residents that are not dramatically
+//! more expensive than itself. A burst of cheap MC preps can therefore
+//! no longer wash a multi-second DT prep out of the cache; when every
+//! resident is too expensive to displace, the incoming entry is simply
+//! *not admitted* (the caller still gets its freshly built session —
+//! it just isn't cached) and `admission_denied` is counted.
 
 use crate::registry::TableEntry;
 use parking_lot::Mutex;
-use scorpion_core::{LruShard, ScorpionSession};
+use scorpion_core::ScorpionSession;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A cache key. Construct with [`PlanKey::new`] so SQL normalization and
 /// field separation stay consistent.
@@ -61,22 +72,96 @@ pub struct PlanCacheStats {
     pub hits: u64,
     /// Lookups that had to build a session.
     pub misses: u64,
-    /// Entries evicted (LRU).
+    /// Entries evicted to admit a newer one.
     pub evictions: u64,
+    /// Built entries refused residency because every evictable slot
+    /// held a strictly more expensive prepare.
+    pub admission_denied: u64,
     /// Entries currently resident.
     pub entries: usize,
 }
 
-/// One lock shard: a [`LruShard`] of shared sessions keyed by plan key.
-type Shard = LruShard<PlanKey, Arc<PlanEntry>>;
+/// A resident entry plus its admission metadata.
+struct Slot {
+    entry: Arc<PlanEntry>,
+    /// Measured build cost (parse + session + prepare) at insert time.
+    cost: Duration,
+    /// Last-access tick for LRU ordering within the shard.
+    tick: u64,
+}
 
-/// Sharded LRU cache of warm sessions.
+/// Admission headroom: an incoming entry may evict residents costing up
+/// to this factor more than itself. Wide enough that measurement jitter
+/// between same-class preps never blocks admission, narrow enough that
+/// a microsecond MC prep cannot displace a multi-second DT prep.
+const COST_HEADROOM: u32 = 8;
+
+/// Floor applied to the incoming cost before the headroom comparison:
+/// below this, build-time differences are noise, and everything cheap
+/// should compete as plain LRU.
+const COST_FLOOR: Duration = Duration::from_millis(1);
+
+/// One lock shard: slots keyed by plan key, LRU-ordered by access tick,
+/// evicted cost-aware.
+#[derive(Default)]
+struct CostShard {
+    map: HashMap<PlanKey, Slot>,
+    tick: u64,
+}
+
+impl CostShard {
+    fn get(&mut self, key: &PlanKey) -> Option<Arc<PlanEntry>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|slot| {
+            slot.tick = tick;
+            slot.entry.clone()
+        })
+    }
+
+    /// Attempts to admit `entry` under the cost-aware policy, evicting
+    /// the least-recently-used *displaceable* resident if the shard is
+    /// full. Returns `(evicted, admitted)`.
+    fn admit(
+        &mut self,
+        key: &PlanKey,
+        entry: Arc<PlanEntry>,
+        cost: Duration,
+        cap: usize,
+    ) -> (u64, bool) {
+        self.tick += 1;
+        let tick = self.tick;
+        let mut evicted = 0;
+        if self.map.len() >= cap.max(1) {
+            let threshold = cost.max(COST_FLOOR).saturating_mul(COST_HEADROOM);
+            let victim = self
+                .map
+                .iter()
+                .filter(|(_, s)| s.cost <= threshold)
+                .min_by_key(|(_, s)| s.tick)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    self.map.remove(&k);
+                    evicted = 1;
+                }
+                // Every resident out-costs the incoming entry: keep them.
+                None => return (0, false),
+            }
+        }
+        self.map.insert(key.clone(), Slot { entry, cost, tick });
+        (evicted, true)
+    }
+}
+
+/// Sharded, cost-aware LRU cache of warm sessions.
 pub struct PlanCache {
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<Mutex<CostShard>>,
     cap: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    admission_denied: AtomicU64,
 }
 
 /// Lock shards (power of two).
@@ -96,15 +181,16 @@ impl PlanCache {
     pub fn with_capacity(cap: usize) -> Self {
         let cap = if cap == 0 { DEFAULT_CAP } else { cap };
         PlanCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shards: (0..SHARDS).map(|_| Mutex::new(CostShard::default())).collect(),
             cap,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            admission_denied: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: &PlanKey) -> &Mutex<Shard> {
+    fn shard(&self, key: &PlanKey) -> &Mutex<CostShard> {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
@@ -119,30 +205,38 @@ impl PlanCache {
     }
 
     /// Looks up `key`; on a miss, runs `build` (outside any lock — it
-    /// parses SQL and constructs a session) and caches the result.
-    /// Concurrent misses on the same key may both build; the first
-    /// insert wins and later builders adopt it, so every caller shares
-    /// one session object per key.
+    /// parses SQL, constructs a session, and should *prepare* it, so the
+    /// measured cost reflects what re-building would really cost) and
+    /// offers the result to the cost-aware admission policy. Concurrent
+    /// misses on the same key may both build; the first insert wins and
+    /// later builders adopt it, so every caller shares one session
+    /// object per key. A denied admission still returns the built entry
+    /// — the response is served; the entry just isn't cached.
     pub fn get_or_create<E>(
         &self,
         key: &PlanKey,
         build: impl FnOnce() -> Result<PlanEntry, E>,
     ) -> Result<(Arc<PlanEntry>, bool), E> {
-        if let Some(entry) = self.shard(key).lock().get_mut(key) {
+        if let Some(entry) = self.shard(key).lock().get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((entry.clone(), true));
+            return Ok((entry, true));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        let build_start = Instant::now();
         let built = Arc::new(build()?);
+        let cost = build_start.elapsed();
         let mut shard = self.shard(key).lock();
-        if let Some(existing) = shard.get_mut(key) {
+        if let Some(existing) = shard.get(key) {
             // A racing builder won; adopt its resident entry.
-            return Ok((existing.clone(), false));
+            return Ok((existing, false));
         }
-        let evicted = shard.insert(key, built.clone(), self.shard_cap());
+        let (evicted, admitted) = shard.admit(key, built.clone(), cost, self.shard_cap());
         drop(shard);
         if evicted > 0 {
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        if !admitted {
+            self.admission_denied.fetch_add(1, Ordering::Relaxed);
         }
         Ok((built, false))
     }
@@ -153,7 +247,8 @@ impl PlanCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.shards.iter().map(|s| s.lock().len()).sum(),
+            admission_denied: self.admission_denied.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().map.len()).sum(),
         }
     }
 }
@@ -235,6 +330,49 @@ mod tests {
         }
         let s = cache.stats();
         assert!(s.entries <= 8, "{} entries resident", s.entries);
-        assert_eq!(s.evictions as usize, 50 - s.entries);
+        // Every un-resident miss was either evicted later or denied
+        // admission (same-class cheap preps normally all admit).
+        assert_eq!((s.evictions + s.admission_denied) as usize, 50 - s.entries);
+    }
+
+    #[test]
+    fn cheap_preps_cannot_evict_expensive_ones() {
+        let t = sensors();
+        let te = TableEntry { table: std::sync::Arc::new(t.clone()), generation: 1 };
+        let mk = |tag: &str| key(&te, &format!("SELECT avg(v) FROM t GROUP BY g -- {tag}"));
+        let mut shard = CostShard::default();
+
+        // A slow DT-class prep takes residence in a full (cap 1) shard.
+        let (_, admitted) =
+            shard.admit(&mk("dt"), Arc::new(entry_for(&t)), Duration::from_secs(2), 1);
+        assert!(admitted);
+
+        // A cheap MC-class prep may not displace it: denied, no eviction.
+        let (evicted, admitted) =
+            shard.admit(&mk("mc"), Arc::new(entry_for(&t)), Duration::from_millis(1), 1);
+        assert!(!admitted && evicted == 0, "cheap prep displaced an expensive one");
+        assert!(shard.get(&mk("dt")).is_some(), "expensive resident must survive");
+        assert!(shard.get(&mk("mc")).is_none());
+
+        // A comparably expensive prep evicts it (plain LRU among peers).
+        let (evicted, admitted) =
+            shard.admit(&mk("dt2"), Arc::new(entry_for(&t)), Duration::from_secs(1), 1);
+        assert!(admitted && evicted == 1);
+        assert!(shard.get(&mk("dt2")).is_some());
+        assert!(shard.get(&mk("dt")).is_none());
+    }
+
+    #[test]
+    fn sub_floor_costs_compete_as_plain_lru() {
+        let t = sensors();
+        let te = TableEntry { table: std::sync::Arc::new(t.clone()), generation: 1 };
+        let mk = |tag: &str| key(&te, &format!("SELECT avg(v) FROM t GROUP BY g -- {tag}"));
+        let mut shard = CostShard::default();
+        shard.admit(&mk("a"), Arc::new(entry_for(&t)), Duration::from_micros(900), 1);
+        // Incoming is *cheaper*, but both are under the jitter floor:
+        // LRU wins, the newcomer is admitted.
+        let (evicted, admitted) =
+            shard.admit(&mk("b"), Arc::new(entry_for(&t)), Duration::from_micros(100), 1);
+        assert!(admitted && evicted == 1);
     }
 }

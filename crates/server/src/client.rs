@@ -51,12 +51,40 @@ impl Client {
         self.request("POST", path, Some(&text))
     }
 
+    /// `POST path` with extra request headers (e.g. the
+    /// `x-scorpion-deadline-ms` deadline), returning the raw response.
+    pub fn post_with_headers(
+        &mut self,
+        path: &str,
+        extra_headers: &[(&str, &str)],
+        body: &Json,
+    ) -> io::Result<RawResponse> {
+        let text = body
+            .encode()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        self.request_with_headers("POST", path, extra_headers, Some(&text))
+    }
+
     fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> io::Result<RawResponse> {
+        self.request_with_headers(method, path, &[], body)
+    }
+
+    fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        extra_headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> io::Result<RawResponse> {
         let body = body.unwrap_or("");
+        let mut extra = String::new();
+        for (name, value) in extra_headers {
+            extra.push_str(&format!("{name}: {value}\r\n"));
+        }
         write!(
             self.writer,
             "{method} {path} HTTP/1.1\r\nHost: scorpion\r\nContent-Length: {}\r\n\
-             Content-Type: application/json\r\n\r\n{body}",
+             Content-Type: application/json\r\n{extra}\r\n{body}",
             body.len()
         )?;
         self.writer.flush()?;

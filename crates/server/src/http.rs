@@ -1,10 +1,20 @@
-//! Minimal HTTP/1.1 framing over blocking streams.
+//! Minimal HTTP/1.1 framing with incremental, resumable parsing.
 //!
 //! Just enough of RFC 9112 for a JSON service: request-line + header
 //! parsing, `Content-Length` bodies, keep-alive connection reuse, and
-//! response serialization. No chunked encoding, no TLS, no pipelining
-//! guarantees beyond sequential request/response on one connection —
-//! the service's clients are `curl`, load generators, and dashboards.
+//! response serialization. No chunked encoding and no TLS — the
+//! service's clients are `curl`, load generators, and dashboards.
+//!
+//! The core is [`RequestParser`], a push parser that accepts bytes as
+//! they arrive ([`RequestParser::push`]) and yields complete requests
+//! ([`RequestParser::next_request`]) without ever blocking — which is what lets
+//! the server park idle connections on a readiness poller instead of
+//! pinning a worker per connection. Framing is deliberately strict:
+//! duplicate or conflicting `Content-Length` headers, non-numeric
+//! lengths, and `Transfer-Encoding` (unimplemented, and a smuggling
+//! vector when half-honored) are all rejected with 400, and an unbounded
+//! header section is rejected with 431 before it can buffer without
+//! limit.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 
@@ -82,9 +92,12 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             413 => "Payload Too Large",
+            431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
+            504 => "Gateway Timeout",
             _ => "Unknown",
         }
     }
@@ -110,6 +123,182 @@ impl Response {
     }
 }
 
+/// One step of incremental parsing — what [`RequestParser::next_request`] found
+/// in the bytes buffered so far.
+#[derive(Debug)]
+pub enum Feed {
+    /// The buffer does not yet hold a complete request; push more bytes.
+    NeedMore,
+    /// A complete request (its bytes have been consumed from the buffer;
+    /// pipelined follow-up bytes, if any, remain buffered).
+    Request(Request),
+    /// The buffered bytes are not a valid request. Send the response and
+    /// close the connection — after a framing error the byte stream is
+    /// desynchronized and nothing after it can be trusted.
+    Malformed(Response),
+}
+
+/// An incremental HTTP/1.1 request parser.
+///
+/// Push bytes as they arrive off a (possibly non-blocking) socket, then
+/// drain complete requests. The parser owns the connection's receive
+/// buffer, so pipelined bytes beyond the first request survive between
+/// calls and a request split across arbitrarily many reads reassembles
+/// correctly.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+}
+
+/// Parsed request head, pending its body.
+struct Head {
+    method: String,
+    path: String,
+    query: Option<String>,
+    headers: Vec<(String, String)>,
+    body_len: usize,
+}
+
+impl RequestParser {
+    /// An empty parser.
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Appends bytes received from the connection.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True when bytes are buffered but no complete request has been
+    /// produced from them yet — the state in which an EOF or an idle
+    /// timeout means a *truncated* request rather than a quiet
+    /// keep-alive connection.
+    pub fn mid_request(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Attempts to parse one complete request from the buffered bytes.
+    pub fn next_request(&mut self) -> Feed {
+        // Find the header terminator: an empty line. Lines end with CRLF
+        // or bare LF, so the terminator is `\n\n` or `\n\r\n`.
+        let Some(header_end) = find_header_end(&self.buf) else {
+            if self.buf.len() > MAX_HEADER_BYTES {
+                return Feed::Malformed(error_response(431, "headers too large"));
+            }
+            return Feed::NeedMore;
+        };
+        if header_end > MAX_HEADER_BYTES {
+            return Feed::Malformed(error_response(431, "headers too large"));
+        }
+        let head = match parse_head(&self.buf[..header_end]) {
+            Ok(head) => head,
+            Err(resp) => return Feed::Malformed(resp),
+        };
+        let total = header_end + head.body_len;
+        if self.buf.len() < total {
+            return Feed::NeedMore;
+        }
+        let body = self.buf[header_end..total].to_vec();
+        self.buf.drain(..total);
+        Feed::Request(Request {
+            method: head.method,
+            path: head.path,
+            query: head.query,
+            headers: head.headers,
+            body,
+        })
+    }
+
+    /// Handles end-of-stream: `None` when the peer closed between
+    /// requests (a clean keep-alive shutdown), or the 400 to send when
+    /// the stream ended mid-request.
+    pub fn on_eof(&mut self) -> Option<Response> {
+        if self.mid_request() {
+            self.buf.clear();
+            Some(error_response(400, "truncated request"))
+        } else {
+            None
+        }
+    }
+}
+
+/// Index one past the header terminator (`\n\n` or `\n\r\n`), if the
+/// buffer holds one.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            match buf.get(i + 1) {
+                Some(b'\n') => return Some(i + 2),
+                Some(b'\r') if buf.get(i + 2) == Some(&b'\n') => return Some(i + 3),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses the request-line + headers block (excluding the terminating
+/// empty line is fine — empty lines are skipped) and validates framing.
+fn parse_head(head: &[u8]) -> Result<Head, Response> {
+    let text = String::from_utf8_lossy(head);
+    let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(error_response(400, "malformed request line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(error_response(400, "unsupported HTTP version"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), Some(q.to_owned())),
+        None => (target.to_owned(), None),
+    };
+    let method = method.to_ascii_uppercase();
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue; // the block's own terminator
+        }
+        match line.split_once(':') {
+            Some((name, value)) => {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()))
+            }
+            None => return Err(error_response(400, "malformed header")),
+        }
+    }
+
+    // Framing strictness (request-smuggling class): exactly zero or one
+    // Content-Length, digits only, and no Transfer-Encoding at all.
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(error_response(400, "Transfer-Encoding is not supported"));
+    }
+    let mut lengths = headers.iter().filter(|(n, _)| n == "content-length").map(|(_, v)| v);
+    let body_len = match lengths.next() {
+        None => 0,
+        Some(v) => {
+            if lengths.next().is_some() {
+                return Err(error_response(400, "duplicate Content-Length"));
+            }
+            if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(error_response(400, "bad Content-Length"));
+            }
+            let n: usize = v.parse().map_err(|_| error_response(413, "body too large"))?;
+            if n > MAX_BODY_BYTES {
+                return Err(error_response(413, "body too large"));
+            }
+            n
+        }
+    };
+    Ok(Head { method, path, query, headers, body_len })
+}
+
 /// Outcome of reading one request off a connection.
 pub enum ReadOutcome {
     /// A complete request.
@@ -122,99 +311,38 @@ pub enum ReadOutcome {
     Malformed(Response),
 }
 
-/// Reads one HTTP/1.1 request from a buffered stream.
+/// Reads one HTTP/1.1 request from a buffered blocking stream — the
+/// convenience wrapper over [`RequestParser`] for synchronous callers
+/// (tests, simple clients).
 pub fn read_request(r: &mut BufReader<impl Read>) -> io::Result<ReadOutcome> {
-    let mut line = String::new();
-    let mut header_bytes = 0usize;
-    if read_crlf_line(r, &mut line, &mut header_bytes)? == 0 {
-        return Ok(ReadOutcome::Closed);
-    }
-    let mut parts = line.split_whitespace();
-    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
-    else {
-        return Ok(ReadOutcome::Malformed(error_response(400, "malformed request line")));
-    };
-    if !version.starts_with("HTTP/1.") {
-        return Ok(ReadOutcome::Malformed(error_response(400, "unsupported HTTP version")));
-    }
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p.to_owned(), Some(q.to_owned())),
-        None => (target.to_owned(), None),
-    };
-    let method = method.to_ascii_uppercase();
-
-    let mut headers = Vec::new();
-    loop {
-        line.clear();
-        if read_crlf_line(r, &mut line, &mut header_bytes)? == 0 {
-            // EOF mid-headers.
-            return Ok(ReadOutcome::Malformed(error_response(400, "truncated headers")));
-        }
-        if line.is_empty() {
-            break;
-        }
-        if header_bytes > MAX_HEADER_BYTES {
-            return Ok(ReadOutcome::Malformed(error_response(400, "headers too large")));
-        }
-        match line.split_once(':') {
-            Some((name, value)) => {
-                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()))
-            }
-            None => return Ok(ReadOutcome::Malformed(error_response(400, "malformed header"))),
-        }
-    }
-
-    let content_length = headers
-        .iter()
-        .find(|(n, _)| n == "content-length")
-        .map(|(_, v)| v.parse::<usize>())
-        .transpose();
-    let body = match content_length {
-        Err(_) => return Ok(ReadOutcome::Malformed(error_response(400, "bad Content-Length"))),
-        Ok(Some(n)) if n > MAX_BODY_BYTES => {
-            return Ok(ReadOutcome::Malformed(error_response(413, "body too large")))
-        }
-        Ok(Some(n)) => {
-            // Grow with the bytes that actually arrive — never allocate
-            // the full declared length up front (a header alone must
-            // not be able to commit 64 MB per connection).
-            let mut body = Vec::with_capacity(n.min(64 << 10));
-            let read = r.by_ref().take(n as u64).read_to_end(&mut body)?;
-            if read < n {
-                return Ok(ReadOutcome::Malformed(error_response(400, "truncated body")));
-            }
-            body
-        }
-        Ok(None) => Vec::new(),
-    };
-    Ok(ReadOutcome::Request(Request { method, path, query, headers, body }))
+    let mut parser = RequestParser::new();
+    read_request_into(r, &mut parser)
 }
 
-/// Reads one line, stripping the trailing CRLF (or bare LF). Returns the
-/// number of raw bytes consumed (0 = EOF before any byte).
-fn read_crlf_line(
+/// [`read_request`], but resuming an existing parser (which may hold
+/// pipelined bytes from a previous request on the same stream).
+pub fn read_request_into(
     r: &mut BufReader<impl Read>,
-    line: &mut String,
-    total: &mut usize,
-) -> io::Result<usize> {
-    line.clear();
-    let mut buf = Vec::new();
-    let n = {
-        let mut limited = r.by_ref().take((MAX_HEADER_BYTES + 2) as u64);
-        limited.read_until(b'\n', &mut buf)?
-    };
-    *total += n;
-    if n == 0 {
-        return Ok(0);
+    parser: &mut RequestParser,
+) -> io::Result<ReadOutcome> {
+    loop {
+        match parser.next_request() {
+            Feed::Request(req) => return Ok(ReadOutcome::Request(req)),
+            Feed::Malformed(resp) => return Ok(ReadOutcome::Malformed(resp)),
+            Feed::NeedMore => {
+                let chunk = r.fill_buf()?;
+                if chunk.is_empty() {
+                    return Ok(match parser.on_eof() {
+                        Some(resp) => ReadOutcome::Malformed(resp),
+                        None => ReadOutcome::Closed,
+                    });
+                }
+                let n = chunk.len();
+                parser.push(chunk);
+                r.consume(n);
+            }
+        }
     }
-    while matches!(buf.last(), Some(b'\n') | Some(b'\r')) {
-        buf.pop();
-    }
-    match String::from_utf8(buf) {
-        Ok(s) => *line = s,
-        Err(_) => *line = String::from("\u{FFFD}"),
-    }
-    Ok(n)
 }
 
 /// A JSON error body `{"error": msg}` with the given status.
@@ -304,10 +432,122 @@ mod tests {
     fn two_requests_on_one_connection() {
         let raw = "GET /healthz HTTP/1.1\r\n\r\nGET /stats HTTP/1.1\r\n\r\n";
         let mut r = BufReader::new(raw.as_bytes());
-        let ReadOutcome::Request(a) = read_request(&mut r).unwrap() else { panic!() };
-        let ReadOutcome::Request(b) = read_request(&mut r).unwrap() else { panic!() };
+        let mut parser = RequestParser::new();
+        let ReadOutcome::Request(a) = read_request_into(&mut r, &mut parser).unwrap() else {
+            panic!()
+        };
+        let ReadOutcome::Request(b) = read_request_into(&mut r, &mut parser).unwrap() else {
+            panic!()
+        };
         assert_eq!(a.path, "/healthz");
         assert_eq!(b.path, "/stats");
-        assert!(matches!(read_request(&mut r).unwrap(), ReadOutcome::Closed));
+        assert!(matches!(read_request_into(&mut r, &mut parser).unwrap(), ReadOutcome::Closed));
+    }
+
+    #[test]
+    fn byte_at_a_time_feed_reassembles() {
+        let raw = "POST /explain HTTP/1.1\r\nContent-Length: 5\r\nHost: x\r\n\r\nhello";
+        let mut p = RequestParser::new();
+        for (i, b) in raw.as_bytes().iter().enumerate() {
+            match p.next_request() {
+                Feed::NeedMore => {}
+                other => panic!("unexpected {other:?} after {i} bytes"),
+            }
+            assert_eq!(p.mid_request(), i > 0);
+            p.push(&[*b]);
+        }
+        let Feed::Request(req) = p.next_request() else { panic!("expected request") };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello");
+        assert!(!p.mid_request());
+        assert!(p.on_eof().is_none());
+    }
+
+    #[test]
+    fn pipelined_bytes_survive_between_requests() {
+        let mut p = RequestParser::new();
+        p.push(b"GET /healthz HTTP/1.1\r\n\r\nGET /stats HTTP/1.1\r\n\r\nGET /par");
+        let Feed::Request(a) = p.next_request() else { panic!() };
+        assert_eq!(a.path, "/healthz");
+        let Feed::Request(b) = p.next_request() else { panic!() };
+        assert_eq!(b.path, "/stats");
+        // The third request is incomplete: buffered, not lost.
+        assert!(matches!(p.next_request(), Feed::NeedMore));
+        assert!(p.mid_request());
+        p.push(b"tial HTTP/1.1\r\n\r\n");
+        let Feed::Request(c) = p.next_request() else { panic!() };
+        assert_eq!(c.path, "/partial");
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        let mut p = RequestParser::new();
+        p.push(b"POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody");
+        let Feed::Malformed(resp) = p.next_request() else { panic!("expected malformed") };
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn conflicting_content_length_is_rejected() {
+        let mut p = RequestParser::new();
+        p.push(b"POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 9\r\n\r\nbody");
+        let Feed::Malformed(resp) = p.next_request() else { panic!("expected malformed") };
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn non_numeric_content_length_is_rejected() {
+        for v in ["4x", "-1", "+4", "4 4", "0x10", ""] {
+            let mut p = RequestParser::new();
+            p.push(format!("POST /x HTTP/1.1\r\nContent-Length:{v}\r\n\r\n").as_bytes());
+            let Feed::Malformed(resp) = p.next_request() else {
+                panic!("expected malformed for {v:?}")
+            };
+            assert_eq!(resp.status, 400, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn transfer_encoding_is_rejected() {
+        let mut p = RequestParser::new();
+        p.push(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+        let Feed::Malformed(resp) = p.next_request() else { panic!("expected malformed") };
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn unterminated_header_block_hits_cap_with_431() {
+        let mut p = RequestParser::new();
+        p.push(b"GET /x HTTP/1.1\r\n");
+        // A slowloris stream of headers that never terminates.
+        while p.buf.len() <= MAX_HEADER_BYTES {
+            match p.next_request() {
+                Feed::NeedMore => {}
+                other => panic!("unexpected {other:?}"),
+            }
+            p.push(b"X-Padding: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        let Feed::Malformed(resp) = p.next_request() else { panic!("expected malformed") };
+        assert_eq!(resp.status, 431);
+    }
+
+    #[test]
+    fn eof_mid_request_is_a_truncation_error() {
+        let mut p = RequestParser::new();
+        p.push(b"GET /x HTTP/1.1\r\nHost:");
+        assert!(matches!(p.next_request(), Feed::NeedMore));
+        let resp = p.on_eof().expect("mid-request EOF must error");
+        assert_eq!(resp.status, 400);
+        // The parser is reusable (the poller drops the conn anyway).
+        assert!(!p.mid_request());
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_tolerated() {
+        let mut p = RequestParser::new();
+        p.push(b"GET /lf HTTP/1.1\nHost: x\n\n");
+        let Feed::Request(req) = p.next_request() else { panic!("expected request") };
+        assert_eq!(req.path, "/lf");
+        assert_eq!(req.header("host"), Some("x"));
     }
 }

@@ -20,9 +20,21 @@
 //!   `POST /explain` at a new `c` re-scores through the plan's
 //!   influence cache instead of re-preparing (§8.3.3, generalized).
 //! * [`pool::WorkerPool`] — a bounded worker pool with a backpressure
-//!   queue; saturation sheds connections with immediate 503s.
+//!   queue; saturation sheds *requests* with immediate 503s attributed
+//!   to the endpoint they targeted.
+//! * a readiness poller (`poll(2)` behind a dependency-free FFI
+//!   wrapper) that parks idle keep-alive connections and hands
+//!   complete parsed requests to the pool — worker occupancy tracks
+//!   in-flight requests, not open sockets, so hundreds of idle
+//!   dashboard connections cost file descriptors, never workers.
+//!   Slow clients are bounded by read (408) and write timeouts, and
+//!   per-request deadlines ([`server::DEADLINE_HEADER`] or
+//!   `--deadline-ms`) become anytime budgets for the MC/NAIVE engines
+//!   (best-so-far answer with HTTP 504).
 //! * [`http`] / [`json`] — a dependency-free HTTP/1.1 framing layer
-//!   and JSON codec (no crates.io access in this build).
+//!   ([`http::RequestParser`] is incremental and resumable, which is
+//!   what lets connections park mid-stream) and JSON codec (no
+//!   crates.io access in this build).
 //!
 //! Endpoints: `POST /explain`, `GET`/`POST /tables`, `GET /healthz`,
 //! `GET /stats`, `GET /metrics` (Prometheus text exposition), and the
@@ -51,6 +63,7 @@ pub mod client;
 pub mod debug;
 pub mod http;
 pub mod json;
+pub(crate) mod poller;
 pub mod pool;
 pub mod registry;
 pub mod render;
@@ -64,6 +77,7 @@ pub use pool::{PoolGauges, SubmitError, WorkerPool};
 pub use registry::{TableEntry, TableRegistry};
 pub use render::{diagnostics_json, explanations_json, num_or_null};
 pub use server::{
-    dispatch, dispatch_recorded, Server, ServerConfig, ServerHandle, ServerState, TRACE_ID_HEADER,
+    dispatch, dispatch_recorded, RequestContext, Server, ServerConfig, ServerHandle, ServerState,
+    DEADLINE_HEADER, TRACE_ID_HEADER,
 };
 pub use stats::{Endpoint, EndpointMetrics, ServerStats};

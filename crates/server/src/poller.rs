@@ -1,0 +1,412 @@
+//! The readiness poller: the request-grained heart of the server.
+//!
+//! One poller thread owns the (non-blocking) listener and every parked
+//! connection. It sleeps in `poll(2)` until a socket has bytes, feeds
+//! them through the connection's incremental [`RequestParser`], and
+//! hands each *complete parsed request* to the bounded [`WorkerPool`].
+//! The connection travels with the request into the worker; after the
+//! response is written, keep-alive connections come back through the
+//! [`ReturnQueue`] (a self-pipe wakes the poller) and park again.
+//!
+//! Worker occupancy therefore tracks **in-flight requests, not open
+//! sockets**: a thousand idle keep-alive dashboards cost a thousand
+//! parked fds and zero workers, and a slow client can only burn the
+//! poller's non-blocking read, never a worker thread.
+//!
+//! Slow clients are bounded in both directions: a connection that has
+//! started a request but not completed it within the read timeout is
+//! closed with 408 (slowloris defense), an idle parked connection is
+//! silently closed after the idle timeout, and response writes carry a
+//! write timeout (a peer that stops draining gets dropped, counted in
+//! `write_timeouts`).
+
+use crate::http::{error_response, Feed, Request, RequestParser, Response};
+use crate::pool::{SubmitError, WorkerPool};
+use crate::server::{dispatch_recorded, RequestContext, ServerState};
+use crate::stats::Endpoint;
+use parking_lot::Mutex;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Raw `poll(2)` binding — the one readiness syscall the server needs,
+/// wrapped without a libc dependency.
+mod sys {
+    use std::os::unix::io::RawFd;
+
+    /// There is data to read.
+    pub const POLLIN: i16 = 0x001;
+
+    /// `struct pollfd` from `poll(2)`.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: RawFd,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    extern "C" {
+        fn poll(
+            fds: *mut PollFd,
+            nfds: std::ffi::c_ulong,
+            timeout: std::ffi::c_int,
+        ) -> std::ffi::c_int;
+    }
+
+    /// Polls `fds` for up to `timeout_ms` (−1 = forever), retrying on
+    /// EINTR. Returns the number of descriptors with non-zero `revents`.
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<usize> {
+        loop {
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, timeout_ms) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = std::io::Error::last_os_error();
+            if err.kind() != std::io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+/// Poller timeouts, resolved from `ServerConfig` milliseconds.
+#[derive(Clone, Copy)]
+pub(crate) struct PollerConfig {
+    /// Max time a connection may sit mid-request before 408/close.
+    pub read_timeout: Duration,
+    /// Max time a parked connection may idle between requests.
+    pub idle_timeout: Duration,
+    /// Socket write timeout for responses.
+    pub write_timeout: Duration,
+}
+
+/// One accepted connection: the socket plus its resumable parse state.
+/// Closing is dropping — the `Drop` impl keeps the open-connection
+/// gauge honest no matter which thread lets go of the connection.
+pub(crate) struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    last_activity: Instant,
+    state: Arc<ServerState>,
+}
+
+impl Drop for Conn {
+    fn drop(&mut self) {
+        self.state.stats.connection_closed();
+    }
+}
+
+/// The worker → poller hand-back channel: finished keep-alive
+/// connections queue here, and a byte on the self-pipe wakes the poller
+/// out of `poll(2)` to re-park them.
+pub(crate) struct ReturnQueue {
+    queue: Mutex<Vec<Conn>>,
+    wake: UnixStream,
+}
+
+impl ReturnQueue {
+    /// Returns a connection to the poller for re-parking.
+    pub fn give(&self, conn: Conn) {
+        self.queue.lock().push(conn);
+        let _ = (&self.wake).write(&[1]);
+    }
+}
+
+/// Read chunk size for draining ready sockets.
+const READ_CHUNK: usize = 16 << 10;
+
+/// Poll tick: the upper bound on stop-flag and timeout-sweep latency.
+const POLL_TICK_MS: i32 = 100;
+
+/// Bound on post-error drains (see [`respond_and_close`]).
+const CLOSE_DRAIN_BYTES: u64 = 256 << 10;
+
+/// The poller: accept loop + parked-connection readiness loop.
+pub(crate) struct Poller {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    pool: WorkerPool,
+    stop: Arc<AtomicBool>,
+    cfg: PollerConfig,
+}
+
+impl Poller {
+    pub fn new(
+        listener: TcpListener,
+        state: Arc<ServerState>,
+        pool: WorkerPool,
+        stop: Arc<AtomicBool>,
+        cfg: PollerConfig,
+    ) -> Poller {
+        Poller { listener, state, pool, stop, cfg }
+    }
+
+    /// Runs until the stop flag is set. Transient poll/accept errors are
+    /// tolerated (EMFILE under fd pressure, ECONNABORTED races); only a
+    /// persistently failing poll is fatal.
+    pub fn run(mut self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let (wake_tx, mut wake_rx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        let returns = Arc::new(ReturnQueue { queue: Mutex::new(Vec::new()), wake: wake_tx });
+
+        let mut conns: Vec<Conn> = Vec::new();
+        let mut consecutive_failures = 0u32;
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                self.pool.detach();
+                return Ok(());
+            }
+
+            let mut fds = Vec::with_capacity(conns.len() + 2);
+            fds.push(sys::PollFd { fd: wake_rx.as_raw_fd(), events: sys::POLLIN, revents: 0 });
+            fds.push(sys::PollFd {
+                fd: self.listener.as_raw_fd(),
+                events: sys::POLLIN,
+                revents: 0,
+            });
+            for conn in &conns {
+                fds.push(sys::PollFd {
+                    fd: conn.stream.as_raw_fd(),
+                    events: sys::POLLIN,
+                    revents: 0,
+                });
+            }
+            match sys::poll_fds(&mut fds, POLL_TICK_MS) {
+                Ok(_) => consecutive_failures = 0,
+                Err(e) => {
+                    consecutive_failures += 1;
+                    if consecutive_failures > 100 {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            }
+
+            // 1. Drain the self-pipe and adopt returned connections.
+            //    Adoption runs the same advance path as a readable
+            //    socket: pipelined bytes already buffered in the parser
+            //    must dispatch without waiting for new socket data.
+            if fds[0].revents != 0 {
+                let mut sink = [0u8; 64];
+                while matches!(wake_rx.read(&mut sink), Ok(n) if n > 0) {}
+            }
+            let returned: Vec<Conn> = std::mem::take(&mut *returns.queue.lock());
+            for conn in returned {
+                if let Some(conn) = self.advance(conn, &returns) {
+                    conns.push(conn);
+                }
+            }
+
+            // 2. Accept everything pending.
+            if fds[1].revents != 0 {
+                loop {
+                    match self.listener.accept() {
+                        Ok((stream, _)) => {
+                            self.state.stats.connection();
+                            let _ = stream.set_nodelay(true);
+                            let _ = stream.set_nonblocking(true);
+                            conns.push(Conn {
+                                stream,
+                                parser: RequestParser::new(),
+                                last_activity: Instant::now(),
+                                state: self.state.clone(),
+                            });
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(_) => break,
+                    }
+                }
+            }
+
+            // 3. Advance every readable connection. Rebuilding the vec
+            //    keeps the fds↔conns index mapping intact while parked
+            //    survivors and dispatched/closed ones part ways.
+            let parked = std::mem::take(&mut conns);
+            for (i, conn) in parked.into_iter().enumerate() {
+                if fds.get(i + 2).is_some_and(|f| f.revents != 0) {
+                    if let Some(conn) = self.advance(conn, &returns) {
+                        conns.push(conn);
+                    }
+                } else {
+                    conns.push(conn);
+                }
+            }
+
+            // 4. Sweep timeouts: mid-request staleness is a slow client
+            //    (408), parked staleness is just an idle peer (silent
+            //    close).
+            let now = Instant::now();
+            let mut survivors = Vec::with_capacity(conns.len());
+            for conn in conns.drain(..) {
+                let idle = now.duration_since(conn.last_activity);
+                if conn.parser.mid_request() && idle >= self.cfg.read_timeout {
+                    self.state.stats.read_timeout();
+                    self.state.stats.record(Endpoint::Other, 408, Duration::ZERO);
+                    respond_and_close(
+                        conn,
+                        error_response(408, "request not completed in time"),
+                        self.cfg.write_timeout,
+                    );
+                } else if !conn.parser.mid_request() && idle >= self.cfg.idle_timeout {
+                    drop(conn);
+                } else {
+                    survivors.push(conn);
+                }
+            }
+            conns = survivors;
+            self.state.stats.set_parked(conns.len() as u64);
+        }
+    }
+
+    /// Pumps one connection: drains buffered/readable bytes through the
+    /// parser, dispatching at most one request (the connection moves to
+    /// the worker with it). Returns the connection if it should stay
+    /// parked, `None` if it was dispatched or closed.
+    fn advance(&self, mut conn: Conn, returns: &Arc<ReturnQueue>) -> Option<Conn> {
+        loop {
+            match conn.parser.next_request() {
+                Feed::Request(req) => {
+                    self.dispatch(conn, req, returns);
+                    return None;
+                }
+                Feed::Malformed(resp) => {
+                    // Unparseable framing has no endpoint to attribute.
+                    self.state.stats.record(Endpoint::Other, resp.status, Duration::ZERO);
+                    respond_and_close(conn, resp, self.cfg.write_timeout);
+                    return None;
+                }
+                Feed::NeedMore => {
+                    let mut buf = [0u8; READ_CHUNK];
+                    match conn.stream.read(&mut buf) {
+                        Ok(0) => {
+                            if let Some(resp) = conn.parser.on_eof() {
+                                self.state.stats.record(
+                                    Endpoint::Other,
+                                    resp.status,
+                                    Duration::ZERO,
+                                );
+                                respond_and_close(conn, resp, self.cfg.write_timeout);
+                            }
+                            return None;
+                        }
+                        Ok(n) => {
+                            conn.parser.push(&buf[..n]);
+                            conn.last_activity = Instant::now();
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Some(conn),
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => return None, // peer reset
+                    }
+                }
+            }
+        }
+    }
+
+    /// Hands a parsed request (and its connection) to the worker pool.
+    /// On saturation the request is reclaimed from the undelivered job
+    /// and shed with 503, attributed to the endpoint it targeted with
+    /// zero queue-wait — never a worker-latency histogram sample.
+    fn dispatch(&self, conn: Conn, req: Request, returns: &Arc<ReturnQueue>) {
+        let endpoint = Endpoint::of(&req.method, &req.path);
+        let received_at = Instant::now();
+        // try_submit drops the job closure on saturation, so the
+        // connection rides in a shared slot the poller can take back.
+        let slot = Arc::new(Mutex::new(Some((conn, req))));
+        let job_slot = slot.clone();
+        let state = self.state.clone();
+        let job_returns = returns.clone();
+        let write_timeout = self.cfg.write_timeout;
+        let submitted = self.pool.try_submit(move || {
+            let Some((conn, req)) = job_slot.lock().take() else { return };
+            handle_request(conn, req, received_at, &state, &job_returns, write_timeout);
+        });
+        match submitted {
+            Ok(()) => {}
+            Err(SubmitError::Saturated) => {
+                if let Some((conn, _)) = slot.lock().take() {
+                    self.state.stats.record_shed(endpoint);
+                    respond_and_close(
+                        conn,
+                        error_response(503, "server saturated; retry later"),
+                        self.cfg.write_timeout,
+                    );
+                }
+            }
+            Err(SubmitError::Closed) => drop(slot.lock().take()),
+        }
+    }
+}
+
+/// Worker-side request lifecycle: route, record, write, then either
+/// return the connection to the poller (keep-alive) or drop it.
+fn handle_request(
+    mut conn: Conn,
+    req: Request,
+    received_at: Instant,
+    state: &Arc<ServerState>,
+    returns: &Arc<ReturnQueue>,
+    write_timeout: Duration,
+) {
+    let queue_wait = received_at.elapsed();
+    let keep_alive = req.keep_alive();
+    let started = Instant::now();
+    let ctx = RequestContext { queue_wait_us: queue_wait.as_micros() as u64, received_at };
+    let (endpoint, resp, event) = dispatch_recorded(&req, state, &ctx);
+    let elapsed = started.elapsed();
+    state.stats.record(endpoint, resp.status, elapsed);
+    let slow = state.slow_ms().is_some_and(|ms| elapsed >= Duration::from_millis(ms));
+    if state.access_log() || slow {
+        crate::server::access_log_line(&req, &resp, elapsed, slow, event.as_ref());
+    }
+
+    let _ = conn.stream.set_nonblocking(false);
+    let _ = conn.stream.set_write_timeout(Some(write_timeout));
+    let write_result = resp.write_to(&mut conn.stream, keep_alive);
+    // The ring write happens after the response bytes are on the wire —
+    // recording stays off the latency-critical path.
+    if let Some(event) = event {
+        scorpion_obs::telemetry().record(event);
+    }
+    match write_result {
+        Err(e) => {
+            if matches!(e.kind(), io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock) {
+                state.stats.write_timeout();
+            }
+        }
+        Ok(()) if keep_alive => {
+            let _ = conn.stream.set_nonblocking(true);
+            conn.last_activity = Instant::now();
+            returns.give(conn);
+        }
+        Ok(()) => {}
+    }
+}
+
+/// Writes a final response and closes the connection, draining a
+/// bounded amount of whatever the peer is still sending first —
+/// discarding unread bytes triggers a TCP RST that can destroy the
+/// error response before the client reads it. The drain is
+/// non-blocking: this runs on the poller thread.
+fn respond_and_close(mut conn: Conn, resp: Response, write_timeout: Duration) {
+    let _ = conn.stream.set_nonblocking(false);
+    let _ = conn.stream.set_write_timeout(Some(write_timeout));
+    if resp.write_to(&mut conn.stream, false).is_err() {
+        return;
+    }
+    let _ = conn.stream.set_nonblocking(true);
+    let mut drained = 0u64;
+    let mut buf = [0u8; READ_CHUNK];
+    while drained < CLOSE_DRAIN_BYTES {
+        match conn.stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n as u64,
+        }
+    }
+}

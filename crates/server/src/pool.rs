@@ -2,8 +2,17 @@
 //!
 //! Jobs land on a bounded channel; when every worker is busy and the
 //! queue is full, [`WorkerPool::try_submit`] fails *immediately* so the
-//! acceptor can shed load (HTTP 503) instead of queueing unbounded work
+//! poller can shed load (HTTP 503) instead of queueing unbounded work
 //! — under overload a fast rejection beats a slow timeout.
+//!
+//! Jobs are request-shaped: the poller submits one job per *parsed
+//! request* (the connection travels inside the job), so `busy` gauges
+//! in-flight requests, never idle keep-alive sockets. Note that on
+//! saturation the boxed job — and any payload captured in it — is
+//! dropped by the failed `try_send`; a submitter that must recover the
+//! payload (the poller wants the connection back to write the 503)
+//! should hold it in a shared slot rather than move it into the
+//! closure.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};

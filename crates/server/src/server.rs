@@ -1,9 +1,12 @@
-//! The service: accept loop, routing, and the `/explain` handler.
+//! The service: configuration, routing, and the `/explain` handler.
+//! The transport layer — readiness poller, parked connections, worker
+//! dispatch — lives in `crate::poller`.
 
 use crate::cache::{PlanCache, PlanEntry, PlanKey};
-use crate::http::{error_response, read_request, ReadOutcome, Request, Response};
+use crate::http::{error_response, Request, Response};
 use crate::json::Json;
-use crate::pool::{PoolGauges, SubmitError, WorkerPool};
+use crate::poller::{Poller, PollerConfig};
+use crate::pool::{PoolGauges, WorkerPool};
 use crate::registry::{TableEntry, TableRegistry};
 use crate::render::{diagnostics_json, explanations_json, num_or_null};
 use crate::stats::{Endpoint, ServerStats};
@@ -11,7 +14,7 @@ use scorpion_core::{
     Algorithm, ApproxConfig, DtConfig, InfluenceParams, McConfig, NaiveConfig, ScorpionSession,
 };
 use scorpion_obs::{CacheHit, PromText, TelemetryEvent};
-use std::io::{BufReader, Read, Write};
+use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -20,6 +23,14 @@ use std::time::{Duration, Instant};
 
 /// The response header carrying the per-request trace id.
 pub const TRACE_ID_HEADER: &str = "x-scorpion-trace-id";
+
+/// The request header carrying a per-request deadline in milliseconds
+/// (from the moment the request was fully parsed). `0` disables the
+/// server's default deadline for this request. Anytime engines (MC,
+/// NAIVE) return their best-so-far answer at the deadline with HTTP 504
+/// and `deadline_exceeded: true` in the body; DT runs to completion and
+/// only the status reflects the overrun.
+pub const DEADLINE_HEADER: &str = "x-scorpion-deadline-ms";
 
 /// Server construction knobs.
 #[derive(Debug, Clone)]
@@ -52,6 +63,19 @@ pub struct ServerConfig {
     /// When set, enable the span recorder and dump a Chrome-trace JSON
     /// file per `/explain` request into this directory.
     pub trace_dir: Option<PathBuf>,
+    /// Default per-request deadline in milliseconds (`0` = none). A
+    /// request's [`DEADLINE_HEADER`] overrides it either way.
+    pub deadline_ms: u64,
+    /// How long a connection may sit mid-request (bytes buffered, no
+    /// complete request) before it is closed with 408 — the slowloris
+    /// bound.
+    pub read_timeout_ms: u64,
+    /// How long a parked keep-alive connection may idle between
+    /// requests before it is silently closed.
+    pub idle_timeout_ms: u64,
+    /// Socket write timeout for responses: a peer that stops draining
+    /// its receive window for this long gets dropped.
+    pub write_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +91,10 @@ impl Default for ServerConfig {
             slow_ms: None,
             telemetry_events: scorpion_obs::DEFAULT_TELEMETRY_EVENTS,
             trace_dir: None,
+            deadline_ms: 0,
+            read_timeout_ms: 10_000,
+            idle_timeout_ms: 60_000,
+            write_timeout_ms: 10_000,
         }
     }
 }
@@ -83,6 +111,7 @@ pub struct ServerState {
     influence_cache_entries: usize,
     access_log: bool,
     slow_ms: Option<u64>,
+    deadline_ms: u64,
     trace_dir: Option<PathBuf>,
     pool: std::sync::OnceLock<PoolGauges>,
 }
@@ -97,6 +126,7 @@ impl ServerState {
             influence_cache_entries,
             access_log: false,
             slow_ms: None,
+            deadline_ms: 0,
             trace_dir: None,
             pool: std::sync::OnceLock::new(),
         }
@@ -121,14 +151,26 @@ impl ServerState {
         self
     }
 
+    /// Sets the default per-request deadline in milliseconds (`0` =
+    /// none; per-request [`DEADLINE_HEADER`] overrides either way).
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = deadline_ms;
+        self
+    }
+
     /// The per-plan influence-cache bound requests are built with.
     pub fn influence_cache_entries(&self) -> usize {
         self.influence_cache_entries
     }
-}
 
-/// Idle keep-alive connections are closed after this long.
-const READ_TIMEOUT: Duration = Duration::from_secs(10);
+    pub(crate) fn access_log(&self) -> bool {
+        self.access_log
+    }
+
+    pub(crate) fn slow_ms(&self) -> Option<u64> {
+        self.slow_ms
+    }
+}
 
 /// The bound, not-yet-running service.
 pub struct Server {
@@ -136,6 +178,7 @@ pub struct Server {
     state: Arc<ServerState>,
     pool: WorkerPool,
     stop: Arc<AtomicBool>,
+    poller_cfg: PollerConfig,
 }
 
 impl Server {
@@ -157,10 +200,19 @@ impl Server {
         let state = Arc::new(
             ServerState::new(cfg.plan_cache_entries, cfg.influence_cache_entries)
                 .with_observability(cfg.access_log, cfg.trace_dir.clone())
-                .with_slow_ms(cfg.slow_ms),
+                .with_slow_ms(cfg.slow_ms)
+                .with_deadline_ms(cfg.deadline_ms),
         );
         let _ = state.pool.set(pool.gauges());
-        Ok(Server { listener, state, pool, stop: Arc::new(AtomicBool::new(false)) })
+        // A zero timeout would close every connection on the first
+        // sweep; treat it as "use the default".
+        let ms = |v: u64, default: u64| Duration::from_millis(if v == 0 { default } else { v });
+        let poller_cfg = PollerConfig {
+            read_timeout: ms(cfg.read_timeout_ms, 10_000),
+            idle_timeout: ms(cfg.idle_timeout_ms, 60_000),
+            write_timeout: ms(cfg.write_timeout_ms, 10_000),
+        };
+        Ok(Server { listener, state, pool, stop: Arc::new(AtomicBool::new(false)), poller_cfg })
     }
 
     /// The bound address (resolves port `0`).
@@ -175,65 +227,19 @@ impl Server {
     }
 
     /// Serves until [`ServerHandle::stop`] is called (when spawned) or
-    /// the process exits. Each accepted connection is dispatched to the
-    /// worker pool; when the pool is saturated the connection gets an
-    /// immediate 503 and is closed (load shedding).
+    /// the process exits.
     ///
-    /// A worker stays pinned to its connection for the connection's
-    /// lifetime (keep-alive included), bounded by the 10s idle read
-    /// timeout — so size `workers` for the expected number of
-    /// *connections*, not in-flight requests. Parking idle keep-alive
-    /// connections back to a poller (freeing workers between requests)
-    /// is a noted follow-on in the ROADMAP.
-    pub fn run(mut self) -> std::io::Result<()> {
-        let mut consecutive_failures = 0u32;
-        loop {
-            let (stream, _) = match self.listener.accept() {
-                Ok(accepted) => {
-                    consecutive_failures = 0;
-                    accepted
-                }
-                // Transient accept errors (EMFILE under connection
-                // pressure, ECONNABORTED races) must not kill the
-                // service — back off briefly and keep accepting. Only
-                // a persistently failing listener is fatal.
-                Err(e) => {
-                    consecutive_failures += 1;
-                    if consecutive_failures > 100 {
-                        return Err(e);
-                    }
-                    std::thread::sleep(Duration::from_millis(10));
-                    continue;
-                }
-            };
-            if self.stop.load(Ordering::Relaxed) {
-                self.pool.detach();
-                return Ok(());
-            }
-            self.state.stats.connection();
-            let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-            let _ = stream.set_nodelay(true);
-            let state = self.state.clone();
-            let submitted = self.pool.try_submit({
-                let stream = stream.try_clone();
-                let queued_at = Instant::now();
-                move || {
-                    if let Ok(stream) = stream {
-                        handle_connection(stream, &state, queued_at.elapsed());
-                    }
-                }
-            });
-            match submitted {
-                Ok(()) => {}
-                Err(SubmitError::Closed) => return Ok(()),
-                Err(SubmitError::Saturated) => {
-                    self.state.stats.shed_connection();
-                    let mut stream = stream;
-                    let resp = error_response(503, "server saturated; retry later");
-                    let _ = resp.write_to(&mut stream, false);
-                }
-            }
-        }
+    /// The serving core is request-grained: a readiness poller owns the
+    /// listener and every idle keep-alive connection, and hands each
+    /// *complete parsed request* to the worker pool — so size `workers`
+    /// for expected concurrent requests, not open sockets; hundreds of
+    /// parked dashboards cost file descriptors, never workers. When the
+    /// pool is saturated the request is shed with an immediate 503
+    /// (attributed to its endpoint in `/stats`), slow clients are
+    /// bounded by the read/write timeouts (408/close), and idle parked
+    /// connections are reaped after the idle timeout.
+    pub fn run(self) -> std::io::Result<()> {
+        Poller::new(self.listener, self.state, self.pool, self.stop, self.poller_cfg).run()
     }
 
     /// Runs the accept loop on a background thread, returning a handle
@@ -286,55 +292,19 @@ impl Drop for ServerHandle {
     }
 }
 
-fn handle_connection(stream: TcpStream, state: &ServerState, queue_wait: Duration) {
-    let Ok(read_half) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    // The pool queue is waited in once per connection, before the first
-    // request; keep-alive follow-ups run on the already-pinned worker.
-    let mut queue_wait_us = queue_wait.as_micros() as u64;
-    loop {
-        let outcome = match read_request(&mut reader) {
-            Ok(o) => o,
-            // Idle timeout or peer reset: close quietly.
-            Err(_) => return,
-        };
-        match outcome {
-            ReadOutcome::Closed => return,
-            ReadOutcome::Malformed(resp) => {
-                state.stats.record(Endpoint::Other, resp.status, Duration::ZERO);
-                let _ = resp.write_to(&mut writer, false);
-                // Drain (a bounded amount of) whatever the peer is
-                // still sending before closing: discarding unread bytes
-                // triggers a TCP RST that can destroy the error
-                // response before the client reads it.
-                let mut sink = std::io::sink();
-                let _ = std::io::copy(&mut (&mut reader).take(1 << 20), &mut sink);
-                return;
-            }
-            ReadOutcome::Request(req) => {
-                let keep_alive = req.keep_alive();
-                let started = Instant::now();
-                let (endpoint, resp, event) = dispatch_recorded(&req, state, queue_wait_us);
-                queue_wait_us = 0;
-                let elapsed = started.elapsed();
-                state.stats.record(endpoint, resp.status, elapsed);
-                let slow = state.slow_ms.is_some_and(|ms| elapsed >= Duration::from_millis(ms));
-                if state.access_log || slow {
-                    access_log_line(&req, &resp, elapsed, slow, event.as_ref());
-                }
-                let write_failed = resp.write_to(&mut writer, keep_alive).is_err();
-                // The ring write happens after the response bytes are on
-                // the wire — recording stays off the latency-critical
-                // path.
-                if let Some(event) = event {
-                    scorpion_obs::telemetry().record(event);
-                }
-                if write_failed || !keep_alive {
-                    return;
-                }
-            }
-        }
+/// Per-request transport context the poller hands to the router.
+pub struct RequestContext {
+    /// Microseconds the parsed request waited for a worker.
+    pub queue_wait_us: u64,
+    /// When the request was fully parsed off the socket — deadlines
+    /// count from here, so queue wait burns deadline budget.
+    pub received_at: Instant,
+}
+
+impl RequestContext {
+    /// A context for in-process dispatch (no socket, no queue wait).
+    pub fn immediate() -> RequestContext {
+        RequestContext { queue_wait_us: 0, received_at: Instant::now() }
     }
 }
 
@@ -344,7 +314,7 @@ fn handle_connection(stream: TcpStream, state: &ServerState, queue_wait: Duratio
 /// grep of the log explains *where* a slow request spent its time.
 /// Write errors (e.g. a closed stderr pipe) are swallowed — logging
 /// must never take the service down.
-fn access_log_line(
+pub(crate) fn access_log_line(
     req: &Request,
     resp: &Response,
     elapsed: Duration,
@@ -388,11 +358,33 @@ fn access_log_line(
 /// before returning ([`dispatch_recorded`] lets the socket path defer
 /// that write until after the response is on the wire).
 pub fn dispatch(req: &Request, state: &ServerState) -> (Endpoint, Response) {
-    let (endpoint, resp, event) = dispatch_recorded(req, state, 0);
+    let (endpoint, resp, event) = dispatch_recorded(req, state, &RequestContext::immediate());
     if let Some(event) = event {
         scorpion_obs::telemetry().record(event);
     }
     (endpoint, resp)
+}
+
+/// Resolves the request's absolute deadline: [`DEADLINE_HEADER`]
+/// (strictly parsed, `0` disables) overrides the server default, which
+/// also treats `0` as "none". Errs with the 400 message for a
+/// malformed header.
+fn request_deadline(
+    req: &Request,
+    state: &ServerState,
+    ctx: &RequestContext,
+) -> Result<Option<Instant>, String> {
+    let ms = match req.header(DEADLINE_HEADER) {
+        Some(v) => v.parse::<u64>().map_err(|_| {
+            format!("bad {DEADLINE_HEADER}: expected whole milliseconds, got `{v}`")
+        })?,
+        None => state.deadline_ms,
+    };
+    if ms == 0 {
+        return Ok(None);
+    }
+    // Saturate absurd values (u64::MAX ms overflows Instant) to "none".
+    Ok(ctx.received_at.checked_add(Duration::from_millis(ms)))
 }
 
 /// Routes one request and assembles — but does not record — its
@@ -403,36 +395,41 @@ pub fn dispatch(req: &Request, state: &ServerState) -> (Endpoint, Response) {
 pub fn dispatch_recorded(
     req: &Request,
     state: &ServerState,
-    queue_wait_us: u64,
+    ctx: &RequestContext,
 ) -> (Endpoint, Response, Option<TelemetryEvent>) {
     let trace_id = state.stats.next_trace_id();
     let want_event = scorpion_obs::telemetry().enabled() || state.slow_ms.is_some();
     let started = Instant::now();
     let mut explain_event = None;
-    let (endpoint, mut resp) = match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => (Endpoint::Healthz, handle_healthz(state)),
-        ("GET", "/tables") => (Endpoint::Tables, handle_tables_get(state)),
-        ("POST", "/tables") => (Endpoint::Tables, respond(handle_tables_post(req, state))),
-        ("POST", "/explain") => {
-            let resp = match handle_explain(req, state, trace_id) {
-                Ok((resp, event)) => {
-                    explain_event = event;
-                    resp
-                }
-                Err(resp) => resp,
-            };
-            (Endpoint::Explain, resp)
-        }
-        ("GET", "/stats") => (Endpoint::Stats, handle_stats(state)),
-        ("GET", "/metrics") => (Endpoint::Metrics, handle_metrics(state)),
-        ("GET", "/debug/telemetry") => (Endpoint::Debug, crate::debug::handle_telemetry(req)),
-        ("GET", "/debug/slow") => (Endpoint::Debug, crate::debug::handle_slow(req)),
-        (
-            _,
-            "/healthz" | "/tables" | "/explain" | "/stats" | "/metrics" | "/debug/telemetry"
-            | "/debug/slow",
-        ) => (Endpoint::Other, error_response(405, "method not allowed")),
-        _ => (Endpoint::Other, error_response(404, "no such endpoint")),
+    let (endpoint, mut resp) = match request_deadline(req, state, ctx) {
+        // A malformed deadline is the *request's* fault, attributed to
+        // the endpoint it targeted.
+        Err(msg) => (Endpoint::of(&req.method, &req.path), error_response(400, &msg)),
+        Ok(deadline) => match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => (Endpoint::Healthz, handle_healthz(state)),
+            ("GET", "/tables") => (Endpoint::Tables, handle_tables_get(state)),
+            ("POST", "/tables") => (Endpoint::Tables, respond(handle_tables_post(req, state))),
+            ("POST", "/explain") => {
+                let resp = match handle_explain(req, state, trace_id, deadline) {
+                    Ok((resp, event)) => {
+                        explain_event = event;
+                        resp
+                    }
+                    Err(resp) => resp,
+                };
+                (Endpoint::Explain, resp)
+            }
+            ("GET", "/stats") => (Endpoint::Stats, handle_stats(state)),
+            ("GET", "/metrics") => (Endpoint::Metrics, handle_metrics(state)),
+            ("GET", "/debug/telemetry") => (Endpoint::Debug, crate::debug::handle_telemetry(req)),
+            ("GET", "/debug/slow") => (Endpoint::Debug, crate::debug::handle_slow(req)),
+            (
+                _,
+                "/healthz" | "/tables" | "/explain" | "/stats" | "/metrics" | "/debug/telemetry"
+                | "/debug/slow",
+            ) => (Endpoint::Other, error_response(405, "method not allowed")),
+            _ => (Endpoint::Other, error_response(404, "no such endpoint")),
+        },
     };
     resp.headers.push((TRACE_ID_HEADER.to_owned(), trace_id.to_string()));
     let event = want_event.then(|| {
@@ -440,7 +437,7 @@ pub fn dispatch_recorded(
             explain_event.unwrap_or_else(|| TelemetryEvent::blank(trace_id, endpoint.label()));
         event.trace_id = trace_id;
         event.status = resp.status;
-        event.queue_wait_us = queue_wait_us;
+        event.queue_wait_us = ctx.queue_wait_us;
         event.total_us = started.elapsed().as_micros() as u64;
         event
     });
@@ -452,8 +449,12 @@ fn respond(r: Result<Response, Response>) -> Response {
 }
 
 fn ok_json(value: &Json) -> Response {
+    json_response(200, value)
+}
+
+fn json_response(status: u16, value: &Json) -> Response {
     match value.encode() {
-        Ok(body) => Response::json(200, body),
+        Ok(body) => Response::json(status, body),
         Err(e) => error_response(500, &format!("response encoding failed: {e}")),
     }
 }
@@ -528,7 +529,12 @@ fn handle_stats(state: &ServerState) -> Response {
         ),
         ("uptime_secs", Json::from(state.stats.uptime().as_secs())),
         ("connections", Json::from(state.stats.connections_total())),
-        ("shed_connections", Json::from(state.stats.shed_total())),
+        ("open_connections", Json::from(state.stats.open_connections().max(0) as u64)),
+        ("parked_connections", Json::from(state.stats.parked_connections())),
+        ("shed_requests", Json::from(state.stats.shed_total())),
+        ("read_timeouts", Json::from(state.stats.read_timeouts_total())),
+        ("write_timeouts", Json::from(state.stats.write_timeouts_total())),
+        ("deadline_exceeded", Json::from(state.stats.deadline_exceeded_total())),
         ("trace_ids_issued", Json::from(state.stats.trace_ids_issued())),
         (
             "plan_cache",
@@ -536,6 +542,7 @@ fn handle_stats(state: &ServerState) -> Response {
                 ("hits", Json::from(plans.hits)),
                 ("misses", Json::from(plans.misses)),
                 ("evictions", Json::from(plans.evictions)),
+                ("admission_denied", Json::from(plans.admission_denied)),
                 ("entries", Json::from(plans.entries)),
             ]),
         ),
@@ -563,6 +570,14 @@ fn handle_metrics(state: &ServerState) -> Response {
         p.sample("scorpion_request_errors_total", &[("endpoint", e.name)], e.errors as f64);
     }
     p.header(
+        "scorpion_request_sheds_total",
+        "counter",
+        "Requests shed with 503 before dispatch, by targeted endpoint.",
+    );
+    for e in &endpoints {
+        p.sample("scorpion_request_sheds_total", &[("endpoint", e.name)], e.sheds as f64);
+    }
+    p.header(
         "scorpion_request_duration_seconds",
         "histogram",
         "Request handling latency, by endpoint.",
@@ -581,12 +596,38 @@ fn handle_metrics(state: &ServerState) -> Response {
 
     p.header("scorpion_connections_total", "counter", "TCP connections accepted.");
     p.sample("scorpion_connections_total", &[], state.stats.connections_total() as f64);
+    p.header("scorpion_open_connections", "gauge", "Connections currently open.");
+    p.sample("scorpion_open_connections", &[], state.stats.open_connections().max(0) as f64);
     p.header(
-        "scorpion_shed_connections_total",
-        "counter",
-        "Connections shed with 503 under backpressure.",
+        "scorpion_parked_connections",
+        "gauge",
+        "Idle keep-alive connections parked on the poller (zero worker cost).",
     );
-    p.sample("scorpion_shed_connections_total", &[], state.stats.shed_total() as f64);
+    p.sample("scorpion_parked_connections", &[], state.stats.parked_connections() as f64);
+    p.header(
+        "scorpion_shed_requests_total",
+        "counter",
+        "Requests shed with 503 under backpressure.",
+    );
+    p.sample("scorpion_shed_requests_total", &[], state.stats.shed_total() as f64);
+    p.header(
+        "scorpion_read_timeouts_total",
+        "counter",
+        "Connections closed with 408: no complete request within the read timeout.",
+    );
+    p.sample("scorpion_read_timeouts_total", &[], state.stats.read_timeouts_total() as f64);
+    p.header(
+        "scorpion_write_timeouts_total",
+        "counter",
+        "Connections dropped because the peer stopped draining its response.",
+    );
+    p.sample("scorpion_write_timeouts_total", &[], state.stats.write_timeouts_total() as f64);
+    p.header(
+        "scorpion_deadline_exceeded_total",
+        "counter",
+        "Requests answered 504 because their deadline expired.",
+    );
+    p.sample("scorpion_deadline_exceeded_total", &[], state.stats.deadline_exceeded_total() as f64);
 
     let plans = state.plans.stats();
     p.header("scorpion_plan_cache_hits_total", "counter", "Plan-cache hits.");
@@ -595,6 +636,12 @@ fn handle_metrics(state: &ServerState) -> Response {
     p.sample("scorpion_plan_cache_misses_total", &[], plans.misses as f64);
     p.header("scorpion_plan_cache_evictions_total", "counter", "Plan-cache evictions.");
     p.sample("scorpion_plan_cache_evictions_total", &[], plans.evictions as f64);
+    p.header(
+        "scorpion_plan_cache_admission_denied_total",
+        "counter",
+        "Plans built but not cached: admission would have evicted a far more expensive plan.",
+    );
+    p.sample("scorpion_plan_cache_admission_denied_total", &[], plans.admission_denied as f64);
     p.header("scorpion_plan_cache_entries", "gauge", "Warm plans resident in the cache.");
     p.sample("scorpion_plan_cache_entries", &[], plans.entries as f64);
 
@@ -685,10 +732,18 @@ fn parse_approx(body: &Json) -> Result<Option<ApproxConfig>, Response> {
 /// explanation. Also assembles the request's flight-recorder event —
 /// the one handler whose event carries engine facts (algorithm, cache
 /// observations, phase attribution) beyond the surface dimensions.
+///
+/// When a deadline is set, the remaining time becomes the engine's
+/// anytime budget: MC and NAIVE return their best-so-far answer when it
+/// runs out (status 504, full diagnostics, `deadline_exceeded: true`);
+/// DT is uninterruptible, so it finishes and only the status reflects
+/// the overrun. A deadline that expired before execution starts is a
+/// bodyless-diagnostics 504.
 fn handle_explain(
     req: &Request,
     state: &ServerState,
     trace_id: u64,
+    deadline: Option<Instant>,
 ) -> Result<(Response, Option<TelemetryEvent>), Response> {
     let body = parse_body(req)?;
     let sql = body
@@ -738,10 +793,24 @@ fn handle_explain(
     };
     let (plan, hit) = state.plans.get_or_create(&key, build)?;
 
+    let budget = match deadline {
+        None => None,
+        Some(d) => match d.checked_duration_since(Instant::now()) {
+            Some(remaining) => Some(remaining),
+            None => {
+                state.stats.deadline_exceeded();
+                return Err(error_response(504, "deadline exceeded before execution"));
+            }
+        },
+    };
     let mut explanation = plan
         .session
-        .run(InfluenceParams { lambda, c })
+        .run_with_budget(InfluenceParams { lambda, c }, budget)
         .map_err(|e| error_response(500, &format!("explanation failed: {e}")))?;
+    let deadline_hit = deadline.is_some_and(|d| Instant::now() >= d);
+    if deadline_hit {
+        state.stats.deadline_exceeded();
+    }
     // The body's diagnostics carry the same id as the response header
     // and the flight-recorder event.
     explanation.diagnostics.trace_id = trace_id;
@@ -785,7 +854,7 @@ fn handle_explain(
         event.predicates = explanation.predicates.len() as u64;
         scorpion_core::apply_diagnostics(event, d)
     });
-    let resp = ok_json(&Json::obj([
+    let body = Json::obj([
         ("table", Json::from(table_name)),
         ("generation", Json::from(entry.generation)),
         ("algorithm", Json::from(d.algorithm)),
@@ -793,10 +862,14 @@ fn handle_explain(
         ("trace_id", Json::from(trace_id)),
         ("lambda", Json::from(lambda)),
         ("c", Json::from(c)),
+        ("deadline_exceeded", Json::from(deadline_hit)),
         ("results", Json::Arr(results)),
         ("explanations", explanations),
         ("diagnostics", diagnostics_json(d)),
-    ]));
+    ]);
+    // A deadline overrun still carries the full (best-so-far) body —
+    // the 504 status tells the caller the search was truncated.
+    let resp = json_response(if deadline_hit { 504 } else { 200 }, &body);
     Ok((resp, event))
 }
 
@@ -878,5 +951,9 @@ fn build_plan_entry(
     let request = builder.build().map_err(|e| bad(format!("labeling failed: {e}")))?;
     let session = ScorpionSession::new(request)
         .map_err(|e| bad(format!("session construction failed: {e}")))?;
+    // Prepare eagerly so the cache's measured build cost covers the
+    // expensive phase (tree growth / unit construction), not just
+    // labeling — cost-aware admission is meaningless otherwise.
+    session.plan().map_err(|e| error_response(500, &format!("preparation failed: {e}")))?;
     Ok(PlanEntry { session, display_keys, results })
 }

@@ -2,7 +2,7 @@
 
 use crate::json::Json;
 use scorpion_obs::{Histogram, HistogramSnapshot};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// The endpoints tracked individually.
@@ -30,6 +30,22 @@ impl Endpoint {
     pub fn label(self) -> &'static str {
         ENDPOINTS.iter().find(|(e, _)| *e == self).expect("known endpoint").1
     }
+
+    /// The endpoint a parsed request targets — the attribution used
+    /// *before* dispatch, so a request shed at the queue is counted
+    /// against the endpoint the client actually asked for rather than
+    /// lumped under [`Endpoint::Other`].
+    pub fn of(method: &str, path: &str) -> Endpoint {
+        match (method, path) {
+            (_, "/healthz") => Endpoint::Healthz,
+            (_, "/tables") => Endpoint::Tables,
+            (_, "/explain") => Endpoint::Explain,
+            (_, "/stats") => Endpoint::Stats,
+            (_, "/metrics") => Endpoint::Metrics,
+            (_, p) if p.starts_with("/debug/") => Endpoint::Debug,
+            _ => Endpoint::Other,
+        }
+    }
 }
 
 const ENDPOINTS: [(Endpoint, &str); 7] = [
@@ -42,12 +58,18 @@ const ENDPOINTS: [(Endpoint, &str); 7] = [
     (Endpoint::Other, "other"),
 ];
 
-/// Per-endpoint counters: an error count plus a log-scale latency
-/// histogram (microseconds) whose exact `count`/`sum`/`max` replace the
-/// old scalar mean/max counters.
+/// Per-endpoint counters: an error count, a shed count, and a log-scale
+/// latency histogram (microseconds) whose exact `count`/`sum`/`max`
+/// replace the old scalar mean/max counters.
+///
+/// Sheds are deliberately *not* histogram samples: a 503 turned away at
+/// the queue spent no time in a worker, and folding its near-zero
+/// latency into the worker histogram would drag p50 down exactly when
+/// the service is most overloaded.
 #[derive(Default)]
 struct EndpointStats {
     errors: AtomicU64,
+    sheds: AtomicU64,
     latency_us: Histogram,
 }
 
@@ -65,6 +87,7 @@ impl EndpointStats {
         Json::obj([
             ("count", Json::from(snap.count())),
             ("errors", Json::from(self.errors.load(Ordering::Relaxed))),
+            ("shed", Json::from(self.sheds.load(Ordering::Relaxed))),
             ("mean_ms", Json::from(snap.mean() / 1000.0)),
             ("p50_ms", Json::from(ms(snap.quantile(0.5)))),
             ("p90_ms", Json::from(ms(snap.quantile(0.9)))),
@@ -75,23 +98,32 @@ impl EndpointStats {
 }
 
 /// One endpoint's exported counters, as consumed by the `/metrics`
-/// renderer: `(name, error count, latency snapshot in µs)`.
+/// renderer: `(name, error count, shed count, latency snapshot in µs)`.
 pub struct EndpointMetrics {
     /// Prometheus label value (`"explain"`, `"stats"`, …).
     pub name: &'static str,
     /// Requests answered with status ≥ 400.
     pub errors: u64,
-    /// Latency distribution in microseconds.
+    /// Requests shed with 503 before reaching a worker (not included in
+    /// the latency distribution).
+    pub sheds: u64,
+    /// Latency distribution in microseconds (worker-handled requests
+    /// only).
     pub latency_us: HistogramSnapshot,
 }
 
 /// Service-wide counters: per-endpoint latency histograms plus
-/// connection, load-shedding, and trace-id state.
+/// connection-lifecycle, load-shedding, deadline, and trace-id state.
 pub struct ServerStats {
     started: Instant,
     endpoints: [EndpointStats; 7],
     connections: AtomicU64,
+    open: AtomicI64,
+    parked: AtomicU64,
     shed: AtomicU64,
+    read_timeouts: AtomicU64,
+    write_timeouts: AtomicU64,
+    deadline_exceeded: AtomicU64,
     trace_ids_issued: AtomicU64,
 }
 
@@ -101,7 +133,12 @@ impl Default for ServerStats {
             started: Instant::now(),
             endpoints: Default::default(),
             connections: AtomicU64::new(0),
+            open: AtomicI64::new(0),
+            parked: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            read_timeouts: AtomicU64::new(0),
+            write_timeouts: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
             trace_ids_issued: AtomicU64::new(0),
         }
     }
@@ -124,6 +161,16 @@ impl ServerStats {
         self.endpoints[idx].record(status, elapsed);
     }
 
+    /// Records one request shed with 503 before dispatch. Counts as an
+    /// error against the endpoint the request targeted, with *no*
+    /// latency-histogram sample — the request never ran.
+    pub fn record_shed(&self, endpoint: Endpoint) {
+        let idx = ENDPOINTS.iter().position(|(e, _)| *e == endpoint).expect("known endpoint");
+        self.endpoints[idx].sheds.fetch_add(1, Ordering::Relaxed);
+        self.endpoints[idx].errors.fetch_add(1, Ordering::Relaxed);
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Issues the next request trace id from the process-wide sequence
     /// ([`scorpion_obs::next_trace_id`]) — the CLI and continuous
     /// sessions draw from the same counter, so a response header, an
@@ -138,19 +185,73 @@ impl ServerStats {
         self.trace_ids_issued.load(Ordering::Relaxed)
     }
 
-    /// Counts an accepted connection.
+    /// Counts an accepted connection (total and currently open).
     pub fn connection(&self) {
         self.connections.fetch_add(1, Ordering::Relaxed);
+        self.open.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Counts a connection shed by backpressure (503 at accept).
+    /// Counts a connection close (accepted connections only).
+    pub fn connection_closed(&self) {
+        self.open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently open (accepted and not yet closed).
+    pub fn open_connections(&self) -> i64 {
+        self.open.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the poller's parked-connection gauge: connections idle
+    /// between requests, held open at zero worker cost.
+    pub fn set_parked(&self, parked: u64) {
+        self.parked.store(parked, Ordering::Relaxed);
+    }
+
+    /// Connections currently parked on the poller.
+    pub fn parked_connections(&self) -> u64 {
+        self.parked.load(Ordering::Relaxed)
+    }
+
+    /// Counts a connection shed by backpressure (503 before dispatch).
     pub fn shed_connection(&self) {
         self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Connections shed so far.
+    /// Requests/connections shed so far.
     pub fn shed_total(&self) -> u64 {
         self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Counts a connection closed with 408 because the client failed to
+    /// deliver a complete request in time (slow reader / slowloris).
+    pub fn read_timeout(&self) {
+        self.read_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Read timeouts so far.
+    pub fn read_timeouts_total(&self) -> u64 {
+        self.read_timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Counts a connection dropped because the client stopped draining
+    /// its response (slow writer).
+    pub fn write_timeout(&self) {
+        self.write_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Write timeouts so far.
+    pub fn write_timeouts_total(&self) -> u64 {
+        self.write_timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Counts a request answered 504 because its deadline expired.
+    pub fn deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Deadline-exceeded responses so far.
+    pub fn deadline_exceeded_total(&self) -> u64 {
+        self.deadline_exceeded.load(Ordering::Relaxed)
     }
 
     /// Renders the per-endpoint section of `/stats`.
@@ -172,6 +273,7 @@ impl ServerStats {
             .map(|(i, (_, name))| EndpointMetrics {
                 name,
                 errors: self.endpoints[i].errors.load(Ordering::Relaxed),
+                sheds: self.endpoints[i].sheds.load(Ordering::Relaxed),
                 latency_us: self.endpoints[i].latency_us.snapshot(),
             })
             .collect()
@@ -205,6 +307,53 @@ mod tests {
         let p99 = explain.get("p99_ms").unwrap().as_f64().unwrap();
         assert!((28.0..=30.0).contains(&p99), "p99_ms = {p99}");
         assert_eq!(j.get("healthz").unwrap().get("count").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn sheds_count_as_errors_without_latency_samples() {
+        let s = ServerStats::new();
+        s.record(Endpoint::Explain, 200, Duration::from_millis(10));
+        s.record_shed(Endpoint::Explain);
+        s.record_shed(Endpoint::Explain);
+        let j = s.endpoints_json();
+        let explain = j.get("explain").unwrap();
+        // The histogram saw only the handled request; the sheds are
+        // errors but not samples.
+        assert_eq!(explain.get("count").unwrap().as_f64(), Some(1.0));
+        assert_eq!(explain.get("errors").unwrap().as_f64(), Some(2.0));
+        assert_eq!(explain.get("shed").unwrap().as_f64(), Some(2.0));
+        assert_eq!(s.shed_total(), 2);
+        let m = s.endpoint_metrics();
+        let explain = m.iter().find(|e| e.name == "explain").unwrap();
+        assert_eq!(explain.sheds, 2);
+        assert_eq!(explain.latency_us.count(), 1);
+    }
+
+    #[test]
+    fn endpoint_of_attributes_requests() {
+        assert_eq!(Endpoint::of("POST", "/explain"), Endpoint::Explain);
+        assert_eq!(Endpoint::of("GET", "/healthz"), Endpoint::Healthz);
+        assert_eq!(Endpoint::of("GET", "/debug/slow"), Endpoint::Debug);
+        assert_eq!(Endpoint::of("GET", "/nope"), Endpoint::Other);
+    }
+
+    #[test]
+    fn connection_lifecycle_gauges() {
+        let s = ServerStats::new();
+        s.connection();
+        s.connection();
+        assert_eq!(s.connections_total(), 2);
+        assert_eq!(s.open_connections(), 2);
+        s.connection_closed();
+        assert_eq!(s.open_connections(), 1);
+        s.set_parked(7);
+        assert_eq!(s.parked_connections(), 7);
+        s.read_timeout();
+        s.write_timeout();
+        s.deadline_exceeded();
+        assert_eq!(s.read_timeouts_total(), 1);
+        assert_eq!(s.write_timeouts_total(), 1);
+        assert_eq!(s.deadline_exceeded_total(), 1);
     }
 
     #[test]

@@ -89,7 +89,8 @@ streaming_monitor`.";
 
 const SERVE_HELP: &str = "usage: scorpion serve [--csv NAME=FILE]... [--port P] [--host H] \
 [--workers N] [--queue N] [--plan-cache N] [--influence-cache-entries N] [--access-log] \
-[--slow-ms MS] [--telemetry-events N] [--trace-dir DIR]\n\
+[--slow-ms MS] [--telemetry-events N] [--trace-dir DIR] [--deadline-ms MS] \
+[--read-timeout-ms MS] [--write-timeout-ms MS] [--idle-timeout-ms MS]\n\
 \n\
 Serves outlier explanations over HTTP/1.1 JSON:\n\
   POST /explain   {table, sql, outliers|auto_label, holdouts, lambda, c,\n\
@@ -116,7 +117,18 @@ status, duration, trace id). --slow-ms MS also logs any request at or\n\
 over MS milliseconds with its top-3 phases inline (works without\n\
 --access-log). --telemetry-events N sizes the flight-recorder ring\n\
 (default 4096; 0 disables it). --trace-dir DIR dumps a chrome://tracing\n\
-span file per /explain into DIR.";
+span file per /explain into DIR.\n\
+\n\
+Workers handle in-flight requests, not open sockets: idle keep-alive\n\
+connections park on a readiness poller at zero worker cost.\n\
+--deadline-ms MS caps each /explain's wall clock (0 = off, default);\n\
+the x-scorpion-deadline-ms request header overrides it per request.\n\
+At the deadline the mc/naive engines answer with their best-so-far\n\
+result, HTTP 504, and deadline_exceeded: true (dt is uninterruptible).\n\
+--read-timeout-ms MS closes connections stuck mid-request with 408\n\
+(default 10000). --write-timeout-ms MS drops peers that stop draining\n\
+their response (default 10000). --idle-timeout-ms MS reaps parked\n\
+keep-alive connections (default 60000).";
 
 const AUDIT_HELP: &str = "usage: scorpion audit --telemetry-csv FILE [--threshold Z] [--top N] \
 [--json]\n\
@@ -288,6 +300,21 @@ fn parse_serve_args(it: impl Iterator<Item = String>) -> ServeArgs {
             }
             "--trace-dir" => {
                 args.config.trace_dir = Some(std::path::PathBuf::from(val("--trace-dir")))
+            }
+            "--deadline-ms" => {
+                args.config.deadline_ms = num("--deadline-ms", val("--deadline-ms")) as u64
+            }
+            "--read-timeout-ms" => {
+                args.config.read_timeout_ms =
+                    num("--read-timeout-ms", val("--read-timeout-ms")) as u64
+            }
+            "--write-timeout-ms" => {
+                args.config.write_timeout_ms =
+                    num("--write-timeout-ms", val("--write-timeout-ms")) as u64
+            }
+            "--idle-timeout-ms" => {
+                args.config.idle_timeout_ms =
+                    num("--idle-timeout-ms", val("--idle-timeout-ms")) as u64
             }
             "--help" | "-h" => help(SERVE_HELP),
             other => {
